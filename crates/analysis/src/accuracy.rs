@@ -1,0 +1,171 @@
+//! Static-vs-dynamic dependence accuracy (the Fig. 2 experiment).
+
+use crate::deps::{analyze_loop, DepConfig, LoopDeps};
+use crate::ground_truth::DynamicLoopDeps;
+use crate::pts::PointsTo;
+use crate::tier::AliasTier;
+use helix_ir::cfg::NaturalLoop;
+use helix_ir::{InstSite, Program};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Accuracy of one analysis configuration on one loop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoopAccuracy {
+    /// Dependences the static analysis reported.
+    pub identified: usize,
+    /// Of those, how many were observed at runtime.
+    pub actual: usize,
+    /// Dependences observed at runtime but *not* reported (must be zero
+    /// for a sound analysis).
+    pub missed: usize,
+}
+
+impl LoopAccuracy {
+    /// `actual / identified`; loops with no identified dependences are
+    /// perfectly analyzed (accuracy 1).
+    pub fn accuracy(&self) -> f64 {
+        if self.identified == 0 {
+            1.0
+        } else {
+            self.actual as f64 / self.identified as f64
+        }
+    }
+
+    /// Whether every actual dependence was identified.
+    pub fn sound(&self) -> bool {
+        self.missed == 0
+    }
+}
+
+/// Compare a static dependence result against dynamic ground truth.
+pub fn compare(static_deps: &LoopDeps, dynamic: &DynamicLoopDeps) -> LoopAccuracy {
+    let reported: BTreeSet<(InstSite, InstSite)> = static_deps.pair_set();
+    let actual_hits = dynamic
+        .pairs
+        .iter()
+        .filter(|p| reported.contains(*p))
+        .count();
+    LoopAccuracy {
+        identified: reported.len(),
+        actual: actual_hits,
+        missed: dynamic.pairs.len() - actual_hits,
+    }
+}
+
+/// Accuracy of every tier on a set of loops (the Fig. 2 sweep).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TierSweep {
+    /// Mean accuracy per tier, in [`AliasTier::ALL`] order.
+    pub mean_accuracy: Vec<f64>,
+    /// Per-loop, per-tier accuracies.
+    pub per_loop: Vec<Vec<LoopAccuracy>>,
+}
+
+/// Run the full tier sweep for `loops` of `program` against the supplied
+/// dynamic ground truths (one per loop, same order).
+///
+/// The affine (induction) refinement stays enabled throughout, matching
+/// the paper's setup where VLLPA is the starting point of a modern
+/// compiler's memory analysis.
+///
+/// # Panics
+///
+/// Panics if `loops` and `dynamics` lengths differ.
+pub fn tier_sweep(
+    program: &Program,
+    loops: &[NaturalLoop],
+    dynamics: &[DynamicLoopDeps],
+) -> TierSweep {
+    assert_eq!(loops.len(), dynamics.len(), "one ground truth per loop");
+    let mut per_loop: Vec<Vec<LoopAccuracy>> = vec![Vec::new(); loops.len()];
+    let mut mean_accuracy = Vec::new();
+    for tier in AliasTier::ALL {
+        let pts = PointsTo::analyze(program, tier);
+        let config = DepConfig {
+            tier,
+            affine_aware: true,
+        };
+        let mut sum = 0.0;
+        for (i, lp) in loops.iter().enumerate() {
+            let deps = analyze_loop(program, lp, config, &pts);
+            let acc = compare(&deps, &dynamics[i]);
+            sum += acc.accuracy();
+            per_loop[i].push(acc);
+        }
+        mean_accuracy.push(if loops.is_empty() {
+            1.0
+        } else {
+            sum / loops.len() as f64
+        });
+    }
+    TierSweep {
+        mean_accuracy,
+        per_loop,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground_truth::observe_loop_deps;
+    use helix_ir::cfg::LoopForest;
+    use helix_ir::interp::Env;
+    use helix_ir::{AddrExpr, BinOp, Intrinsic, Operand, ProgramBuilder, Ty};
+
+    /// A loop with one real dependence and structure that confuses weak
+    /// tiers: accuracy must be monotone and reach 1.0 at the full tier.
+    #[test]
+    fn accuracy_monotone_over_tiers() {
+        let mut b = ProgramBuilder::new("acc_test");
+        let hist = b.region("hist", 4096, Ty::I64);
+        let data = b.region("data", 8192, Ty::I64);
+        b.counted_loop(0, 200, 1, |b, i| {
+            // Real dependence: histogram cell updated via hash.
+            let [x, h, cell] = b.regs();
+            b.load(x, AddrExpr::region_indexed(data, i, 8, 0), Ty::I64);
+            b.call(Some(h), Intrinsic::PureHash, vec![Operand::Reg(x)]);
+            b.bin(h, BinOp::And, h, 63i64);
+            b.load(cell, AddrExpr::region_indexed(hist, h, 8, 0), Ty::I64);
+            b.bin(cell, BinOp::Add, cell, 1i64);
+            b.store(cell, AddrExpr::region_indexed(hist, h, 8, 0), Ty::I64);
+            // False-dependence bait: private per-iteration slot in data.
+            b.store(x, AddrExpr::region_indexed(data, i, 8, 0), Ty::I64);
+        });
+        let p = b.finish();
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        let lp = forest.loops[0].lp.clone();
+        let mut env = Env::for_program(&p);
+        let dynamic = observe_loop_deps(&p, &lp, &mut env, 10_000_000).unwrap();
+        assert!(!dynamic.pairs.is_empty(), "histogram collisions occur");
+
+        let sweep = tier_sweep(&p, std::slice::from_ref(&lp), std::slice::from_ref(&dynamic));
+        let acc = &sweep.mean_accuracy;
+        assert_eq!(acc.len(), 5);
+        for w in acc.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-12,
+                "accuracy must not decrease across tiers: {acc:?}"
+            );
+        }
+        assert!(
+            acc[4] > acc[0],
+            "full tier strictly better than baseline: {acc:?}"
+        );
+        // Every tier must be sound.
+        for per_tier in &sweep.per_loop[0] {
+            assert!(per_tier.sound());
+        }
+    }
+
+    #[test]
+    fn zero_identified_is_perfect_accuracy() {
+        let a = LoopAccuracy {
+            identified: 0,
+            actual: 0,
+            missed: 0,
+        };
+        assert_eq!(a.accuracy(), 1.0);
+        assert!(a.sound());
+    }
+}

@@ -1,0 +1,434 @@
+//! Affine address forms relative to a loop counter.
+//!
+//! Part of the induction-variable analysis HCCv2 improved (paper §2.1):
+//! when two accesses in a loop have addresses of the form
+//! `base + a·counter + c` with the same symbolic base and coefficient,
+//! their cross-iteration relationship is decidable — distance-0 pairs are
+//! not loop-carried at all, and non-divisible offsets never collide.
+
+use helix_ir::cfg::{Dominators, NaturalLoop};
+use helix_ir::{AddrBase, AddrExpr, BinOp, Graph, Inst, InstSite, Operand, Reg, RegionId};
+use std::collections::BTreeMap;
+
+/// Symbolic base of an affine address form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinBase {
+    /// A static region.
+    Region(RegionId),
+    /// A register that is loop-invariant (no definitions inside the
+    /// loop); its runtime value is fixed for the whole invocation.
+    InvariantReg(Reg),
+}
+
+/// An address expressed as `base + a·counter + c + Σ coeffᵢ·invᵢ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinForm {
+    /// Symbolic base.
+    pub base: LinBase,
+    /// Coefficient of the loop counter.
+    pub a: i64,
+    /// Constant byte offset.
+    pub c: i64,
+    /// Loop-invariant register terms `(reg, coefficient)`, sorted by reg.
+    pub inv: Vec<(Reg, i64)>,
+}
+
+impl LinForm {
+    /// Whether two forms are directly comparable (same symbolic parts).
+    pub fn comparable(&self, other: &LinForm) -> bool {
+        self.base == other.base && self.a == other.a && self.inv == other.inv
+    }
+}
+
+/// Helper that computes affine forms for addresses inside one loop.
+#[derive(Debug)]
+pub struct AffineCtx<'a> {
+    graph: &'a Graph,
+    lp: &'a NaturalLoop,
+    dom: &'a Dominators,
+    /// The loop counter (from `recognize_counted_loop`).
+    counter: Reg,
+    /// Unique in-loop definition site per register (None if 0 or 2+).
+    unique_defs: BTreeMap<Reg, InstSite>,
+}
+
+/// A value expressed as `a·counter + c + Σ coeffᵢ·invᵢ` (no base).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ValForm {
+    a: i64,
+    c: i64,
+    inv: Vec<(Reg, i64)>,
+}
+
+impl ValForm {
+    fn constant(c: i64) -> ValForm {
+        ValForm {
+            a: 0,
+            c,
+            inv: Vec::new(),
+        }
+    }
+
+    fn counter() -> ValForm {
+        ValForm {
+            a: 1,
+            c: 0,
+            inv: Vec::new(),
+        }
+    }
+
+    fn invariant(r: Reg) -> ValForm {
+        ValForm {
+            a: 0,
+            c: 0,
+            inv: vec![(r, 1)],
+        }
+    }
+
+    fn add(&self, other: &ValForm, sign: i64) -> ValForm {
+        let mut inv: BTreeMap<Reg, i64> = self.inv.iter().copied().collect();
+        for (r, k) in &other.inv {
+            *inv.entry(*r).or_insert(0) += k * sign;
+        }
+        ValForm {
+            a: self.a + sign * other.a,
+            c: self.c + sign * other.c,
+            inv: inv.into_iter().filter(|(_, k)| *k != 0).collect(),
+        }
+    }
+
+    fn scale(&self, k: i64) -> ValForm {
+        ValForm {
+            a: self.a * k,
+            c: self.c * k,
+            inv: self.inv.iter().map(|(r, c)| (*r, c * k)).collect(),
+        }
+    }
+}
+
+impl<'a> AffineCtx<'a> {
+    /// Build an affine context for `lp` with the given counter register.
+    pub fn new(
+        graph: &'a Graph,
+        lp: &'a NaturalLoop,
+        dom: &'a Dominators,
+        counter: Reg,
+    ) -> AffineCtx<'a> {
+        let mut def_count: BTreeMap<Reg, Vec<InstSite>> = BTreeMap::new();
+        for &b in &lp.blocks {
+            for (idx, inst) in graph.block(b).insts.iter().enumerate() {
+                if let Some(d) = inst.def() {
+                    def_count.entry(d).or_default().push(InstSite {
+                        block: b,
+                        index: idx,
+                    });
+                }
+            }
+        }
+        let unique_defs = def_count
+            .into_iter()
+            .filter_map(|(r, sites)| {
+                if sites.len() == 1 {
+                    Some((r, sites[0]))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        AffineCtx {
+            graph,
+            lp,
+            dom,
+            counter,
+            unique_defs,
+        }
+    }
+
+    fn is_invariant(&self, r: Reg) -> bool {
+        for &b in &self.lp.blocks {
+            for inst in &self.graph.block(b).insts {
+                if inst.def() == Some(r) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Affine form of a register's value at `site`, if derivable.
+    fn val_form(&self, r: Reg, site: InstSite, depth: u32) -> Option<ValForm> {
+        if depth > 8 {
+            return None;
+        }
+        if r == self.counter {
+            return Some(ValForm::counter());
+        }
+        if self.is_invariant(r) {
+            return Some(ValForm::invariant(r));
+        }
+        // Unique in-loop def that dominates the use site (or precedes it
+        // in the same block).
+        let def = *self.unique_defs.get(&r)?;
+        let dominates = if def.block == site.block {
+            def.index < site.index
+        } else {
+            self.dom.dominates(def.block, site.block)
+        };
+        if !dominates {
+            return None;
+        }
+        let inst = &self.graph.block(def.block).insts[def.index];
+        match inst {
+            Inst::Const { value, .. } => Some(ValForm::constant(value.as_int())),
+            Inst::Bin { op, lhs, rhs, .. } => {
+                let lf = self.op_form(*lhs, def, depth + 1)?;
+                let rf = self.op_form(*rhs, def, depth + 1)?;
+                match op {
+                    BinOp::Add => Some(lf.add(&rf, 1)),
+                    BinOp::Sub => Some(lf.add(&rf, -1)),
+                    BinOp::Mul => {
+                        // One side must be a pure constant.
+                        if rf.a == 0 && rf.inv.is_empty() {
+                            Some(lf.scale(rf.c))
+                        } else if lf.a == 0 && lf.inv.is_empty() {
+                            Some(rf.scale(lf.c))
+                        } else {
+                            None
+                        }
+                    }
+                    BinOp::Shl => {
+                        if rf.a == 0 && rf.inv.is_empty() && (0..=16).contains(&rf.c) {
+                            Some(lf.scale(1 << rf.c))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn op_form(&self, op: Operand, site: InstSite, depth: u32) -> Option<ValForm> {
+        match op {
+            Operand::Imm(v) => Some(ValForm::constant(v.as_int())),
+            Operand::Reg(r) => self.val_form(r, site, depth),
+        }
+    }
+
+    /// Affine form of an address expression at `site`, if derivable.
+    pub fn addr_form(&self, addr: &AddrExpr, site: InstSite) -> Option<LinForm> {
+        let base = match addr.base {
+            AddrBase::Region(r) => LinBase::Region(r),
+            AddrBase::Reg(r) => {
+                if self.is_invariant(r) {
+                    LinBase::InvariantReg(r)
+                } else {
+                    return None;
+                }
+            }
+        };
+        let mut form = ValForm::constant(addr.offset);
+        if let Some((idx, scale)) = addr.index {
+            let f = self.val_form(idx, site, 0)?;
+            form = form.add(&f.scale(scale), 1);
+        }
+        Some(LinForm {
+            base,
+            a: form.a,
+            c: form.c,
+            inv: form.inv,
+        })
+    }
+}
+
+/// Cross-iteration relationship between two affine accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AffineRelation {
+    /// The addresses can only coincide within the same iteration.
+    SameIterationOnly,
+    /// The addresses never coincide.
+    NeverEqual,
+    /// The addresses coincide across iterations (a real loop-carried
+    /// relationship, with the given iteration distance in counter steps).
+    CarriedDistance(i64),
+    /// The same address is touched every iteration (loop-invariant
+    /// address).
+    EveryIteration,
+}
+
+/// Decide the relationship of two comparable affine forms.
+///
+/// Returns `None` if the forms are not comparable (different symbolic
+/// parts), in which case the caller must stay conservative.
+pub fn relate(a: &LinForm, b: &LinForm, counter_step: i64) -> Option<AffineRelation> {
+    if a.base != b.base || a.inv != b.inv {
+        return None;
+    }
+    if a.a != b.a {
+        // Different counter coefficients: solving a.a*k1 + a.c = b.a*k2 +
+        // b.c over unknown iterations is beyond this model; give up.
+        return None;
+    }
+    let coeff = a.a;
+    let dc = b.c - a.c;
+    if coeff == 0 {
+        return Some(if dc == 0 {
+            AffineRelation::EveryIteration
+        } else {
+            AffineRelation::NeverEqual
+        });
+    }
+    // Counter advances by `counter_step` per iteration; per-iteration
+    // address stride is coeff * counter_step.
+    let stride = coeff * counter_step;
+    if stride == 0 {
+        return None;
+    }
+    if dc == 0 {
+        return Some(AffineRelation::SameIterationOnly);
+    }
+    if dc % stride == 0 {
+        Some(AffineRelation::CarriedDistance(dc / stride))
+    } else {
+        Some(AffineRelation::NeverEqual)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_ir::cfg::{recognize_counted_loop, LoopForest};
+    use helix_ir::{ProgramBuilder, Program, Ty};
+
+    fn setup(p: &Program) -> (NaturalLoop, Dominators, Reg) {
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        let lp = forest.loops[0].lp.clone();
+        let dom = Dominators::compute(&p.graph, p.graph.entry);
+        let counted = recognize_counted_loop(&p.graph, &lp).expect("counted");
+        (lp, dom, counted.counter)
+    }
+
+    #[test]
+    fn direct_counter_index_is_affine() {
+        let mut b = ProgramBuilder::new("t");
+        let r = b.region("a", 1024, Ty::I64);
+        let mut addr = None;
+        let mut site = None;
+        b.counted_loop(0, 100, 1, |b, i| {
+            let x = b.reg();
+            let a = AddrExpr::region_indexed(r, i, 8, 16);
+            site = Some(InstSite {
+                block: b.current_block(),
+                index: 0,
+            });
+            b.load(x, a, Ty::I64);
+            addr = Some(a);
+        });
+        let p = b.finish();
+        let (lp, dom, counter) = setup(&p);
+        let ctx = AffineCtx::new(&p.graph, &lp, &dom, counter);
+        let form = ctx.addr_form(&addr.unwrap(), site.unwrap()).unwrap();
+        assert_eq!(form.a, 8);
+        assert_eq!(form.c, 16);
+    }
+
+    #[test]
+    fn derived_index_is_affine() {
+        let mut b = ProgramBuilder::new("t");
+        let r = b.region("a", 8192, Ty::I64);
+        let mut addr = None;
+        let mut site = None;
+        b.counted_loop(0, 100, 1, |b, i| {
+            let j = b.reg();
+            b.bin(j, BinOp::Mul, i, 4i64); // j = 4i
+            let a = AddrExpr::region_indexed(r, j, 8, 0); // addr = 32i
+            site = Some(InstSite {
+                block: b.current_block(),
+                index: 1,
+            });
+            let x = b.reg();
+            b.load(x, a, Ty::I64);
+            addr = Some(a);
+        });
+        let p = b.finish();
+        let (lp, dom, counter) = setup(&p);
+        let ctx = AffineCtx::new(&p.graph, &lp, &dom, counter);
+        let form = ctx.addr_form(&addr.unwrap(), site.unwrap()).unwrap();
+        assert_eq!(form.a, 32);
+        assert_eq!(form.c, 0);
+    }
+
+    #[test]
+    fn relate_same_iteration_only() {
+        let f = |c: i64| LinForm {
+            base: LinBase::Region(RegionId(0)),
+            a: 8,
+            c,
+            inv: vec![],
+        };
+        assert_eq!(
+            relate(&f(0), &f(0), 1),
+            Some(AffineRelation::SameIterationOnly)
+        );
+        assert_eq!(
+            relate(&f(0), &f(8), 1),
+            Some(AffineRelation::CarriedDistance(1))
+        );
+        assert_eq!(relate(&f(0), &f(4), 1), Some(AffineRelation::NeverEqual));
+    }
+
+    #[test]
+    fn relate_invariant_address() {
+        let f = |c: i64| LinForm {
+            base: LinBase::Region(RegionId(0)),
+            a: 0,
+            c,
+            inv: vec![],
+        };
+        assert_eq!(relate(&f(0), &f(0), 1), Some(AffineRelation::EveryIteration));
+        assert_eq!(relate(&f(0), &f(8), 1), Some(AffineRelation::NeverEqual));
+    }
+
+    #[test]
+    fn incomparable_forms_yield_none() {
+        let a = LinForm {
+            base: LinBase::Region(RegionId(0)),
+            a: 8,
+            c: 0,
+            inv: vec![],
+        };
+        let b = LinForm {
+            base: LinBase::Region(RegionId(1)),
+            a: 8,
+            c: 0,
+            inv: vec![],
+        };
+        assert_eq!(relate(&a, &b, 1), None);
+    }
+
+    #[test]
+    fn loop_variant_non_affine_index_fails() {
+        let mut b = ProgramBuilder::new("t");
+        let r = b.region("a", 8192, Ty::I64);
+        let mut addr = None;
+        let mut site = None;
+        b.counted_loop(0, 100, 1, |b, i| {
+            let j = b.reg();
+            b.bin(j, BinOp::Mul, i, i); // j = i*i: not affine
+            let a = AddrExpr::region_indexed(r, j, 8, 0);
+            site = Some(InstSite {
+                block: b.current_block(),
+                index: 1,
+            });
+            let x = b.reg();
+            b.load(x, a, Ty::I64);
+            addr = Some(a);
+        });
+        let p = b.finish();
+        let (lp, dom, counter) = setup(&p);
+        let ctx = AffineCtx::new(&p.graph, &lp, &dom, counter);
+        assert!(ctx.addr_form(&addr.unwrap(), site.unwrap()).is_none());
+    }
+}

@@ -1,0 +1,522 @@
+//! Loop-carried data-dependence analysis.
+//!
+//! Combines the points-to solution ([`PointsTo`]), the affine address
+//! model ([`AffineCtx`]), and loop-local liveness to report every
+//! loop-carried dependence of a loop: memory dependences as pairs of
+//! instruction sites, register dependences as a set of registers, and
+//! hidden-state dependences from stateful library calls.
+
+use crate::affine::{relate, AffineCtx, AffineRelation, LinForm};
+use crate::liveness::loop_carried_regs;
+use crate::pts::{LocSet, PointsTo};
+use crate::tier::AliasTier;
+use helix_ir::cfg::{recognize_counted_loop, Dominators, NaturalLoop};
+use helix_ir::{Inst, InstSite, Intrinsic, Program, Reg, Ty};
+use std::collections::BTreeSet;
+
+/// Dependence-analysis configuration: an alias tier plus the induction
+/// (affine) refinement that HCCv2 added.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DepConfig {
+    /// Alias-analysis precision.
+    pub tier: AliasTier,
+    /// Whether cross-iteration affine address reasoning is enabled.
+    pub affine_aware: bool,
+}
+
+impl DepConfig {
+    /// The strongest configuration (HCCv2/v3 analyses).
+    pub fn full() -> DepConfig {
+        DepConfig {
+            tier: AliasTier::LibCalls,
+            affine_aware: true,
+        }
+    }
+
+    /// The weakest configuration (HCCv1-era analysis): baseline pointer
+    /// analysis, but classic array dependence testing (affine subscripts)
+    /// — that predates VLLPA. HCCv2's improvements are the alias-tier
+    /// extensions and the widened predictable-variable classes.
+    pub fn baseline() -> DepConfig {
+        DepConfig {
+            tier: AliasTier::Vllpa,
+            affine_aware: true,
+        }
+    }
+}
+
+/// Kind of a memory dependence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DepKind {
+    /// Read after write.
+    Raw,
+    /// Write after read.
+    War,
+    /// Write after write.
+    Waw,
+}
+
+/// A loop-carried memory dependence between two instruction sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MemDep {
+    /// One endpoint (canonically the smaller site).
+    pub a: InstSite,
+    /// Other endpoint.
+    pub b: InstSite,
+    /// Dependence kind.
+    pub kind: DepKind,
+}
+
+impl MemDep {
+    fn canonical(x: InstSite, y: InstSite, kind: DepKind) -> MemDep {
+        if x <= y {
+            MemDep { a: x, b: y, kind }
+        } else {
+            MemDep { a: y, b: x, kind }
+        }
+    }
+}
+
+/// A memory access site inside the loop, with its analysis results.
+#[derive(Debug, Clone)]
+pub struct AccessInfo {
+    /// Where the access is.
+    pub site: InstSite,
+    /// Whether it writes memory.
+    pub is_store: bool,
+    /// Access width in bytes (word-sized for intrinsic ranges).
+    pub len: u64,
+    /// Scalar type, when the access is a plain load/store.
+    pub ty: Option<Ty>,
+    /// Abstract locations it may touch.
+    pub locs: LocSet,
+    /// Affine address form, when derivable.
+    pub lin: Option<LinForm>,
+}
+
+/// The complete dependence analysis result for one loop.
+#[derive(Debug, Clone)]
+pub struct LoopDeps {
+    /// Loop-carried memory dependences.
+    pub mem_deps: Vec<MemDep>,
+    /// Loop-carried registers (live into the next iteration and defined
+    /// in the loop).
+    pub carried_regs: BTreeSet<Reg>,
+    /// All memory access sites analyzed.
+    pub accesses: Vec<AccessInfo>,
+    /// The loop contains a call with hidden internal state (e.g. `rand`),
+    /// an actual dependence no memory analysis can remove.
+    pub hidden_state_dep: bool,
+    /// The loop's counter step, when it is a recognized counted loop.
+    pub counter_step: Option<i64>,
+}
+
+impl LoopDeps {
+    /// Unordered site pairs of all identified memory dependences
+    /// (the Fig. 2 "identified dependences" count).
+    pub fn pair_set(&self) -> BTreeSet<(InstSite, InstSite)> {
+        self.mem_deps.iter().map(|d| (d.a, d.b)).collect()
+    }
+
+    /// Sites participating in at least one loop-carried memory
+    /// dependence: the accesses that must execute inside sequential
+    /// segments.
+    pub fn shared_sites(&self) -> BTreeSet<InstSite> {
+        let mut out = BTreeSet::new();
+        for d in &self.mem_deps {
+            out.insert(d.a);
+            out.insert(d.b);
+        }
+        out
+    }
+}
+
+/// Analyze one loop of `program` under `config`.
+///
+/// `pts` must have been computed on the same program at `config.tier`.
+pub fn analyze_loop(
+    program: &Program,
+    lp: &NaturalLoop,
+    config: DepConfig,
+    pts: &PointsTo,
+) -> LoopDeps {
+    debug_assert_eq!(pts.tier(), config.tier);
+    let dom = Dominators::compute(&program.graph, program.graph.entry);
+    let counted = recognize_counted_loop(&program.graph, lp);
+    let affine_ctx = match (&counted, config.affine_aware) {
+        (Some(c), true) => Some(AffineCtx::new(&program.graph, lp, &dom, c.counter)),
+        _ => None,
+    };
+    let counter_step = counted.as_ref().map(|c| c.step);
+
+    // Collect access sites.
+    let mut accesses: Vec<AccessInfo> = Vec::new();
+    let mut hidden_state_dep = false;
+    for &b in &lp.blocks {
+        for (idx, inst) in program.graph.block(b).insts.iter().enumerate() {
+            let site = InstSite { block: b, index: idx };
+            match inst {
+                Inst::Load { addr, ty, .. } | Inst::Store { addr, ty, .. } => {
+                    let is_store = matches!(inst, Inst::Store { .. });
+                    let len = ty.size();
+                    let locs = pts.access_locs(program, site, addr, len);
+                    let lin = affine_ctx
+                        .as_ref()
+                        .and_then(|ctx| ctx.addr_form(addr, site));
+                    accesses.push(AccessInfo {
+                        site,
+                        is_store,
+                        len,
+                        ty: Some(*ty),
+                        locs,
+                        lin,
+                    });
+                }
+                Inst::Call { intrinsic, args, .. } => {
+                    if config.tier.lib_call_semantics() {
+                        match intrinsic {
+                            Intrinsic::Rand => hidden_state_dep = true,
+                            Intrinsic::Alloc | Intrinsic::Free => {
+                                // Modelled as a scalable per-core arena
+                                // allocator: no loop-carried dependence.
+                            }
+                            Intrinsic::PureHash | Intrinsic::SinApprox => {}
+                            Intrinsic::Memcpy => {
+                                // Reads [src..src+len), writes [dst..dst+len).
+                                for (arg_idx, is_store) in [(1usize, false), (0usize, true)] {
+                                    let locs =
+                                        intrinsic_ptr_locs(program, pts, site, args, arg_idx);
+                                    accesses.push(AccessInfo {
+                                        site,
+                                        is_store,
+                                        len: 8,
+                                        ty: None,
+                                        locs,
+                                        lin: None,
+                                    });
+                                }
+                            }
+                            Intrinsic::Memset => {
+                                let locs = intrinsic_ptr_locs(program, pts, site, args, 0);
+                                accesses.push(AccessInfo {
+                                    site,
+                                    is_store: true,
+                                    len: 8,
+                                    ty: None,
+                                    locs,
+                                    lin: None,
+                                });
+                            }
+                        }
+                    } else {
+                        // Unknown library call: a universal read-write
+                        // access plus a hidden-state dependence.
+                        hidden_state_dep = true;
+                        accesses.push(AccessInfo {
+                            site,
+                            is_store: true,
+                            len: 8,
+                            ty: None,
+                            locs: LocSet::top(8),
+                            lin: None,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Pairwise dependence tests.
+    let mut deps: BTreeSet<MemDep> = BTreeSet::new();
+    for i in 0..accesses.len() {
+        for j in i..accesses.len() {
+            let (x, y) = (&accesses[i], &accesses[j]);
+            if !x.is_store && !y.is_store {
+                continue;
+            }
+            if i == j && !x.is_store {
+                continue;
+            }
+            // Type filter (extension iii).
+            if config.tier.type_filter() {
+                if let (Some(ta), Some(tb)) = (x.ty, y.ty) {
+                    if !ta.compatible(tb) {
+                        continue;
+                    }
+                }
+            }
+            if !x.locs.may_overlap(&y.locs) {
+                continue;
+            }
+            // Affine refinement (HCCv2 induction analysis).
+            if let (Some(fa), Some(fb), Some(step)) = (&x.lin, &y.lin, counter_step) {
+                match relate(fa, fb, step) {
+                    Some(AffineRelation::SameIterationOnly) | Some(AffineRelation::NeverEqual) => {
+                        continue;
+                    }
+                    Some(AffineRelation::CarriedDistance(_))
+                    | Some(AffineRelation::EveryIteration)
+                    | None => {}
+                }
+            }
+            let kind = match (x.is_store, y.is_store) {
+                (true, true) => DepKind::Waw,
+                (true, false) | (false, true) => {
+                    // Direction across iterations is unknowable statically;
+                    // report both the flow and anti dependences as one RAW
+                    // pair (the synchronization requirement is identical).
+                    DepKind::Raw
+                }
+                (false, false) => unreachable!(),
+            };
+            deps.insert(MemDep::canonical(x.site, y.site, kind));
+        }
+    }
+
+    let carried_regs = loop_carried_regs(&program.graph, lp);
+
+    LoopDeps {
+        mem_deps: deps.into_iter().collect(),
+        carried_regs,
+        accesses,
+        hidden_state_dep,
+        counter_step,
+    }
+}
+
+fn intrinsic_ptr_locs(
+    program: &Program,
+    pts: &PointsTo,
+    site: InstSite,
+    args: &[helix_ir::Operand],
+    arg_idx: usize,
+) -> LocSet {
+    use helix_ir::{AddrExpr, Operand};
+    match args.get(arg_idx) {
+        Some(Operand::Reg(r)) => {
+            // Model the intrinsic's pointer argument as an indexed access
+            // through that register (field precision intentionally Any).
+            let addr = AddrExpr::ptr_indexed(*r, *r, 1, 0);
+            pts.access_locs(program, site, &addr, 8)
+        }
+        _ => LocSet::top(8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_ir::cfg::LoopForest;
+    use helix_ir::{AddrExpr, BinOp, Operand, ProgramBuilder, Program};
+
+    fn first_loop(p: &Program) -> NaturalLoop {
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        forest
+            .loops
+            .iter()
+            .min_by_key(|n| n.lp.header)
+            .expect("program has a loop")
+            .lp
+            .clone()
+    }
+
+    fn deps_at(p: &Program, config: DepConfig) -> LoopDeps {
+        let pts = PointsTo::analyze(p, config.tier);
+        analyze_loop(p, &first_loop(p), config, &pts)
+    }
+
+    /// a[i] = a[i] + 1: same-iteration only, no loop-carried dep with the
+    /// affine refinement; conservative dep without it.
+    #[test]
+    fn doall_loop_needs_affine_analysis() {
+        let mut b = ProgramBuilder::new("doall");
+        let r = b.region("a", 8192, Ty::I64);
+        b.counted_loop(0, 100, 1, |b, i| {
+            let x = b.reg();
+            b.load(x, AddrExpr::region_indexed(r, i, 8, 0), Ty::I64);
+            b.bin(x, BinOp::Add, x, 1i64);
+            b.store(x, AddrExpr::region_indexed(r, i, 8, 0), Ty::I64);
+        });
+        let p = b.finish();
+
+        let with = deps_at(&p, DepConfig::full());
+        assert!(with.mem_deps.is_empty(), "affine filter removes the dep");
+
+        let without = deps_at(
+            &p,
+            DepConfig {
+                tier: AliasTier::LibCalls,
+                affine_aware: false,
+            },
+        );
+        assert!(!without.mem_deps.is_empty(), "conservative without affine");
+    }
+
+    /// a[i+1] = a[i]: a genuine distance-1 loop-carried dependence that
+    /// must be reported at every configuration.
+    #[test]
+    fn distance_one_dep_always_reported() {
+        let mut b = ProgramBuilder::new("carried");
+        let r = b.region("a", 8192, Ty::I64);
+        b.counted_loop(0, 100, 1, |b, i| {
+            let x = b.reg();
+            b.load(x, AddrExpr::region_indexed(r, i, 8, 0), Ty::I64);
+            b.store(x, AddrExpr::region_indexed(r, i, 8, 8), Ty::I64);
+        });
+        let p = b.finish();
+        for tier in AliasTier::ALL {
+            for affine in [false, true] {
+                let d = deps_at(
+                    &p,
+                    DepConfig {
+                        tier,
+                        affine_aware: affine,
+                    },
+                );
+                assert!(
+                    !d.mem_deps.is_empty(),
+                    "tier {tier} affine {affine} must report the dep"
+                );
+            }
+        }
+    }
+
+    /// Accumulating into a fixed memory cell: loop-carried at every tier
+    /// (EveryIteration affine relation).
+    #[test]
+    fn memory_accumulator_is_carried() {
+        let mut b = ProgramBuilder::new("memacc");
+        let r = b.region("acc", 64, Ty::I64);
+        b.counted_loop(0, 100, 1, |b, i| {
+            let x = b.reg();
+            b.load(x, AddrExpr::region(r, 0), Ty::I64);
+            b.bin(x, BinOp::Add, x, i);
+            b.store(x, AddrExpr::region(r, 0), Ty::I64);
+        });
+        let p = b.finish();
+        let d = deps_at(&p, DepConfig::full());
+        assert!(!d.mem_deps.is_empty());
+        assert_eq!(d.shared_sites().len(), 2);
+    }
+
+    /// Two disjoint arrays: the weak tier keeps them apart already
+    /// (different regions), so no false dep.
+    #[test]
+    fn disjoint_regions_no_dep() {
+        let mut b = ProgramBuilder::new("disjoint");
+        let ra = b.region("a", 8192, Ty::I64);
+        let rb = b.region("b", 8192, Ty::I64);
+        b.counted_loop(0, 100, 1, |b, i| {
+            let x = b.reg();
+            b.load(x, AddrExpr::region_indexed(ra, i, 8, 0), Ty::I64);
+            b.store(x, AddrExpr::region_indexed(rb, i, 8, 8), Ty::I64);
+        });
+        let p = b.finish();
+        let d = deps_at(&p, DepConfig::full());
+        assert!(d.mem_deps.is_empty());
+    }
+
+    /// Incompatible types: the data-type tier removes the false pair.
+    ///
+    /// The store's address is affine (`a[i]`), so its self-WAW is removed
+    /// by the induction refinement; the hash-indexed f64 load cannot be
+    /// disambiguated from the i32 store by address reasoning, only by the
+    /// type filter.
+    #[test]
+    fn type_filter_removes_false_dep() {
+        let mut b = ProgramBuilder::new("types");
+        let r = b.region("mixed", 16384, Ty::I64);
+        let perm = b.region("perm", 8192, Ty::I64);
+        b.counted_loop(0, 100, 1, |b, i| {
+            let [h, f] = b.regs();
+            // Non-affine index loaded from a permutation table.
+            b.load(h, AddrExpr::region_indexed(perm, i, 8, 0), Ty::I64);
+            b.bin(h, BinOp::And, h, 511i64);
+            b.load(f, AddrExpr::region_indexed(r, h, 16, 8), Ty::F64);
+            let x = b.reg();
+            b.un(x, helix_ir::UnOp::FToInt, f);
+            b.store(x, AddrExpr::region_indexed(r, i, 16, 0), Ty::I32);
+        });
+        let p = b.finish();
+        // Path tier (affine on, no type filter): i32/f64 pair reported.
+        let weak = deps_at(
+            &p,
+            DepConfig {
+                tier: AliasTier::PathBased,
+                affine_aware: true,
+            },
+        );
+        assert!(!weak.mem_deps.is_empty());
+        // Type filter: i32 access cannot alias f64 access.
+        let typed = deps_at(
+            &p,
+            DepConfig {
+                tier: AliasTier::DataType,
+                affine_aware: true,
+            },
+        );
+        assert!(typed.mem_deps.is_empty());
+    }
+
+    /// A pure library call: clobbers everything below the lib-calls tier,
+    /// free above it.
+    #[test]
+    fn lib_call_tier_removes_clobber() {
+        let mut b = ProgramBuilder::new("libcall");
+        let r = b.region("a", 8192, Ty::I64);
+        b.counted_loop(0, 100, 1, |b, i| {
+            let x = b.reg();
+            b.load(x, AddrExpr::region_indexed(r, i, 8, 0), Ty::I64);
+            let h = b.reg();
+            b.call(Some(h), Intrinsic::PureHash, vec![Operand::Reg(x)]);
+            b.store(h, AddrExpr::region_indexed(r, i, 8, 0), Ty::I64);
+        });
+        let p = b.finish();
+        let weak = deps_at(
+            &p,
+            DepConfig {
+                tier: AliasTier::DataType,
+                affine_aware: true,
+            },
+        );
+        assert!(
+            !weak.mem_deps.is_empty(),
+            "call clobber creates dependences below lib-call tier"
+        );
+        assert!(weak.hidden_state_dep);
+
+        let full = deps_at(&p, DepConfig::full());
+        assert!(full.mem_deps.is_empty(), "pure call is free at full tier");
+        assert!(!full.hidden_state_dep);
+    }
+
+    /// `rand()` carries hidden state at every tier.
+    #[test]
+    fn rand_is_hidden_state_dep() {
+        let mut b = ProgramBuilder::new("rand");
+        b.counted_loop(0, 100, 1, |b, _i| {
+            let x = b.reg();
+            b.call(Some(x), Intrinsic::Rand, vec![]);
+        });
+        let p = b.finish();
+        let full = deps_at(&p, DepConfig::full());
+        assert!(full.hidden_state_dep);
+    }
+
+    #[test]
+    fn carried_registers_reported() {
+        let mut b = ProgramBuilder::new("regs");
+        let acc = b.reg();
+        b.const_i(acc, 0);
+        b.counted_loop(0, 100, 1, |b, i| {
+            b.bin(acc, BinOp::Add, acc, i);
+        });
+        let p = b.finish();
+        let d = deps_at(&p, DepConfig::full());
+        assert!(d.carried_regs.contains(&acc));
+        // counter + acc + loop condition reg is not carried (set each
+        // iteration before use).
+        assert_eq!(d.carried_regs.len(), 2);
+    }
+}

@@ -1,0 +1,60 @@
+//! # helix-analysis
+//!
+//! The compiler analyses of the HELIX-RC reproduction (paper §2.2):
+//!
+//! * [`pts`] — points-to analysis with the five-tier precision ladder of
+//!   Fig. 2 (VLLPA baseline, +flow-sensitive, +path-based, +data-type,
+//!   +library-call semantics);
+//! * [`deps`] — loop-carried dependence analysis (memory + registers),
+//!   with the affine induction refinement added in HCCv2;
+//! * [`predictable`] — the predictable-variable classification that lets
+//!   cores re-compute shared scalars instead of communicating them
+//!   (Fig. 3);
+//! * [`ground_truth`] — dynamic dependence profiling, the ground truth
+//!   the accuracy experiment measures against;
+//! * [`accuracy`] — the Fig. 2 accuracy sweep itself;
+//! * [`liveness`], [`affine`] — supporting dataflow analyses.
+//!
+//! # Examples
+//!
+//! ```
+//! use helix_analysis::{analyze_loop, DepConfig, PointsTo};
+//! use helix_ir::cfg::LoopForest;
+//! use helix_ir::{AddrExpr, BinOp, ProgramBuilder, Ty};
+//!
+//! let mut b = ProgramBuilder::new("example");
+//! let cell = b.region("cell", 64, Ty::I64);
+//! b.counted_loop(0, 100, 1, |b, i| {
+//!     let x = b.reg();
+//!     b.load(x, AddrExpr::region(cell, 0), Ty::I64);
+//!     b.bin(x, BinOp::Add, x, i);
+//!     b.store(x, AddrExpr::region(cell, 0), Ty::I64);
+//! });
+//! let program = b.finish();
+//!
+//! let forest = LoopForest::compute(&program.graph, program.graph.entry);
+//! let config = DepConfig::full();
+//! let pts = PointsTo::analyze(&program, config.tier);
+//! let deps = analyze_loop(&program, &forest.loops[0].lp, config, &pts);
+//! assert!(!deps.mem_deps.is_empty()); // the accumulator cell is shared
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod affine;
+pub mod deps;
+pub mod ground_truth;
+pub mod liveness;
+pub mod predictable;
+pub mod pts;
+pub mod tier;
+
+pub use accuracy::{compare, tier_sweep, LoopAccuracy, TierSweep};
+pub use deps::{analyze_loop, AccessInfo, DepConfig, DepKind, LoopDeps, MemDep};
+pub use ground_truth::{observe_loop_deps, DynamicLoopDeps};
+pub use predictable::{
+    classify_registers, communication_demand, CommunicationDemand, PredictableKind, RegClass,
+};
+pub use pts::{AbsLoc, FieldKey, LocSet, ObjKey, PointsTo, PtSet};
+pub use tier::AliasTier;

@@ -1,0 +1,241 @@
+//! Register liveness, whole-graph and loop-local.
+//!
+//! Loop-local liveness (propagating only along edges inside the loop,
+//! including the back edge) identifies registers that are *live into the
+//! next iteration* — the loop-carried register dependences. Whole-graph
+//! liveness identifies values consumed after the loop (live-out), which
+//! the predictable-variable analysis classifies separately (paper §2.2,
+//! categories iii/iv).
+
+use helix_ir::cfg::NaturalLoop;
+use helix_ir::{Graph, Reg};
+use std::collections::BTreeSet;
+
+/// Per-block live-in/live-out register sets.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Live registers at block entry.
+    pub live_in: Vec<BTreeSet<Reg>>,
+    /// Live registers at block exit.
+    pub live_out: Vec<BTreeSet<Reg>>,
+}
+
+/// Per-block defs and upward-exposed uses.
+fn local_sets(graph: &Graph) -> (Vec<BTreeSet<Reg>>, Vec<BTreeSet<Reg>>) {
+    let n = graph.len();
+    let mut defs = vec![BTreeSet::new(); n];
+    let mut ueuses = vec![BTreeSet::new(); n];
+    for (id, block) in graph.iter() {
+        let i = id.index();
+        for inst in &block.insts {
+            for u in inst.uses() {
+                if !defs[i].contains(&u) {
+                    ueuses[i].insert(u);
+                }
+            }
+            if let Some(d) = inst.def() {
+                defs[i].insert(d);
+            }
+        }
+        if let Some(u) = block.term.uses() {
+            if !defs[i].contains(&u) {
+                ueuses[i].insert(u);
+            }
+        }
+    }
+    (defs, ueuses)
+}
+
+impl Liveness {
+    /// Whole-graph backward liveness.
+    pub fn compute(graph: &Graph) -> Liveness {
+        Self::compute_filtered(graph, |_, _| true)
+    }
+
+    /// Liveness restricted to edges satisfying `edge_ok(from, to)`.
+    fn compute_filtered(
+        graph: &Graph,
+        edge_ok: impl Fn(helix_ir::BlockId, helix_ir::BlockId) -> bool,
+    ) -> Liveness {
+        let n = graph.len();
+        let (defs, ueuses) = local_sets(graph);
+        let mut live_in = vec![BTreeSet::new(); n];
+        let mut live_out = vec![BTreeSet::new(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (id, block) in graph.iter() {
+                let i = id.index();
+                let mut out = BTreeSet::new();
+                for succ in block.term.successors() {
+                    if edge_ok(id, succ) {
+                        out.extend(live_in[succ.index()].iter().copied());
+                    }
+                }
+                let mut inp = ueuses[i].clone();
+                for r in &out {
+                    if !defs[i].contains(r) {
+                        inp.insert(*r);
+                    }
+                }
+                if out != live_out[i] || inp != live_in[i] {
+                    live_out[i] = out;
+                    live_in[i] = inp;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Liveness propagated only within a loop (back edge included, exit
+    /// edges excluded). `live_in[header]` is then exactly the set of
+    /// registers whose value flows from one iteration into the next.
+    pub fn loop_local(graph: &Graph, lp: &NaturalLoop) -> Liveness {
+        Self::compute_filtered(graph, |from, to| lp.contains(from) && lp.contains(to))
+    }
+}
+
+/// Registers defined anywhere inside the loop.
+pub fn defined_in_loop(graph: &Graph, lp: &NaturalLoop) -> BTreeSet<Reg> {
+    let mut out = BTreeSet::new();
+    for &b in &lp.blocks {
+        for inst in &graph.block(b).insts {
+            if let Some(d) = inst.def() {
+                out.insert(d);
+            }
+        }
+    }
+    out
+}
+
+/// Registers defined in the loop whose values may be consumed after the
+/// loop exits (live on some exit edge).
+pub fn live_out_of_loop(graph: &Graph, lp: &NaturalLoop) -> BTreeSet<Reg> {
+    let whole = Liveness::compute(graph);
+    let defined = defined_in_loop(graph, lp);
+    let mut out = BTreeSet::new();
+    for &exit in &lp.exits {
+        for r in &whole.live_in[exit.index()] {
+            if defined.contains(r) {
+                out.insert(*r);
+            }
+        }
+    }
+    out
+}
+
+/// Loop-carried registers: live into the next iteration *and* defined in
+/// the loop.
+pub fn loop_carried_regs(graph: &Graph, lp: &NaturalLoop) -> BTreeSet<Reg> {
+    let local = Liveness::loop_local(graph, lp);
+    let defined = defined_in_loop(graph, lp);
+    local.live_in[lp.header.index()]
+        .iter()
+        .copied()
+        .filter(|r| defined.contains(r))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_ir::cfg::LoopForest;
+    use helix_ir::{AddrExpr, BinOp, ProgramBuilder, Program, Ty};
+
+    fn one_loop(p: &Program) -> NaturalLoop {
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        assert_eq!(forest.loops.len(), 1);
+        forest.loops[0].lp.clone()
+    }
+
+    #[test]
+    fn accumulator_is_loop_carried() {
+        let mut b = ProgramBuilder::new("acc");
+        let acc = b.reg();
+        b.const_i(acc, 0);
+        b.counted_loop(0, 10, 1, |b, i| {
+            b.bin(acc, BinOp::Add, acc, i);
+        });
+        let p = b.finish();
+        let lp = one_loop(&p);
+        let carried = loop_carried_regs(&p.graph, &lp);
+        assert!(carried.contains(&acc));
+    }
+
+    #[test]
+    fn counter_is_loop_carried() {
+        let mut b = ProgramBuilder::new("cnt");
+        let mut counter = None;
+        b.counted_loop(0, 10, 1, |_b, i| {
+            counter = Some(i);
+        });
+        let p = b.finish();
+        let lp = one_loop(&p);
+        let carried = loop_carried_regs(&p.graph, &lp);
+        assert!(carried.contains(&counter.unwrap()));
+    }
+
+    #[test]
+    fn freshly_set_register_is_not_carried() {
+        let mut b = ProgramBuilder::new("fresh");
+        let tmp = b.reg();
+        b.const_i(tmp, 0);
+        b.counted_loop(0, 10, 1, |b, i| {
+            // tmp is set before use every iteration.
+            b.copy(tmp, i);
+            b.bin(tmp, BinOp::Add, tmp, 1i64);
+        });
+        let p = b.finish();
+        let lp = one_loop(&p);
+        let carried = loop_carried_regs(&p.graph, &lp);
+        assert!(!carried.contains(&tmp));
+    }
+
+    #[test]
+    fn live_out_detected() {
+        let mut b = ProgramBuilder::new("lo");
+        let r = b.region("out", 64, Ty::I64);
+        let tmp = b.reg();
+        b.const_i(tmp, 0);
+        b.counted_loop(0, 10, 1, |b, i| {
+            b.copy(tmp, i); // set every iteration, used after loop
+        });
+        b.store(tmp, AddrExpr::region(r, 0), Ty::I64);
+        let p = b.finish();
+        let lp = one_loop(&p);
+        assert!(live_out_of_loop(&p.graph, &lp).contains(&tmp));
+        // ... but not loop-carried.
+        assert!(!loop_carried_regs(&p.graph, &lp).contains(&tmp));
+    }
+
+    #[test]
+    fn dead_temp_is_neither() {
+        let mut b = ProgramBuilder::new("dead");
+        let tmp = b.reg();
+        b.const_i(tmp, 0);
+        b.counted_loop(0, 10, 1, |b, i| {
+            b.copy(tmp, i);
+        });
+        let p = b.finish();
+        let lp = one_loop(&p);
+        assert!(!loop_carried_regs(&p.graph, &lp).contains(&tmp));
+        assert!(live_out_of_loop(&p.graph, &lp).is_empty());
+    }
+
+    #[test]
+    fn conditional_use_before_def_is_carried() {
+        let mut b = ProgramBuilder::new("cond");
+        let [x, c] = b.regs();
+        b.const_i(x, 0);
+        b.counted_loop(0, 10, 1, |b, i| {
+            b.bin(c, BinOp::And, i, 1i64);
+            b.if_then(c, |b| {
+                b.bin(x, BinOp::Add, x, 1i64); // reads previous iteration's x
+            });
+        });
+        let p = b.finish();
+        let lp = one_loop(&p);
+        assert!(loop_carried_regs(&p.graph, &lp).contains(&x));
+    }
+}

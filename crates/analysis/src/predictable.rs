@@ -1,0 +1,459 @@
+//! Predictable-variable analysis (paper §2.2, Fig. 3).
+//!
+//! HELIX-RC avoids communicating most register-carried values by letting
+//! every core *re-compute* them locally. A loop-carried or live-out
+//! register is predictable when it falls into one of the paper's four
+//! categories:
+//!
+//! 1. induction variables whose update is a polynomial of degree ≤ 2;
+//! 2. accumulative / maximum / minimum variables (reductions);
+//! 3. variables set in the loop but not used until after it;
+//! 4. variables set in every iteration before any use.
+//!
+//! Anything else must be communicated between cores and is demoted to a
+//! shared memory location by the compiler.
+
+use crate::liveness::{live_out_of_loop, loop_carried_regs, Liveness};
+use helix_ir::cfg::{Dominators, NaturalLoop};
+use helix_ir::{BinOp, Graph, Inst, InstSite, Operand, Reg};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Why a register's value can be re-computed locally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictableKind {
+    /// First-order induction: `r += c` every iteration (category i).
+    InductionAffine {
+        /// Per-iteration increment.
+        step: i64,
+    },
+    /// Second-order induction: `r += s` where `s` is itself affine
+    /// (category i, degree 2).
+    InductionPoly2,
+    /// Reduction through an associative, commutative operation
+    /// (category ii).
+    Reduction {
+        /// The combining operation.
+        op: BinOp,
+    },
+    /// Set in the loop, never read in the loop (category iii).
+    NotUsedInLoop,
+    /// Set before any use in every iteration that uses it (category iv).
+    SetBeforeUse,
+}
+
+/// Classification of one register with respect to a loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegClass {
+    /// The register.
+    pub reg: Reg,
+    /// Value flows from one iteration to the next.
+    pub carried: bool,
+    /// Value is consumed after the loop.
+    pub live_out: bool,
+    /// How it can be re-computed, or `None` if it must be communicated.
+    pub predictable: Option<PredictableKind>,
+}
+
+impl RegClass {
+    /// Whether the register requires core-to-core communication.
+    pub fn must_communicate(&self) -> bool {
+        self.predictable.is_none()
+    }
+}
+
+/// Operations accepted as reductions.
+fn is_reduction_op(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Add
+            | BinOp::FAdd
+            | BinOp::Mul
+            | BinOp::FMul
+            | BinOp::MinI
+            | BinOp::MaxI
+            | BinOp::FMin
+            | BinOp::FMax
+            | BinOp::And
+            | BinOp::Or
+            | BinOp::Xor
+    )
+}
+
+/// Classify every loop-carried or live-out register of `lp`.
+pub fn classify_registers(graph: &Graph, lp: &NaturalLoop) -> Vec<RegClass> {
+    let dom = Dominators::compute(graph, graph.entry);
+    let carried = loop_carried_regs(graph, lp);
+    let live_out = live_out_of_loop(graph, lp);
+    let loop_local = Liveness::loop_local(graph, lp);
+
+    // Gather per-register in-loop defs and uses.
+    let mut defs: BTreeMap<Reg, Vec<(InstSite, Inst)>> = BTreeMap::new();
+    let mut uses: BTreeMap<Reg, Vec<InstSite>> = BTreeMap::new();
+    for &b in &lp.blocks {
+        for (idx, inst) in graph.block(b).insts.iter().enumerate() {
+            let site = InstSite { block: b, index: idx };
+            for u in inst.uses() {
+                uses.entry(u).or_default().push(site);
+            }
+            if let Some(d) = inst.def() {
+                defs.entry(d).or_default().push((site, inst.clone()));
+            }
+        }
+        if let Some(u) = graph.block(b).term.uses() {
+            uses.entry(u).or_default().push(InstSite {
+                block: b,
+                index: graph.block(b).insts.len(),
+            });
+        }
+    }
+
+    let affine_step = |r: Reg| -> Option<i64> {
+        let ds = defs.get(&r)?;
+        if ds.len() != 1 {
+            return None;
+        }
+        let (site, inst) = &ds[0];
+        // Must execute every iteration: its block dominates every latch.
+        if !lp.latches.iter().all(|&l| dom.dominates(site.block, l)) {
+            return None;
+        }
+        match inst {
+            Inst::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Reg(a),
+                rhs: Operand::Imm(v),
+                dst,
+            } if *a == *dst && *a == r => Some(v.as_int()),
+            Inst::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Imm(v),
+                rhs: Operand::Reg(a),
+                dst,
+            } if *a == *dst && *a == r => Some(v.as_int()),
+            Inst::Bin {
+                op: BinOp::Sub,
+                lhs: Operand::Reg(a),
+                rhs: Operand::Imm(v),
+                dst,
+            } if *a == *dst && *a == r => Some(-v.as_int()),
+            _ => None,
+        }
+    };
+
+    let mut out = Vec::new();
+    let all: BTreeSet<Reg> = carried.union(&live_out).copied().collect();
+    for r in all {
+        let is_carried = carried.contains(&r);
+        let is_live_out = live_out.contains(&r);
+
+        let predictable = if !is_carried {
+            // No cross-iteration flow inside the loop: categories iii/iv.
+            let used_in_loop = uses.get(&r).map(|u| !u.is_empty()).unwrap_or(false);
+            Some(if used_in_loop {
+                PredictableKind::SetBeforeUse
+            } else {
+                PredictableKind::NotUsedInLoop
+            })
+        } else if let Some(step) = affine_step(r) {
+            Some(PredictableKind::InductionAffine { step })
+        } else if let Some(kind) = poly2_or_reduction(r, &defs, &uses, lp, &dom, &affine_step) {
+            Some(kind)
+        } else {
+            None
+        };
+
+        let _ = &loop_local;
+        out.push(RegClass {
+            reg: r,
+            carried: is_carried,
+            live_out: is_live_out,
+            predictable,
+        });
+    }
+    out
+}
+
+fn poly2_or_reduction(
+    r: Reg,
+    defs: &BTreeMap<Reg, Vec<(InstSite, Inst)>>,
+    uses: &BTreeMap<Reg, Vec<InstSite>>,
+    lp: &NaturalLoop,
+    dom: &Dominators,
+    affine_step: &dyn Fn(Reg) -> Option<i64>,
+) -> Option<PredictableKind> {
+    let ds = defs.get(&r)?;
+    if ds.len() != 1 {
+        return None;
+    }
+    let (site, inst) = &ds[0];
+    let (op, other) = match inst {
+        Inst::Bin { op, lhs, rhs, dst } if *dst == r => {
+            if *lhs == Operand::Reg(r) {
+                (*op, *rhs)
+            } else if *rhs == Operand::Reg(r) {
+                (*op, *lhs)
+            } else {
+                return None;
+            }
+        }
+        _ => return None,
+    };
+    // The only in-loop use of r must be the update itself.
+    let use_sites = uses.get(&r).cloned().unwrap_or_default();
+    let only_self_use = use_sites.iter().all(|s| s == site);
+
+    // Second-order induction: r += s, s affine, executed every iteration.
+    if op == BinOp::Add {
+        if let Operand::Reg(s) = other {
+            if affine_step(s).is_some()
+                && lp.latches.iter().all(|&l| dom.dominates(site.block, l))
+                && only_self_use
+            {
+                return Some(PredictableKind::InductionPoly2);
+            }
+        }
+    }
+    // Reduction: associative/commutative op, r used nowhere else in the
+    // loop, and the other operand independent of r.
+    if is_reduction_op(op) && only_self_use {
+        let other_indep = match other {
+            Operand::Imm(_) => true,
+            Operand::Reg(o) => o != r,
+        };
+        if other_indep {
+            return Some(PredictableKind::Reduction { op });
+        }
+    }
+    None
+}
+
+/// Summary of communication demand before/after exploiting predictability
+/// (the Fig. 3 experiment, per loop).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommunicationDemand {
+    /// Registers a naive scheme would forward every iteration.
+    pub naive_regs: usize,
+    /// Registers still requiring communication after re-computation.
+    pub remaining_regs: usize,
+    /// Memory locations (shared access sites) requiring communication.
+    pub memory_sites: usize,
+}
+
+impl CommunicationDemand {
+    /// Fraction of the naive register traffic that re-computation removes.
+    pub fn register_reduction(&self) -> f64 {
+        if self.naive_regs == 0 {
+            return 0.0;
+        }
+        1.0 - (self.remaining_regs as f64 / self.naive_regs as f64)
+    }
+}
+
+/// Compute the Fig. 3 communication demand for a loop.
+pub fn communication_demand(
+    classes: &[RegClass],
+    shared_memory_sites: usize,
+) -> CommunicationDemand {
+    CommunicationDemand {
+        naive_regs: classes.len(),
+        remaining_regs: classes.iter().filter(|c| c.must_communicate()).count(),
+        memory_sites: shared_memory_sites,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_ir::cfg::LoopForest;
+    use helix_ir::{AddrExpr, ProgramBuilder, Program, Ty};
+
+    fn classify(p: &Program) -> Vec<RegClass> {
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        let lp = forest
+            .loops
+            .iter()
+            .min_by_key(|n| n.lp.header)
+            .unwrap()
+            .lp
+            .clone();
+        classify_registers(&p.graph, &lp)
+    }
+
+    fn class_of(classes: &[RegClass], r: Reg) -> &RegClass {
+        classes.iter().find(|c| c.reg == r).expect("classified")
+    }
+
+    #[test]
+    fn loop_counter_is_affine_induction() {
+        let mut b = ProgramBuilder::new("t");
+        let out = b.region("o", 64, Ty::I64);
+        let mut counter = None;
+        b.counted_loop(0, 10, 2, |b, i| {
+            counter = Some(i);
+            b.store(i, AddrExpr::region(out, 0), Ty::I64);
+        });
+        let p = b.finish();
+        let classes = classify(&p);
+        let c = class_of(&classes, counter.unwrap());
+        assert_eq!(
+            c.predictable,
+            Some(PredictableKind::InductionAffine { step: 2 })
+        );
+    }
+
+    #[test]
+    fn sum_is_reduction() {
+        let mut b = ProgramBuilder::new("t");
+        let out = b.region("o", 64, Ty::I64);
+        let acc = b.reg();
+        b.const_i(acc, 0);
+        b.counted_loop(0, 10, 1, |b, i| {
+            let x = b.reg();
+            b.bin(x, BinOp::Mul, i, i);
+            b.bin(acc, BinOp::Add, acc, x);
+        });
+        b.store(acc, AddrExpr::region(out, 0), Ty::I64);
+        let p = b.finish();
+        let classes = classify(&p);
+        let c = class_of(&classes, acc);
+        assert!(c.carried && c.live_out);
+        assert_eq!(c.predictable, Some(PredictableKind::Reduction { op: BinOp::Add }));
+    }
+
+    #[test]
+    fn max_is_reduction() {
+        let mut b = ProgramBuilder::new("t");
+        let out = b.region("o", 64, Ty::I64);
+        let m = b.reg();
+        b.const_i(m, i64::MIN);
+        b.counted_loop(0, 10, 1, |b, i| {
+            b.bin(m, BinOp::MaxI, m, i);
+        });
+        b.store(m, AddrExpr::region(out, 0), Ty::I64);
+        let p = b.finish();
+        let c = classify(&p);
+        assert_eq!(
+            class_of(&c, m).predictable,
+            Some(PredictableKind::Reduction { op: BinOp::MaxI })
+        );
+    }
+
+    #[test]
+    fn second_order_induction_recognized() {
+        let mut b = ProgramBuilder::new("t");
+        let out = b.region("o", 64, Ty::I64);
+        let [tri, step] = b.regs();
+        b.const_i(tri, 0);
+        b.const_i(step, 0);
+        b.counted_loop(0, 10, 1, |b, _i| {
+            b.bin(tri, BinOp::Add, tri, step); // tri += step (step affine)
+            b.bin(step, BinOp::Add, step, 1i64); // step += 1
+        });
+        b.store(tri, AddrExpr::region(out, 0), Ty::I64);
+        let p = b.finish();
+        let classes = classify(&p);
+        assert_eq!(
+            class_of(&classes, step).predictable,
+            Some(PredictableKind::InductionAffine { step: 1 })
+        );
+        assert_eq!(
+            class_of(&classes, tri).predictable,
+            Some(PredictableKind::InductionPoly2)
+        );
+    }
+
+    #[test]
+    fn conditionally_updated_state_not_predictable() {
+        let mut b = ProgramBuilder::new("t");
+        let out = b.region("o", 64, Ty::I64);
+        let state = b.reg();
+        b.const_i(state, 1);
+        b.counted_loop(0, 10, 1, |b, i| {
+            let c = b.reg();
+            b.bin(c, BinOp::And, i, 1i64);
+            b.if_then(c, |b| {
+                // state = state * 3 + 1 under a data-dependent condition:
+                // genuinely unpredictable.
+                b.bin(state, BinOp::Mul, state, 3i64);
+                b.bin(state, BinOp::Add, state, 1i64);
+            });
+        });
+        b.store(state, AddrExpr::region(out, 0), Ty::I64);
+        let p = b.finish();
+        let classes = classify(&p);
+        let c = class_of(&classes, state);
+        assert!(c.carried);
+        assert!(c.must_communicate());
+    }
+
+    #[test]
+    fn live_out_only_var_is_category_three() {
+        let mut b = ProgramBuilder::new("t");
+        let out = b.region("o", 64, Ty::I64);
+        let last = b.reg();
+        b.const_i(last, 0);
+        b.counted_loop(0, 10, 1, |b, i| {
+            let c = b.reg();
+            b.bin(c, BinOp::And, i, 1i64);
+            b.if_then(c, |b| {
+                b.copy(last, i); // set, never read in loop
+            });
+        });
+        b.store(last, AddrExpr::region(out, 0), Ty::I64);
+        let p = b.finish();
+        let classes = classify(&p);
+        let c = class_of(&classes, last);
+        assert!(!c.carried && c.live_out);
+        assert_eq!(c.predictable, Some(PredictableKind::NotUsedInLoop));
+    }
+
+    #[test]
+    fn set_every_iteration_is_category_four() {
+        let mut b = ProgramBuilder::new("t");
+        let out = b.region("o", 64, Ty::I64);
+        let cur = b.reg();
+        b.const_i(cur, 0);
+        b.counted_loop(0, 10, 1, |b, i| {
+            let h = b.reg();
+            b.bin(h, BinOp::Mul, i, 7i64);
+            b.copy(cur, h); // set every iteration...
+            b.bin(h, BinOp::Add, cur, 1i64); // ...then used
+        });
+        b.store(cur, AddrExpr::region(out, 0), Ty::I64);
+        let p = b.finish();
+        let classes = classify(&p);
+        let c = class_of(&classes, cur);
+        assert!(!c.carried && c.live_out);
+        assert_eq!(c.predictable, Some(PredictableKind::SetBeforeUse));
+    }
+
+    #[test]
+    fn communication_demand_reduction() {
+        let classes = vec![
+            RegClass {
+                reg: Reg(0),
+                carried: true,
+                live_out: false,
+                predictable: Some(PredictableKind::InductionAffine { step: 1 }),
+            },
+            RegClass {
+                reg: Reg(1),
+                carried: true,
+                live_out: true,
+                predictable: None,
+            },
+            RegClass {
+                reg: Reg(2),
+                carried: true,
+                live_out: false,
+                predictable: Some(PredictableKind::Reduction { op: BinOp::Add }),
+            },
+        ];
+        let d = communication_demand(&classes, 4);
+        assert_eq!(d.naive_regs, 3);
+        assert_eq!(d.remaining_regs, 1);
+        assert_eq!(d.memory_sites, 4);
+        assert!((d.register_reduction() - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,192 @@
+//! Soundness property: for random loop programs, every dynamically
+//! observed loop-carried dependence must be reported by the static
+//! analysis, at every tier and with or without the affine refinement.
+//!
+//! The generator respects the workspace's pointer discipline (pointers
+//! originate from regions and `Alloc`, never forged from integers), which
+//! is the assumption under which the analysis is sound.
+
+use helix_analysis::{analyze_loop, compare, observe_loop_deps, AliasTier, DepConfig, PointsTo};
+use helix_ir::cfg::LoopForest;
+use helix_ir::interp::Env;
+use helix_ir::{AddrExpr, BinOp, Intrinsic, Operand, ProgramBuilder, Program, Ty};
+use proptest::prelude::*;
+
+/// One loop-body action in the generated program.
+#[derive(Debug, Clone)]
+enum Action {
+    /// `scratch = a[f(i)]` — load with affine or table-driven index.
+    LoadArr { arr: u8, affine: bool, scale: i64, off: i64 },
+    /// `a[f(i)] = scratch` — store with affine or table-driven index.
+    StoreArr { arr: u8, affine: bool, scale: i64, off: i64 },
+    /// `scratch = op(scratch, i)` — pure ALU work.
+    Alu(u8),
+    /// `scratch = pure_hash(scratch)` — a library call.
+    Hash,
+    /// accumulate into a fixed memory cell.
+    AccumCell { arr: u8, off: i64 },
+    /// conditional store under a data-dependent predicate.
+    CondStore { arr: u8, off: i64 },
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0..3u8, any::<bool>(), 1..3i64, 0..4i64)
+            .prop_map(|(arr, affine, scale, off)| Action::LoadArr { arr, affine, scale, off: off * 8 }),
+        (0..3u8, any::<bool>(), 1..3i64, 0..4i64)
+            .prop_map(|(arr, affine, scale, off)| Action::StoreArr { arr, affine, scale, off: off * 8 }),
+        (0..4u8).prop_map(Action::Alu),
+        Just(Action::Hash),
+        (0..3u8, 0..4i64).prop_map(|(arr, off)| Action::AccumCell { arr, off: off * 8 }),
+        (0..3u8, 0..4i64).prop_map(|(arr, off)| Action::CondStore { arr, off: off * 8 }),
+    ]
+}
+
+const TRIP: i64 = 40;
+const ARR_SLOTS: i64 = 512;
+
+fn build(actions: &[Action]) -> Program {
+    let mut b = ProgramBuilder::new("prop");
+    let arrs = [
+        b.region("arr0", (ARR_SLOTS * 8) as u64, Ty::I64),
+        b.region("arr1", (ARR_SLOTS * 8) as u64, Ty::I64),
+        b.region("arr2", (ARR_SLOTS * 8) as u64, Ty::I64),
+    ];
+    let table = b.region("table", (TRIP * 8) as u64, Ty::I64);
+    // Setup: fill the index table with a deterministic scramble.
+    b.counted_loop(0, TRIP, 1, |b, i| {
+        let h = b.reg();
+        b.call(Some(h), Intrinsic::PureHash, vec![Operand::Reg(i)]);
+        b.bin(h, BinOp::And, h, ARR_SLOTS / 2 - 1);
+        b.store(h, AddrExpr::region_indexed(table, i, 8, 0), Ty::I64);
+    });
+    // The analyzed loop.
+    let scratch = b.reg();
+    b.const_i(scratch, 1);
+    b.counted_loop(0, TRIP, 1, |b, i| {
+        let idx = b.reg();
+        for a in actions {
+            match a {
+                Action::LoadArr { arr, affine, scale, off } => {
+                    if *affine {
+                        b.load(
+                            scratch,
+                            AddrExpr::region_indexed(arrs[*arr as usize % 3], i, scale * 8, *off),
+                            Ty::I64,
+                        );
+                    } else {
+                        b.load(idx, AddrExpr::region_indexed(table, i, 8, 0), Ty::I64);
+                        b.load(
+                            scratch,
+                            AddrExpr::region_indexed(arrs[*arr as usize % 3], idx, 8, *off),
+                            Ty::I64,
+                        );
+                    }
+                }
+                Action::StoreArr { arr, affine, scale, off } => {
+                    if *affine {
+                        b.store(
+                            scratch,
+                            AddrExpr::region_indexed(arrs[*arr as usize % 3], i, scale * 8, *off),
+                            Ty::I64,
+                        );
+                    } else {
+                        b.load(idx, AddrExpr::region_indexed(table, i, 8, 0), Ty::I64);
+                        b.store(
+                            scratch,
+                            AddrExpr::region_indexed(arrs[*arr as usize % 3], idx, 8, *off),
+                            Ty::I64,
+                        );
+                    }
+                }
+                Action::Alu(k) => {
+                    let op = match k % 4 {
+                        0 => BinOp::Add,
+                        1 => BinOp::Xor,
+                        2 => BinOp::Mul,
+                        _ => BinOp::Sub,
+                    };
+                    b.bin(scratch, op, scratch, i);
+                }
+                Action::Hash => {
+                    b.call(Some(scratch), Intrinsic::PureHash, vec![Operand::Reg(scratch)]);
+                }
+                Action::AccumCell { arr, off } => {
+                    let c = b.reg();
+                    b.load(c, AddrExpr::region(arrs[*arr as usize % 3], *off), Ty::I64);
+                    b.bin(c, BinOp::Add, c, scratch);
+                    b.store(c, AddrExpr::region(arrs[*arr as usize % 3], *off), Ty::I64);
+                }
+                Action::CondStore { arr, off } => {
+                    let c = b.reg();
+                    b.bin(c, BinOp::And, scratch, 1i64);
+                    b.if_then(c, |b| {
+                        b.store(
+                            scratch,
+                            AddrExpr::region_indexed(arrs[*arr as usize % 3], i, 8, *off),
+                            Ty::I64,
+                        );
+                    });
+                }
+            }
+        }
+    });
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn analysis_is_sound_at_every_tier(
+        actions in prop::collection::vec(action_strategy(), 1..8),
+    ) {
+        let p = build(&actions);
+        prop_assert!(p.validate().is_ok());
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        // The analyzed loop is the second top-level loop (after setup).
+        let mut roots: Vec<_> = forest.roots();
+        roots.sort_by_key(|&i| forest.loops[i].lp.header);
+        prop_assert_eq!(roots.len(), 2);
+        let lp = forest.loops[roots[1]].lp.clone();
+
+        let mut env = Env::for_program(&p);
+        let dynamic = observe_loop_deps(&p, &lp, &mut env, 50_000_000).unwrap();
+
+        for tier in AliasTier::ALL {
+            let pts = PointsTo::analyze(&p, tier);
+            for affine in [false, true] {
+                let deps = analyze_loop(&p, &lp, DepConfig { tier, affine_aware: affine }, &pts);
+                let acc = compare(&deps, &dynamic);
+                prop_assert!(
+                    acc.sound(),
+                    "tier {tier} affine {affine}: missed {} of {} actual deps",
+                    acc.missed,
+                    dynamic.pairs.len(),
+                );
+            }
+        }
+    }
+
+    /// Precision is monotone: identified-dependence count must not grow
+    /// as tiers strengthen (with affine reasoning fixed).
+    #[test]
+    fn precision_is_monotone(
+        actions in prop::collection::vec(action_strategy(), 1..8),
+    ) {
+        let p = build(&actions);
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        let mut roots: Vec<_> = forest.roots();
+        roots.sort_by_key(|&i| forest.loops[i].lp.header);
+        let lp = forest.loops[roots[1]].lp.clone();
+
+        let mut prev = usize::MAX;
+        for tier in AliasTier::ALL {
+            let pts = PointsTo::analyze(&p, tier);
+            let deps = analyze_loop(&p, &lp, DepConfig { tier, affine_aware: true }, &pts);
+            let n = deps.pair_set().len();
+            prop_assert!(n <= prev, "tier {tier} reported {n} > previous {prev}");
+            prev = n;
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Criterion microbenchmarks for the reproduction's own components:
+//! ring-cache message throughput, points-to analysis, whole-compiler
+//! runs, and simulator cycle rate. These measure the *implementation*,
+//! complementing the `figures` binary that regenerates the paper's
+//! results.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use helix_analysis::{AliasTier, PointsTo};
+use helix_hcc::{compile, HccConfig};
+use helix_ring_cache::{RingCache, RingConfig};
+use helix_sim::{simulate, simulate_sequential, MachineConfig};
+use helix_workloads::{by_name, Scale};
+
+fn ring_throughput(c: &mut Criterion) {
+    c.bench_function("ring_cache/store_circulation_16", |b| {
+        b.iter_batched(
+            || RingCache::new(RingConfig::paper_default(16)),
+            |mut ring| {
+                for k in 0..64u64 {
+                    ring.store((k % 16) as usize, 0x1000 + k * 8);
+                    for _ in 0..4 {
+                        ring.tick();
+                    }
+                }
+                while !ring.quiescent() {
+                    ring.tick();
+                }
+                ring
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn analysis_speed(c: &mut Criterion) {
+    let w = by_name("197.parser", Scale::Test).unwrap();
+    c.bench_function("analysis/points_to_full_tier", |b| {
+        b.iter(|| PointsTo::analyze(&w.program, AliasTier::LibCalls))
+    });
+}
+
+fn compile_speed(c: &mut Criterion) {
+    let w = by_name("164.gzip", Scale::Test).unwrap();
+    c.bench_function("hcc/compile_v3_gzip", |b| {
+        b.iter(|| compile(&w.program, &HccConfig::v3(16)).unwrap())
+    });
+}
+
+fn simulator_rate(c: &mut Criterion) {
+    let w = by_name("175.vpr", Scale::Test).unwrap();
+    let compiled = compile(&w.program, &HccConfig::v3(8)).unwrap();
+    c.bench_function("sim/vpr_parallel_8core", |b| {
+        b.iter(|| simulate(&compiled, &MachineConfig::helix_rc(8), 1 << 26).unwrap())
+    });
+    c.bench_function("sim/vpr_sequential", |b| {
+        b.iter(|| simulate_sequential(&w.program, &MachineConfig::conventional(8), 1 << 26).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ring_throughput, analysis_speed, compile_speed, simulator_rate
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p helix-bench --bin figures -- all
+//! cargo run --release -p helix-bench --bin figures -- fig07 fig12
+//! cargo run --release -p helix-bench --bin figures -- --full fig07
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = helix_bench::harness_scale(full);
+    let figures: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if figures.is_empty() {
+        eprintln!("usage: figures [--full] <{}>", helix_bench::FIGURES.join("|"));
+        std::process::exit(2);
+    }
+    for f in figures {
+        if let Err(e) = helix_bench::run_one(f, scale) {
+            eprintln!("error running {f}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Compiler-side experiments: Fig. 2 (dependence-analysis accuracy),
+//! Fig. 3 (predictable-variable communication reduction), and the §6.2
+//! TLP/segment-size numbers.
+
+use helix_analysis::{
+    classify_registers, communication_demand, observe_loop_deps, tier_sweep, AliasTier,
+};
+use helix_hcc::{compile, tlp::estimate_tlp, HccConfig, SplitPolicy};
+use helix_ir::cfg::LoopForest;
+use helix_ir::interp::Env;
+use helix_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::ExpError;
+
+/// Fig. 2 result: mean accuracy per tier over the suite's hot loops.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AccuracyFigure {
+    /// Tier labels in sweep order.
+    pub tiers: Vec<String>,
+    /// Mean accuracy per tier.
+    pub accuracy: Vec<f64>,
+    /// Loops analyzed.
+    pub loops: usize,
+}
+
+/// Run the dependence-analysis accuracy sweep over the innermost hot
+/// loops of the given workloads.
+pub fn accuracy_sweep(workloads: &[Workload]) -> Result<AccuracyFigure, ExpError> {
+    let mut sums = vec![0.0f64; AliasTier::ALL.len()];
+    let mut n_loops = 0usize;
+    for w in workloads {
+        let forest = LoopForest::compute(&w.program.graph, w.program.graph.entry);
+        // Hot loops: innermost loops (the ones HELIX-RC targets).
+        let hot: Vec<_> = forest
+            .loops
+            .iter()
+            .filter(|node| node.children.is_empty())
+            .map(|node| node.lp.clone())
+            .collect();
+        let mut dynamics = Vec::new();
+        for lp in &hot {
+            let mut env = Env::for_program(&w.program);
+            dynamics.push(observe_loop_deps(&w.program, lp, &mut env, 200_000_000)?);
+        }
+        let sweep = tier_sweep(&w.program, &hot, &dynamics);
+        for (i, acc) in sweep.mean_accuracy.iter().enumerate() {
+            sums[i] += acc * hot.len() as f64;
+        }
+        n_loops += hot.len();
+    }
+    Ok(AccuracyFigure {
+        tiers: AliasTier::ALL.iter().map(|t| t.label().to_string()).collect(),
+        accuracy: sums
+            .into_iter()
+            .map(|s| if n_loops == 0 { 1.0 } else { s / n_loops as f64 })
+            .collect(),
+        loops: n_loops,
+    })
+}
+
+/// Fig. 3 result: communication demand before/after exploiting variable
+/// predictability.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RecomputeFigure {
+    /// Register values a naive scheme would forward (per-loop totals).
+    pub naive_regs: usize,
+    /// Registers still needing communication after re-computation.
+    pub remaining_regs: usize,
+    /// Shared memory access sites (communicated either way).
+    pub memory_sites: usize,
+}
+
+impl RecomputeFigure {
+    /// Remaining communication as a fraction of the naive total.
+    pub fn remaining_fraction(&self) -> f64 {
+        let naive = self.naive_regs + self.memory_sites;
+        if naive == 0 {
+            return 0.0;
+        }
+        (self.remaining_regs + self.memory_sites) as f64 / naive as f64
+    }
+
+    /// Of the remaining communication, the memory share.
+    pub fn memory_share(&self) -> f64 {
+        let rem = self.remaining_regs + self.memory_sites;
+        if rem == 0 {
+            return 0.0;
+        }
+        self.memory_sites as f64 / rem as f64
+    }
+}
+
+/// Run the Fig. 3 measurement over the workloads' innermost loops.
+pub fn recompute_reduction(workloads: &[Workload]) -> Result<RecomputeFigure, ExpError> {
+    let mut fig = RecomputeFigure {
+        naive_regs: 0,
+        remaining_regs: 0,
+        memory_sites: 0,
+    };
+    for w in workloads {
+        let forest = LoopForest::compute(&w.program.graph, w.program.graph.entry);
+        let config = helix_analysis::DepConfig::full();
+        let pts = helix_analysis::PointsTo::analyze(&w.program, config.tier);
+        for node in forest.loops.iter().filter(|n| n.children.is_empty()) {
+            let classes = classify_registers(&w.program.graph, &node.lp);
+            let deps = helix_analysis::analyze_loop(&w.program, &node.lp, config, &pts);
+            let demand = communication_demand(&classes, deps.shared_sites().len());
+            fig.naive_regs += demand.naive_regs;
+            fig.remaining_regs += demand.remaining_regs;
+            fig.memory_sites += demand.memory_sites;
+        }
+    }
+    Ok(fig)
+}
+
+/// §6.2 text numbers: TLP and mean segment size under conservative vs.
+/// aggressive splitting.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TlpFigure {
+    /// TLP with conservative splitting (HCCv2-style).
+    pub tlp_conservative: f64,
+    /// TLP with aggressive splitting (HELIX-RC).
+    pub tlp_aggressive: f64,
+    /// Mean segment size (static instructions), conservative.
+    pub seg_conservative: f64,
+    /// Mean segment size, aggressive.
+    pub seg_aggressive: f64,
+}
+
+/// Run the abstract-TLP comparison over the suite at `cores`.
+pub fn tlp_splitting(workloads: &[Workload], cores: u32) -> Result<TlpFigure, ExpError> {
+    let mut out = TlpFigure {
+        tlp_conservative: 0.0,
+        tlp_aggressive: 0.0,
+        seg_conservative: 0.0,
+        seg_aggressive: 0.0,
+    };
+    let mut n = 0.0;
+    for w in workloads {
+        for (aggressive, tlp_slot, seg_slot) in [(false, 0, 0), (true, 1, 1)] {
+            let mut cfg = HccConfig::v3(cores);
+            if !aggressive {
+                cfg.split = SplitPolicy::MaxSegments(1);
+            }
+            let compiled = compile(&w.program, &cfg)?;
+            for plan in &compiled.plans {
+                if plan.segments.is_empty() {
+                    continue;
+                }
+                let seg_size = compiled.stats.mean_segment_size.max(1.0);
+                let seg_sizes = vec![seg_size; plan.segments.len()];
+                let t = estimate_tlp(plan.insts_per_iter, &seg_sizes, 1600, cores);
+                if tlp_slot == 0 {
+                    out.tlp_conservative += t.tlp;
+                    out.seg_conservative += t.mean_segment_size;
+                } else {
+                    out.tlp_aggressive += t.tlp;
+                    out.seg_aggressive += t.mean_segment_size;
+                }
+                let _ = seg_slot;
+                if aggressive {
+                    n += 1.0;
+                }
+            }
+        }
+    }
+    if n > 0.0 {
+        out.tlp_conservative /= n;
+        out.tlp_aggressive /= n;
+        out.seg_conservative /= n;
+        out.seg_aggressive /= n;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_workloads::{by_name, Scale};
+
+    #[test]
+    fn accuracy_improves_across_tiers_on_suite_loops() {
+        let ws = vec![
+            by_name("164.gzip", Scale::Test).unwrap(),
+            by_name("197.parser", Scale::Test).unwrap(),
+        ];
+        let fig = accuracy_sweep(&ws).unwrap();
+        assert_eq!(fig.accuracy.len(), 5);
+        assert!(fig.loops >= 2);
+        assert!(
+            fig.accuracy[4] >= fig.accuracy[0],
+            "full tier must not be worse: {:?}",
+            fig.accuracy
+        );
+    }
+
+    #[test]
+    fn recompute_removes_most_register_traffic() {
+        let ws = helix_workloads::cint_suite(Scale::Test);
+        let fig = recompute_reduction(&ws).unwrap();
+        assert!(fig.naive_regs > 0);
+        assert!(
+            (fig.remaining_regs as f64) < 0.5 * fig.naive_regs as f64,
+            "predictability should remove most register communication: {fig:?}"
+        );
+    }
+}

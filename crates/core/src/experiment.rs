@@ -1,0 +1,469 @@
+//! Experiment runners: each function reproduces one measurement setup of
+//! the paper's evaluation (§6), returning structured results the figure
+//! harness renders.
+
+use helix_hcc::{compile, CompiledProgram, HccConfig};
+use helix_ring_cache::{ArrayConfig, RingConfig};
+use helix_sim::{
+    simulate, simulate_sequential, Bucket, CoreModel, DecoupleConfig, MachineConfig, RunReport,
+    SyncModel,
+};
+use helix_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Default cycle budget for experiment simulations.
+pub const FUEL: u64 = 1 << 27;
+
+/// Error from an experiment run.
+pub type ExpError = Box<dyn std::error::Error>;
+
+/// Compile `w` for each compiler generation at `cores`.
+pub fn compile_all(w: &Workload, cores: u32) -> Result<[CompiledProgram; 3], ExpError> {
+    Ok([
+        compile(&w.program, &HccConfig::v1(cores))?,
+        compile(&w.program, &HccConfig::v2(cores))?,
+        compile(&w.program, &HccConfig::v3(cores))?,
+    ])
+}
+
+/// Sequential baseline cycles of the *original* program on the given
+/// core model.
+pub fn baseline_cycles(w: &Workload, cfg: &MachineConfig) -> Result<u64, ExpError> {
+    Ok(simulate_sequential(&w.program, cfg, FUEL)?.cycles)
+}
+
+/// Assert a parallel run upheld all compiler guarantees.
+pub fn check(report: &RunReport, what: &str) -> Result<(), ExpError> {
+    if !report.race_violations.is_empty() {
+        return Err(format!("{what}: race violations: {:?}", report.race_violations).into());
+    }
+    if !report.protocol_errors.is_empty() {
+        return Err(format!("{what}: protocol errors: {:?}", report.protocol_errors).into());
+    }
+    Ok(())
+}
+
+/// One benchmark's speedups under the three compiler generations
+/// (Fig. 1 uses v1/v2, Fig. 7 uses v2/HELIX-RC).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompilerGenerations {
+    /// Benchmark name.
+    pub name: String,
+    /// HCCv1 on the conventional machine.
+    pub v1: f64,
+    /// HCCv2 on the conventional machine.
+    pub v2: f64,
+    /// HCCv3 + ring cache (HELIX-RC).
+    pub helix_rc: f64,
+    /// Published HELIX-RC speedup, for reference.
+    pub paper_helix: f64,
+}
+
+/// Run the headline comparison for one workload at `cores`.
+pub fn compiler_generations(w: &Workload, cores: usize) -> Result<CompilerGenerations, ExpError> {
+    let [v1, v2, v3] = compile_all(w, cores as u32)?;
+    let conventional = MachineConfig::conventional(cores);
+    let helix = MachineConfig::helix_rc(cores);
+    let seq = baseline_cycles(w, &conventional)?;
+
+    let r1 = simulate(&v1, &conventional, FUEL)?;
+    check(&r1, w.name)?;
+    let r2 = simulate(&v2, &conventional, FUEL)?;
+    check(&r2, w.name)?;
+    let r3 = simulate(&v3, &helix, FUEL)?;
+    check(&r3, w.name)?;
+
+    Ok(CompilerGenerations {
+        name: w.name.to_string(),
+        v1: seq as f64 / r1.cycles.max(1) as f64,
+        v2: seq as f64 / r2.cycles.max(1) as f64,
+        helix_rc: seq as f64 / r3.cycles.max(1) as f64,
+        paper_helix: w.paper.helix_speedup,
+    })
+}
+
+/// The Fig. 8 decoupling lattice, in the paper's bar order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LatticePoint {
+    /// HCCv2 on conventional hardware (nothing decoupled).
+    Hccv2,
+    /// Register-carried traffic decoupled only.
+    Reg,
+    /// Registers + synchronization decoupled.
+    RegSynch,
+    /// Registers + memory decoupled (synchronization still coupled).
+    RegMem,
+    /// Everything decoupled (HELIX-RC).
+    All,
+}
+
+impl LatticePoint {
+    /// All points in the paper's order.
+    pub const ALL: [LatticePoint; 5] = [
+        LatticePoint::Hccv2,
+        LatticePoint::Reg,
+        LatticePoint::RegSynch,
+        LatticePoint::RegMem,
+        LatticePoint::All,
+    ];
+
+    /// Bar label from Fig. 8.
+    pub fn label(self) -> &'static str {
+        match self {
+            LatticePoint::Hccv2 => "HCCv2",
+            LatticePoint::Reg => "decoupled reg. communication",
+            LatticePoint::RegSynch => "decoupled reg. comm. and synch.",
+            LatticePoint::RegMem => "decoupled reg. and memory comm.",
+            LatticePoint::All => "HELIX-RC (decoupled all communication)",
+        }
+    }
+
+    /// Machine configuration for this point.
+    pub fn machine(self, cores: usize) -> MachineConfig {
+        let mut cfg = MachineConfig::conventional(cores);
+        let decouple = match self {
+            LatticePoint::Hccv2 => DecoupleConfig::none(),
+            LatticePoint::Reg => DecoupleConfig {
+                register: true,
+                synch: false,
+                memory: false,
+            },
+            LatticePoint::RegSynch => DecoupleConfig {
+                register: true,
+                synch: true,
+                memory: false,
+            },
+            LatticePoint::RegMem => DecoupleConfig {
+                register: true,
+                synch: false,
+                memory: true,
+            },
+            LatticePoint::All => DecoupleConfig::all(),
+        };
+        if decouple.any() {
+            cfg.ring = Some(RingConfig::paper_default(cores));
+        }
+        if decouple.synch {
+            cfg.sync = SyncModel::AllPredecessors;
+        }
+        cfg.decouple = decouple;
+        cfg
+    }
+
+    /// Compiler used at this point (HCCv2 for the baseline bar, HCCv3
+    /// everywhere else).
+    pub fn compiler(self, cores: u32) -> HccConfig {
+        match self {
+            LatticePoint::Hccv2 => HccConfig::v2(cores),
+            _ => HccConfig::v3(cores),
+        }
+    }
+}
+
+/// Speedups across the decoupling lattice for one workload (Fig. 8).
+pub fn decoupling_lattice(w: &Workload, cores: usize) -> Result<Vec<(LatticePoint, f64)>, ExpError> {
+    let seq = baseline_cycles(w, &MachineConfig::conventional(cores))?;
+    let mut out = Vec::new();
+    for point in LatticePoint::ALL {
+        let compiled = compile(&w.program, &point.compiler(cores as u32))?;
+        let report = simulate(&compiled, &point.machine(cores), FUEL)?;
+        check(&report, point.label())?;
+        out.push((point, seq as f64 / report.cycles.max(1) as f64));
+    }
+    Ok(out)
+}
+
+/// Fig. 9: HCCv3-selected code on conventional hardware vs. the ring
+/// cache, as % of sequential execution time with a
+/// communication/computation split.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoupledVsRing {
+    /// Benchmark name.
+    pub name: String,
+    /// Conventional run time as % of sequential (C bar; >100 = slowdown).
+    pub conventional_pct: f64,
+    /// Ring-cache run time as % of sequential (R bar).
+    pub ring_pct: f64,
+    /// Fraction of the conventional run's core-cycles spent on
+    /// communication (incl. waiting).
+    pub conventional_comm_frac: f64,
+    /// Same for the ring run.
+    pub ring_comm_frac: f64,
+}
+
+/// Communication fraction of a report: communication + dependence
+/// waiting + wait/signal cycles over all busy cycles.
+fn comm_frac(r: &RunReport) -> f64 {
+    let comm = r.attribution.total(Bucket::Communication)
+        + r.attribution.total(Bucket::DependenceWaiting)
+        + r.attribution.total(Bucket::WaitSignal);
+    let busy: u64 = [
+        Bucket::Computation,
+        Bucket::AdditionalInsts,
+        Bucket::WaitSignal,
+        Bucket::Memory,
+        Bucket::Communication,
+        Bucket::DependenceWaiting,
+    ]
+    .iter()
+    .map(|b| r.attribution.total(*b))
+    .sum();
+    comm as f64 / busy.max(1) as f64
+}
+
+/// Run the Fig. 9 comparison.
+pub fn coupled_vs_ring(w: &Workload, cores: usize) -> Result<CoupledVsRing, ExpError> {
+    // HCCv3 selects loops assuming decoupling exists (ring-class sync
+    // cost), then the code runs on both machines.
+    let compiled = compile(&w.program, &HccConfig::v3(cores as u32))?;
+    let seq = baseline_cycles(w, &MachineConfig::conventional(cores))?;
+    let conv = simulate(&compiled, &MachineConfig::conventional(cores), FUEL)?;
+    check(&conv, "conventional")?;
+    let ring = simulate(&compiled, &MachineConfig::helix_rc(cores), FUEL)?;
+    check(&ring, "ring")?;
+    Ok(CoupledVsRing {
+        name: w.name.to_string(),
+        conventional_pct: 100.0 * conv.cycles as f64 / seq.max(1) as f64,
+        ring_pct: 100.0 * ring.cycles as f64 / seq.max(1) as f64,
+        conventional_comm_frac: comm_frac(&conv),
+        ring_comm_frac: comm_frac(&ring),
+    })
+}
+
+/// Fig. 10: speedups per core model, plus the sequential-time ratio.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoreTypeRow {
+    /// Benchmark name.
+    pub name: String,
+    /// HELIX-RC speedup on 2-way in-order cores.
+    pub io2: f64,
+    /// On 2-way out-of-order cores.
+    pub ooo2: f64,
+    /// On 4-way out-of-order cores.
+    pub ooo4: f64,
+    /// Sequential time on the 2-way in-order core / sequential time on
+    /// the 4-way OoO core (the paper's lower panel, inverted: >1 means
+    /// the OoO core is faster).
+    pub seq_io_over_ooo4: f64,
+}
+
+/// Run the core-type sensitivity for one workload.
+pub fn core_type_sweep(w: &Workload, cores: usize) -> Result<CoreTypeRow, ExpError> {
+    let compiled = compile(&w.program, &HccConfig::v3(cores as u32))?;
+    let mut row = CoreTypeRow {
+        name: w.name.to_string(),
+        io2: 0.0,
+        ooo2: 0.0,
+        ooo4: 0.0,
+        seq_io_over_ooo4: 0.0,
+    };
+    let mut seq_io = 0;
+    let mut seq_ooo4 = 0;
+    for (model, slot) in [
+        (CoreModel::InOrder { width: 2 }, 0usize),
+        (CoreModel::OutOfOrder { width: 2, rob: 48 }, 1),
+        (CoreModel::OutOfOrder { width: 4, rob: 96 }, 2),
+    ] {
+        let mut cfg = MachineConfig::helix_rc(cores);
+        cfg.core = model;
+        let mut seq_cfg = MachineConfig::conventional(cores);
+        seq_cfg.core = model;
+        let seq = simulate_sequential(&w.program, &seq_cfg, FUEL)?.cycles;
+        let par = simulate(&compiled, &cfg, FUEL)?;
+        check(&par, "core sweep")?;
+        let speedup = seq as f64 / par.cycles.max(1) as f64;
+        match slot {
+            0 => {
+                row.io2 = speedup;
+                seq_io = seq;
+            }
+            1 => row.ooo2 = speedup,
+            _ => {
+                row.ooo4 = speedup;
+                seq_ooo4 = seq;
+            }
+        }
+    }
+    row.seq_io_over_ooo4 = seq_io as f64 / seq_ooo4.max(1) as f64;
+    Ok(row)
+}
+
+/// Generic ring-parameter sweep point: label plus speedup.
+pub type SweepPoint = (String, f64);
+
+/// Fig. 11a: core-count scaling.
+pub fn sweep_core_count(w: &Workload, counts: &[usize]) -> Result<Vec<SweepPoint>, ExpError> {
+    let mut out = Vec::new();
+    for &cores in counts {
+        let compiled = compile(&w.program, &HccConfig::v3(cores as u32))?;
+        let seq = baseline_cycles(w, &MachineConfig::conventional(cores))?;
+        let rep = simulate(&compiled, &MachineConfig::helix_rc(cores), FUEL)?;
+        check(&rep, "core count")?;
+        out.push((format!("{cores} cores"), seq as f64 / rep.cycles.max(1) as f64));
+    }
+    Ok(out)
+}
+
+/// Sweep a ring-cache parameter; `set` mutates the default ring config.
+pub fn sweep_ring<F: Fn(&mut RingConfig)>(
+    w: &Workload,
+    cores: usize,
+    labels_and_sets: &[(String, F)],
+) -> Result<Vec<SweepPoint>, ExpError> {
+    let compiled = compile(&w.program, &HccConfig::v3(cores as u32))?;
+    let seq = baseline_cycles(w, &MachineConfig::conventional(cores))?;
+    let mut out = Vec::new();
+    for (label, set) in labels_and_sets {
+        let mut cfg = MachineConfig::helix_rc(cores);
+        let ring = cfg.ring.as_mut().expect("helix config has a ring");
+        set(ring);
+        let rep = simulate(&compiled, &cfg, FUEL)?;
+        check(&rep, label)?;
+        out.push((label.clone(), seq as f64 / rep.cycles.max(1) as f64));
+    }
+    Ok(out)
+}
+
+/// Fig. 11b link-latency settings.
+pub fn link_latency_settings() -> Vec<(String, impl Fn(&mut RingConfig))> {
+    [1u32, 4, 8, 16, 32]
+        .into_iter()
+        .map(|lat| {
+            (
+                format!("{lat} cycle{}", if lat == 1 { "" } else { "s" }),
+                move |r: &mut RingConfig| r.hop_latency = lat,
+            )
+        })
+        .collect()
+}
+
+/// Fig. 11c signal-bandwidth settings.
+pub fn signal_bandwidth_settings() -> Vec<(String, impl Fn(&mut RingConfig))> {
+    [None, Some(4u32), Some(2), Some(1)]
+        .into_iter()
+        .map(|bw| {
+            (
+                match bw {
+                    None => "Unbounded".to_string(),
+                    Some(k) => format!("{k} Signal{}", if k == 1 { "" } else { "s" }),
+                },
+                move |r: &mut RingConfig| r.signal_bandwidth = bw,
+            )
+        })
+        .collect()
+}
+
+/// Fig. 11d node-memory settings.
+pub fn node_memory_settings() -> Vec<(String, impl Fn(&mut RingConfig))> {
+    [None, Some(32 * 1024u64), Some(1024), Some(256)]
+        .into_iter()
+        .map(|cap| {
+            (
+                match cap {
+                    None => "Unbounded".to_string(),
+                    Some(c) if c >= 1024 => format!("{} KB", c / 1024),
+                    Some(c) => format!("{c} B"),
+                },
+                move |r: &mut RingConfig| {
+                    r.array = ArrayConfig {
+                        capacity: cap,
+                        ..ArrayConfig::paper_default()
+                    }
+                },
+            )
+        })
+        .collect()
+}
+
+/// Fig. 12 row: overhead fractions and achieved speedup.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OverheadRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Measured overhead fractions (Fig. 12 column order).
+    pub measured: [f64; 7],
+    /// Published fractions.
+    pub paper: [f64; 7],
+    /// Measured HELIX-RC speedup.
+    pub speedup: f64,
+    /// Published speedup.
+    pub paper_speedup: f64,
+}
+
+/// Run the overhead taxonomy for one workload.
+pub fn overhead_breakdown(w: &Workload, cores: usize) -> Result<OverheadRow, ExpError> {
+    let compiled = compile(&w.program, &HccConfig::v3(cores as u32))?;
+    let seq = baseline_cycles(w, &MachineConfig::conventional(cores))?;
+    let rep = simulate(&compiled, &MachineConfig::helix_rc(cores), FUEL)?;
+    check(&rep, w.name)?;
+    Ok(OverheadRow {
+        name: w.name.to_string(),
+        measured: rep.attribution.overhead_fractions(),
+        paper: w.paper.overheads,
+        speedup: seq as f64 / rep.cycles.max(1) as f64,
+        paper_speedup: w.paper.helix_speedup,
+    })
+}
+
+/// Fig. 4a: per-iteration cycle counts of the HELIX-selected loops on a
+/// single in-order core.
+pub fn iteration_lengths(w: &Workload) -> Result<Vec<u32>, ExpError> {
+    // Select loops as HELIX-RC would (16-core profile), then execute the
+    // parallel plan on a single core to time individual iterations.
+    let compiled = compile(&w.program, &HccConfig::v3(16))?;
+    let cfg = MachineConfig::helix_rc(1);
+    let rep = simulate(&compiled, &cfg, FUEL)?;
+    Ok(rep.iteration_lengths)
+}
+
+/// Fig. 4b/4c: producer→first-consumer distance and consumers-per-value
+/// distributions from the 16-core ring run.
+pub fn sharing_profile(w: &Workload, cores: usize) -> Result<(Vec<f64>, Vec<f64>), ExpError> {
+    let compiled = compile(&w.program, &HccConfig::v3(cores as u32))?;
+    let rep = simulate(&compiled, &MachineConfig::helix_rc(cores), FUEL)?;
+    check(&rep, w.name)?;
+    let stats = rep.ring_stats.expect("ring stats present");
+    Ok((stats.distance_distribution(), stats.consumer_distribution()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_workloads::{by_name, Scale};
+
+    #[test]
+    fn lattice_points_have_distinct_machines() {
+        for p in LatticePoint::ALL {
+            let m = p.machine(8);
+            m.assert_valid();
+        }
+        assert!(!LatticePoint::Hccv2.machine(8).decouple.any());
+        assert!(LatticePoint::All.machine(8).decouple.any());
+        assert_eq!(
+            LatticePoint::RegSynch.machine(8).sync,
+            SyncModel::AllPredecessors
+        );
+        assert_eq!(
+            LatticePoint::RegMem.machine(8).sync,
+            SyncModel::ChainedPredecessor
+        );
+    }
+
+    #[test]
+    fn headline_runs_for_one_workload() {
+        let w = by_name("175.vpr", Scale::Test).unwrap();
+        let row = compiler_generations(&w, 8).unwrap();
+        assert!(row.helix_rc > 1.0, "HELIX-RC must speed up: {row:?}");
+        assert!(
+            row.helix_rc > row.v2,
+            "decoupling must beat compiler-only: {row:?}"
+        );
+    }
+
+    #[test]
+    fn settings_lists_cover_paper_axes() {
+        assert_eq!(link_latency_settings().len(), 5);
+        assert_eq!(signal_bandwidth_settings().len(), 4);
+        assert_eq!(node_memory_settings().len(), 4);
+    }
+}

@@ -1,0 +1,49 @@
+//! # helix-rc
+//!
+//! The HELIX-RC reproduction facade: everything needed to go from a
+//! sequential [`helix_ir::Program`] to paper-style results.
+//!
+//! * [`experiment`] — runners for every measurement in the paper's
+//!   evaluation: compiler generations (Figs. 1/7), the decoupling
+//!   lattice (Fig. 8), coupled-vs-ring execution (Fig. 9), core-type and
+//!   ring-parameter sweeps (Figs. 10/11), the overhead taxonomy
+//!   (Fig. 12), iteration-length and sharing profiles (Fig. 4);
+//! * [`analysis_figs`] — the compiler-side experiments: analysis
+//!   accuracy (Fig. 2), predictable-variable communication reduction
+//!   (Fig. 3), abstract TLP under splitting (§6.2);
+//! * [`related`] — the Table 2 design-space matrix;
+//! * [`report`] — plain-text figure rendering.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use helix_rc::experiment::compiler_generations;
+//! use helix_workloads::{by_name, Scale};
+//!
+//! let vpr = by_name("175.vpr", Scale::Test).unwrap();
+//! let row = compiler_generations(&vpr, 16)?;
+//! println!("{}: HCCv2 {:.2}x -> HELIX-RC {:.2}x (paper: {:.1}x)",
+//!          row.name, row.v2, row.helix_rc, row.paper_helix);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis_figs;
+pub mod experiment;
+pub mod related;
+pub mod report;
+
+pub use experiment::{
+    compiler_generations, coupled_vs_ring, core_type_sweep, decoupling_lattice,
+    iteration_lengths, overhead_breakdown, sharing_profile, sweep_core_count, sweep_ring,
+    LatticePoint,
+};
+
+// Re-export the full stack so downstream users need one dependency.
+pub use helix_analysis as analysis;
+pub use helix_hcc as hcc;
+pub use helix_ir as ir;
+pub use helix_ring_cache as ring_cache;
+pub use helix_sim as sim;
+pub use helix_workloads as workloads;

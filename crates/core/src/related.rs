@@ -1,0 +1,118 @@
+//! Table 2: the decoupling design space.
+//!
+//! A static capability matrix: which schemes decouple which kinds of
+//! communication, for actual vs. false dependences. HELIX-RC is the only
+//! point covering all four quadrants.
+
+use serde::{Deserialize, Serialize};
+
+/// A parallelization scheme from the related-work comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scheme {
+    /// Name as printed in the table.
+    pub name: &'static str,
+    /// Decouples register communication for actual dependences.
+    pub reg_actual: bool,
+    /// Decouples register communication for false dependences.
+    pub reg_false: bool,
+    /// Decouples memory communication for actual dependences.
+    pub mem_actual: bool,
+    /// Decouples memory communication for false dependences.
+    pub mem_false: bool,
+}
+
+/// The schemes of Table 2.
+pub const SCHEMES: [Scheme; 5] = [
+    Scheme {
+        name: "HELIX-RC",
+        reg_actual: true,
+        reg_false: true,
+        mem_actual: true,
+        mem_false: true,
+    },
+    Scheme {
+        name: "Multiscalar",
+        reg_actual: true,
+        reg_false: true,
+        mem_actual: false,
+        mem_false: true,
+    },
+    Scheme {
+        name: "TRIPS",
+        reg_actual: true,
+        reg_false: true,
+        mem_actual: false,
+        mem_false: true,
+    },
+    Scheme {
+        name: "T3",
+        reg_actual: true,
+        reg_false: true,
+        mem_actual: false,
+        mem_false: true,
+    },
+    Scheme {
+        name: "TLS-based approaches",
+        reg_actual: false,
+        reg_false: false,
+        mem_actual: false,
+        mem_false: true,
+    },
+];
+
+/// Render the design-space table as text.
+pub fn design_space_table() -> String {
+    let mut out = String::new();
+    let quadrant = |actual: bool| -> [String; 2] {
+        let pick = |f: fn(&Scheme) -> bool| {
+            SCHEMES
+                .iter()
+                .filter(|s| f(s))
+                .map(|s| s.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        if actual {
+            [pick(|s| s.reg_actual), pick(|s| s.mem_actual)]
+        } else {
+            [pick(|s| s.reg_false), pick(|s| s.mem_false)]
+        }
+    };
+    let actual = quadrant(true);
+    let false_ = quadrant(false);
+    out.push_str("                 | Actual dependences              | False dependences\n");
+    out.push_str(&format!("Register         | {:<31} | {}\n", actual[0], false_[0]));
+    out.push_str(&format!("Memory           | {:<31} | {}\n", actual[1], false_[1]));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_helix_covers_all_quadrants() {
+        let full: Vec<_> = SCHEMES
+            .iter()
+            .filter(|s| s.reg_actual && s.reg_false && s.mem_actual && s.mem_false)
+            .collect();
+        assert_eq!(full.len(), 1);
+        assert_eq!(full[0].name, "HELIX-RC");
+    }
+
+    #[test]
+    fn helix_is_alone_in_memory_actual() {
+        let q: Vec<_> = SCHEMES.iter().filter(|s| s.mem_actual).collect();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].name, "HELIX-RC");
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = design_space_table();
+        assert!(t.contains("HELIX-RC"));
+        assert!(t.contains("TLS-based approaches"));
+        assert!(t.contains("Register"));
+        assert!(t.contains("Memory"));
+    }
+}

@@ -1,0 +1,355 @@
+//! Shared-register demotion.
+//!
+//! Loop-carried registers that cannot be re-computed locally must be
+//! communicated between cores. HCC maps each one to a specially-allocated
+//! memory slot and rewrites its in-loop accesses as loads/stores of that
+//! slot (paper §3.1: "shared variables are mapped to specially-allocated
+//! memory locations ... their accesses within sequential segments occur
+//! via memory operations").
+//!
+//! Demoted accesses are tagged with a placeholder segment id; segment
+//! assignment later rewrites the tags with the final ids.
+
+use helix_ir::{
+    AddrExpr, BinOp, BlockId, Graph, Inst, InstOrigin, Intrinsic, Program, Reg, RegionId,
+    SegmentId, SharedTag, TrafficClass, Ty, Value,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Placeholder segment id used between demotion and segment assignment.
+pub const PLACEHOLDER_SEG: SegmentId = SegmentId(u32::MAX);
+
+/// Result of demoting a set of registers for one loop.
+#[derive(Debug, Clone)]
+pub struct Demotion {
+    /// Region holding the slots.
+    pub region: RegionId,
+    /// Byte offset of each demoted register's slot.
+    pub slots: BTreeMap<Reg, i64>,
+    /// Inferred scalar type per register.
+    pub tys: BTreeMap<Reg, Ty>,
+    /// Number of load/store instructions inserted.
+    pub inserted: usize,
+}
+
+/// Failure to demote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DemoteError {
+    /// A register holds both integer and float values; its slot type
+    /// cannot be inferred.
+    MixedType(Reg),
+}
+
+impl std::fmt::Display for DemoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DemoteError::MixedType(r) => write!(f, "register {r} has mixed int/float defs"),
+        }
+    }
+}
+
+impl std::error::Error for DemoteError {}
+
+/// Infer the scalar type a register carries, from its definitions across
+/// the whole graph. Returns `None` when definitions disagree.
+pub fn infer_reg_ty(graph: &Graph, reg: Reg) -> Option<Ty> {
+    let mut saw_int = false;
+    let mut saw_float = false;
+    for (_, block) in graph.iter() {
+        for inst in &block.insts {
+            if inst.def() != Some(reg) {
+                continue;
+            }
+            let is_float = match inst {
+                Inst::Const { value, .. } => matches!(value, Value::Float(_)),
+                Inst::Un { op, .. } => op.is_float(),
+                Inst::Bin { op, .. } => op.is_float() && !is_float_comparison(*op),
+                Inst::Load { ty, .. } => ty.is_float(),
+                Inst::Call { intrinsic, .. } => matches!(intrinsic, Intrinsic::SinApprox),
+                _ => false,
+            };
+            if is_float {
+                saw_float = true;
+            } else {
+                saw_int = true;
+            }
+        }
+    }
+    match (saw_int, saw_float) {
+        (true, false) | (false, false) => Some(Ty::I64),
+        (false, true) => Some(Ty::F64),
+        (true, true) => None,
+    }
+}
+
+fn is_float_comparison(op: BinOp) -> bool {
+    matches!(op, BinOp::FCmpLt | BinOp::FCmpGt)
+}
+
+/// Size of one shared-variable slot in bytes.
+pub const SLOT_SIZE: i64 = 8;
+
+/// Demote `regs` within the loop made of `loop_blocks`.
+///
+/// `region` is the shared-variable region (created by the caller);
+/// `next_slot` is advanced as slots are assigned.
+///
+/// # Errors
+///
+/// Fails if any register's scalar type cannot be inferred.
+pub fn demote_registers(
+    program: &mut Program,
+    loop_blocks: &BTreeSet<BlockId>,
+    regs: &[Reg],
+    region: RegionId,
+    next_slot: &mut i64,
+) -> Result<Demotion, DemoteError> {
+    let mut tys = BTreeMap::new();
+    for &r in regs {
+        let ty = infer_reg_ty(&program.graph, r).ok_or(DemoteError::MixedType(r))?;
+        tys.insert(r, ty);
+    }
+    let mut slots = BTreeMap::new();
+    for &r in regs {
+        slots.insert(r, *next_slot);
+        *next_slot += SLOT_SIZE;
+    }
+
+    let tag = SharedTag {
+        seg: PLACEHOLDER_SEG,
+        class: TrafficClass::RegisterCarried,
+    };
+    let mut inserted = 0;
+    for &b in loop_blocks {
+        let block = program.graph.block_mut(b);
+        // Plan insertions against original indices, then apply descending.
+        // (pos, before: bool, inst)
+        let mut edits: Vec<(usize, bool, Inst)> = Vec::new();
+        for (idx, inst) in block.insts.iter().enumerate() {
+            for &r in regs {
+                if inst.uses().contains(&r) {
+                    edits.push((
+                        idx,
+                        true,
+                        Inst::Load {
+                            dst: r,
+                            addr: AddrExpr::region(region, slots[&r]),
+                            ty: tys[&r],
+                            shared: Some(tag),
+                            origin: InstOrigin::Added,
+                        },
+                    ));
+                }
+                if inst.def() == Some(r) {
+                    edits.push((
+                        idx,
+                        false,
+                        Inst::Store {
+                            src: r.into(),
+                            addr: AddrExpr::region(region, slots[&r]),
+                            ty: tys[&r],
+                            shared: Some(tag),
+                            origin: InstOrigin::Added,
+                        },
+                    ));
+                }
+            }
+        }
+        // Terminator uses: load before the terminator (i.e. append).
+        if let Some(r) = block.term.uses() {
+            if regs.contains(&r) {
+                edits.push((
+                    block.insts.len(),
+                    true,
+                    Inst::Load {
+                        dst: r,
+                        addr: AddrExpr::region(region, slots[&r]),
+                        ty: tys[&r],
+                        shared: Some(tag),
+                        origin: InstOrigin::Added,
+                    },
+                ));
+            }
+        }
+        inserted += edits.len();
+        // Apply: descending position; at equal positions, the
+        // store-after (before == false) must be applied first, because
+        // inserting the load at `pos` would shift the instruction the
+        // store has to follow. Final order: [load, inst, store].
+        edits.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for (pos, before, inst) in edits {
+            let at = if before { pos } else { pos + 1 };
+            block.insts.insert(at, inst);
+        }
+    }
+    Ok(Demotion {
+        region,
+        slots,
+        tys,
+        inserted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_ir::cfg::LoopForest;
+    use helix_ir::interp::{run_to_completion, Env};
+    use helix_ir::{Operand, ProgramBuilder, UnOp};
+
+    /// Demoting a register must preserve sequential semantics: slot
+    /// traffic is transparent when run on one thread.
+    #[test]
+    fn demotion_preserves_semantics() {
+        let mut b = ProgramBuilder::new("t");
+        let out = b.region("out", 64, Ty::I64);
+        let state = b.reg();
+        b.const_i(state, 1);
+        b.counted_loop(0, 10, 1, |b, i| {
+            let c = b.reg();
+            b.bin(c, BinOp::And, i, 1i64);
+            b.if_then(c, |b| {
+                b.bin(state, BinOp::Mul, state, 3i64);
+                b.bin(state, BinOp::Add, state, 1i64);
+            });
+        });
+        b.store(state, AddrExpr::region(out, 0), Ty::I64);
+        let mut p = b.finish();
+
+        // Reference result.
+        let mut env = Env::for_program(&p);
+        run_to_completion(&p, &mut env).unwrap();
+        let expect = env.mem.load(env.mem.base_of(out), Ty::I64).unwrap();
+
+        // Demote and re-run. The runtime normally seeds the slot with the
+        // loop-entry value; sequentially the first in-loop load must see
+        // it, so store it before the loop via an extra setup program —
+        // emulate by writing the slot after memory creation.
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        let lp = forest.loops[0].lp.clone();
+        let region = RegionId(p.regions.len() as u32);
+        p.regions.push(helix_ir::RegionDecl {
+            name: "__shared".into(),
+            size: 4096,
+            elem: Ty::I64,
+        });
+        let mut next = 0;
+        let d =
+            demote_registers(&mut p, &lp.blocks, &[state], region, &mut next).unwrap();
+        assert!(d.inserted > 0);
+        assert!(p.validate().is_ok());
+
+        let mut env2 = Env::for_program(&p);
+        // Seed the slot with the value `state` has at loop entry (1).
+        let slot_addr = env2.mem.base_of(region) + d.slots[&state] as u64;
+        env2.mem.store(slot_addr, Ty::I64, Value::Int(1)).unwrap();
+        run_to_completion(&p, &mut env2).unwrap();
+        let got = env2.mem.load(env2.mem.base_of(out), Ty::I64).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn load_inserted_before_use_store_after_def() {
+        let mut b = ProgramBuilder::new("t");
+        let out = b.region("out", 64, Ty::I64);
+        let x = b.reg();
+        b.const_i(x, 5);
+        b.counted_loop(0, 3, 1, |b, _i| {
+            b.bin(x, BinOp::Add, x, 1i64); // use + def in one instruction
+        });
+        b.store(x, AddrExpr::region(out, 0), Ty::I64);
+        let mut p = b.finish();
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        let lp = forest.loops[0].lp.clone();
+        let region = RegionId(p.regions.len() as u32);
+        p.regions.push(helix_ir::RegionDecl {
+            name: "__shared".into(),
+            size: 64,
+            elem: Ty::I64,
+        });
+        let mut next = 0;
+        demote_registers(&mut p, &lp.blocks, &[x], region, &mut next).unwrap();
+        // Find the rewritten body block: load, add, store.
+        let body = p
+            .graph
+            .iter()
+            .find(|(_, blk)| {
+                blk.insts.len() == 3
+                    && matches!(blk.insts[0], Inst::Load { .. })
+                    && matches!(blk.insts[1], Inst::Bin { op: BinOp::Add, .. })
+                    && matches!(blk.insts[2], Inst::Store { .. })
+            })
+            .map(|(id, _)| id);
+        assert!(body.is_some(), "expected load/add/store triplet");
+    }
+
+    #[test]
+    fn mixed_type_register_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        let out = b.region("out", 64, Ty::I64);
+        let x = b.reg();
+        b.const_i(x, 5);
+        b.counted_loop(0, 3, 1, |b, i| {
+            let c = b.reg();
+            b.bin(c, BinOp::And, i, 1i64);
+            b.if_else(
+                c,
+                |b| b.const_i(x, 1),
+                |b| b.const_f(x, 1.5),
+            );
+        });
+        b.store(x, AddrExpr::region(out, 0), Ty::I64);
+        let mut p = b.finish();
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        let lp = forest.loops[0].lp.clone();
+        let region = RegionId(p.regions.len() as u32);
+        p.regions.push(helix_ir::RegionDecl {
+            name: "__shared".into(),
+            size: 64,
+            elem: Ty::I64,
+        });
+        let mut next = 0;
+        let r = demote_registers(&mut p, &lp.blocks, &[x], region, &mut next);
+        assert_eq!(r.unwrap_err(), DemoteError::MixedType(x));
+    }
+
+    #[test]
+    fn float_register_gets_float_slot() {
+        let mut b = ProgramBuilder::new("t");
+        let out = b.region("out", 64, Ty::F64);
+        let x = b.reg();
+        b.const_f(x, 0.0);
+        b.counted_loop(0, 3, 1, |b, i| {
+            let f = b.reg();
+            b.un(f, UnOp::IntToF, i);
+            b.bin(x, BinOp::FAdd, x, f);
+            b.bin(x, BinOp::FMul, x, Operand::fimm(1.5));
+        });
+        b.store(x, AddrExpr::region(out, 0), Ty::F64);
+        let mut p = b.finish();
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        let lp = forest.loops[0].lp.clone();
+        let region = RegionId(p.regions.len() as u32);
+        p.regions.push(helix_ir::RegionDecl {
+            name: "__shared".into(),
+            size: 64,
+            elem: Ty::F64,
+        });
+        let mut next = 0;
+        let d = demote_registers(&mut p, &lp.blocks, &[x], region, &mut next).unwrap();
+        assert_eq!(d.tys[&x], Ty::F64);
+    }
+
+    #[test]
+    fn infer_types() {
+        let mut b = ProgramBuilder::new("t");
+        let [i, f] = b.regs();
+        b.const_i(i, 1);
+        b.const_f(f, 1.0);
+        let p = b.finish();
+        assert_eq!(infer_reg_ty(&p.graph, i), Some(Ty::I64));
+        assert_eq!(infer_reg_ty(&p.graph, f), Some(Ty::F64));
+        // Undefined register defaults to integer.
+        assert_eq!(infer_reg_ty(&p.graph, Reg(99)), Some(Ty::I64));
+    }
+}

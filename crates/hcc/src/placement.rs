@@ -1,0 +1,499 @@
+//! `wait`/`signal` placement.
+//!
+//! For each sequential segment, a `wait` is inserted before the first
+//! shared access on every path and a `signal` fires exactly once per
+//! iteration, at the earliest point where no further access of the
+//! segment can execute:
+//!
+//! * HCCv3 ([`PlacementStyle::EarlySignal`]) places a bare `signal` on
+//!   segment-bypassing paths, so an iteration that forgoes a segment
+//!   "immediately notifies its successor without waiting for its
+//!   predecessor" (paper §3.2, Fig. 5c);
+//! * HCCv1/v2 ([`PlacementStyle::Conservative`]) place `wait; signal` on
+//!   those paths, reproducing the sequential chain of conventional
+//!   synchronization (Fig. 5b).
+//!
+//! `wait` is idempotent within an iteration (the core squashes
+//! re-executions), so a path crossing two access blocks pays only one
+//! blocking wait plus a one-cycle squashed re-check — that re-check is
+//! charged to the paper's "wait/signal instructions" overhead category.
+
+use helix_ir::cfg::NaturalLoop;
+use helix_ir::{BlockId, Inst, Program, SegmentId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Synchronization placement style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementStyle {
+    /// Every path executes `wait` then `signal` (HCCv1/v2).
+    Conservative,
+    /// Bypassing paths execute only `signal` (HCCv3's wait elimination).
+    EarlySignal,
+}
+
+/// Blocks of `lp` from which an access of `seg` is still reachable along
+/// intra-iteration paths (back edge of `lp` excluded; inner-loop cycles
+/// included). `entry_reach[b]` is the property at block entry.
+pub fn entry_reach(
+    program: &Program,
+    lp: &NaturalLoop,
+    access_blocks: &BTreeSet<BlockId>,
+) -> BTreeMap<BlockId, bool> {
+    let mut reach: BTreeMap<BlockId, bool> = lp.blocks.iter().map(|&b| (b, false)).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &lp.blocks {
+            let mut v = access_blocks.contains(&b);
+            if !v {
+                for succ in program.graph.block(b).term.successors() {
+                    if succ == lp.header || !lp.blocks.contains(&succ) {
+                        continue; // back edge or loop exit
+                    }
+                    if reach[&succ] {
+                        v = true;
+                        break;
+                    }
+                }
+            }
+            if v && !reach[&b] {
+                reach.insert(b, true);
+                changed = true;
+            }
+        }
+    }
+    reach
+}
+
+/// Static count of instructions in the segment's region — the paper's
+/// "instructions per sequential segment" metric — at *instruction*
+/// granularity: within an access block only the span from the first to
+/// the last relevant access counts (extended to the block boundary when
+/// the region continues across it); blocks strictly between accesses
+/// count fully.
+pub fn region_inst_size(
+    program: &Program,
+    lp: &NaturalLoop,
+    is_access: &dyn Fn(BlockId, usize, &helix_ir::Inst) -> bool,
+) -> usize {
+    // Access positions per block.
+    let mut positions: BTreeMap<BlockId, Vec<usize>> = BTreeMap::new();
+    for &b in &lp.blocks {
+        let v: Vec<usize> = program
+            .graph
+            .block(b)
+            .insts
+            .iter()
+            .enumerate()
+            .filter(|(idx, i)| is_access(b, *idx, i))
+            .map(|(idx, _)| idx)
+            .collect();
+        if !v.is_empty() {
+            positions.insert(b, v);
+        }
+    }
+    if positions.is_empty() {
+        return 0;
+    }
+    let access_blocks: BTreeSet<BlockId> = positions.keys().copied().collect();
+    let reach_down = entry_reach(program, lp, &access_blocks);
+    // reach_up: the block is reachable from an access block along
+    // intra-iteration paths.
+    let preds = program.graph.predecessors();
+    let mut reach_up: BTreeMap<BlockId, bool> =
+        lp.blocks.iter().map(|&b| (b, false)).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &lp.blocks {
+            if reach_up[&b] || b == lp.header {
+                continue; // entering the header starts a new iteration
+            }
+            let v = preds[b.index()].iter().any(|&p| {
+                lp.blocks.contains(&p) && (access_blocks.contains(&p) || reach_up[&p])
+            });
+            if v {
+                reach_up.insert(b, true);
+                changed = true;
+            }
+        }
+    }
+
+    let mut total = 0usize;
+    for &b in &lp.blocks {
+        let len = program.graph.block(b).insts.len();
+        if let Some(pos) = positions.get(&b) {
+            let first = *pos.first().expect("nonempty");
+            let last = *pos.last().expect("nonempty");
+            let start = if reach_up[&b] { 0 } else { first };
+            let succ_reaches = program
+                .graph
+                .block(b)
+                .term
+                .successors()
+                .into_iter()
+                .any(|s| s != lp.header && lp.blocks.contains(&s) && reach_down[&s]);
+            let end = if succ_reaches { len } else { last + 1 };
+            total += end.saturating_sub(start);
+        } else if reach_up[&b] && reach_down[&b] {
+            total += len; // interior block between accesses
+        }
+    }
+    total
+}
+
+/// [`region_inst_size`] for one tagged segment.
+pub fn segment_region_size(program: &Program, lp: &NaturalLoop, seg: SegmentId) -> usize {
+    region_inst_size(program, lp, &|_, _, i| {
+        i.shared_tag().map(|t| t.seg) == Some(seg)
+    })
+}
+
+/// [`region_inst_size`] for an explicit set of access sites.
+pub fn region_size_for_sites(
+    program: &Program,
+    lp: &NaturalLoop,
+    sites: &BTreeSet<helix_ir::InstSite>,
+) -> usize {
+    region_inst_size(program, lp, &|b, idx, _| {
+        sites.contains(&helix_ir::InstSite { block: b, index: idx })
+    })
+}
+
+/// [`region_inst_size`] for the def/use sites of one register.
+pub fn region_size_for_reg(
+    program: &Program,
+    lp: &NaturalLoop,
+    reg: helix_ir::Reg,
+) -> usize {
+    region_inst_size(program, lp, &|_, _, i| {
+        i.uses().contains(&reg) || i.def() == Some(reg)
+    })
+}
+
+/// Blocks of `lp` containing accesses tagged with `seg`.
+pub fn blocks_accessing(
+    program: &Program,
+    lp: &NaturalLoop,
+    seg: SegmentId,
+) -> BTreeSet<BlockId> {
+    let mut out = BTreeSet::new();
+    for &b in &lp.blocks {
+        for inst in &program.graph.block(b).insts {
+            if inst.shared_tag().map(|t| t.seg) == Some(seg) {
+                out.insert(b);
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Insert `wait`/`signal` instructions for segment `seg` of loop `lp`.
+///
+/// Returns the blocks added by edge splitting (they belong to the loop).
+pub fn place_sync(
+    program: &mut Program,
+    lp: &NaturalLoop,
+    seg: SegmentId,
+    style: PlacementStyle,
+) -> Vec<BlockId> {
+    let access_blocks = blocks_accessing(program, lp, seg);
+    if access_blocks.is_empty() {
+        return Vec::new();
+    }
+    let reach = entry_reach(program, lp, &access_blocks);
+
+    // Edge reachability for an edge (b -> s) inside the iteration.
+    let edge_reach = |s: BlockId| -> bool {
+        if s == lp.header || !lp.blocks.contains(&s) {
+            false
+        } else {
+            reach[&s]
+        }
+    };
+
+    // Plan in-block insertions first (original indices), then apply,
+    // then split edges.
+    // (block, index, inst, before)
+    let mut inserts: Vec<(BlockId, usize, Inst)> = Vec::new();
+    // Edges needing a signal-bearing split block.
+    let mut edge_signals: Vec<(BlockId, BlockId)> = Vec::new();
+
+    for &b in &lp.blocks {
+        if !reach[&b] && !access_blocks.contains(&b) {
+            continue;
+        }
+        let block = program.graph.block(b);
+        // Wait before the first tagged access of the block.
+        if access_blocks.contains(&b) {
+            let first = block
+                .insts
+                .iter()
+                .position(|i| i.shared_tag().map(|t| t.seg) == Some(seg))
+                .expect("access block has an access");
+            inserts.push((b, first, Inst::Wait { seg }));
+        }
+        // Signals.
+        let succs = block.term.successors();
+        let any_reach = succs.iter().any(|&s| edge_reach(s));
+        if !any_reach {
+            // Everything after this block is access-free. If the block
+            // (or an earlier one) contained the access, signal here;
+            // `reach[&b] || access` guaranteed by the outer filter.
+            if access_blocks.contains(&b) {
+                let last = block
+                    .insts
+                    .iter()
+                    .rposition(|i| i.shared_tag().map(|t| t.seg) == Some(seg))
+                    .expect("access block has an access");
+                inserts.push((b, last + 1, Inst::Signal { seg }));
+            } else {
+                // Entry could reach an access only through successors,
+                // none of which reach now: impossible (reach[&b] would be
+                // false) — unless the block itself had the access.
+                unreachable!("non-access block with reach but no reaching successor");
+            }
+        } else {
+            // Mixed successors: signal on each crossing edge. The
+            // header's loop-exit edge is not part of any iteration
+            // (candidate loops exit only through the header, and the
+            // runtime dispatches exact iteration counts), so it needs no
+            // signal.
+            for &s in &succs {
+                if !edge_reach(s) && b != lp.header {
+                    edge_signals.push((b, s));
+                }
+            }
+        }
+    }
+
+    // Apply in-block insertions in descending position order.
+    inserts.sort_by(|a, b| (b.0, b.1).cmp(&(a.0, a.1)));
+    for (b, pos, inst) in inserts {
+        program.graph.block_mut(b).insts.insert(pos, inst);
+    }
+
+    // Split crossing edges and place signals (plus waits when
+    // conservative).
+    let mut new_blocks = Vec::new();
+    edge_signals.sort();
+    edge_signals.dedup();
+    for (from, to) in edge_signals {
+        let nb = program.graph.split_edge(from, to);
+        let block = program.graph.block_mut(nb);
+        if style == PlacementStyle::Conservative {
+            block.insts.push(Inst::Wait { seg });
+        }
+        block.insts.push(Inst::Signal { seg });
+        new_blocks.push(nb);
+    }
+    new_blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_ir::cfg::LoopForest;
+    use helix_ir::{
+        AddrExpr, BinOp, InstOrigin, Operand, ProgramBuilder, Program, SharedTag, TrafficClass,
+        Ty,
+    };
+
+    /// Build the Fig. 5 shape: a loop whose body conditionally updates a
+    /// shared cell (left path) or does private work (right path).
+    fn fig5_program(seg: SegmentId) -> Program {
+        let mut b = ProgramBuilder::new("fig5");
+        let cell = b.region("shared_cell", 64, Ty::I64);
+        b.counted_loop(0, 40, 1, |b, i| {
+            let c = b.reg();
+            b.bin(c, BinOp::And, i, 1i64);
+            b.if_else(
+                c,
+                |b| {
+                    // Left path: a = a + 1 through shared memory.
+                    let a = b.reg();
+                    b.load(a, AddrExpr::region(cell, 0), Ty::I64);
+                    b.bin(a, BinOp::Add, a, 1i64);
+                    b.store(a, AddrExpr::region(cell, 0), Ty::I64);
+                },
+                |b| {
+                    // Right path: private computation.
+                    let t = b.reg();
+                    b.bin(t, BinOp::Mul, i, 3i64);
+                },
+            );
+        });
+        let mut p = b.finish();
+        // Tag the shared accesses manually (segment formation normally
+        // does this).
+        for (_, blk) in p
+            .graph
+            .blocks
+            .iter_mut()
+            .enumerate()
+            .map(|(i, b)| (i, b))
+        {
+            for inst in &mut blk.insts {
+                match inst {
+                    Inst::Load { addr, shared, .. } | Inst::Store { addr, shared, .. } => {
+                        if matches!(addr.base, helix_ir::AddrBase::Region(r) if r.0 == 0) {
+                            *shared = Some(SharedTag {
+                                seg,
+                                class: TrafficClass::MemoryCarried,
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        p
+    }
+
+    fn count_insts(p: &Program, pred: impl Fn(&Inst) -> bool) -> usize {
+        p.graph
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| pred(i))
+            .count()
+    }
+
+    #[test]
+    fn early_signal_places_bare_signal_on_bypass() {
+        let seg = SegmentId(0);
+        let mut p = fig5_program(seg);
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        let lp = forest.loops[0].lp.clone();
+        let added = place_sync(&mut p, &lp, seg, PlacementStyle::EarlySignal);
+        assert!(p.validate().is_ok());
+        // One wait (before the load in the left arm).
+        assert_eq!(count_insts(&p, |i| matches!(i, Inst::Wait { .. })), 1);
+        // Two signals: after the store (left), and on the bypass edge.
+        assert_eq!(count_insts(&p, |i| matches!(i, Inst::Signal { .. })), 2);
+        // Exactly one edge was split (the bypass crossing).
+        assert_eq!(added.len(), 1);
+    }
+
+    #[test]
+    fn conservative_adds_wait_on_bypass() {
+        let seg = SegmentId(0);
+        let mut p = fig5_program(seg);
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        let lp = forest.loops[0].lp.clone();
+        place_sync(&mut p, &lp, seg, PlacementStyle::Conservative);
+        assert!(p.validate().is_ok());
+        // Waits: before the load + on the bypass edge = 2.
+        assert_eq!(count_insts(&p, |i| matches!(i, Inst::Wait { .. })), 2);
+        assert_eq!(count_insts(&p, |i| matches!(i, Inst::Signal { .. })), 2);
+    }
+
+    #[test]
+    fn straight_line_access_gets_one_pair() {
+        let seg = SegmentId(3);
+        let mut b = ProgramBuilder::new("line");
+        let cell = b.region("c", 64, Ty::I64);
+        b.counted_loop(0, 10, 1, |b, i| {
+            let x = b.reg();
+            b.load(x, AddrExpr::region(cell, 0), Ty::I64);
+            b.bin(x, BinOp::Add, x, i);
+            b.store(x, AddrExpr::region(cell, 0), Ty::I64);
+        });
+        let mut p = b.finish();
+        for blk in &mut p.graph.blocks {
+            for inst in &mut blk.insts {
+                if let Inst::Load { shared, .. } | Inst::Store { shared, .. } = inst {
+                    *shared = Some(SharedTag {
+                        seg,
+                        class: TrafficClass::MemoryCarried,
+                    });
+                }
+            }
+        }
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        let lp = forest.loops[0].lp.clone();
+        let added = place_sync(&mut p, &lp, seg, PlacementStyle::EarlySignal);
+        assert!(added.is_empty());
+        assert_eq!(count_insts(&p, |i| matches!(i, Inst::Wait { .. })), 1);
+        assert_eq!(count_insts(&p, |i| matches!(i, Inst::Signal { .. })), 1);
+        // Order within the body block: wait ... load ... store ... signal.
+        let body = p
+            .graph
+            .blocks
+            .iter()
+            .find(|b| b.insts.iter().any(|i| matches!(i, Inst::Wait { .. })))
+            .unwrap();
+        assert!(matches!(body.insts[0], Inst::Wait { .. }));
+        assert!(matches!(body.insts.last().unwrap(), Inst::Signal { .. }));
+    }
+
+    #[test]
+    fn access_inside_inner_loop_signals_after_it() {
+        let seg = SegmentId(1);
+        let mut b = ProgramBuilder::new("inner");
+        let cell = b.region("c", 64, Ty::I64);
+        b.counted_loop(0, 6, 1, |b, _i| {
+            b.counted_loop(0, 4, 1, |b, j| {
+                let x = b.reg();
+                b.load(x, AddrExpr::region(cell, 0), Ty::I64);
+                b.bin(x, BinOp::Add, x, j);
+                b.store(x, AddrExpr::region(cell, 0), Ty::I64);
+            });
+            let t = b.reg();
+            b.bin(t, BinOp::Add, Operand::imm(1), 2i64);
+        });
+        let mut p = b.finish();
+        for blk in &mut p.graph.blocks {
+            for inst in &mut blk.insts {
+                if let Inst::Load { shared, .. } | Inst::Store { shared, .. } = inst {
+                    *shared = Some(SharedTag {
+                        seg,
+                        class: TrafficClass::MemoryCarried,
+                    });
+                }
+            }
+        }
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        let outer = forest
+            .loops
+            .iter()
+            .find(|n| n.depth == 0)
+            .unwrap()
+            .lp
+            .clone();
+        place_sync(&mut p, &outer, seg, PlacementStyle::EarlySignal);
+        assert!(p.validate().is_ok());
+        // The signal must not be inside the inner loop: the inner loop's
+        // body re-reaches the access, so the crossing is on its exit edge.
+        let forest2 = LoopForest::compute(&p.graph, p.graph.entry);
+        let inner = forest2
+            .loops
+            .iter()
+            .find(|n| n.depth == 1)
+            .unwrap()
+            .lp
+            .clone();
+        for &blk in &inner.blocks {
+            for inst in &p.graph.block(blk).insts {
+                assert!(
+                    !matches!(inst, Inst::Signal { .. }),
+                    "signal must be outside the inner loop"
+                );
+            }
+        }
+        let _ = InstOrigin::Added;
+    }
+
+    #[test]
+    fn segment_region_size_counts_span() {
+        let seg = SegmentId(0);
+        let p = fig5_program(seg);
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        let lp = forest.loops[0].lp.clone();
+        let size = segment_region_size(&p, &lp, seg);
+        // Region: body block (cond), left arm (3 insts) at least.
+        assert!(size >= 3, "got {size}");
+    }
+}

@@ -1,0 +1,237 @@
+//! Parallelization plans: the contract between compiler and simulator.
+//!
+//! A [`LoopPlan`] records everything the runtime needs to execute a
+//! parallelized loop: the loop's shape (counter, step, bound), the
+//! sequential segments, the variables each core re-computes (inductions)
+//! or privatizes (reductions), and the live-out registers whose final
+//! values must be resolved at the loop barrier.
+
+use helix_ir::{BinOp, BlockId, Operand, Reg, RegionId, SegmentId, TrafficClass, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A sequential segment of a parallelized loop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentPlan {
+    /// Segment identifier carried by `wait`/`signal` and shared tags.
+    pub id: SegmentId,
+    /// Traffic classes present in the segment (register-carried demoted
+    /// scalars and/or memory-carried structures).
+    pub classes: BTreeSet<TrafficClass>,
+    /// Static count of tagged shared accesses in the segment.
+    pub access_sites: usize,
+}
+
+/// A first- or second-order induction variable re-computed per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InductionPlan {
+    /// The register holding the variable.
+    pub reg: Reg,
+    /// Fresh register holding the loop-entry value (runtime-initialized).
+    pub init_copy: Reg,
+    /// First-order step per iteration.
+    pub step: i64,
+}
+
+/// A reduction privatized per core and combined at the loop barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReductionPlan {
+    /// The register accumulating the reduction.
+    pub reg: Reg,
+    /// Combining operation.
+    pub op: BinOp,
+    /// Identity element cores (other than core 0) start from.
+    pub identity: Value,
+}
+
+/// A second-order induction (`r += s`, `s += dd`), re-computed from the
+/// closed form `r₀ + k·s₀ + dd·k(k−1)/2`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Poly2Plan {
+    /// The register holding the variable.
+    pub reg: Reg,
+    /// Fresh register holding the loop-entry value.
+    pub init_copy: Reg,
+    /// The first-order register it accumulates (must have an
+    /// [`InductionPlan`]).
+    pub step_reg: Reg,
+    /// Second difference (`step_reg`'s per-iteration increment).
+    pub step_step: i64,
+}
+
+/// How the runtime resolves a live-out register's final value at the
+/// loop barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LiveOutResolve {
+    /// Closed-form induction value at iteration `trip`.
+    InductionFinal,
+    /// Combine every core's private accumulator.
+    ReductionCombine,
+    /// Take the value from the core that ran the last iteration that
+    /// defined the register (categories iii/iv).
+    LastWriter,
+}
+
+/// One live-out register and its resolution strategy. Demoted registers
+/// are absent: compiler-inserted loads on the loop's exit edge read their
+/// slots back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LiveOutPlan {
+    /// The register.
+    pub reg: Reg,
+    /// Resolution strategy.
+    pub resolve: LiveOutResolve,
+}
+
+/// Returns the identity element of a reduction operation, or `None` if
+/// the operation cannot be privatized.
+pub fn reduction_identity(op: BinOp) -> Option<Value> {
+    Some(match op {
+        BinOp::Add => Value::Int(0),
+        BinOp::FAdd => Value::Float(0.0),
+        BinOp::Mul => Value::Int(1),
+        BinOp::FMul => Value::Float(1.0),
+        BinOp::MinI => Value::Int(i64::MAX),
+        BinOp::MaxI => Value::Int(i64::MIN),
+        BinOp::FMin => Value::Float(f64::INFINITY),
+        BinOp::FMax => Value::Float(f64::NEG_INFINITY),
+        BinOp::And => Value::Int(-1),
+        BinOp::Or | BinOp::Xor => Value::Int(0),
+        _ => return None,
+    })
+}
+
+/// Everything the runtime needs to run one parallelized loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopPlan {
+    /// Human-readable name (e.g. `"hot_loop_0"`).
+    pub name: String,
+    /// Header block of the loop in the transformed program.
+    pub header: BlockId,
+    /// All blocks of the loop in the transformed program (including
+    /// compiler-inserted split blocks).
+    pub blocks: BTreeSet<BlockId>,
+    /// Block each iteration starts at (the re-computation prologue, which
+    /// jumps to the header).
+    pub iteration_entry: BlockId,
+    /// Register the runtime sets to the iteration index before starting
+    /// an iteration.
+    pub iter_reg: Reg,
+    /// The canonical loop counter.
+    pub counter: Reg,
+    /// Counter step per iteration.
+    pub step: i64,
+    /// Loop bound operand (evaluated at loop entry to derive the trip
+    /// count).
+    pub bound: Operand,
+    /// Sequential segments.
+    pub segments: Vec<SegmentPlan>,
+    /// Induction variables re-computed each iteration.
+    pub inductions: Vec<InductionPlan>,
+    /// Second-order inductions re-computed each iteration.
+    pub poly2: Vec<Poly2Plan>,
+    /// Reductions privatized per core.
+    pub reductions: Vec<ReductionPlan>,
+    /// Live-out registers the runtime resolves at the loop barrier.
+    pub liveouts: Vec<LiveOutPlan>,
+    /// Block the orchestrating core resumes at after the parallel loop
+    /// (holds compiler-inserted loads of demoted slots, then jumps to the
+    /// original exit).
+    pub exit_resume: BlockId,
+    /// Region holding the demoted shared scalars.
+    pub shared_region: Option<RegionId>,
+    /// Compiler's estimated speedup (from the selection model).
+    pub est_speedup: f64,
+    /// Fraction of sequential execution time this loop covers (from the
+    /// training profile).
+    pub coverage: f64,
+    /// Mean dynamic instructions per iteration (training profile).
+    pub insts_per_iter: f64,
+}
+
+impl LoopPlan {
+    /// Trip count for an invocation given the runtime values of the
+    /// counter (at entry) and the bound.
+    pub fn trip_count(&self, counter_entry: i64, bound: i64) -> u64 {
+        if self.step <= 0 {
+            return 0;
+        }
+        let span = bound - counter_entry;
+        if span <= 0 {
+            0
+        } else {
+            ((span + self.step - 1) / self.step) as u64
+        }
+    }
+
+    /// Number of sequential segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+/// Compile-time statistics for reporting (Table 1, §6.2 text numbers).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CompileStats {
+    /// Fraction of profiled execution covered by selected loops.
+    pub coverage: f64,
+    /// Total loops considered.
+    pub candidates: usize,
+    /// Loops selected for parallelization.
+    pub selected: usize,
+    /// Total sequential segments across selected loops.
+    pub segments: usize,
+    /// Static `wait`/`signal` instructions inserted.
+    pub sync_insts: usize,
+    /// Static instructions added by parallelization (loads/stores of
+    /// demoted scalars, re-computation code), excluding `wait`/`signal`.
+    pub added_insts: usize,
+    /// Mean static instructions per sequential segment region.
+    pub mean_segment_size: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trip_count_arithmetic() {
+        let plan = LoopPlan {
+            name: "t".into(),
+            header: BlockId(1),
+            blocks: BTreeSet::new(),
+            iteration_entry: BlockId(9),
+            iter_reg: Reg(10),
+            counter: Reg(0),
+            step: 2,
+            bound: Operand::imm(10),
+            segments: vec![],
+            inductions: vec![],
+            poly2: vec![],
+            reductions: vec![],
+            liveouts: vec![],
+            exit_resume: BlockId(2),
+            shared_region: None,
+            est_speedup: 1.0,
+            coverage: 0.5,
+            insts_per_iter: 10.0,
+        };
+        assert_eq!(plan.trip_count(0, 10), 5);
+        assert_eq!(plan.trip_count(1, 10), 5); // 1,3,5,7,9
+        assert_eq!(plan.trip_count(10, 10), 0);
+        assert_eq!(plan.trip_count(11, 10), 0);
+    }
+
+    #[test]
+    fn reduction_identities() {
+        assert_eq!(reduction_identity(BinOp::Add), Some(Value::Int(0)));
+        assert_eq!(reduction_identity(BinOp::MinI), Some(Value::Int(i64::MAX)));
+        assert_eq!(reduction_identity(BinOp::MaxI), Some(Value::Int(i64::MIN)));
+        assert_eq!(reduction_identity(BinOp::Mul), Some(Value::Int(1)));
+        assert_eq!(reduction_identity(BinOp::Sub), None);
+        match reduction_identity(BinOp::FMin) {
+            Some(Value::Float(f)) => assert!(f.is_infinite() && f > 0.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

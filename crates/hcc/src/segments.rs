@@ -1,0 +1,287 @@
+//! Sequential-segment formation.
+//!
+//! Shared accesses are partitioned into sequential segments such that
+//! *different segments always access different shared data* (paper §4),
+//! by taking connected components of the "may touch the same location"
+//! relation over shared access sites. Splitting policy then controls how
+//! many segments survive: HCCv3 splits aggressively (one segment per
+//! component) to maximize TLP; HCCv1/v2 merge components because every
+//! segment costs a round of synchronization on conventional hardware.
+
+use crate::demote::PLACEHOLDER_SEG;
+use crate::plan::SegmentPlan;
+use helix_analysis::LoopDeps;
+use helix_ir::cfg::NaturalLoop;
+use helix_ir::{Inst, InstSite, Program, SegmentId, SharedTag, TrafficClass};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How aggressively to split shared data into segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitPolicy {
+    /// One segment per disjoint-data component (HCCv3).
+    Aggressive,
+    /// Merge components down to at most this many segments (HCCv1 uses 1,
+    /// HCCv2 a small number): fewer synchronization rounds, longer
+    /// segments.
+    MaxSegments(usize),
+}
+
+/// Failure to form segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentError {
+    /// A shared dependence endpoint is not a plain load/store (e.g. a
+    /// `memcpy` touches shared data); such loops are not parallelized.
+    UntaggableSite(InstSite),
+}
+
+impl std::fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegmentError::UntaggableSite(s) => {
+                write!(f, "shared access at {s} is not a taggable load/store")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+/// Union-find over arbitrary ordered keys.
+#[derive(Debug, Default)]
+struct UnionFind {
+    parent: BTreeMap<InstSite, InstSite>,
+}
+
+impl UnionFind {
+    fn find(&mut self, x: InstSite) -> InstSite {
+        let p = *self.parent.entry(x).or_insert(x);
+        if p == x {
+            return x;
+        }
+        let root = self.find(p);
+        self.parent.insert(x, root);
+        root
+    }
+
+    fn union(&mut self, a: InstSite, b: InstSite) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Smaller root wins, for determinism.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent.insert(hi, lo);
+        }
+    }
+}
+
+/// Assign final segment ids for one loop of a transformed program.
+///
+/// `deps` must come from re-analysis of the *transformed* loop (after
+/// demotion). Rewrites the shared tags of every shared access in place
+/// and returns the segment plans. `next_seg_id` provides globally unique
+/// ids.
+///
+/// # Errors
+///
+/// Fails if a shared dependence endpoint cannot carry a tag.
+pub fn assign_segments(
+    program: &mut Program,
+    lp: &NaturalLoop,
+    deps: &LoopDeps,
+    policy: SplitPolicy,
+    next_seg_id: &mut u32,
+) -> Result<Vec<SegmentPlan>, SegmentError> {
+    // 1. Collect shared sites: dependence endpoints + demoted placeholders.
+    let mut uf = UnionFind::default();
+    let mut sites: BTreeSet<InstSite> = BTreeSet::new();
+    for d in &deps.mem_deps {
+        sites.insert(d.a);
+        sites.insert(d.b);
+        uf.union(d.a, d.b);
+    }
+    // Demoted placeholder tags (they alias through their slot, so the
+    // dependence pass links them; still include isolated ones).
+    for &b in &lp.blocks {
+        for (idx, inst) in program.graph.block(b).insts.iter().enumerate() {
+            if let Some(tag) = inst.shared_tag() {
+                if tag.seg == PLACEHOLDER_SEG {
+                    sites.insert(InstSite { block: b, index: idx });
+                }
+            }
+        }
+    }
+    if sites.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Demoted sites of the same slot must share a segment even if the
+    // dependence pass somehow missed a pair: link sites with identical
+    // (region, offset) addresses.
+    let mut by_slot: BTreeMap<(u32, i64), InstSite> = BTreeMap::new();
+    for &site in &sites {
+        let inst = &program.graph.block(site.block).insts[site.index];
+        if let Inst::Load { addr, .. } | Inst::Store { addr, .. } = inst {
+            if let helix_ir::AddrBase::Region(r) = addr.base {
+                if addr.index.is_none() && inst.shared_tag().map(|t| t.seg) == Some(PLACEHOLDER_SEG)
+                {
+                    let key = (r.0, addr.offset);
+                    if let Some(&other) = by_slot.get(&key) {
+                        uf.union(other, site);
+                    } else {
+                        by_slot.insert(key, site);
+                    }
+                }
+            }
+        }
+    }
+
+    // 2. Verify taggability.
+    for &site in &sites {
+        let inst = &program.graph.block(site.block).insts[site.index];
+        if !matches!(inst, Inst::Load { .. } | Inst::Store { .. }) {
+            return Err(SegmentError::UntaggableSite(site));
+        }
+    }
+
+    // 3. Components, ordered by their smallest site for determinism.
+    let mut components: BTreeMap<InstSite, Vec<InstSite>> = BTreeMap::new();
+    for &site in &sites {
+        let root = uf.find(site);
+        components.entry(root).or_default().push(site);
+    }
+    let mut comps: Vec<Vec<InstSite>> = components.into_values().collect();
+
+    // 4. Splitting policy.
+    if let SplitPolicy::MaxSegments(k) = policy {
+        let k = k.max(1);
+        if comps.len() > k {
+            // Keep the k-1 largest; merge the rest into one.
+            comps.sort_by_key(|c| std::cmp::Reverse(c.len()));
+            let tail: Vec<InstSite> = comps.split_off(k - 1).into_iter().flatten().collect();
+            comps.push(tail);
+            // Restore deterministic order by smallest site.
+            comps.sort_by_key(|c| *c.iter().min().expect("nonempty component"));
+        }
+    }
+
+    // 5. Assign ids and rewrite tags.
+    let mut plans = Vec::new();
+    for comp in comps {
+        let id = SegmentId(*next_seg_id);
+        *next_seg_id += 1;
+        let mut classes = BTreeSet::new();
+        for site in &comp {
+            let inst = &mut program.graph.block_mut(site.block).insts[site.index];
+            let class = match inst.shared_tag() {
+                Some(tag) if tag.seg == PLACEHOLDER_SEG => TrafficClass::RegisterCarried,
+                Some(tag) => tag.class,
+                None => TrafficClass::MemoryCarried,
+            };
+            classes.insert(class);
+            let new_tag = Some(SharedTag { seg: id, class });
+            match inst {
+                Inst::Load { shared, .. } | Inst::Store { shared, .. } => *shared = new_tag,
+                _ => unreachable!("taggability verified"),
+            }
+        }
+        plans.push(SegmentPlan {
+            id,
+            classes,
+            access_sites: comp.len(),
+        });
+    }
+    Ok(plans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_analysis::{analyze_loop, DepConfig, PointsTo};
+    use helix_ir::cfg::LoopForest;
+    use helix_ir::{AddrExpr, BinOp, ProgramBuilder, Program, Ty};
+
+    /// Two independent shared cells -> two segments under aggressive
+    /// splitting, one under MaxSegments(1).
+    fn two_cell_program() -> Program {
+        let mut b = ProgramBuilder::new("two");
+        let ra = b.region("cell_a", 64, Ty::I64);
+        let rb = b.region("cell_b", 64, Ty::I64);
+        b.counted_loop(0, 50, 1, |b, i| {
+            let x = b.reg();
+            b.load(x, AddrExpr::region(ra, 0), Ty::I64);
+            b.bin(x, BinOp::Add, x, i);
+            b.store(x, AddrExpr::region(ra, 0), Ty::I64);
+            let y = b.reg();
+            b.load(y, AddrExpr::region(rb, 0), Ty::I64);
+            b.bin(y, BinOp::Xor, y, i);
+            b.store(y, AddrExpr::region(rb, 0), Ty::I64);
+        });
+        b.finish()
+    }
+
+    fn form(p: &mut Program, policy: SplitPolicy) -> Vec<SegmentPlan> {
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        let lp = forest.loops[0].lp.clone();
+        let config = DepConfig::full();
+        let pts = PointsTo::analyze(p, config.tier);
+        let deps = analyze_loop(p, &lp, config, &pts);
+        let mut next = 0;
+        assign_segments(p, &lp, &deps, policy, &mut next).unwrap()
+    }
+
+    #[test]
+    fn aggressive_splits_disjoint_data() {
+        let mut p = two_cell_program();
+        let plans = form(&mut p, SplitPolicy::Aggressive);
+        assert_eq!(plans.len(), 2);
+        assert!(plans.iter().all(|s| s.access_sites == 2));
+        // Tags rewritten: no placeholder left; two distinct ids.
+        let mut ids = BTreeSet::new();
+        for (_, blk) in p.graph.iter() {
+            for inst in &blk.insts {
+                if let Some(tag) = inst.shared_tag() {
+                    assert_ne!(tag.seg, PLACEHOLDER_SEG);
+                    ids.insert(tag.seg);
+                }
+            }
+        }
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn max_segments_merges() {
+        let mut p = two_cell_program();
+        let plans = form(&mut p, SplitPolicy::MaxSegments(1));
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].access_sites, 4);
+    }
+
+    #[test]
+    fn no_shared_data_no_segments() {
+        let mut b = ProgramBuilder::new("none");
+        let r = b.region("a", 8192, Ty::I64);
+        b.counted_loop(0, 50, 1, |b, i| {
+            let x = b.reg();
+            b.load(x, AddrExpr::region_indexed(r, i, 8, 0), Ty::I64);
+            b.bin(x, BinOp::Add, x, 1i64);
+            b.store(x, AddrExpr::region_indexed(r, i, 8, 0), Ty::I64);
+        });
+        let mut p = b.finish();
+        let plans = form(&mut p, SplitPolicy::Aggressive);
+        assert!(plans.is_empty());
+    }
+
+    #[test]
+    fn segment_ids_globally_unique() {
+        let mut p = two_cell_program();
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        let lp = forest.loops[0].lp.clone();
+        let config = DepConfig::full();
+        let pts = PointsTo::analyze(&p, config.tier);
+        let deps = analyze_loop(&p, &lp, config, &pts);
+        let mut next = 7;
+        let plans = assign_segments(&mut p, &lp, &deps, SplitPolicy::Aggressive, &mut next).unwrap();
+        assert_eq!(plans[0].id, SegmentId(7));
+        assert_eq!(plans[1].id, SegmentId(8));
+        assert_eq!(next, 9);
+    }
+}

@@ -1,0 +1,477 @@
+//! Loop selection.
+//!
+//! HCCv1 selects loops with an analytical performance model; HCCv3
+//! profiles loops on representative inputs, emulating the ring cache to
+//! estimate the time saved by parallelization, and picks the most
+//! promising set over the loop nesting graph (paper §4). Both reduce to
+//! the same machinery here: a per-loop speedup estimate parameterized by
+//! the synchronization cost of the target machine, maximized over the
+//! loop forest by dynamic programming (only one loop runs in parallel at
+//! a time, so an ancestor and its descendant cannot both be selected).
+
+use crate::placement::{region_size_for_reg, region_size_for_sites};
+use crate::profile::ProgramProfile;
+use helix_analysis::{analyze_loop, classify_registers, DepConfig, PointsTo};
+use helix_ir::cfg::{recognize_counted_loop, LoopForest};
+use helix_ir::{Inst, InstSite, Program, Terminator};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Machine model used by the selection estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectionParams {
+    /// Cores iterations are distributed over.
+    pub cores: u32,
+    /// Cycles to synchronize one sequential segment across cores
+    /// (conventional: the coherence round trip; ring cache: a few hops).
+    pub sync_cost: f64,
+    /// Minimum estimated speedup to consider a loop profitable.
+    pub min_speedup: f64,
+    /// Minimum mean trip count per invocation.
+    pub min_trip: f64,
+    /// Maximum number of segments the splitter will keep (mirrors the
+    /// split policy so segment-size estimates match codegen).
+    pub max_segments: usize,
+}
+
+/// Why a loop was rejected as a parallelization candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// Not a canonical counted loop (trip count unknown at entry).
+    NotCounted,
+    /// Exits the loop from a non-header block.
+    SideExit,
+    /// Contains a call with hidden internal state (`rand`).
+    HiddenState,
+    /// A shared dependence endpoint cannot be tagged (e.g. `memcpy`).
+    UntaggableShared,
+    /// A register needing communication has an ambiguous scalar type.
+    MixedTypeShared,
+    /// Mean trip count below threshold.
+    LowTrip,
+    /// Estimated speedup below threshold.
+    Unprofitable,
+    /// The loop never ran during profiling.
+    Cold,
+}
+
+/// Estimate for one candidate loop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CandidateEstimate {
+    /// Loop index in the forest.
+    pub loop_idx: usize,
+    /// Estimated speedup of the loop body under the machine model.
+    pub est_speedup: f64,
+    /// Program-time fraction saved if selected.
+    pub gain: f64,
+    /// Estimated number of sequential segments after splitting.
+    pub segments: usize,
+    /// Estimated size (static instructions) of the largest segment.
+    pub max_seg_size: usize,
+    /// Fraction of profiled execution inside the loop.
+    pub coverage: f64,
+    /// Mean dynamic instructions per iteration.
+    pub insts_per_iter: f64,
+}
+
+/// Result of loop selection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Selection {
+    /// Indices of selected loops (no ancestor/descendant pairs).
+    pub selected: Vec<usize>,
+    /// All candidate estimates (selected or not).
+    pub candidates: Vec<CandidateEstimate>,
+    /// Rejected loops with reasons.
+    pub rejected: Vec<(usize, RejectReason)>,
+    /// Total coverage of the selected set.
+    pub coverage: f64,
+}
+
+/// Evaluate and select loops of `program`.
+pub fn select_loops(
+    program: &Program,
+    forest: &LoopForest,
+    profile: &ProgramProfile,
+    dep_config: DepConfig,
+    params: &SelectionParams,
+) -> Selection {
+    let pts = PointsTo::analyze(program, dep_config.tier);
+    let mut candidates: BTreeMap<usize, CandidateEstimate> = BTreeMap::new();
+    let mut rejected = Vec::new();
+
+    for (idx, node) in forest.loops.iter().enumerate() {
+        let lp = &node.lp;
+        let prof = profile.loops[idx];
+        if prof.invocations == 0 {
+            rejected.push((idx, RejectReason::Cold));
+            continue;
+        }
+        if recognize_counted_loop(&program.graph, lp).is_none() {
+            rejected.push((idx, RejectReason::NotCounted));
+            continue;
+        }
+        // Exits only from the header; no Return inside.
+        let mut side_exit = false;
+        for &b in &lp.blocks {
+            let term = &program.graph.block(b).term;
+            if matches!(term, Terminator::Return) {
+                side_exit = true;
+            }
+            if b != lp.header {
+                for s in term.successors() {
+                    if !lp.blocks.contains(&s) {
+                        side_exit = true;
+                    }
+                }
+            }
+        }
+        if side_exit {
+            rejected.push((idx, RejectReason::SideExit));
+            continue;
+        }
+
+        let deps = analyze_loop(program, lp, dep_config, &pts);
+        if deps.hidden_state_dep {
+            rejected.push((idx, RejectReason::HiddenState));
+            continue;
+        }
+        // All shared dependence endpoints must be plain loads/stores.
+        let shared_sites = deps.shared_sites();
+        let untaggable = shared_sites.iter().any(|s| {
+            !matches!(
+                program.graph.block(s.block).insts[s.index],
+                Inst::Load { .. } | Inst::Store { .. }
+            )
+        });
+        if untaggable {
+            rejected.push((idx, RejectReason::UntaggableShared));
+            continue;
+        }
+        // Registers that must be communicated: uniform type required.
+        let classes = classify_registers(&program.graph, lp);
+        let must_comm: Vec<_> = classes.iter().filter(|c| c.must_communicate()).collect();
+        let mixed = must_comm
+            .iter()
+            .any(|c| crate::demote::infer_reg_ty(&program.graph, c.reg).is_none());
+        if mixed {
+            rejected.push((idx, RejectReason::MixedTypeShared));
+            continue;
+        }
+
+        if prof.trip_count() < params.min_trip {
+            rejected.push((idx, RejectReason::LowTrip));
+            continue;
+        }
+
+        // --- Segment structure estimate ---
+        // Memory components via union-find over dependence pairs.
+        let mut parent: BTreeMap<InstSite, InstSite> = BTreeMap::new();
+        fn find(parent: &mut BTreeMap<InstSite, InstSite>, x: InstSite) -> InstSite {
+            let p = *parent.entry(x).or_insert(x);
+            if p == x {
+                x
+            } else {
+                let r = find(parent, p);
+                parent.insert(x, r);
+                r
+            }
+        }
+        for d in &deps.mem_deps {
+            let (ra, rb) = (find(&mut parent, d.a), find(&mut parent, d.b));
+            if ra != rb {
+                let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+                parent.insert(hi, lo);
+            }
+        }
+        let mut comps: BTreeMap<InstSite, BTreeSet<InstSite>> = BTreeMap::new();
+        for &s in &shared_sites {
+            let r = find(&mut parent, s);
+            comps.entry(r).or_default().insert(s);
+        }
+        // Segment region sizes (static instructions within reach span,
+        // at instruction granularity), weighted by how often each block
+        // executes relative to this loop's iterations: a segment that
+        // spans a nested loop is dynamically as long as that loop's whole
+        // execution, which is what the synchronization serializes.
+        let weight_of = |inner_idx: Option<usize>| -> f64 {
+            let own = profile.loops[idx].iterations.max(1) as f64;
+            match inner_idx {
+                Some(j) if j != idx => {
+                    (profile.loops[j].iterations.max(1) as f64 / own).max(1.0)
+                }
+                _ => 1.0,
+            }
+        };
+        let weighted = |raw: usize, blocks: &BTreeSet<helix_ir::BlockId>| -> usize {
+            // Approximate: scale the whole region by the maximum relative
+            // frequency among its access blocks.
+            let mut w = 1.0f64;
+            for b in blocks {
+                w = w.max(weight_of(forest.innermost_containing(*b)));
+            }
+            (raw as f64 * w) as usize
+        };
+        let mut seg_sizes: Vec<usize> = Vec::new();
+        for comp in comps.values() {
+            let raw = region_size_for_sites(program, lp, comp);
+            let blocks: BTreeSet<helix_ir::BlockId> = comp.iter().map(|s| s.block).collect();
+            seg_sizes.push(weighted(raw, &blocks));
+        }
+        for c in &must_comm {
+            let raw = region_size_for_reg(program, lp, c.reg);
+            let mut blocks = BTreeSet::new();
+            for &b in &lp.blocks {
+                for inst in &program.graph.block(b).insts {
+                    if inst.uses().contains(&c.reg) || inst.def() == Some(c.reg) {
+                        blocks.insert(b);
+                    }
+                }
+            }
+            seg_sizes.push(weighted(raw, &blocks));
+        }
+        let mut n_seg = seg_sizes.len();
+        if n_seg > params.max_segments {
+            // Merging keeps total size but concentrates it.
+            seg_sizes.sort_unstable_by(|a, b| b.cmp(a));
+            let merged: usize = seg_sizes.split_off(params.max_segments - 1).iter().sum();
+            seg_sizes.push(merged);
+            n_seg = params.max_segments;
+        }
+        let max_seg = seg_sizes.iter().copied().max().unwrap_or(0);
+
+        // --- Speedup model ---
+        let i_per_iter = prof.insts_per_iter().max(1.0);
+        let demoted_accesses: usize = must_comm
+            .iter()
+            .map(|c| {
+                let mut n = 0;
+                for &b in &lp.blocks {
+                    for inst in &program.graph.block(b).insts {
+                        if inst.uses().contains(&c.reg) {
+                            n += 1;
+                        }
+                        if inst.def() == Some(c.reg) {
+                            n += 1;
+                        }
+                    }
+                }
+                n
+            })
+            .sum();
+        let added = demoted_accesses as f64 + 2.0 * n_seg as f64;
+        let trip = prof.trip_count();
+        let n_eff = (params.cores as f64).min(trip.max(1.0));
+        let parallel_bound = (i_per_iter + added) / n_eff;
+        let serial_bound = if n_seg == 0 {
+            0.0
+        } else {
+            max_seg as f64 + params.sync_cost
+        };
+        let est_speedup = i_per_iter / parallel_bound.max(serial_bound).max(1.0);
+
+        let coverage = profile.coverage(idx);
+        if est_speedup < params.min_speedup {
+            rejected.push((idx, RejectReason::Unprofitable));
+            continue;
+        }
+        let gain = coverage * (1.0 - 1.0 / est_speedup);
+        candidates.insert(
+            idx,
+            CandidateEstimate {
+                loop_idx: idx,
+                est_speedup,
+                gain,
+                segments: n_seg,
+                max_seg_size: max_seg,
+                coverage,
+                insts_per_iter: i_per_iter,
+            },
+        );
+    }
+
+    // DP over the forest: best(node) = max(own gain, sum of children).
+    let mut selected = Vec::new();
+    let mut memo: BTreeMap<usize, (f64, Vec<usize>)> = BTreeMap::new();
+    fn best(
+        idx: usize,
+        forest: &LoopForest,
+        candidates: &BTreeMap<usize, CandidateEstimate>,
+        memo: &mut BTreeMap<usize, (f64, Vec<usize>)>,
+    ) -> (f64, Vec<usize>) {
+        if let Some(v) = memo.get(&idx) {
+            return v.clone();
+        }
+        let mut child_gain = 0.0;
+        let mut child_set = Vec::new();
+        for &c in &forest.loops[idx].children {
+            let (g, s) = best(c, forest, candidates, memo);
+            child_gain += g;
+            child_set.extend(s);
+        }
+        let own = candidates.get(&idx).map(|c| c.gain).unwrap_or(-1.0);
+        let result = if own >= child_gain && own > 0.0 {
+            (own, vec![idx])
+        } else {
+            (child_gain, child_set)
+        };
+        memo.insert(idx, result.clone());
+        result
+    }
+    let mut coverage = 0.0;
+    for root in forest.roots() {
+        let (_, set) = best(root, forest, &candidates, &mut memo);
+        for idx in set {
+            coverage += candidates[&idx].coverage;
+            selected.push(idx);
+        }
+    }
+    selected.sort_unstable();
+
+    Selection {
+        selected,
+        candidates: candidates.into_values().collect(),
+        rejected,
+        coverage,
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profile;
+    use helix_ir::interp::Env;
+    use helix_ir::{AddrExpr, BinOp, ProgramBuilder, Ty};
+
+    fn params(cores: u32, sync: f64) -> SelectionParams {
+        SelectionParams {
+            cores,
+            sync_cost: sync,
+            min_speedup: 1.2,
+            min_trip: 2.0,
+            max_segments: 64,
+        }
+    }
+
+    /// A DOALL-style hot loop: selected under both cheap and costly sync.
+    #[test]
+    fn doall_hot_loop_selected() {
+        let mut b = ProgramBuilder::new("t");
+        let r = b.region("a", 1 << 16, Ty::I64);
+        b.counted_loop(0, 1000, 1, |b, i| {
+            let x = b.reg();
+            b.load(x, AddrExpr::region_indexed(r, i, 8, 0), Ty::I64);
+            b.alu_chain(x, 8);
+            b.store(x, AddrExpr::region_indexed(r, i, 8, 0), Ty::I64);
+        });
+        let p = b.finish();
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        let mut env = Env::for_program(&p);
+        let prof = profile(&p, &forest, &mut env, 10_000_000).unwrap();
+        let sel = select_loops(&p, &forest, &prof, DepConfig::full(), &params(16, 100.0));
+        assert_eq!(sel.selected.len(), 1);
+        assert!(sel.coverage > 0.9);
+        assert!(sel.candidates[0].est_speedup > 4.0);
+    }
+
+    /// A tight serial accumulator through memory: profitable only when
+    /// synchronization is cheap (the ring-cache case).
+    #[test]
+    fn serial_loop_needs_cheap_sync() {
+        let mut b = ProgramBuilder::new("t");
+        let cell = b.region("cell", 64, Ty::I64);
+        let data = b.region("data", 1 << 16, Ty::I64);
+        b.counted_loop(0, 1000, 1, |b, i| {
+            // Long private part...
+            let x = b.reg();
+            b.load(x, AddrExpr::region_indexed(data, i, 8, 0), Ty::I64);
+            b.alu_chain(x, 30);
+            // ...plus a short shared update.
+            let c = b.reg();
+            b.load(c, AddrExpr::region(cell, 0), Ty::I64);
+            b.bin(c, BinOp::Add, c, x);
+            b.store(c, AddrExpr::region(cell, 0), Ty::I64);
+        });
+        let p = b.finish();
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        let mut env = Env::for_program(&p);
+        let prof = profile(&p, &forest, &mut env, 10_000_000).unwrap();
+
+        let expensive = select_loops(&p, &forest, &prof, DepConfig::full(), &params(16, 100.0));
+        assert!(
+            expensive.selected.is_empty(),
+            "100-cycle sync per 35-inst iteration is unprofitable"
+        );
+        let cheap = select_loops(&p, &forest, &prof, DepConfig::full(), &params(16, 8.0));
+        assert_eq!(cheap.selected.len(), 1, "ring-cache sync cost unlocks it");
+    }
+
+    /// Nested loops: the DP picks the inner loop when it is the better
+    /// candidate and never selects both.
+    #[test]
+    fn dp_respects_nesting() {
+        let mut b = ProgramBuilder::new("t");
+        let r = b.region("a", 1 << 16, Ty::I64);
+        b.counted_loop(0, 8, 1, |b, _outer| {
+            b.counted_loop(0, 200, 1, |b, j| {
+                let x = b.reg();
+                b.load(x, AddrExpr::region_indexed(r, j, 8, 0), Ty::I64);
+                b.alu_chain(x, 6);
+                b.store(x, AddrExpr::region_indexed(r, j, 8, 0), Ty::I64);
+            });
+        });
+        let p = b.finish();
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        let mut env = Env::for_program(&p);
+        let prof = profile(&p, &forest, &mut env, 50_000_000).unwrap();
+        let sel = select_loops(&p, &forest, &prof, DepConfig::full(), &params(16, 10.0));
+        assert_eq!(sel.selected.len(), 1);
+    }
+
+    /// Loops with hidden-state calls are rejected.
+    #[test]
+    fn rand_loop_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        b.counted_loop(0, 100, 1, |b, _i| {
+            let x = b.reg();
+            b.call(Some(x), helix_ir::Intrinsic::Rand, vec![]);
+        });
+        let p = b.finish();
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        let mut env = Env::for_program(&p);
+        let prof = profile(&p, &forest, &mut env, 1_000_000).unwrap();
+        let sel = select_loops(&p, &forest, &prof, DepConfig::full(), &params(16, 10.0));
+        assert!(sel.selected.is_empty());
+        assert!(sel
+            .rejected
+            .iter()
+            .any(|(_, r)| *r == RejectReason::HiddenState));
+    }
+
+    /// While loops (unknown trip count) are rejected as NotCounted.
+    #[test]
+    fn while_loop_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        let n = b.reg();
+        b.const_i(n, 100);
+        b.while_loop(
+            |b| {
+                let c = b.reg();
+                b.bin(c, BinOp::CmpGt, n, 0i64);
+                c.into()
+            },
+            |b| {
+                b.bin(n, BinOp::Sub, n, 1i64);
+            },
+        );
+        let p = b.finish();
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        let mut env = Env::for_program(&p);
+        let prof = profile(&p, &forest, &mut env, 1_000_000).unwrap();
+        let sel = select_loops(&p, &forest, &prof, DepConfig::full(), &params(16, 10.0));
+        assert!(sel
+            .rejected
+            .iter()
+            .any(|(_, r)| *r == RejectReason::NotCounted));
+    }
+}

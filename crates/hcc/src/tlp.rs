@@ -1,0 +1,120 @@
+//! Abstract TLP model (paper §6.2, "Sequential segments").
+//!
+//! To quantify how segment splitting affects thread-level parallelism
+//! independent of communication cost and pipeline effects, the paper uses
+//! "a simple abstracted model of a multicore system that has no
+//! communication cost and is able to execute one instruction at a time".
+//! This module implements that model: iterations are distributed
+//! round-robin, every instruction takes one time unit, communication is
+//! free, and instances of each sequential segment must execute in
+//! iteration order.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of the abstract TLP estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TlpResult {
+    /// Mean instructions in flight per time unit (the TLP number).
+    pub tlp: f64,
+    /// Abstract makespan in instruction-units.
+    pub makespan: f64,
+    /// Total instructions executed.
+    pub total_insts: f64,
+    /// Mean instructions per sequential segment.
+    pub mean_segment_size: f64,
+}
+
+/// Estimate TLP for a loop with `insts_per_iter` instructions per
+/// iteration, sequential segments of the given sizes, run for
+/// `iterations` iterations on `cores` cores.
+///
+/// Parallel (non-segment) instructions are assumed evenly distributed
+/// between segments.
+pub fn estimate_tlp(
+    insts_per_iter: f64,
+    seg_sizes: &[f64],
+    iterations: u64,
+    cores: u32,
+) -> TlpResult {
+    let n = cores.max(1) as usize;
+    let seg_total: f64 = seg_sizes.iter().sum();
+    let seg_total = seg_total.min(insts_per_iter);
+    let parallel = insts_per_iter - seg_total;
+    let chunks = seg_sizes.len() + 1;
+    let chunk = parallel / chunks as f64;
+
+    let mut core_free = vec![0.0f64; n];
+    let mut seg_done = vec![0.0f64; seg_sizes.len()];
+    let mut makespan: f64 = 0.0;
+    for k in 0..iterations {
+        let c = (k % n as u64) as usize;
+        let mut t = core_free[c];
+        for (j, &s) in seg_sizes.iter().enumerate() {
+            t += chunk;
+            let start = t.max(seg_done[j]);
+            let end = start + s;
+            seg_done[j] = end;
+            t = end;
+        }
+        t += chunk;
+        core_free[c] = t;
+        makespan = makespan.max(t);
+    }
+    let total = insts_per_iter * iterations as f64;
+    TlpResult {
+        tlp: if makespan > 0.0 { total / makespan } else { 0.0 },
+        makespan,
+        total_insts: total,
+        mean_segment_size: if seg_sizes.is_empty() {
+            0.0
+        } else {
+            seg_total / seg_sizes.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doall_reaches_full_tlp() {
+        let r = estimate_tlp(100.0, &[], 1600, 16);
+        assert!((r.tlp - 16.0).abs() < 0.2, "tlp {}", r.tlp);
+    }
+
+    #[test]
+    fn fully_serial_loop_has_tlp_one() {
+        // One segment covering the whole iteration.
+        let r = estimate_tlp(50.0, &[50.0], 1600, 16);
+        assert!((r.tlp - 1.0).abs() < 0.05, "tlp {}", r.tlp);
+    }
+
+    #[test]
+    fn splitting_raises_tlp() {
+        // One big segment of 32 insts out of 64...
+        let merged = estimate_tlp(64.0, &[32.0], 1600, 16);
+        // ...split into 8 segments of 4.
+        let split = estimate_tlp(64.0, &[4.0; 8], 1600, 16);
+        assert!(
+            split.tlp > merged.tlp * 1.5,
+            "split {} vs merged {}",
+            split.tlp,
+            merged.tlp
+        );
+        assert!(split.mean_segment_size < merged.mean_segment_size);
+    }
+
+    #[test]
+    fn single_core_tlp_is_one() {
+        let r = estimate_tlp(64.0, &[4.0; 4], 100, 1);
+        assert!((r.tlp - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_iterations() {
+        let r = estimate_tlp(64.0, &[4.0], 0, 16);
+        assert_eq!(r.tlp, 0.0);
+        assert_eq!(r.makespan, 0.0);
+    }
+}

@@ -1,0 +1,712 @@
+//! Control-flow analyses: dominators, postdominators, natural loops, and
+//! the loop nesting forest used by the compiler's loop selector.
+
+use crate::inst::{BinOp, Inst, Operand, Terminator};
+use crate::program::Graph;
+use crate::types::{BlockId, Reg};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Reverse postorder of reachable blocks starting at `entry`.
+pub fn reverse_postorder(graph: &Graph, entry: BlockId) -> Vec<BlockId> {
+    let mut visited = vec![false; graph.len()];
+    let mut postorder = Vec::with_capacity(graph.len());
+    // Iterative DFS with an explicit "exit" marker to build postorder.
+    let mut stack = vec![(entry, false)];
+    while let Some((node, processed)) = stack.pop() {
+        if processed {
+            postorder.push(node);
+            continue;
+        }
+        if visited[node.index()] {
+            continue;
+        }
+        visited[node.index()] = true;
+        stack.push((node, true));
+        for succ in graph.block(node).term.successors() {
+            if !visited[succ.index()] {
+                stack.push((succ, false));
+            }
+        }
+    }
+    postorder.reverse();
+    postorder
+}
+
+/// Dominator tree, computed with the Cooper–Harvey–Kennedy algorithm.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// Immediate dominator per block (`idom[entry] == entry`);
+    /// `None` for unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    /// Reverse postorder index per block (used by intersection).
+    rpo_index: Vec<usize>,
+}
+
+impl Dominators {
+    /// Compute dominators of `graph` from `entry`.
+    pub fn compute(graph: &Graph, entry: BlockId) -> Dominators {
+        let rpo = reverse_postorder(graph, entry);
+        let mut rpo_index = vec![usize::MAX; graph.len()];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        let preds = graph.predecessors();
+        let mut idom: Vec<Option<BlockId>> = vec![None; graph.len()];
+        idom[entry.index()] = Some(entry);
+
+        let intersect = |idom: &[Option<BlockId>], a: BlockId, b: BlockId| -> BlockId {
+            let (mut a, mut b) = (a, b);
+            while a != b {
+                while rpo_index[a.index()] > rpo_index[b.index()] {
+                    a = idom[a.index()].expect("processed block has idom");
+                }
+                while rpo_index[b.index()] > rpo_index[a.index()] {
+                    b = idom[b.index()].expect("processed block has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom, rpo_index }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Immediate dominator of `b` (`None` for the entry or unreachable
+    /// blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        match self.idom[b.index()] {
+            Some(d) if d != b => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.idom[b.index()].is_some()
+    }
+
+    /// Nearest common dominator of a nonempty set of blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty or contains unreachable blocks.
+    pub fn nearest_common_dominator(&self, blocks: &[BlockId]) -> BlockId {
+        let mut iter = blocks.iter();
+        let mut cur = *iter.next().expect("nonempty block set");
+        for &b in iter {
+            cur = self.common(cur, b);
+        }
+        cur
+    }
+
+    fn common(&self, a: BlockId, b: BlockId) -> BlockId {
+        let (mut a, mut b) = (a, b);
+        while a != b {
+            while self.rpo_index[a.index()] > self.rpo_index[b.index()] {
+                a = self.idom[a.index()].expect("reachable");
+            }
+            while self.rpo_index[b.index()] > self.rpo_index[a.index()] {
+                b = self.idom[b.index()].expect("reachable");
+            }
+        }
+        a
+    }
+}
+
+/// A natural loop discovered in the CFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// Loop header (single entry point of the natural loop).
+    pub header: BlockId,
+    /// Latch blocks (sources of back edges to the header).
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop body, including header and latches.
+    pub blocks: BTreeSet<BlockId>,
+    /// Blocks outside the loop that are targets of loop exits.
+    pub exits: BTreeSet<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Whether `b` is inside the loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+}
+
+/// A node of the loop nesting forest.
+#[derive(Debug, Clone)]
+pub struct LoopNode {
+    /// The loop itself.
+    pub lp: NaturalLoop,
+    /// Index of the parent loop in the forest's arena (None = top level).
+    pub parent: Option<usize>,
+    /// Indices of directly nested loops.
+    pub children: Vec<usize>,
+    /// Nesting depth (0 = outermost).
+    pub depth: usize,
+}
+
+/// The loop nesting forest of a CFG.
+///
+/// This is the "loop nesting graph" HCCv3 annotates with profiling results
+/// to choose loops to parallelize (paper §4).
+#[derive(Debug, Clone, Default)]
+pub struct LoopForest {
+    /// Arena of loop nodes; children/parent fields index into it.
+    pub loops: Vec<LoopNode>,
+}
+
+impl LoopForest {
+    /// Discover all natural loops and arrange them into a nesting forest.
+    pub fn compute(graph: &Graph, entry: BlockId) -> LoopForest {
+        let dom = Dominators::compute(graph, entry);
+        // Find back edges: n -> h where h dominates n.
+        let mut loops_by_header: BTreeMap<BlockId, NaturalLoop> = BTreeMap::new();
+        for (id, block) in graph.iter() {
+            if !dom.is_reachable(id) {
+                continue;
+            }
+            for succ in block.term.successors() {
+                if dom.dominates(succ, id) {
+                    let entry_loop = loops_by_header.entry(succ).or_insert(NaturalLoop {
+                        header: succ,
+                        latches: Vec::new(),
+                        blocks: BTreeSet::new(),
+                        exits: BTreeSet::new(),
+                    });
+                    entry_loop.latches.push(id);
+                }
+            }
+        }
+        // Fill loop bodies: reverse reachability from latch to header.
+        let preds = graph.predecessors();
+        for lp in loops_by_header.values_mut() {
+            lp.blocks.insert(lp.header);
+            let mut stack: Vec<BlockId> = lp.latches.clone();
+            while let Some(b) = stack.pop() {
+                if lp.blocks.insert(b) {
+                    for &p in &preds[b.index()] {
+                        stack.push(p);
+                    }
+                } else if b != lp.header {
+                    // already visited
+                }
+            }
+            // In the loop above header insertion prevents walking out of
+            // the loop, but latches may need their preds visited even when
+            // already inserted via another path; redo a clean pass:
+            let mut blocks = BTreeSet::new();
+            blocks.insert(lp.header);
+            let mut stack: Vec<BlockId> = lp.latches.clone();
+            while let Some(b) = stack.pop() {
+                if blocks.insert(b) {
+                    for &p in &preds[b.index()] {
+                        if !blocks.contains(&p) {
+                            stack.push(p);
+                        }
+                    }
+                }
+            }
+            lp.blocks = blocks;
+            for &b in &lp.blocks {
+                for succ in graph.block(b).term.successors() {
+                    if !lp.blocks.contains(&succ) {
+                        lp.exits.insert(succ);
+                    }
+                }
+            }
+        }
+
+        // Arrange into a forest: parent = smallest strictly-containing loop.
+        let loop_list: Vec<NaturalLoop> = loops_by_header.into_values().collect();
+        let mut nodes: Vec<LoopNode> = loop_list
+            .into_iter()
+            .map(|lp| LoopNode {
+                lp,
+                parent: None,
+                children: Vec::new(),
+                depth: 0,
+            })
+            .collect();
+        let n = nodes.len();
+        for i in 0..n {
+            let mut best: Option<usize> = None;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let contains = nodes[j].lp.blocks.contains(&nodes[i].lp.header)
+                    && nodes[j].lp.blocks.is_superset(&nodes[i].lp.blocks)
+                    && nodes[j].lp.header != nodes[i].lp.header;
+                if contains {
+                    best = Some(match best {
+                        None => j,
+                        Some(b) if nodes[j].lp.blocks.len() < nodes[b].lp.blocks.len() => j,
+                        Some(b) => b,
+                    });
+                }
+            }
+            nodes[i].parent = best;
+        }
+        for i in 0..n {
+            if let Some(p) = nodes[i].parent {
+                nodes[p].children.push(i);
+            }
+        }
+        // Depths via repeated relaxation (forest is shallow).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                let d = match nodes[i].parent {
+                    None => 0,
+                    Some(p) => nodes[p].depth + 1,
+                };
+                if nodes[i].depth != d {
+                    nodes[i].depth = d;
+                    changed = true;
+                }
+            }
+        }
+        LoopForest { loops: nodes }
+    }
+
+    /// Indices of top-level (outermost) loops.
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.loops.len())
+            .filter(|&i| self.loops[i].parent.is_none())
+            .collect()
+    }
+
+    /// The innermost loop containing block `b`, if any.
+    pub fn innermost_containing(&self, b: BlockId) -> Option<usize> {
+        self.loops
+            .iter()
+            .enumerate()
+            .filter(|(_, node)| node.lp.contains(b))
+            .max_by_key(|(_, node)| node.depth)
+            .map(|(i, _)| i)
+    }
+}
+
+/// Postdominator computation via dominators of the reversed CFG.
+///
+/// A virtual exit collects all `Return` blocks (and blocks without
+/// successors).
+#[derive(Debug, Clone)]
+pub struct PostDominators {
+    inner: Dominators,
+    virtual_exit: BlockId,
+}
+
+impl PostDominators {
+    /// Compute postdominators of `graph`.
+    pub fn compute(graph: &Graph) -> PostDominators {
+        // Build reversed graph with a virtual exit appended.
+        let n = graph.len();
+        let virtual_exit = BlockId(n as u32);
+        let mut rev = Graph {
+            blocks: Vec::with_capacity(n + 1),
+            entry: virtual_exit,
+        };
+        // successor lists of the reversed graph = predecessors of original,
+        // plus: virtual_exit -> every return block.
+        let preds = graph.predecessors();
+        let mut exit_sources = Vec::new();
+        for (id, block) in graph.iter() {
+            if block.term.successors().is_empty() {
+                exit_sources.push(id);
+            }
+        }
+        // Encode each node's reversed successors as a chain of Jump/Branch
+        // terminators; an n-way fanout needs a synthetic representation, so
+        // instead we build adjacency directly and run a tiny local
+        // dominator computation over it.
+        let mut adj: Vec<Vec<BlockId>> = preds;
+        adj.push(exit_sources); // virtual exit's "successors"
+
+        let inner = Dominators::compute_from_adj(&adj, virtual_exit, n + 1);
+        let _ = &mut rev;
+        PostDominators {
+            inner,
+            virtual_exit,
+        }
+    }
+
+    /// Whether `a` postdominates `b` (reflexive).
+    pub fn postdominates(&self, a: BlockId, b: BlockId) -> bool {
+        self.inner.dominates(a, b)
+    }
+
+    /// Nearest common postdominator of a set of blocks; `None` if it is
+    /// only the virtual exit.
+    pub fn nearest_common_postdominator(&self, blocks: &[BlockId]) -> Option<BlockId> {
+        if blocks.is_empty() {
+            return None;
+        }
+        let ncd = self.inner.nearest_common_dominator(blocks);
+        if ncd == self.virtual_exit {
+            None
+        } else {
+            Some(ncd)
+        }
+    }
+
+    /// Immediate postdominator of `b`.
+    pub fn ipdom(&self, b: BlockId) -> Option<BlockId> {
+        match self.inner.idom(b) {
+            Some(d) if d != self.virtual_exit => Some(d),
+            _ => None,
+        }
+    }
+}
+
+impl Dominators {
+    /// Compute dominators over an explicit adjacency list (used for the
+    /// reversed CFG in postdominator computation).
+    fn compute_from_adj(adj: &[Vec<BlockId>], entry: BlockId, n: usize) -> Dominators {
+        // Reverse postorder over adjacency.
+        let mut visited = vec![false; n];
+        let mut postorder = Vec::with_capacity(n);
+        let mut stack = vec![(entry, false)];
+        while let Some((node, processed)) = stack.pop() {
+            if processed {
+                postorder.push(node);
+                continue;
+            }
+            if visited[node.index()] {
+                continue;
+            }
+            visited[node.index()] = true;
+            stack.push((node, true));
+            for &succ in &adj[node.index()] {
+                if !visited[succ.index()] {
+                    stack.push((succ, false));
+                }
+            }
+        }
+        postorder.reverse();
+        let rpo = postorder;
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        // Predecessors in adjacency representation.
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for (from, succs) in adj.iter().enumerate() {
+            for &to in succs {
+                preds[to.index()].push(BlockId(from as u32));
+            }
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => {
+                            let (mut a, mut c) = (cur, p);
+                            while a != c {
+                                while rpo_index[a.index()] > rpo_index[c.index()] {
+                                    a = idom[a.index()].expect("processed");
+                                }
+                                while rpo_index[c.index()] > rpo_index[a.index()] {
+                                    c = idom[c.index()].expect("processed");
+                                }
+                            }
+                            a
+                        }
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom, rpo_index }
+    }
+}
+
+/// Canonical counted-loop description recognized by the parallelizer.
+///
+/// The loop iterates `counter = init; while (counter < bound) { body;
+/// counter += step; }` with `init`/`bound` loop-invariant, so the trip
+/// count is computable at loop entry — the form HELIX distributes
+/// round-robin across cores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountedLoop {
+    /// The loop counter register.
+    pub counter: Reg,
+    /// Loop-invariant initial value (evaluated at entry).
+    pub init: Operand,
+    /// Constant increment applied in the latch.
+    pub step: i64,
+    /// Loop-invariant bound.
+    pub bound: Operand,
+}
+
+/// Try to recognize `lp` as a canonical counted loop.
+///
+/// The expected shape (produced by the program builder) is:
+/// * the header ends in `br (counter < bound) ? body : exit`, and
+/// * some latch block contains `counter = counter + step` with constant
+///   step, and
+/// * `counter` is written nowhere else in the loop, and
+/// * `bound` is a register not written in the loop, or an immediate.
+pub fn recognize_counted_loop(graph: &Graph, lp: &NaturalLoop) -> Option<CountedLoop> {
+    let header = graph.block(lp.header);
+    let (cond_reg, _then, _else) = match &header.term {
+        Terminator::Branch {
+            cond: Operand::Reg(r),
+            then_,
+            else_,
+        } => (*r, *then_, *else_),
+        _ => return None,
+    };
+    // Find the compare producing the condition in the header.
+    let cmp = header.insts.iter().rev().find_map(|inst| match inst {
+        Inst::Bin {
+            dst,
+            op: BinOp::CmpLt | BinOp::CmpLe | BinOp::CmpNe | BinOp::CmpGt | BinOp::CmpGe,
+            lhs: Operand::Reg(counter),
+            rhs,
+        } if *dst == cond_reg => Some((*counter, *rhs)),
+        _ => None,
+    })?;
+    let (counter, bound) = cmp;
+    // Find the increment in a latch.
+    let mut step: Option<i64> = None;
+    for &latch in &lp.latches {
+        for inst in &graph.block(latch).insts {
+            if let Inst::Bin {
+                dst,
+                op: BinOp::Add,
+                lhs: Operand::Reg(r),
+                rhs: Operand::Imm(imm),
+            } = inst
+            {
+                if *dst == counter && *r == counter {
+                    step = Some(imm.as_int());
+                }
+            }
+        }
+    }
+    let step = step?;
+    // Counter must not be written anywhere else in the loop.
+    let mut writes = 0;
+    for &b in &lp.blocks {
+        for inst in &graph.block(b).insts {
+            if inst.def() == Some(counter) {
+                writes += 1;
+            }
+        }
+    }
+    if writes != 1 {
+        return None;
+    }
+    // Bound must be loop-invariant.
+    if let Operand::Reg(br) = bound {
+        for &b in &lp.blocks {
+            for inst in &graph.block(b).insts {
+                if inst.def() == Some(br) {
+                    return None;
+                }
+            }
+        }
+    }
+    // Init: defined in the (unique) preheader path; reported symbolically
+    // as "register value at entry", which the runtime reads when the loop
+    // is entered.
+    Some(CountedLoop {
+        counter,
+        init: Operand::Reg(counter),
+        step,
+        bound,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::program::{Block, Graph};
+    use crate::types::Value;
+
+    /// Build a diamond: 0 -> {1,2} -> 3.
+    fn diamond() -> Graph {
+        Graph {
+            blocks: vec![
+                Block {
+                    label: None,
+                    insts: vec![],
+                    term: Terminator::Branch {
+                        cond: Operand::Imm(Value::Int(1)),
+                        then_: BlockId(1),
+                        else_: BlockId(2),
+                    },
+                },
+                Block::jump_to(BlockId(3)),
+                Block::jump_to(BlockId(3)),
+                Block {
+                    label: None,
+                    insts: vec![],
+                    term: Terminator::Return,
+                },
+            ],
+            entry: BlockId(0),
+        }
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let g = diamond();
+        let rpo = reverse_postorder(&g, g.entry);
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(*rpo.last().unwrap(), BlockId(3));
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let g = diamond();
+        let dom = Dominators::compute(&g, g.entry);
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(0)), None);
+        assert_eq!(
+            dom.nearest_common_dominator(&[BlockId(1), BlockId(2)]),
+            BlockId(0)
+        );
+    }
+
+    #[test]
+    fn diamond_postdominators() {
+        let g = diamond();
+        let pdom = PostDominators::compute(&g);
+        assert!(pdom.postdominates(BlockId(3), BlockId(0)));
+        assert!(pdom.postdominates(BlockId(3), BlockId(1)));
+        assert!(!pdom.postdominates(BlockId(1), BlockId(0)));
+        assert_eq!(
+            pdom.nearest_common_postdominator(&[BlockId(1), BlockId(2)]),
+            Some(BlockId(3))
+        );
+        assert_eq!(pdom.ipdom(BlockId(0)), Some(BlockId(3)));
+    }
+
+    #[test]
+    fn simple_loop_discovered() {
+        // Build with the builder: for i in 0..10 { }
+        let mut b = ProgramBuilder::new("loop_test");
+        b.counted_loop(0, 10, 1, |_b, _i| {});
+        let p = b.finish();
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        assert_eq!(forest.loops.len(), 1);
+        let lp = &forest.loops[0].lp;
+        assert!(!lp.latches.is_empty());
+        assert!(lp.blocks.len() >= 2);
+        assert_eq!(forest.roots(), vec![0]);
+    }
+
+    #[test]
+    fn nested_loops_form_forest() {
+        let mut b = ProgramBuilder::new("nest");
+        b.counted_loop(0, 4, 1, |b, _i| {
+            b.counted_loop(0, 5, 1, |_b, _j| {});
+        });
+        let p = b.finish();
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        assert_eq!(forest.loops.len(), 2);
+        let depths: Vec<usize> = forest.loops.iter().map(|n| n.depth).collect();
+        assert!(depths.contains(&0) && depths.contains(&1));
+        let inner = forest.loops.iter().position(|n| n.depth == 1).unwrap();
+        let outer = forest.loops.iter().position(|n| n.depth == 0).unwrap();
+        assert_eq!(forest.loops[inner].parent, Some(outer));
+        assert_eq!(forest.loops[outer].children, vec![inner]);
+    }
+
+    #[test]
+    fn counted_loop_recognized() {
+        let mut b = ProgramBuilder::new("counted");
+        b.counted_loop(3, 20, 2, |_b, _i| {});
+        let p = b.finish();
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        let lp = &forest.loops[0].lp;
+        let counted = recognize_counted_loop(&p.graph, lp).expect("canonical form");
+        assert_eq!(counted.step, 2);
+    }
+
+    #[test]
+    fn loop_with_extra_counter_write_rejected() {
+        use crate::inst::BinOp;
+        let mut b = ProgramBuilder::new("bad");
+        b.counted_loop(0, 10, 1, |b, i| {
+            // Write the counter inside the body: no longer canonical.
+            b.bin(i, BinOp::Add, i, 0i64);
+        });
+        let p = b.finish();
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        let lp = &forest.loops[0].lp;
+        assert!(recognize_counted_loop(&p.graph, lp).is_none());
+    }
+
+    #[test]
+    fn innermost_containing_picks_deepest() {
+        let mut b = ProgramBuilder::new("nest2");
+        let mut inner_header = None;
+        b.counted_loop(0, 4, 1, |b, _i| {
+            let h = b.counted_loop(0, 5, 1, |_b, _j| {});
+            inner_header = Some(h);
+        });
+        let p = b.finish();
+        let forest = LoopForest::compute(&p.graph, p.graph.entry);
+        let inner_idx = forest.innermost_containing(inner_header.unwrap()).unwrap();
+        assert_eq!(forest.loops[inner_idx].depth, 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! # helix-ir
+//!
+//! Typed loop-level intermediate representation for the HELIX-RC
+//! reproduction: programs, control-flow analyses, and an executing,
+//! resumable interpreter.
+//!
+//! This crate is the substrate the rest of the workspace builds on:
+//!
+//! * [`ProgramBuilder`] constructs programs with structured helpers
+//!   (counted loops, diamonds, while loops);
+//! * [`cfg`] discovers dominators, natural loops, and the loop nesting
+//!   forest the compiler's loop selector walks;
+//! * [`interp`] executes programs functionally — the cycle-level
+//!   simulator in `helix-sim` drives [`interp::Thread`]s one instruction
+//!   at a time so functional and timing state advance together;
+//! * [`trace`] exposes the hooks used to collect dynamic dependences
+//!   (the ground truth for Fig. 2's analysis-accuracy experiment).
+//!
+//! The instruction set includes the paper's two ISA extensions, `wait`
+//! and `signal` (§3.1), which are functionally inert in sequential
+//! execution and acquire their synchronization semantics in the
+//! simulator.
+//!
+//! # Examples
+//!
+//! ```
+//! use helix_ir::{ProgramBuilder, BinOp, interp};
+//!
+//! let mut b = ProgramBuilder::new("demo");
+//! let acc = b.reg();
+//! b.const_i(acc, 0);
+//! b.counted_loop(0, 100, 1, |b, i| {
+//!     b.bin(acc, BinOp::Add, acc, i);
+//! });
+//! let program = b.finish();
+//!
+//! let mut env = interp::Env::for_program(&program);
+//! let thread = interp::run_to_completion(&program, &mut env)?;
+//! assert_eq!(thread.regs[acc.index()].as_int(), 4950);
+//! # Ok::<(), helix_ir::interp::InterpError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod cfg;
+pub mod inst;
+pub mod interp;
+pub mod memory;
+pub mod program;
+pub mod rng;
+pub mod trace;
+
+mod pretty;
+mod types;
+
+pub use builder::ProgramBuilder;
+pub use inst::{
+    AddrBase, AddrExpr, BinOp, Inst, InstOrigin, Intrinsic, Operand, SharedTag, Terminator,
+    TrafficClass, UnOp,
+};
+pub use program::{Block, Graph, Program, RegionDecl, ValidateError};
+pub use trace::{InstSite, MemAccess, TraceSink};
+pub use types::{BlockId, Reg, RegionId, SegmentId, Ty, Value};

@@ -1,0 +1,356 @@
+//! Region-based flat memory model.
+//!
+//! Every [`Program`](crate::Program) region is mapped at a fixed base
+//! address; runtime allocations (`Alloc` intrinsic) extend the region
+//! table. Addresses are plain `u64` byte addresses, so the simulator's
+//! caches and the ring cache see a conventional flat address space.
+
+use crate::program::Program;
+use crate::types::{RegionId, Ty, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Byte distance between consecutive region bases.
+///
+/// Large enough that no region can overflow into its neighbour (regions
+/// are capped at this size on allocation).
+pub const REGION_STRIDE: u64 = 1 << 28;
+
+/// Base address of the first region (kept away from 0 so null pointers
+/// fault).
+pub const FIRST_BASE: u64 = REGION_STRIDE;
+
+/// Memory access failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// Address does not fall inside any mapped region.
+    Unmapped {
+        /// Faulting address.
+        addr: u64,
+    },
+    /// Address is inside a region but the access overruns its size.
+    OutOfBounds {
+        /// Faulting address.
+        addr: u64,
+        /// Region the address resolved to.
+        region: RegionId,
+    },
+    /// Allocation request was larger than [`REGION_STRIDE`].
+    AllocTooLarge {
+        /// Requested size.
+        size: u64,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Unmapped { addr } => write!(f, "unmapped address {addr:#x}"),
+            MemError::OutOfBounds { addr, region } => {
+                write!(f, "address {addr:#x} overruns region {region}")
+            }
+            MemError::AllocTooLarge { size } => write!(f, "allocation of {size} bytes too large"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// One mapped region's storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionMem {
+    /// Base address.
+    pub base: u64,
+    /// Size in bytes.
+    pub size: u64,
+    /// Declared element type.
+    pub elem: Ty,
+    /// Region name (static declarations keep their program name; heap
+    /// allocations are named `heap#<n>`).
+    pub name: String,
+    data: Vec<u8>,
+}
+
+/// The machine's memory: an ordered collection of regions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memory {
+    regions: Vec<RegionMem>,
+    by_base: BTreeMap<u64, RegionId>,
+    next_base: u64,
+    n_static: usize,
+}
+
+impl Memory {
+    /// Create a memory image with all of `program`'s static regions mapped
+    /// and zero-initialized.
+    pub fn for_program(program: &Program) -> Memory {
+        let mut mem = Memory {
+            regions: Vec::new(),
+            by_base: BTreeMap::new(),
+            next_base: FIRST_BASE,
+            n_static: 0,
+        };
+        for decl in &program.regions {
+            mem.map_region(decl.name.clone(), decl.size, decl.elem);
+        }
+        mem.n_static = mem.regions.len();
+        mem
+    }
+
+    fn map_region(&mut self, name: String, size: u64, elem: Ty) -> RegionId {
+        assert!(size <= REGION_STRIDE, "region {name} too large");
+        let id = RegionId(self.regions.len() as u32);
+        let base = self.next_base;
+        self.next_base += REGION_STRIDE;
+        self.regions.push(RegionMem {
+            base,
+            size,
+            elem,
+            name,
+            data: vec![0; size as usize],
+        });
+        self.by_base.insert(base, id);
+        id
+    }
+
+    /// Allocate a fresh heap region of `size` bytes; returns its base
+    /// address. Backs the `Alloc` intrinsic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::AllocTooLarge`] if `size > REGION_STRIDE`.
+    pub fn alloc(&mut self, size: u64) -> Result<u64, MemError> {
+        if size > REGION_STRIDE {
+            return Err(MemError::AllocTooLarge { size });
+        }
+        let n = self.regions.len();
+        let id = self.map_region(format!("heap#{n}"), size, Ty::I64);
+        Ok(self.regions[id.index()].base)
+    }
+
+    /// Base address of a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region id is unmapped.
+    pub fn base_of(&self, region: RegionId) -> u64 {
+        self.regions[region.index()].base
+    }
+
+    /// The region containing `addr`, if any.
+    pub fn region_containing(&self, addr: u64) -> Option<RegionId> {
+        let (_, &id) = self.by_base.range(..=addr).next_back()?;
+        let r = &self.regions[id.index()];
+        if addr < r.base + r.size {
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    /// Number of mapped regions (static + heap).
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Number of regions declared statically by the program.
+    pub fn static_region_count(&self) -> usize {
+        self.n_static
+    }
+
+    /// Access a region's metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn region(&self, id: RegionId) -> &RegionMem {
+        &self.regions[id.index()]
+    }
+
+    fn slot(&mut self, addr: u64, len: u64) -> Result<&mut [u8], MemError> {
+        let id = self
+            .region_containing(addr)
+            .ok_or(MemError::Unmapped { addr })?;
+        let r = &mut self.regions[id.index()];
+        let off = (addr - r.base) as usize;
+        if addr + len > r.base + r.size {
+            return Err(MemError::OutOfBounds { addr, region: id });
+        }
+        Ok(&mut r.data[off..off + len as usize])
+    }
+
+    fn slot_ref(&self, addr: u64, len: u64) -> Result<&[u8], MemError> {
+        let id = self
+            .region_containing(addr)
+            .ok_or(MemError::Unmapped { addr })?;
+        let r = &self.regions[id.index()];
+        let off = (addr - r.base) as usize;
+        if addr + len > r.base + r.size {
+            return Err(MemError::OutOfBounds { addr, region: id });
+        }
+        Ok(&r.data[off..off + len as usize])
+    }
+
+    /// Load a typed value from `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address is unmapped or the access overruns its region.
+    pub fn load(&self, addr: u64, ty: Ty) -> Result<Value, MemError> {
+        let bytes = self.slot_ref(addr, ty.size())?;
+        let mut raw = [0u8; 8];
+        raw[..bytes.len()].copy_from_slice(bytes);
+        Ok(Value::from_bits(u64::from_le_bytes(raw), ty))
+    }
+
+    /// Store a typed value to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address is unmapped or the access overruns its region.
+    pub fn store(&mut self, addr: u64, ty: Ty, value: Value) -> Result<(), MemError> {
+        let raw = value.to_bits().to_le_bytes();
+        let n = ty.size() as usize;
+        let bytes = self.slot(addr, ty.size())?;
+        bytes.copy_from_slice(&raw[..n]);
+        Ok(())
+    }
+
+    /// Copy `len` bytes from `src` to `dst` (backs the `Memcpy`
+    /// intrinsic; regions may not overlap partially).
+    ///
+    /// # Errors
+    ///
+    /// Fails if either range is invalid.
+    pub fn copy(&mut self, dst: u64, src: u64, len: u64) -> Result<(), MemError> {
+        let data = self.slot_ref(src, len)?.to_vec();
+        self.slot(dst, len)?.copy_from_slice(&data);
+        Ok(())
+    }
+
+    /// Fill `len` bytes at `dst` with `byte` (backs `Memset`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range is invalid.
+    pub fn fill(&mut self, dst: u64, byte: u8, len: u64) -> Result<(), MemError> {
+        self.slot(dst, len)?.fill(byte);
+        Ok(())
+    }
+
+    /// Order-independent digest of all region contents, for equivalence
+    /// testing between sequential and parallel executions.
+    pub fn digest(&self) -> u64 {
+        // FNV-1a over (base, size, data) of each region in address order.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        for r in &self.regions {
+            for b in r.base.to_le_bytes() {
+                mix(b);
+            }
+            for b in &r.data {
+                mix(*b);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    fn mem_with_one_region() -> (Memory, RegionId) {
+        let mut b = ProgramBuilder::new("m");
+        let r = b.region("buf", 256, Ty::I64);
+        let p = b.finish();
+        (Memory::for_program(&p), r)
+    }
+
+    #[test]
+    fn load_store_round_trip_all_types() {
+        let (mut m, r) = mem_with_one_region();
+        let base = m.base_of(r);
+        for (ty, v) in [
+            (Ty::I8, Value::Int(-5)),
+            (Ty::I16, Value::Int(-300)),
+            (Ty::I32, Value::Int(1 << 20)),
+            (Ty::I64, Value::Int(i64::MIN / 3)),
+            (Ty::F64, Value::Float(2.5)),
+        ] {
+            m.store(base + 16, ty, v).unwrap();
+            assert_eq!(m.load(base + 16, ty).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn unmapped_address_fails() {
+        let (m, _) = mem_with_one_region();
+        assert_eq!(m.load(3, Ty::I64), Err(MemError::Unmapped { addr: 3 }));
+    }
+
+    #[test]
+    fn out_of_bounds_fails() {
+        let (mut m, r) = mem_with_one_region();
+        let base = m.base_of(r);
+        assert!(matches!(
+            m.store(base + 250, Ty::I64, Value::Int(1)),
+            Err(MemError::OutOfBounds { .. })
+        ));
+        // Exactly at the edge is fine.
+        assert!(m.store(base + 248, Ty::I64, Value::Int(1)).is_ok());
+    }
+
+    #[test]
+    fn alloc_creates_disjoint_regions() {
+        let (mut m, r) = mem_with_one_region();
+        let a = m.alloc(64).unwrap();
+        let b = m.alloc(64).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(m.region_containing(a), m.region_containing(b));
+        assert_ne!(m.region_containing(a).unwrap(), r);
+        assert_eq!(m.region_count(), 3);
+        assert_eq!(m.static_region_count(), 1);
+    }
+
+    #[test]
+    fn alloc_too_large_fails() {
+        let (mut m, _) = mem_with_one_region();
+        assert!(matches!(
+            m.alloc(REGION_STRIDE + 1),
+            Err(MemError::AllocTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn copy_and_fill() {
+        let (mut m, r) = mem_with_one_region();
+        let base = m.base_of(r);
+        m.store(base, Ty::I64, Value::Int(0x1122_3344)).unwrap();
+        m.copy(base + 64, base, 8).unwrap();
+        assert_eq!(m.load(base + 64, Ty::I64).unwrap(), Value::Int(0x1122_3344));
+        m.fill(base + 64, 0xFF, 8).unwrap();
+        assert_eq!(m.load(base + 64, Ty::I64).unwrap(), Value::Int(-1));
+    }
+
+    #[test]
+    fn digest_changes_with_contents() {
+        let (mut m, r) = mem_with_one_region();
+        let d0 = m.digest();
+        m.store(m.base_of(r), Ty::I8, Value::Int(1)).unwrap();
+        assert_ne!(m.digest(), d0);
+    }
+
+    #[test]
+    fn region_containing_boundary() {
+        let (m, r) = mem_with_one_region();
+        let base = m.base_of(r);
+        assert_eq!(m.region_containing(base), Some(r));
+        assert_eq!(m.region_containing(base + 255), Some(r));
+        assert_eq!(m.region_containing(base + 256), None);
+    }
+}

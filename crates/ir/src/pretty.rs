@@ -1,0 +1,46 @@
+//! Human-readable program listings.
+
+use crate::program::Program;
+use std::fmt;
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program {} ({} regs)", self.name, self.n_regs)?;
+        for (i, r) in self.regions.iter().enumerate() {
+            writeln!(f, "  region @{i} {} : {} x{}", r.name, r.elem, r.size)?;
+        }
+        for (id, block) in self.graph.iter() {
+            let label = block.label.as_deref().unwrap_or("");
+            let marker = if id == self.graph.entry { " (entry)" } else { "" };
+            writeln!(f, "{id}: {label}{marker}")?;
+            for inst in &block.insts {
+                writeln!(f, "    {inst}")?;
+            }
+            writeln!(f, "    {}", block.term)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ProgramBuilder;
+    use crate::inst::BinOp;
+
+    #[test]
+    fn listing_contains_blocks_and_insts() {
+        let mut b = ProgramBuilder::new("show");
+        let r = b.reg();
+        b.const_i(r, 1);
+        b.counted_loop(0, 3, 1, |b, _| {
+            b.bin(r, BinOp::Add, r, 1i64);
+        });
+        let p = b.finish();
+        let s = p.to_string();
+        assert!(s.contains("program show"));
+        assert!(s.contains("bb0"));
+        assert!(s.contains("loop_header"));
+        assert!(s.contains("Add"));
+        assert!(s.contains("(entry)"));
+    }
+}

@@ -1,0 +1,411 @@
+//! Program structure: basic blocks, control-flow graphs, memory regions.
+
+use crate::inst::{AddrBase, Inst, Operand, Terminator};
+use crate::types::{BlockId, Reg, RegionId, Ty};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Optional label for pretty-printing and debugging.
+    pub label: Option<String>,
+    /// Straight-line instruction sequence.
+    pub insts: Vec<Inst>,
+    /// Control transfer ending the block.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// An empty block jumping to `target`.
+    pub fn jump_to(target: BlockId) -> Block {
+        Block {
+            label: None,
+            insts: Vec::new(),
+            term: Terminator::Jump(target),
+        }
+    }
+}
+
+/// A control-flow graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    /// All basic blocks, indexed by [`BlockId`].
+    pub blocks: Vec<Block>,
+    /// Entry block.
+    pub entry: BlockId,
+}
+
+impl Graph {
+    /// Access a block by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Number of blocks in the graph.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the graph has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Iterate over `(id, block)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Append a new block and return its id.
+    pub fn push_block(&mut self, block: Block) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(block);
+        id
+    }
+
+    /// Predecessor lists for every block.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (id, block) in self.iter() {
+            for succ in block.term.successors() {
+                preds[succ.index()].push(id);
+            }
+        }
+        preds
+    }
+
+    /// Total static instruction count (not counting terminators).
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Split the edge `from -> to`, inserting a fresh empty block on it.
+    ///
+    /// Returns the id of the new block. Used by the compiler to place
+    /// early `signal` instructions on segment-bypassing paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` has no edge to `to`.
+    pub fn split_edge(&mut self, from: BlockId, to: BlockId) -> BlockId {
+        let new_id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block {
+            label: Some(format!("split_{}_{}", from.0, to.0)),
+            insts: Vec::new(),
+            term: Terminator::Jump(to),
+        });
+        let term = &mut self.blocks[from.index()].term;
+        let mut found = false;
+        match term {
+            Terminator::Jump(t) if *t == to => {
+                *t = new_id;
+                found = true;
+            }
+            Terminator::Branch { then_, else_, .. } => {
+                if *then_ == to {
+                    *then_ = new_id;
+                    found = true;
+                }
+                if !found && *else_ == to {
+                    *else_ = new_id;
+                    found = true;
+                }
+            }
+            _ => {}
+        }
+        assert!(found, "split_edge: no edge {from} -> {to}");
+        new_id
+    }
+}
+
+/// Declaration of a statically allocated memory region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionDecl {
+    /// Human-readable name (e.g. `"window"`, `"heap_nodes"`).
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// Declared element type (drives type-based alias filtering).
+    pub elem: Ty,
+}
+
+/// A whole program: declared regions plus one top-level CFG.
+///
+/// Programs are built with [`ProgramBuilder`](crate::ProgramBuilder),
+/// validated with [`Program::validate`], executed with the
+/// [`interp`](crate::interp) module, and parallelized by the `helix-hcc`
+/// crate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Program name (used in reports).
+    pub name: String,
+    /// Statically declared memory regions.
+    pub regions: Vec<RegionDecl>,
+    /// The program body.
+    pub graph: Graph,
+    /// Number of virtual registers used.
+    pub n_regs: u32,
+}
+
+/// A structural validation failure, produced by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A terminator targets a nonexistent block.
+    BadBlockRef {
+        /// Offending block.
+        from: BlockId,
+        /// Nonexistent target.
+        to: BlockId,
+    },
+    /// An instruction references a register `>= n_regs`.
+    BadReg {
+        /// Block containing the instruction.
+        block: BlockId,
+        /// Instruction index within the block.
+        index: usize,
+        /// Offending register.
+        reg: Reg,
+    },
+    /// An address expression references a nonexistent region.
+    BadRegion {
+        /// Block containing the instruction.
+        block: BlockId,
+        /// Instruction index within the block.
+        index: usize,
+        /// Offending region.
+        region: RegionId,
+    },
+    /// The entry block id is out of range.
+    BadEntry(BlockId),
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::BadBlockRef { from, to } => {
+                write!(f, "terminator of {from} targets nonexistent block {to}")
+            }
+            ValidateError::BadReg { block, index, reg } => {
+                write!(f, "instruction {index} of {block} uses undeclared {reg}")
+            }
+            ValidateError::BadRegion {
+                block,
+                index,
+                region,
+            } => {
+                write!(
+                    f,
+                    "instruction {index} of {block} addresses nonexistent region {region}"
+                )
+            }
+            ValidateError::BadEntry(b) => write!(f, "entry block {b} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+impl Program {
+    /// Structurally validate the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateError`] found: dangling block
+    /// references, out-of-range registers, or unknown regions.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        if self.graph.entry.index() >= self.graph.len() {
+            return Err(ValidateError::BadEntry(self.graph.entry));
+        }
+        let n_blocks = self.graph.len();
+        for (id, block) in self.graph.iter() {
+            for succ in block.term.successors() {
+                if succ.index() >= n_blocks {
+                    return Err(ValidateError::BadBlockRef { from: id, to: succ });
+                }
+            }
+            if let Some(r) = block.term.uses() {
+                if r.0 >= self.n_regs {
+                    return Err(ValidateError::BadReg {
+                        block: id,
+                        index: block.insts.len(),
+                        reg: r,
+                    });
+                }
+            }
+            for (index, inst) in block.insts.iter().enumerate() {
+                for r in inst.uses().into_iter().chain(inst.def()) {
+                    if r.0 >= self.n_regs {
+                        return Err(ValidateError::BadReg {
+                            block: id,
+                            index,
+                            reg: r,
+                        });
+                    }
+                }
+                let addr = match inst {
+                    Inst::Load { addr, .. } | Inst::Store { addr, .. } => Some(addr),
+                    _ => None,
+                };
+                if let Some(addr) = addr {
+                    if let AddrBase::Region(region) = addr.base {
+                        if region.index() >= self.regions.len() {
+                            return Err(ValidateError::BadRegion {
+                                block: id,
+                                index,
+                                region,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Count static `wait`/`signal` instructions (compiler-inserted).
+    pub fn sync_inst_count(&self) -> usize {
+        self.graph
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Wait { .. } | Inst::Signal { .. }))
+            .count()
+    }
+}
+
+/// Convenience free function: an operand from anything convertible.
+pub fn op(x: impl Into<Operand>) -> Operand {
+    x.into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{AddrExpr, BinOp, InstOrigin};
+    use crate::types::Value;
+
+    fn tiny_program() -> Program {
+        // bb0: r0 = 1; jump bb1
+        // bb1: r1 = r0 + 2; ret
+        Program {
+            name: "tiny".into(),
+            regions: vec![RegionDecl {
+                name: "a".into(),
+                size: 64,
+                elem: Ty::I64,
+            }],
+            graph: Graph {
+                blocks: vec![
+                    Block {
+                        label: None,
+                        insts: vec![Inst::Const {
+                            dst: Reg(0),
+                            value: Value::Int(1),
+                        }],
+                        term: Terminator::Jump(BlockId(1)),
+                    },
+                    Block {
+                        label: None,
+                        insts: vec![Inst::Bin {
+                            dst: Reg(1),
+                            op: BinOp::Add,
+                            lhs: Operand::Reg(Reg(0)),
+                            rhs: Operand::imm(2),
+                        }],
+                        term: Terminator::Return,
+                    },
+                ],
+                entry: BlockId(0),
+            },
+            n_regs: 2,
+        }
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        assert_eq!(tiny_program().validate(), Ok(()));
+    }
+
+    #[test]
+    fn bad_block_ref_detected() {
+        let mut p = tiny_program();
+        p.graph.blocks[0].term = Terminator::Jump(BlockId(9));
+        assert!(matches!(
+            p.validate(),
+            Err(ValidateError::BadBlockRef { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_reg_detected() {
+        let mut p = tiny_program();
+        p.n_regs = 1;
+        assert!(matches!(p.validate(), Err(ValidateError::BadReg { .. })));
+    }
+
+    #[test]
+    fn bad_region_detected() {
+        let mut p = tiny_program();
+        p.graph.blocks[1].insts.push(Inst::Load {
+            dst: Reg(0),
+            addr: AddrExpr::region(RegionId(5), 0),
+            ty: Ty::I64,
+            shared: None,
+            origin: InstOrigin::Original,
+        });
+        assert!(matches!(p.validate(), Err(ValidateError::BadRegion { .. })));
+    }
+
+    #[test]
+    fn bad_entry_detected() {
+        let mut p = tiny_program();
+        p.graph.entry = BlockId(10);
+        assert!(matches!(p.validate(), Err(ValidateError::BadEntry(_))));
+    }
+
+    #[test]
+    fn predecessors_computed() {
+        let p = tiny_program();
+        let preds = p.graph.predecessors();
+        assert!(preds[0].is_empty());
+        assert_eq!(preds[1], vec![BlockId(0)]);
+    }
+
+    #[test]
+    fn split_edge_inserts_block() {
+        let mut p = tiny_program();
+        let new = p.graph.split_edge(BlockId(0), BlockId(1));
+        assert_eq!(p.graph.block(BlockId(0)).term, Terminator::Jump(new));
+        assert_eq!(p.graph.block(new).term, Terminator::Jump(BlockId(1)));
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "no edge")]
+    fn split_missing_edge_panics() {
+        let mut p = tiny_program();
+        p.graph.split_edge(BlockId(1), BlockId(0));
+    }
+
+    #[test]
+    fn inst_count_sums_blocks() {
+        assert_eq!(tiny_program().graph.inst_count(), 2);
+    }
+}

@@ -1,0 +1,304 @@
+//! Fundamental identifier and value types shared across the IR.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A virtual register index.
+///
+/// Registers are program-wide (the IR is not in SSA form); the interpreter
+/// allocates one slot per register per thread of execution.
+///
+/// # Examples
+///
+/// ```
+/// use helix_ir::Reg;
+/// let r = Reg(3);
+/// assert_eq!(r.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u32);
+
+impl Reg {
+    /// Returns the register index as a `usize` suitable for slot lookup.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Identifier of a basic block within a [`Graph`](crate::Graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Returns the block index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Identifier of a statically declared memory region.
+///
+/// Regions declared on the [`Program`](crate::Program) get ids `0..n`;
+/// regions created at runtime by the `Alloc` intrinsic receive fresh ids
+/// beyond the static ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegionId(pub u32);
+
+impl RegionId {
+    /// Returns the region index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// Identifier of a sequential segment, carried by `wait`/`signal`
+/// instructions and by shared memory accesses.
+///
+/// Matches the integer parameter of the paper's ISA extension
+/// (e.g. `wait 3` / `signal 3`, §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SegmentId(pub u32);
+
+impl SegmentId {
+    /// Returns the segment index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seg{}", self.0)
+    }
+}
+
+/// Scalar machine types supported by memory accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Ty {
+    /// 8-bit integer.
+    I8,
+    /// 16-bit integer.
+    I16,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer (also the representation of pointers).
+    I64,
+    /// 64-bit IEEE float.
+    F64,
+}
+
+impl Ty {
+    /// Size of the type in bytes.
+    pub fn size(self) -> u64 {
+        match self {
+            Ty::I8 => 1,
+            Ty::I16 => 2,
+            Ty::I32 => 4,
+            Ty::I64 | Ty::F64 => 8,
+        }
+    }
+
+    /// Whether the type is a floating-point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, Ty::F64)
+    }
+
+    /// Whether two types could legally name the same storage.
+    ///
+    /// Used by the data-type alias-analysis extension (paper §2.2): accesses
+    /// whose types are incompatible cannot reference the same runtime
+    /// location in a type-safe program.
+    pub fn compatible(self, other: Ty) -> bool {
+        self == other
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ty::I8 => "i8",
+            Ty::I16 => "i16",
+            Ty::I32 => "i32",
+            Ty::I64 => "i64",
+            Ty::F64 => "f64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A runtime scalar value.
+///
+/// Pointers are represented as [`Value::Int`] holding the byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Integer (or pointer) value.
+    Int(i64),
+    /// Floating-point value.
+    Float(f64),
+}
+
+impl Value {
+    /// Integer content of the value.
+    ///
+    /// Floats are truncated toward zero, mirroring a hardware `cvt`
+    /// instruction; this keeps arithmetic total so the interpreter never
+    /// panics on type confusion.
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            Value::Float(v) => v as i64,
+        }
+    }
+
+    /// Floating-point content of the value (integers are converted).
+    pub fn as_float(self) -> f64 {
+        match self {
+            Value::Int(v) => v as f64,
+            Value::Float(v) => v,
+        }
+    }
+
+    /// The value interpreted as a byte address.
+    pub fn as_addr(self) -> u64 {
+        self.as_int() as u64
+    }
+
+    /// Whether the value is "truthy" (non-zero).
+    pub fn as_bool(self) -> bool {
+        match self {
+            Value::Int(v) => v != 0,
+            Value::Float(v) => v != 0.0,
+        }
+    }
+
+    /// Raw 64-bit pattern, used when storing to memory.
+    pub fn to_bits(self) -> u64 {
+        match self {
+            Value::Int(v) => v as u64,
+            Value::Float(v) => v.to_bits(),
+        }
+    }
+
+    /// Reconstruct a value of type `ty` from raw bits loaded from memory.
+    pub fn from_bits(bits: u64, ty: Ty) -> Value {
+        match ty {
+            Ty::F64 => Value::Float(f64::from_bits(bits)),
+            Ty::I8 => Value::Int(bits as u8 as i8 as i64),
+            Ty::I16 => Value::Int(bits as u16 as i16 as i64),
+            Ty::I32 => Value::Int(bits as u32 as i32 as i64),
+            Ty::I64 => Value::Int(bits as i64),
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Int(0)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_display_and_index() {
+        assert_eq!(Reg(7).to_string(), "r7");
+        assert_eq!(Reg(7).index(), 7);
+    }
+
+    #[test]
+    fn ty_sizes() {
+        assert_eq!(Ty::I8.size(), 1);
+        assert_eq!(Ty::I16.size(), 2);
+        assert_eq!(Ty::I32.size(), 4);
+        assert_eq!(Ty::I64.size(), 8);
+        assert_eq!(Ty::F64.size(), 8);
+        assert!(Ty::F64.is_float());
+        assert!(!Ty::I32.is_float());
+    }
+
+    #[test]
+    fn ty_compatibility_is_exact() {
+        assert!(Ty::I32.compatible(Ty::I32));
+        assert!(!Ty::I32.compatible(Ty::I64));
+        assert!(!Ty::F64.compatible(Ty::I64));
+    }
+
+    #[test]
+    fn value_int_round_trip_through_bits() {
+        for v in [-1i64, 0, 1, i64::MAX, i64::MIN, 42] {
+            let val = Value::Int(v);
+            assert_eq!(Value::from_bits(val.to_bits(), Ty::I64), val);
+        }
+    }
+
+    #[test]
+    fn value_float_round_trip_through_bits() {
+        for v in [0.0f64, -1.5, std::f64::consts::PI, f64::MAX] {
+            let val = Value::Float(v);
+            assert_eq!(Value::from_bits(val.to_bits(), Ty::F64), val);
+        }
+    }
+
+    #[test]
+    fn narrow_loads_sign_extend() {
+        assert_eq!(Value::from_bits(0xFF, Ty::I8), Value::Int(-1));
+        assert_eq!(Value::from_bits(0x7F, Ty::I8), Value::Int(127));
+        assert_eq!(Value::from_bits(0xFFFF, Ty::I16), Value::Int(-1));
+        assert_eq!(Value::from_bits(0xFFFF_FFFF, Ty::I32), Value::Int(-1));
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::Int(3).as_float(), 3.0);
+        assert_eq!(Value::Float(3.9).as_int(), 3);
+        assert!(Value::Int(1).as_bool());
+        assert!(!Value::Int(0).as_bool());
+        assert_eq!(Value::Int(-8).as_addr(), (-8i64) as u64);
+    }
+
+    #[test]
+    fn value_default_is_zero() {
+        assert_eq!(Value::default(), Value::Int(0));
+    }
+}

@@ -1,0 +1,280 @@
+//! Per-node set-associative cache array with single-word lines.
+//!
+//! The line size is one machine word so independent shared values never
+//! falsely share a line (paper §5.1). LRU replacement; an unbounded mode
+//! backs the "Unbounded" point of the Fig. 11d sweep.
+
+use crate::config::ArrayConfig;
+use std::collections::BTreeMap;
+
+/// One resident line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    lru: u64,
+}
+
+/// Result of inserting a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Insert {
+    /// Inserted without displacing anything (or refreshed an existing
+    /// line).
+    Clean,
+    /// A line was evicted; `dirty` says whether it needs write-back.
+    Evicted {
+        /// Address of the evicted line.
+        addr: u64,
+        /// Whether the evicted line was dirty.
+        dirty: bool,
+    },
+}
+
+/// The cache array of one ring node.
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    cfg: ArrayConfig,
+    /// Bounded mode: `sets[s]` holds up to `assoc` lines.
+    sets: Vec<Vec<Line>>,
+    /// Unbounded mode.
+    unbounded: BTreeMap<u64, bool /* dirty */>,
+    clock: u64,
+}
+
+impl CacheArray {
+    /// An empty array with the given geometry.
+    pub fn new(cfg: ArrayConfig) -> CacheArray {
+        CacheArray {
+            sets: vec![Vec::new(); cfg.sets()],
+            unbounded: BTreeMap::new(),
+            clock: 0,
+            cfg,
+        }
+    }
+
+    fn line_addr(&self, addr: u64) -> u64 {
+        addr / self.cfg.line * self.cfg.line
+    }
+
+    fn set_of(&self, line_addr: u64) -> usize {
+        ((line_addr / self.cfg.line) as usize) % self.sets.len().max(1)
+    }
+
+    /// Whether the line holding `addr` is resident (refreshes LRU).
+    pub fn probe(&mut self, addr: u64) -> bool {
+        let la = self.line_addr(addr);
+        self.clock += 1;
+        if self.cfg.capacity.is_none() {
+            return self.unbounded.contains_key(&la);
+        }
+        let clock = self.clock;
+        let set = self.set_of(la);
+        match self.sets[set].iter_mut().find(|l| l.tag == la) {
+            Some(line) => {
+                line.lru = clock;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the line is resident, without touching LRU state.
+    pub fn contains(&self, addr: u64) -> bool {
+        let la = self.line_addr(addr);
+        if self.cfg.capacity.is_none() {
+            return self.unbounded.contains_key(&la);
+        }
+        self.sets[self.set_of(la)].iter().any(|l| l.tag == la)
+    }
+
+    /// Insert (or refresh) the line holding `addr`; `dirty` marks it as
+    /// needing write-back on eviction.
+    pub fn insert(&mut self, addr: u64, dirty: bool) -> Insert {
+        let la = self.line_addr(addr);
+        self.clock += 1;
+        if self.cfg.capacity.is_none() {
+            let e = self.unbounded.entry(la).or_insert(false);
+            *e |= dirty;
+            return Insert::Clean;
+        }
+        let clock = self.clock;
+        let set = self.set_of(la);
+        let assoc = self.cfg.assoc;
+        let lines = &mut self.sets[set];
+        if let Some(line) = lines.iter_mut().find(|l| l.tag == la) {
+            line.lru = clock;
+            line.dirty |= dirty;
+            return Insert::Clean;
+        }
+        if lines.len() < assoc {
+            lines.push(Line {
+                tag: la,
+                dirty,
+                lru: clock,
+            });
+            return Insert::Clean;
+        }
+        // Evict LRU.
+        let victim_idx = lines
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.lru)
+            .map(|(i, _)| i)
+            .expect("set is full, hence nonempty");
+        let victim = lines[victim_idx];
+        lines[victim_idx] = Line {
+            tag: la,
+            dirty,
+            lru: clock,
+        };
+        Insert::Evicted {
+            addr: victim.tag,
+            dirty: victim.dirty,
+        }
+    }
+
+    /// Mark the resident line dirty (no-op when absent).
+    pub fn mark_dirty(&mut self, addr: u64) {
+        let la = self.line_addr(addr);
+        if self.cfg.capacity.is_none() {
+            if let Some(d) = self.unbounded.get_mut(&la) {
+                *d = true;
+            }
+            return;
+        }
+        let set = self.set_of(la);
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.tag == la) {
+            line.dirty = true;
+        }
+    }
+
+    /// Number of dirty resident lines.
+    pub fn dirty_count(&self) -> usize {
+        if self.cfg.capacity.is_none() {
+            return self.unbounded.values().filter(|d| **d).count();
+        }
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|l| l.dirty)
+            .count()
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        if self.cfg.capacity.is_none() {
+            return self.unbounded.len();
+        }
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop everything (the end-of-loop flush, after write-backs are
+    /// accounted for).
+    pub fn clear(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.unbounded.clear();
+        self.clock = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheArray {
+        // 4 lines total: 2 sets x 2 ways, 8-byte lines.
+        CacheArray::new(ArrayConfig {
+            capacity: Some(32),
+            assoc: 2,
+            line: 8,
+        })
+    }
+
+    #[test]
+    fn insert_then_probe_hits() {
+        let mut a = tiny();
+        assert!(!a.probe(0x100));
+        a.insert(0x100, false);
+        assert!(a.probe(0x100));
+        assert!(a.contains(0x104), "same word line");
+        assert!(!a.contains(0x108), "next word is a different line");
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut a = tiny();
+        // Set index = (addr/8) % 2: keep everything in set 0.
+        a.insert(0x00, false); // line 0
+        a.insert(0x10, false); // line 2 -> set 0
+        a.probe(0x00); // refresh line 0
+        match a.insert(0x20, true) {
+            Insert::Evicted { addr, dirty } => {
+                assert_eq!(addr, 0x10, "LRU victim");
+                assert!(!dirty);
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(a.contains(0x00));
+        assert!(a.contains(0x20));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut a = tiny();
+        a.insert(0x00, true);
+        a.insert(0x10, false);
+        match a.insert(0x20, false) {
+            Insert::Evicted { addr, dirty } => {
+                assert_eq!(addr, 0x00);
+                assert!(dirty);
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mark_dirty_and_count() {
+        let mut a = tiny();
+        a.insert(0x00, false);
+        assert_eq!(a.dirty_count(), 0);
+        a.mark_dirty(0x00);
+        assert_eq!(a.dirty_count(), 1);
+        a.clear();
+        assert_eq!(a.len(), 0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn unbounded_never_evicts() {
+        let mut a = CacheArray::new(ArrayConfig {
+            capacity: None,
+            assoc: 8,
+            line: 8,
+        });
+        for i in 0..10_000u64 {
+            assert_eq!(a.insert(i * 8, i % 2 == 0), Insert::Clean);
+        }
+        assert_eq!(a.len(), 10_000);
+        assert!(a.contains(0));
+        assert!(a.contains(9_999 * 8));
+    }
+
+    #[test]
+    fn wider_lines_share_residency() {
+        let mut a = CacheArray::new(ArrayConfig {
+            capacity: Some(256),
+            assoc: 2,
+            line: 64,
+        });
+        a.insert(0x40, false);
+        assert!(a.contains(0x78), "same 64B line");
+        assert!(!a.contains(0x80));
+    }
+}

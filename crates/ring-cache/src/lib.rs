@@ -1,0 +1,49 @@
+//! # helix-ring-cache
+//!
+//! Cycle-level model of the HELIX-RC *ring cache* (paper §5): a
+//! unidirectional ring of per-core nodes that proactively circulates
+//! shared data and synchronization signals, decoupling communication from
+//! computation.
+//!
+//! Key modelled properties:
+//!
+//! * **Value circulation** — a store injected at any node propagates
+//!   around the ring, one hop per cycle, stopping after a full trip;
+//!   every node caches a local copy in a set-associative array with
+//!   single-word lines (no false sharing).
+//! * **Proactive signal broadcast** — `signal` messages circulate on the
+//!   same ordered lane as data, so a signal can never overtake the data
+//!   that precedes it (the lockstep rule).
+//! * **Owner-mediated memory integration** — each address has a unique
+//!   owner node (bit-mask hash over the L1 line address); only the owner
+//!   reads or writes the conventional hierarchy on ring misses,
+//!   evictions, and the end-of-loop flush, preserving a single
+//!   serialization point per location (§5.2).
+//! * **Credit-based flow control** — bounded link buffers with
+//!   through-traffic priority; injection stalls rather than dropping.
+//!
+//! # Examples
+//!
+//! ```
+//! use helix_ring_cache::{LoadIssue, RingCache, RingConfig};
+//!
+//! let mut ring = RingCache::new(RingConfig::paper_default(16));
+//! ring.store(3, 0x1000);            // core 3 publishes a shared value
+//! for _ in 0..20 { ring.tick(); }   // value circulates
+//! match ring.load(9, 0x1000) {     // core 9 consumes it locally
+//!     LoadIssue::Hit { ready_at } => assert!(ready_at > 0),
+//!     LoadIssue::Pending { .. } => unreachable!("value has circulated"),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod config;
+pub mod ring;
+pub mod stats;
+
+pub use array::{CacheArray, Insert};
+pub use config::{ArrayConfig, RingConfig};
+pub use ring::{LoadIssue, RingCache};
+pub use stats::RingStats;

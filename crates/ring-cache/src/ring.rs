@@ -1,0 +1,667 @@
+//! The ring cache proper: nodes, lanes, value circulation, signal
+//! broadcast, owner-mediated miss service, and the end-of-loop flush.
+//!
+//! Data and signals share one ordered main lane per link, which realizes
+//! the paper's lockstep property: "signals move in lockstep with
+//! forwarded data to ensure that a shared memory location is not accessed
+//! before the data arrives" (§5.1). Per-cycle link budgets are charged
+//! separately (words of data vs. signals), with head-of-line blocking so
+//! ordering is never violated. Service traffic (ring-miss requests and
+//! replies) moves on two dedicated lanes, as in Fig. 6, so it cannot
+//! deadlock the main lane.
+
+use crate::array::{CacheArray, Insert};
+use crate::config::RingConfig;
+use crate::stats::{RingStats, SharingProfile};
+use helix_ir::SegmentId;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Main-lane message: a circulated store or a broadcast signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MainMsg {
+    /// `(address, origin node)`.
+    Data { addr: u64, origin: u8 },
+    /// `(segment, source core, origin node)`.
+    Signal {
+        seg: SegmentId,
+        src: u8,
+        origin: u8,
+    },
+}
+
+impl MainMsg {
+    fn origin(&self) -> usize {
+        match self {
+            MainMsg::Data { origin, .. } | MainMsg::Signal { origin, .. } => *origin as usize,
+        }
+    }
+}
+
+/// Service-lane request: `requester` asks `owner` for `addr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ReqMsg {
+    ticket: u64,
+    addr: u64,
+    requester: u8,
+    owner: u8,
+}
+
+/// Service-lane reply, routed back to `requester`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RepMsg {
+    ticket: u64,
+    addr: u64,
+    requester: u8,
+}
+
+/// Result of issuing a load to the ring cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadIssue {
+    /// The local node array has the line; data available at `ready_at`.
+    Hit {
+        /// Cycle the value reaches the core.
+        ready_at: u64,
+    },
+    /// Ring miss: the owner node will service it; poll
+    /// [`RingCache::load_ready`] with the ticket.
+    Pending {
+        /// Completion ticket.
+        ticket: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Node {
+    array: CacheArray,
+    in_main: VecDeque<(MainMsg, u64)>,
+    inject: VecDeque<(MainMsg, u64)>,
+    in_req: VecDeque<(ReqMsg, u64)>,
+    in_rep: VecDeque<(RepMsg, u64)>,
+    /// Signals received: (segment, source core) -> count.
+    signal_counts: BTreeMap<(SegmentId, u8), u64>,
+}
+
+impl Node {
+    fn new(cfg: &RingConfig) -> Node {
+        Node {
+            array: CacheArray::new(cfg.array),
+            in_main: VecDeque::new(),
+            inject: VecDeque::new(),
+            in_req: VecDeque::new(),
+            in_rep: VecDeque::new(),
+            signal_counts: BTreeMap::new(),
+        }
+    }
+
+    fn count_signal(&mut self, seg: SegmentId, src: u8) {
+        *self.signal_counts.entry((seg, src)).or_insert(0) += 1;
+    }
+}
+
+/// The ring cache: one node per core, connected unidirectionally.
+#[derive(Debug)]
+pub struct RingCache {
+    cfg: RingConfig,
+    nodes: Vec<Node>,
+    now: u64,
+    next_ticket: u64,
+    /// ticket -> completion cycle (present once serviced).
+    completed_loads: BTreeMap<u64, u64>,
+    stats: RingStats,
+    sharing: SharingProfile,
+}
+
+impl RingCache {
+    /// Build a ring cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`RingConfig::assert_valid`]).
+    pub fn new(cfg: RingConfig) -> RingCache {
+        cfg.assert_valid();
+        RingCache {
+            nodes: (0..cfg.nodes).map(|_| Node::new(&cfg)).collect(),
+            cfg,
+            now: 0,
+            next_ticket: 0,
+            completed_loads: BTreeMap::new(),
+            stats: RingStats::default(),
+            sharing: SharingProfile::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RingConfig {
+        &self.cfg
+    }
+
+    /// Current ring-local cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Collected statistics.
+    pub fn stats(&self) -> &RingStats {
+        &self.stats
+    }
+
+    /// Inject a store from `node`'s core. Returns `false` (and the core
+    /// must stall) when the injection queue is full.
+    pub fn store(&mut self, node: usize, addr: u64) -> bool {
+        if self.nodes[node].inject.len() >= self.cfg.injection_queue {
+            self.stats.injection_backpressure += 1;
+            return false;
+        }
+        let ready = self.now + self.cfg.injection_latency as u64;
+        self.nodes[node].inject.push_back((
+            MainMsg::Data {
+                addr,
+                origin: node as u8,
+            },
+            ready,
+        ));
+        self.stats.stores += 1;
+        self.sharing.on_store(&mut self.stats, addr, node);
+        true
+    }
+
+    /// Inject a signal from `node`'s core. Returns `false` on
+    /// backpressure.
+    pub fn signal(&mut self, node: usize, seg: SegmentId) -> bool {
+        if self.nodes[node].inject.len() >= self.cfg.injection_queue {
+            self.stats.injection_backpressure += 1;
+            return false;
+        }
+        let ready = self.now + self.cfg.injection_latency as u64;
+        self.nodes[node].inject.push_back((
+            MainMsg::Signal {
+                seg,
+                src: node as u8,
+                origin: node as u8,
+            },
+            ready,
+        ));
+        self.stats.signals += 1;
+        true
+    }
+
+    /// Issue a load from `node`'s core.
+    pub fn load(&mut self, node: usize, addr: u64) -> LoadIssue {
+        self.stats.loads += 1;
+        self.sharing
+            .on_load(&mut self.stats, addr, node, self.cfg.nodes);
+        if self.nodes[node].array.probe(addr) {
+            self.stats.load_hits += 1;
+            return LoadIssue::Hit {
+                ready_at: self.now + self.cfg.injection_latency as u64 + 1,
+            };
+        }
+        self.stats.load_misses += 1;
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        let owner = self.cfg.owner_of(addr);
+        if owner == node {
+            // Local miss at the owner: read the private L1 directly.
+            let ready = self.now
+                + self.cfg.injection_latency as u64
+                + 1
+                + self.cfg.l1_service_latency as u64;
+            self.nodes[node].array.insert(addr, false);
+            self.completed_loads.insert(ticket, ready);
+        } else {
+            let req = ReqMsg {
+                ticket,
+                addr,
+                requester: node as u8,
+                owner: owner as u8,
+            };
+            let ready = self.now + self.cfg.injection_latency as u64 + self.cfg.hop_latency as u64;
+            let next = (node + 1) % self.cfg.nodes;
+            self.nodes[next].in_req.push_back((req, ready));
+        }
+        LoadIssue::Pending { ticket }
+    }
+
+    /// Completion cycle of a pending load, if serviced.
+    pub fn load_ready(&self, ticket: u64) -> Option<u64> {
+        self.completed_loads.get(&ticket).copied()
+    }
+
+    /// Discard a completed load ticket.
+    pub fn retire_load(&mut self, ticket: u64) {
+        self.completed_loads.remove(&ticket);
+    }
+
+    /// Signals received at `node` for `seg` from core `src`.
+    pub fn signal_count(&self, node: usize, seg: SegmentId, src: usize) -> u64 {
+        self.nodes[node]
+            .signal_counts
+            .get(&(seg, src as u8))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Reset signal bookkeeping at the start of a parallel loop.
+    pub fn begin_loop(&mut self) {
+        for n in &mut self.nodes {
+            n.signal_counts.clear();
+        }
+    }
+
+    /// End-of-loop flush: drain in-flight traffic, write every dirty
+    /// owned line back to its owner's L1, clear all arrays. Returns the
+    /// number of cycles consumed (the "distributed fence" cost, §5.2).
+    pub fn flush(&mut self) -> u64 {
+        let start = self.now;
+        // Drain: step until every queue is empty (bounded for safety).
+        let mut guard = 0u64;
+        while !self.quiescent() {
+            self.tick();
+            guard += 1;
+            assert!(guard < 1_000_000, "ring failed to drain: deadlock?");
+        }
+        // Write-backs: each node retires its dirty lines at one per two
+        // cycles, all nodes in parallel; one final L1 access latency.
+        let mut max_dirty = 0usize;
+        for n in &mut self.nodes {
+            let d = n.array.dirty_count();
+            max_dirty = max_dirty.max(d);
+            self.stats.flush_writebacks += d as u64;
+            n.array.clear();
+            n.signal_counts.clear();
+        }
+        let wb_cycles = if max_dirty > 0 {
+            2 * max_dirty as u64 + self.cfg.l1_service_latency as u64
+        } else {
+            0
+        };
+        for _ in 0..wb_cycles {
+            self.tick();
+        }
+        self.sharing.finish(&mut self.stats);
+        self.completed_loads.clear();
+        self.now - start
+    }
+
+    /// Whether all lanes and injection queues are empty.
+    pub fn quiescent(&self) -> bool {
+        self.nodes.iter().all(|n| {
+            n.in_main.is_empty()
+                && n.inject.is_empty()
+                && n.in_req.is_empty()
+                && n.in_rep.is_empty()
+        })
+    }
+
+    /// Advance the ring by one cycle.
+    pub fn tick(&mut self) {
+        let now = self.now;
+        let n = self.cfg.nodes;
+        for i in 0..n {
+            self.tick_main(i, now);
+            self.tick_service(i, now);
+        }
+        self.now += 1;
+    }
+
+    fn tick_main(&mut self, i: usize, now: u64) {
+        let n = self.cfg.nodes;
+        let next = (i + 1) % n;
+        let mut data_budget = self.cfg.data_bandwidth;
+        let mut sig_budget = self.cfg.signal_bandwidth.unwrap_or(u32::MAX);
+        let mut next_free = if next == i {
+            0
+        } else {
+            self.cfg
+                .link_buffers
+                .saturating_sub(self.nodes[next].in_main.len())
+        };
+        let mut outbound: Vec<(MainMsg, u64)> = Vec::new();
+        let mut processed_through = false;
+
+        // Through traffic first (the node prioritizes ring data and
+        // stalls its own injection, §5.1).
+        loop {
+            let Some(&(msg, ready)) = self.nodes[i].in_main.front() else {
+                break;
+            };
+            if ready > now {
+                break;
+            }
+            let budget = match msg {
+                MainMsg::Data { .. } => &mut data_budget,
+                MainMsg::Signal { .. } => &mut sig_budget,
+            };
+            if *budget == 0 {
+                break;
+            }
+            let forward = next != msg.origin() && n > 1;
+            if forward && next_free == 0 {
+                self.stats.credit_stalls += 1;
+                break;
+            }
+            self.nodes[i].in_main.pop_front();
+            *budget -= 1;
+            processed_through = true;
+            self.handle_main(i, msg);
+            if forward {
+                outbound.push((msg, now + self.cfg.hop_latency as u64));
+                next_free -= 1;
+                self.stats.forwards += 1;
+            }
+        }
+
+        // Injection only when no through traffic moved this cycle.
+        if !processed_through {
+            if let Some(&(msg, ready)) = self.nodes[i].inject.front() {
+                let budget = match msg {
+                    MainMsg::Data { .. } => &mut data_budget,
+                    MainMsg::Signal { .. } => &mut sig_budget,
+                };
+                if ready <= now && *budget > 0 {
+                    let forward = n > 1;
+                    if !forward || next_free > 0 {
+                        self.nodes[i].inject.pop_front();
+                        *budget -= 1;
+                        self.handle_main(i, msg);
+                        if forward {
+                            outbound.push((msg, now + self.cfg.hop_latency as u64));
+                            self.stats.forwards += 1;
+                        }
+                    } else {
+                        self.stats.credit_stalls += 1;
+                    }
+                }
+            }
+        }
+
+        for item in outbound {
+            self.nodes[next].in_main.push_back(item);
+        }
+    }
+
+    /// Apply a main-lane message's effect at node `i`.
+    fn handle_main(&mut self, i: usize, msg: MainMsg) {
+        match msg {
+            MainMsg::Data { addr, .. } => {
+                let dirty = self.cfg.owner_of(addr) == i;
+                match self.nodes[i].array.insert(addr, dirty) {
+                    Insert::Evicted { addr: _va, dirty: true } => {
+                        // Owner write-back of the victim; cost is absorbed
+                        // by the (pipelined) L1 port, counted in stats.
+                        self.stats.evict_writebacks += 1;
+                    }
+                    _ => {}
+                }
+            }
+            MainMsg::Signal { seg, src, .. } => {
+                self.nodes[i].count_signal(seg, src);
+            }
+        }
+    }
+
+    fn tick_service(&mut self, i: usize, now: u64) {
+        let n = self.cfg.nodes;
+        let next = (i + 1) % n;
+        // Requests: one per cycle.
+        let mut req_out: Option<(ReqMsg, u64)> = None;
+        let mut rep_out: Vec<(RepMsg, u64)> = Vec::new();
+        if let Some(&(req, ready)) = self.nodes[i].in_req.front() {
+            if ready <= now {
+                if req.owner as usize == i {
+                    self.nodes[i].in_req.pop_front();
+                    // Service: array lookup, or the owner's private L1.
+                    let lat = if self.nodes[i].array.probe(req.addr) {
+                        1
+                    } else {
+                        self.nodes[i].array.insert(req.addr, false);
+                        self.cfg.l1_service_latency as u64
+                    };
+                    let rep = RepMsg {
+                        ticket: req.ticket,
+                        addr: req.addr,
+                        requester: req.requester,
+                    };
+                    if req.requester as usize == i {
+                        self.completed_loads.insert(req.ticket, now + lat + 1);
+                    } else {
+                        rep_out.push((rep, now + lat + self.cfg.hop_latency as u64));
+                    }
+                } else {
+                    self.nodes[i].in_req.pop_front();
+                    req_out = Some((req, now + self.cfg.hop_latency as u64));
+                    self.stats.forwards += 1;
+                }
+            }
+        }
+        // Replies: one per cycle.
+        if let Some(&(rep, ready)) = self.nodes[i].in_rep.front() {
+            if ready <= now {
+                self.nodes[i].in_rep.pop_front();
+                if rep.requester as usize == i {
+                    self.nodes[i].array.insert(rep.addr, false);
+                    self.completed_loads.insert(rep.ticket, now + 1);
+                } else {
+                    rep_out.push((rep, now + self.cfg.hop_latency as u64));
+                    self.stats.forwards += 1;
+                }
+            }
+        }
+        if let Some(item) = req_out {
+            self.nodes[next].in_req.push_back(item);
+        }
+        for item in rep_out {
+            self.nodes[next].in_rep.push_back(item);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(nodes: usize) -> RingCache {
+        RingCache::new(RingConfig::paper_default(nodes))
+    }
+
+    fn run_until<F: Fn(&RingCache) -> bool>(r: &mut RingCache, pred: F, max: u64) -> u64 {
+        let start = r.now();
+        for _ in 0..max {
+            if pred(r) {
+                return r.now() - start;
+            }
+            r.tick();
+        }
+        panic!("condition not reached within {max} cycles");
+    }
+
+    /// A store circulates to every node within ~N + injection cycles.
+    #[test]
+    fn store_circulates_full_ring() {
+        let mut r = ring(16);
+        assert!(r.store(3, 0x1000));
+        let cycles = run_until(
+            &mut r,
+            |r| (0..16).all(|n| r.nodes[n].array.contains(0x1000)),
+            100,
+        );
+        // injection (2) + 15 hops + processing slack.
+        assert!(cycles <= 16 + 2 + 4, "took {cycles} cycles");
+        assert!(r.quiescent());
+    }
+
+    /// Signals reach every node and are counted once per node.
+    #[test]
+    fn signal_broadcast_counts() {
+        let mut r = ring(8);
+        let seg = SegmentId(2);
+        assert!(r.signal(5, seg));
+        run_until(
+            &mut r,
+            |r| (0..8).all(|n| r.signal_count(n, seg, 5) == 1),
+            64,
+        );
+        // No double counting after draining.
+        for _ in 0..20 {
+            r.tick();
+        }
+        for n in 0..8 {
+            assert_eq!(r.signal_count(n, seg, 5), 1);
+        }
+    }
+
+    /// Full-trip latency without contention is bounded by N hops
+    /// (paper §5.1: "bound the latency for a full trip around the ring to
+    /// N clock cycles").
+    #[test]
+    fn uncontended_full_trip_bound() {
+        let mut r = ring(16);
+        r.store(0, 0x40);
+        // Last node to receive is node 15: distance 15.
+        let cycles = run_until(&mut r, |r| r.nodes[15].array.contains(0x40), 64);
+        assert!(
+            cycles <= 2 + 16,
+            "full trip took {cycles} > injection + N cycles"
+        );
+    }
+
+    /// A load after circulation hits locally with small latency.
+    #[test]
+    fn load_hit_after_circulation() {
+        let mut r = ring(16);
+        r.store(2, 0x2000);
+        run_until(&mut r, |r| r.quiescent(), 100);
+        match r.load(9, 0x2000) {
+            LoadIssue::Hit { ready_at } => {
+                assert_eq!(ready_at, r.now() + 3); // injection 2 + lookup 1
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!(r.stats().load_hits, 1);
+    }
+
+    /// A cold load misses and is serviced by the owner via the ring.
+    #[test]
+    fn cold_load_serviced_by_owner() {
+        let mut r = ring(16);
+        let addr = 0x4000;
+        let owner = r.config().owner_of(addr);
+        let requester = (owner + 4) % 16;
+        let issue = r.load(requester, addr);
+        let ticket = match issue {
+            LoadIssue::Pending { ticket } => ticket,
+            other => panic!("expected miss, got {other:?}"),
+        };
+        let waited = run_until(&mut r, |r| r.load_ready(ticket).is_some(), 200);
+        let ready = r.load_ready(ticket).unwrap();
+        // Round trip: hops to owner + L1 service + hops back.
+        let min_rtt = 16 /* full circle */ + 3 /* L1 */;
+        assert!(
+            waited as u64 + 2 >= min_rtt / 2 && ready >= min_rtt / 2,
+            "implausibly fast miss service: waited {waited}, ready {ready}"
+        );
+        r.retire_load(ticket);
+        assert_eq!(r.load_ready(ticket), None);
+        assert_eq!(r.stats().load_misses, 1);
+        // The requester now caches the line.
+        run_until(&mut r, |r| r.nodes[requester].array.contains(addr), 64);
+    }
+
+    /// Backpressure: a full injection queue rejects stores.
+    #[test]
+    fn injection_backpressure() {
+        let mut r = ring(4);
+        let cap = r.config().injection_queue;
+        let mut accepted = 0;
+        for k in 0..cap + 4 {
+            if r.store(0, 0x100 + (k as u64) * 8) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, cap);
+        assert!(r.stats().injection_backpressure >= 4);
+        // Draining frees the queue.
+        run_until(&mut r, |r| r.quiescent(), 200);
+        assert!(r.store(0, 0x900));
+    }
+
+    /// Flush writes back dirty owned lines, clears arrays, and reports a
+    /// nonzero cost.
+    #[test]
+    fn flush_writes_back_and_clears() {
+        let mut r = ring(8);
+        for k in 0..10u64 {
+            r.store(k as usize % 8, 0x8000 + k * 8);
+        }
+        run_until(&mut r, |r| r.quiescent(), 400);
+        let dirty_before: usize = (0..8).map(|n| r.nodes[n].array.dirty_count()).sum();
+        assert!(dirty_before > 0, "owners hold dirty lines");
+        let cost = r.flush();
+        assert!(cost > 0);
+        assert_eq!(r.stats().flush_writebacks, dirty_before as u64);
+        assert!((0..8).all(|n| r.nodes[n].array.is_empty()));
+    }
+
+    /// begin_loop clears signal state but not the cached data.
+    #[test]
+    fn begin_loop_resets_signals_only() {
+        let mut r = ring(4);
+        r.signal(1, SegmentId(0));
+        r.store(1, 0x500);
+        run_until(&mut r, |r| r.quiescent(), 100);
+        assert!(r.signal_count(3, SegmentId(0), 1) == 1);
+        r.begin_loop();
+        assert_eq!(r.signal_count(3, SegmentId(0), 1), 0);
+        assert!(r.nodes[3].array.contains(0x500));
+    }
+
+    /// Messages from one node preserve order (data then signal): the
+    /// signal never arrives anywhere before the data it follows.
+    #[test]
+    fn lockstep_data_before_signal() {
+        let mut r = ring(16);
+        r.store(0, 0x7000);
+        r.signal(0, SegmentId(1));
+        for _ in 0..100 {
+            r.tick();
+            for node in 0..16 {
+                if r.signal_count(node, SegmentId(1), 0) > 0 {
+                    assert!(
+                        r.nodes[node].array.contains(0x7000),
+                        "signal overtook its data at node {node}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Single-node ring degenerates gracefully.
+    #[test]
+    fn single_node_ring() {
+        let mut r = ring(1);
+        assert!(r.store(0, 0x100));
+        run_until(&mut r, |r| r.nodes[0].array.contains(0x100), 16);
+        assert!(r.quiescent());
+        match r.load(0, 0x100) {
+            LoadIssue::Hit { .. } => {}
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    /// Signal-bandwidth 1 still delivers everything (just slower).
+    #[test]
+    fn narrow_signal_bandwidth_still_delivers() {
+        let mut cfg = RingConfig::paper_default(8);
+        cfg.signal_bandwidth = Some(1);
+        let mut r = RingCache::new(cfg);
+        for s in 0..4u32 {
+            assert!(r.signal(0, SegmentId(s)));
+        }
+        run_until(
+            &mut r,
+            |r| (0..4).all(|s| r.signal_count(7, SegmentId(s), 0) == 1),
+            400,
+        );
+    }
+}

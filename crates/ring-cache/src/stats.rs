@@ -1,0 +1,177 @@
+//! Ring-cache traffic statistics, including the sharing profile that
+//! backs Fig. 4b (producer→first-consumer hop distance) and Fig. 4c
+//! (consumers per shared value).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Counters and histograms collected by the ring cache.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RingStats {
+    /// Stores injected by cores.
+    pub stores: u64,
+    /// Loads issued by cores.
+    pub loads: u64,
+    /// Loads that hit the local node array.
+    pub load_hits: u64,
+    /// Loads serviced by the owner node (ring miss).
+    pub load_misses: u64,
+    /// Signals injected by cores.
+    pub signals: u64,
+    /// Messages forwarded node-to-node (all lanes).
+    pub forwards: u64,
+    /// Cycles a message spent stalled for link credits.
+    pub credit_stalls: u64,
+    /// Store injections rejected for a full injection queue.
+    pub injection_backpressure: u64,
+    /// Dirty lines written back on eviction at their owner.
+    pub evict_writebacks: u64,
+    /// Dirty lines written back by end-of-loop flushes.
+    pub flush_writebacks: u64,
+    /// Histogram of producer→first-consumer hop distances (index =
+    /// distance; 0 unused on a ring with distinct producer/consumer).
+    pub first_consumer_distance: Vec<u64>,
+    /// Histogram of consumers per produced value (index = consumer
+    /// count).
+    pub consumers_per_value: Vec<u64>,
+}
+
+impl RingStats {
+    /// Load hit rate in [0, 1]; 1 when no loads were issued.
+    pub fn hit_rate(&self) -> f64 {
+        if self.loads == 0 {
+            1.0
+        } else {
+            self.load_hits as f64 / self.loads as f64
+        }
+    }
+
+    pub(crate) fn bump(hist: &mut Vec<u64>, idx: usize) {
+        if hist.len() <= idx {
+            hist.resize(idx + 1, 0);
+        }
+        hist[idx] += 1;
+    }
+
+    /// Normalized distance distribution (fractions summing to 1).
+    pub fn distance_distribution(&self) -> Vec<f64> {
+        normalize(&self.first_consumer_distance)
+    }
+
+    /// Normalized consumer-count distribution.
+    pub fn consumer_distribution(&self) -> Vec<f64> {
+        normalize(&self.consumers_per_value)
+    }
+}
+
+fn normalize(hist: &[u64]) -> Vec<f64> {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    hist.iter().map(|&v| v as f64 / total as f64).collect()
+}
+
+/// Per-address sharing epoch used to build the Fig. 4 histograms.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SharingProfile {
+    /// addr -> (producer node, consumers-this-epoch bitmask, first
+    /// consumer recorded?)
+    epochs: BTreeMap<u64, (usize, u64, bool)>,
+}
+
+impl SharingProfile {
+    /// A store by `node` begins a new epoch for `addr`; the previous
+    /// epoch's consumer count is recorded.
+    pub fn on_store(&mut self, stats: &mut RingStats, addr: u64, node: usize) {
+        if let Some((_, consumers, _)) = self.epochs.insert(addr, (node, 0, false)) {
+            let n = consumers.count_ones() as usize;
+            if n > 0 {
+                RingStats::bump(&mut stats.consumers_per_value, n);
+            }
+        }
+    }
+
+    /// A load by `node` consumes the current value of `addr`.
+    pub fn on_load(&mut self, stats: &mut RingStats, addr: u64, node: usize, ring_nodes: usize) {
+        if let Some((producer, consumers, first_done)) = self.epochs.get_mut(&addr) {
+            if *producer == node {
+                return;
+            }
+            if !*first_done {
+                let dist = (node + ring_nodes - *producer) % ring_nodes;
+                RingStats::bump(&mut stats.first_consumer_distance, dist);
+                *first_done = true;
+            }
+            *consumers |= 1 << (node as u64 & 63);
+        }
+    }
+
+    /// Finalize all epochs (end of loop).
+    pub fn finish(&mut self, stats: &mut RingStats) {
+        for (_, (_, consumers, _)) in std::mem::take(&mut self.epochs) {
+            let n = consumers.count_ones() as usize;
+            if n > 0 {
+                RingStats::bump(&mut stats.consumers_per_value, n);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharing_profile_counts_consumers_and_distance() {
+        let mut stats = RingStats::default();
+        let mut prof = SharingProfile::default();
+        // Producer at node 2; consumers at 5 (first), 9, 9 (dup).
+        prof.on_store(&mut stats, 0x100, 2);
+        prof.on_load(&mut stats, 0x100, 5, 16);
+        prof.on_load(&mut stats, 0x100, 9, 16);
+        prof.on_load(&mut stats, 0x100, 9, 16);
+        // Next store finalizes the epoch.
+        prof.on_store(&mut stats, 0x100, 7);
+        assert_eq!(stats.first_consumer_distance[3], 1); // 5 - 2
+        assert_eq!(stats.consumers_per_value[2], 1); // two distinct consumers
+        // Epoch with no consumers records nothing.
+        prof.on_store(&mut stats, 0x100, 1);
+        assert_eq!(stats.consumers_per_value.iter().sum::<u64>(), 1);
+        prof.on_load(&mut stats, 0x100, 2, 16);
+        prof.finish(&mut stats);
+        assert_eq!(stats.consumers_per_value.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn producer_self_read_not_a_consumer() {
+        let mut stats = RingStats::default();
+        let mut prof = SharingProfile::default();
+        prof.on_store(&mut stats, 0x8, 3);
+        prof.on_load(&mut stats, 0x8, 3, 8);
+        prof.finish(&mut stats);
+        assert!(stats.consumers_per_value.is_empty());
+        assert!(stats.first_consumer_distance.is_empty());
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut s = RingStats::default();
+        assert_eq!(s.hit_rate(), 1.0);
+        s.loads = 10;
+        s.load_hits = 9;
+        assert!((s.hit_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distributions_normalize() {
+        let mut s = RingStats::default();
+        RingStats::bump(&mut s.first_consumer_distance, 1);
+        RingStats::bump(&mut s.first_consumer_distance, 3);
+        RingStats::bump(&mut s.first_consumer_distance, 3);
+        let d = s.distance_distribution();
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((d[3] - 2.0 / 3.0).abs() < 1e-12);
+        assert!(s.consumer_distribution().is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! Branch prediction: per-branch two-bit saturating counters.
+
+use helix_ir::BlockId;
+use std::collections::BTreeMap;
+
+/// A table of two-bit saturating counters keyed by branch block.
+#[derive(Debug, Clone, Default)]
+pub struct Predictor {
+    table: BTreeMap<BlockId, u8>,
+    /// Predictions made.
+    pub predictions: u64,
+    /// Of which incorrect.
+    pub mispredictions: u64,
+}
+
+impl Predictor {
+    /// A fresh predictor (weakly taken everywhere).
+    pub fn new() -> Predictor {
+        Predictor::default()
+    }
+
+    /// Predict the branch in `block`: `true` = taken.
+    pub fn predict(&self, block: BlockId) -> bool {
+        *self.table.get(&block).unwrap_or(&2) >= 2
+    }
+
+    /// Record the outcome; returns whether the prediction was correct.
+    pub fn update(&mut self, block: BlockId, taken: bool) -> bool {
+        let ctr = self.table.entry(block).or_insert(2);
+        let predicted = *ctr >= 2;
+        if taken {
+            *ctr = (*ctr + 1).min(3);
+        } else {
+            *ctr = ctr.saturating_sub(1);
+        }
+        self.predictions += 1;
+        if predicted != taken {
+            self.mispredictions += 1;
+        }
+        predicted == taken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_biased_branch() {
+        let mut p = Predictor::new();
+        let b = BlockId(5);
+        for _ in 0..4 {
+            p.update(b, false);
+        }
+        assert!(!p.predict(b));
+        // One taken flip does not change the prediction (hysteresis).
+        p.update(b, true);
+        assert!(!p.predict(b));
+        p.update(b, true);
+        assert!(p.predict(b));
+    }
+
+    #[test]
+    fn loop_back_edges_predict_well() {
+        let mut p = Predictor::new();
+        let b = BlockId(1);
+        let mut correct = 0;
+        for i in 0..100 {
+            let taken = i % 10 != 9; // 10-iteration loop pattern
+            if p.predict(b) == taken {
+                correct += 1;
+            }
+            p.update(b, taken);
+        }
+        assert!(correct >= 80, "got {correct}");
+        assert!(p.mispredictions <= 20);
+    }
+}

@@ -1,0 +1,88 @@
+//! Bank/row-state DRAM timing model (the DRAMSim2 substitution).
+//!
+//! Each bank remembers its open row; an access to the open row pays the
+//! row-hit latency, anything else pays precharge + activate (row miss).
+//! This captures the first-order locality behaviour the evaluation is
+//! sensitive to without modelling command scheduling.
+
+/// DRAM timing state.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    banks: Vec<Option<u64>>,
+    row_hit: u32,
+    row_miss: u32,
+    /// Per-bank next-free cycle (bank occupancy).
+    busy_until: Vec<u64>,
+    /// Accesses serviced.
+    pub accesses: u64,
+    /// Of which row hits.
+    pub row_hits: u64,
+}
+
+/// Bytes per DRAM row (8 KB, typical).
+const ROW_BYTES: u64 = 8192;
+/// Bank occupancy per access.
+const BANK_OCCUPANCY: u64 = 16;
+
+impl Dram {
+    /// A DRAM with `banks` banks and the given row-hit/miss latencies.
+    pub fn new(banks: usize, row_hit: u32, row_miss: u32) -> Dram {
+        Dram {
+            banks: vec![None; banks.max(1)],
+            row_hit,
+            row_miss,
+            busy_until: vec![0; banks.max(1)],
+            accesses: 0,
+            row_hits: 0,
+        }
+    }
+
+    /// Completion cycle of an access to `addr` issued at `now`.
+    pub fn access(&mut self, addr: u64, now: u64) -> u64 {
+        self.accesses += 1;
+        let row = addr / ROW_BYTES;
+        let bank = (row as usize) % self.banks.len();
+        let lat = if self.banks[bank] == Some(row) {
+            self.row_hits += 1;
+            self.row_hit
+        } else {
+            self.banks[bank] = Some(row);
+            self.row_miss
+        } as u64;
+        let start = now.max(self.busy_until[bank]);
+        self.busy_until[bank] = start + BANK_OCCUPANCY;
+        start + lat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_hit_cheaper_than_miss() {
+        let mut d = Dram::new(4, 100, 200);
+        let first = d.access(0, 0);
+        assert_eq!(first, 200, "cold row misses");
+        let second = d.access(64, 1000);
+        assert_eq!(second, 1100, "open row hits");
+        assert_eq!(d.row_hits, 1);
+    }
+
+    #[test]
+    fn different_rows_conflict() {
+        let mut d = Dram::new(1, 100, 200);
+        d.access(0, 0);
+        let t = d.access(ROW_BYTES, 0); // same bank, new row
+        assert_eq!(t, 16 + 200, "bank busy then row miss");
+    }
+
+    #[test]
+    fn banks_operate_independently() {
+        let mut d = Dram::new(2, 100, 200);
+        let a = d.access(0, 0); // bank 0
+        let b = d.access(ROW_BYTES, 0); // bank 1
+        assert_eq!(a, 200);
+        assert_eq!(b, 200, "no conflict across banks");
+    }
+}

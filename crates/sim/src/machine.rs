@@ -1,0 +1,1218 @@
+//! The multicore machine: global cycle loop, serial/parallel phase
+//! orchestration, and the per-core issue logic for both core models.
+
+use crate::attribution::{Attribution, Bucket};
+use crate::config::{CoreModel, MachineConfig};
+use crate::core::{inst_latency, CoreState, RobEntry, RunState};
+use crate::memsys::{MemStats, MemSystem};
+use crate::race::{RaceDetector, RaceViolation};
+use crate::sync::{required_count, required_sources, SyncState, WaitBlock};
+use helix_hcc::{LiveOutResolve, LoopPlan};
+use helix_ir::interp::{Env, InterpError, StepEvent, Thread};
+use helix_ir::trace::{InstSite, MemAccess, TraceSink};
+use helix_ir::{BlockId, Inst, Program, Reg, SegmentId, Terminator, Value};
+use helix_ring_cache::{LoadIssue, RingCache, RingStats};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Simulation failure.
+#[derive(Debug)]
+pub enum SimError {
+    /// Functional execution faulted.
+    Interp(InterpError),
+    /// The cycle budget was exhausted.
+    FuelExhausted {
+        /// Cycles executed before giving up.
+        cycles: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Interp(e) => write!(f, "functional fault: {e}"),
+            SimError::FuelExhausted { cycles } => {
+                write!(f, "cycle budget exhausted after {cycles}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<InterpError> for SimError {
+    fn from(e: InterpError) -> Self {
+        SimError::Interp(e)
+    }
+}
+
+/// Results of one simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Dynamic instructions across all cores.
+    pub dyn_insts: u64,
+    /// Per-cycle attribution.
+    pub attribution: Attribution,
+    /// Digest of final memory contents.
+    pub mem_digest: u64,
+    /// Ring statistics, when a ring was configured.
+    pub ring_stats: Option<RingStats>,
+    /// Memory-hierarchy statistics.
+    pub mem_stats: MemStats,
+    /// Race violations (must be empty for a correct compiler).
+    #[serde(skip)]
+    pub race_violations: Vec<RaceViolation>,
+    /// Protocol errors (missing signals, escaped workers, ...).
+    pub protocol_errors: Vec<String>,
+    /// Parallel loop invocations executed.
+    pub loop_invocations: u64,
+    /// Parallel iterations executed.
+    pub iterations: u64,
+    /// Sampled per-iteration durations in cycles (Fig. 4a).
+    pub iteration_lengths: Vec<u32>,
+    /// Orchestrator register file at program end.
+    #[serde(skip)]
+    pub final_regs: Vec<Value>,
+}
+
+impl RunReport {
+    /// Speedup of this run relative to a baseline cycle count.
+    pub fn speedup_vs(&self, baseline_cycles: u64) -> f64 {
+        baseline_cycles as f64 / self.cycles.max(1) as f64
+    }
+}
+
+/// Per-parallel-loop context.
+#[derive(Debug)]
+struct ParCtx {
+    plan: usize,
+    trip: u64,
+    r0: Vec<Value>,
+    /// reg -> (defining iteration, core), for LastWriter live-outs.
+    last_writer: BTreeMap<Reg, (u64, usize)>,
+    lastwriter_regs: BTreeSet<Reg>,
+    seg_ids: Vec<SegmentId>,
+}
+
+#[derive(Debug)]
+enum Mode {
+    Serial,
+    Parallel(ParCtx),
+}
+
+/// Sink capturing the memory accesses of a single step.
+#[derive(Default)]
+struct CapSink {
+    mem: Vec<MemAccess>,
+}
+
+impl TraceSink for CapSink {
+    fn on_mem(&mut self, _site: InstSite, access: MemAccess) {
+        self.mem.push(access);
+    }
+}
+
+/// The machine simulator.
+#[derive(Debug)]
+pub struct Machine<'p> {
+    program: &'p Program,
+    plans: &'p [LoopPlan],
+    cfg: MachineConfig,
+    env: Env,
+    cores: Vec<CoreState>,
+    memsys: MemSystem,
+    ring: Option<RingCache>,
+    sync: SyncState,
+    attr: Attribution,
+    race: RaceDetector,
+    now: u64,
+    mode: Mode,
+    plan_by_header: BTreeMap<BlockId, usize>,
+    pending_enter: Option<usize>,
+    protocol_errors: Vec<String>,
+    loop_invocations: u64,
+    iterations: u64,
+    iteration_lengths: Vec<u32>,
+    /// Minimum in-flight iteration this cycle (for the lap bound).
+    min_iter: u64,
+}
+
+const MAX_ITER_SAMPLES: usize = 1 << 16;
+/// Extra cycles a coherence-mediated wait pays to observe a flag after
+/// the transfer completes (spin-loop detection).
+const SPIN_OVERHEAD: u64 = 2;
+
+impl<'p> Machine<'p> {
+    /// Build a machine over a (possibly transformed) program and its
+    /// parallel-loop plans.
+    pub fn new(program: &'p Program, plans: &'p [LoopPlan], cfg: MachineConfig) -> Machine<'p> {
+        cfg.assert_valid();
+        let env = Env::for_program(program);
+        let n_regs = program.n_regs as usize;
+        let cores = (0..cfg.cores)
+            .map(|id| CoreState::new(id, Thread::at_entry(program), n_regs))
+            .collect();
+        let memsys = MemSystem::new(&cfg);
+        let ring = cfg.ring.map(RingCache::new);
+        let plan_by_header = plans
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.header, i))
+            .collect();
+        Machine {
+            program,
+            plans,
+            attr: Attribution::new(cfg.cores),
+            cfg,
+            env,
+            cores,
+            memsys,
+            ring,
+            sync: SyncState::default(),
+            race: RaceDetector::new(),
+            now: 0,
+            mode: Mode::Serial,
+            plan_by_header,
+            pending_enter: None,
+            protocol_errors: Vec::new(),
+            loop_invocations: 0,
+            iterations: 0,
+            iteration_lengths: Vec::new(),
+            min_iter: 0,
+        }
+    }
+
+    /// Run to completion (or until `fuel` cycles elapse).
+    ///
+    /// # Errors
+    ///
+    /// Fails on functional faults or fuel exhaustion.
+    pub fn run(&mut self, fuel: u64) -> Result<RunReport, SimError> {
+        while !self.finished() {
+            if self.now >= fuel {
+                return Err(SimError::FuelExhausted { cycles: self.now });
+            }
+            self.tick_cycle()?;
+        }
+        Ok(self.report())
+    }
+
+    fn finished(&self) -> bool {
+        matches!(self.mode, Mode::Serial) && self.cores[0].thread.finished
+    }
+
+    fn report(&self) -> RunReport {
+        RunReport {
+            cycles: self.now,
+            dyn_insts: self.cores.iter().map(|c| c.thread.dyn_insts).sum(),
+            attribution: self.attr.clone(),
+            mem_digest: self.env.mem.digest(),
+            ring_stats: self.ring.as_ref().map(|r| r.stats().clone()),
+            mem_stats: self.memsys.stats,
+            race_violations: self.race.violations.clone(),
+            protocol_errors: self.protocol_errors.clone(),
+            loop_invocations: self.loop_invocations,
+            iterations: self.iterations,
+            iteration_lengths: self.iteration_lengths.clone(),
+            final_regs: self.cores[0].thread.regs.clone(),
+        }
+    }
+
+    fn tick_cycle(&mut self) -> Result<(), SimError> {
+        if let Some(ring) = &mut self.ring {
+            ring.tick();
+        }
+        // Lap bound: the slowest in-flight iteration.
+        self.min_iter = self
+            .cores
+            .iter()
+            .map(|c| match c.run {
+                RunState::Iter { iter, .. } | RunState::LapHold { iter } => iter,
+                _ => u64::MAX,
+            })
+            .min()
+            .unwrap_or(u64::MAX);
+        for cid in 0..self.cfg.cores {
+            self.tick_core(cid)?;
+        }
+        self.now += 1;
+        if let Some(plan) = self.pending_enter.take() {
+            self.enter_parallel(plan);
+        }
+        if matches!(self.mode, Mode::Parallel(_)) {
+            let all_done = self.cores.iter().all(|c| {
+                matches!(c.run, RunState::FinishedLoop | RunState::NoWork)
+            });
+            if all_done {
+                self.exit_parallel();
+            }
+        }
+        Ok(())
+    }
+
+    /// Enter parallel execution of `plans[pidx]`; the orchestrator's
+    /// thread is positioned at the loop header.
+    fn enter_parallel(&mut self, pidx: usize) {
+        let plan = &self.plans[pidx];
+        let mut r0 = self.cores[0].thread.regs.clone();
+        for ind in &plan.inductions {
+            r0[ind.init_copy.index()] = r0[ind.reg.index()];
+        }
+        for p2 in &plan.poly2 {
+            r0[p2.init_copy.index()] = r0[p2.reg.index()];
+        }
+        let counter_entry = r0[plan.counter.index()].as_int();
+        let bound = match plan.bound {
+            helix_ir::Operand::Reg(r) => r0[r.index()].as_int(),
+            helix_ir::Operand::Imm(v) => v.as_int(),
+        };
+        let trip = plan.trip_count(counter_entry, bound);
+        debug_assert!(trip >= 1, "zero-trip loops stay serial");
+
+        for (cid, core) in self.cores.iter_mut().enumerate() {
+            core.thread.regs = r0.clone();
+            core.thread.finished = false;
+            if cid > 0 {
+                for red in &plan.reductions {
+                    core.thread.regs[red.reg.index()] = red.identity;
+                }
+            }
+            for t in core.reg_ready.iter_mut() {
+                *t = self.now;
+            }
+            core.reset_iteration();
+            core.pending_ring.clear();
+            core.fetch_stall_until = 0;
+            if (cid as u64) < trip {
+                core.thread.block = plan.iteration_entry;
+                core.thread.ip = 0;
+                core.thread.regs[plan.iter_reg.index()] = Value::Int(cid as i64);
+                core.run = RunState::Iter {
+                    iter: cid as u64,
+                    started_at: self.now,
+                };
+            } else {
+                core.run = RunState::NoWork;
+            }
+        }
+        self.sync.begin_loop();
+        self.race.begin_loop();
+        if let Some(ring) = &mut self.ring {
+            ring.begin_loop();
+        }
+        let lastwriter_regs = plan
+            .liveouts
+            .iter()
+            .filter(|l| l.resolve == LiveOutResolve::LastWriter)
+            .map(|l| l.reg)
+            .collect();
+        self.mode = Mode::Parallel(ParCtx {
+            plan: pidx,
+            trip,
+            r0,
+            last_writer: BTreeMap::new(),
+            lastwriter_regs,
+            seg_ids: plan.segments.iter().map(|s| s.id).collect(),
+        });
+        self.loop_invocations += 1;
+    }
+
+    /// Loop barrier: flush the ring, resolve live-outs, resume serial
+    /// execution at the loop's exit block.
+    fn exit_parallel(&mut self) {
+        let Mode::Parallel(ctx) = std::mem::replace(&mut self.mode, Mode::Serial) else {
+            unreachable!("exit_parallel outside parallel mode");
+        };
+        let plan = &self.plans[ctx.plan];
+
+        // Distributed fence: drain and flush the ring cache.
+        if let Some(ring) = &mut self.ring {
+            let cost = ring.flush();
+            self.now += cost;
+            for cid in 0..self.cfg.cores {
+                self.attr.charge_n(cid, Bucket::Communication, cost);
+            }
+        }
+
+        // Resolve live-outs into the orchestrator's register file.
+        let mut regs = ctx.r0.clone();
+        let trip = ctx.trip as i64;
+        for ind in &plan.inductions {
+            let init = ctx.r0[ind.init_copy.index()].as_int();
+            regs[ind.reg.index()] = Value::Int(init.wrapping_add(ind.step.wrapping_mul(trip)));
+        }
+        for p2 in &plan.poly2 {
+            let r0v = ctx.r0[p2.init_copy.index()].as_int();
+            let s0 = plan
+                .inductions
+                .iter()
+                .find(|i| i.reg == p2.step_reg)
+                .map(|i| ctx.r0[i.init_copy.index()].as_int())
+                .unwrap_or(0);
+            let k = trip;
+            let val = r0v
+                .wrapping_add(s0.wrapping_mul(k))
+                .wrapping_add(p2.step_step.wrapping_mul(k.wrapping_mul(k - 1) / 2));
+            regs[p2.reg.index()] = Value::Int(val);
+        }
+        for red in &plan.reductions {
+            let mut acc = self.cores[0].thread.regs[red.reg.index()];
+            for core in self.cores.iter().skip(1) {
+                acc = red.op.eval(acc, core.thread.regs[red.reg.index()]);
+            }
+            regs[red.reg.index()] = acc;
+        }
+        // Reduction combining costs a serialized pass over the cores.
+        let combine_cost = (plan.reductions.len() * self.cfg.cores) as u64;
+        if combine_cost > 0 {
+            self.now += combine_cost;
+            self.attr
+                .charge_n(0, Bucket::AdditionalInsts, combine_cost);
+            for cid in 1..self.cfg.cores {
+                self.attr.charge_n(cid, Bucket::SerialIdle, combine_cost);
+            }
+        }
+        for (reg, (_iter, core)) in &ctx.last_writer {
+            regs[reg.index()] = self.cores[*core].thread.regs[reg.index()];
+        }
+
+        let core0 = &mut self.cores[0];
+        core0.thread.regs = regs;
+        core0.thread.block = plan.exit_resume;
+        core0.thread.ip = 0;
+        core0.thread.finished = false;
+        core0.run = RunState::SerialActive;
+        for t in core0.reg_ready.iter_mut() {
+            *t = self.now;
+        }
+        for core in self.cores.iter_mut().skip(1) {
+            core.run = RunState::SerialIdle;
+        }
+    }
+
+    /// Wait-grant check for `core` at `iter` on segment `seg`.
+    fn check_wait(&self, core: usize, seg: SegmentId, iter: u64) -> Result<(), WaitBlock> {
+        let n = self.cfg.cores;
+        for src in required_sources(self.cfg.sync, core, n) {
+            let k = required_count(src, iter, n);
+            if k == 0 {
+                continue;
+            }
+            if self.cfg.decouple.synch {
+                let ring = self.ring.as_ref().expect("decoupled sync needs a ring");
+                if ring.signal_count(core, seg, src) < k {
+                    return Err(if self.sync.count(seg, src) < k {
+                        WaitBlock::Dependence
+                    } else {
+                        WaitBlock::Communication
+                    });
+                }
+            } else {
+                match self.sync.kth_time(seg, src, k) {
+                    None => return Err(WaitBlock::Dependence),
+                    Some(t) => {
+                        if self.now < t + self.cfg.c2c_latency as u64 + SPIN_OVERHEAD {
+                            return Err(WaitBlock::Communication);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Route a load and return `(completion cycle, stall class)`, or
+    /// `None` when the ring applied backpressure.
+    #[allow(clippy::too_many_arguments)]
+    fn route_load(
+        &mut self,
+        cid: usize,
+        addr: u64,
+        shared: Option<helix_ir::SharedTag>,
+        dst: Reg,
+        issue_at: u64,
+    ) -> Option<(u64, Bucket)> {
+        let decoupled = match shared.map(|t| t.class) {
+            Some(helix_ir::TrafficClass::RegisterCarried) => self.cfg.decouple.register,
+            Some(helix_ir::TrafficClass::MemoryCarried) => self.cfg.decouple.memory,
+            None => false,
+        };
+        if decoupled {
+            let ring = self.ring.as_mut().expect("decoupling requires ring");
+            match ring.load(cid, addr) {
+                LoadIssue::Hit { ready_at } => Some((ready_at.max(issue_at), Bucket::Communication)),
+                LoadIssue::Pending { ticket } => {
+                    self.cores[cid].pending_ring.push((ticket, dst));
+                    Some((u64::MAX, Bucket::Communication))
+                }
+            }
+        } else {
+            let done = self.memsys.access(cid, addr, false, issue_at);
+            let class = if shared.is_some() {
+                Bucket::Communication
+            } else {
+                Bucket::Memory
+            };
+            Some((done, class))
+        }
+    }
+
+    /// Route a store; returns `false` on ring backpressure.
+    fn route_store(
+        &mut self,
+        cid: usize,
+        addr: u64,
+        shared: Option<helix_ir::SharedTag>,
+        issue_at: u64,
+    ) -> bool {
+        let decoupled = match shared.map(|t| t.class) {
+            Some(helix_ir::TrafficClass::RegisterCarried) => self.cfg.decouple.register,
+            Some(helix_ir::TrafficClass::MemoryCarried) => self.cfg.decouple.memory,
+            None => false,
+        };
+        if decoupled {
+            let ring = self.ring.as_mut().expect("decoupling requires ring");
+            ring.store(cid, addr)
+        } else {
+            // Fire-and-forget through the store buffer; coherence state
+            // updates immediately, the core does not wait.
+            let _ = self.memsys.access(cid, addr, true, issue_at);
+            true
+        }
+    }
+
+    /// Handle end-of-iteration bookkeeping; returns whether the core
+    /// continues with another iteration this invocation.
+    fn end_iteration(&mut self, cid: usize) {
+        let Mode::Parallel(ctx) = &mut self.mode else {
+            unreachable!("iteration end outside parallel mode");
+        };
+        let (iter, started_at) = match self.cores[cid].run {
+            RunState::Iter { iter, started_at } => (iter, started_at),
+            _ => unreachable!("iteration end on non-iterating core"),
+        };
+        self.iterations += 1;
+        if self.iteration_lengths.len() < MAX_ITER_SAMPLES {
+            self.iteration_lengths
+                .push((self.now - started_at).min(u32::MAX as u64) as u32);
+        }
+        // Every segment must have been signalled on every path.
+        for seg in &ctx.seg_ids {
+            if !self.cores[cid].signaled.contains(seg) {
+                self.protocol_errors.push(format!(
+                    "core {cid} finished iteration {iter} without signalling {seg}"
+                ));
+            }
+        }
+        let next = iter + self.cfg.cores as u64;
+        let core = &mut self.cores[cid];
+        core.reset_iteration();
+        if next < ctx.trip {
+            core.run = RunState::LapHold { iter: next };
+        } else {
+            core.run = RunState::FinishedLoop;
+        }
+    }
+
+    /// Try to start iteration `iter` on `cid` (subject to the lap bound).
+    fn try_start_iteration(&mut self, cid: usize, iter: u64) -> bool {
+        // One-lap-ahead bound: keeps at most two signals per segment in
+        // flight (paper §4's last code property).
+        let bound = self
+            .min_iter
+            .saturating_add(2 * self.cfg.cores as u64);
+        if iter > bound {
+            return false;
+        }
+        let Mode::Parallel(ctx) = &self.mode else {
+            return false;
+        };
+        let plan = &self.plans[ctx.plan];
+        let core = &mut self.cores[cid];
+        core.thread.regs[plan.iter_reg.index()] = Value::Int(iter as i64);
+        core.reg_ready[plan.iter_reg.index()] = self.now;
+        core.thread.block = plan.iteration_entry;
+        core.thread.ip = 0;
+        core.run = RunState::Iter {
+            iter,
+            started_at: self.now,
+        };
+        true
+    }
+
+    /// One cycle of core `cid`.
+    fn tick_core(&mut self, cid: usize) -> Result<(), SimError> {
+        // Resolve completed ring loads.
+        if !self.cores[cid].pending_ring.is_empty() {
+            let mut resolved = Vec::new();
+            if let Some(ring) = &mut self.ring {
+                self.cores[cid].pending_ring.retain(|&(ticket, reg)| {
+                    if let Some(ready) = ring.load_ready(ticket) {
+                        resolved.push((ticket, reg, ready));
+                        false
+                    } else {
+                        true
+                    }
+                });
+                for (ticket, reg, ready) in resolved {
+                    ring.retire_load(ticket);
+                    self.cores[cid].reg_ready[reg.index()] = ready;
+                }
+            }
+        }
+
+        match self.cores[cid].run {
+            RunState::SerialIdle | RunState::Done => {
+                self.attr.charge(cid, Bucket::SerialIdle);
+                return Ok(());
+            }
+            RunState::NoWork => {
+                self.attr.charge(cid, Bucket::LowTripCount);
+                return Ok(());
+            }
+            RunState::FinishedLoop => {
+                self.attr.charge(cid, Bucket::IterationImbalance);
+                return Ok(());
+            }
+            RunState::LapHold { iter } => {
+                if !self.try_start_iteration(cid, iter) {
+                    self.attr.charge(cid, Bucket::Communication);
+                    return Ok(());
+                }
+                // Started: fall through into execution this cycle.
+            }
+            RunState::SerialActive | RunState::Iter { .. } => {}
+        }
+        if self.cores[cid].thread.finished {
+            self.cores[cid].run = RunState::Done;
+            self.attr.charge(cid, Bucket::SerialIdle);
+            return Ok(());
+        }
+
+        match self.cfg.core {
+            CoreModel::InOrder { width } => self.tick_inorder(cid, width),
+            CoreModel::OutOfOrder { width, rob } => self.tick_ooo(cid, width, rob),
+        }
+    }
+
+    /// In-order, stall-on-use issue of up to `width` instructions.
+    fn tick_inorder(&mut self, cid: usize, width: u32) -> Result<(), SimError> {
+        let now = self.now;
+        let mut issued = 0u32;
+        let mut any_original = false;
+        let mut any_added = false;
+        let mut stall: Option<Bucket> = None;
+
+        while issued < width {
+            if now < self.cores[cid].fetch_stall_until {
+                if issued == 0 {
+                    stall = Some(Bucket::Computation); // branch redirect bubble
+                }
+                break;
+            }
+            // Terminator next?
+            if let Some(term) = self.cores[cid].thread.peek_terminator(self.program) {
+                let term = term.clone();
+                if let Terminator::Branch { cond, .. } = &term {
+                    if let Some(r) = cond.reg() {
+                        if let Some((_, class)) = self.cores[cid].blocking_reg(&[r], now) {
+                            if issued == 0 {
+                                stall = Some(class);
+                            }
+                            break;
+                        }
+                    }
+                }
+                let stop = self.issue_terminator(cid, &term)?;
+                issued += 1;
+                any_original = true;
+                if stop {
+                    break;
+                }
+                continue;
+            }
+            let Some(inst) = self.cores[cid].thread.peek(self.program) else {
+                break; // finished
+            };
+            let inst = inst.clone();
+
+            match &inst {
+                Inst::Wait { seg } => {
+                    if !self.cores[cid].granted.contains(seg) {
+                        let iter = match self.cores[cid].run {
+                            RunState::Iter { iter, .. } => iter,
+                            _ => 0,
+                        };
+                        let in_parallel = matches!(self.mode, Mode::Parallel(_));
+                        if in_parallel {
+                            match self.check_wait(cid, *seg, iter) {
+                                Ok(()) => {
+                                    self.cores[cid].granted.insert(*seg);
+                                }
+                                Err(block) => {
+                                    if issued == 0 {
+                                        stall = Some(match block {
+                                            WaitBlock::Dependence => Bucket::DependenceWaiting,
+                                            WaitBlock::Communication => Bucket::Communication,
+                                        });
+                                    }
+                                    break;
+                                }
+                            }
+                        } else {
+                            self.cores[cid].granted.insert(*seg);
+                        }
+                    }
+                    self.step_functional(cid)?;
+                    issued += 1;
+                    // wait/signal instructions are charged to their own
+                    // bucket unless real work issued too.
+                }
+                Inst::Signal { seg } => {
+                    let seg = *seg;
+                    if !self.cores[cid].signaled.contains(&seg)
+                        && matches!(self.mode, Mode::Parallel(_))
+                    {
+                        if self.cfg.decouple.synch {
+                            let ring = self.ring.as_mut().expect("ring");
+                            if !ring.signal(cid, seg) {
+                                if issued == 0 {
+                                    stall = Some(Bucket::Communication);
+                                }
+                                break;
+                            }
+                        }
+                        self.sync.record_signal(seg, cid, now);
+                        self.cores[cid].signaled.insert(seg);
+                    }
+                    self.step_functional(cid)?;
+                    issued += 1;
+                }
+                Inst::Load { addr, shared, dst, .. } => {
+                    let uses: Vec<Reg> = inst.uses();
+                    if let Some((_, class)) = self.cores[cid].blocking_reg(&uses, now) {
+                        if issued == 0 {
+                            stall = Some(class);
+                        }
+                        break;
+                    }
+                    let a = self.cores[cid].thread.eval_addr(addr, &self.env.mem);
+                    let Some((done, class)) = self.route_load(cid, a, *shared, *dst, now) else {
+                        if issued == 0 {
+                            stall = Some(Bucket::Communication);
+                        }
+                        break;
+                    };
+                    self.step_functional(cid)?;
+                    let core = &mut self.cores[cid];
+                    core.reg_ready[dst.index()] = done; // u64::MAX while pending
+                    core.reg_class[dst.index()] = class;
+                    issued += 1;
+                    if inst.is_added() {
+                        any_added = true;
+                    } else {
+                        any_original = true;
+                    }
+                }
+                Inst::Store { addr, shared, .. } => {
+                    let uses: Vec<Reg> = inst.uses();
+                    if let Some((_, class)) = self.cores[cid].blocking_reg(&uses, now) {
+                        if issued == 0 {
+                            stall = Some(class);
+                        }
+                        break;
+                    }
+                    let a = self.cores[cid].thread.eval_addr(addr, &self.env.mem);
+                    if !self.route_store(cid, a, *shared, now) {
+                        if issued == 0 {
+                            stall = Some(Bucket::Communication);
+                        }
+                        break;
+                    }
+                    self.step_functional(cid)?;
+                    issued += 1;
+                    if inst.is_added() {
+                        any_added = true;
+                    } else {
+                        any_original = true;
+                    }
+                }
+                _ => {
+                    let uses: Vec<Reg> = inst.uses();
+                    if let Some((_, class)) = self.cores[cid].blocking_reg(&uses, now) {
+                        if issued == 0 {
+                            stall = Some(class);
+                        }
+                        break;
+                    }
+                    let lat = inst_latency(&inst) as u64;
+                    let dst = inst.def();
+                    self.step_functional(cid)?;
+                    if let Some(d) = dst {
+                        let core = &mut self.cores[cid];
+                        core.reg_ready[d.index()] = now + lat;
+                        core.reg_class[d.index()] = Bucket::Computation;
+                    }
+                    issued += 1;
+                    if self.in_prologue(cid) || inst.is_added() {
+                        any_added = true;
+                    } else {
+                        any_original = true;
+                    }
+                }
+            }
+        }
+
+        // Attribute this cycle.
+        let bucket = if issued > 0 {
+            if any_original {
+                Bucket::Computation
+            } else if any_added {
+                Bucket::AdditionalInsts
+            } else {
+                Bucket::WaitSignal
+            }
+        } else {
+            stall.unwrap_or(Bucket::Computation)
+        };
+        self.attr.charge(cid, bucket);
+        Ok(())
+    }
+
+    /// Whether `cid`'s program counter is inside a re-computation
+    /// prologue block (everything there is parallelization overhead).
+    fn in_prologue(&self, cid: usize) -> bool {
+        if let Mode::Parallel(ctx) = &self.mode {
+            self.cores[cid].thread.block == self.plans[ctx.plan].iteration_entry
+        } else {
+            false
+        }
+    }
+
+    /// Execute the next instruction functionally, feeding the race
+    /// detector.
+    fn step_functional(&mut self, cid: usize) -> Result<StepEvent, SimError> {
+        let mut sink = CapSink::default();
+        let event = self.cores[cid]
+            .thread
+            .step(self.program, &mut self.env, &mut sink)?;
+        if matches!(self.mode, Mode::Parallel(_)) {
+            for access in sink.mem {
+                let in_window = access
+                    .shared
+                    .map(|t| {
+                        self.cores[cid].granted.contains(&t.seg)
+                            && !self.cores[cid].signaled.contains(&t.seg)
+                    })
+                    .unwrap_or(false);
+                self.race.on_access(
+                    cid,
+                    access.addr,
+                    access.len,
+                    access.is_store,
+                    access.shared,
+                    in_window,
+                );
+            }
+            // LastWriter live-out tracking.
+            if let Mode::Parallel(ctx) = &mut self.mode {
+                if let RunState::Iter { iter, .. } = self.cores[cid].run {
+                    // Only defs matter; re-peek is impossible (already
+                    // stepped), so check the previous instruction.
+                    let th = &self.cores[cid].thread;
+                    if th.ip > 0 {
+                        if let Some(prev) = self
+                            .program
+                            .graph
+                            .block(th.block)
+                            .insts
+                            .get(th.ip - 1)
+                        {
+                            if let Some(d) = prev.def() {
+                                if ctx.lastwriter_regs.contains(&d) {
+                                    let e = ctx.last_writer.entry(d).or_insert((iter, cid));
+                                    if iter >= e.0 {
+                                        *e = (iter, cid);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(event)
+    }
+
+    /// Issue a terminator; returns `true` when the issue loop must stop
+    /// (iteration boundary or parallel-loop entry).
+    fn issue_terminator(&mut self, cid: usize, term: &Terminator) -> Result<bool, SimError> {
+        let now = self.now;
+        let from = self.cores[cid].thread.block;
+        let event = self.step_functional(cid)?;
+        let StepEvent::Flow { to, .. } = event else {
+            // Return: the thread is finished.
+            return Ok(true);
+        };
+        // Branch prediction.
+        if let Terminator::Branch { then_, .. } = term {
+            let taken = to == *then_;
+            let correct = self.cores[cid].predictor.update(from, taken);
+            if !correct {
+                self.cores[cid].fetch_stall_until =
+                    now + 1 + self.cfg.mispredict_penalty as u64;
+            }
+        }
+        Ok(self.post_flow(cid, from, to))
+    }
+
+    /// Out-of-order dispatch of up to `width` instructions into a
+    /// `rob_cap`-entry window.
+    fn tick_ooo(&mut self, cid: usize, width: u32, rob_cap: u32) -> Result<(), SimError> {
+        let now = self.now;
+        // Retire completed entries in order.
+        let mut retired = 0;
+        while retired < width {
+            match self.cores[cid].rob.front() {
+                Some(e) if e.complete <= now => {
+                    self.cores[cid].rob.pop_front();
+                    retired += 1;
+                }
+                _ => break,
+            }
+        }
+
+        let mut dispatched = 0u32;
+        let mut any_original = false;
+        let mut any_added = false;
+        let mut stall: Option<Bucket> = None;
+
+        while dispatched < width {
+            if now < self.cores[cid].fetch_stall_until {
+                if dispatched == 0 {
+                    stall = Some(Bucket::Computation);
+                }
+                break;
+            }
+            if self.cores[cid].rob.len() >= rob_cap as usize {
+                if dispatched == 0 {
+                    stall = Some(
+                        self.cores[cid]
+                            .rob
+                            .front()
+                            .map(|e| e.class)
+                            .unwrap_or(Bucket::Computation),
+                    );
+                }
+                break;
+            }
+            if let Some(term) = self.cores[cid].thread.peek_terminator(self.program) {
+                let term = term.clone();
+                // Branch resolution happens when the condition is ready.
+                let resolve_at = match &term {
+                    Terminator::Branch { cond, .. } => cond
+                        .reg()
+                        .map(|r| self.cores[cid].reg_ready[r.index()])
+                        .unwrap_or(now)
+                        .max(now),
+                    _ => now,
+                };
+                if resolve_at == u64::MAX {
+                    if dispatched == 0 {
+                        stall = Some(Bucket::Communication);
+                    }
+                    break;
+                }
+                let from = self.cores[cid].thread.block;
+                let event = self.step_functional(cid)?;
+                dispatched += 1;
+                any_original = true;
+                self.cores[cid].rob.push_back(RobEntry {
+                    complete: resolve_at.saturating_add(1),
+                    class: Bucket::Computation,
+                });
+                let StepEvent::Flow { to, .. } = event else {
+                    break;
+                };
+                if let Terminator::Branch { then_, .. } = &term {
+                    let taken = to == *then_;
+                    let correct = self.cores[cid].predictor.update(from, taken);
+                    if !correct {
+                        self.cores[cid].fetch_stall_until =
+                            resolve_at + 1 + self.cfg.mispredict_penalty as u64;
+                    }
+                }
+                // Mode transitions (same rules as in-order).
+                let stop = self.post_flow(cid, from, to);
+                if stop {
+                    break;
+                }
+                continue;
+            }
+            let Some(inst) = self.cores[cid].thread.peek(self.program) else {
+                break;
+            };
+            let inst = inst.clone();
+            match &inst {
+                Inst::Wait { .. } | Inst::Signal { .. } => {
+                    // Fence: dispatch only with an empty window.
+                    if !self.cores[cid].rob.is_empty() {
+                        if dispatched == 0 {
+                            stall = Some(
+                                self.cores[cid]
+                                    .rob
+                                    .front()
+                                    .map(|e| e.class)
+                                    .unwrap_or(Bucket::Computation),
+                            );
+                        }
+                        break;
+                    }
+                    // Reuse the in-order logic for grant/record by
+                    // falling back to a single-instruction in-order step.
+                    let before = self.cores[cid].thread.dyn_insts;
+                    self.inorder_sync_step(cid, &inst, &mut stall, dispatched)?;
+                    if self.cores[cid].thread.dyn_insts == before {
+                        break; // blocked
+                    }
+                    dispatched += 1;
+                }
+                Inst::Load { addr, shared, dst, .. } => {
+                    let ops_ready = self.cores[cid].operands_ready(&inst.uses()).max(now);
+                    if ops_ready == u64::MAX {
+                        if dispatched == 0 {
+                            stall = Some(Bucket::Communication);
+                        }
+                        break; // operand awaits an outstanding ring load
+                    }
+                    let a = self.cores[cid].thread.eval_addr(addr, &self.env.mem);
+                    let Some((done, class)) = self.route_load(cid, a, *shared, *dst, ops_ready)
+                    else {
+                        if dispatched == 0 {
+                            stall = Some(Bucket::Communication);
+                        }
+                        break;
+                    };
+                    self.step_functional(cid)?;
+                    let core = &mut self.cores[cid];
+                    core.reg_ready[dst.index()] = done; // u64::MAX while pending
+                    core.reg_class[dst.index()] = class;
+                    let complete = if done == u64::MAX { now + 1 } else { done };
+                    core.rob.push_back(RobEntry { complete, class });
+                    dispatched += 1;
+                    if inst.is_added() {
+                        any_added = true;
+                    } else {
+                        any_original = true;
+                    }
+                }
+                Inst::Store { addr, shared, .. } => {
+                    let ops_ready = self.cores[cid].operands_ready(&inst.uses()).max(now);
+                    if ops_ready == u64::MAX {
+                        if dispatched == 0 {
+                            stall = Some(Bucket::Communication);
+                        }
+                        break;
+                    }
+                    let a = self.cores[cid].thread.eval_addr(addr, &self.env.mem);
+                    if !self.route_store(cid, a, *shared, ops_ready) {
+                        if dispatched == 0 {
+                            stall = Some(Bucket::Communication);
+                        }
+                        break;
+                    }
+                    self.step_functional(cid)?;
+                    self.cores[cid].rob.push_back(RobEntry {
+                        complete: ops_ready.saturating_add(1),
+                        class: Bucket::Memory,
+                    });
+                    dispatched += 1;
+                    if inst.is_added() {
+                        any_added = true;
+                    } else {
+                        any_original = true;
+                    }
+                }
+                _ => {
+                    let ops_ready = self.cores[cid].operands_ready(&inst.uses()).max(now);
+                    if ops_ready == u64::MAX {
+                        if dispatched == 0 {
+                            stall = Some(Bucket::Communication);
+                        }
+                        break;
+                    }
+                    let lat = inst_latency(&inst) as u64;
+                    let dst = inst.def();
+                    self.step_functional(cid)?;
+                    let complete = ops_ready.saturating_add(lat);
+                    let core = &mut self.cores[cid];
+                    if let Some(d) = dst {
+                        core.reg_ready[d.index()] = complete;
+                        core.reg_class[d.index()] = Bucket::Computation;
+                    }
+                    core.rob.push_back(RobEntry {
+                        complete,
+                        class: Bucket::Computation,
+                    });
+                    dispatched += 1;
+                    if self.in_prologue(cid) || inst.is_added() {
+                        any_added = true;
+                    } else {
+                        any_original = true;
+                    }
+                }
+            }
+        }
+
+        let bucket = if dispatched > 0 {
+            if any_original {
+                Bucket::Computation
+            } else if any_added {
+                Bucket::AdditionalInsts
+            } else {
+                Bucket::WaitSignal
+            }
+        } else {
+            stall.unwrap_or(Bucket::Computation)
+        };
+        self.attr.charge(cid, bucket);
+        Ok(())
+    }
+
+    /// Shared wait/signal semantics used by the OoO model.
+    fn inorder_sync_step(
+        &mut self,
+        cid: usize,
+        inst: &Inst,
+        stall: &mut Option<Bucket>,
+        dispatched: u32,
+    ) -> Result<(), SimError> {
+        match inst {
+            Inst::Wait { seg } => {
+                if !self.cores[cid].granted.contains(seg) {
+                    let iter = match self.cores[cid].run {
+                        RunState::Iter { iter, .. } => iter,
+                        _ => 0,
+                    };
+                    if matches!(self.mode, Mode::Parallel(_)) {
+                        match self.check_wait(cid, *seg, iter) {
+                            Ok(()) => {
+                                self.cores[cid].granted.insert(*seg);
+                            }
+                            Err(block) => {
+                                if dispatched == 0 {
+                                    *stall = Some(match block {
+                                        WaitBlock::Dependence => Bucket::DependenceWaiting,
+                                        WaitBlock::Communication => Bucket::Communication,
+                                    });
+                                }
+                                return Ok(());
+                            }
+                        }
+                    } else {
+                        self.cores[cid].granted.insert(*seg);
+                    }
+                }
+                self.step_functional(cid)?;
+                self.cores[cid].rob.push_back(RobEntry {
+                    complete: self.now + 1,
+                    class: Bucket::WaitSignal,
+                });
+            }
+            Inst::Signal { seg } => {
+                let seg = *seg;
+                if !self.cores[cid].signaled.contains(&seg)
+                    && matches!(self.mode, Mode::Parallel(_))
+                {
+                    if self.cfg.decouple.synch {
+                        let ring = self.ring.as_mut().expect("ring");
+                        if !ring.signal(cid, seg) {
+                            if dispatched == 0 {
+                                *stall = Some(Bucket::Communication);
+                            }
+                            return Ok(());
+                        }
+                    }
+                    self.sync.record_signal(seg, cid, self.now);
+                    self.cores[cid].signaled.insert(seg);
+                }
+                self.step_functional(cid)?;
+                self.cores[cid].rob.push_back(RobEntry {
+                    complete: self.now + 1,
+                    class: Bucket::WaitSignal,
+                });
+            }
+            _ => unreachable!("sync step on non-sync instruction"),
+        }
+        Ok(())
+    }
+
+    /// Mode-transition handling after a control transfer (shared by both
+    /// core models). Returns whether the issue loop must stop.
+    fn post_flow(&mut self, cid: usize, from: BlockId, to: BlockId) -> bool {
+        match &self.mode {
+            Mode::Serial => {
+                if cid == 0 {
+                    if let Some(&pidx) = self.plan_by_header.get(&to) {
+                        let plan = &self.plans[pidx];
+                        let regs = &self.cores[0].thread.regs;
+                        let counter = regs[plan.counter.index()].as_int();
+                        let bound = match plan.bound {
+                            helix_ir::Operand::Reg(r) => regs[r.index()].as_int(),
+                            helix_ir::Operand::Imm(v) => v.as_int(),
+                        };
+                        if plan.trip_count(counter, bound) >= 1 {
+                            self.pending_enter = Some(pidx);
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+            Mode::Parallel(ctx) => {
+                let plan = &self.plans[ctx.plan];
+                if to == plan.header && from != plan.iteration_entry {
+                    self.end_iteration(cid);
+                    return true;
+                }
+                if !plan.blocks.contains(&to) && to != plan.header {
+                    self.protocol_errors
+                        .push(format!("core {cid} escaped the loop to {to}"));
+                    self.cores[cid].run = RunState::FinishedLoop;
+                    return true;
+                }
+                false
+            }
+        }
+    }
+}
+
+/// Simulate a compiled program on `cfg`.
+///
+/// # Errors
+///
+/// Propagates functional faults; fails when `fuel` cycles elapse without
+/// completion.
+pub fn simulate(
+    compiled: &helix_hcc::CompiledProgram,
+    cfg: &MachineConfig,
+    fuel: u64,
+) -> Result<RunReport, SimError> {
+    Machine::new(&compiled.program, &compiled.plans, cfg.clone()).run(fuel)
+}
+
+/// Simulate `program` sequentially (no parallel plans) on `cfg`.
+///
+/// # Errors
+///
+/// Propagates functional faults; fails when `fuel` cycles elapse without
+/// completion.
+pub fn simulate_sequential(
+    program: &Program,
+    cfg: &MachineConfig,
+    fuel: u64,
+) -> Result<RunReport, SimError> {
+    Machine::new(program, &[], cfg.clone()).run(fuel)
+}

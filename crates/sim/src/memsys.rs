@@ -1,0 +1,324 @@
+//! Conventional memory hierarchy: private L1s, a shared banked L2, DRAM,
+//! and an invalidation-based coherence protocol with a configurable
+//! cache-to-cache transfer latency (paper §6.1).
+//!
+//! This is a *timing* model: functional values live in the interpreter's
+//! flat memory; the hierarchy tracks tags, sharers, and latencies.
+
+use crate::config::{CacheConfig, MachineConfig};
+use crate::dram::Dram;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Tag-only set-associative timing cache with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct TimingCache {
+    sets: Vec<Vec<(u64, u64)>>, // (line addr, lru)
+    assoc: usize,
+    line: u64,
+    clock: u64,
+}
+
+impl TimingCache {
+    /// Build a cache from a geometry description.
+    pub fn new(cfg: &CacheConfig) -> TimingCache {
+        let lines = (cfg.size / cfg.line).max(1) as usize;
+        let sets = (lines / cfg.assoc).max(1);
+        TimingCache {
+            sets: vec![Vec::new(); sets],
+            assoc: cfg.assoc,
+            line: cfg.line,
+            clock: 0,
+        }
+    }
+
+    /// Line address of a byte address.
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr / self.line
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line as usize) % self.sets.len()
+    }
+
+    /// Probe for the line holding `addr`; refreshes LRU on hit.
+    pub fn probe(&mut self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(line);
+        if let Some(e) = self.sets[set].iter_mut().find(|(l, _)| *l == line) {
+            e.1 = clock;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Insert the line holding `addr`; returns the evicted line, if any.
+    pub fn insert(&mut self, addr: u64) -> Option<u64> {
+        let line = self.line_of(addr);
+        self.clock += 1;
+        let clock = self.clock;
+        let assoc = self.assoc;
+        let set = self.set_of(line);
+        let lines = &mut self.sets[set];
+        if let Some(e) = lines.iter_mut().find(|(l, _)| *l == line) {
+            e.1 = clock;
+            return None;
+        }
+        if lines.len() < assoc {
+            lines.push((line, clock));
+            return None;
+        }
+        let idx = lines
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, lru))| *lru)
+            .map(|(i, _)| i)
+            .expect("full set");
+        let victim = lines[idx].0;
+        lines[idx] = (line, clock);
+        Some(victim)
+    }
+
+    /// Remove the line holding `addr` (coherence invalidation).
+    pub fn remove_line(&mut self, line: u64) {
+        let set = self.set_of(line);
+        self.sets[set].retain(|(l, _)| *l != line);
+    }
+}
+
+/// Coherence directory entry.
+#[derive(Debug, Clone, Copy, Default)]
+struct DirEntry {
+    sharers: u64,
+    /// Core holding the line modified, if any.
+    dirty: Option<u8>,
+}
+
+/// Memory-system statistics.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct MemStats {
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// Misses serviced by another core's cache.
+    pub c2c_transfers: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses (DRAM accesses).
+    pub l2_misses: u64,
+}
+
+/// The full conventional hierarchy.
+#[derive(Debug)]
+pub struct MemSystem {
+    l1: Vec<TimingCache>,
+    l2: TimingCache,
+    l2_busy: Vec<u64>,
+    l2_banks: usize,
+    dram: Dram,
+    dir: BTreeMap<u64, DirEntry>,
+    l1_lat: u32,
+    l2_lat: u32,
+    c2c: u32,
+    /// Statistics.
+    pub stats: MemStats,
+}
+
+impl MemSystem {
+    /// Build the hierarchy described by `cfg`.
+    pub fn new(cfg: &MachineConfig) -> MemSystem {
+        MemSystem {
+            l1: (0..cfg.cores).map(|_| TimingCache::new(&cfg.l1)).collect(),
+            l2: TimingCache::new(&cfg.l2),
+            l2_busy: vec![0; cfg.l2_banks.max(1)],
+            l2_banks: cfg.l2_banks.max(1),
+            dram: Dram::new(16, cfg.dram_row_hit, cfg.dram_row_miss),
+            dir: BTreeMap::new(),
+            l1_lat: cfg.l1.hit_latency,
+            l2_lat: cfg.l2.hit_latency,
+            c2c: cfg.c2c_latency,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// Completion cycle of an access by `core` to `addr` at `now`.
+    pub fn access(&mut self, core: usize, addr: u64, is_store: bool, now: u64) -> u64 {
+        let line = self.l1[core].line_of(addr);
+        let me = 1u64 << (core as u64 & 63);
+        let entry = self.dir.entry(line).or_default();
+        let others = entry.sharers & !me;
+
+        if self.l1[core].probe(addr) {
+            self.stats.l1_hits += 1;
+            if is_store {
+                if others != 0 {
+                    // Upgrade: invalidate remote copies.
+                    self.stats.c2c_transfers += 1;
+                    let entry = *self.dir.get(&line).expect("present");
+                    self.invalidate_others(line, core, entry);
+                    let e = self.dir.entry(line).or_default();
+                    e.sharers = me;
+                    e.dirty = Some(core as u8);
+                    return now + self.l1_lat as u64 + self.c2c as u64;
+                }
+                let e = self.dir.entry(line).or_default();
+                e.sharers |= me;
+                e.dirty = Some(core as u8);
+            }
+            return now + self.l1_lat as u64;
+        }
+
+        // L1 miss.
+        self.stats.l1_misses += 1;
+        let entry = *self.dir.get(&line).expect("present");
+        let done = if entry.sharers & !me != 0 {
+            // Another core holds the line: cache-to-cache transfer (the
+            // conventional communication path the paper measures at
+            // 75–110 cycles on real machines).
+            self.stats.c2c_transfers += 1;
+            if is_store {
+                self.invalidate_others(line, core, entry);
+                let e = self.dir.entry(line).or_default();
+                e.sharers = me;
+                e.dirty = Some(core as u8);
+            } else {
+                let e = self.dir.entry(line).or_default();
+                e.sharers |= me;
+                e.dirty = None; // owner writes back on a read transfer
+            }
+            now + self.l1_lat as u64 + self.c2c as u64
+        } else {
+            // Fetch from L2 / DRAM.
+            let bank = (line as usize) % self.l2_banks;
+            let start = (now + self.l1_lat as u64).max(self.l2_busy[bank]);
+            self.l2_busy[bank] = start + 2;
+            let done = if self.l2.probe(addr) {
+                self.stats.l2_hits += 1;
+                start + self.l2_lat as u64
+            } else {
+                self.stats.l2_misses += 1;
+                self.l2.insert(addr);
+                self.dram.access(addr, start + self.l2_lat as u64)
+            };
+            let e = self.dir.entry(line).or_default();
+            e.sharers |= me;
+            e.dirty = if is_store { Some(core as u8) } else { None };
+            done
+        };
+
+        // Fill the L1; evictions update the directory.
+        if let Some(victim) = self.l1[core].insert(addr) {
+            if let Some(e) = self.dir.get_mut(&victim) {
+                e.sharers &= !me;
+                if e.dirty == Some(core as u8) {
+                    e.dirty = None; // write-back to L2 absorbed
+                    self.l2.insert(victim * 64);
+                }
+                if e.sharers == 0 {
+                    self.dir.remove(&victim);
+                }
+            }
+        }
+        done
+    }
+
+    fn invalidate_others(&mut self, line: u64, core: usize, entry: DirEntry) {
+        for c in 0..self.l1.len() {
+            if c != core && entry.sharers & (1 << (c as u64 & 63)) != 0 {
+                self.l1[c].remove_line(line);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_machine() -> MachineConfig {
+        MachineConfig::conventional(4)
+    }
+
+    #[test]
+    fn l1_hit_after_fill() {
+        let cfg = small_machine();
+        let mut m = MemSystem::new(&cfg);
+        let t1 = m.access(0, 0x1000, false, 0);
+        assert!(t1 > cfg.l1.hit_latency as u64, "cold miss goes deeper");
+        let t2 = m.access(0, 0x1000, false, 100);
+        assert_eq!(t2, 100 + cfg.l1.hit_latency as u64, "now an L1 hit");
+        assert_eq!(m.stats.l1_hits, 1);
+    }
+
+    #[test]
+    fn same_line_hits() {
+        let cfg = small_machine();
+        let mut m = MemSystem::new(&cfg);
+        m.access(0, 0x1000, false, 0);
+        let t = m.access(0, 0x1030, false, 50); // same 64B line
+        assert_eq!(t, 50 + cfg.l1.hit_latency as u64);
+    }
+
+    #[test]
+    fn cross_core_transfer_costs_c2c() {
+        let cfg = small_machine();
+        let mut m = MemSystem::new(&cfg);
+        m.access(0, 0x2000, true, 0); // core 0 owns dirty
+        let t = m.access(1, 0x2000, false, 100);
+        assert_eq!(t, 100 + (cfg.l1.hit_latency + cfg.c2c_latency) as u64);
+        assert_eq!(m.stats.c2c_transfers, 1);
+    }
+
+    #[test]
+    fn store_invalidates_sharers() {
+        let cfg = small_machine();
+        let mut m = MemSystem::new(&cfg);
+        m.access(0, 0x3000, false, 0);
+        m.access(1, 0x3000, false, 50); // both share
+        // Core 0 writes: upgrade, invalidating core 1.
+        let t = m.access(0, 0x3000, true, 100);
+        assert!(t >= 100 + cfg.c2c_latency as u64);
+        // Core 1 must now miss.
+        let before = m.stats.l1_misses;
+        m.access(1, 0x3000, false, 300);
+        assert_eq!(m.stats.l1_misses, before + 1);
+    }
+
+    #[test]
+    fn ping_pong_pays_every_round() {
+        let cfg = small_machine();
+        let mut m = MemSystem::new(&cfg);
+        let mut now = 0;
+        m.access(0, 0x9000, true, now);
+        let before = m.stats.c2c_transfers;
+        for round in 0..6 {
+            now += 500;
+            let core = 1 - (round % 2);
+            m.access(core, 0x9000, true, now);
+        }
+        assert_eq!(m.stats.c2c_transfers, before + 6);
+    }
+
+    #[test]
+    fn l2_hit_cheaper_than_dram() {
+        let cfg = small_machine();
+        let mut m = MemSystem::new(&cfg);
+        let t_cold = m.access(0, 0x4000, false, 0);
+        // Evict from L1 by filling the set: L1 32KB/64B/8way = 64 sets;
+        // same set stride = 64 * 64 = 4096 bytes.
+        for k in 1..=8u64 {
+            m.access(0, 0x4000 + k * 4096, false, 1000 * k);
+        }
+        let t_l2 = m.access(0, 0x4000, false, 100_000);
+        assert!(
+            t_l2 - 100_000 < t_cold,
+            "L2 hit ({}) beats DRAM ({t_cold})",
+            t_l2 - 100_000
+        );
+        assert!(m.stats.l2_hits >= 1);
+    }
+}

@@ -1,0 +1,225 @@
+//! Runtime race detection: validates the compiler's guarantees.
+//!
+//! During a parallel loop, any word touched by two different cores (with
+//! at least one writer) must be accessed exclusively through shared-tagged
+//! instructions of one segment, inside that segment's wait/signal window.
+//! Violations indicate a compiler bug (or deliberately corrupted plans in
+//! the failure-injection tests).
+
+use helix_ir::{SegmentId, SharedTag};
+use std::collections::BTreeMap;
+
+/// A detected violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RaceViolation {
+    /// Two cores touched the same word outside a common segment.
+    UnprotectedSharing {
+        /// Word address.
+        addr: u64,
+        /// First core.
+        a: usize,
+        /// Second core.
+        b: usize,
+    },
+    /// A shared-tagged access executed outside its wait/signal window.
+    OutsideSegment {
+        /// Core at fault.
+        core: usize,
+        /// The segment of the tag.
+        seg: SegmentId,
+    },
+}
+
+impl std::fmt::Display for RaceViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RaceViolation::UnprotectedSharing { addr, a, b } => {
+                write!(f, "cores {a} and {b} race on word {addr:#x}")
+            }
+            RaceViolation::OutsideSegment { core, seg } => {
+                write!(f, "core {core} accessed {seg} data outside its window")
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WordState {
+    /// Core of the last conflicting toucher (writer, or reader awaiting a
+    /// writer).
+    core: usize,
+    wrote: bool,
+    seg: Option<SegmentId>,
+}
+
+/// The detector; reset per parallel loop.
+#[derive(Debug, Default)]
+pub struct RaceDetector {
+    words: BTreeMap<u64, WordState>,
+    /// Violations found (capped).
+    pub violations: Vec<RaceViolation>,
+}
+
+const MAX_VIOLATIONS: usize = 16;
+
+impl RaceDetector {
+    /// Fresh detector.
+    pub fn new() -> RaceDetector {
+        RaceDetector::default()
+    }
+
+    /// Reset at parallel-loop entry.
+    pub fn begin_loop(&mut self) {
+        self.words.clear();
+    }
+
+    fn push(&mut self, v: RaceViolation) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(v);
+        }
+    }
+
+    /// Observe an access during a parallel loop.
+    ///
+    /// `in_window` tells whether the access's segment (if tagged) is
+    /// currently between its wait grant and its signal on this core.
+    pub fn on_access(
+        &mut self,
+        core: usize,
+        addr: u64,
+        len: u32,
+        is_store: bool,
+        tag: Option<SharedTag>,
+        in_window: bool,
+    ) {
+        if let Some(tag) = tag {
+            if !in_window {
+                self.push(RaceViolation::OutsideSegment { core, seg: tag.seg });
+            }
+        }
+        let first = addr / 8;
+        let last = (addr + len.max(1) as u64 - 1) / 8;
+        for w in first..=last {
+            let seg = tag.map(|t| t.seg);
+            let mut violation = None;
+            match self.words.get_mut(&w) {
+                None => {
+                    self.words.insert(
+                        w,
+                        WordState {
+                            core,
+                            wrote: is_store,
+                            seg,
+                        },
+                    );
+                }
+                Some(st) => {
+                    let conflict = st.core != core && (st.wrote || is_store);
+                    if conflict {
+                        // Cross-core sharing: both sides must be in the
+                        // same segment.
+                        let protected = st.seg.is_some() && st.seg == seg;
+                        if !protected {
+                            violation = Some(RaceViolation::UnprotectedSharing {
+                                addr: w * 8,
+                                a: st.core,
+                                b: core,
+                            });
+                        }
+                    }
+                    st.core = core;
+                    st.wrote = is_store;
+                    st.seg = seg;
+                }
+            }
+            if let Some(v) = violation {
+                self.push(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_ir::TrafficClass;
+
+    fn tag(seg: u32) -> Option<SharedTag> {
+        Some(SharedTag {
+            seg: SegmentId(seg),
+            class: TrafficClass::MemoryCarried,
+        })
+    }
+
+    #[test]
+    fn private_per_core_data_is_fine() {
+        let mut d = RaceDetector::new();
+        d.on_access(0, 0x100, 8, true, None, false);
+        d.on_access(0, 0x100, 8, false, None, false);
+        d.on_access(1, 0x200, 8, true, None, false);
+        assert!(d.violations.is_empty());
+    }
+
+    #[test]
+    fn unprotected_cross_core_write_detected() {
+        let mut d = RaceDetector::new();
+        d.on_access(0, 0x100, 8, true, None, false);
+        d.on_access(1, 0x100, 8, false, None, false);
+        assert!(matches!(
+            d.violations[0],
+            RaceViolation::UnprotectedSharing { a: 0, b: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn same_segment_sharing_allowed() {
+        let mut d = RaceDetector::new();
+        d.on_access(0, 0x100, 8, true, tag(3), true);
+        d.on_access(1, 0x100, 8, false, tag(3), true);
+        d.on_access(1, 0x100, 8, true, tag(3), true);
+        assert!(d.violations.is_empty());
+    }
+
+    #[test]
+    fn different_segments_on_same_word_detected() {
+        let mut d = RaceDetector::new();
+        d.on_access(0, 0x100, 8, true, tag(1), true);
+        d.on_access(1, 0x100, 8, true, tag(2), true);
+        assert!(!d.violations.is_empty());
+    }
+
+    #[test]
+    fn tagged_access_outside_window_detected() {
+        let mut d = RaceDetector::new();
+        d.on_access(0, 0x100, 8, true, tag(1), false);
+        assert!(matches!(
+            d.violations[0],
+            RaceViolation::OutsideSegment { core: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn read_read_sharing_is_fine() {
+        let mut d = RaceDetector::new();
+        d.on_access(0, 0x100, 8, false, None, false);
+        d.on_access(1, 0x100, 8, false, None, false);
+        assert!(d.violations.is_empty());
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut d = RaceDetector::new();
+        d.on_access(0, 0x100, 8, true, None, false);
+        d.begin_loop();
+        d.on_access(1, 0x100, 8, true, None, false);
+        assert!(d.violations.is_empty());
+    }
+
+    #[test]
+    fn wide_access_covers_all_words() {
+        let mut d = RaceDetector::new();
+        d.on_access(0, 0x100, 32, true, None, false); // words 0x20..0x24
+        d.on_access(1, 0x118, 8, false, None, false); // inside the range
+        assert!(!d.violations.is_empty());
+    }
+}

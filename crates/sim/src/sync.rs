@@ -1,0 +1,131 @@
+//! Synchronization bookkeeping shared by both wait models.
+//!
+//! [`SyncState`] records when each core *executed* each `signal`
+//! (functional ground truth). The timing of when a waiting core observes
+//! those signals differs by machine: through coherence-mediated flags
+//! (conventional, lazy) or through ring-cache broadcast (HELIX-RC,
+//! proactive).
+
+use crate::config::SyncModel;
+use helix_ir::SegmentId;
+use std::collections::BTreeMap;
+
+/// Record of executed signals per `(segment, core)`.
+#[derive(Debug, Clone, Default)]
+pub struct SyncState {
+    sent: BTreeMap<(SegmentId, usize), Vec<u64>>,
+}
+
+impl SyncState {
+    /// Reset at parallel-loop entry.
+    pub fn begin_loop(&mut self) {
+        self.sent.clear();
+    }
+
+    /// Core `core` executed `signal seg` at cycle `now`.
+    pub fn record_signal(&mut self, seg: SegmentId, core: usize, now: u64) {
+        self.sent.entry((seg, core)).or_default().push(now);
+    }
+
+    /// Number of signals core `core` has executed for `seg`.
+    pub fn count(&self, seg: SegmentId, core: usize) -> u64 {
+        self.sent.get(&(seg, core)).map(|v| v.len() as u64).unwrap_or(0)
+    }
+
+    /// Execution time of the `k`-th (1-based) signal, if it happened.
+    pub fn kth_time(&self, seg: SegmentId, core: usize, k: u64) -> Option<u64> {
+        if k == 0 {
+            return Some(0);
+        }
+        self.sent
+            .get(&(seg, core))
+            .and_then(|v| v.get((k - 1) as usize))
+            .copied()
+    }
+}
+
+/// Signals required from `src` before iteration `iter` may enter a
+/// segment: the number of iterations `< iter` assigned (round-robin) to
+/// core `src` on an `n`-core ring.
+pub fn required_count(src: usize, iter: u64, n: usize) -> u64 {
+    let src = src as u64;
+    let n = n as u64;
+    if iter > src {
+        (iter - src - 1) / n + 1
+    } else {
+        0
+    }
+}
+
+/// The set of cores whose signals gate `core`'s wait under `model`.
+pub fn required_sources(model: SyncModel, core: usize, n: usize) -> Vec<usize> {
+    match model {
+        SyncModel::AllPredecessors => (0..n).filter(|&c| c != core).collect(),
+        SyncModel::ChainedPredecessor => {
+            if n <= 1 {
+                Vec::new()
+            } else {
+                vec![(core + n - 1) % n]
+            }
+        }
+    }
+}
+
+/// Why a wait has not been granted yet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitBlock {
+    /// A required producer has not executed its signal yet.
+    Dependence,
+    /// All producers signalled; the notification is still in flight.
+    Communication,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn required_count_round_robin() {
+        // 4 cores; iteration 6 (on core 2) needs: core 0 -> iters {0,4} = 2,
+        // core 1 -> {1,5} = 2, core 3 -> {3} = 1.
+        assert_eq!(required_count(0, 6, 4), 2);
+        assert_eq!(required_count(1, 6, 4), 2);
+        assert_eq!(required_count(3, 6, 4), 1);
+        // First-lap iterations need nothing from later cores.
+        assert_eq!(required_count(3, 2, 4), 0);
+        assert_eq!(required_count(0, 0, 4), 0);
+        assert_eq!(required_count(0, 1, 4), 1);
+    }
+
+    #[test]
+    fn required_sources_by_model() {
+        assert_eq!(
+            required_sources(SyncModel::AllPredecessors, 2, 4),
+            vec![0, 1, 3]
+        );
+        assert_eq!(
+            required_sources(SyncModel::ChainedPredecessor, 2, 4),
+            vec![1]
+        );
+        assert_eq!(
+            required_sources(SyncModel::ChainedPredecessor, 0, 4),
+            vec![3]
+        );
+        assert!(required_sources(SyncModel::ChainedPredecessor, 0, 1).is_empty());
+    }
+
+    #[test]
+    fn sync_state_records_in_order() {
+        let mut s = SyncState::default();
+        let seg = SegmentId(0);
+        s.record_signal(seg, 1, 10);
+        s.record_signal(seg, 1, 25);
+        assert_eq!(s.count(seg, 1), 2);
+        assert_eq!(s.kth_time(seg, 1, 1), Some(10));
+        assert_eq!(s.kth_time(seg, 1, 2), Some(25));
+        assert_eq!(s.kth_time(seg, 1, 3), None);
+        assert_eq!(s.kth_time(seg, 1, 0), Some(0));
+        s.begin_loop();
+        assert_eq!(s.count(seg, 1), 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Shared construction helpers for the synthetic suite.
+//!
+//! Every workload is assembled from two kinds of phases:
+//!
+//! * a **coarse phase** — a disjoint-array DOALL loop that even HCCv1's
+//!   baseline analysis proves independent (separate input and output
+//!   regions, no loop-carried state). These phases provide the
+//!   parallel-loop coverage HCCv1/v2 achieve in Table 1;
+//! * **hot phases** — short-iteration loops with genuine loop-carried
+//!   dependences (shared tables, conditional scalar chains) that only
+//!   HELIX-RC parallelizes profitably.
+
+use helix_ir::{AddrExpr, BinOp, Intrinsic, Operand, ProgramBuilder, Reg, RegionId, Ty};
+
+/// Problem-size knob: `Test` keeps simulations fast in the test suite;
+/// `Full` is used by the benchmark harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small inputs for unit/integration tests.
+    Test,
+    /// Larger inputs for the figure-generation harness.
+    Full,
+}
+
+impl Scale {
+    /// Multiply a base trip count by the scale factor.
+    pub fn n(self, base: i64) -> i64 {
+        match self {
+            Scale::Test => base,
+            Scale::Full => base * 4,
+        }
+    }
+}
+
+/// Fill `region[0..n]` with `pure_hash(seed + i)` — cheap deterministic
+/// data initialization.
+pub fn fill_hash(b: &mut ProgramBuilder, region: RegionId, n: i64, seed: i64) {
+    b.counted_loop(0, n, 1, |b, i| {
+        let [t, h] = b.regs();
+        b.bin(t, BinOp::Add, i, seed);
+        b.call(Some(h), Intrinsic::PureHash, vec![Operand::Reg(t)]);
+        b.store(h, AddrExpr::region_indexed(region, i, 8, 0), Ty::I64);
+    });
+}
+
+/// A coarse DOALL phase: `out[i] = work(in[i])`, provably independent at
+/// every analysis tier (distinct regions, fresh scratch registers).
+/// `work_insts` controls iteration length.
+pub fn doall_phase(
+    b: &mut ProgramBuilder,
+    input: RegionId,
+    output: RegionId,
+    n: i64,
+    work_insts: usize,
+) {
+    b.counted_loop(0, n, 1, |b, i| {
+        let x = b.reg();
+        b.load(x, AddrExpr::region_indexed(input, i, 8, 0), Ty::I64);
+        b.alu_chain(x, work_insts);
+        b.store(x, AddrExpr::region_indexed(output, i, 8, 0), Ty::I64);
+    });
+}
+
+/// Emit `dst = (src & mask)` — the usual table-index hash.
+pub fn masked(b: &mut ProgramBuilder, dst: Reg, src: Reg, mask: i64) {
+    b.bin(dst, BinOp::And, src, mask);
+}
+
+/// A shared-table update: `table[idx] = op(table[idx], val)` — one
+/// memory-carried loop dependence (collisions across iterations).
+pub fn table_update(
+    b: &mut ProgramBuilder,
+    table: RegionId,
+    idx: Reg,
+    val: impl Into<Operand>,
+    op: BinOp,
+) {
+    let cell = b.reg();
+    b.load(cell, AddrExpr::region_indexed(table, idx, 8, 0), Ty::I64);
+    b.bin(cell, op, cell, val);
+    b.store(cell, AddrExpr::region_indexed(table, idx, 8, 0), Ty::I64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_ir::interp::{run_to_completion, Env};
+
+    #[test]
+    fn phases_compose_into_valid_programs() {
+        let mut b = ProgramBuilder::new("compose");
+        let a = b.region("a", 2048, Ty::I64);
+        let o = b.region("o", 2048, Ty::I64);
+        let t = b.region("t", 1024, Ty::I64);
+        fill_hash(&mut b, a, 200, 11);
+        doall_phase(&mut b, a, o, 200, 6);
+        b.counted_loop(0, 200, 1, |b, i| {
+            let x = b.reg();
+            b.load(x, AddrExpr::region_indexed(o, i, 8, 0), Ty::I64);
+            let h = b.reg();
+            masked(b, h, x, 127);
+            table_update(b, t, h, 1i64, BinOp::Add);
+        });
+        let p = b.finish();
+        assert!(p.validate().is_ok());
+        let mut env = Env::for_program(&p);
+        run_to_completion(&p, &mut env).unwrap();
+        // The histogram counted all 200 items.
+        let base = env.mem.base_of(t);
+        let total: i64 = (0..128)
+            .map(|k| env.mem.load(base + k * 8, Ty::I64).unwrap().as_int())
+            .sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn scale_factors() {
+        assert_eq!(Scale::Test.n(100), 100);
+        assert_eq!(Scale::Full.n(100), 400);
+    }
+}

@@ -1,0 +1,282 @@
+//! # helix-workloads
+//!
+//! Synthetic stand-ins for the ten SPEC CPU2000 C benchmarks the paper
+//! evaluates (§6.1): 6 integer (CINT2000) + 4 floating-point (CFP2000)
+//! programs expressed in the `helix-ir` loop IR.
+//!
+//! SPEC sources and inputs cannot ship with this repository, so each
+//! program is engineered to exercise the same code paths with the same
+//! published *shape*: iteration-length distributions (Fig. 4a),
+//! multi-hop/multi-consumer sharing (Fig. 4b/c), per-generation
+//! parallel-loop coverage (Table 1), and the per-benchmark overhead mix
+//! (Fig. 12). The published numbers are carried along as
+//! [`PaperRow`] constants so every experiment can print
+//! paper-vs-measured side by side.
+
+#![warn(missing_docs)]
+
+pub mod cfp;
+pub mod cint;
+pub mod common;
+
+pub use common::Scale;
+
+use helix_ir::Program;
+use serde::{Deserialize, Serialize};
+
+/// Benchmark family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Kind {
+    /// SPEC CINT2000 (non-numerical).
+    Int,
+    /// SPEC CFP2000 (numerical).
+    Fp,
+}
+
+/// Published paper numbers for one benchmark, used for side-by-side
+/// reporting (never fed back into the system under test).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaperRow {
+    /// HELIX-RC speedup on 16 in-order cores (Fig. 7 / Fig. 12).
+    pub helix_speedup: f64,
+    /// Parallel-loop coverage per compiler `[HCCv1, HCCv2, HELIX-RC]`
+    /// (Table 1).
+    pub coverage: [f64; 3],
+    /// SimPoint phases (Table 1).
+    pub phases: u32,
+    /// Fig. 12 overhead fractions, in [`helix_sim`-order]: additional
+    /// instructions, wait/signal, memory, iteration imbalance, low trip
+    /// count, communication, dependence waiting.
+    pub overheads: [f64; 7],
+}
+
+/// One benchmark: its program plus published reference numbers.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// SPEC-style name (e.g. `"164.gzip"`).
+    pub name: &'static str,
+    /// Family.
+    pub kind: Kind,
+    /// The program.
+    pub program: Program,
+    /// Published numbers.
+    pub paper: PaperRow,
+}
+
+/// The six CINT2000 stand-ins.
+pub fn cint_suite(scale: Scale) -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "164.gzip",
+            kind: Kind::Int,
+            program: cint::gzip(scale),
+            paper: PaperRow {
+                helix_speedup: 3.0,
+                coverage: [0.423, 0.423, 0.982],
+                phases: 12,
+                overheads: [0.408, 0.081, 0.096, 0.045, 0.0, 0.181, 0.188],
+            },
+        },
+        Workload {
+            name: "175.vpr",
+            kind: Kind::Int,
+            program: cint::vpr(scale),
+            paper: PaperRow {
+                helix_speedup: 6.1,
+                coverage: [0.551, 0.551, 0.99],
+                phases: 28,
+                overheads: [0.119, 0.004, 0.742, 0.124, 0.0, 0.005, 0.005],
+            },
+        },
+        Workload {
+            name: "197.parser",
+            kind: Kind::Int,
+            program: cint::parser(scale),
+            paper: PaperRow {
+                helix_speedup: 7.3,
+                coverage: [0.602, 0.602, 0.987],
+                phases: 19,
+                overheads: [0.313, 0.243, 0.153, 0.05, 0.003, 0.116, 0.122],
+            },
+        },
+        Workload {
+            name: "300.twolf",
+            kind: Kind::Int,
+            program: cint::twolf(scale),
+            paper: PaperRow {
+                helix_speedup: 7.6,
+                coverage: [0.624, 0.624, 0.99],
+                phases: 18,
+                overheads: [0.001, 0.002, 0.418, 0.014, 0.318, 0.0, 0.246],
+            },
+        },
+        Workload {
+            name: "181.mcf",
+            kind: Kind::Int,
+            program: cint::mcf(scale),
+            paper: PaperRow {
+                helix_speedup: 8.7,
+                coverage: [0.653, 0.653, 0.99],
+                phases: 19,
+                overheads: [0.377, 0.104, 0.055, 0.012, 0.032, 0.209, 0.212],
+            },
+        },
+        Workload {
+            name: "256.bzip2",
+            kind: Kind::Int,
+            program: cint::bzip2(scale),
+            paper: PaperRow {
+                helix_speedup: 12.0,
+                coverage: [0.721, 0.723, 0.99],
+                phases: 23,
+                overheads: [0.034, 0.034, 0.516, 0.001, 0.011, 0.197, 0.207],
+            },
+        },
+    ]
+}
+
+/// The four CFP2000 stand-ins.
+pub fn cfp_suite(scale: Scale) -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "183.equake",
+            kind: Kind::Fp,
+            program: cfp::equake(scale),
+            paper: PaperRow {
+                helix_speedup: 10.1,
+                coverage: [0.771, 0.99, 0.99],
+                phases: 7,
+                overheads: [0.002, 0.0, 0.091, 0.015, 0.877, 0.0, 0.015],
+            },
+        },
+        Workload {
+            name: "179.art",
+            kind: Kind::Fp,
+            program: cfp::art(scale),
+            paper: PaperRow {
+                helix_speedup: 10.5,
+                coverage: [0.841, 0.99, 0.99],
+                phases: 11,
+                overheads: [0.002, 0.0, 0.477, 0.248, 0.161, 0.0, 0.113],
+            },
+        },
+        Workload {
+            name: "188.ammp",
+            kind: Kind::Fp,
+            program: cfp::ammp(scale),
+            paper: PaperRow {
+                helix_speedup: 12.5,
+                coverage: [0.602, 0.99, 0.99],
+                phases: 23,
+                overheads: [0.641, 0.08, 0.063, 0.074, 0.089, 0.022, 0.031],
+            },
+        },
+        Workload {
+            name: "177.mesa",
+            kind: Kind::Fp,
+            program: cfp::mesa(scale),
+            paper: PaperRow {
+                helix_speedup: 15.1,
+                coverage: [0.643, 0.99, 0.99],
+                phases: 8,
+                overheads: [0.293, 0.009, 0.037, 0.584, 0.073, 0.0, 0.003],
+            },
+        },
+    ]
+}
+
+/// All ten benchmarks, CINT first (the paper's reporting order).
+pub fn suite(scale: Scale) -> Vec<Workload> {
+    let mut v = cint_suite(scale);
+    v.extend(cfp_suite(scale));
+    v
+}
+
+/// Look up a benchmark by name.
+pub fn by_name(name: &str, scale: Scale) -> Option<Workload> {
+    suite(scale).into_iter().find(|w| w.name == name)
+}
+
+/// Geometric mean helper used throughout the evaluation.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v.max(1e-12).ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_ten_benchmarks() {
+        let s = suite(Scale::Test);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.iter().filter(|w| w.kind == Kind::Int).count(), 6);
+        assert_eq!(s.iter().filter(|w| w.kind == Kind::Fp).count(), 4);
+        for w in &s {
+            assert!(w.program.validate().is_ok(), "{}", w.name);
+            let osum: f64 = w.paper.overheads.iter().sum();
+            assert!((osum - 1.0).abs() < 0.02, "{} overheads {osum}", w.name);
+        }
+    }
+
+    #[test]
+    fn paper_int_geomean_matches_headline() {
+        let g = geomean(
+            cint_suite(Scale::Test)
+                .iter()
+                .map(|w| w.paper.helix_speedup),
+        );
+        assert!((g - 6.85).abs() < 0.1, "published INT geomean ~6.85, got {g}");
+    }
+
+    #[test]
+    fn paper_fp_geomean_matches_headline() {
+        let g = geomean(cfp_suite(Scale::Test).iter().map(|w| w.paper.helix_speedup));
+        assert!((g - 11.9).abs() < 0.2, "published FP geomean ~12, got {g}");
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("164.gzip", Scale::Test).is_some());
+        assert!(by_name("999.nope", Scale::Test).is_none());
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([4.0, 16.0]) - 8.0).abs() < 1e-9);
+        assert_eq!(geomean(std::iter::empty::<f64>()), 0.0);
+    }
+
+    /// The co-design premise: every workload's hot loops are selected by
+    /// HCCv3 with near-total coverage, while HCCv1 covers only the
+    /// coarse phase.
+    #[test]
+    fn v3_selects_more_than_v1() {
+        for w in suite(Scale::Test) {
+            let v3 = helix_hcc::compile(&w.program, &helix_hcc::HccConfig::v3(16)).unwrap();
+            assert!(
+                !v3.plans.is_empty(),
+                "{}: HELIX-RC must parallelize something",
+                w.name
+            );
+            let v1 = helix_hcc::compile(&w.program, &helix_hcc::HccConfig::v1(16)).unwrap();
+            assert!(
+                v3.stats.coverage > v1.stats.coverage - 1e-9,
+                "{}: v3 coverage {} < v1 {}",
+                w.name,
+                v3.stats.coverage,
+                v1.stats.coverage
+            );
+        }
+    }
+}

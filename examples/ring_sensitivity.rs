@@ -1,0 +1,20 @@
+//! Ring-cache sensitivity on one workload: sweep the adjacent-node link
+//! latency (the Fig. 11b axis) and watch the speedup degrade.
+//!
+//! Run with `cargo run --release --example ring_sensitivity`.
+
+use helix_rc::experiment::{link_latency_settings, sweep_ring};
+use helix_rc::workloads::{by_name, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = by_name("197.parser", Scale::Test).expect("suite workload");
+    println!("== 197.parser: speedup vs. adjacent-node link latency (16 cores) ==\n");
+    let points = sweep_ring(&w, 16, &link_latency_settings())?;
+    let max = points.iter().map(|(_, s)| *s).fold(0.0f64, f64::max);
+    for (label, speedup) in &points {
+        let bar = "#".repeat(((speedup / max) * 40.0).round() as usize);
+        println!("  {label:<10} {speedup:5.2}x {bar}");
+    }
+    println!("\nSingle-cycle hops are what current technology provides (paper §6.3).");
+    Ok(())
+}

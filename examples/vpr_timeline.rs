@@ -1,0 +1,47 @@
+//! The Fig. 5 scenario: the 175.vpr hot loop under coupled vs. decoupled
+//! communication.
+//!
+//! Prints the measured execution profile of the same HCCv3-compiled code
+//! on a conventional machine (lazy, pull-based coherence) and on the
+//! ring cache (proactive circulation), showing where the cycles go.
+//!
+//! Run with `cargo run --release --example vpr_timeline`.
+
+use helix_rc::experiment::{coupled_vs_ring, FUEL};
+use helix_rc::hcc::{compile, HccConfig};
+use helix_rc::sim::{simulate, Bucket, MachineConfig};
+use helix_rc::workloads::{by_name, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let vpr = by_name("175.vpr", Scale::Test).expect("suite workload");
+    let cores = 16;
+
+    println!("== Fig. 5 scenario: 175.vpr hot loop, 16 cores ==\n");
+    let row = coupled_vs_ring(&vpr, cores)?;
+    println!(
+        "conventional (coupled):  {:6.1}% of sequential time  ({:.0}% of busy cycles on communication)",
+        row.conventional_pct,
+        100.0 * row.conventional_comm_frac
+    );
+    println!(
+        "ring cache (decoupled):  {:6.1}% of sequential time  ({:.0}% of busy cycles on communication)",
+        row.ring_pct,
+        100.0 * row.ring_comm_frac
+    );
+
+    // Per-bucket cycle timeline for the decoupled run.
+    let compiled = compile(&vpr.program, &HccConfig::v3(cores as u32))?;
+    let rep = simulate(&compiled, &MachineConfig::helix_rc(cores), FUEL)?;
+    println!("\nwhere the decoupled run's core-cycles went:");
+    let total = rep.attribution.grand_total().max(1);
+    for b in Bucket::ALL {
+        let cycles = rep.attribution.total(b);
+        if cycles == 0 {
+            continue;
+        }
+        let frac = cycles as f64 / total as f64;
+        let bar = "#".repeat((frac * 50.0).round() as usize);
+        println!("  {:<26} {:>5.1}% {}", b.label(), 100.0 * frac, bar);
+    }
+    Ok(())
+}
