@@ -139,7 +139,11 @@ mod tests {
         let dynamic = observe_loop_deps(&p, &lp, &mut env, 10_000_000).unwrap();
         assert!(!dynamic.pairs.is_empty(), "histogram collisions occur");
 
-        let sweep = tier_sweep(&p, std::slice::from_ref(&lp), std::slice::from_ref(&dynamic));
+        let sweep = tier_sweep(
+            &p,
+            std::slice::from_ref(&lp),
+            std::slice::from_ref(&dynamic),
+        );
         let acc = &sweep.mean_accuracy;
         assert_eq!(acc.len(), 5);
         for w in acc.windows(2) {

@@ -300,7 +300,7 @@ pub fn relate(a: &LinForm, b: &LinForm, counter_step: i64) -> Option<AffineRelat
 mod tests {
     use super::*;
     use helix_ir::cfg::{recognize_counted_loop, LoopForest};
-    use helix_ir::{ProgramBuilder, Program, Ty};
+    use helix_ir::{Program, ProgramBuilder, Ty};
 
     fn setup(p: &Program) -> (NaturalLoop, Dominators, Reg) {
         let forest = LoopForest::compute(&p.graph, p.graph.entry);
@@ -387,7 +387,10 @@ mod tests {
             c,
             inv: vec![],
         };
-        assert_eq!(relate(&f(0), &f(0), 1), Some(AffineRelation::EveryIteration));
+        assert_eq!(
+            relate(&f(0), &f(0), 1),
+            Some(AffineRelation::EveryIteration)
+        );
         assert_eq!(relate(&f(0), &f(8), 1), Some(AffineRelation::NeverEqual));
     }
 

@@ -154,7 +154,10 @@ pub fn analyze_loop(
     let mut hidden_state_dep = false;
     for &b in &lp.blocks {
         for (idx, inst) in program.graph.block(b).insts.iter().enumerate() {
-            let site = InstSite { block: b, index: idx };
+            let site = InstSite {
+                block: b,
+                index: idx,
+            };
             match inst {
                 Inst::Load { addr, ty, .. } | Inst::Store { addr, ty, .. } => {
                     let is_store = matches!(inst, Inst::Store { .. });
@@ -172,7 +175,9 @@ pub fn analyze_loop(
                         lin,
                     });
                 }
-                Inst::Call { intrinsic, args, .. } => {
+                Inst::Call {
+                    intrinsic, args, ..
+                } => {
                     if config.tier.lib_call_semantics() {
                         match intrinsic {
                             Intrinsic::Rand => hidden_state_dep = true,
@@ -308,7 +313,7 @@ fn intrinsic_ptr_locs(
 mod tests {
     use super::*;
     use helix_ir::cfg::LoopForest;
-    use helix_ir::{AddrExpr, BinOp, Operand, ProgramBuilder, Program};
+    use helix_ir::{AddrExpr, BinOp, Operand, Program, ProgramBuilder};
 
     fn first_loop(p: &Program) -> NaturalLoop {
         let forest = LoopForest::compute(&p.graph, p.graph.entry);

@@ -141,7 +141,7 @@ pub fn observe_loop_deps(
 mod tests {
     use super::*;
     use helix_ir::cfg::LoopForest;
-    use helix_ir::{AddrExpr, BinOp, ProgramBuilder, Program, Ty};
+    use helix_ir::{AddrExpr, BinOp, Program, ProgramBuilder, Ty};
 
     fn first_loop(p: &Program) -> NaturalLoop {
         let forest = LoopForest::compute(&p.graph, p.graph.entry);
@@ -254,7 +254,10 @@ mod tests {
         let mut env = Env::for_program(&p);
         let d = observe_loop_deps(&p, &inner, &mut env, 1_000_000).unwrap();
         assert_eq!(d.invocations, 2);
-        assert!(d.pairs.is_empty(), "single-iteration invocations carry nothing");
+        assert!(
+            d.pairs.is_empty(),
+            "single-iteration invocations carry nothing"
+        );
     }
 
     /// WAR dependences are observed.

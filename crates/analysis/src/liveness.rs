@@ -141,7 +141,7 @@ pub fn loop_carried_regs(graph: &Graph, lp: &NaturalLoop) -> BTreeSet<Reg> {
 mod tests {
     use super::*;
     use helix_ir::cfg::LoopForest;
-    use helix_ir::{AddrExpr, BinOp, ProgramBuilder, Program, Ty};
+    use helix_ir::{AddrExpr, BinOp, Program, ProgramBuilder, Ty};
 
     fn one_loop(p: &Program) -> NaturalLoop {
         let forest = LoopForest::compute(&p.graph, p.graph.entry);

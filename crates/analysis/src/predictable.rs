@@ -92,7 +92,10 @@ pub fn classify_registers(graph: &Graph, lp: &NaturalLoop) -> Vec<RegClass> {
     let mut uses: BTreeMap<Reg, Vec<InstSite>> = BTreeMap::new();
     for &b in &lp.blocks {
         for (idx, inst) in graph.block(b).insts.iter().enumerate() {
-            let site = InstSite { block: b, index: idx };
+            let site = InstSite {
+                block: b,
+                index: idx,
+            };
             for u in inst.uses() {
                 uses.entry(u).or_default().push(site);
             }
@@ -157,10 +160,8 @@ pub fn classify_registers(graph: &Graph, lp: &NaturalLoop) -> Vec<RegClass> {
             })
         } else if let Some(step) = affine_step(r) {
             Some(PredictableKind::InductionAffine { step })
-        } else if let Some(kind) = poly2_or_reduction(r, &defs, &uses, lp, &dom, &affine_step) {
-            Some(kind)
         } else {
-            None
+            poly2_or_reduction(r, &defs, &uses, lp, &dom, &affine_step)
         };
 
         let _ = &loop_local;
@@ -266,7 +267,7 @@ pub fn communication_demand(
 mod tests {
     use super::*;
     use helix_ir::cfg::LoopForest;
-    use helix_ir::{AddrExpr, ProgramBuilder, Program, Ty};
+    use helix_ir::{AddrExpr, Program, ProgramBuilder, Ty};
 
     fn classify(p: &Program) -> Vec<RegClass> {
         let forest = LoopForest::compute(&p.graph, p.graph.entry);
@@ -318,7 +319,10 @@ mod tests {
         let classes = classify(&p);
         let c = class_of(&classes, acc);
         assert!(c.carried && c.live_out);
-        assert_eq!(c.predictable, Some(PredictableKind::Reduction { op: BinOp::Add }));
+        assert_eq!(
+            c.predictable,
+            Some(PredictableKind::Reduction { op: BinOp::Add })
+        );
     }
 
     #[test]

@@ -576,10 +576,7 @@ mod tests {
         let base = PointsTo::analyze(&p, AliasTier::Vllpa);
         let la = base.access_locs(&p, site, &a0, 8);
         let lb = base.access_locs(&p, site, &a8, 8);
-        assert!(
-            la.may_overlap(&lb),
-            "field-insensitive tier merges fields"
-        );
+        assert!(la.may_overlap(&lb), "field-insensitive tier merges fields");
 
         let path = PointsTo::analyze(&p, AliasTier::PathBased);
         let la = path.access_locs(&p, site, &a0, 8);

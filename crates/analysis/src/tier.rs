@@ -11,9 +11,7 @@ use std::fmt;
 /// Alias-analysis precision tier.
 ///
 /// Ordered: later tiers subsume earlier ones.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum AliasTier {
     /// Baseline VLLPA-style analysis: flow-insensitive points-to,
     /// field-insensitive abstract store, allocation sites collapsed,

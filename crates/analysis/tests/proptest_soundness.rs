@@ -9,16 +9,26 @@
 use helix_analysis::{analyze_loop, compare, observe_loop_deps, AliasTier, DepConfig, PointsTo};
 use helix_ir::cfg::LoopForest;
 use helix_ir::interp::Env;
-use helix_ir::{AddrExpr, BinOp, Intrinsic, Operand, ProgramBuilder, Program, Ty};
+use helix_ir::{AddrExpr, BinOp, Intrinsic, Operand, Program, ProgramBuilder, Ty};
 use proptest::prelude::*;
 
 /// One loop-body action in the generated program.
 #[derive(Debug, Clone)]
 enum Action {
     /// `scratch = a[f(i)]` — load with affine or table-driven index.
-    LoadArr { arr: u8, affine: bool, scale: i64, off: i64 },
+    LoadArr {
+        arr: u8,
+        affine: bool,
+        scale: i64,
+        off: i64,
+    },
     /// `a[f(i)] = scratch` — store with affine or table-driven index.
-    StoreArr { arr: u8, affine: bool, scale: i64, off: i64 },
+    StoreArr {
+        arr: u8,
+        affine: bool,
+        scale: i64,
+        off: i64,
+    },
     /// `scratch = op(scratch, i)` — pure ALU work.
     Alu(u8),
     /// `scratch = pure_hash(scratch)` — a library call.
@@ -31,10 +41,22 @@ enum Action {
 
 fn action_strategy() -> impl Strategy<Value = Action> {
     prop_oneof![
-        (0..3u8, any::<bool>(), 1..3i64, 0..4i64)
-            .prop_map(|(arr, affine, scale, off)| Action::LoadArr { arr, affine, scale, off: off * 8 }),
-        (0..3u8, any::<bool>(), 1..3i64, 0..4i64)
-            .prop_map(|(arr, affine, scale, off)| Action::StoreArr { arr, affine, scale, off: off * 8 }),
+        (0..3u8, any::<bool>(), 1..3i64, 0..4i64).prop_map(|(arr, affine, scale, off)| {
+            Action::LoadArr {
+                arr,
+                affine,
+                scale,
+                off: off * 8,
+            }
+        }),
+        (0..3u8, any::<bool>(), 1..3i64, 0..4i64).prop_map(|(arr, affine, scale, off)| {
+            Action::StoreArr {
+                arr,
+                affine,
+                scale,
+                off: off * 8,
+            }
+        }),
         (0..4u8).prop_map(Action::Alu),
         Just(Action::Hash),
         (0..3u8, 0..4i64).prop_map(|(arr, off)| Action::AccumCell { arr, off: off * 8 }),
@@ -67,7 +89,12 @@ fn build(actions: &[Action]) -> Program {
         let idx = b.reg();
         for a in actions {
             match a {
-                Action::LoadArr { arr, affine, scale, off } => {
+                Action::LoadArr {
+                    arr,
+                    affine,
+                    scale,
+                    off,
+                } => {
                     if *affine {
                         b.load(
                             scratch,
@@ -83,7 +110,12 @@ fn build(actions: &[Action]) -> Program {
                         );
                     }
                 }
-                Action::StoreArr { arr, affine, scale, off } => {
+                Action::StoreArr {
+                    arr,
+                    affine,
+                    scale,
+                    off,
+                } => {
                     if *affine {
                         b.store(
                             scratch,
@@ -109,7 +141,11 @@ fn build(actions: &[Action]) -> Program {
                     b.bin(scratch, op, scratch, i);
                 }
                 Action::Hash => {
-                    b.call(Some(scratch), Intrinsic::PureHash, vec![Operand::Reg(scratch)]);
+                    b.call(
+                        Some(scratch),
+                        Intrinsic::PureHash,
+                        vec![Operand::Reg(scratch)],
+                    );
                 }
                 Action::AccumCell { arr, off } => {
                     let c = b.reg();

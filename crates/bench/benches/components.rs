@@ -53,13 +53,39 @@ fn simulator_rate(c: &mut Criterion) {
         b.iter(|| simulate(&compiled, &MachineConfig::helix_rc(8), 1 << 26).unwrap())
     });
     c.bench_function("sim/vpr_sequential", |b| {
-        b.iter(|| simulate_sequential(&w.program, &MachineConfig::conventional(8), 1 << 26).unwrap())
+        b.iter(|| {
+            simulate_sequential(&w.program, &MachineConfig::conventional(8), 1 << 26).unwrap()
+        })
+    });
+}
+
+/// End-to-end simulator throughput on the communication-bound scenario
+/// the event-skipping fast-forward targets: HCCv3 code on the
+/// conventional 16-core machine (the paper's Fig. 9 "C" configuration),
+/// where most cycles are spent in coherence-mediated waits. The naive
+/// variant runs the same simulation with the per-cycle loop, so the two
+/// numbers are the before/after of the optimization.
+fn cycles_per_sec(c: &mut Criterion) {
+    let w = by_name("175.vpr", Scale::Test).unwrap();
+    let compiled = compile(&w.program, &HccConfig::v3(16)).unwrap();
+    c.bench_function("sim/cycles_per_sec", |b| {
+        b.iter(|| simulate(&compiled, &MachineConfig::conventional(16), 1 << 26).unwrap())
+    });
+    c.bench_function("sim/cycles_per_sec_naive", |b| {
+        b.iter(|| {
+            simulate(
+                &compiled,
+                &MachineConfig::conventional(16).without_fast_forward(),
+                1 << 26,
+            )
+            .unwrap()
+        })
     });
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = ring_throughput, analysis_speed, compile_speed, simulator_rate
+    targets = ring_throughput, analysis_speed, compile_speed, simulator_rate, cycles_per_sec
 }
 criterion_main!(benches);

@@ -1,0 +1,235 @@
+//! Simulator performance harness: measures cycles simulated per
+//! wall-second per workload, and the end-to-end runtime of the
+//! `decoupling_lattice` + `sweep_core_count` experiments, each in two
+//! configurations:
+//!
+//! * **naive** — the per-cycle loop (`fast_forward` disabled) with every
+//!   sweep point run serially, reproducing the pre-optimization code
+//!   structure;
+//! * **optimized** — the event-skipping fast-forward plus parallel
+//!   sweeps, as shipped.
+//!
+//! Results are written to `BENCH_sim.json` so the perf trajectory is
+//! tracked across PRs.
+//!
+//! ```text
+//! cargo run --release -p helix-bench --bin bench_sim
+//! ```
+
+use helix_rc::experiment::{decoupling_lattice, sweep_core_count, LatticePoint, FUEL};
+use helix_rc::hcc::{compile, HccConfig};
+use helix_rc::sim::{simulate, simulate_sequential, MachineConfig};
+use helix_rc::workloads::{cint_suite, Scale, Workload};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SWEEP_COUNTS: [usize; 4] = [2, 4, 8, 16];
+/// Repetitions per measurement; the minimum is reported to damp noise.
+const REPS: usize = 3;
+
+fn timed<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct WorkloadRow {
+    name: &'static str,
+    config: &'static str,
+    cycles: u64,
+    naive_secs: f64,
+    fast_secs: f64,
+}
+
+impl WorkloadRow {
+    fn speedup(&self) -> f64 {
+        self.naive_secs / self.fast_secs
+    }
+    fn fast_cps(&self) -> f64 {
+        self.cycles as f64 / self.fast_secs
+    }
+    fn naive_cps(&self) -> f64 {
+        self.cycles as f64 / self.naive_secs
+    }
+}
+
+/// Per-workload simulator throughput, naive vs fast, on the three
+/// machine shapes the experiments exercise.
+fn workload_rows(ws: &[Workload]) -> Vec<WorkloadRow> {
+    let mut rows = Vec::new();
+    for w in ws {
+        let compiled = compile(&w.program, &HccConfig::v3(16)).expect(w.name);
+        let shapes: [(&'static str, MachineConfig, bool); 3] = [
+            ("conventional-16", MachineConfig::conventional(16), true),
+            ("helix-rc-16", MachineConfig::helix_rc(16), true),
+            ("sequential-16", MachineConfig::conventional(16), false),
+        ];
+        for (label, cfg, parallel) in shapes {
+            let run = |cfg: &MachineConfig| {
+                if parallel {
+                    simulate(&compiled, cfg, FUEL).expect(w.name)
+                } else {
+                    simulate_sequential(&w.program, cfg, FUEL).expect(w.name)
+                }
+            };
+            let fast = run(&cfg);
+            let naive_cfg = cfg.clone().without_fast_forward();
+            let naive = run(&naive_cfg);
+            assert_eq!(
+                fast.cycles, naive.cycles,
+                "{}: {label} not cycle-exact",
+                w.name
+            );
+            assert_eq!(
+                fast.mem_digest, naive.mem_digest,
+                "{}: {label} digest",
+                w.name
+            );
+            let fast_secs = timed(|| {
+                run(&cfg);
+            });
+            let naive_secs = timed(|| {
+                run(&naive_cfg);
+            });
+            rows.push(WorkloadRow {
+                name: w.name,
+                config: label,
+                cycles: fast.cycles,
+                naive_secs,
+                fast_secs,
+            });
+        }
+    }
+    rows
+}
+
+/// The pre-optimization shape of `decoupling_lattice` +
+/// `sweep_core_count`: serial loops over sweep points, naive cycle loop.
+fn lattice_sweep_naive(ws: &[Workload]) {
+    for w in ws {
+        let _seq = simulate_sequential(
+            &w.program,
+            &MachineConfig::conventional(16).without_fast_forward(),
+            FUEL,
+        )
+        .expect(w.name);
+        for point in LatticePoint::ALL {
+            let compiled = compile(&w.program, &point.compiler(16)).expect(w.name);
+            let cfg = point.machine(16).without_fast_forward();
+            simulate(&compiled, &cfg, FUEL).expect(w.name);
+        }
+        for &cores in &SWEEP_COUNTS {
+            let compiled = compile(&w.program, &HccConfig::v3(cores as u32)).expect(w.name);
+            simulate_sequential(
+                &w.program,
+                &MachineConfig::conventional(cores).without_fast_forward(),
+                FUEL,
+            )
+            .expect(w.name);
+            let cfg = MachineConfig::helix_rc(cores).without_fast_forward();
+            simulate(&compiled, &cfg, FUEL).expect(w.name);
+        }
+    }
+}
+
+/// The shipped experiment runners (event-skipping + parallel sweeps).
+fn lattice_sweep_optimized(ws: &[Workload]) {
+    for w in ws {
+        decoupling_lattice(w, 16).expect(w.name);
+        sweep_core_count(w, &SWEEP_COUNTS).expect(w.name);
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let ws = cint_suite(Scale::Test);
+    eprintln!(
+        "measuring per-workload simulator throughput ({} workloads)...",
+        ws.len()
+    );
+    let rows = workload_rows(&ws);
+
+    eprintln!("measuring decoupling_lattice + sweep_core_count end-to-end...");
+    let before_secs = timed(|| lattice_sweep_naive(&ws));
+    let after_secs = timed(|| lattice_sweep_optimized(&ws));
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"harness\": \"bench_sim\",");
+    let _ = writeln!(json, "  \"scale\": \"Test\",");
+    let _ = writeln!(json, "  \"host_threads\": {threads},");
+    let _ = writeln!(json, "  \"reps_min_of\": {REPS},");
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"config\": \"{}\", \"cycles\": {}, \
+             \"naive_secs\": {:.6}, \"fast_secs\": {:.6}, \
+             \"naive_cycles_per_sec\": {:.0}, \"fast_cycles_per_sec\": {:.0}, \
+             \"speedup\": {:.3}}}",
+            json_escape(r.name),
+            r.config,
+            r.cycles,
+            r.naive_secs,
+            r.fast_secs,
+            r.naive_cps(),
+            r.fast_cps(),
+            r.speedup()
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    // The `sim/cycles_per_sec` criterion bench scenario (175.vpr, HCCv3
+    // code on the conventional 16-core machine — Fig. 9's "C" bar):
+    // surfaced here so the before/after of the headline bench is tracked
+    // alongside the rest.
+    if let Some(r) = rows
+        .iter()
+        .find(|r| r.name == "175.vpr" && r.config == "conventional-16")
+    {
+        let _ = writeln!(
+            json,
+            "  \"criterion_sim_cycles_per_sec\": {{\"workload\": \"175.vpr\", \
+             \"config\": \"conventional-16\", \"before_cycles_per_sec\": {:.0}, \
+             \"after_cycles_per_sec\": {:.0}, \"speedup\": {:.3}}},",
+            r.naive_cps(),
+            r.fast_cps(),
+            r.speedup()
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  \"lattice_plus_sweep\": {{\"before_secs\": {:.6}, \"after_secs\": {:.6}, \"speedup\": {:.3}}},",
+        before_secs,
+        after_secs,
+        before_secs / after_secs
+    );
+    let total_naive: f64 = rows.iter().map(|r| r.naive_secs).sum();
+    let total_fast: f64 = rows.iter().map(|r| r.fast_secs).sum();
+    let _ = writeln!(
+        json,
+        "  \"workload_totals\": {{\"naive_secs\": {:.6}, \"fast_secs\": {:.6}, \"speedup\": {:.3}}}",
+        total_naive,
+        total_fast,
+        total_naive / total_fast
+    );
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("{json}");
+    eprintln!(
+        "lattice+sweep: {before_secs:.2}s -> {after_secs:.2}s ({:.2}x); wrote BENCH_sim.json",
+        before_secs / after_secs
+    );
+}

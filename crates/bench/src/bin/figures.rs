@@ -12,7 +12,10 @@ fn main() {
     let scale = helix_bench::harness_scale(full);
     let figures: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if figures.is_empty() {
-        eprintln!("usage: figures [--full] <{}>", helix_bench::FIGURES.join("|"));
+        eprintln!(
+            "usage: figures [--full] <{}>",
+            helix_bench::FIGURES.join("|")
+        );
         std::process::exit(2);
     }
     for f in figures {

@@ -16,9 +16,9 @@
 
 use helix_rc::analysis_figs::{accuracy_sweep, recompute_reduction, tlp_splitting};
 use helix_rc::experiment::{
-    compiler_generations, core_type_sweep, coupled_vs_ring, decoupling_lattice,
-    iteration_lengths, link_latency_settings, node_memory_settings, overhead_breakdown,
-    sharing_profile, signal_bandwidth_settings, sweep_core_count, sweep_ring, LatticePoint,
+    compiler_generations, core_type_sweep, coupled_vs_ring, decoupling_lattice, iteration_lengths,
+    link_latency_settings, node_memory_settings, overhead_breakdown, sharing_profile,
+    signal_bandwidth_settings, sweep_core_count, sweep_ring, LatticePoint,
 };
 use helix_rc::hcc::{compile, HccConfig};
 use helix_rc::related::design_space_table;
@@ -36,7 +36,7 @@ pub fn harness_scale(full: bool) -> Scale {
 }
 
 /// Result alias.
-pub type R = Result<(), Box<dyn std::error::Error>>;
+pub type R = Result<(), Box<dyn std::error::Error + Send + Sync>>;
 
 fn header(title: &str) {
     println!("\n================================================================");
@@ -133,8 +133,8 @@ pub fn fig04(scale: Scale) -> R {
     println!("  (coherence round trips: Ivy Bridge 75, Sandy Bridge 95, Nehalem 110)");
 
     header("Figure 4b/4c — producer->consumer distance and consumer counts (16 cores)");
-    let mut dist = vec![0.0f64; 17];
-    let mut cons = vec![0.0f64; 17];
+    let mut dist = [0.0f64; 17];
+    let mut cons = [0.0f64; 17];
     let mut n = 0.0;
     for w in cint_suite(scale) {
         let (d, c) = sharing_profile(&w, 16)?;
@@ -148,14 +148,14 @@ pub fn fig04(scale: Scale) -> R {
     }
     println!("hop distance to first consumer (paper: 1:12% 2:22% 3:39% 4:12% 5:9% 6+:6%):");
     let six_plus: f64 = dist[6..].iter().sum::<f64>() / n;
-    for h in 1..6 {
-        println!("  {h} hop(s): {}", pct(dist[h] / n));
+    for (h, d) in dist.iter().enumerate().take(6).skip(1) {
+        println!("  {h} hop(s): {}", pct(d / n));
     }
     println!("  6+ hops: {}", pct(six_plus));
     println!("consumers per shared value (paper: 1:16% 2:8% 3:21% 4:12% 5:34% 6+:9%):");
     let six_plus_c: f64 = cons[6..].iter().sum::<f64>() / n;
-    for k in 1..6 {
-        println!("  {k} consumer(s): {}", pct(cons[k] / n));
+    for (k, c) in cons.iter().enumerate().take(6).skip(1) {
+        println!("  {k} consumer(s): {}", pct(c / n));
     }
     println!("  6+ consumers: {}", pct(six_plus_c));
     let multi: f64 = 1.0 - cons[1] / n;
@@ -192,9 +192,21 @@ pub fn table1(scale: Scale) -> R {
         rows.push(vec![
             w.name.to_string(),
             w.paper.phases.to_string(),
-            format!("{} (paper {})", pct(v3.stats.coverage), pct(w.paper.coverage[2])),
-            format!("{} (paper {})", pct(v2.stats.coverage), pct(w.paper.coverage[1])),
-            format!("{} (paper {})", pct(v1.stats.coverage), pct(w.paper.coverage[0])),
+            format!(
+                "{} (paper {})",
+                pct(v3.stats.coverage),
+                pct(w.paper.coverage[2])
+            ),
+            format!(
+                "{} (paper {})",
+                pct(v2.stats.coverage),
+                pct(w.paper.coverage[1])
+            ),
+            format!(
+                "{} (paper {})",
+                pct(v1.stats.coverage),
+                pct(w.paper.coverage[0])
+            ),
         ]);
     }
     println!(
@@ -245,10 +257,7 @@ pub fn fig07(scale: Scale) -> R {
     ]);
     println!(
         "{}",
-        table(
-            &["benchmark", "HCCv2", "HELIX-RC", "paper HELIX-RC"],
-            &rows
-        )
+        table(&["benchmark", "HCCv2", "HELIX-RC", "paper HELIX-RC"], &rows)
     );
     Ok(())
 }
@@ -263,7 +272,10 @@ pub fn fig08(scale: Scale) -> R {
             per_point[i].push(s);
         }
     }
-    let geo: Vec<f64> = per_point.iter().map(|v| geomean(v.iter().copied())).collect();
+    let geo: Vec<f64> = per_point
+        .iter()
+        .map(|v| geomean(v.iter().copied()))
+        .collect();
     let max = geo.iter().copied().fold(0.0, f64::max);
     for (p, g) in LatticePoint::ALL.iter().zip(&geo) {
         println!("{}", bar(p.label(), *g, max, 40));
@@ -314,7 +326,13 @@ pub fn fig10(scale: Scale) -> R {
     println!(
         "{}",
         table(
-            &["benchmark", "2-way IO", "2-way OoO", "4-way OoO", "seq IO/OoO4"],
+            &[
+                "benchmark",
+                "2-way IO",
+                "2-way OoO",
+                "4-way OoO",
+                "seq IO/OoO4"
+            ],
             &rows
         )
     );
@@ -418,7 +436,12 @@ pub fn text_ideal(scale: Scale) -> R {
     }
     let d = geomean(default_g);
     let i = geomean(ideal_g);
-    println!("default 1KB ring: {} | unbounded ring: {} | ratio {}", x(d), x(i), pct(d / i));
+    println!(
+        "default 1KB ring: {} | unbounded ring: {} | ratio {}",
+        x(d),
+        x(i),
+        pct(d / i)
+    );
     println!("paper: the conservative configuration reaches ~95% of unbounded resources.");
     Ok(())
 }
@@ -472,6 +495,12 @@ pub const FIGURES: [&str; 16] = [
     "fig11", "fig12", "table2", "tlp", "ideal", "all",
 ];
 
+// Quiet unused-dependency warnings for crates used only by the binary.
+use helix_analysis as _;
+use helix_ir as _;
+use helix_ring_cache as _;
+use helix_sim as _;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -499,10 +528,3 @@ mod tests {
         fig03(Scale::Test).unwrap();
     }
 }
-
-// Quiet unused-dependency warnings for crates used only by the binary.
-use helix_analysis as _;
-use helix_ir as _;
-use helix_ring_cache as _;
-use helix_sim as _;
-use serde_json as _;

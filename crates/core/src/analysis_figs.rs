@@ -50,10 +50,19 @@ pub fn accuracy_sweep(workloads: &[Workload]) -> Result<AccuracyFigure, ExpError
         n_loops += hot.len();
     }
     Ok(AccuracyFigure {
-        tiers: AliasTier::ALL.iter().map(|t| t.label().to_string()).collect(),
+        tiers: AliasTier::ALL
+            .iter()
+            .map(|t| t.label().to_string())
+            .collect(),
         accuracy: sums
             .into_iter()
-            .map(|s| if n_loops == 0 { 1.0 } else { s / n_loops as f64 })
+            .map(|s| {
+                if n_loops == 0 {
+                    1.0
+                } else {
+                    s / n_loops as f64
+                }
+            })
             .collect(),
         loops: n_loops,
     })

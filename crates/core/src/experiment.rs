@@ -9,21 +9,32 @@ use helix_sim::{
     SyncModel,
 };
 use helix_workloads::Workload;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Default cycle budget for experiment simulations.
 pub const FUEL: u64 = 1 << 27;
 
-/// Error from an experiment run.
-pub type ExpError = Box<dyn std::error::Error>;
+/// Error from an experiment run. `Send + Sync` so sweep points can run
+/// on worker threads.
+pub type ExpError = Box<dyn std::error::Error + Send + Sync>;
 
-/// Compile `w` for each compiler generation at `cores`.
+/// Compile `w` for each compiler generation at `cores` (one compile per
+/// worker thread; the compilations are independent).
 pub fn compile_all(w: &Workload, cores: u32) -> Result<[CompiledProgram; 3], ExpError> {
-    Ok([
-        compile(&w.program, &HccConfig::v1(cores))?,
-        compile(&w.program, &HccConfig::v2(cores))?,
-        compile(&w.program, &HccConfig::v3(cores))?,
-    ])
+    let configs = [
+        HccConfig::v1(cores),
+        HccConfig::v2(cores),
+        HccConfig::v3(cores),
+    ];
+    let mut compiled: Vec<CompiledProgram> = configs
+        .par_iter()
+        .map(|cfg| compile(&w.program, cfg))
+        .collect::<Result<Vec<_>, _>>()?;
+    let v3 = compiled.pop().expect("three compiles");
+    let v2 = compiled.pop().expect("three compiles");
+    let v1 = compiled.pop().expect("three compiles");
+    Ok([v1, v2, v3])
 }
 
 /// Sequential baseline cycles of the *original* program on the given
@@ -59,25 +70,41 @@ pub struct CompilerGenerations {
     pub paper_helix: f64,
 }
 
-/// Run the headline comparison for one workload at `cores`.
+/// Run the headline comparison for one workload at `cores`. The
+/// sequential baseline and the three generation runs are independent
+/// simulations and execute in parallel.
 pub fn compiler_generations(w: &Workload, cores: usize) -> Result<CompilerGenerations, ExpError> {
     let [v1, v2, v3] = compile_all(w, cores as u32)?;
     let conventional = MachineConfig::conventional(cores);
     let helix = MachineConfig::helix_rc(cores);
-    let seq = baseline_cycles(w, &conventional)?;
 
-    let r1 = simulate(&v1, &conventional, FUEL)?;
-    check(&r1, w.name)?;
-    let r2 = simulate(&v2, &conventional, FUEL)?;
-    check(&r2, w.name)?;
-    let r3 = simulate(&v3, &helix, FUEL)?;
-    check(&r3, w.name)?;
+    let jobs: [(Option<&CompiledProgram>, &MachineConfig); 4] = [
+        (None, &conventional), // sequential baseline
+        (Some(&v1), &conventional),
+        (Some(&v2), &conventional),
+        (Some(&v3), &helix),
+    ];
+    let reports: Vec<RunReport> = jobs
+        .par_iter()
+        .map(|(compiled, cfg)| -> Result<RunReport, ExpError> {
+            let rep = match compiled {
+                None => simulate_sequential(&w.program, cfg, FUEL)?,
+                Some(c) => {
+                    let rep = simulate(c, cfg, FUEL)?;
+                    check(&rep, w.name)?;
+                    rep
+                }
+            };
+            Ok(rep)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
 
+    let seq = reports[0].cycles;
     Ok(CompilerGenerations {
         name: w.name.to_string(),
-        v1: seq as f64 / r1.cycles.max(1) as f64,
-        v2: seq as f64 / r2.cycles.max(1) as f64,
-        helix_rc: seq as f64 / r3.cycles.max(1) as f64,
+        v1: seq as f64 / reports[1].cycles.max(1) as f64,
+        v2: seq as f64 / reports[2].cycles.max(1) as f64,
+        helix_rc: seq as f64 / reports[3].cycles.max(1) as f64,
         paper_helix: w.paper.helix_speedup,
     })
 }
@@ -161,16 +188,39 @@ impl LatticePoint {
 }
 
 /// Speedups across the decoupling lattice for one workload (Fig. 8).
-pub fn decoupling_lattice(w: &Workload, cores: usize) -> Result<Vec<(LatticePoint, f64)>, ExpError> {
-    let seq = baseline_cycles(w, &MachineConfig::conventional(cores))?;
-    let mut out = Vec::new();
-    for point in LatticePoint::ALL {
-        let compiled = compile(&w.program, &point.compiler(cores as u32))?;
-        let report = simulate(&compiled, &point.machine(cores), FUEL)?;
-        check(&report, point.label())?;
-        out.push((point, seq as f64 / report.cycles.max(1) as f64));
-    }
-    Ok(out)
+/// The five lattice points are independent (compile + simulate) jobs and
+/// run in parallel with the sequential baseline.
+pub fn decoupling_lattice(
+    w: &Workload,
+    cores: usize,
+) -> Result<Vec<(LatticePoint, f64)>, ExpError> {
+    let mut jobs: Vec<Option<LatticePoint>> = vec![None]; // baseline
+    jobs.extend(LatticePoint::ALL.map(Some));
+    let cycles: Vec<u64> = jobs
+        .par_iter()
+        .map(|job| -> Result<u64, ExpError> {
+            match job {
+                None => {
+                    Ok(
+                        simulate_sequential(&w.program, &MachineConfig::conventional(cores), FUEL)?
+                            .cycles,
+                    )
+                }
+                Some(point) => {
+                    let compiled = compile(&w.program, &point.compiler(cores as u32))?;
+                    let report = simulate(&compiled, &point.machine(cores), FUEL)?;
+                    check(&report, point.label())?;
+                    Ok(report.cycles)
+                }
+            }
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let seq = cycles[0];
+    Ok(LatticePoint::ALL
+        .into_iter()
+        .zip(&cycles[1..])
+        .map(|(point, &c)| (point, seq as f64 / c.max(1) as f64))
+        .collect())
 }
 
 /// Fig. 9: HCCv3-selected code on conventional hardware vs. the ring
@@ -291,37 +341,45 @@ pub fn core_type_sweep(w: &Workload, cores: usize) -> Result<CoreTypeRow, ExpErr
 /// Generic ring-parameter sweep point: label plus speedup.
 pub type SweepPoint = (String, f64);
 
-/// Fig. 11a: core-count scaling.
+/// Fig. 11a: core-count scaling. Each core count is an independent
+/// (compile + baseline + simulate) job; counts run in parallel.
 pub fn sweep_core_count(w: &Workload, counts: &[usize]) -> Result<Vec<SweepPoint>, ExpError> {
-    let mut out = Vec::new();
-    for &cores in counts {
-        let compiled = compile(&w.program, &HccConfig::v3(cores as u32))?;
-        let seq = baseline_cycles(w, &MachineConfig::conventional(cores))?;
-        let rep = simulate(&compiled, &MachineConfig::helix_rc(cores), FUEL)?;
-        check(&rep, "core count")?;
-        out.push((format!("{cores} cores"), seq as f64 / rep.cycles.max(1) as f64));
-    }
-    Ok(out)
+    counts
+        .par_iter()
+        .map(|&cores| -> Result<SweepPoint, ExpError> {
+            let compiled = compile(&w.program, &HccConfig::v3(cores as u32))?;
+            let seq = baseline_cycles(w, &MachineConfig::conventional(cores))?;
+            let rep = simulate(&compiled, &MachineConfig::helix_rc(cores), FUEL)?;
+            check(&rep, "core count")?;
+            Ok((
+                format!("{cores} cores"),
+                seq as f64 / rep.cycles.max(1) as f64,
+            ))
+        })
+        .collect::<Result<Vec<_>, _>>()
 }
 
 /// Sweep a ring-cache parameter; `set` mutates the default ring config.
-pub fn sweep_ring<F: Fn(&mut RingConfig)>(
+/// The compiled program and baseline are shared; the sweep points run in
+/// parallel.
+pub fn sweep_ring<F: Fn(&mut RingConfig) + Sync>(
     w: &Workload,
     cores: usize,
     labels_and_sets: &[(String, F)],
 ) -> Result<Vec<SweepPoint>, ExpError> {
     let compiled = compile(&w.program, &HccConfig::v3(cores as u32))?;
     let seq = baseline_cycles(w, &MachineConfig::conventional(cores))?;
-    let mut out = Vec::new();
-    for (label, set) in labels_and_sets {
-        let mut cfg = MachineConfig::helix_rc(cores);
-        let ring = cfg.ring.as_mut().expect("helix config has a ring");
-        set(ring);
-        let rep = simulate(&compiled, &cfg, FUEL)?;
-        check(&rep, label)?;
-        out.push((label.clone(), seq as f64 / rep.cycles.max(1) as f64));
-    }
-    Ok(out)
+    labels_and_sets
+        .par_iter()
+        .map(|(label, set)| -> Result<SweepPoint, ExpError> {
+            let mut cfg = MachineConfig::helix_rc(cores);
+            let ring = cfg.ring.as_mut().expect("helix config has a ring");
+            set(ring);
+            let rep = simulate(&compiled, &cfg, FUEL)?;
+            check(&rep, label)?;
+            Ok((label.clone(), seq as f64 / rep.cycles.max(1) as f64))
+        })
+        .collect::<Result<Vec<_>, _>>()
 }
 
 /// Fig. 11b link-latency settings.

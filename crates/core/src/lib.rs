@@ -24,7 +24,7 @@
 //! let row = compiler_generations(&vpr, 16)?;
 //! println!("{}: HCCv2 {:.2}x -> HELIX-RC {:.2}x (paper: {:.1}x)",
 //!          row.name, row.v2, row.helix_rc, row.paper_helix);
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! # Ok::<(), Box<dyn std::error::Error + Send + Sync>>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -35,9 +35,8 @@ pub mod related;
 pub mod report;
 
 pub use experiment::{
-    compiler_generations, coupled_vs_ring, core_type_sweep, decoupling_lattice,
-    iteration_lengths, overhead_breakdown, sharing_profile, sweep_core_count, sweep_ring,
-    LatticePoint,
+    compiler_generations, core_type_sweep, coupled_vs_ring, decoupling_lattice, iteration_lengths,
+    overhead_breakdown, sharing_profile, sweep_core_count, sweep_ring, LatticePoint,
 };
 
 // Re-export the full stack so downstream users need one dependency.

@@ -81,8 +81,14 @@ pub fn design_space_table() -> String {
     let actual = quadrant(true);
     let false_ = quadrant(false);
     out.push_str("                 | Actual dependences              | False dependences\n");
-    out.push_str(&format!("Register         | {:<31} | {}\n", actual[0], false_[0]));
-    out.push_str(&format!("Memory           | {:<31} | {}\n", actual[1], false_[1]));
+    out.push_str(&format!(
+        "Register         | {:<31} | {}\n",
+        actual[0], false_[0]
+    ));
+    out.push_str(&format!(
+        "Memory           | {:<31} | {}\n",
+        actual[1], false_[1]
+    ));
     out
 }
 

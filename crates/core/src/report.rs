@@ -2,9 +2,17 @@
 
 /// Render a labelled bar chart line (`name  ######## 6.85x`).
 pub fn bar(label: &str, value: f64, max: f64, width: usize) -> String {
-    let frac = if max > 0.0 { (value / max).clamp(0.0, 1.0) } else { 0.0 };
+    let frac = if max > 0.0 {
+        (value / max).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
     let n = (frac * width as f64).round() as usize;
-    format!("{label:<28} {:<width$} {value:6.2}", "#".repeat(n), width = width)
+    format!(
+        "{label:<28} {:<width$} {value:6.2}",
+        "#".repeat(n),
+        width = width
+    )
 }
 
 /// Render a simple aligned table.

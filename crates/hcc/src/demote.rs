@@ -234,8 +234,7 @@ mod tests {
             elem: Ty::I64,
         });
         let mut next = 0;
-        let d =
-            demote_registers(&mut p, &lp.blocks, &[state], region, &mut next).unwrap();
+        let d = demote_registers(&mut p, &lp.blocks, &[state], region, &mut next).unwrap();
         assert!(d.inserted > 0);
         assert!(p.validate().is_ok());
 
@@ -292,11 +291,7 @@ mod tests {
         b.counted_loop(0, 3, 1, |b, i| {
             let c = b.reg();
             b.bin(c, BinOp::And, i, 1i64);
-            b.if_else(
-                c,
-                |b| b.const_i(x, 1),
-                |b| b.const_f(x, 1.5),
-            );
+            b.if_else(c, |b| b.const_i(x, 1), |b| b.const_f(x, 1.5));
         });
         b.store(x, AddrExpr::region(out, 0), Ty::I64);
         let mut p = b.finish();

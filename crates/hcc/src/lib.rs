@@ -38,9 +38,7 @@ pub use profile::{profile, LoopProfile, ProgramProfile};
 pub use segments::SplitPolicy;
 pub use select::{select_loops, CandidateEstimate, RejectReason, Selection, SelectionParams};
 
-use helix_analysis::{
-    analyze_loop, classify_registers, DepConfig, PointsTo, PredictableKind,
-};
+use helix_analysis::{analyze_loop, classify_registers, DepConfig, PointsTo, PredictableKind};
 use helix_ir::cfg::{recognize_counted_loop, LoopForest, NaturalLoop};
 use helix_ir::interp::{Env, InterpError};
 use helix_ir::{
@@ -339,8 +337,7 @@ fn transform_loop(
     estimate: &CandidateEstimate,
     plan_index: usize,
 ) -> Result<(Program, LoopPlan), LoopTransformError> {
-    let counted =
-        recognize_counted_loop(&p.graph, lp).ok_or(LoopTransformError::Shape)?;
+    let counted = recognize_counted_loop(&p.graph, lp).ok_or(LoopTransformError::Shape)?;
 
     // --- Classify registers ---
     let classes = classify_registers(&p.graph, lp);
@@ -424,13 +421,8 @@ fn transform_loop(
     }
 
     // --- Demote communicated registers ---
-    let demotion = demote::demote_registers(
-        &mut p,
-        &lp.blocks,
-        &must_comm,
-        shared_region,
-        next_slot,
-    )?;
+    let demotion =
+        demote::demote_registers(&mut p, &lp.blocks, &must_comm, shared_region, next_slot)?;
 
     // --- Seed slots on entry edges; read them back on the exit edge ---
     let preds = p.graph.predecessors();

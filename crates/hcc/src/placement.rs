@@ -101,8 +101,7 @@ pub fn region_inst_size(
     // reach_up: the block is reachable from an access block along
     // intra-iteration paths.
     let preds = program.graph.predecessors();
-    let mut reach_up: BTreeMap<BlockId, bool> =
-        lp.blocks.iter().map(|&b| (b, false)).collect();
+    let mut reach_up: BTreeMap<BlockId, bool> = lp.blocks.iter().map(|&b| (b, false)).collect();
     let mut changed = true;
     while changed {
         changed = false;
@@ -110,9 +109,9 @@ pub fn region_inst_size(
             if reach_up[&b] || b == lp.header {
                 continue; // entering the header starts a new iteration
             }
-            let v = preds[b.index()].iter().any(|&p| {
-                lp.blocks.contains(&p) && (access_blocks.contains(&p) || reach_up[&p])
-            });
+            let v = preds[b.index()]
+                .iter()
+                .any(|&p| lp.blocks.contains(&p) && (access_blocks.contains(&p) || reach_up[&p]));
             if v {
                 reach_up.insert(b, true);
                 changed = true;
@@ -157,27 +156,22 @@ pub fn region_size_for_sites(
     sites: &BTreeSet<helix_ir::InstSite>,
 ) -> usize {
     region_inst_size(program, lp, &|b, idx, _| {
-        sites.contains(&helix_ir::InstSite { block: b, index: idx })
+        sites.contains(&helix_ir::InstSite {
+            block: b,
+            index: idx,
+        })
     })
 }
 
 /// [`region_inst_size`] for the def/use sites of one register.
-pub fn region_size_for_reg(
-    program: &Program,
-    lp: &NaturalLoop,
-    reg: helix_ir::Reg,
-) -> usize {
+pub fn region_size_for_reg(program: &Program, lp: &NaturalLoop, reg: helix_ir::Reg) -> usize {
     region_inst_size(program, lp, &|_, _, i| {
         i.uses().contains(&reg) || i.def() == Some(reg)
     })
 }
 
 /// Blocks of `lp` containing accesses tagged with `seg`.
-pub fn blocks_accessing(
-    program: &Program,
-    lp: &NaturalLoop,
-    seg: SegmentId,
-) -> BTreeSet<BlockId> {
+pub fn blocks_accessing(program: &Program, lp: &NaturalLoop, seg: SegmentId) -> BTreeSet<BlockId> {
     let mut out = BTreeSet::new();
     for &b in &lp.blocks {
         for inst in &program.graph.block(b).insts {
@@ -270,7 +264,7 @@ pub fn place_sync(
     }
 
     // Apply in-block insertions in descending position order.
-    inserts.sort_by(|a, b| (b.0, b.1).cmp(&(a.0, a.1)));
+    inserts.sort_by_key(|&(b, pos, _)| std::cmp::Reverse((b, pos)));
     for (b, pos, inst) in inserts {
         program.graph.block_mut(b).insts.insert(pos, inst);
     }
@@ -297,8 +291,7 @@ mod tests {
     use super::*;
     use helix_ir::cfg::LoopForest;
     use helix_ir::{
-        AddrExpr, BinOp, InstOrigin, Operand, ProgramBuilder, Program, SharedTag, TrafficClass,
-        Ty,
+        AddrExpr, BinOp, InstOrigin, Operand, Program, ProgramBuilder, SharedTag, TrafficClass, Ty,
     };
 
     /// Build the Fig. 5 shape: a loop whose body conditionally updates a
@@ -328,13 +321,7 @@ mod tests {
         let mut p = b.finish();
         // Tag the shared accesses manually (segment formation normally
         // does this).
-        for (_, blk) in p
-            .graph
-            .blocks
-            .iter_mut()
-            .enumerate()
-            .map(|(i, b)| (i, b))
-        {
+        for blk in p.graph.blocks.iter_mut() {
             for inst in &mut blk.insts {
                 match inst {
                     Inst::Load { addr, shared, .. } | Inst::Store { addr, shared, .. } => {

@@ -105,7 +105,10 @@ pub fn assign_segments(
         for (idx, inst) in program.graph.block(b).insts.iter().enumerate() {
             if let Some(tag) = inst.shared_tag() {
                 if tag.seg == PLACEHOLDER_SEG {
-                    sites.insert(InstSite { block: b, index: idx });
+                    sites.insert(InstSite {
+                        block: b,
+                        index: idx,
+                    });
                 }
             }
         }
@@ -197,7 +200,7 @@ mod tests {
     use super::*;
     use helix_analysis::{analyze_loop, DepConfig, PointsTo};
     use helix_ir::cfg::LoopForest;
-    use helix_ir::{AddrExpr, BinOp, ProgramBuilder, Program, Ty};
+    use helix_ir::{AddrExpr, BinOp, Program, ProgramBuilder, Ty};
 
     /// Two independent shared cells -> two segments under aggressive
     /// splitting, one under MaxSegments(1).
@@ -279,7 +282,8 @@ mod tests {
         let pts = PointsTo::analyze(&p, config.tier);
         let deps = analyze_loop(&p, &lp, config, &pts);
         let mut next = 7;
-        let plans = assign_segments(&mut p, &lp, &deps, SplitPolicy::Aggressive, &mut next).unwrap();
+        let plans =
+            assign_segments(&mut p, &lp, &deps, SplitPolicy::Aggressive, &mut next).unwrap();
         assert_eq!(plans[0].id, SegmentId(7));
         assert_eq!(plans[1].id, SegmentId(8));
         assert_eq!(next, 9);

@@ -196,9 +196,7 @@ pub fn select_loops(
         let weight_of = |inner_idx: Option<usize>| -> f64 {
             let own = profile.loops[idx].iterations.max(1) as f64;
             match inner_idx {
-                Some(j) if j != idx => {
-                    (profile.loops[j].iterations.max(1) as f64 / own).max(1.0)
-                }
+                Some(j) if j != idx => (profile.loops[j].iterations.max(1) as f64 / own).max(1.0),
                 _ => 1.0,
             }
         };
@@ -334,7 +332,6 @@ pub fn select_loops(
         coverage,
     }
 }
-
 
 #[cfg(test)]
 mod tests {

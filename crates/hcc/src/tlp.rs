@@ -62,7 +62,11 @@ pub fn estimate_tlp(
     }
     let total = insts_per_iter * iterations as f64;
     TlpResult {
-        tlp: if makespan > 0.0 { total / makespan } else { 0.0 },
+        tlp: if makespan > 0.0 {
+            total / makespan
+        } else {
+            0.0
+        },
         makespan,
         total_insts: total,
         mean_segment_size: if seg_sizes.is_empty() {

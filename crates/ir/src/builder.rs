@@ -5,9 +5,7 @@
 //! matches, while still producing a plain CFG that the analyses discover
 //! structure in from scratch.
 
-use crate::inst::{
-    AddrExpr, BinOp, Inst, InstOrigin, Intrinsic, Operand, Terminator, UnOp,
-};
+use crate::inst::{AddrExpr, BinOp, Inst, InstOrigin, Intrinsic, Operand, Terminator, UnOp};
 use crate::program::{Block, Graph, Program, RegionDecl};
 use crate::types::{BlockId, Reg, RegionId, Ty, Value};
 
@@ -410,11 +408,7 @@ mod tests {
         let mut b = ProgramBuilder::new("ifelse");
         let [x, y] = b.regs();
         b.const_i(x, 1);
-        b.if_else(
-            x,
-            |b| b.const_i(y, 10),
-            |b| b.const_i(y, 20),
-        );
+        b.if_else(x, |b| b.const_i(y, 10), |b| b.const_i(y, 20));
         let p = b.finish();
         let mut env = Env::for_program(&p);
         let t = run_to_completion(&p, &mut env).unwrap();

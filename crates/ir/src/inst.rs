@@ -237,11 +237,19 @@ impl BinOp {
             Mul => Value::Int(a.as_int().wrapping_mul(b.as_int())),
             Div => {
                 let d = b.as_int();
-                Value::Int(if d == 0 { 0 } else { a.as_int().wrapping_div(d) })
+                Value::Int(if d == 0 {
+                    0
+                } else {
+                    a.as_int().wrapping_div(d)
+                })
             }
             Rem => {
                 let d = b.as_int();
-                Value::Int(if d == 0 { 0 } else { a.as_int().wrapping_rem(d) })
+                Value::Int(if d == 0 {
+                    0
+                } else {
+                    a.as_int().wrapping_rem(d)
+                })
             }
             And => Value::Int(a.as_int() & b.as_int()),
             Or => Value::Int(a.as_int() | b.as_int()),
@@ -515,30 +523,42 @@ impl Inst {
     /// Registers read by this instruction.
     pub fn uses(&self) -> Vec<Reg> {
         let mut out = Vec::new();
-        let mut push = |op: &Operand| {
-            if let Operand::Reg(r) = op {
-                out.push(*r);
-            }
-        };
+        self.for_each_use(|r| out.push(r));
+        out
+    }
+
+    /// Visit every register this instruction reads, without allocating
+    /// (the simulator's issue loops call this once per instruction).
+    pub fn for_each_use<F: FnMut(Reg)>(&self, mut f: F) {
         match self {
             Inst::Const { .. } | Inst::Wait { .. } | Inst::Signal { .. } | Inst::Nop { .. } => {}
-            Inst::Un { src, .. } => push(src),
-            Inst::Bin { lhs, rhs, .. } => {
-                push(lhs);
-                push(rhs);
+            Inst::Un { src, .. } => {
+                if let Operand::Reg(r) = src {
+                    f(*r);
+                }
             }
-            Inst::Load { addr, .. } => out.extend(addr.reg_uses()),
+            Inst::Bin { lhs, rhs, .. } => {
+                for o in [lhs, rhs] {
+                    if let Operand::Reg(r) = o {
+                        f(*r);
+                    }
+                }
+            }
+            Inst::Load { addr, .. } => addr.reg_uses().for_each(f),
             Inst::Store { src, addr, .. } => {
-                push(src);
-                out.extend(addr.reg_uses());
+                if let Operand::Reg(r) = src {
+                    f(*r);
+                }
+                addr.reg_uses().for_each(f);
             }
             Inst::Call { args, .. } => {
                 for a in args {
-                    push(a);
+                    if let Operand::Reg(r) = a {
+                        f(*r);
+                    }
                 }
             }
         }
-        out
     }
 
     /// Whether the instruction accesses memory.

@@ -152,7 +152,8 @@ impl Thread {
             .index
             .map(|(r, scale)| self.regs[r.index()].as_int().wrapping_mul(scale))
             .unwrap_or(0);
-        base.wrapping_add(idx as u64).wrapping_add(addr.offset as u64)
+        base.wrapping_add(idx as u64)
+            .wrapping_add(addr.offset as u64)
     }
 
     fn set(&mut self, dst: Reg, v: Value) {
@@ -466,7 +467,7 @@ mod tests {
         let p = b.finish();
         let mut env = Env::for_program(&p);
         let t = run_to_completion(&p, &mut env).unwrap();
-        assert_eq!(t.regs[sum.index()].as_int(), 0 + 1 + 2);
+        assert_eq!(t.regs[sum.index()].as_int(), 1 + 2);
         assert_eq!(env.mem.region_count(), 3); // 3 heap nodes, 0 static
     }
 

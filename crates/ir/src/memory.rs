@@ -7,7 +7,6 @@
 
 use crate::program::Program;
 use crate::types::{RegionId, Ty, Value};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Byte distance between consecutive region bases.
@@ -72,10 +71,13 @@ pub struct RegionMem {
 }
 
 /// The machine's memory: an ordered collection of regions.
+///
+/// Regions are laid out at a fixed [`REGION_STRIDE`], so resolving an
+/// address to its region is pure arithmetic — no search structure. This
+/// sits on the simulator's per-instruction hot path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Memory {
     regions: Vec<RegionMem>,
-    by_base: BTreeMap<u64, RegionId>,
     next_base: u64,
     n_static: usize,
 }
@@ -86,7 +88,6 @@ impl Memory {
     pub fn for_program(program: &Program) -> Memory {
         let mut mem = Memory {
             regions: Vec::new(),
-            by_base: BTreeMap::new(),
             next_base: FIRST_BASE,
             n_static: 0,
         };
@@ -109,7 +110,7 @@ impl Memory {
             name,
             data: vec![0; size as usize],
         });
-        self.by_base.insert(base, id);
+        debug_assert_eq!(base, (id.index() as u64 + 1) * REGION_STRIDE);
         id
     }
 
@@ -137,12 +138,13 @@ impl Memory {
         self.regions[region.index()].base
     }
 
-    /// The region containing `addr`, if any.
+    /// The region containing `addr`, if any. O(1): the region index is
+    /// the address's stride slot.
     pub fn region_containing(&self, addr: u64) -> Option<RegionId> {
-        let (_, &id) = self.by_base.range(..=addr).next_back()?;
-        let r = &self.regions[id.index()];
+        let slot = (addr / REGION_STRIDE).checked_sub(1)?;
+        let r = self.regions.get(slot as usize)?;
         if addr < r.base + r.size {
-            Some(id)
+            Some(RegionId(slot as u32))
         } else {
             None
         }

@@ -11,7 +11,11 @@ impl fmt::Display for Program {
         }
         for (id, block) in self.graph.iter() {
             let label = block.label.as_deref().unwrap_or("");
-            let marker = if id == self.graph.entry { " (entry)" } else { "" };
+            let marker = if id == self.graph.entry {
+                " (entry)"
+            } else {
+                ""
+            };
             writeln!(f, "{id}: {label}{marker}")?;
             for inst in &block.insts {
                 writeln!(f, "    {inst}")?;

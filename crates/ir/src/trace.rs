@@ -11,9 +11,7 @@ use serde::{Deserialize, Serialize};
 
 /// Static identity of an instruction: its block and index within the
 /// block. Stable across executions, usable as a key in dependence maps.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct InstSite {
     /// Containing block.
     pub block: BlockId,

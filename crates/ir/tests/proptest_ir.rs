@@ -4,7 +4,7 @@
 
 use helix_ir::interp::{run_to_completion, run_with_sink, Env};
 use helix_ir::trace::CountingSink;
-use helix_ir::{AddrExpr, BinOp, ProgramBuilder, Program, Ty, UnOp};
+use helix_ir::{AddrExpr, BinOp, Program, ProgramBuilder, Ty, UnOp};
 use proptest::prelude::*;
 
 /// A tiny recipe language for generating random (but valid) programs.
@@ -43,7 +43,8 @@ fn step_strategy() -> impl Strategy<Value = Step> {
             0..N_REGS
         )
             .prop_map(|(op, a, b)| Step::Bin(op, a, b)),
-        (prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], 0..N_REGS).prop_map(|(op, r)| Step::Un(op, r)),
+        (prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], 0..N_REGS)
+            .prop_map(|(op, r)| Step::Un(op, r)),
         (0..N_REGS, 0..SLOTS as u8).prop_map(|(r, s)| Step::Store(r, s)),
         (0..N_REGS, 0..SLOTS as u8).prop_map(|(r, s)| Step::Load(r, s)),
     ]
@@ -61,9 +62,7 @@ fn build_program(steps: &[Step], loop_trip: u16) -> Program {
             let dst = regs[k % regs.len()];
             match step {
                 Step::ConstI(v) => b.const_i(dst, *v),
-                Step::Bin(op, a, c) => {
-                    b.bin(dst, *op, regs[*a as usize], regs[*c as usize])
-                }
+                Step::Bin(op, a, c) => b.bin(dst, *op, regs[*a as usize], regs[*c as usize]),
                 Step::Un(op, r) => b.un(dst, *op, regs[*r as usize]),
                 Step::Store(r, s) => b.store(
                     regs[*r as usize],

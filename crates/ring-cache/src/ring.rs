@@ -22,11 +22,7 @@ enum MainMsg {
     /// `(address, origin node)`.
     Data { addr: u64, origin: u8 },
     /// `(segment, source core, origin node)`.
-    Signal {
-        seg: SegmentId,
-        src: u8,
-        origin: u8,
-    },
+    Signal { seg: SegmentId, src: u8, origin: u8 },
 }
 
 impl MainMsg {
@@ -77,8 +73,11 @@ struct Node {
     inject: VecDeque<(MainMsg, u64)>,
     in_req: VecDeque<(ReqMsg, u64)>,
     in_rep: VecDeque<(RepMsg, u64)>,
-    /// Signals received: (segment, source core) -> count.
-    signal_counts: BTreeMap<(SegmentId, u8), u64>,
+    /// Signals received, indexed `seg.index() * nodes + src` (dense,
+    /// grown on demand — segment ids are small per-program counters).
+    signal_counts: Vec<u64>,
+    /// Ring width, for the dense signal index.
+    nodes: usize,
 }
 
 impl Node {
@@ -89,12 +88,17 @@ impl Node {
             inject: VecDeque::new(),
             in_req: VecDeque::new(),
             in_rep: VecDeque::new(),
-            signal_counts: BTreeMap::new(),
+            signal_counts: Vec::new(),
+            nodes: cfg.nodes,
         }
     }
 
     fn count_signal(&mut self, seg: SegmentId, src: u8) {
-        *self.signal_counts.entry((seg, src)).or_insert(0) += 1;
+        let idx = seg.index() * self.nodes + src as usize;
+        if idx >= self.signal_counts.len() {
+            self.signal_counts.resize(idx + 1, 0);
+        }
+        self.signal_counts[idx] += 1;
     }
 }
 
@@ -107,6 +111,10 @@ pub struct RingCache {
     next_ticket: u64,
     /// ticket -> completion cycle (present once serviced).
     completed_loads: BTreeMap<u64, u64>,
+    /// Messages currently queued anywhere in the ring (lanes and
+    /// injection queues). Zero means [`RingCache::tick`] is a no-op
+    /// beyond advancing the clock, which makes quiescence O(1).
+    in_flight: usize,
     stats: RingStats,
     sharing: SharingProfile,
 }
@@ -126,6 +134,7 @@ impl RingCache {
             now: 0,
             next_ticket: 0,
             completed_loads: BTreeMap::new(),
+            in_flight: 0,
             stats: RingStats::default(),
             sharing: SharingProfile::default(),
         }
@@ -161,6 +170,7 @@ impl RingCache {
             },
             ready,
         ));
+        self.in_flight += 1;
         self.stats.stores += 1;
         self.sharing.on_store(&mut self.stats, addr, node);
         true
@@ -182,6 +192,7 @@ impl RingCache {
             },
             ready,
         ));
+        self.in_flight += 1;
         self.stats.signals += 1;
         true
     }
@@ -219,6 +230,7 @@ impl RingCache {
             let ready = self.now + self.cfg.injection_latency as u64 + self.cfg.hop_latency as u64;
             let next = (node + 1) % self.cfg.nodes;
             self.nodes[next].in_req.push_back((req, ready));
+            self.in_flight += 1;
         }
         LoadIssue::Pending { ticket }
     }
@@ -235,9 +247,9 @@ impl RingCache {
 
     /// Signals received at `node` for `seg` from core `src`.
     pub fn signal_count(&self, node: usize, seg: SegmentId, src: usize) -> u64 {
-        self.nodes[node]
-            .signal_counts
-            .get(&(seg, src as u8))
+        let n = &self.nodes[node];
+        n.signal_counts
+            .get(seg.index() * n.nodes + src)
             .copied()
             .unwrap_or(0)
     }
@@ -245,7 +257,7 @@ impl RingCache {
     /// Reset signal bookkeeping at the start of a parallel loop.
     pub fn begin_loop(&mut self) {
         for n in &mut self.nodes {
-            n.signal_counts.clear();
+            n.signal_counts.iter_mut().for_each(|c| *c = 0);
         }
     }
 
@@ -284,18 +296,74 @@ impl RingCache {
         self.now - start
     }
 
-    /// Whether all lanes and injection queues are empty.
+    /// Whether all lanes and injection queues are empty. O(1): tracked
+    /// by the in-flight message counter.
     pub fn quiescent(&self) -> bool {
-        self.nodes.iter().all(|n| {
-            n.in_main.is_empty()
-                && n.inject.is_empty()
-                && n.in_req.is_empty()
-                && n.in_rep.is_empty()
-        })
+        debug_assert_eq!(
+            self.in_flight == 0,
+            self.nodes.iter().all(|n| {
+                n.in_main.is_empty()
+                    && n.inject.is_empty()
+                    && n.in_req.is_empty()
+                    && n.in_rep.is_empty()
+            }),
+            "in-flight counter out of sync"
+        );
+        self.in_flight == 0
+    }
+
+    /// Earliest cycle at which the ring's observable state can next
+    /// change: the minimum ready time over every queued message (clamped
+    /// to the next cycle for messages that are already due but were
+    /// blocked by bandwidth or credits). `None` when quiescent.
+    pub fn next_event_at(&self) -> Option<u64> {
+        if self.in_flight == 0 {
+            return None;
+        }
+        let mut min = u64::MAX;
+        for n in &self.nodes {
+            for &(_, ready) in n.in_main.iter().chain(n.inject.iter()) {
+                if ready <= self.now {
+                    return Some(self.now); // due now: can't get earlier
+                }
+                min = min.min(ready);
+            }
+            for &(_, ready) in &n.in_req {
+                if ready <= self.now {
+                    return Some(self.now);
+                }
+                min = min.min(ready);
+            }
+            for &(_, ready) in &n.in_rep {
+                if ready <= self.now {
+                    return Some(self.now);
+                }
+                min = min.min(ready);
+            }
+        }
+        Some(min)
+    }
+
+    /// Jump the ring clock to `to` in one step. Callers must guarantee
+    /// the skipped window contains no events (see
+    /// [`RingCache::next_event_at`]); ticking cycle by cycle over such a
+    /// window only increments the clock, so this is equivalent.
+    pub fn fast_forward(&mut self, to: u64) {
+        debug_assert!(to >= self.now, "ring cannot rewind");
+        debug_assert!(
+            self.next_event_at().is_none_or(|e| e >= to),
+            "fast-forward would skip a ring event"
+        );
+        self.now = to;
     }
 
     /// Advance the ring by one cycle.
     pub fn tick(&mut self) {
+        if self.in_flight == 0 {
+            // Quiescence short-circuit: nothing can move.
+            self.now += 1;
+            return;
+        }
         let now = self.now;
         let n = self.cfg.nodes;
         for i in 0..n {
@@ -322,10 +390,7 @@ impl RingCache {
 
         // Through traffic first (the node prioritizes ring data and
         // stalls its own injection, §5.1).
-        loop {
-            let Some(&(msg, ready)) = self.nodes[i].in_main.front() else {
-                break;
-            };
+        while let Some(&(msg, ready)) = self.nodes[i].in_main.front() {
             if ready > now {
                 break;
             }
@@ -342,6 +407,7 @@ impl RingCache {
                 break;
             }
             self.nodes[i].in_main.pop_front();
+            self.in_flight -= 1;
             *budget -= 1;
             processed_through = true;
             self.handle_main(i, msg);
@@ -363,6 +429,7 @@ impl RingCache {
                     let forward = n > 1;
                     if !forward || next_free > 0 {
                         self.nodes[i].inject.pop_front();
+                        self.in_flight -= 1;
                         *budget -= 1;
                         self.handle_main(i, msg);
                         if forward {
@@ -378,6 +445,7 @@ impl RingCache {
 
         for item in outbound {
             self.nodes[next].in_main.push_back(item);
+            self.in_flight += 1;
         }
     }
 
@@ -386,13 +454,14 @@ impl RingCache {
         match msg {
             MainMsg::Data { addr, .. } => {
                 let dirty = self.cfg.owner_of(addr) == i;
-                match self.nodes[i].array.insert(addr, dirty) {
-                    Insert::Evicted { addr: _va, dirty: true } => {
-                        // Owner write-back of the victim; cost is absorbed
-                        // by the (pipelined) L1 port, counted in stats.
-                        self.stats.evict_writebacks += 1;
-                    }
-                    _ => {}
+                if let Insert::Evicted {
+                    addr: _va,
+                    dirty: true,
+                } = self.nodes[i].array.insert(addr, dirty)
+                {
+                    // Owner write-back of the victim; cost is absorbed
+                    // by the (pipelined) L1 port, counted in stats.
+                    self.stats.evict_writebacks += 1;
                 }
             }
             MainMsg::Signal { seg, src, .. } => {
@@ -411,6 +480,7 @@ impl RingCache {
             if ready <= now {
                 if req.owner as usize == i {
                     self.nodes[i].in_req.pop_front();
+                    self.in_flight -= 1;
                     // Service: array lookup, or the owner's private L1.
                     let lat = if self.nodes[i].array.probe(req.addr) {
                         1
@@ -430,6 +500,7 @@ impl RingCache {
                     }
                 } else {
                     self.nodes[i].in_req.pop_front();
+                    self.in_flight -= 1;
                     req_out = Some((req, now + self.cfg.hop_latency as u64));
                     self.stats.forwards += 1;
                 }
@@ -439,6 +510,7 @@ impl RingCache {
         if let Some(&(rep, ready)) = self.nodes[i].in_rep.front() {
             if ready <= now {
                 self.nodes[i].in_rep.pop_front();
+                self.in_flight -= 1;
                 if rep.requester as usize == i {
                     self.nodes[i].array.insert(rep.addr, false);
                     self.completed_loads.insert(rep.ticket, now + 1);
@@ -450,9 +522,11 @@ impl RingCache {
         }
         if let Some(item) = req_out {
             self.nodes[next].in_req.push_back(item);
+            self.in_flight += 1;
         }
         for item in rep_out {
             self.nodes[next].in_rep.push_back(item);
+            self.in_flight += 1;
         }
     }
 }
@@ -558,7 +632,7 @@ mod tests {
         // Round trip: hops to owner + L1 service + hops back.
         let min_rtt = 16 /* full circle */ + 3 /* L1 */;
         assert!(
-            waited as u64 + 2 >= min_rtt / 2 && ready >= min_rtt / 2,
+            waited + 2 >= min_rtt / 2 && ready >= min_rtt / 2,
             "implausibly fast miss service: waited {waited}, ready {ready}"
         );
         r.retire_load(ticket);
@@ -634,6 +708,22 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// `next_event_at` tracks queued messages; `fast_forward` jumps an
+    /// idle ring without touching state.
+    #[test]
+    fn next_event_and_fast_forward() {
+        let mut r = ring(8);
+        assert_eq!(r.next_event_at(), None);
+        r.fast_forward(100);
+        assert_eq!(r.now(), 100);
+        assert!(r.quiescent());
+        r.store(0, 0x100);
+        // Injection latency is 2: the first event is at now + 2.
+        assert_eq!(r.next_event_at(), Some(102));
+        run_until(&mut r, |r| r.quiescent(), 100);
+        assert_eq!(r.next_event_at(), None);
     }
 
     /// Single-node ring degenerates gracefully.

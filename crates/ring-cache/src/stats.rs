@@ -135,7 +135,7 @@ mod tests {
         prof.on_store(&mut stats, 0x100, 7);
         assert_eq!(stats.first_consumer_distance[3], 1); // 5 - 2
         assert_eq!(stats.consumers_per_value[2], 1); // two distinct consumers
-        // Epoch with no consumers records nothing.
+                                                     // Epoch with no consumers records nothing.
         prof.on_store(&mut stats, 0x100, 1);
         assert_eq!(stats.consumers_per_value.iter().sum::<u64>(), 1);
         prof.on_load(&mut stats, 0x100, 2, 16);

@@ -168,8 +168,7 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let labels: std::collections::BTreeSet<_> =
-            Bucket::ALL.iter().map(|b| b.label()).collect();
+        let labels: std::collections::BTreeSet<_> = Bucket::ALL.iter().map(|b| b.label()).collect();
         assert_eq!(labels.len(), Bucket::ALL.len());
     }
 }

@@ -108,6 +108,13 @@ pub struct MachineConfig {
     pub sync: SyncModel,
     /// Traffic-class decoupling.
     pub decouple: DecoupleConfig,
+    /// Event-skipping fast-forward: when every core is provably stalled,
+    /// jump the global clock to the next wakeup event instead of
+    /// simulating the idle cycles one at a time. Cycle-exact — results
+    /// are bit-identical to the naive loop (see the cycle-exactness
+    /// regression tests) — so it is on by default; disable it to
+    /// cross-check or to measure the naive loop.
+    pub fast_forward: bool,
 }
 
 impl MachineConfig {
@@ -137,7 +144,15 @@ impl MachineConfig {
             ring: None,
             sync: SyncModel::ChainedPredecessor,
             decouple: DecoupleConfig::none(),
+            fast_forward: true,
         }
+    }
+
+    /// The same machine with the naive (no event-skipping) cycle loop,
+    /// used by benches and cycle-exactness tests.
+    pub fn without_fast_forward(mut self) -> MachineConfig {
+        self.fast_forward = false;
+        self
     }
 
     /// The HELIX-RC machine: conventional plus the default ring cache,

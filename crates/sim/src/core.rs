@@ -4,7 +4,57 @@ use crate::attribution::Bucket;
 use crate::branch::Predictor;
 use helix_ir::interp::Thread;
 use helix_ir::{BinOp, Inst, Reg, SegmentId, UnOp};
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::VecDeque;
+
+/// Dense segment-id set (bit vector), replacing the per-core
+/// `BTreeSet<SegmentId>` on the simulator's hot path. Clearing keeps the
+/// allocation; inserting past the current capacity grows it.
+#[derive(Debug, Clone, Default)]
+pub struct SegSet {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl SegSet {
+    /// An empty set sized for segment ids `0..n_segs`.
+    pub fn new(n_segs: usize) -> SegSet {
+        SegSet {
+            bits: vec![0; n_segs.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Whether `seg` is in the set.
+    pub fn contains(&self, seg: &SegmentId) -> bool {
+        let i = seg.index();
+        self.bits
+            .get(i / 64)
+            .is_some_and(|w| w >> (i % 64) & 1 == 1)
+    }
+
+    /// Insert `seg`; returns whether it was newly inserted.
+    pub fn insert(&mut self, seg: SegmentId) -> bool {
+        let i = seg.index();
+        if i / 64 >= self.bits.len() {
+            self.bits.resize(i / 64 + 1, 0);
+        }
+        let fresh = self.bits[i / 64] >> (i % 64) & 1 == 0;
+        self.bits[i / 64] |= 1 << (i % 64);
+        self.len += fresh as usize;
+        fresh
+    }
+
+    /// Remove every element, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
+        self.len = 0;
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
 
 /// What a core is currently doing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,9 +110,9 @@ pub struct CoreState {
     /// Front-end stall (branch redirect) until this cycle.
     pub fetch_stall_until: u64,
     /// Segments whose `wait` has been granted this iteration.
-    pub granted: BTreeSet<SegmentId>,
+    pub granted: SegSet,
     /// Segments signalled this iteration.
-    pub signaled: BTreeSet<SegmentId>,
+    pub signaled: SegSet,
     /// Outstanding ring loads: (ticket, destination register).
     pub pending_ring: Vec<(u64, Reg)>,
     /// Branch predictor.
@@ -74,8 +124,9 @@ pub struct CoreState {
 }
 
 impl CoreState {
-    /// Fresh core state for a program with `n_regs` registers.
-    pub fn new(id: usize, thread: Thread, n_regs: usize) -> CoreState {
+    /// Fresh core state for a program with `n_regs` registers and
+    /// segment ids below `n_segs`.
+    pub fn new(id: usize, thread: Thread, n_regs: usize, n_segs: usize) -> CoreState {
         CoreState {
             id,
             thread,
@@ -87,8 +138,8 @@ impl CoreState {
             reg_ready: vec![0; n_regs],
             reg_class: vec![Bucket::Computation; n_regs],
             fetch_stall_until: 0,
-            granted: BTreeSet::new(),
-            signaled: BTreeSet::new(),
+            granted: SegSet::new(n_segs),
+            signaled: SegSet::new(n_segs),
             pending_ring: Vec::new(),
             predictor: Predictor::new(),
             rob: VecDeque::new(),
@@ -117,6 +168,29 @@ impl CoreState {
             .filter(|r| self.reg_ready[r.index()] > now)
             .max_by_key(|r| self.reg_ready[r.index()])
             .map(|r| (*r, self.reg_class[r.index()]))
+    }
+
+    /// [`CoreState::blocking_reg`] over an instruction's uses, without
+    /// materializing them (ties resolve to the last use, matching
+    /// `max_by_key`).
+    pub fn blocking_use(&self, inst: &Inst, now: u64) -> Option<(Reg, Bucket)> {
+        let mut worst: Option<Reg> = None;
+        inst.for_each_use(|r| {
+            if self.reg_ready[r.index()] > now
+                && worst.is_none_or(|w| self.reg_ready[r.index()] >= self.reg_ready[w.index()])
+            {
+                worst = Some(r);
+            }
+        });
+        worst.map(|r| (r, self.reg_class[r.index()]))
+    }
+
+    /// [`CoreState::operands_ready`] over an instruction's uses, without
+    /// materializing them.
+    pub fn operands_ready_for(&self, inst: &Inst) -> u64 {
+        let mut ready = 0;
+        inst.for_each_use(|r| ready = ready.max(self.reg_ready[r.index()]));
+        ready
     }
 }
 
@@ -181,7 +255,7 @@ mod tests {
     fn scoreboard_blocking() {
         let p = ProgramBuilder::new("t").finish();
         let thread = Thread::at_entry(&p);
-        let mut core = CoreState::new(0, thread, 4);
+        let mut core = CoreState::new(0, thread, 4, 4);
         core.reg_ready[1] = 50;
         core.reg_class[1] = Bucket::Memory;
         assert_eq!(core.operands_ready(&[Reg(0), Reg(1)]), 50);
@@ -196,11 +270,29 @@ mod tests {
     fn iteration_reset_clears_sync_sets() {
         let p = ProgramBuilder::new("t").finish();
         let thread = Thread::at_entry(&p);
-        let mut core = CoreState::new(3, thread, 1);
+        let mut core = CoreState::new(3, thread, 1, 2);
         core.granted.insert(SegmentId(1));
         core.signaled.insert(SegmentId(1));
         core.reset_iteration();
         assert!(core.granted.is_empty());
         assert!(core.signaled.is_empty());
+    }
+
+    #[test]
+    fn segset_inserts_and_grows() {
+        let mut s = SegSet::new(2);
+        assert!(s.is_empty());
+        assert!(s.insert(SegmentId(1)));
+        assert!(!s.insert(SegmentId(1)), "double insert is idempotent");
+        assert!(s.contains(&SegmentId(1)));
+        assert!(!s.contains(&SegmentId(0)));
+        // Growth beyond the sized capacity.
+        assert!(s.insert(SegmentId(131)));
+        assert!(s.contains(&SegmentId(131)));
+        assert!(!s.contains(&SegmentId(130)));
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(&SegmentId(1)));
+        assert!(!s.contains(&SegmentId(131)));
     }
 }

@@ -6,14 +6,13 @@ use crate::config::{CoreModel, MachineConfig};
 use crate::core::{inst_latency, CoreState, RobEntry, RunState};
 use crate::memsys::{MemStats, MemSystem};
 use crate::race::{RaceDetector, RaceViolation};
-use crate::sync::{required_count, required_sources, SyncState, WaitBlock};
+use crate::sync::{required_count, required_sources_iter, SyncState, WaitBlock};
 use helix_hcc::{LiveOutResolve, LoopPlan};
 use helix_ir::interp::{Env, InterpError, StepEvent, Thread};
 use helix_ir::trace::{InstSite, MemAccess, TraceSink};
 use helix_ir::{BlockId, Inst, Program, Reg, SegmentId, Terminator, Value};
 use helix_ring_cache::{LoadIssue, RingCache, RingStats};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
 
 /// Simulation failure.
 #[derive(Debug)]
@@ -90,9 +89,11 @@ struct ParCtx {
     plan: usize,
     trip: u64,
     r0: Vec<Value>,
-    /// reg -> (defining iteration, core), for LastWriter live-outs.
-    last_writer: BTreeMap<Reg, (u64, usize)>,
-    lastwriter_regs: BTreeSet<Reg>,
+    /// Per-register `(defining iteration, core)` for LastWriter
+    /// live-outs, indexed by `Reg::index` (dense; registers are few).
+    last_writer: Vec<Option<(u64, usize)>>,
+    /// Registers resolved by LastWriter, indexed by `Reg::index`.
+    lastwriter_regs: Vec<bool>,
     seg_ids: Vec<SegmentId>,
 }
 
@@ -102,8 +103,27 @@ enum Mode {
     Parallel(ParCtx),
 }
 
+/// What one core did during one cycle, reported by the per-core tick so
+/// the machine can fast-forward through globally idle stretches.
+#[derive(Debug, Clone, Copy)]
+enum CoreCycle {
+    /// The core issued, retired, or changed state: the cycle cannot be
+    /// part of an idle window.
+    Progress,
+    /// The core provably did nothing and cannot do anything before
+    /// `wake` (with `u64::MAX` meaning "only another core or a ring
+    /// event can wake it"). `bucket` is the stall class the cycle was
+    /// charged to — identical for every cycle of the stalled window.
+    Stalled {
+        /// Bucket the stall cycle was charged to.
+        bucket: Bucket,
+        /// First cycle at which this core's stall condition can change.
+        wake: u64,
+    },
+}
+
 /// Sink capturing the memory accesses of a single step.
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct CapSink {
     mem: Vec<MemAccess>,
 }
@@ -129,7 +149,8 @@ pub struct Machine<'p> {
     race: RaceDetector,
     now: u64,
     mode: Mode,
-    plan_by_header: BTreeMap<BlockId, usize>,
+    /// Plan index per header block, indexed by `BlockId::index` (dense).
+    plan_by_header: Vec<Option<usize>>,
     pending_enter: Option<usize>,
     protocol_errors: Vec<String>,
     loop_invocations: u64,
@@ -137,6 +158,27 @@ pub struct Machine<'p> {
     iteration_lengths: Vec<u32>,
     /// Minimum in-flight iteration this cycle (for the lap bound).
     min_iter: u64,
+    /// Per-core stall buckets of the last fully idle cycle (reused
+    /// buffer for the fast-forward bulk charge).
+    stall_buckets: Vec<Bucket>,
+    /// Per-core sleep: when `now < asleep_until[cid]`, the core is in a
+    /// stall whose end time is deterministic (scoreboard ready time,
+    /// branch redirect, coherence observation, own-ROB retirement), so
+    /// its issue loop need not be re-evaluated; the cycle is charged to
+    /// `sleep_bucket[cid]`. Stalls that external events could cut short
+    /// (ring arrivals, other cores' signals) always report a `u64::MAX`
+    /// wake and never sleep.
+    asleep_until: Vec<u64>,
+    /// Bucket charged to each sleeping core's cycles.
+    sleep_bucket: Vec<Bucket>,
+    /// Per-core wait-check memo `(segment, iteration, confirmed
+    /// sources)`: grant checks are monotone (signal counts only grow,
+    /// observation times never regress), so sources already confirmed
+    /// for this `(segment, iteration)` need not be re-checked. Used only
+    /// on the optimized path.
+    wait_memo: Vec<(SegmentId, u64, u32)>,
+    /// Reused memory-access capture buffer for functional steps.
+    sink: CapSink,
 }
 
 const MAX_ITER_SAMPLES: usize = 1 << 16;
@@ -151,26 +193,30 @@ impl<'p> Machine<'p> {
         cfg.assert_valid();
         let env = Env::for_program(program);
         let n_regs = program.n_regs as usize;
+        let n_segs = plans
+            .iter()
+            .flat_map(|p| &p.segments)
+            .map(|s| s.id.index() + 1)
+            .max()
+            .unwrap_or(0);
         let cores = (0..cfg.cores)
-            .map(|id| CoreState::new(id, Thread::at_entry(program), n_regs))
+            .map(|id| CoreState::new(id, Thread::at_entry(program), n_regs, n_segs))
             .collect();
         let memsys = MemSystem::new(&cfg);
         let ring = cfg.ring.map(RingCache::new);
-        let plan_by_header = plans
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.header, i))
-            .collect();
+        let mut plan_by_header = vec![None; program.graph.blocks.len()];
+        for (i, p) in plans.iter().enumerate() {
+            plan_by_header[p.header.index()] = Some(i);
+        }
         Machine {
             program,
             plans,
             attr: Attribution::new(cfg.cores),
-            cfg,
             env,
             cores,
             memsys,
             ring,
-            sync: SyncState::default(),
+            sync: SyncState::new(n_segs, cfg.cores),
             race: RaceDetector::new(),
             now: 0,
             mode: Mode::Serial,
@@ -181,10 +227,24 @@ impl<'p> Machine<'p> {
             iterations: 0,
             iteration_lengths: Vec::new(),
             min_iter: 0,
+            stall_buckets: vec![Bucket::SerialIdle; cfg.cores],
+            asleep_until: vec![0; cfg.cores],
+            sleep_bucket: vec![Bucket::SerialIdle; cfg.cores],
+            wait_memo: vec![(SegmentId(u32::MAX), u64::MAX, 0); cfg.cores],
+            sink: CapSink::default(),
+            cfg,
         }
     }
 
     /// Run to completion (or until `fuel` cycles elapse).
+    ///
+    /// With `cfg.fast_forward` set (the default), cycles in which every
+    /// core is provably stalled are not simulated one at a time: the
+    /// clock jumps to the earliest wakeup event (scoreboard ready time,
+    /// ROB retirement, coherence-mediated signal observation, or ring
+    /// message arrival) and the skipped cycles are bulk-charged to the
+    /// same attribution buckets the naive loop would have charged.
+    /// Results are cycle-exact either way.
     ///
     /// # Errors
     ///
@@ -194,7 +254,23 @@ impl<'p> Machine<'p> {
             if self.now >= fuel {
                 return Err(SimError::FuelExhausted { cycles: self.now });
             }
-            self.tick_cycle()?;
+            let wake = self.tick_cycle()?;
+            if let Some(wake) = wake {
+                // Every core is stalled until `wake` at the earliest and
+                // the ring has no event before then: jump there (bounded
+                // by the fuel limit, where the naive loop would stop).
+                let target = wake.min(fuel);
+                if target > self.now {
+                    let skip = target - self.now;
+                    for cid in 0..self.cfg.cores {
+                        self.attr.charge_n(cid, self.stall_buckets[cid], skip);
+                    }
+                    if let Some(ring) = &mut self.ring {
+                        ring.fast_forward(target);
+                    }
+                    self.now = target;
+                }
+            }
         }
         Ok(self.report())
     }
@@ -220,7 +296,11 @@ impl<'p> Machine<'p> {
         }
     }
 
-    fn tick_cycle(&mut self) -> Result<(), SimError> {
+    /// Simulate one cycle. Returns `Some(wake)` when the cycle was
+    /// globally idle — every core stalled, no mode transition — and the
+    /// next cycle at which anything can change is `wake`; the caller may
+    /// then skip the clock straight there.
+    fn tick_cycle(&mut self) -> Result<Option<u64>, SimError> {
         if let Some(ring) = &mut self.ring {
             ring.tick();
         }
@@ -234,22 +314,62 @@ impl<'p> Machine<'p> {
             })
             .min()
             .unwrap_or(u64::MAX);
+        let mut all_stalled = true;
+        let mut min_wake = u64::MAX;
         for cid in 0..self.cfg.cores {
-            self.tick_core(cid)?;
-        }
-        self.now += 1;
-        if let Some(plan) = self.pending_enter.take() {
-            self.enter_parallel(plan);
-        }
-        if matches!(self.mode, Mode::Parallel(_)) {
-            let all_done = self.cores.iter().all(|c| {
-                matches!(c.run, RunState::FinishedLoop | RunState::NoWork)
-            });
-            if all_done {
-                self.exit_parallel();
+            if self.now < self.asleep_until[cid] {
+                // Mid-sleep: the stall repeats verbatim; charge it
+                // without re-evaluating the issue loop.
+                let bucket = self.sleep_bucket[cid];
+                self.attr.charge(cid, bucket);
+                self.stall_buckets[cid] = bucket;
+                min_wake = min_wake.min(self.asleep_until[cid]);
+                continue;
+            }
+            match self.tick_core(cid)? {
+                CoreCycle::Progress => all_stalled = false,
+                CoreCycle::Stalled { bucket, wake } => {
+                    self.stall_buckets[cid] = bucket;
+                    min_wake = min_wake.min(wake);
+                    if self.cfg.fast_forward && wake != u64::MAX {
+                        // Deterministic wake: sleep through the stall.
+                        self.asleep_until[cid] = wake;
+                        self.sleep_bucket[cid] = bucket;
+                    }
+                }
             }
         }
-        Ok(())
+        self.now += 1;
+        let mut transition = false;
+        if let Some(plan) = self.pending_enter.take() {
+            self.enter_parallel(plan);
+            transition = true;
+        }
+        if matches!(self.mode, Mode::Parallel(_)) {
+            let all_done = self
+                .cores
+                .iter()
+                .all(|c| matches!(c.run, RunState::FinishedLoop | RunState::NoWork));
+            if all_done {
+                self.exit_parallel();
+                transition = true;
+            }
+        }
+        if !self.cfg.fast_forward || !all_stalled || transition {
+            return Ok(None);
+        }
+        if min_wake <= self.now {
+            return Ok(None); // a core wakes immediately: nothing to skip
+        }
+        // Ring arrivals can grant decoupled waits, complete pending
+        // loads, and drain backpressured injection queues: never skip
+        // past the next ring event.
+        let ring_bound = self
+            .ring
+            .as_ref()
+            .and_then(|r| r.next_event_at())
+            .unwrap_or(u64::MAX);
+        Ok(Some(min_wake.min(ring_bound)))
     }
 
     /// Enter parallel execution of `plans[pidx]`; the orchestrator's
@@ -299,20 +419,24 @@ impl<'p> Machine<'p> {
         }
         self.sync.begin_loop();
         self.race.begin_loop();
+        self.asleep_until.iter_mut().for_each(|t| *t = 0);
+        self.wait_memo
+            .iter_mut()
+            .for_each(|m| *m = (SegmentId(u32::MAX), u64::MAX, 0));
         if let Some(ring) = &mut self.ring {
             ring.begin_loop();
         }
-        let lastwriter_regs = plan
-            .liveouts
-            .iter()
-            .filter(|l| l.resolve == LiveOutResolve::LastWriter)
-            .map(|l| l.reg)
-            .collect();
+        let mut lastwriter_regs = vec![false; self.program.n_regs as usize];
+        for l in &plan.liveouts {
+            if l.resolve == LiveOutResolve::LastWriter {
+                lastwriter_regs[l.reg.index()] = true;
+            }
+        }
         self.mode = Mode::Parallel(ParCtx {
             plan: pidx,
             trip,
             r0,
-            last_writer: BTreeMap::new(),
+            last_writer: vec![None; self.program.n_regs as usize],
             lastwriter_regs,
             seg_ids: plan.segments.iter().map(|s| s.id).collect(),
         });
@@ -368,16 +492,18 @@ impl<'p> Machine<'p> {
         let combine_cost = (plan.reductions.len() * self.cfg.cores) as u64;
         if combine_cost > 0 {
             self.now += combine_cost;
-            self.attr
-                .charge_n(0, Bucket::AdditionalInsts, combine_cost);
+            self.attr.charge_n(0, Bucket::AdditionalInsts, combine_cost);
             for cid in 1..self.cfg.cores {
                 self.attr.charge_n(cid, Bucket::SerialIdle, combine_cost);
             }
         }
-        for (reg, (_iter, core)) in &ctx.last_writer {
-            regs[reg.index()] = self.cores[*core].thread.regs[reg.index()];
+        for (reg, entry) in ctx.last_writer.iter().enumerate() {
+            if let Some((_iter, core)) = entry {
+                regs[reg] = self.cores[*core].thread.regs[reg];
+            }
         }
 
+        self.asleep_until.iter_mut().for_each(|t| *t = 0);
         let core0 = &mut self.cores[0];
         core0.thread.regs = regs;
         core0.thread.block = plan.exit_resume;
@@ -392,35 +518,66 @@ impl<'p> Machine<'p> {
         }
     }
 
-    /// Wait-grant check for `core` at `iter` on segment `seg`.
-    fn check_wait(&self, core: usize, seg: SegmentId, iter: u64) -> Result<(), WaitBlock> {
+    /// Wait-grant check for `core` at `iter` on segment `seg`. On
+    /// failure also reports the earliest cycle the check's outcome can
+    /// change on its own (`u64::MAX` when only another core's signal or
+    /// a ring arrival can change it — both covered by other wake
+    /// sources).
+    fn check_wait(
+        &mut self,
+        core: usize,
+        seg: SegmentId,
+        iter: u64,
+    ) -> Result<(), (WaitBlock, u64)> {
         let n = self.cfg.cores;
-        for src in required_sources(self.cfg.sync, core, n) {
-            let k = required_count(src, iter, n);
-            if k == 0 {
-                continue;
+        // Sources confirmed on an earlier cycle stay confirmed: signal
+        // counts only grow and observation deadlines never move. Resume
+        // the scan where it last stopped (optimized path only; the naive
+        // loop re-checks everything, like the original per-cycle loop).
+        let mut confirmed = if self.cfg.fast_forward {
+            match self.wait_memo[core] {
+                (s, i, c) if s == seg && i == iter => c as usize,
+                _ => 0,
             }
-            if self.cfg.decouple.synch {
-                let ring = self.ring.as_ref().expect("decoupled sync needs a ring");
-                if ring.signal_count(core, seg, src) < k {
-                    return Err(if self.sync.count(seg, src) < k {
-                        WaitBlock::Dependence
-                    } else {
-                        WaitBlock::Communication
-                    });
+        } else {
+            0
+        };
+        let result = (|| {
+            for src in required_sources_iter(self.cfg.sync, core, n).skip(confirmed) {
+                let k = required_count(src, iter, n);
+                if k == 0 {
+                    confirmed += 1;
+                    continue;
                 }
-            } else {
-                match self.sync.kth_time(seg, src, k) {
-                    None => return Err(WaitBlock::Dependence),
-                    Some(t) => {
-                        if self.now < t + self.cfg.c2c_latency as u64 + SPIN_OVERHEAD {
-                            return Err(WaitBlock::Communication);
+                if self.cfg.decouple.synch {
+                    let ring = self.ring.as_ref().expect("decoupled sync needs a ring");
+                    if ring.signal_count(core, seg, src) < k {
+                        let block = if self.sync.count(seg, src) < k {
+                            WaitBlock::Dependence
+                        } else {
+                            WaitBlock::Communication
+                        };
+                        return Err((block, u64::MAX));
+                    }
+                } else {
+                    match self.sync.kth_time(seg, src, k) {
+                        None => return Err((WaitBlock::Dependence, u64::MAX)),
+                        Some(t) => {
+                            let observe_at = t + self.cfg.c2c_latency as u64 + SPIN_OVERHEAD;
+                            if self.now < observe_at {
+                                return Err((WaitBlock::Communication, observe_at));
+                            }
                         }
                     }
                 }
+                confirmed += 1;
             }
+            Ok(())
+        })();
+        if self.cfg.fast_forward {
+            self.wait_memo[core] = (seg, iter, confirmed as u32);
         }
-        Ok(())
+        result
     }
 
     /// Route a load and return `(completion cycle, stall class)`, or
@@ -442,7 +599,9 @@ impl<'p> Machine<'p> {
         if decoupled {
             let ring = self.ring.as_mut().expect("decoupling requires ring");
             match ring.load(cid, addr) {
-                LoadIssue::Hit { ready_at } => Some((ready_at.max(issue_at), Bucket::Communication)),
+                LoadIssue::Hit { ready_at } => {
+                    Some((ready_at.max(issue_at), Bucket::Communication))
+                }
                 LoadIssue::Pending { ticket } => {
                     self.cores[cid].pending_ring.push((ticket, dst));
                     Some((u64::MAX, Bucket::Communication))
@@ -520,9 +679,7 @@ impl<'p> Machine<'p> {
     fn try_start_iteration(&mut self, cid: usize, iter: u64) -> bool {
         // One-lap-ahead bound: keeps at most two signals per segment in
         // flight (paper §4's last code property).
-        let bound = self
-            .min_iter
-            .saturating_add(2 * self.cfg.cores as u64);
+        let bound = self.min_iter.saturating_add(2 * self.cfg.cores as u64);
         if iter > bound {
             return false;
         }
@@ -542,9 +699,27 @@ impl<'p> Machine<'p> {
         true
     }
 
-    /// One cycle of core `cid`.
-    fn tick_core(&mut self, cid: usize) -> Result<(), SimError> {
+    /// Charge one cycle of a pure-idle run state. These states change
+    /// only at mode transitions (which clear the sleep), so on the
+    /// optimized path the core sleeps indefinitely and skips the
+    /// per-cycle re-evaluation entirely.
+    fn idle_cycle(&mut self, cid: usize, bucket: Bucket) -> CoreCycle {
+        self.attr.charge(cid, bucket);
+        if self.cfg.fast_forward {
+            self.asleep_until[cid] = u64::MAX;
+            self.sleep_bucket[cid] = bucket;
+        }
+        CoreCycle::Stalled {
+            bucket,
+            wake: u64::MAX,
+        }
+    }
+
+    /// One cycle of core `cid`. Reports whether the core made progress
+    /// or is provably stalled (and until when), for the fast-forward.
+    fn tick_core(&mut self, cid: usize) -> Result<CoreCycle, SimError> {
         // Resolve completed ring loads.
+        let mut resolved_any = false;
         if !self.cores[cid].pending_ring.is_empty() {
             let mut resolved = Vec::new();
             if let Some(ring) = &mut self.ring {
@@ -559,28 +734,33 @@ impl<'p> Machine<'p> {
                 for (ticket, reg, ready) in resolved {
                     ring.retire_load(ticket);
                     self.cores[cid].reg_ready[reg.index()] = ready;
+                    resolved_any = true;
                 }
             }
         }
 
+        let mut lap_started = false;
         match self.cores[cid].run {
             RunState::SerialIdle | RunState::Done => {
-                self.attr.charge(cid, Bucket::SerialIdle);
-                return Ok(());
+                return Ok(self.idle_cycle(cid, Bucket::SerialIdle));
             }
             RunState::NoWork => {
-                self.attr.charge(cid, Bucket::LowTripCount);
-                return Ok(());
+                return Ok(self.idle_cycle(cid, Bucket::LowTripCount));
             }
             RunState::FinishedLoop => {
-                self.attr.charge(cid, Bucket::IterationImbalance);
-                return Ok(());
+                return Ok(self.idle_cycle(cid, Bucket::IterationImbalance));
             }
             RunState::LapHold { iter } => {
                 if !self.try_start_iteration(cid, iter) {
                     self.attr.charge(cid, Bucket::Communication);
-                    return Ok(());
+                    // The lap bound only moves when another core
+                    // finishes an iteration.
+                    return Ok(CoreCycle::Stalled {
+                        bucket: Bucket::Communication,
+                        wake: u64::MAX,
+                    });
                 }
+                lap_started = true;
                 // Started: fall through into execution this cycle.
             }
             RunState::SerialActive | RunState::Iter { .. } => {}
@@ -588,44 +768,50 @@ impl<'p> Machine<'p> {
         if self.cores[cid].thread.finished {
             self.cores[cid].run = RunState::Done;
             self.attr.charge(cid, Bucket::SerialIdle);
-            return Ok(());
+            return Ok(CoreCycle::Progress); // state changed this cycle
         }
 
-        match self.cfg.core {
-            CoreModel::InOrder { width } => self.tick_inorder(cid, width),
-            CoreModel::OutOfOrder { width, rob } => self.tick_ooo(cid, width, rob),
+        let cycle = match self.cfg.core {
+            CoreModel::InOrder { width } => self.tick_inorder(cid, width)?,
+            CoreModel::OutOfOrder { width, rob } => self.tick_ooo(cid, width, rob)?,
+        };
+        if resolved_any || lap_started {
+            return Ok(CoreCycle::Progress);
         }
+        Ok(cycle)
     }
 
     /// In-order, stall-on-use issue of up to `width` instructions.
-    fn tick_inorder(&mut self, cid: usize, width: u32) -> Result<(), SimError> {
+    fn tick_inorder(&mut self, cid: usize, width: u32) -> Result<CoreCycle, SimError> {
         let now = self.now;
         let mut issued = 0u32;
         let mut any_original = false;
         let mut any_added = false;
         let mut stall: Option<Bucket> = None;
+        let mut wake = u64::MAX;
 
         while issued < width {
             if now < self.cores[cid].fetch_stall_until {
                 if issued == 0 {
                     stall = Some(Bucket::Computation); // branch redirect bubble
+                    wake = self.cores[cid].fetch_stall_until;
                 }
                 break;
             }
             // Terminator next?
             if let Some(term) = self.cores[cid].thread.peek_terminator(self.program) {
-                let term = term.clone();
-                if let Terminator::Branch { cond, .. } = &term {
+                if let Terminator::Branch { cond, .. } = term {
                     if let Some(r) = cond.reg() {
-                        if let Some((_, class)) = self.cores[cid].blocking_reg(&[r], now) {
+                        if let Some((r, class)) = self.cores[cid].blocking_reg(&[r], now) {
                             if issued == 0 {
                                 stall = Some(class);
+                                wake = self.cores[cid].reg_ready[r.index()];
                             }
                             break;
                         }
                     }
                 }
-                let stop = self.issue_terminator(cid, &term)?;
+                let stop = self.issue_terminator(cid, term)?;
                 issued += 1;
                 any_original = true;
                 if stop {
@@ -636,9 +822,8 @@ impl<'p> Machine<'p> {
             let Some(inst) = self.cores[cid].thread.peek(self.program) else {
                 break; // finished
             };
-            let inst = inst.clone();
 
-            match &inst {
+            match inst {
                 Inst::Wait { seg } => {
                     if !self.cores[cid].granted.contains(seg) {
                         let iter = match self.cores[cid].run {
@@ -651,12 +836,13 @@ impl<'p> Machine<'p> {
                                 Ok(()) => {
                                     self.cores[cid].granted.insert(*seg);
                                 }
-                                Err(block) => {
+                                Err((block, observe_at)) => {
                                     if issued == 0 {
                                         stall = Some(match block {
                                             WaitBlock::Dependence => Bucket::DependenceWaiting,
                                             WaitBlock::Communication => Bucket::Communication,
                                         });
+                                        wake = observe_at;
                                     }
                                     break;
                                 }
@@ -680,6 +866,7 @@ impl<'p> Machine<'p> {
                             if !ring.signal(cid, seg) {
                                 if issued == 0 {
                                     stall = Some(Bucket::Communication);
+                                    wake = u64::MAX; // drains at a ring event
                                 }
                                 break;
                             }
@@ -690,11 +877,13 @@ impl<'p> Machine<'p> {
                     self.step_functional(cid)?;
                     issued += 1;
                 }
-                Inst::Load { addr, shared, dst, .. } => {
-                    let uses: Vec<Reg> = inst.uses();
-                    if let Some((_, class)) = self.cores[cid].blocking_reg(&uses, now) {
+                Inst::Load {
+                    addr, shared, dst, ..
+                } => {
+                    if let Some((r, class)) = self.cores[cid].blocking_use(inst, now) {
                         if issued == 0 {
                             stall = Some(class);
+                            wake = self.cores[cid].reg_ready[r.index()];
                         }
                         break;
                     }
@@ -702,6 +891,7 @@ impl<'p> Machine<'p> {
                     let Some((done, class)) = self.route_load(cid, a, *shared, *dst, now) else {
                         if issued == 0 {
                             stall = Some(Bucket::Communication);
+                            wake = u64::MAX; // ring backpressure
                         }
                         break;
                     };
@@ -717,10 +907,10 @@ impl<'p> Machine<'p> {
                     }
                 }
                 Inst::Store { addr, shared, .. } => {
-                    let uses: Vec<Reg> = inst.uses();
-                    if let Some((_, class)) = self.cores[cid].blocking_reg(&uses, now) {
+                    if let Some((r, class)) = self.cores[cid].blocking_use(inst, now) {
                         if issued == 0 {
                             stall = Some(class);
+                            wake = self.cores[cid].reg_ready[r.index()];
                         }
                         break;
                     }
@@ -728,6 +918,7 @@ impl<'p> Machine<'p> {
                     if !self.route_store(cid, a, *shared, now) {
                         if issued == 0 {
                             stall = Some(Bucket::Communication);
+                            wake = u64::MAX; // ring backpressure
                         }
                         break;
                     }
@@ -740,14 +931,14 @@ impl<'p> Machine<'p> {
                     }
                 }
                 _ => {
-                    let uses: Vec<Reg> = inst.uses();
-                    if let Some((_, class)) = self.cores[cid].blocking_reg(&uses, now) {
+                    if let Some((r, class)) = self.cores[cid].blocking_use(inst, now) {
                         if issued == 0 {
                             stall = Some(class);
+                            wake = self.cores[cid].reg_ready[r.index()];
                         }
                         break;
                     }
-                    let lat = inst_latency(&inst) as u64;
+                    let lat = inst_latency(inst) as u64;
                     let dst = inst.def();
                     self.step_functional(cid)?;
                     if let Some(d) = dst {
@@ -778,7 +969,15 @@ impl<'p> Machine<'p> {
             stall.unwrap_or(Bucket::Computation)
         };
         self.attr.charge(cid, bucket);
-        Ok(())
+        if issued > 0 {
+            return Ok(CoreCycle::Progress);
+        }
+        // A `None` stall with zero issue is unexpected; report the next
+        // cycle as the wake time so the fast-forward stays conservative.
+        if stall.is_none() {
+            wake = now + 1;
+        }
+        Ok(CoreCycle::Stalled { bucket, wake })
     }
 
     /// Whether `cid`'s program counter is inside a re-computation
@@ -794,12 +993,13 @@ impl<'p> Machine<'p> {
     /// Execute the next instruction functionally, feeding the race
     /// detector.
     fn step_functional(&mut self, cid: usize) -> Result<StepEvent, SimError> {
-        let mut sink = CapSink::default();
+        self.sink.mem.clear();
         let event = self.cores[cid]
             .thread
-            .step(self.program, &mut self.env, &mut sink)?;
+            .step(self.program, &mut self.env, &mut self.sink)?;
         if matches!(self.mode, Mode::Parallel(_)) {
-            for access in sink.mem {
+            let mem = std::mem::take(&mut self.sink.mem);
+            for access in &mem {
                 let in_window = access
                     .shared
                     .map(|t| {
@@ -816,6 +1016,8 @@ impl<'p> Machine<'p> {
                     in_window,
                 );
             }
+            // Hand the buffer back for reuse.
+            self.sink.mem = mem;
             // LastWriter live-out tracking.
             if let Mode::Parallel(ctx) = &mut self.mode {
                 if let RunState::Iter { iter, .. } = self.cores[cid].run {
@@ -823,18 +1025,18 @@ impl<'p> Machine<'p> {
                     // stepped), so check the previous instruction.
                     let th = &self.cores[cid].thread;
                     if th.ip > 0 {
-                        if let Some(prev) = self
-                            .program
-                            .graph
-                            .block(th.block)
-                            .insts
-                            .get(th.ip - 1)
+                        if let Some(prev) = self.program.graph.block(th.block).insts.get(th.ip - 1)
                         {
                             if let Some(d) = prev.def() {
-                                if ctx.lastwriter_regs.contains(&d) {
-                                    let e = ctx.last_writer.entry(d).or_insert((iter, cid));
-                                    if iter >= e.0 {
-                                        *e = (iter, cid);
+                                if ctx.lastwriter_regs[d.index()] {
+                                    let e = &mut ctx.last_writer[d.index()];
+                                    match e {
+                                        Some((last, core)) if iter >= *last => {
+                                            *last = iter;
+                                            *core = cid;
+                                        }
+                                        None => *e = Some((iter, cid)),
+                                        _ => {}
                                     }
                                 }
                             }
@@ -861,8 +1063,7 @@ impl<'p> Machine<'p> {
             let taken = to == *then_;
             let correct = self.cores[cid].predictor.update(from, taken);
             if !correct {
-                self.cores[cid].fetch_stall_until =
-                    now + 1 + self.cfg.mispredict_penalty as u64;
+                self.cores[cid].fetch_stall_until = now + 1 + self.cfg.mispredict_penalty as u64;
             }
         }
         Ok(self.post_flow(cid, from, to))
@@ -870,7 +1071,7 @@ impl<'p> Machine<'p> {
 
     /// Out-of-order dispatch of up to `width` instructions into a
     /// `rob_cap`-entry window.
-    fn tick_ooo(&mut self, cid: usize, width: u32, rob_cap: u32) -> Result<(), SimError> {
+    fn tick_ooo(&mut self, cid: usize, width: u32, rob_cap: u32) -> Result<CoreCycle, SimError> {
         let now = self.now;
         // Retire completed entries in order.
         let mut retired = 0;
@@ -888,11 +1089,20 @@ impl<'p> Machine<'p> {
         let mut any_original = false;
         let mut any_added = false;
         let mut stall: Option<Bucket> = None;
+        let mut wake = u64::MAX;
+        // Whatever else happens, the ROB head's completion re-checks the
+        // pipe (retirement frees slots and fences).
+        let rob_head_wake = self.cores[cid]
+            .rob
+            .front()
+            .map(|e| e.complete.max(now + 1))
+            .unwrap_or(u64::MAX);
 
         while dispatched < width {
             if now < self.cores[cid].fetch_stall_until {
                 if dispatched == 0 {
                     stall = Some(Bucket::Computation);
+                    wake = self.cores[cid].fetch_stall_until;
                 }
                 break;
             }
@@ -905,13 +1115,13 @@ impl<'p> Machine<'p> {
                             .map(|e| e.class)
                             .unwrap_or(Bucket::Computation),
                     );
+                    wake = rob_head_wake;
                 }
                 break;
             }
             if let Some(term) = self.cores[cid].thread.peek_terminator(self.program) {
-                let term = term.clone();
                 // Branch resolution happens when the condition is ready.
-                let resolve_at = match &term {
+                let resolve_at = match term {
                     Terminator::Branch { cond, .. } => cond
                         .reg()
                         .map(|r| self.cores[cid].reg_ready[r.index()])
@@ -922,6 +1132,7 @@ impl<'p> Machine<'p> {
                 if resolve_at == u64::MAX {
                     if dispatched == 0 {
                         stall = Some(Bucket::Communication);
+                        wake = u64::MAX; // awaits an outstanding ring load
                     }
                     break;
                 }
@@ -954,8 +1165,7 @@ impl<'p> Machine<'p> {
             let Some(inst) = self.cores[cid].thread.peek(self.program) else {
                 break;
             };
-            let inst = inst.clone();
-            match &inst {
+            match inst {
                 Inst::Wait { .. } | Inst::Signal { .. } => {
                     // Fence: dispatch only with an empty window.
                     if !self.cores[cid].rob.is_empty() {
@@ -967,23 +1177,27 @@ impl<'p> Machine<'p> {
                                     .map(|e| e.class)
                                     .unwrap_or(Bucket::Computation),
                             );
+                            wake = rob_head_wake;
                         }
                         break;
                     }
                     // Reuse the in-order logic for grant/record by
                     // falling back to a single-instruction in-order step.
                     let before = self.cores[cid].thread.dyn_insts;
-                    self.inorder_sync_step(cid, &inst, &mut stall, dispatched)?;
+                    self.inorder_sync_step(cid, inst, &mut stall, &mut wake, dispatched)?;
                     if self.cores[cid].thread.dyn_insts == before {
                         break; // blocked
                     }
                     dispatched += 1;
                 }
-                Inst::Load { addr, shared, dst, .. } => {
-                    let ops_ready = self.cores[cid].operands_ready(&inst.uses()).max(now);
+                Inst::Load {
+                    addr, shared, dst, ..
+                } => {
+                    let ops_ready = self.cores[cid].operands_ready_for(inst).max(now);
                     if ops_ready == u64::MAX {
                         if dispatched == 0 {
                             stall = Some(Bucket::Communication);
+                            wake = u64::MAX; // awaits an outstanding ring load
                         }
                         break; // operand awaits an outstanding ring load
                     }
@@ -992,6 +1206,7 @@ impl<'p> Machine<'p> {
                     else {
                         if dispatched == 0 {
                             stall = Some(Bucket::Communication);
+                            wake = u64::MAX; // ring backpressure
                         }
                         break;
                     };
@@ -1009,10 +1224,11 @@ impl<'p> Machine<'p> {
                     }
                 }
                 Inst::Store { addr, shared, .. } => {
-                    let ops_ready = self.cores[cid].operands_ready(&inst.uses()).max(now);
+                    let ops_ready = self.cores[cid].operands_ready_for(inst).max(now);
                     if ops_ready == u64::MAX {
                         if dispatched == 0 {
                             stall = Some(Bucket::Communication);
+                            wake = u64::MAX; // awaits an outstanding ring load
                         }
                         break;
                     }
@@ -1020,6 +1236,7 @@ impl<'p> Machine<'p> {
                     if !self.route_store(cid, a, *shared, ops_ready) {
                         if dispatched == 0 {
                             stall = Some(Bucket::Communication);
+                            wake = u64::MAX; // ring backpressure
                         }
                         break;
                     }
@@ -1036,14 +1253,15 @@ impl<'p> Machine<'p> {
                     }
                 }
                 _ => {
-                    let ops_ready = self.cores[cid].operands_ready(&inst.uses()).max(now);
+                    let ops_ready = self.cores[cid].operands_ready_for(inst).max(now);
                     if ops_ready == u64::MAX {
                         if dispatched == 0 {
                             stall = Some(Bucket::Communication);
+                            wake = u64::MAX; // awaits an outstanding ring load
                         }
                         break;
                     }
-                    let lat = inst_latency(&inst) as u64;
+                    let lat = inst_latency(inst) as u64;
                     let dst = inst.def();
                     self.step_functional(cid)?;
                     let complete = ops_ready.saturating_add(lat);
@@ -1078,7 +1296,19 @@ impl<'p> Machine<'p> {
             stall.unwrap_or(Bucket::Computation)
         };
         self.attr.charge(cid, bucket);
-        Ok(())
+        if dispatched > 0 || retired > 0 {
+            return Ok(CoreCycle::Progress);
+        }
+        if stall.is_none() {
+            wake = now + 1; // unexpected shape: stay conservative
+        }
+        // Retirement of the ROB head is always a wake source (it can
+        // unblock fences and the window) even when the recorded stall is
+        // something else.
+        Ok(CoreCycle::Stalled {
+            bucket,
+            wake: wake.min(rob_head_wake),
+        })
     }
 
     /// Shared wait/signal semantics used by the OoO model.
@@ -1087,6 +1317,7 @@ impl<'p> Machine<'p> {
         cid: usize,
         inst: &Inst,
         stall: &mut Option<Bucket>,
+        wake: &mut u64,
         dispatched: u32,
     ) -> Result<(), SimError> {
         match inst {
@@ -1101,12 +1332,13 @@ impl<'p> Machine<'p> {
                             Ok(()) => {
                                 self.cores[cid].granted.insert(*seg);
                             }
-                            Err(block) => {
+                            Err((block, observe_at)) => {
                                 if dispatched == 0 {
                                     *stall = Some(match block {
                                         WaitBlock::Dependence => Bucket::DependenceWaiting,
                                         WaitBlock::Communication => Bucket::Communication,
                                     });
+                                    *wake = observe_at;
                                 }
                                 return Ok(());
                             }
@@ -1131,6 +1363,7 @@ impl<'p> Machine<'p> {
                         if !ring.signal(cid, seg) {
                             if dispatched == 0 {
                                 *stall = Some(Bucket::Communication);
+                                *wake = u64::MAX; // drains at a ring event
                             }
                             return Ok(());
                         }
@@ -1155,7 +1388,7 @@ impl<'p> Machine<'p> {
         match &self.mode {
             Mode::Serial => {
                 if cid == 0 {
-                    if let Some(&pidx) = self.plan_by_header.get(&to) {
+                    if let Some(pidx) = self.plan_by_header.get(to.index()).copied().flatten() {
                         let plan = &self.plans[pidx];
                         let regs = &self.cores[0].thread.regs;
                         let counter = regs[plan.counter.index()].as_int();

@@ -279,7 +279,7 @@ mod tests {
         let mut m = MemSystem::new(&cfg);
         m.access(0, 0x3000, false, 0);
         m.access(1, 0x3000, false, 50); // both share
-        // Core 0 writes: upgrade, invalidating core 1.
+                                        // Core 0 writes: upgrade, invalidating core 1.
         let t = m.access(0, 0x3000, true, 100);
         assert!(t >= 100 + cfg.c2c_latency as u64);
         // Core 1 must now miss.

@@ -7,7 +7,6 @@
 //! the failure-injection tests).
 
 use helix_ir::{SegmentId, SharedTag};
-use std::collections::BTreeMap;
 
 /// A detected violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,10 +51,102 @@ struct WordState {
     seg: Option<SegmentId>,
 }
 
+/// Open-addressing hash map from word index to [`WordState`],
+/// specialized for the detector's hot path: one probe per memory access,
+/// no per-entry allocation, clearing keeps the table. Word indices are
+/// byte addresses divided by 8, so `u64::MAX` is a safe empty sentinel.
+#[derive(Debug)]
+struct WordMap {
+    keys: Vec<u64>,
+    vals: Vec<WordState>,
+    live: usize,
+    mask: usize,
+}
+
+const EMPTY_KEY: u64 = u64::MAX;
+
+impl WordMap {
+    fn with_capacity_pow2(cap: usize) -> WordMap {
+        debug_assert!(cap.is_power_of_two());
+        WordMap {
+            keys: vec![EMPTY_KEY; cap],
+            vals: vec![
+                WordState {
+                    core: 0,
+                    wrote: false,
+                    seg: None,
+                };
+                cap
+            ],
+            live: 0,
+            mask: cap - 1,
+        }
+    }
+
+    /// Fibonacci multiplicative hash: cheap and well-distributed for the
+    /// mostly-sequential addresses the workloads touch.
+    fn slot_of(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize & self.mask
+    }
+
+    /// Index of `key`'s slot, or of the empty slot where it belongs.
+    fn probe(&self, key: u64) -> usize {
+        let mut i = self.slot_of(key);
+        loop {
+            let k = self.keys[i];
+            if k == key || k == EMPTY_KEY {
+                return i;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn get_mut(&mut self, key: u64) -> Option<&mut WordState> {
+        let i = self.probe(key);
+        (self.keys[i] == key).then(|| &mut self.vals[i])
+    }
+
+    fn insert(&mut self, key: u64, val: WordState) {
+        if (self.live + 1) * 4 > self.keys.len() * 3 {
+            self.grow();
+        }
+        let i = self.probe(key);
+        if self.keys[i] == EMPTY_KEY {
+            self.live += 1;
+        }
+        self.keys[i] = key;
+        self.vals[i] = val;
+    }
+
+    fn grow(&mut self) {
+        let bigger = WordMap::with_capacity_pow2(self.keys.len() * 2);
+        let old = std::mem::replace(self, bigger);
+        for (k, v) in old.keys.into_iter().zip(old.vals) {
+            if k != EMPTY_KEY {
+                let i = self.probe(k);
+                self.keys[i] = k;
+                self.vals[i] = v;
+                self.live += 1;
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.keys.iter_mut().for_each(|k| *k = EMPTY_KEY);
+        self.live = 0;
+    }
+}
+
+impl Default for WordMap {
+    fn default() -> Self {
+        WordMap::with_capacity_pow2(1 << 12)
+    }
+}
+
 /// The detector; reset per parallel loop.
 #[derive(Debug, Default)]
 pub struct RaceDetector {
-    words: BTreeMap<u64, WordState>,
+    words: WordMap,
     /// Violations found (capped).
     pub violations: Vec<RaceViolation>,
 }
@@ -102,7 +193,7 @@ impl RaceDetector {
         for w in first..=last {
             let seg = tag.map(|t| t.seg);
             let mut violation = None;
-            match self.words.get_mut(&w) {
+            match self.words.get_mut(w) {
                 None => {
                     self.words.insert(
                         w,
@@ -213,6 +304,19 @@ mod tests {
         d.begin_loop();
         d.on_access(1, 0x100, 8, true, None, false);
         assert!(d.violations.is_empty());
+    }
+
+    /// The open-addressing word table keeps state across growth.
+    #[test]
+    fn detector_scales_past_table_growth() {
+        let mut d = RaceDetector::new();
+        for k in 0..20_000u64 {
+            d.on_access(0, 0x1000 + k * 8, 8, true, None, false);
+        }
+        assert!(d.violations.is_empty());
+        // A second core touching the very first word must still conflict.
+        d.on_access(1, 0x1000, 8, false, None, false);
+        assert!(!d.violations.is_empty(), "early state lost during growth");
     }
 
     #[test]

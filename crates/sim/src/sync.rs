@@ -8,28 +8,58 @@
 
 use crate::config::SyncModel;
 use helix_ir::SegmentId;
-use std::collections::BTreeMap;
 
-/// Record of executed signals per `(segment, core)`.
-#[derive(Debug, Clone, Default)]
+/// Record of executed signals per `(segment, core)`, stored densely:
+/// slot `seg.index() * cores + core` holds that pair's signal times.
+/// The table grows on demand, so arbitrary segment ids stay valid.
+#[derive(Debug, Clone)]
 pub struct SyncState {
-    sent: BTreeMap<(SegmentId, usize), Vec<u64>>,
+    sent: Vec<Vec<u64>>,
+    cores: usize,
+}
+
+impl Default for SyncState {
+    /// Single-core bookkeeping; real machines use [`SyncState::new`].
+    fn default() -> Self {
+        SyncState::new(0, 1)
+    }
 }
 
 impl SyncState {
-    /// Reset at parallel-loop entry.
+    /// Bookkeeping for `cores` cores and (at least) `n_segs` segments.
+    pub fn new(n_segs: usize, cores: usize) -> SyncState {
+        SyncState {
+            sent: vec![Vec::new(); n_segs * cores.max(1)],
+            cores: cores.max(1),
+        }
+    }
+
+    fn slot(&self, seg: SegmentId, core: usize) -> usize {
+        seg.index() * self.cores + core
+    }
+
+    /// Reset at parallel-loop entry (allocations are kept).
     pub fn begin_loop(&mut self) {
-        self.sent.clear();
+        for v in &mut self.sent {
+            v.clear();
+        }
     }
 
     /// Core `core` executed `signal seg` at cycle `now`.
     pub fn record_signal(&mut self, seg: SegmentId, core: usize, now: u64) {
-        self.sent.entry((seg, core)).or_default().push(now);
+        let slot = self.slot(seg, core);
+        if slot >= self.sent.len() {
+            self.sent.resize(slot + 1, Vec::new());
+        }
+        self.sent[slot].push(now);
     }
 
     /// Number of signals core `core` has executed for `seg`.
     pub fn count(&self, seg: SegmentId, core: usize) -> u64 {
-        self.sent.get(&(seg, core)).map(|v| v.len() as u64).unwrap_or(0)
+        self.sent
+            .get(self.slot(seg, core))
+            .map(|v| v.len() as u64)
+            .unwrap_or(0)
     }
 
     /// Execution time of the `k`-th (1-based) signal, if it happened.
@@ -38,7 +68,7 @@ impl SyncState {
             return Some(0);
         }
         self.sent
-            .get(&(seg, core))
+            .get(self.slot(seg, core))
             .and_then(|v| v.get((k - 1) as usize))
             .copied()
     }
@@ -59,16 +89,30 @@ pub fn required_count(src: usize, iter: u64, n: usize) -> u64 {
 
 /// The set of cores whose signals gate `core`'s wait under `model`.
 pub fn required_sources(model: SyncModel, core: usize, n: usize) -> Vec<usize> {
-    match model {
-        SyncModel::AllPredecessors => (0..n).filter(|&c| c != core).collect(),
-        SyncModel::ChainedPredecessor => {
-            if n <= 1 {
-                Vec::new()
-            } else {
-                vec![(core + n - 1) % n]
-            }
+    required_sources_iter(model, core, n).collect()
+}
+
+/// [`required_sources`] without materializing the list (the simulator
+/// evaluates this once per waiting core per cycle).
+pub fn required_sources_iter(
+    model: SyncModel,
+    core: usize,
+    n: usize,
+) -> impl Iterator<Item = usize> + Clone {
+    let (range, chained) = match model {
+        SyncModel::AllPredecessors => (0..n, false),
+        SyncModel::ChainedPredecessor if n > 1 => (0..1, true),
+        SyncModel::ChainedPredecessor => (0..0, true),
+    };
+    range.filter_map(move |c| {
+        if chained {
+            Some((core + n - 1) % n)
+        } else if c != core {
+            Some(c)
+        } else {
+            None
         }
-    }
+    })
 }
 
 /// Why a wait has not been granted yet.
@@ -116,7 +160,7 @@ mod tests {
 
     #[test]
     fn sync_state_records_in_order() {
-        let mut s = SyncState::default();
+        let mut s = SyncState::new(4, 4);
         let seg = SegmentId(0);
         s.record_signal(seg, 1, 10);
         s.record_signal(seg, 1, 25);
@@ -127,5 +171,20 @@ mod tests {
         assert_eq!(s.kth_time(seg, 1, 0), Some(0));
         s.begin_loop();
         assert_eq!(s.count(seg, 1), 0);
+    }
+
+    /// Distinct (segment, core) pairs occupy distinct dense slots.
+    #[test]
+    fn sync_state_slots_do_not_collide() {
+        let mut s = SyncState::new(3, 4);
+        s.record_signal(SegmentId(0), 1, 7);
+        s.record_signal(SegmentId(1), 0, 9);
+        assert_eq!(s.count(SegmentId(0), 1), 1);
+        assert_eq!(s.count(SegmentId(1), 0), 1);
+        assert_eq!(s.count(SegmentId(0), 0), 0);
+        assert_eq!(s.count(SegmentId(1), 1), 0);
+        // Out-of-range segments grow the table rather than panic.
+        s.record_signal(SegmentId(9), 3, 1);
+        assert_eq!(s.count(SegmentId(9), 3), 1);
     }
 }

@@ -4,7 +4,7 @@
 
 use helix_hcc::{compile, HccConfig};
 use helix_ir::interp::{run_to_completion, Env};
-use helix_ir::{AddrExpr, BinOp, Intrinsic, Operand, ProgramBuilder, Program, Ty};
+use helix_ir::{AddrExpr, BinOp, Intrinsic, Operand, Program, ProgramBuilder, Ty};
 use helix_sim::{simulate, simulate_sequential, MachineConfig, SyncModel};
 
 const FUEL: u64 = 1 << 25;
@@ -261,7 +261,9 @@ fn failure_injection_dropped_wait_is_detected() {
     let mut removed = 0;
     for block in &mut compiled.program.graph.blocks {
         let before = block.insts.len();
-        block.insts.retain(|i| !matches!(i, helix_ir::Inst::Wait { .. }));
+        block
+            .insts
+            .retain(|i| !matches!(i, helix_ir::Inst::Wait { .. }));
         removed += before - block.insts.len();
     }
     assert!(removed > 0, "test premise: waits existed");
@@ -281,8 +283,7 @@ fn failure_injection_mistagged_segment_is_detected() {
     let mut retagged = 0;
     for block in &mut compiled.program.graph.blocks {
         for inst in &mut block.insts {
-            if let helix_ir::Inst::Load { shared, .. } | helix_ir::Inst::Store { shared, .. } =
-                inst
+            if let helix_ir::Inst::Load { shared, .. } | helix_ir::Inst::Store { shared, .. } = inst
             {
                 if let Some(tag) = shared {
                     if tag.seg == helix_ir::SegmentId(1) {

@@ -54,7 +54,11 @@ pub fn equake(scale: Scale) -> Program {
             // Library math call: free under lib-call semantics, a world
             // clobber for HCCv1's baseline analysis (Fig. 1's FP gap).
             let s = b.reg();
-            b.call(Some(s), helix_ir::Intrinsic::SinApprox, vec![Operand::Reg(d)]);
+            b.call(
+                Some(s),
+                helix_ir::Intrinsic::SinApprox,
+                vec![Operand::Reg(d)],
+            );
             b.bin(d, BinOp::FAdd, d, s);
             let t = b.reg();
             b.bin(t, BinOp::FMul, d, Operand::fimm(0.5));
@@ -94,7 +98,11 @@ pub fn art(scale: Scale) -> Program {
         b.bin(v, BinOp::FMul, v, Operand::fimm(0.25));
         b.bin(v, BinOp::FAdd, v, Operand::fimm(1.0));
         let s = b.reg();
-        b.call(Some(s), helix_ir::Intrinsic::SinApprox, vec![Operand::Reg(v)]);
+        b.call(
+            Some(s),
+            helix_ir::Intrinsic::SinApprox,
+            vec![Operand::Reg(v)],
+        );
         let w = b.reg();
         b.bin(w, BinOp::FMul, v, v);
         b.bin(w, BinOp::FAdd, w, s);
@@ -141,7 +149,11 @@ pub fn ammp(scale: Scale) -> Program {
         b.load(y, AddrExpr::region_indexed(atoms, j, 8, 8), Ty::F64);
         b.bin(x, BinOp::FAdd, x, y);
         let s = b.reg();
-        b.call(Some(s), helix_ir::Intrinsic::SinApprox, vec![Operand::Reg(x)]);
+        b.call(
+            Some(s),
+            helix_ir::Intrinsic::SinApprox,
+            vec![Operand::Reg(x)],
+        );
         b.bin(x, BinOp::FAdd, x, s);
         b.bin(x, BinOp::FMul, x, Operand::fimm(0.5));
         b.store(x, AddrExpr::region_indexed(forces, i, 8, 0), Ty::F64);
@@ -187,7 +199,11 @@ pub fn mesa(scale: Scale) -> Program {
             },
             |b| {
                 let s = b.reg();
-                b.call(Some(s), helix_ir::Intrinsic::SinApprox, vec![Operand::Reg(f)]);
+                b.call(
+                    Some(s),
+                    helix_ir::Intrinsic::SinApprox,
+                    vec![Operand::Reg(f)],
+                );
                 b.bin(f, BinOp::FMul, f, Operand::fimm(0.125));
                 b.bin(f, BinOp::FAdd, f, s);
                 b.store(f, AddrExpr::region_indexed(frame, i, 8, 0), Ty::F64);
@@ -213,7 +229,12 @@ mod tests {
             assert!(p.validate().is_ok(), "{}", p.name);
             let mut env = Env::for_program(&p);
             let t = run_to_completion(&p, &mut env).expect(&p.name);
-            assert!(t.dyn_insts > 10_000, "{} too small: {}", p.name, t.dyn_insts);
+            assert!(
+                t.dyn_insts > 10_000,
+                "{} too small: {}",
+                p.name,
+                t.dyn_insts
+            );
         }
     }
 

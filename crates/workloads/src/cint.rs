@@ -224,7 +224,7 @@ pub fn mcf(scale: Scale) -> Program {
         let c = b.reg();
         b.load(c, AddrExpr::region_indexed(cost, i, 8, 0), Ty::I64);
         b.alu_chain(c, 22); // pricing arithmetic (private)
-        // reduced = cost + pot[tail] - pot[head]  (shared reads)
+                            // reduced = cost + pot[tail] - pot[head]  (shared reads)
         let [pt, red] = b.regs();
         b.load(pt, AddrExpr::region_indexed(pot, t, 8, 0), Ty::I64);
         b.bin(red, BinOp::Add, c, pt);
@@ -289,7 +289,12 @@ mod tests {
             assert!(p.validate().is_ok(), "{}", p.name);
             let mut env = Env::for_program(&p);
             let t = run_to_completion(&p, &mut env).expect(&p.name);
-            assert!(t.dyn_insts > 10_000, "{} too small: {}", p.name, t.dyn_insts);
+            assert!(
+                t.dyn_insts > 10_000,
+                "{} too small: {}",
+                p.name,
+                t.dyn_insts
+            );
         }
     }
 

@@ -64,6 +64,9 @@ pub struct Workload {
 }
 
 /// The six CINT2000 stand-ins.
+// The published overhead fractions are verbatim paper constants; one of
+// them happens to sit near 1/π, which is a coincidence, not a math bug.
+#[allow(clippy::approx_constant)]
 pub fn cint_suite(scale: Scale) -> Vec<Workload> {
     vec![
         Workload {
@@ -236,7 +239,10 @@ mod tests {
                 .iter()
                 .map(|w| w.paper.helix_speedup),
         );
-        assert!((g - 6.85).abs() < 0.1, "published INT geomean ~6.85, got {g}");
+        assert!(
+            (g - 6.85).abs() < 0.1,
+            "published INT geomean ~6.85, got {g}"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@ use helix_rc::ir::cfg::LoopForest;
 use helix_rc::ir::{AddrExpr, BinOp, ProgramBuilder, Ty};
 use helix_rc::sim::{simulate, simulate_sequential, MachineConfig};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     // A sparse graph relaxation: for each edge, read both endpoint
     // weights (shared), relax the heavier one, and track the number of
     // relaxations in an accumulator.
@@ -71,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let classes = classify_registers(&program.graph, hot);
     println!("hot loop analysis:");
     println!("  loop-carried memory dependences: {}", deps.mem_deps.len());
-    println!("  shared access sites:             {}", deps.shared_sites().len());
+    println!(
+        "  shared access sites:             {}",
+        deps.shared_sites().len()
+    );
     println!(
         "  registers to communicate:        {}",
         classes.iter().filter(|c| c.must_communicate()).count()
@@ -87,7 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seq = simulate_sequential(&program, &MachineConfig::conventional(16), fuel)?;
     let par = simulate(&compiled, &MachineConfig::helix_rc(16), fuel)?;
     assert!(par.race_violations.is_empty());
-    println!("\nspeedup on 16 cores: {:.2}x", seq.cycles as f64 / par.cycles as f64);
+    println!(
+        "\nspeedup on 16 cores: {:.2}x",
+        seq.cycles as f64 / par.cycles as f64
+    );
     println!(
         "({} segment(s); the relaxation dependence serializes only the shared table updates)",
         compiled.stats.segments

@@ -6,7 +6,7 @@
 use helix_rc::experiment::{link_latency_settings, sweep_ring};
 use helix_rc::workloads::{by_name, Scale};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let w = by_name("197.parser", Scale::Test).expect("suite workload");
     println!("== 197.parser: speedup vs. adjacent-node link latency (16 cores) ==\n");
     let points = sweep_ring(&w, 16, &link_latency_settings())?;

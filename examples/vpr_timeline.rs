@@ -12,7 +12,7 @@ use helix_rc::hcc::{compile, HccConfig};
 use helix_rc::sim::{simulate, Bucket, MachineConfig};
 use helix_rc::workloads::{by_name, Scale};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let vpr = by_name("175.vpr", Scale::Test).expect("suite workload");
     let cores = 16;
 

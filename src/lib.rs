@@ -1,0 +1,5 @@
+//! Root crate of the HELIX-RC reproduction workspace.
+//!
+//! This package exists to own the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the implementation
+//! lives in the `crates/` members. See `README.md` for the map.

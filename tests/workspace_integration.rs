@@ -17,7 +17,11 @@ const FUEL: u64 = 1 << 26;
 fn whole_suite_parallel_equivalence() {
     for w in suite(Scale::Test) {
         let compiled = compile(&w.program, &HccConfig::v3(16)).expect(w.name);
-        assert!(!compiled.plans.is_empty(), "{}: nothing parallelized", w.name);
+        assert!(
+            !compiled.plans.is_empty(),
+            "{}: nothing parallelized",
+            w.name
+        );
 
         let mut env = Env::for_program(&compiled.program);
         run_to_completion(&compiled.program, &mut env).expect(w.name);
@@ -99,7 +103,11 @@ fn compiled_code_properties() {
         }
         // Static wait/signal counts are consistent with plans.
         if compiled.stats.segments > 0 {
-            assert!(compiled.stats.sync_insts >= 2 * compiled.stats.segments, "{}", w.name);
+            assert!(
+                compiled.stats.sync_insts >= 2 * compiled.stats.segments,
+                "{}",
+                w.name
+            );
         }
     }
 }

@@ -1,0 +1,179 @@
+//! Offline mini-`criterion`.
+//!
+//! A wall-clock benchmarking harness exposing the subset of the criterion
+//! API this workspace uses (`bench_function`, `iter`, `iter_batched`,
+//! `criterion_group!`/`criterion_main!`, `sample_size`). Each benchmark
+//! runs a short warmup, then `sample_size` timed samples, and prints the
+//! per-iteration mean and min so regressions are visible in CI logs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized; accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Timer handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn sample<F: FnMut()>(&mut self, mut body: F) {
+        // Warmup, then timed samples.
+        body();
+        let n_samples = self.samples.capacity();
+        for _ in 0..n_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                body();
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.sample(|| {
+            black_box(routine());
+        });
+    }
+
+    /// Time `routine` over fresh inputs from `setup` (setup untimed is
+    /// not modelled; inputs here are cheap relative to routines).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.sample(|| {
+            let input = setup();
+            black_box(routine(input));
+        });
+    }
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        let per_iter: Vec<f64> = b
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() / b.iters_per_sample as f64)
+            .collect();
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+        let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+        println!(
+            "bench {name:<40} mean {:>12}  min {:>12}  ({} samples)",
+            fmt_time(mean),
+            fmt_time(min),
+            per_iter.len()
+        );
+        self
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                {
+                    let mut c: $crate::Criterion = $cfg;
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        // warmup + 3 samples
+        assert!(runs >= 4);
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with("ms"));
+        assert!(fmt_time(2e-6).ends_with("us"));
+        assert!(fmt_time(2e-9).ends_with("ns"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Offline mini-`rayon`.
+//!
+//! Real data parallelism without crates.io: `par_iter().map(..).collect()`
+//! over slices and `Vec`s, executed on `std::thread::scope` workers that
+//! pull indices from a shared atomic counter (dynamic load balancing, so
+//! one slow simulation does not serialize a sweep). Collecting into
+//! `Result<Vec<T>, E>` yields the first (in input order) error; unlike
+//! real rayon, outstanding items still run to completion first.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads used for parallel maps.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// `.par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'data> {
+    /// Borrowed item type.
+    type Item: 'data;
+    /// The parallel iterator.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data, const N: usize> IntoParallelRefIterator<'data> for [T; N] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Map each item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, R, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            _result: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A mapped parallel iterator, consumed by [`ParMap::collect`].
+pub struct ParMap<'data, T, R, F> {
+    items: &'data [T],
+    f: F,
+    _result: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<'data, T: Sync, R, F> ParMap<'data, T, R, F>
+where
+    F: Fn(&'data T) -> R + Sync,
+    R: Send,
+{
+    /// Execute the map and gather results in input order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParallelResults<R>,
+    {
+        C::from_ordered(run_map(self.items, &self.f))
+    }
+}
+
+/// Execute `f` over every item on a worker pool; results in input order.
+fn run_map<'data, T: Sync, R: Send, F: Fn(&'data T) -> R + Sync>(
+    items: &'data [T],
+    f: &F,
+) -> Vec<R> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *out[i].lock().expect("result slot") = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.into_inner().expect("slot").expect("every index visited"))
+        .collect()
+}
+
+/// Collection targets for [`ParMap::collect`].
+pub trait FromParallelResults<R>: Sized {
+    /// Build the collection from in-order mapped results.
+    fn from_ordered(results: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelResults<R> for Vec<R> {
+    fn from_ordered(results: Vec<R>) -> Vec<R> {
+        results
+    }
+}
+
+impl<T, E> FromParallelResults<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered(results: Vec<Result<T, E>>) -> Result<Vec<T>, E> {
+        results.into_iter().collect()
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut rb = None;
+    let ra = std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        rb = Some(hb.join().expect("join worker panicked"));
+        ra
+    });
+    (ra, rb.expect("join worker result"))
+}
+
+/// Commonly used items, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{FromParallelResults, IntoParallelRefIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits() {
+        let xs: Vec<u32> = (0..100).collect();
+        let ok: Result<Vec<u32>, String> = xs.par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<u32>, String> = xs
+            .par_iter()
+            .map(|&x| {
+                if x == 42 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        if super::current_num_threads() < 2 {
+            return; // nothing to check on a single-CPU box
+        }
+        let xs: Vec<u32> = (0..64).collect();
+        let ids: Vec<std::thread::ThreadId> = xs
+            .par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                std::thread::current().id()
+            })
+            .collect();
+        let distinct: std::collections::BTreeSet<_> =
+            ids.iter().map(|i| format!("{i:?}")).collect();
+        assert!(distinct.len() > 1, "expected work on more than one thread");
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn empty_input() {
+        let xs: Vec<u32> = Vec::new();
+        let ys: Vec<u32> = xs.par_iter().map(|&x| x).collect();
+        assert!(ys.is_empty());
+    }
+}

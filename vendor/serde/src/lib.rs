@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace tags its result types with `Serialize`/`Deserialize` so
+//! they can be exported once a real serializer is available; in this
+//! network-isolated build the traits are inert markers and the derives
+//! (re-exported from the sibling `serde_derive` stub) emit empty impls.
+//! Swapping in the real crates requires no source changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,55 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds in environments with no crates.io access, so the
+//! real serde machinery is replaced by marker traits (see the sibling
+//! `serde` stub). These derives accept the usual syntax — including
+//! `#[serde(...)]` helper attributes — and emit empty marker impls.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the name of the struct/enum a derive was applied to.
+///
+/// Returns `None` for shapes the stub does not support (e.g. generic
+/// types); the derive then expands to nothing, which is fine because the
+/// marker traits carry no behavior.
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input.clone() {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return Some(s);
+                }
+                if s == "struct" || s == "enum" {
+                    saw_kw = true;
+                }
+            }
+            TokenTree::Punct(p) if saw_kw && p.as_char() == '<' => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Marker derive matching `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .unwrap(),
+        None => TokenStream::new(),
+    }
+}
+
+/// Marker derive matching `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .unwrap(),
+        None => TokenStream::new(),
+    }
+}
