@@ -13,8 +13,13 @@
 //! tracked across PRs.
 //!
 //! ```text
-//! cargo run --release -p helix-bench --bin bench_sim
+//! cargo run --release -p helix-bench --bin bench_sim            # writes BENCH_sim.json
+//! cargo run --release -p helix-bench --bin bench_sim -- fresh.json
 //! ```
+//!
+//! An optional positional argument overrides the output path, so CI can
+//! measure into a scratch file and diff against the committed baseline
+//! with the `perf_gate` binary.
 
 use helix_rc::experiment::{decoupling_lattice, sweep_core_count, LatticePoint, FUEL};
 use helix_rc::hcc::{compile, HccConfig};
@@ -149,6 +154,9 @@ fn json_escape(s: &str) -> String {
 }
 
 fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
     let ws = cint_suite(Scale::Test);
     eprintln!(
         "measuring per-workload simulator throughput ({} workloads)...",
@@ -226,10 +234,10 @@ fn main() {
     );
     json.push_str("}\n");
 
-    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("{json}");
     eprintln!(
-        "lattice+sweep: {before_secs:.2}s -> {after_secs:.2}s ({:.2}x); wrote BENCH_sim.json",
+        "lattice+sweep: {before_secs:.2}s -> {after_secs:.2}s ({:.2}x); wrote {out_path}",
         before_secs / after_secs
     );
 }

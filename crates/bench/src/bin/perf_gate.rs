@@ -1,0 +1,151 @@
+//! Perf-regression gate: compare a fresh `bench_sim` run against the
+//! committed `BENCH_sim.json` baseline and fail if the fast-path
+//! throughput regressed.
+//!
+//! ```text
+//! cargo run --release -p helix-bench --bin bench_sim -- fresh.json
+//! cargo run --release -p helix-bench --bin perf_gate -- BENCH_sim.json fresh.json
+//! ```
+//!
+//! Absolute `cycles_per_sec` numbers differ between machines, so the
+//! gate normalizes: per (workload, config) pair it computes the
+//! fresh/baseline throughput ratio, divides every ratio by the median
+//! ratio (cancelling uniform machine-speed differences), and fails if
+//! any pair's *normalized* ratio drops below `1 - tolerance` (default
+//! 30%) — i.e. if some workload slowed down disproportionately to the
+//! rest. A uniform slowdown cannot hide behind the median either: the
+//! raw median itself must stay above an order-of-magnitude floor of the
+//! baseline, which is lenient across runner generations but catches an
+//! accidental return to the naive cycle loop.
+
+use helix_bench::json::{parse, Json};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Normalized per-pair regression tolerance (`--tolerance` overrides).
+const DEFAULT_TOLERANCE: f64 = 0.30;
+/// Floor on the raw median fresh/baseline ratio: the whole suite an
+/// order of magnitude slower means the fast path itself regressed.
+const MEDIAN_FLOOR: f64 = 0.1;
+
+fn load_rows(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let rows = doc
+        .get("workloads")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path}: no 'workloads' array"))?;
+    let mut out = BTreeMap::new();
+    for row in rows {
+        let name = row
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: workload row without 'name'"))?;
+        let config = row
+            .get("config")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: workload row without 'config'"))?;
+        let cps = row
+            .get("fast_cycles_per_sec")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("{path}: {name}/{config} missing fast_cycles_per_sec"))?;
+        if cps <= 0.0 {
+            return Err(format!("{path}: {name}/{config} non-positive throughput"));
+        }
+        out.insert(format!("{name} @ {config}"), cps);
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: empty workload table"));
+    }
+    Ok(out)
+}
+
+fn median(mut values: Vec<f64>) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN ratios"));
+    let mid = values.len() / 2;
+    if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        0.5 * (values[mid - 1] + values[mid])
+    }
+}
+
+fn run(baseline_path: &str, fresh_path: &str, tolerance: f64) -> Result<(), String> {
+    let baseline = load_rows(baseline_path)?;
+    let fresh = load_rows(fresh_path)?;
+
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    for (key, base_cps) in &baseline {
+        match fresh.get(key) {
+            Some(fresh_cps) => ratios.push((key.clone(), fresh_cps / base_cps)),
+            None => return Err(format!("fresh run is missing pair '{key}'")),
+        }
+    }
+    let m = median(ratios.iter().map(|(_, r)| *r).collect());
+    println!(
+        "perf gate: {} pairs, median fresh/baseline throughput ratio {m:.3} \
+         (normalized tolerance {:.0}%)",
+        ratios.len(),
+        100.0 * tolerance
+    );
+
+    let mut failures = Vec::new();
+    for (key, ratio) in &ratios {
+        let normalized = ratio / m;
+        let flag = if normalized < 1.0 - tolerance {
+            failures.push(key.clone());
+            "  << REGRESSION"
+        } else {
+            ""
+        };
+        println!("  {key:<40} ratio {ratio:7.3}  normalized {normalized:6.3}{flag}");
+    }
+
+    if m < MEDIAN_FLOOR {
+        return Err(format!(
+            "median throughput ratio {m:.3} is below the {MEDIAN_FLOOR} order-of-magnitude \
+             floor: the fast path regressed across the whole suite"
+        ));
+    }
+    if !failures.is_empty() {
+        return Err(format!(
+            "{} pair(s) regressed more than {:.0}% relative to the suite: {}",
+            failures.len(),
+            100.0 * tolerance,
+            failures.join(", ")
+        ));
+    }
+    println!("perf gate: ok");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--tolerance" {
+            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if (0.0..1.0).contains(&t) => tolerance = t,
+                _ => {
+                    eprintln!("perf_gate: --tolerance needs a value in [0, 1)");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    let [baseline, fresh] = paths.as_slice() else {
+        eprintln!("usage: perf_gate <baseline.json> <fresh.json> [--tolerance 0.30]");
+        return ExitCode::from(2);
+    };
+    match run(baseline, fresh, tolerance) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("perf_gate: FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

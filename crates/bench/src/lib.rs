@@ -14,6 +14,8 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use helix_rc::analysis_figs::{accuracy_sweep, recompute_reduction, tlp_splitting};
 use helix_rc::experiment::{
     compiler_generations, core_type_sweep, coupled_vs_ring, decoupling_lattice, iteration_lengths,

@@ -1,0 +1,350 @@
+//! `helix` — the scenario runner.
+//!
+//! Every subcommand operates on declarative scenario files
+//! (`scenarios/*.toml`); see the README's "Adding a scenario" section
+//! for the spec schema.
+//!
+//! ```text
+//! helix run scenarios/175.vpr.toml          # compile + simulate, print summary
+//! helix run scenarios/ --out-dir reports/   # run all, write per-scenario JSON
+//! helix check scenarios/                    # parse + validate + generate
+//! helix list scenarios/                     # one line per scenario
+//! helix smoke scenarios/ --cores 8          # CI gate: every spec must run clean
+//! helix export scenarios/                   # (re)write the built-in specs
+//! ```
+
+use helix_rc::scenario::{run_scenario, RunOverrides, ScenarioReport};
+use helix_rc::workloads::{builtin_specs, generate, Scale, ScenarioSpec};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+helix — declarative scenario runner for the HELIX-RC reproduction
+
+USAGE:
+    helix run    <spec.toml|dir>... [--cores N] [--fuel N] [--full]
+                 [--out FILE | --out-dir DIR] [--quiet]
+    helix check  <spec.toml|dir>...
+    helix list   <dir>...
+    helix smoke  <dir>... [--cores N] [--fuel N] [--full] [--out-dir DIR]
+    helix export <dir>
+    helix help
+
+COMMANDS:
+    run     Compile + simulate each scenario on its configured machines
+            and print a summary; JSON reports go to --out / --out-dir.
+    check   Parse, validate, and generate each scenario without
+            simulating (fast schema check).
+    list    Show name, kind, size, and description of each scenario.
+    smoke   Run every scenario end-to-end, report each failure, and exit
+            non-zero if any failed — the CI gate that keeps committed
+            specs runnable.
+    export  Write the built-in scenario specs (SPEC stand-ins + novel
+            workloads) into a directory as TOML.
+
+OPTIONS:
+    --cores N     Override the spec's core count
+    --fuel N      Override the spec's simulation cycle budget
+    --full        Use the Full problem scale (default: Test)
+    --out FILE    Write the JSON report here (single scenario only)
+    --out-dir DIR Write one <name>.report.json per scenario
+    --quiet       Suppress per-run tables; print one line per scenario
+";
+
+fn fail(message: impl AsRef<str>) -> ExitCode {
+    eprintln!("helix: {}", message.as_ref());
+    ExitCode::FAILURE
+}
+
+/// Expand files/directories into a sorted list of `.toml` spec paths.
+fn collect_spec_files(inputs: &[String]) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    for input in inputs {
+        let path = Path::new(input);
+        if path.is_dir() {
+            let mut in_dir: Vec<PathBuf> = std::fs::read_dir(path)
+                .map_err(|e| format!("cannot read directory '{input}': {e}"))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+                .collect();
+            in_dir.sort();
+            if in_dir.is_empty() {
+                return Err(format!("no .toml scenarios in '{input}'"));
+            }
+            files.extend(in_dir);
+        } else if path.is_file() {
+            files.push(path.to_path_buf());
+        } else {
+            return Err(format!("no such file or directory: '{input}'"));
+        }
+    }
+    if files.is_empty() {
+        return Err("no scenario files given".into());
+    }
+    Ok(files)
+}
+
+fn load_spec(path: &Path) -> Result<ScenarioSpec, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read '{}': {e}", path.display()))?;
+    ScenarioSpec::from_toml(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[derive(Debug, Default)]
+struct Options {
+    inputs: Vec<String>,
+    cores: Option<usize>,
+    fuel: Option<u64>,
+    full: bool,
+    out: Option<PathBuf>,
+    out_dir: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--cores" => {
+                let cores: usize = value_of("--cores")?
+                    .parse()
+                    .map_err(|e| format!("--cores: {e}"))?;
+                if cores == 0 {
+                    return Err("--cores must be >= 1".into());
+                }
+                opts.cores = Some(cores);
+            }
+            "--fuel" => {
+                let fuel: u64 = value_of("--fuel")?
+                    .parse()
+                    .map_err(|e| format!("--fuel: {e}"))?;
+                if fuel == 0 {
+                    return Err("--fuel must be >= 1".into());
+                }
+                opts.fuel = Some(fuel);
+            }
+            "--full" => opts.full = true,
+            "--out" => opts.out = Some(PathBuf::from(value_of("--out")?)),
+            "--out-dir" => opts.out_dir = Some(PathBuf::from(value_of("--out-dir")?)),
+            "--quiet" => opts.quiet = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown option '{flag}'")),
+            other => opts.inputs.push(other.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+impl Options {
+    fn scale(&self) -> Scale {
+        if self.full {
+            Scale::Full
+        } else {
+            Scale::Test
+        }
+    }
+
+    fn overrides(&self) -> RunOverrides {
+        RunOverrides {
+            cores: self.cores,
+            fuel: self.fuel,
+        }
+    }
+}
+
+fn print_report(report: &ScenarioReport, quiet: bool) {
+    if quiet {
+        let helix = report.runs.iter().rev().find_map(|r| {
+            r.speedup_vs_sequential
+                .filter(|_| !r.config.starts_with("seq"))
+        });
+        println!(
+            "{:<12} {} cores={} coverage={:.0}% plans={}{}",
+            report.scenario,
+            report.compiler,
+            report.cores,
+            100.0 * report.coverage,
+            report.plans,
+            helix
+                .map(|s| format!(" speedup={s:.2}x"))
+                .unwrap_or_default()
+        );
+        return;
+    }
+    println!(
+        "\n{} [{}] — {} @ {} cores, coverage {:.1}%, {} parallel loop(s)",
+        report.scenario,
+        report.kind,
+        report.compiler,
+        report.cores,
+        100.0 * report.coverage,
+        report.plans
+    );
+    for row in report.runs.iter().chain(&report.sweep) {
+        let speedup = row
+            .speedup_vs_sequential
+            .map(|s| format!("{s:6.2}x"))
+            .unwrap_or_else(|| "      -".into());
+        println!(
+            "  {:<18} {:>12} cycles  {speedup}  {:>10.0} cyc/s  ({:.3}s)",
+            row.config,
+            row.cycles,
+            row.cycles_per_sec(),
+            row.wall_secs
+        );
+    }
+}
+
+fn cmd_run(opts: &Options) -> Result<(), String> {
+    let files = collect_spec_files(&opts.inputs)?;
+    if opts.out.is_some() && files.len() != 1 {
+        return Err("--out requires exactly one scenario (use --out-dir for many)".into());
+    }
+    if let Some(dir) = &opts.out_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create '{}': {e}", dir.display()))?;
+    }
+    for file in &files {
+        let spec = load_spec(file)?;
+        let report = run_scenario(&spec, opts.scale(), opts.overrides())
+            .map_err(|e| format!("{}: {e}", spec.name))?;
+        print_report(&report, opts.quiet);
+        let out_path = opts.out.clone().or_else(|| {
+            opts.out_dir
+                .as_ref()
+                .map(|dir| dir.join(format!("{}.report.json", report.scenario)))
+        });
+        if let Some(path) = out_path {
+            std::fs::write(&path, report.to_json())
+                .map_err(|e| format!("cannot write '{}': {e}", path.display()))?;
+            if !opts.quiet {
+                println!("  report -> {}", path.display());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_check(opts: &Options) -> Result<(), String> {
+    let files = collect_spec_files(&opts.inputs)?;
+    for file in &files {
+        let spec = load_spec(file)?;
+        let program = generate(&spec, opts.scale()).map_err(|e| format!("{}: {e}", spec.name))?;
+        program
+            .validate()
+            .map_err(|e| format!("{}: generated program invalid: {e:?}", spec.name))?;
+        println!(
+            "ok {:<12} ({} regions, {} phases, {} static insts)",
+            spec.name,
+            spec.regions.len(),
+            spec.phases.len(),
+            program.graph.inst_count()
+        );
+    }
+    println!("{} scenario(s) valid", files.len());
+    Ok(())
+}
+
+fn cmd_list(opts: &Options) -> Result<(), String> {
+    let files = collect_spec_files(&opts.inputs)?;
+    for file in &files {
+        let spec = load_spec(file)?;
+        println!(
+            "{:<12} {:<4} n={:<5} {}",
+            spec.name,
+            match spec.kind {
+                helix_rc::workloads::Kind::Int => "int",
+                helix_rc::workloads::Kind::Fp => "fp",
+            },
+            spec.base_n,
+            spec.description
+        );
+    }
+    Ok(())
+}
+
+fn cmd_smoke(opts: &Options) -> Result<(), String> {
+    let files = collect_spec_files(&opts.inputs)?;
+    if let Some(dir) = &opts.out_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create '{}': {e}", dir.display()))?;
+    }
+    let mut failures = 0usize;
+    for file in &files {
+        let result = load_spec(file).and_then(|spec| {
+            run_scenario(&spec, opts.scale(), opts.overrides())
+                .map_err(|e| format!("{}: {e}", spec.name))
+        });
+        match result {
+            Ok(report) => {
+                print_report(&report, true);
+                // Optionally collect the JSON reports in the same pass,
+                // so CI doesn't have to simulate the suite twice.
+                if let Some(dir) = &opts.out_dir {
+                    let path = dir.join(format!("{}.report.json", report.scenario));
+                    std::fs::write(&path, report.to_json())
+                        .map_err(|e| format!("cannot write '{}': {e}", path.display()))?;
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL {}: {e}", file.display());
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} of {} scenario(s) failed", files.len()));
+    }
+    println!("smoke ok: {} scenario(s)", files.len());
+    Ok(())
+}
+
+fn cmd_export(opts: &Options) -> Result<(), String> {
+    let [dir] = opts.inputs.as_slice() else {
+        return Err("export takes exactly one directory".into());
+    };
+    let dir = Path::new(dir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create '{}': {e}", dir.display()))?;
+    let specs = builtin_specs();
+    for spec in &specs {
+        let path = dir.join(format!("{}.toml", spec.name));
+        std::fs::write(&path, spec.to_toml())
+            .map_err(|e| format!("cannot write '{}': {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    println!("{} scenario(s) exported", specs.len());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        print!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let opts = match parse_options(rest) {
+        Ok(opts) => opts,
+        Err(e) => return fail(e),
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(&opts),
+        "check" => cmd_check(&opts),
+        "list" => cmd_list(&opts),
+        "smoke" => cmd_smoke(&opts),
+        "export" => cmd_export(&opts),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => return fail(format!("unknown command '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(e),
+    }
+}

@@ -12,7 +12,10 @@
 //!   accuracy (Fig. 2), predictable-variable communication reduction
 //!   (Fig. 3), abstract TLP under splitting (§6.2);
 //! * [`related`] — the Table 2 design-space matrix;
-//! * [`report`] — plain-text figure rendering.
+//! * [`report`] — plain-text figure rendering;
+//! * [`scenario`] — end-to-end execution of declarative
+//!   [`ScenarioSpec`](helix_workloads::ScenarioSpec)s (generate →
+//!   compile → simulate) with JSON reporting, backing the `helix` CLI.
 //!
 //! # Examples
 //!
@@ -33,11 +36,13 @@ pub mod analysis_figs;
 pub mod experiment;
 pub mod related;
 pub mod report;
+pub mod scenario;
 
 pub use experiment::{
     compiler_generations, core_type_sweep, coupled_vs_ring, decoupling_lattice, iteration_lengths,
     overhead_breakdown, sharing_profile, sweep_core_count, sweep_ring, LatticePoint,
 };
+pub use scenario::{run_scenario, RunOverrides, ScenarioReport};
 
 // Re-export the full stack so downstream users need one dependency.
 pub use helix_analysis as analysis;

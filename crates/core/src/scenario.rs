@@ -1,0 +1,365 @@
+//! Scenario execution: run a declarative [`ScenarioSpec`] end-to-end
+//! (generate → compile → simulate) and produce a JSON report whose
+//! field vocabulary matches `BENCH_sim.json` (`name`, `config`,
+//! `cycles`, `cycles_per_sec`), so scenario reports and the perf
+//! snapshot can be consumed by the same tooling.
+
+use crate::experiment::{check, ExpError};
+use helix_hcc::{compile, CompiledProgram, HccConfig};
+use helix_sim::{simulate, simulate_sequential, MachineConfig, RunReport};
+use helix_workloads::spec::{CompilerGen, MachineKind};
+use helix_workloads::{generate, Scale, ScenarioSpec};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Command-line overrides applied on top of a spec's `[run]` section.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOverrides {
+    /// Override the core count.
+    pub cores: Option<usize>,
+    /// Override the cycle budget.
+    pub fuel: Option<u64>,
+}
+
+/// One simulated configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRow {
+    /// Configuration label, e.g. `helix-rc-16`.
+    pub config: String,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Dynamic instructions.
+    pub dyn_insts: u64,
+    /// Digest of final memory contents.
+    pub mem_digest: u64,
+    /// Wall-clock seconds for the simulation.
+    pub wall_secs: f64,
+    /// Speedup versus the sequential baseline at the same core count,
+    /// when one was simulated.
+    pub speedup_vs_sequential: Option<f64>,
+}
+
+impl RunRow {
+    /// Simulated cycles per wall-second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.wall_secs.max(1e-12)
+    }
+}
+
+/// Full per-scenario report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// `"int"` or `"fp"`.
+    pub kind: String,
+    /// `"Test"` or `"Full"`.
+    pub scale: String,
+    /// Core count of the main runs.
+    pub cores: usize,
+    /// Compiler generation label.
+    pub compiler: String,
+    /// Parallel-loop coverage achieved by the compiler.
+    pub coverage: f64,
+    /// Number of parallelized loops.
+    pub plans: usize,
+    /// Main machine runs, in spec order.
+    pub runs: Vec<RunRow>,
+    /// HELIX-RC runs at the spec's `sweep_cores`.
+    pub sweep: Vec<RunRow>,
+}
+
+impl ScenarioReport {
+    /// Everything deterministic about the report — cycles, digests,
+    /// instruction counts — with wall-clock noise excluded. Two runs of
+    /// the same spec at the same scale must produce identical
+    /// fingerprints.
+    pub fn fingerprint(&self) -> String {
+        let mut s = format!(
+            "{}/{}/{}/{}/{:.6}/{}",
+            self.scenario, self.scale, self.cores, self.compiler, self.coverage, self.plans
+        );
+        for row in self.runs.iter().chain(&self.sweep) {
+            let _ = write!(
+                s,
+                ";{}:{}:{}:{:#x}",
+                row.config, row.cycles, row.dyn_insts, row.mem_digest
+            );
+        }
+        s
+    }
+
+    /// Render as a JSON document.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            // Match bench_sim's json_escape plus control characters, so
+            // a scenario name with a newline still yields valid JSON.
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn rows(out: &mut String, name: &str, rows: &[RunRow]) {
+            out.push_str(&format!("  \"{name}\": [\n"));
+            for (i, r) in rows.iter().enumerate() {
+                let speedup = r
+                    .speedup_vs_sequential
+                    .map(|s| format!(", \"speedup_vs_sequential\": {s:.3}"))
+                    .unwrap_or_default();
+                out.push_str(&format!(
+                    "    {{\"config\": \"{}\", \"cycles\": {}, \"dyn_insts\": {}, \
+                     \"mem_digest\": {}, \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.0}{}}}",
+                    esc(&r.config),
+                    r.cycles,
+                    r.dyn_insts,
+                    r.mem_digest,
+                    r.wall_secs,
+                    r.cycles_per_sec(),
+                    speedup
+                ));
+                out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("  ]");
+        }
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"harness\": \"helix\",");
+        let _ = writeln!(out, "  \"name\": \"{}\",", esc(&self.scenario));
+        let _ = writeln!(out, "  \"kind\": \"{}\",", self.kind);
+        let _ = writeln!(out, "  \"scale\": \"{}\",", self.scale);
+        let _ = writeln!(out, "  \"cores\": {},", self.cores);
+        let _ = writeln!(out, "  \"compiler\": \"{}\",", self.compiler);
+        let _ = writeln!(out, "  \"coverage\": {:.4},", self.coverage);
+        let _ = writeln!(out, "  \"plans\": {},", self.plans);
+        rows(&mut out, "runs", &self.runs);
+        if self.sweep.is_empty() {
+            out.push('\n');
+        } else {
+            out.push_str(",\n");
+            rows(&mut out, "sweep", &self.sweep);
+            out.push('\n');
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn hcc_config(gen: CompilerGen, cores: u32) -> HccConfig {
+    match gen {
+        CompilerGen::V1 => HccConfig::v1(cores),
+        CompilerGen::V2 => HccConfig::v2(cores),
+        CompilerGen::V3 => HccConfig::v3(cores),
+    }
+}
+
+fn compiler_label(gen: CompilerGen) -> &'static str {
+    match gen {
+        CompilerGen::V1 => "HCCv1",
+        CompilerGen::V2 => "HCCv2",
+        CompilerGen::V3 => "HCCv3",
+    }
+}
+
+fn machine_label(m: MachineKind, cores: usize) -> String {
+    match m {
+        MachineKind::Sequential => format!("sequential-{cores}"),
+        MachineKind::Conventional => format!("conventional-{cores}"),
+        MachineKind::HelixRc => format!("helix-rc-{cores}"),
+    }
+}
+
+fn timed_run(
+    program: &helix_ir::Program,
+    compiled: &CompiledProgram,
+    machine: MachineKind,
+    cores: usize,
+    fuel: u64,
+    what: &str,
+) -> Result<(RunReport, f64), ExpError> {
+    let t0 = Instant::now();
+    let report = match machine {
+        MachineKind::Sequential => {
+            simulate_sequential(program, &MachineConfig::conventional(cores), fuel)?
+        }
+        MachineKind::Conventional => {
+            let rep = simulate(compiled, &MachineConfig::conventional(cores), fuel)?;
+            check(&rep, what)?;
+            rep
+        }
+        MachineKind::HelixRc => {
+            let rep = simulate(compiled, &MachineConfig::helix_rc(cores), fuel)?;
+            check(&rep, what)?;
+            rep
+        }
+    };
+    Ok((report, t0.elapsed().as_secs_f64()))
+}
+
+/// Run one scenario end-to-end: generate the program, compile it with
+/// the spec's compiler generation, simulate every requested machine
+/// (plus the optional core-count sweep), and collect a report.
+pub fn run_scenario(
+    spec: &ScenarioSpec,
+    scale: Scale,
+    overrides: RunOverrides,
+) -> Result<ScenarioReport, ExpError> {
+    let program = generate(spec, scale)?;
+    let cores = overrides.cores.unwrap_or(spec.run.cores as usize);
+    let fuel = overrides.fuel.unwrap_or(spec.run.fuel);
+    let compiled = compile(&program, &hcc_config(spec.run.compiler, cores as u32))?;
+
+    let mut runs = Vec::new();
+    let mut seq_cycles: Option<u64> = None;
+    // Sequential baselines are memoized per core count: the sweep below
+    // re-baselines only when the machine description actually differs.
+    let mut seq_by_cores: std::collections::BTreeMap<usize, u64> =
+        std::collections::BTreeMap::new();
+    for &machine in &spec.run.machines {
+        let label = machine_label(machine, cores);
+        let (report, wall_secs) = timed_run(&program, &compiled, machine, cores, fuel, &label)?;
+        if machine == MachineKind::Sequential {
+            seq_cycles = Some(report.cycles);
+            seq_by_cores.insert(cores, report.cycles);
+        }
+        runs.push(RunRow {
+            config: label,
+            cycles: report.cycles,
+            dyn_insts: report.dyn_insts,
+            mem_digest: report.mem_digest,
+            wall_secs,
+            speedup_vs_sequential: None,
+        });
+    }
+    // Speedups are filled in after the loop so they do not depend on
+    // where "sequential" appears in the spec's machine list.
+    if let Some(seq) = seq_cycles {
+        for row in &mut runs {
+            row.speedup_vs_sequential = Some(seq as f64 / row.cycles.max(1) as f64);
+        }
+    }
+
+    let mut sweep = Vec::new();
+    for &sweep_cores in &spec.run.sweep_cores {
+        let sweep_cores = sweep_cores as usize;
+        let compiled = compile(&program, &hcc_config(spec.run.compiler, sweep_cores as u32))?;
+        let seq_cycles = match seq_by_cores.get(&sweep_cores) {
+            Some(&cycles) => cycles,
+            None => {
+                let (seq, _) = timed_run(
+                    &program,
+                    &compiled,
+                    MachineKind::Sequential,
+                    sweep_cores,
+                    fuel,
+                    "sweep baseline",
+                )?;
+                seq_by_cores.insert(sweep_cores, seq.cycles);
+                seq.cycles
+            }
+        };
+        let label = machine_label(MachineKind::HelixRc, sweep_cores);
+        let (report, wall_secs) = timed_run(
+            &program,
+            &compiled,
+            MachineKind::HelixRc,
+            sweep_cores,
+            fuel,
+            &label,
+        )?;
+        sweep.push(RunRow {
+            config: label,
+            cycles: report.cycles,
+            dyn_insts: report.dyn_insts,
+            mem_digest: report.mem_digest,
+            wall_secs,
+            speedup_vs_sequential: Some(seq_cycles as f64 / report.cycles.max(1) as f64),
+        });
+    }
+
+    Ok(ScenarioReport {
+        scenario: spec.name.clone(),
+        kind: match spec.kind {
+            helix_workloads::Kind::Int => "int".into(),
+            helix_workloads::Kind::Fp => "fp".into(),
+        },
+        scale: format!("{scale:?}"),
+        cores,
+        compiler: compiler_label(spec.run.compiler).into(),
+        coverage: compiled.stats.coverage,
+        plans: compiled.plans.len(),
+        runs,
+        sweep,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_workloads::builtin_spec;
+
+    #[test]
+    fn runs_a_spec_end_to_end() {
+        let mut spec = builtin_spec("175.vpr").unwrap();
+        spec.run.cores = 8;
+        let report = run_scenario(&spec, Scale::Test, RunOverrides::default()).unwrap();
+        assert_eq!(report.scenario, "175.vpr");
+        assert_eq!(report.runs.len(), 3);
+        assert!(report.coverage > 0.5, "coverage {}", report.coverage);
+        assert!(report.plans >= 1);
+        let helix = report
+            .runs
+            .iter()
+            .find(|r| r.config == "helix-rc-8")
+            .unwrap();
+        assert!(
+            helix.speedup_vs_sequential.unwrap() > 1.0,
+            "HELIX-RC must speed up: {helix:?}"
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"config\": \"helix-rc-8\""));
+        assert!(json.contains("\"cycles_per_sec\""));
+    }
+
+    #[test]
+    fn overrides_change_cores() {
+        let spec = builtin_spec("900.chase").unwrap();
+        let report = run_scenario(
+            &spec,
+            Scale::Test,
+            RunOverrides {
+                cores: Some(4),
+                fuel: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.cores, 4);
+        assert!(report.runs.iter().all(|r| r.config.ends_with("-4")));
+    }
+
+    #[test]
+    fn reports_are_deterministic_modulo_wall_clock() {
+        let spec = builtin_spec("910.bursty").unwrap();
+        let a = run_scenario(&spec, Scale::Test, RunOverrides::default()).unwrap();
+        let b = run_scenario(&spec, Scale::Test, RunOverrides::default()).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn sweep_rows_are_emitted() {
+        let mut spec = builtin_spec("920.blend").unwrap();
+        spec.run.cores = 4;
+        spec.run.sweep_cores = vec![2, 8];
+        let report = run_scenario(&spec, Scale::Test, RunOverrides::default()).unwrap();
+        assert_eq!(report.sweep.len(), 2);
+        assert_eq!(report.sweep[0].config, "helix-rc-2");
+        assert!(report.to_json().contains("\"sweep\""));
+    }
+}

@@ -207,6 +207,32 @@ impl ProgramBuilder {
         }
     }
 
+    /// Bake one sample of `dist` per slot into `region[0..count]` as a
+    /// compile-time work table: `count` `const`/`store` pairs in the
+    /// current block, all through one scratch register.
+    ///
+    /// This is the distribution-driven emission primitive of the
+    /// scenario generator: the table is sampled host-side with
+    /// [`SplitMix64`](crate::rng::SplitMix64) (so the program is a pure
+    /// function of `(dist, seed)`), and generated loops then read
+    /// `region[i]` to bound their inner work — giving real
+    /// iteration-length distributions instead of uniform bodies.
+    pub fn init_region_from_dist(
+        &mut self,
+        region: RegionId,
+        count: i64,
+        dist: crate::dist::Distribution,
+        seed: u64,
+    ) {
+        let mut rng = crate::rng::SplitMix64::new(seed);
+        let t = self.reg();
+        for i in 0..count {
+            let v = dist.sample(&mut rng);
+            self.const_i(t, v);
+            self.store(t, AddrExpr::region(region, i * 8), Ty::I64);
+        }
+    }
+
     /// Terminate the current block with an unconditional jump.
     pub fn jump(&mut self, target: BlockId) {
         let cur = self.current.index();

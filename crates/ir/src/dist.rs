@@ -1,0 +1,172 @@
+//! Iteration-shape distributions for workload generation.
+//!
+//! The paper characterizes irregular programs by the *distribution* of
+//! their loop iteration lengths (Fig. 4a) rather than by any single
+//! instance, so the declarative scenario subsystem parameterizes
+//! generated loops the same way: a [`Distribution`] describes how much
+//! work each iteration performs, and
+//! [`ProgramBuilder::init_region_from_dist`](crate::ProgramBuilder::init_region_from_dist)
+//! bakes one concrete, seed-deterministic sample of it into a program as
+//! a per-iteration work table.
+//!
+//! Sampling is pure integer arithmetic over [`SplitMix64`], so the same
+//! `(distribution, seed)` pair produces bit-identical programs on every
+//! platform.
+
+use crate::rng::SplitMix64;
+
+/// A distribution over per-iteration work amounts (in abstract work
+/// units; the generator decides what one unit costs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Every iteration performs exactly `value` units.
+    Fixed {
+        /// The constant amount.
+        value: i64,
+    },
+    /// Uniform over `lo..=hi`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// Mostly `short` iterations with a `long` burst roughly every
+    /// `period` iterations — the "bursty" shape of irregular workloads
+    /// whose rare slow paths dominate (e.g. 177.mesa's texture spans).
+    Bursty {
+        /// Work units of the common case.
+        short: i64,
+        /// Work units of the burst.
+        long: i64,
+        /// Expected iterations between bursts (>= 1).
+        period: i64,
+    },
+    /// Geometric with expected value ~`mean`, capped at `cap` — the
+    /// long-tailed shape of Fig. 4a's iteration-length CDF.
+    Geometric {
+        /// Expected value of the uncapped distribution (>= 1).
+        mean: i64,
+        /// Inclusive upper bound on samples.
+        cap: i64,
+    },
+}
+
+impl Distribution {
+    /// Draw one sample. All arms clamp their result to be >= 1 so a
+    /// generated loop body never degenerates to zero work.
+    pub fn sample(&self, rng: &mut SplitMix64) -> i64 {
+        let v = match *self {
+            Distribution::Fixed { value } => value,
+            Distribution::Uniform { lo, hi } => {
+                let (lo, hi) = (lo.min(hi), lo.max(hi));
+                lo + rng.next_below((hi - lo + 1) as u64) as i64
+            }
+            Distribution::Bursty {
+                short,
+                long,
+                period,
+            } => {
+                if rng.next_below(period.max(1) as u64) == 0 {
+                    long
+                } else {
+                    short
+                }
+            }
+            Distribution::Geometric { mean, cap } => {
+                // Count failures of a p = 1/mean trial: integer-only, so
+                // bit-exact across platforms (no libm).
+                let mean = mean.max(1) as u64;
+                let mut k = 1i64;
+                while k < cap && rng.next_below(mean) != 0 {
+                    k += 1;
+                }
+                k
+            }
+        };
+        v.max(1)
+    }
+
+    /// Expected value (approximate for `Geometric`, which is capped).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Distribution::Fixed { value } => value as f64,
+            Distribution::Uniform { lo, hi } => (lo.min(hi) + lo.max(hi)) as f64 / 2.0,
+            Distribution::Bursty {
+                short,
+                long,
+                period,
+            } => {
+                let p = 1.0 / period.max(1) as f64;
+                p * long as f64 + (1.0 - p) * short as f64
+            }
+            Distribution::Geometric { mean, cap } => (mean as f64).min(cap as f64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples(d: Distribution, n: usize) -> Vec<i64> {
+        let mut rng = SplitMix64::new(99);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn fixed_is_constant() {
+        assert!(samples(Distribution::Fixed { value: 7 }, 100)
+            .iter()
+            .all(|&v| v == 7));
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        for v in samples(Distribution::Uniform { lo: 3, hi: 9 }, 1000) {
+            assert!((3..=9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bursty_mixes_short_and_long() {
+        let vs = samples(
+            Distribution::Bursty {
+                short: 2,
+                long: 50,
+                period: 8,
+            },
+            1000,
+        );
+        let longs = vs.iter().filter(|&&v| v == 50).count();
+        assert!(vs.iter().all(|&v| v == 2 || v == 50));
+        // Expected 125 bursts; allow wide slack.
+        assert!((40..=300).contains(&longs), "{longs} bursts");
+    }
+
+    #[test]
+    fn geometric_respects_cap_and_floor() {
+        let vs = samples(Distribution::Geometric { mean: 6, cap: 40 }, 2000);
+        assert!(vs.iter().all(|&v| (1..=40).contains(&v)));
+        let avg = vs.iter().sum::<i64>() as f64 / vs.len() as f64;
+        assert!((2.0..=12.0).contains(&avg), "mean drifted: {avg}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let d = Distribution::Geometric { mean: 5, cap: 99 };
+        assert_eq!(samples(d, 500), samples(d, 500));
+    }
+
+    #[test]
+    fn means_are_sensible() {
+        assert_eq!(Distribution::Fixed { value: 4 }.mean(), 4.0);
+        assert_eq!(Distribution::Uniform { lo: 2, hi: 6 }.mean(), 4.0);
+        let b = Distribution::Bursty {
+            short: 2,
+            long: 18,
+            period: 4,
+        };
+        assert_eq!(b.mean(), 6.0);
+    }
+}

@@ -44,6 +44,7 @@
 
 pub mod builder;
 pub mod cfg;
+pub mod dist;
 pub mod inst;
 pub mod interp;
 pub mod memory;
@@ -55,6 +56,7 @@ mod pretty;
 mod types;
 
 pub use builder::ProgramBuilder;
+pub use dist::Distribution;
 pub use inst::{
     AddrBase, AddrExpr, BinOp, Inst, InstOrigin, Intrinsic, Operand, SharedTag, Terminator,
     TrafficClass, UnOp,

@@ -18,8 +18,15 @@
 pub mod cfp;
 pub mod cint;
 pub mod common;
+pub mod gen;
+pub mod spec;
+pub mod spec_builtin;
+pub mod toml;
 
 pub use common::Scale;
+pub use gen::generate;
+pub use spec::{ScenarioSpec, SpecError};
+pub use spec_builtin::{builtin_spec, builtin_specs};
 
 use helix_ir::Program;
 use serde::{Deserialize, Serialize};

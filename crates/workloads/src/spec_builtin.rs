@@ -1,0 +1,613 @@
+//! Built-in scenario specs: the ten SPEC CPU2000 stand-ins re-expressed
+//! as data, plus novel scenarios only the declarative subsystem can
+//! open (pointer chasing, distribution-driven iteration lengths).
+//!
+//! The SPEC specs generate programs **bit-identical** to the hand-coded
+//! constructors in [`crate::cint`] / [`crate::cfp`] — the workspace
+//! tests pin both program equality and simulated cycle counts — so
+//! `scenarios/*.toml` and the Rust constructors can never drift apart
+//! silently.
+
+use crate::spec::{
+    CarryOp, CarryOperand, CarrySpec, CountExpr, ElemTy, HotLoopSpec, OpSpec, PhaseSpec,
+    RegionSpec, RunSpec, ScenarioSpec, UpdateOp, UpdateValue,
+};
+use crate::Kind;
+use helix_ir::Distribution;
+
+fn region(name: &str, size: CountExpr, elem: ElemTy) -> RegionSpec {
+    RegionSpec {
+        name: name.into(),
+        size,
+        elem,
+    }
+}
+
+fn ri(name: &str, size: CountExpr) -> RegionSpec {
+    region(name, size, ElemTy::I64)
+}
+
+fn rf(name: &str, size: CountExpr) -> RegionSpec {
+    region(name, size, ElemTy::F64)
+}
+
+fn fill(region: &str, count: CountExpr, seed: i64) -> PhaseSpec {
+    PhaseSpec::Fill {
+        region: region.into(),
+        count,
+        seed,
+    }
+}
+
+fn doall(input: &str, output: &str, count: CountExpr, work: i64) -> PhaseSpec {
+    PhaseSpec::Doall {
+        input: input.into(),
+        output: output.into(),
+        count,
+        work,
+    }
+}
+
+fn n() -> CountExpr {
+    CountExpr::n()
+}
+
+fn n1() -> CountExpr {
+    CountExpr::n_plus(1)
+}
+
+fn fixed(v: i64) -> CountExpr {
+    CountExpr::fixed(v)
+}
+
+/// 164.gzip as a spec (see [`crate::cint::gzip`]).
+pub fn gzip_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "164.gzip".into(),
+        description: "LZ-style hash-chain compression: chain-head updates plus a demoted checksum"
+            .into(),
+        kind: Kind::Int,
+        base_n: 900,
+        seed: 7,
+        regions: vec![
+            ri("input", n1()),
+            ri("window", n1()),
+            ri("head", fixed(256)),
+            ri("out", fixed(8)),
+        ],
+        phases: vec![
+            fill("input", n(), 7),
+            doall("input", "window", n(), 11),
+            PhaseSpec::HotLoop(HotLoopSpec {
+                trips: n(),
+                input: Some("window".into()),
+                carry: Some(CarrySpec {
+                    init: -1,
+                    out: "out".into(),
+                }),
+                ops: vec![
+                    OpSpec::ChainHead {
+                        region: "head".into(),
+                        mask: 255,
+                    },
+                    OpSpec::Guard {
+                        mask: 3,
+                        then_ops: vec![
+                            OpSpec::Carry {
+                                op: CarryOp::Xor,
+                                operand: CarryOperand::Cur,
+                            },
+                            OpSpec::Carry {
+                                op: CarryOp::Shl,
+                                operand: CarryOperand::Imm(1),
+                            },
+                        ],
+                        else_ops: vec![],
+                    },
+                ],
+            }),
+        ],
+        run: RunSpec::default(),
+    }
+}
+
+/// 175.vpr as a spec (see [`crate::cint::vpr`]).
+pub fn vpr_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "175.vpr".into(),
+        description: "Placement cost update: cache-hostile grid stream and a shared bounding box"
+            .into(),
+        kind: Kind::Int,
+        base_n: 1000,
+        seed: 13,
+        regions: vec![
+            ri("nets", n1()),
+            ri("grid", fixed(8 * 1024)),
+            ri("routed", n1()),
+            ri("bb_cost", fixed(8)),
+        ],
+        phases: vec![
+            fill("nets", n(), 13),
+            doall("nets", "routed", n(), 14),
+            PhaseSpec::HotLoop(HotLoopSpec {
+                trips: n(),
+                input: None,
+                carry: None,
+                ops: vec![
+                    OpSpec::Stream {
+                        region: "grid".into(),
+                        stride: 173,
+                    },
+                    OpSpec::Guard {
+                        mask: 1,
+                        then_ops: vec![OpSpec::Bump {
+                            region: "bb_cost".into(),
+                        }],
+                        else_ops: vec![OpSpec::ScaleStore {
+                            region: "routed".into(),
+                            factor: 3,
+                        }],
+                    },
+                ],
+            }),
+        ],
+        run: RunSpec::default(),
+    }
+}
+
+/// 197.parser as a spec (see [`crate::cint::parser`]).
+pub fn parser_spec() -> ScenarioSpec {
+    let table = |region: &str, shift: i64, op: UpdateOp, value: UpdateValue| OpSpec::Table {
+        region: region.into(),
+        shift,
+        mask: 1023,
+        op,
+        value,
+    };
+    ScenarioSpec {
+        name: "197.parser".into(),
+        description: "Dictionary/link-table lookups: four disjoint shared tables".into(),
+        kind: Kind::Int,
+        base_n: 800,
+        seed: 29,
+        regions: vec![
+            ri("text", n1()),
+            ri("tokens", n1()),
+            ri("dict", fixed(1024)),
+            ri("words", fixed(1024)),
+            ri("links", fixed(1024)),
+            ri("out", fixed(8)),
+        ],
+        phases: vec![
+            fill("text", n(), 29),
+            doall("text", "tokens", n(), 19),
+            PhaseSpec::HotLoop(HotLoopSpec {
+                trips: n(),
+                input: Some("tokens".into()),
+                carry: Some(CarrySpec {
+                    init: 1,
+                    out: "out".into(),
+                }),
+                ops: vec![
+                    table("dict", 0, UpdateOp::Add, UpdateValue::One),
+                    table("words", 10, UpdateOp::Xor, UpdateValue::Cur),
+                    table("links", 20, UpdateOp::Add, UpdateValue::One),
+                    OpSpec::Guard {
+                        mask: 7,
+                        then_ops: vec![
+                            OpSpec::Carry {
+                                op: CarryOp::Mul,
+                                operand: CarryOperand::Imm(5),
+                            },
+                            OpSpec::Carry {
+                                op: CarryOp::Xor,
+                                operand: CarryOperand::Cur,
+                            },
+                        ],
+                        else_ops: vec![],
+                    },
+                ],
+            }),
+        ],
+        run: RunSpec::default(),
+    }
+}
+
+/// 300.twolf as a spec (see [`crate::cint::twolf`]).
+pub fn twolf_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "300.twolf".into(),
+        description: "Annealing cell swaps: serial temperature chain, low-trip hot inner loop"
+            .into(),
+        kind: Kind::Int,
+        base_n: 28,
+        seed: 31,
+        regions: vec![
+            ri("cells", fixed(1024)),
+            ri("netcost", fixed(512)),
+            ri("scratch", n1()),
+            ri("out", fixed(8)),
+        ],
+        phases: vec![
+            fill("cells", fixed(1024), 31),
+            doall("cells", "scratch", n(), 25),
+            PhaseSpec::Anneal {
+                cells: "cells".into(),
+                table: "netcost".into(),
+                out: "out".into(),
+                outer: n(),
+                inner: 24,
+                stride: 97,
+                slot_mask: 1023,
+                chain: 26,
+                table_mask: 511,
+            },
+        ],
+        run: RunSpec::default(),
+    }
+}
+
+/// 181.mcf as a spec (see [`crate::cint::mcf`]).
+pub fn mcf_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "181.mcf".into(),
+        description: "Network-simplex arc relaxation: shared node potentials, best-cost chain"
+            .into(),
+        kind: Kind::Int,
+        base_n: 900,
+        seed: 41,
+        regions: vec![
+            ri("tail", n1()),
+            ri("head", n1()),
+            ri("cost", n1()),
+            ri("potential", fixed(512)),
+            ri("flows", n1()),
+            ri("out", fixed(8)),
+        ],
+        phases: vec![
+            fill("tail", n(), 41),
+            fill("head", n(), 43),
+            fill("cost", n(), 47),
+            doall("cost", "flows", n(), 23),
+            PhaseSpec::ArcRelax {
+                tail: "tail".into(),
+                head: "head".into(),
+                cost: "cost".into(),
+                pot: "potential".into(),
+                out: "out".into(),
+                trips: n(),
+                nodes: 512,
+                chain: 22,
+            },
+        ],
+        run: RunSpec::default(),
+    }
+}
+
+/// 256.bzip2 as a spec (see [`crate::cint::bzip2`]).
+pub fn bzip2_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "256.bzip2".into(),
+        description: "Block transform: long mixing chain feeding a shared frequency table".into(),
+        kind: Kind::Int,
+        base_n: 1100,
+        seed: 53,
+        regions: vec![
+            ri("block", n1()),
+            ri("sorted", n1()),
+            ri("freq", fixed(256)),
+        ],
+        phases: vec![
+            fill("block", n(), 53),
+            doall("block", "sorted", n(), 55),
+            PhaseSpec::HotLoop(HotLoopSpec {
+                trips: n(),
+                input: Some("sorted".into()),
+                carry: None,
+                ops: vec![
+                    OpSpec::Work { insts: 46 },
+                    OpSpec::Table {
+                        region: "freq".into(),
+                        shift: 0,
+                        mask: 255,
+                        op: UpdateOp::Add,
+                        value: UpdateValue::One,
+                    },
+                    OpSpec::Store {
+                        region: "block".into(),
+                    },
+                ],
+            }),
+        ],
+        run: RunSpec::default(),
+    }
+}
+
+/// 183.equake as a spec (see [`crate::cfp::equake`]).
+pub fn equake_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "183.equake".into(),
+        description: "Seismic element kernels: serial driver around a very-low-trip FP loop".into(),
+        kind: Kind::Fp,
+        base_n: 60,
+        seed: 61,
+        regions: vec![
+            rf("disp", fixed(49)),
+            rf("vel", fixed(49)),
+            ri("raw", n1()),
+            ri("smoothed", n1()),
+        ],
+        phases: vec![
+            fill("raw", n(), 61),
+            doall("raw", "smoothed", n(), 30),
+            PhaseSpec::FpElements {
+                disp: "disp".into(),
+                vel: "vel".into(),
+                elements: n(),
+                trip: 48,
+            },
+        ],
+        run: RunSpec::default(),
+    }
+}
+
+/// 179.art as a spec (see [`crate::cfp::art`]).
+pub fn art_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "179.art".into(),
+        description: "Adaptive resonance matching: in-place normalization with an FMax reduction"
+            .into(),
+        kind: Kind::Fp,
+        base_n: 700,
+        seed: 67,
+        regions: vec![
+            rf("f1_layer", n1()),
+            ri("raw", n1()),
+            ri("pre", n1()),
+            rf("out", fixed(8)),
+        ],
+        phases: vec![
+            fill("raw", n(), 67),
+            doall("raw", "pre", n(), 34),
+            PhaseSpec::FpNormalize {
+                layer: "f1_layer".into(),
+                pre: "pre".into(),
+                out: "out".into(),
+                count: n(),
+                mask: 1023,
+            },
+        ],
+        run: RunSpec::default(),
+    }
+}
+
+/// 188.ammp as a spec (see [`crate::cfp::ammp`]).
+pub fn ammp_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "188.ammp".into(),
+        description: "Molecular-dynamics pair forces with triangular (poly2) indexing".into(),
+        kind: Kind::Fp,
+        base_n: 420,
+        seed: 71,
+        regions: vec![
+            rf("atoms", CountExpr { per_n: 2, plus: 8 }),
+            rf("forces", CountExpr::n_plus(8)),
+            ri("raw", n1()),
+            ri("neighbors", n1()),
+        ],
+        phases: vec![
+            fill("raw", n(), 71),
+            doall("raw", "neighbors", n(), 28),
+            PhaseSpec::FpPairForce {
+                atoms: "atoms".into(),
+                forces: "forces".into(),
+                count: n(),
+                chain: 18,
+            },
+        ],
+        run: RunSpec::default(),
+    }
+}
+
+/// 177.mesa as a spec (see [`crate::cfp::mesa`]).
+pub fn mesa_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "177.mesa".into(),
+        description: "Span rasterization: one span in sixteen takes the heavy texture path".into(),
+        kind: Kind::Fp,
+        base_n: 900,
+        seed: 73,
+        regions: vec![rf("frame", n1()), ri("raw", n1()), ri("zbuf", n1())],
+        phases: vec![
+            fill("raw", n(), 73),
+            doall("raw", "zbuf", n(), 26),
+            PhaseSpec::FpSpan {
+                frame: "frame".into(),
+                zbuf: "zbuf".into(),
+                count: n(),
+                heavy_mask: 15,
+                heavy_chain: 70,
+            },
+        ],
+        run: RunSpec::default(),
+    }
+}
+
+/// Novel scenario: pointer-chasing with maximal dependence density —
+/// every iteration's addresses depend on shared values the previous
+/// iterations mutated. Not expressible with the hand-coded suite.
+pub fn chase_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "900.chase".into(),
+        description: "Pointer-chasing hot loop: serial RMW hops through one shared link table"
+            .into(),
+        kind: Kind::Int,
+        base_n: 700,
+        seed: 81,
+        regions: vec![
+            ri("keys", n1()),
+            ri("warm", n1()),
+            ri("links", fixed(512)),
+            ri("out", fixed(8)),
+        ],
+        phases: vec![
+            fill("keys", n(), 81),
+            doall("keys", "warm", n(), 9),
+            PhaseSpec::HotLoop(HotLoopSpec {
+                trips: n(),
+                input: Some("warm".into()),
+                carry: Some(CarrySpec {
+                    init: 0,
+                    out: "out".into(),
+                }),
+                ops: vec![
+                    OpSpec::PtrChase {
+                        region: "links".into(),
+                        hops: 3,
+                        mask: 511,
+                    },
+                    OpSpec::Guard {
+                        mask: 1,
+                        then_ops: vec![OpSpec::Carry {
+                            op: CarryOp::Xor,
+                            operand: CarryOperand::Cur,
+                        }],
+                        else_ops: vec![],
+                    },
+                ],
+            }),
+        ],
+        run: RunSpec::default(),
+    }
+}
+
+/// Novel scenario: bursty iteration lengths — most iterations are short,
+/// one in sixteen runs a long inner loop, with the per-iteration length
+/// table baked from a [`Distribution`] sample.
+pub fn bursty_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "910.bursty".into(),
+        description: "Bursty iteration-length loop from a baked Bursty(4,150,16) work table".into(),
+        kind: Kind::Int,
+        base_n: 600,
+        seed: 83,
+        regions: vec![
+            ri("items", n1()),
+            ri("stage", n1()),
+            ri("lengths", n1()),
+            ri("hist", fixed(256)),
+        ],
+        phases: vec![
+            fill("items", n(), 83),
+            doall("items", "stage", n(), 12),
+            PhaseSpec::HotLoop(HotLoopSpec {
+                trips: n(),
+                input: Some("stage".into()),
+                carry: None,
+                ops: vec![
+                    OpSpec::VarWork {
+                        region: "lengths".into(),
+                        dist: Distribution::Bursty {
+                            short: 4,
+                            long: 150,
+                            period: 16,
+                        },
+                    },
+                    OpSpec::Table {
+                        region: "hist".into(),
+                        shift: 0,
+                        mask: 255,
+                        op: UpdateOp::Add,
+                        value: UpdateValue::One,
+                    },
+                ],
+            }),
+        ],
+        run: RunSpec::default(),
+    }
+}
+
+/// Novel scenario: uniform-length irregular mix — distribution-drawn
+/// work, a single pointer hop, and a small high-collision shared table.
+pub fn blend_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "920.blend".into(),
+        description: "Uniform(2,40) iteration lengths, one pointer hop, high-collision table"
+            .into(),
+        kind: Kind::Int,
+        base_n: 500,
+        seed: 87,
+        regions: vec![
+            ri("src", n1()),
+            ri("mid", n1()),
+            ri("lens", n1()),
+            ri("tab", fixed(128)),
+            ri("links", fixed(256)),
+            ri("out", fixed(8)),
+        ],
+        phases: vec![
+            fill("src", n(), 87),
+            doall("src", "mid", n(), 17),
+            PhaseSpec::HotLoop(HotLoopSpec {
+                trips: n(),
+                input: Some("mid".into()),
+                carry: Some(CarrySpec {
+                    init: 5,
+                    out: "out".into(),
+                }),
+                ops: vec![
+                    OpSpec::VarWork {
+                        region: "lens".into(),
+                        dist: Distribution::Uniform { lo: 2, hi: 40 },
+                    },
+                    OpSpec::PtrChase {
+                        region: "links".into(),
+                        hops: 1,
+                        mask: 255,
+                    },
+                    OpSpec::Table {
+                        region: "tab".into(),
+                        shift: 0,
+                        mask: 127,
+                        op: UpdateOp::Xor,
+                        value: UpdateValue::Cur,
+                    },
+                    OpSpec::Guard {
+                        mask: 3,
+                        then_ops: vec![OpSpec::Carry {
+                            op: CarryOp::Add,
+                            operand: CarryOperand::Cur,
+                        }],
+                        else_ops: vec![],
+                    },
+                ],
+            }),
+        ],
+        run: RunSpec::default(),
+    }
+}
+
+/// All built-in scenario specs: the ten SPEC stand-ins in the paper's
+/// reporting order, then the novel scenarios.
+pub fn builtin_specs() -> Vec<ScenarioSpec> {
+    vec![
+        gzip_spec(),
+        vpr_spec(),
+        parser_spec(),
+        twolf_spec(),
+        mcf_spec(),
+        bzip2_spec(),
+        equake_spec(),
+        art_spec(),
+        ammp_spec(),
+        mesa_spec(),
+        chase_spec(),
+        bursty_spec(),
+        blend_spec(),
+    ]
+}
+
+/// Look up a built-in spec by scenario name.
+pub fn builtin_spec(name: &str) -> Option<ScenarioSpec> {
+    builtin_specs().into_iter().find(|s| s.name == name)
+}

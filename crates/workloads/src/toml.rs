@@ -1,0 +1,755 @@
+//! Minimal TOML reader/writer for scenario specs.
+//!
+//! The vendored `serde` is an inert marker (this build is
+//! network-isolated), so scenario files are handled by this small,
+//! dependency-free TOML subset instead: key/value pairs, `[tables]`,
+//! `[[arrays of tables]]` (with dotted paths), basic strings, integers,
+//! floats, booleans, arrays, and inline tables — everything the spec
+//! format uses, and nothing more. Parse errors carry line numbers so a
+//! broken scenario file fails CI with a pointable message.
+
+use std::fmt;
+
+/// A parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Basic string.
+    Str(String),
+    /// 64-bit integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Array of values.
+    Array(Vec<Value>),
+    /// Table (standard, dotted, or inline).
+    Table(Table),
+}
+
+impl Value {
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an integer, if it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers widen), if numeric.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a table, if it is one.
+    pub fn as_table(&self) -> Option<&Table> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// An insertion-ordered table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    entries: Vec<(String, Value)>,
+}
+
+impl Table {
+    /// Empty table.
+    pub fn new() -> Table {
+        Table::default()
+    }
+
+    /// Set `key` (replacing an existing entry of the same name).
+    pub fn set(&mut self, key: impl Into<String>, value: Value) {
+        let key = key.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Look up `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Parse error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line the error was detected on.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TOML parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a TOML document into its root table.
+pub fn parse(input: &str) -> Result<Table, ParseError> {
+    Parser {
+        chars: input.chars().collect(),
+        pos: 0,
+        line: 1,
+    }
+    .document()
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+}
+
+impl Parser {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c == Some('\n') {
+            self.line += 1;
+        }
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    /// Skip spaces and tabs (not newlines).
+    fn skip_inline_ws(&mut self) {
+        while matches!(self.peek(), Some(' ') | Some('\t')) {
+            self.bump();
+        }
+    }
+
+    /// Skip whitespace, newlines, and comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(' ') | Some('\t') | Some('\n') | Some('\r') => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while !matches!(self.peek(), None | Some('\n')) {
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Require end-of-line (possibly preceded by a comment).
+    fn expect_eol(&mut self) -> Result<(), ParseError> {
+        self.skip_inline_ws();
+        if self.peek() == Some('#') {
+            while !matches!(self.peek(), None | Some('\n')) {
+                self.bump();
+            }
+        }
+        match self.peek() {
+            None => Ok(()),
+            Some('\n') => {
+                self.bump();
+                Ok(())
+            }
+            Some('\r') => {
+                self.bump();
+                if self.peek() == Some('\n') {
+                    self.bump();
+                }
+                Ok(())
+            }
+            Some(c) => Err(self.err(format!("expected end of line, found '{c}'"))),
+        }
+    }
+
+    fn bare_key(&mut self) -> Result<String, ParseError> {
+        let mut key = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                // Dots are handled by the caller (header paths); keys in
+                // key/value position must not contain them.
+                if c == '.' {
+                    break;
+                }
+                key.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if key.is_empty() {
+            Err(self.err("expected a key"))
+        } else {
+            Ok(key)
+        }
+    }
+
+    /// Dotted path of bare keys, e.g. `phase.op`.
+    fn key_path(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut path = vec![self.bare_key()?];
+        while self.peek() == Some('.') {
+            self.bump();
+            path.push(self.bare_key()?);
+        }
+        Ok(path)
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        assert_eq!(self.bump(), Some('"'));
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None | Some('\n') => return Err(self.err("unterminated string")),
+                Some('"') => return Ok(s),
+                Some('\\') => match self.bump() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    other => return Err(self.err(format!("bad escape: {other:?}"))),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || "+-._eE".contains(c) {
+                if c != '_' {
+                    text.push(c);
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if text.contains('.') || text.contains('e') || text.contains('E') {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| self.err(format!("bad float '{text}': {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| self.err(format!("bad integer '{text}': {e}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some('[') => self.array(),
+            Some('{') => self.inline_table(),
+            Some('t') | Some('f') => {
+                let word: String = self
+                    .chars
+                    .iter()
+                    .skip(self.pos)
+                    .take_while(|c| c.is_ascii_alphabetic())
+                    .collect();
+                match word.as_str() {
+                    "true" => {
+                        self.pos += 4;
+                        Ok(Value::Bool(true))
+                    }
+                    "false" => {
+                        self.pos += 5;
+                        Ok(Value::Bool(false))
+                    }
+                    other => Err(self.err(format!("unexpected word '{other}'"))),
+                }
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => self.number(),
+            other => Err(self.err(format!("expected a value, found {other:?}"))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        assert_eq!(self.bump(), Some('['));
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some(']') {
+                self.bump();
+                return Ok(Value::Array(items));
+            }
+            items.push(self.value()?);
+            self.skip_trivia();
+            match self.peek() {
+                Some(',') => {
+                    self.bump();
+                }
+                Some(']') => {}
+                other => return Err(self.err(format!("expected ',' or ']', found {other:?}"))),
+            }
+        }
+    }
+
+    // More lenient than standard TOML: newlines and comments are
+    // allowed inside inline tables, so hand-written specs can wrap long
+    // op lists.
+    fn inline_table(&mut self) -> Result<Value, ParseError> {
+        assert_eq!(self.bump(), Some('{'));
+        let mut table = Table::new();
+        self.skip_trivia();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(Value::Table(table));
+        }
+        loop {
+            self.skip_trivia();
+            let key = self.bare_key()?;
+            self.skip_trivia();
+            if self.bump() != Some('=') {
+                return Err(self.err("expected '=' in inline table"));
+            }
+            self.skip_trivia();
+            let value = self.value()?;
+            if table.get(&key).is_some() {
+                return Err(self.err(format!("duplicate key '{key}'")));
+            }
+            table.set(key, value);
+            self.skip_trivia();
+            match self.bump() {
+                Some(',') => {}
+                Some('}') => return Ok(Value::Table(table)),
+                other => return Err(self.err(format!("expected ',' or '}}', found {other:?}"))),
+            }
+        }
+    }
+
+    fn document(mut self) -> Result<Table, ParseError> {
+        let mut root = Table::new();
+        // Path of the table currently receiving key/value pairs; empty
+        // means the root table.
+        let mut current: Vec<(String, bool)> = Vec::new(); // (key, is_array_elem)
+        loop {
+            self.skip_trivia();
+            let Some(c) = self.peek() else {
+                return Ok(root);
+            };
+            if c == '[' {
+                self.bump();
+                let is_array = self.peek() == Some('[');
+                if is_array {
+                    self.bump();
+                }
+                self.skip_inline_ws();
+                let path = self.key_path()?;
+                self.skip_inline_ws();
+                if self.bump() != Some(']') {
+                    return Err(self.err("expected ']' closing table header"));
+                }
+                if is_array && self.bump() != Some(']') {
+                    return Err(self.err("expected ']]' closing array-of-tables header"));
+                }
+                self.expect_eol()?;
+                if is_array {
+                    Self::push_array_elem(&mut root, &path).map_err(|m| self.err(m))?;
+                } else {
+                    Self::ensure_table(&mut root, &path).map_err(|m| self.err(m))?;
+                }
+                current = path.iter().map(|k| (k.clone(), false)).collect();
+                if let Some(last) = current.last_mut() {
+                    last.1 = is_array;
+                }
+            } else {
+                let key = self.bare_key()?;
+                self.skip_inline_ws();
+                if self.bump() != Some('=') {
+                    return Err(self.err(format!("expected '=' after key '{key}'")));
+                }
+                self.skip_inline_ws();
+                let value = self.value()?;
+                self.expect_eol()?;
+                let path: Vec<String> = current.iter().map(|(k, _)| k.clone()).collect();
+                let tail_is_array = current.last().map(|(_, a)| *a).unwrap_or(false);
+                let target = Self::navigate(&mut root, &path, tail_is_array)
+                    .ok_or_else(|| self.err("internal: lost current table"))?;
+                if target.get(&key).is_some() {
+                    return Err(self.err(format!("duplicate key '{key}'")));
+                }
+                target.set(key, value);
+            }
+        }
+    }
+
+    /// Walk `path` from the root, descending into the last element of
+    /// any array-of-tables along the way.
+    fn navigate<'t>(
+        root: &'t mut Table,
+        path: &[String],
+        tail_is_array: bool,
+    ) -> Option<&'t mut Table> {
+        let mut cur = root;
+        for (i, key) in path.iter().enumerate() {
+            let is_last = i + 1 == path.len();
+            let v = cur.get_mut(key)?;
+            cur = match v {
+                Value::Table(t) => t,
+                Value::Array(items) if !is_last || tail_is_array => match items.last_mut() {
+                    Some(Value::Table(t)) => t,
+                    _ => return None,
+                },
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
+    fn ensure_table(root: &mut Table, path: &[String]) -> Result<(), String> {
+        let mut cur = root;
+        for key in path {
+            if cur.get(key).is_none() {
+                cur.set(key.clone(), Value::Table(Table::new()));
+            }
+            cur = match cur.get_mut(key).unwrap() {
+                Value::Table(t) => t,
+                Value::Array(items) => match items.last_mut() {
+                    Some(Value::Table(t)) => t,
+                    _ => return Err(format!("'{key}' is not a table")),
+                },
+                _ => return Err(format!("'{key}' already holds a non-table value")),
+            };
+        }
+        Ok(())
+    }
+
+    fn push_array_elem(root: &mut Table, path: &[String]) -> Result<(), String> {
+        let (last, prefix) = path.split_last().expect("non-empty header path");
+        let mut cur = root;
+        for key in prefix {
+            if cur.get(key).is_none() {
+                cur.set(key.clone(), Value::Table(Table::new()));
+            }
+            cur = match cur.get_mut(key).unwrap() {
+                Value::Table(t) => t,
+                Value::Array(items) => match items.last_mut() {
+                    Some(Value::Table(t)) => t,
+                    _ => return Err(format!("'{key}' is not a table")),
+                },
+                _ => return Err(format!("'{key}' already holds a non-table value")),
+            };
+        }
+        match cur.get_mut(last) {
+            None => {
+                cur.set(last.clone(), Value::Array(vec![Value::Table(Table::new())]));
+            }
+            Some(Value::Array(items)) => items.push(Value::Table(Table::new())),
+            Some(_) => return Err(format!("'{last}' already holds a non-array value")),
+        }
+        Ok(())
+    }
+}
+
+/// Serialize a root table as a TOML document.
+///
+/// Scalars and arrays of scalars/inline-tables are written as key/value
+/// pairs; table values become `[sections]` and arrays of tables become
+/// `[[sections]]` — mirroring the subset [`parse`] accepts, so
+/// `parse(write(t)) == t` for any table this module produces.
+pub fn write(root: &Table) -> String {
+    let mut out = String::new();
+    write_table(&mut out, root, &[]);
+    out
+}
+
+fn is_table_array(v: &Value) -> bool {
+    matches!(v, Value::Array(items)
+        if !items.is_empty() && items.iter().all(|i| matches!(i, Value::Table(_))))
+}
+
+fn write_table(out: &mut String, table: &Table, path: &[&str]) {
+    // Scalars first, then subtables/arrays-of-tables, to keep every
+    // key/value pair inside the section it belongs to.
+    for (k, v) in table.iter() {
+        if matches!(v, Value::Table(_)) || is_table_array(v) {
+            continue;
+        }
+        out.push_str(&format!("{k} = {}\n", render_value(v)));
+    }
+    for (k, v) in table.iter() {
+        match v {
+            Value::Table(t) => {
+                let mut sub: Vec<&str> = path.to_vec();
+                sub.push(k);
+                out.push_str(&format!("\n[{}]\n", sub.join(".")));
+                write_table(out, t, &sub);
+            }
+            Value::Array(items) if is_table_array(v) => {
+                let mut sub: Vec<&str> = path.to_vec();
+                sub.push(k);
+                for item in items {
+                    let Value::Table(t) = item else {
+                        unreachable!()
+                    };
+                    out.push_str(&format!("\n[[{}]]\n", sub.join(".")));
+                    write_table(out, t, &sub);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!(
+            "\"{}\"",
+            s.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+                .replace('\t', "\\t")
+                .replace('\r', "\\r")
+        ),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            // Keep floats round-trippable and visibly floats.
+            let s = format!("{f}");
+            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Value::Bool(b) => b.to_string(),
+        Value::Array(items) => {
+            let inner: Vec<String> = items.iter().map(render_value).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Value::Table(t) => {
+            let inner: Vec<String> = t
+                .iter()
+                .map(|(k, v)| format!("{k} = {}", render_value(v)))
+                .collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_comments() {
+        let t = parse(
+            "# scenario\nname = \"175.vpr\" # trailing\nseed = 13\nratio = 0.5\nfull = true\n",
+        )
+        .unwrap();
+        assert_eq!(t.get("name").unwrap().as_str(), Some("175.vpr"));
+        assert_eq!(t.get("seed").unwrap().as_int(), Some(13));
+        assert_eq!(t.get("ratio").unwrap().as_float(), Some(0.5));
+        assert_eq!(t.get("full").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn sections_and_arrays_of_tables() {
+        let doc = "\
+cores = 16
+
+[run]
+fuel = 42
+
+[[phase]]
+kind = \"fill\"
+
+[[phase]]
+kind = \"doall\"
+work = 14
+
+[[phase.op]]
+kind = \"stream\"
+";
+        let t = parse(doc).unwrap();
+        assert_eq!(
+            t.get("run")
+                .unwrap()
+                .as_table()
+                .unwrap()
+                .get("fuel")
+                .unwrap()
+                .as_int(),
+            Some(42)
+        );
+        let phases = t.get("phase").unwrap().as_array().unwrap();
+        assert_eq!(phases.len(), 2);
+        let second = phases[1].as_table().unwrap();
+        assert_eq!(second.get("work").unwrap().as_int(), Some(14));
+        let ops = second.get("op").unwrap().as_array().unwrap();
+        assert_eq!(
+            ops[0].as_table().unwrap().get("kind").unwrap().as_str(),
+            Some("stream")
+        );
+    }
+
+    #[test]
+    fn inline_tables_and_nested_arrays() {
+        let t = parse(
+            "ops = [{kind = \"work\", insts = 46}, {kind = \"guard\", then = [{kind = \"bump\"}], else = []}]\n",
+        )
+        .unwrap();
+        let ops = t.get("ops").unwrap().as_array().unwrap();
+        assert_eq!(ops.len(), 2);
+        let guard = ops[1].as_table().unwrap();
+        assert_eq!(guard.get("then").unwrap().as_array().unwrap().len(), 1);
+        assert_eq!(guard.get("else").unwrap().as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn multiline_inline_tables_with_comments() {
+        let doc = "ops = [\n  {kind = \"var_work\", # which op\n   dist = {kind = \"geometric\",\n     mean = 6, cap = 60}}, # tail\n]\n";
+        let t = parse(doc).unwrap();
+        let op = t.get("ops").unwrap().as_array().unwrap()[0]
+            .as_table()
+            .unwrap();
+        let dist = op.get("dist").unwrap().as_table().unwrap();
+        assert_eq!(dist.get("mean").unwrap().as_int(), Some(6));
+    }
+
+    #[test]
+    fn multiline_arrays() {
+        let t = parse("xs = [\n  1,\n  2, # two\n  3,\n]\n").unwrap();
+        let xs: Vec<i64> = t
+            .get("xs")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(xs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut t = Table::new();
+        t.set("s", Value::Str("a\"b\\c\nd".into()));
+        let text = write(&t);
+        assert_eq!(parse(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("ok = 1\nbroken =\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(parse("dup = 1\ndup = 2\n").is_err());
+        assert!(parse("x = [1, ").is_err());
+    }
+
+    #[test]
+    fn write_then_parse_is_identity() {
+        let mut run = Table::new();
+        run.set("cores", Value::Int(16));
+        run.set(
+            "machines",
+            Value::Array(vec![
+                Value::Str("sequential".into()),
+                Value::Str("helix-rc".into()),
+            ]),
+        );
+        let mut p1 = Table::new();
+        p1.set("kind", Value::Str("fill".into()));
+        let mut op = Table::new();
+        op.set("kind", Value::Str("work".into()));
+        op.set("insts", Value::Int(46));
+        let mut p2 = Table::new();
+        p2.set("kind", Value::Str("hot_loop".into()));
+        p2.set("ops", Value::Array(vec![Value::Table(op)]));
+        let mut root = Table::new();
+        root.set("name", Value::Str("256.bzip2".into()));
+        root.set("seed", Value::Int(53));
+        root.set("run", Value::Table(run));
+        root.set(
+            "phase",
+            Value::Array(vec![Value::Table(p1), Value::Table(p2)]),
+        );
+        let text = write(&root);
+        assert_eq!(parse(&text).unwrap(), root, "document:\n{text}");
+    }
+
+    #[test]
+    fn negative_and_large_integers() {
+        let t = parse("a = -1\nb = 9223372036854775807\n").unwrap();
+        assert_eq!(t.get("a").unwrap().as_int(), Some(-1));
+        assert_eq!(t.get("b").unwrap().as_int(), Some(i64::MAX));
+    }
+}

@@ -1,0 +1,152 @@
+//! Workspace tests for the declarative scenario subsystem: the
+//! committed `scenarios/*.toml` files must stay parseable, in sync with
+//! the built-in specs, and — for the SPEC stand-ins — pinned to the
+//! hand-coded constructors' exact cycle counts.
+
+use helix_rc::hcc::{compile, HccConfig};
+use helix_rc::scenario::{run_scenario, RunOverrides};
+use helix_rc::sim::{simulate, simulate_sequential, MachineConfig};
+use helix_rc::workloads::{builtin_spec, by_name, generate, Scale, ScenarioSpec};
+use std::path::PathBuf;
+
+const FUEL: u64 = 1 << 27;
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios")
+}
+
+fn committed_specs() -> Vec<(PathBuf, ScenarioSpec)> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(scenarios_dir())
+        .expect("scenarios/ directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    files.sort();
+    files
+        .into_iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(&path).expect("readable spec");
+            let spec = ScenarioSpec::from_toml(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            (path, spec)
+        })
+        .collect()
+}
+
+/// Every committed file parses, matches its built-in twin exactly, and
+/// the directory covers the whole suite: ten SPEC stand-ins plus at
+/// least two novel scenarios.
+#[test]
+fn committed_scenarios_match_builtins_and_cover_the_suite() {
+    let specs = committed_specs();
+    assert!(
+        specs.len() >= 12,
+        "expected >= 12 committed scenarios, found {}",
+        specs.len()
+    );
+    let mut spec_standins = 0;
+    let mut novel = 0;
+    for (path, spec) in &specs {
+        let builtin = builtin_spec(&spec.name)
+            .unwrap_or_else(|| panic!("{}: no built-in spec named {}", path.display(), spec.name));
+        assert_eq!(
+            spec,
+            &builtin,
+            "{}: committed file drifted from the built-in spec (run `helix export scenarios/`)",
+            path.display()
+        );
+        if by_name(&spec.name, Scale::Test).is_some() {
+            spec_standins += 1;
+        } else {
+            novel += 1;
+        }
+    }
+    assert_eq!(
+        spec_standins, 10,
+        "all ten SPEC stand-ins must be committed"
+    );
+    assert!(novel >= 2, "need >= 2 novel scenarios, found {novel}");
+}
+
+/// The pin the whole subsystem hangs on: spec-generated SPEC stand-ins
+/// simulate to the *same cycle counts* as the hand-coded constructors,
+/// sequentially and on both parallel machines.
+#[test]
+fn spec_generated_standins_match_hand_coded_cycle_counts() {
+    for name in ["175.vpr", "181.mcf", "256.bzip2"] {
+        let (_, spec) = committed_specs()
+            .into_iter()
+            .find(|(_, s)| s.name == name)
+            .unwrap_or_else(|| panic!("{name} not committed"));
+        let generated = generate(&spec, Scale::Test).expect(name);
+        let hand = by_name(name, Scale::Test).expect(name).program;
+        assert_eq!(generated, hand, "{name}: programs diverge");
+
+        let seq_gen = simulate_sequential(&generated, &MachineConfig::conventional(16), FUEL)
+            .expect(name)
+            .cycles;
+        let seq_hand = simulate_sequential(&hand, &MachineConfig::conventional(16), FUEL)
+            .expect(name)
+            .cycles;
+        assert_eq!(seq_gen, seq_hand, "{name}: sequential cycles diverge");
+
+        let compiled_gen = compile(&generated, &HccConfig::v3(16)).expect(name);
+        let compiled_hand = compile(&hand, &HccConfig::v3(16)).expect(name);
+        for cfg in [MachineConfig::conventional(16), MachineConfig::helix_rc(16)] {
+            let par_gen = simulate(&compiled_gen, &cfg, FUEL).expect(name).cycles;
+            let par_hand = simulate(&compiled_hand, &cfg, FUEL).expect(name).cycles;
+            assert_eq!(par_gen, par_hand, "{name}: parallel cycles diverge");
+        }
+    }
+}
+
+/// Every committed scenario runs end-to-end (generate -> compile ->
+/// simulate on all of its machines) without races or protocol errors.
+#[test]
+fn every_committed_scenario_runs_end_to_end() {
+    for (path, spec) in committed_specs() {
+        let report = run_scenario(
+            &spec,
+            Scale::Test,
+            RunOverrides {
+                cores: Some(8),
+                fuel: None,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(report.runs.len(), spec.run.machines.len(), "{}", spec.name);
+        assert!(report.plans >= 1, "{}: nothing parallelized", spec.name);
+        let helix = report
+            .runs
+            .iter()
+            .find(|r| r.config.starts_with("helix-rc"))
+            .unwrap_or_else(|| panic!("{}: no helix-rc run", spec.name));
+        let speedup = helix
+            .speedup_vs_sequential
+            .expect("sequential baseline first");
+        assert!(
+            speedup > 0.5,
+            "{}: helix-rc catastrophically slow ({speedup:.2}x)",
+            spec.name
+        );
+    }
+}
+
+/// Same spec file + seed twice => identical report fingerprints
+/// (bit-identical programs, cycles, and memory digests).
+#[test]
+fn scenario_reports_are_deterministic() {
+    for name in ["910.bursty", "900.chase"] {
+        let (_, spec) = committed_specs()
+            .into_iter()
+            .find(|(_, s)| s.name == name)
+            .unwrap_or_else(|| panic!("{name} not committed"));
+        let overrides = RunOverrides {
+            cores: Some(4),
+            fuel: None,
+        };
+        let a = run_scenario(&spec, Scale::Test, overrides).expect(name);
+        let b = run_scenario(&spec, Scale::Test, overrides).expect(name);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "{name}");
+    }
+}
