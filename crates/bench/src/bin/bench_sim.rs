@@ -23,6 +23,7 @@
 
 use helix_rc::experiment::{decoupling_lattice, sweep_core_count, LatticePoint, FUEL};
 use helix_rc::hcc::{compile, HccConfig};
+use helix_rc::report::json_escape;
 use helix_rc::sim::{simulate, simulate_sequential, MachineConfig};
 use helix_rc::workloads::{cint_suite, Scale, Workload};
 use std::fmt::Write as _;
@@ -43,7 +44,7 @@ fn timed<F: FnMut()>(mut f: F) -> f64 {
 }
 
 struct WorkloadRow {
-    name: &'static str,
+    name: String,
     config: &'static str,
     cycles: u64,
     naive_secs: f64,
@@ -67,7 +68,7 @@ impl WorkloadRow {
 fn workload_rows(ws: &[Workload]) -> Vec<WorkloadRow> {
     let mut rows = Vec::new();
     for w in ws {
-        let compiled = compile(&w.program, &HccConfig::v3(16)).expect(w.name);
+        let compiled = compile(&w.program, &HccConfig::v3(16)).expect(&w.name);
         let shapes: [(&'static str, MachineConfig, bool); 3] = [
             ("conventional-16", MachineConfig::conventional(16), true),
             ("helix-rc-16", MachineConfig::helix_rc(16), true),
@@ -76,9 +77,9 @@ fn workload_rows(ws: &[Workload]) -> Vec<WorkloadRow> {
         for (label, cfg, parallel) in shapes {
             let run = |cfg: &MachineConfig| {
                 if parallel {
-                    simulate(&compiled, cfg, FUEL).expect(w.name)
+                    simulate(&compiled, cfg, FUEL).expect(&w.name)
                 } else {
-                    simulate_sequential(&w.program, cfg, FUEL).expect(w.name)
+                    simulate_sequential(&w.program, cfg, FUEL).expect(&w.name)
                 }
             };
             let fast = run(&cfg);
@@ -101,7 +102,7 @@ fn workload_rows(ws: &[Workload]) -> Vec<WorkloadRow> {
                 run(&naive_cfg);
             });
             rows.push(WorkloadRow {
-                name: w.name,
+                name: w.name.clone(),
                 config: label,
                 cycles: fast.cycles,
                 naive_secs,
@@ -121,22 +122,22 @@ fn lattice_sweep_naive(ws: &[Workload]) {
             &MachineConfig::conventional(16).without_fast_forward(),
             FUEL,
         )
-        .expect(w.name);
+        .expect(&w.name);
         for point in LatticePoint::ALL {
-            let compiled = compile(&w.program, &point.compiler(16)).expect(w.name);
+            let compiled = compile(&w.program, &point.compiler(16)).expect(&w.name);
             let cfg = point.machine(16).without_fast_forward();
-            simulate(&compiled, &cfg, FUEL).expect(w.name);
+            simulate(&compiled, &cfg, FUEL).expect(&w.name);
         }
         for &cores in &SWEEP_COUNTS {
-            let compiled = compile(&w.program, &HccConfig::v3(cores as u32)).expect(w.name);
+            let compiled = compile(&w.program, &HccConfig::v3(cores as u32)).expect(&w.name);
             simulate_sequential(
                 &w.program,
                 &MachineConfig::conventional(cores).without_fast_forward(),
                 FUEL,
             )
-            .expect(w.name);
+            .expect(&w.name);
             let cfg = MachineConfig::helix_rc(cores).without_fast_forward();
-            simulate(&compiled, &cfg, FUEL).expect(w.name);
+            simulate(&compiled, &cfg, FUEL).expect(&w.name);
         }
     }
 }
@@ -144,13 +145,9 @@ fn lattice_sweep_naive(ws: &[Workload]) {
 /// The shipped experiment runners (event-skipping + parallel sweeps).
 fn lattice_sweep_optimized(ws: &[Workload]) {
     for w in ws {
-        decoupling_lattice(w, 16).expect(w.name);
-        sweep_core_count(w, &SWEEP_COUNTS).expect(w.name);
+        decoupling_lattice(w, 16).expect(&w.name);
+        sweep_core_count(w, &SWEEP_COUNTS).expect(&w.name);
     }
-}
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn main() {
@@ -186,7 +183,7 @@ fn main() {
              \"naive_secs\": {:.6}, \"fast_secs\": {:.6}, \
              \"naive_cycles_per_sec\": {:.0}, \"fast_cycles_per_sec\": {:.0}, \
              \"speedup\": {:.3}}}",
-            json_escape(r.name),
+            json_escape(&r.name),
             r.config,
             r.cycles,
             r.naive_secs,

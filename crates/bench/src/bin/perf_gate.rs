@@ -1,14 +1,16 @@
-//! Perf-regression gate: compare a fresh `bench_sim` run against the
-//! committed `BENCH_sim.json` baseline and fail if the fast-path
-//! throughput regressed.
+//! Perf-regression gates: compare fresh measurements against committed
+//! baselines and fail the build on disproportionate drops.
+//!
+//! **Throughput mode** (default) compares a fresh `bench_sim` run
+//! against `BENCH_sim.json`:
 //!
 //! ```text
 //! cargo run --release -p helix-bench --bin bench_sim -- fresh.json
 //! cargo run --release -p helix-bench --bin perf_gate -- BENCH_sim.json fresh.json
 //! ```
 //!
-//! Absolute `cycles_per_sec` numbers differ between machines, so the
-//! gate normalizes: per (workload, config) pair it computes the
+//! Absolute `cycles_per_sec` numbers differ between machines, so this
+//! mode normalizes: per (workload, config) pair it computes the
 //! fresh/baseline throughput ratio, divides every ratio by the median
 //! ratio (cancelling uniform machine-speed differences), and fails if
 //! any pair's *normalized* ratio drops below `1 - tolerance` (default
@@ -17,6 +19,22 @@
 //! raw median itself must stay above an order-of-magnitude floor of the
 //! baseline, which is lenient across runner generations but catches an
 //! accidental return to the naive cycle loop.
+//!
+//! **Scenario mode** (`--scenarios`) compares campaign reports — the
+//! per-scenario HELIX-RC *speedups* from `generations` rows — against
+//! the committed `BENCH_scenarios.json`:
+//!
+//! ```text
+//! helix campaign campaigns/smoke.toml --out fresh_campaign.json
+//! perf_gate --scenarios BENCH_scenarios.json fresh_campaign.json
+//! ```
+//!
+//! Speedups are ratios of simulated cycle counts, so they are
+//! deterministic and machine-independent: no median normalization, just
+//! a per-scenario tolerance (default 20%) that catches any code change
+//! degrading what HELIX-RC achieves on a workload. Scenarios only in
+//! the fresh report are listed as new (commit a refreshed baseline to
+//! start gating them); scenarios missing from the fresh report fail.
 
 use helix_bench::json::{parse, Json};
 use std::collections::BTreeMap;
@@ -24,6 +42,8 @@ use std::process::ExitCode;
 
 /// Normalized per-pair regression tolerance (`--tolerance` overrides).
 const DEFAULT_TOLERANCE: f64 = 0.30;
+/// Per-scenario speedup tolerance for `--scenarios` mode.
+const DEFAULT_SCENARIO_TOLERANCE: f64 = 0.20;
 /// Floor on the raw median fresh/baseline ratio: the whole suite an
 /// order of magnitude slower means the fast path itself regressed.
 const MEDIAN_FLOOR: f64 = 0.1;
@@ -119,29 +139,133 @@ fn run(baseline_path: &str, fresh_path: &str, tolerance: f64) -> Result<(), Stri
     Ok(())
 }
 
+/// Extract `"<scenario> @ <cores> cores" -> helix_speedup` from a
+/// campaign report's `generations` rows.
+fn load_scenario_speedups(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if doc.get("harness").and_then(Json::as_str) != Some("campaign") {
+        return Err(format!(
+            "{path}: not a campaign report (harness != \"campaign\")"
+        ));
+    }
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path}: no 'rows' array"))?;
+    let mut out = BTreeMap::new();
+    for row in rows {
+        if row.get("experiment").and_then(Json::as_str) != Some("generations") {
+            continue;
+        }
+        let scenario = row
+            .get("scenario")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: generations row without 'scenario'"))?;
+        let cores = row
+            .get("cores")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("{path}: {scenario}: row without 'cores'"))?;
+        let speedup = row
+            .get("helix_speedup")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("{path}: {scenario}: row without 'helix_speedup'"))?;
+        if speedup <= 0.0 {
+            return Err(format!("{path}: {scenario}: non-positive speedup"));
+        }
+        out.insert(format!("{scenario} @ {cores:.0} cores"), speedup);
+    }
+    if out.is_empty() {
+        return Err(format!(
+            "{path}: no 'generations' rows (the campaign must include the generations experiment)"
+        ));
+    }
+    Ok(out)
+}
+
+/// Per-scenario speedup gate: every baseline scenario's fresh HELIX-RC
+/// speedup must stay within `tolerance` of its committed value.
+fn run_scenarios(baseline_path: &str, fresh_path: &str, tolerance: f64) -> Result<(), String> {
+    let baseline = load_scenario_speedups(baseline_path)?;
+    let fresh = load_scenario_speedups(fresh_path)?;
+    println!(
+        "scenario gate: {} baseline scenario(s), tolerance {:.0}%",
+        baseline.len(),
+        100.0 * tolerance
+    );
+    let mut failures = Vec::new();
+    for (key, base) in &baseline {
+        match fresh.get(key) {
+            None => failures.push(format!("{key}: missing from fresh report")),
+            Some(now) => {
+                let ratio = now / base;
+                let flag = if ratio < 1.0 - tolerance {
+                    failures.push(format!(
+                        "{key}: speedup {base:.2}x -> {now:.2}x ({:.0}% drop)",
+                        100.0 * (1.0 - ratio)
+                    ));
+                    "  << REGRESSION"
+                } else {
+                    ""
+                };
+                println!("  {key:<32} {base:6.2}x -> {now:6.2}x  ratio {ratio:6.3}{flag}");
+            }
+        }
+    }
+    for key in fresh.keys() {
+        if !baseline.contains_key(key) {
+            println!("  {key:<32} new scenario (not gated; refresh {baseline_path} to gate it)");
+        }
+    }
+    if !failures.is_empty() {
+        return Err(format!(
+            "{} scenario(s) regressed:\n  {}",
+            failures.len(),
+            failures.join("\n  ")
+        ));
+    }
+    println!("scenario gate: ok");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut tolerance: Option<f64> = None;
+    let mut scenarios = false;
     let mut paths = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--tolerance" {
             match it.next().and_then(|v| v.parse::<f64>().ok()) {
-                Some(t) if (0.0..1.0).contains(&t) => tolerance = t,
+                Some(t) if (0.0..1.0).contains(&t) => tolerance = Some(t),
                 _ => {
                     eprintln!("perf_gate: --tolerance needs a value in [0, 1)");
                     return ExitCode::from(2);
                 }
             }
+        } else if arg == "--scenarios" {
+            scenarios = true;
         } else {
             paths.push(arg.clone());
         }
     }
     let [baseline, fresh] = paths.as_slice() else {
-        eprintln!("usage: perf_gate <baseline.json> <fresh.json> [--tolerance 0.30]");
+        eprintln!(
+            "usage: perf_gate <baseline.json> <fresh.json> [--tolerance 0.30]\n       \
+             perf_gate --scenarios <BENCH_scenarios.json> <fresh_campaign.json> [--tolerance 0.20]"
+        );
         return ExitCode::from(2);
     };
-    match run(baseline, fresh, tolerance) {
+    let result = if scenarios {
+        run_scenarios(
+            baseline,
+            fresh,
+            tolerance.unwrap_or(DEFAULT_SCENARIO_TOLERANCE),
+        )
+    } else {
+        run(baseline, fresh, tolerance.unwrap_or(DEFAULT_TOLERANCE))
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("perf_gate: FAIL: {e}");

@@ -11,21 +11,28 @@
 //! cargo run --release -p helix-bench --bin figures -- all
 //! cargo run --release -p helix-bench --bin figures -- fig07 fig12
 //! ```
+//!
+//! The cross-benchmark sweep figures (Fig. 7/9/12) are **campaign
+//! driven**: they run the committed `campaigns/paper.toml` over the
+//! scenario specs in `scenarios/`, so any new committed scenario shows
+//! up in those tables automatically — no figure code changes.
 
 #![warn(missing_docs)]
 
 pub mod json;
 
 use helix_rc::analysis_figs::{accuracy_sweep, recompute_reduction, tlp_splitting};
+use helix_rc::campaign::{load_campaign, run_campaign, CampaignReport, CampaignRow};
 use helix_rc::experiment::{
     compiler_generations, core_type_sweep, coupled_vs_ring, decoupling_lattice, iteration_lengths,
-    link_latency_settings, node_memory_settings, overhead_breakdown, sharing_profile,
-    signal_bandwidth_settings, sweep_core_count, sweep_ring, LatticePoint,
+    link_latency_settings, node_memory_settings, sharing_profile, signal_bandwidth_settings,
+    sweep_core_count, sweep_ring, LatticePoint,
 };
 use helix_rc::hcc::{compile, HccConfig};
 use helix_rc::related::design_space_table;
 use helix_rc::report::{bar, pct, table, x};
-use helix_rc::workloads::{cint_suite, geomean, suite, Scale};
+use helix_rc::workloads::{cint_suite, geomean, paper_row, suite, CampaignExperiment, Kind, Scale};
+use std::path::PathBuf;
 
 /// Problem scale used by the harness (kept at `Test` so a full run of
 /// every figure completes in minutes; pass `--full` for larger inputs).
@@ -44,6 +51,66 @@ fn header(title: &str) {
     println!("\n================================================================");
     println!("{title}");
     println!("================================================================");
+}
+
+/// Locate the committed paper campaign (`campaigns/paper.toml`): tried
+/// relative to the working directory first (how CI and `cargo run` from
+/// the repo root see it), then relative to this crate's manifest.
+pub fn paper_campaign_path() -> Result<PathBuf, String> {
+    let candidates = [
+        PathBuf::from("campaigns/paper.toml"),
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../campaigns/paper.toml"),
+    ];
+    for path in &candidates {
+        if path.is_file() {
+            return Ok(path.clone());
+        }
+    }
+    Err(format!(
+        "cannot find campaigns/paper.toml (looked at {}); run from the repository root",
+        candidates
+            .iter()
+            .map(|p| p.display().to_string())
+            .collect::<Vec<_>>()
+            .join(" and ")
+    ))
+}
+
+/// Core count the paper reports its sweep figures at.
+const FIGURE_CORES: i64 = 16;
+
+/// Run the committed paper campaign restricted to `experiments` (and
+/// optionally one benchmark family) at `scale`. This is how the sweep
+/// figures consume `scenarios/`: the scenario set comes from
+/// `campaigns/paper.toml`, so a missing or broken spec file fails with
+/// a path-naming error instead of a panic mid-figure. Filtering by kind
+/// happens *before* the run so an INT-only figure never pays for FP
+/// simulations, and the core axis is pinned to the figures' 16-core
+/// machine so a widened campaign grid cannot silently mix core counts
+/// into one table.
+fn scenario_campaign(
+    experiments: &[CampaignExperiment],
+    scale: Scale,
+    kind: Option<Kind>,
+) -> Result<CampaignReport, Box<dyn std::error::Error + Send + Sync>> {
+    let path = paper_campaign_path()?;
+    let (mut campaign, mut scenarios) = load_campaign(&path)?;
+    campaign.grid.experiments = experiments.to_vec();
+    campaign.grid.cores = vec![FIGURE_CORES];
+    campaign.scale = scale;
+    if let Some(kind) = kind {
+        scenarios.retain(|s| s.kind == kind);
+    }
+    run_campaign(&campaign, &scenarios)
+}
+
+/// Look up a labelled point in a campaign row.
+fn point(row: &CampaignRow, label: &str) -> Result<f64, String> {
+    row.points
+        .iter()
+        .find(|(l, _)| l == label)
+        .map(|(_, v)| *v)
+        .ok_or_else(|| format!("{}/{}: no point '{label}'", row.scenario, row.experiment))
 }
 
 /// Fig. 1: HCCv1 vs HCCv2 on conventional hardware, 16 cores.
@@ -168,7 +235,8 @@ pub fn fig04(scale: Scale) -> R {
 /// Fig. 5: coupled vs decoupled execution of the vpr hot loop.
 pub fn fig05(scale: Scale) -> R {
     header("Figure 5 — coupled vs decoupled communication (175.vpr loop)");
-    let w = helix_rc::workloads::by_name("175.vpr", scale).expect("suite");
+    let w = helix_rc::workloads::by_name("175.vpr", scale)
+        .ok_or("175.vpr missing from the built-in suite")?;
     let row = coupled_vs_ring(&w, 16)?;
     println!(
         "coupled (conventional): {:6.1}% of sequential time, {} of busy cycles communicating",
@@ -221,46 +289,50 @@ pub fn table1(scale: Scale) -> R {
     Ok(())
 }
 
-/// Fig. 7: the headline — HCCv2 vs HELIX-RC speedups.
+/// Fig. 7: the headline — HCCv2 vs HELIX-RC speedups, campaign-driven
+/// over every committed scenario spec.
 pub fn fig07(scale: Scale) -> R {
-    header("Figure 7 — HELIX-RC vs HCCv2 speedups (16 cores)");
+    header("Figure 7 — HELIX-RC vs HCCv2 speedups (16 cores, scenarios/ campaign)");
+    let report = scenario_campaign(&[CampaignExperiment::Generations], scale, None)?;
     let mut rows = Vec::new();
     let mut int_v2 = Vec::new();
     let mut int_rc = Vec::new();
     let mut fp_v2 = Vec::new();
     let mut fp_rc = Vec::new();
-    for w in suite(scale) {
-        let row = compiler_generations(&w, 16)?;
-        if w.kind == helix_rc::workloads::Kind::Int {
-            int_v2.push(row.v2);
-            int_rc.push(row.helix_rc);
+    for row in &report.rows {
+        let v2 = point(row, "HCCv2")?;
+        let rc = point(row, "HELIX-RC")?;
+        if row.kind == "int" {
+            int_v2.push(v2);
+            int_rc.push(rc);
         } else {
-            fp_v2.push(row.v2);
-            fp_rc.push(row.helix_rc);
+            fp_v2.push(v2);
+            fp_rc.push(rc);
         }
         rows.push(vec![
-            row.name.clone(),
-            x(row.v2),
-            x(row.helix_rc),
-            x(row.paper_helix),
+            row.scenario.clone(),
+            x(v2),
+            x(rc),
+            row.paper_speedup.map(x).unwrap_or_else(|| "-".into()),
         ]);
     }
     rows.push(vec![
         "INT geomean".into(),
         x(geomean(int_v2)),
         x(geomean(int_rc)),
-        "6.85x".into(),
+        "6.85x (SPEC)".into(),
     ]);
     rows.push(vec![
         "FP geomean".into(),
         x(geomean(fp_v2)),
         x(geomean(fp_rc)),
-        "11.90x".into(),
+        "11.90x (SPEC)".into(),
     ]);
     println!(
         "{}",
         table(&["benchmark", "HCCv2", "HELIX-RC", "paper HELIX-RC"], &rows)
     );
+    println!("(rows come from the scenario specs named by campaigns/paper.toml)");
     Ok(())
 }
 
@@ -286,18 +358,19 @@ pub fn fig08(scale: Scale) -> R {
     Ok(())
 }
 
-/// Fig. 9: HCCv3 code on conventional hardware vs the ring.
+/// Fig. 9: HCCv3 code on conventional hardware vs the ring,
+/// campaign-driven over every committed integer scenario.
 pub fn fig09(scale: Scale) -> R {
-    header("Figure 9 — HCCv3 code: conventional (C) vs ring cache (R)");
+    header("Figure 9 — HCCv3 code: conventional (C) vs ring cache (R) (scenarios/ campaign)");
+    let report = scenario_campaign(&[CampaignExperiment::CoupledVsRing], scale, Some(Kind::Int))?;
     let mut rows = Vec::new();
-    for w in cint_suite(scale) {
-        let row = coupled_vs_ring(&w, 16)?;
+    for row in &report.rows {
         rows.push(vec![
-            row.name.clone(),
-            format!("{:.0}%", row.conventional_pct),
-            format!("{:.0}%", row.ring_pct),
-            pct(row.conventional_comm_frac),
-            pct(row.ring_comm_frac),
+            row.scenario.clone(),
+            format!("{:.0}%", point(row, "C % of seq")?),
+            format!("{:.0}%", point(row, "R % of seq")?),
+            format!("{:.1}%", point(row, "C comm frac %")?),
+            format!("{:.1}%", point(row, "R comm frac %")?),
         ]);
     }
     println!(
@@ -372,31 +445,39 @@ pub fn fig11(scale: Scale) -> R {
     Ok(())
 }
 
-/// Fig. 12: overhead taxonomy.
+/// Fig. 12: overhead taxonomy, campaign-driven over every committed
+/// scenario.
 pub fn fig12(scale: Scale) -> R {
-    header("Figure 12 — overheads preventing ideal speedup");
+    header("Figure 12 — overheads preventing ideal speedup (scenarios/ campaign)");
     let labels = [
         "added", "wait/sig", "memory", "imbal", "lowtrip", "comm", "depwait",
     ];
+    let report = scenario_campaign(&[CampaignExperiment::Overheads], scale, None)?;
     let mut rows = Vec::new();
-    for w in suite(scale) {
-        let r = overhead_breakdown(&w, 16)?;
-        let mut row = vec![r.name.clone()];
+    for r in &report.rows {
+        let measured = r
+            .overheads
+            .ok_or_else(|| format!("{}: overheads row without fractions", r.scenario))?;
+        let paper = paper_row(&r.scenario).map(|p| p.overheads);
+        let mut row = vec![r.scenario.clone()];
         for i in 0..7 {
-            row.push(format!(
-                "{:.0}/{:.0}",
-                100.0 * r.measured[i],
-                100.0 * r.paper[i]
-            ));
+            row.push(match paper {
+                Some(p) => format!("{:.0}/{:.0}", 100.0 * measured[i], 100.0 * p[i]),
+                None => format!("{:.0}/-", 100.0 * measured[i]),
+            });
         }
-        row.push(format!("{} (paper {})", x(r.speedup), x(r.paper_speedup)));
+        let speedup = r.helix_speedup.map(x).unwrap_or_else(|| "-".into());
+        row.push(match r.paper_speedup {
+            Some(p) => format!("{speedup} (paper {})", x(p)),
+            None => speedup,
+        });
         rows.push(row);
     }
     let mut headers = vec!["benchmark"];
     headers.extend(labels);
     headers.push("speedup");
     println!("{}", table(&headers, &rows));
-    println!("(cells are measured%/paper% of overhead cycles)");
+    println!("(cells are measured%/paper% of overhead cycles; '-' = not in the paper)");
     Ok(())
 }
 
@@ -487,7 +568,11 @@ pub fn run_one(name: &str, scale: Scale) -> R {
         "tlp" => text_tlp(scale),
         "ideal" => text_ideal(scale),
         "all" => run_all(scale),
-        other => Err(format!("unknown figure '{other}'").into()),
+        other => Err(format!(
+            "unknown figure '{other}' (expected one of: {})",
+            FIGURES.join(", ")
+        )
+        .into()),
     }
 }
 
@@ -496,6 +581,11 @@ pub const FIGURES: [&str; 16] = [
     "fig01", "fig02", "fig03", "fig04", "fig05", "table1", "fig07", "fig08", "fig09", "fig10",
     "fig11", "fig12", "table2", "tlp", "ideal", "all",
 ];
+
+/// The campaign-backed subset of [`FIGURES`]: these run
+/// `campaigns/paper.toml` over the committed scenario specs, so every
+/// new `scenarios/*.toml` shows up in them automatically.
+pub const CAMPAIGN_FIGURES: [&str; 3] = ["fig07", "fig09", "fig12"];
 
 // Quiet unused-dependency warnings for crates used only by the binary.
 use helix_analysis as _;

@@ -10,9 +10,11 @@
 //! helix check scenarios/                    # parse + validate + generate
 //! helix list scenarios/                     # one line per scenario
 //! helix smoke scenarios/ --cores 8          # CI gate: every spec must run clean
+//! helix campaign campaigns/smoke.toml       # cross-scenario sweep from one config
 //! helix export scenarios/                   # (re)write the built-in specs
 //! ```
 
+use helix_rc::campaign::{load_campaign, run_campaign};
 use helix_rc::scenario::{run_scenario, RunOverrides, ScenarioReport};
 use helix_rc::workloads::{builtin_specs, generate, Scale, ScenarioSpec};
 use std::path::{Path, PathBuf};
@@ -22,33 +24,38 @@ const USAGE: &str = "\
 helix — declarative scenario runner for the HELIX-RC reproduction
 
 USAGE:
-    helix run    <spec.toml|dir>... [--cores N] [--fuel N] [--full]
-                 [--out FILE | --out-dir DIR] [--quiet]
-    helix check  <spec.toml|dir>...
-    helix list   <dir>...
-    helix smoke  <dir>... [--cores N] [--fuel N] [--full] [--out-dir DIR]
-    helix export <dir>
+    helix run      <spec.toml|dir>... [--cores N] [--fuel N] [--full]
+                   [--out FILE | --out-dir DIR] [--quiet]
+    helix check    <spec.toml|dir>...
+    helix list     <dir>...
+    helix smoke    <dir>... [--cores N] [--fuel N] [--full] [--out-dir DIR]
+    helix campaign <campaign.toml> [--full] [--out FILE] [--quiet]
+    helix export   <dir>
     helix help
 
 COMMANDS:
-    run     Compile + simulate each scenario on its configured machines
-            and print a summary; JSON reports go to --out / --out-dir.
-    check   Parse, validate, and generate each scenario without
-            simulating (fast schema check).
-    list    Show name, kind, size, and description of each scenario.
-    smoke   Run every scenario end-to-end, report each failure, and exit
-            non-zero if any failed — the CI gate that keeps committed
-            specs runnable.
-    export  Write the built-in scenario specs (SPEC stand-ins + novel
-            workloads) into a directory as TOML.
+    run      Compile + simulate each scenario on its configured machines
+             and print a summary; JSON reports go to --out / --out-dir.
+    check    Parse, validate, and generate each scenario without
+             simulating (fast schema check).
+    list     Show name, kind, size, and description of each scenario.
+    smoke    Run every scenario end-to-end, report each failure, and
+             exit non-zero if any failed — the CI gate that keeps
+             committed specs runnable.
+    campaign Run a cross-scenario sweep campaign: one TOML config names
+             scenario specs (globs) plus a machine/compiler grid, cells
+             run in parallel, and the aggregated paper-style tables are
+             printed (JSON report via --out).
+    export   Write the built-in scenario specs (SPEC stand-ins + novel
+             workloads) into a directory as TOML.
 
 OPTIONS:
-    --cores N     Override the spec's core count
-    --fuel N      Override the spec's simulation cycle budget
+    --cores N     Override the spec's core count (run/smoke)
+    --fuel N      Override the spec's simulation cycle budget (run/smoke)
     --full        Use the Full problem scale (default: Test)
-    --out FILE    Write the JSON report here (single scenario only)
+    --out FILE    Write the JSON report here
     --out-dir DIR Write one <name>.report.json per scenario
-    --quiet       Suppress per-run tables; print one line per scenario
+    --quiet       One line per scenario instead of full tables
 ";
 
 fn fail(message: impl AsRef<str>) -> ExitCode {
@@ -257,10 +264,7 @@ fn cmd_list(opts: &Options) -> Result<(), String> {
         println!(
             "{:<12} {:<4} n={:<5} {}",
             spec.name,
-            match spec.kind {
-                helix_rc::workloads::Kind::Int => "int",
-                helix_rc::workloads::Kind::Fp => "fp",
-            },
+            spec.kind.render(),
             spec.base_n,
             spec.description
         );
@@ -304,6 +308,47 @@ fn cmd_smoke(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_campaign(opts: &Options) -> Result<(), String> {
+    // The grid comes from the campaign file; silently ignoring per-run
+    // overrides would run a different sweep than the user asked for.
+    if opts.cores.is_some() || opts.fuel.is_some() {
+        return Err("campaign does not take --cores/--fuel: edit the campaign's [grid]".into());
+    }
+    if opts.out_dir.is_some() {
+        return Err("campaign writes one aggregated report: use --out FILE".into());
+    }
+    let [input] = opts.inputs.as_slice() else {
+        return Err("campaign takes exactly one campaign file".into());
+    };
+    let path = Path::new(input);
+    let (mut campaign, scenarios) = load_campaign(path).map_err(|e| e.to_string())?;
+    if opts.full {
+        campaign.scale = Scale::Full;
+    }
+    let t0 = std::time::Instant::now();
+    let report = run_campaign(&campaign, &scenarios).map_err(|e| e.to_string())?;
+    let wall = t0.elapsed().as_secs_f64();
+    if opts.quiet {
+        for (scenario, speedup) in report.helix_speedups() {
+            println!("{scenario:<12} helix-rc speedup {speedup:.2}x");
+        }
+    } else {
+        println!("{}", report.table());
+    }
+    eprintln!(
+        "campaign '{}': {} scenario(s), {} row(s) in {wall:.1}s",
+        report.name,
+        report.scenarios.len(),
+        report.rows.len()
+    );
+    if let Some(out) = &opts.out {
+        std::fs::write(out, report.to_json())
+            .map_err(|e| format!("cannot write '{}': {e}", out.display()))?;
+        eprintln!("report -> {}", out.display());
+    }
+    Ok(())
+}
+
 fn cmd_export(opts: &Options) -> Result<(), String> {
     let [dir] = opts.inputs.as_slice() else {
         return Err("export takes exactly one directory".into());
@@ -336,6 +381,7 @@ fn main() -> ExitCode {
         "check" => cmd_check(&opts),
         "list" => cmd_list(&opts),
         "smoke" => cmd_smoke(&opts),
+        "campaign" => cmd_campaign(&opts),
         "export" => cmd_export(&opts),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

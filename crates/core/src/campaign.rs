@@ -1,0 +1,558 @@
+//! Campaign execution: run a declarative [`CampaignSpec`] — one config
+//! file naming a set of scenario specs plus a machine/compiler grid —
+//! and aggregate every cell into a single [`CampaignReport`].
+//!
+//! Each grid cell (scenario × experiment × core count) lowers onto the
+//! corresponding [`crate::experiment`] function, cells execute in
+//! parallel via rayon, and aggregation is stable-ordered: cells are
+//! enumerated deterministically up front and results are collected
+//! positionally, so the report never depends on thread timing. Nothing
+//! wall-clock-dependent enters the report, which makes it byte-identical
+//! across runs of the same campaign + seed — the property the
+//! per-scenario CI speedup gate and the determinism tests rely on.
+
+use crate::experiment::{
+    compiler_generations, coupled_vs_ring, decoupling_lattice, link_latency_settings,
+    node_memory_settings, overhead_breakdown, signal_bandwidth_settings, sweep_core_count,
+    sweep_ring, ExpError,
+};
+use crate::report::json_escape as esc;
+use helix_workloads::{
+    geomean, workload_from_spec, CampaignExperiment, CampaignSpec, ScenarioSpec, Workload,
+};
+use rayon::prelude::*;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One aggregated grid cell: a scenario measured by one experiment at
+/// one core count. Headline fields are `Some` when the experiment
+/// produces them; `points` always carries the experiment's full set of
+/// labelled measurements in a stable order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// `"int"` or `"fp"`.
+    pub kind: String,
+    /// Experiment name (see [`CampaignExperiment::render`]).
+    pub experiment: String,
+    /// Core count of this cell (the largest swept count for
+    /// `core_sweep`).
+    pub cores: usize,
+    /// HELIX-RC speedup over the sequential baseline.
+    pub helix_speedup: Option<f64>,
+    /// Published speedup, when the paper measured this scenario.
+    pub paper_speedup: Option<f64>,
+    /// Sequential baseline cycles.
+    pub seq_cycles: Option<u64>,
+    /// HELIX-RC run cycles.
+    pub helix_cycles: Option<u64>,
+    /// Fraction of ring-run busy cycles spent communicating.
+    pub comm_frac: Option<f64>,
+    /// Fig. 12 overhead fractions.
+    pub overheads: Option<[f64; 7]>,
+    /// All labelled measurements of the experiment, in its native order.
+    pub points: Vec<(String, f64)>,
+}
+
+/// The aggregated result of one campaign run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Campaign name.
+    pub name: String,
+    /// Campaign description.
+    pub description: String,
+    /// `"Test"` or `"Full"`.
+    pub scale: String,
+    /// Seed offset the campaign applied to every scenario.
+    pub seed: i64,
+    /// Scenario names, sorted (the sweep's row universe).
+    pub scenarios: Vec<String>,
+    /// One row per grid cell, grouped by experiment then cores then
+    /// scenario.
+    pub rows: Vec<CampaignRow>,
+}
+
+impl CampaignReport {
+    /// Per-scenario headline HELIX-RC speedups, from the first
+    /// `generations` row of each scenario. This is the series the CI
+    /// per-scenario regression gate compares against its committed
+    /// baseline.
+    pub fn helix_speedups(&self) -> Vec<(String, f64)> {
+        let mut out: Vec<(String, f64)> = Vec::new();
+        for row in &self.rows {
+            if row.experiment == "generations" && !out.iter().any(|(n, _)| *n == row.scenario) {
+                if let Some(s) = row.helix_speedup {
+                    out.push((row.scenario.clone(), s));
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as a deterministic JSON document (no wall-clock fields:
+    /// two runs of the same campaign + seed are byte-identical).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"harness\": \"campaign\",");
+        let _ = writeln!(out, "  \"name\": \"{}\",", esc(&self.name));
+        let _ = writeln!(out, "  \"description\": \"{}\",", esc(&self.description));
+        let _ = writeln!(out, "  \"scale\": \"{}\",", esc(&self.scale));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let names: Vec<String> = self
+            .scenarios
+            .iter()
+            .map(|n| format!("\"{}\"", esc(n)))
+            .collect();
+        let _ = writeln!(out, "  \"scenarios\": [{}],", names.join(", "));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"scenario\": \"{}\", \"kind\": \"{}\", \"experiment\": \"{}\", \
+                 \"cores\": {}",
+                esc(&row.scenario),
+                esc(&row.kind),
+                esc(&row.experiment),
+                row.cores
+            );
+            if let Some(s) = row.helix_speedup {
+                let _ = write!(out, ", \"helix_speedup\": {s:.4}");
+            }
+            if let Some(s) = row.paper_speedup {
+                let _ = write!(out, ", \"paper_speedup\": {s:.4}");
+            }
+            if let Some(c) = row.seq_cycles {
+                let _ = write!(out, ", \"seq_cycles\": {c}");
+            }
+            if let Some(c) = row.helix_cycles {
+                let _ = write!(out, ", \"helix_cycles\": {c}");
+            }
+            if let Some(f) = row.comm_frac {
+                let _ = write!(out, ", \"comm_frac\": {f:.4}");
+            }
+            if let Some(o) = row.overheads {
+                let cells: Vec<String> = o.iter().map(|v| format!("{v:.4}")).collect();
+                let _ = write!(out, ", \"overheads\": [{}]", cells.join(", "));
+            }
+            let points: Vec<String> = row
+                .points
+                .iter()
+                .map(|(label, value)| {
+                    format!("{{\"label\": \"{}\", \"value\": {value:.4}}}", esc(label))
+                })
+                .collect();
+            let _ = write!(out, ", \"points\": [{}]}}", points.join(", "));
+            out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Render paper-style text tables: one table per (experiment, core
+    /// count) group, with INT/FP geomean rows where speedups are
+    /// comparable across scenarios.
+    pub fn table(&self) -> String {
+        use crate::report::{table, x};
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "campaign '{}' — {} scenario(s), scale {}{}",
+            self.name,
+            self.scenarios.len(),
+            self.scale,
+            if self.seed != 0 {
+                format!(", seed offset {}", self.seed)
+            } else {
+                String::new()
+            }
+        );
+        let mut groups: Vec<(String, usize)> = Vec::new();
+        for row in &self.rows {
+            let key = (row.experiment.clone(), row.cores);
+            if !groups.contains(&key) {
+                groups.push(key);
+            }
+        }
+        for (experiment, cores) in groups {
+            let rows: Vec<&CampaignRow> = self
+                .rows
+                .iter()
+                .filter(|r| r.experiment == experiment && r.cores == cores)
+                .collect();
+            let _ = writeln!(out, "\n== {experiment} @ {cores} cores ==");
+            let labels: Vec<String> = rows
+                .first()
+                .map(|r| r.points.iter().map(|(l, _)| l.clone()).collect())
+                .unwrap_or_default();
+            let with_paper = rows.iter().any(|r| r.paper_speedup.is_some());
+            let mut headers: Vec<&str> = vec!["benchmark"];
+            headers.extend(labels.iter().map(String::as_str));
+            if with_paper {
+                headers.push("paper HELIX-RC");
+            }
+            let fmt_cell = |label: &str, v: f64| -> String {
+                // Percent-style labels render as percentages, speedups
+                // as "N.NNx".
+                if label.contains('%') || label.contains("frac") {
+                    format!("{v:.1}")
+                } else {
+                    x(v)
+                }
+            };
+            let mut body: Vec<Vec<String>> = Vec::new();
+            for r in &rows {
+                let mut cells = vec![r.scenario.clone()];
+                for (label, v) in &r.points {
+                    cells.push(fmt_cell(label, *v));
+                }
+                if with_paper {
+                    cells.push(r.paper_speedup.map(x).unwrap_or_else(|| "-".into()));
+                }
+                body.push(cells);
+            }
+            // Geomean rows make sense when every point is a speedup.
+            let all_speedups = !labels.is_empty()
+                && labels
+                    .iter()
+                    .all(|l| !l.contains('%') && !l.contains("frac"));
+            if all_speedups {
+                for (kind, tag) in [("int", "INT geomean"), ("fp", "FP geomean")] {
+                    let of_kind: Vec<&&CampaignRow> =
+                        rows.iter().filter(|r| r.kind == kind).collect();
+                    if of_kind.is_empty() {
+                        continue;
+                    }
+                    let mut cells = vec![tag.to_string()];
+                    for col in 0..labels.len() {
+                        cells.push(x(geomean(of_kind.iter().map(|r| r.points[col].1))));
+                    }
+                    if with_paper {
+                        let published: Vec<f64> =
+                            of_kind.iter().filter_map(|r| r.paper_speedup).collect();
+                        cells.push(if published.is_empty() {
+                            "-".into()
+                        } else {
+                            x(geomean(published))
+                        });
+                    }
+                    body.push(cells);
+                }
+            }
+            out.push_str(&table(&headers, &body));
+        }
+        out
+    }
+}
+
+/// One deterministic grid cell, enumerated before execution.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    scenario_ix: usize,
+    experiment: CampaignExperiment,
+    cores: usize,
+}
+
+fn paper_speedup(w: &Workload) -> Option<f64> {
+    (w.paper.helix_speedup > 0.0).then_some(w.paper.helix_speedup)
+}
+
+fn blank_row(w: &Workload, experiment: CampaignExperiment, cores: usize) -> CampaignRow {
+    CampaignRow {
+        scenario: w.name.clone(),
+        kind: w.kind.render().into(),
+        experiment: experiment.render().into(),
+        cores,
+        helix_speedup: None,
+        paper_speedup: None,
+        seq_cycles: None,
+        helix_cycles: None,
+        comm_frac: None,
+        overheads: None,
+        points: Vec::new(),
+    }
+}
+
+fn run_cell(cell: Cell, sweep_cores: &[usize], w: &Workload) -> Result<CampaignRow, ExpError> {
+    let mut row = blank_row(w, cell.experiment, cell.cores);
+    match cell.experiment {
+        CampaignExperiment::Generations => {
+            let r = compiler_generations(w, cell.cores)?;
+            row.points = vec![
+                ("HCCv1".into(), r.v1),
+                ("HCCv2".into(), r.v2),
+                ("HELIX-RC".into(), r.helix_rc),
+            ];
+            row.helix_speedup = Some(r.helix_rc);
+            row.paper_speedup = paper_speedup(w);
+            row.seq_cycles = Some(r.seq_cycles);
+            row.helix_cycles = Some(r.helix_cycles);
+        }
+        CampaignExperiment::CoupledVsRing => {
+            let r = coupled_vs_ring(w, cell.cores)?;
+            row.points = vec![
+                ("C % of seq".into(), r.conventional_pct),
+                ("R % of seq".into(), r.ring_pct),
+                ("C comm frac %".into(), 100.0 * r.conventional_comm_frac),
+                ("R comm frac %".into(), 100.0 * r.ring_comm_frac),
+            ];
+            row.comm_frac = Some(r.ring_comm_frac);
+        }
+        CampaignExperiment::Overheads => {
+            let r = overhead_breakdown(w, cell.cores)?;
+            row.points = vec![("speedup".into(), r.speedup)];
+            row.helix_speedup = Some(r.speedup);
+            row.paper_speedup = paper_speedup(w);
+            row.overheads = Some(r.measured);
+        }
+        CampaignExperiment::Lattice => {
+            let pts = decoupling_lattice(w, cell.cores)?;
+            row.helix_speedup = pts.last().map(|(_, s)| *s);
+            row.points = pts
+                .into_iter()
+                .map(|(p, s)| (p.label().to_string(), s))
+                .collect();
+        }
+        CampaignExperiment::CoreSweep => {
+            row.points = sweep_core_count(w, sweep_cores)?;
+            row.helix_speedup = row.points.last().map(|(_, s)| *s);
+        }
+        CampaignExperiment::RingLatency => {
+            row.points = sweep_ring(w, cell.cores, &link_latency_settings())?;
+        }
+        CampaignExperiment::RingBandwidth => {
+            row.points = sweep_ring(w, cell.cores, &signal_bandwidth_settings())?;
+        }
+        CampaignExperiment::RingMemory => {
+            row.points = sweep_ring(w, cell.cores, &node_memory_settings())?;
+        }
+    }
+    Ok(row)
+}
+
+/// Load a campaign file and every scenario spec it references. Errors
+/// name the offending file — a campaign whose scenario set cannot be
+/// resolved fails before any simulation starts.
+pub fn load_campaign(path: &Path) -> Result<(CampaignSpec, Vec<ScenarioSpec>), ExpError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read campaign '{}': {e}", path.display()))?;
+    let spec = CampaignSpec::from_toml(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let base = path.parent().unwrap_or_else(|| Path::new("."));
+    let files = spec
+        .resolve_scenarios(base)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut scenarios = Vec::new();
+    for file in files {
+        let text = std::fs::read_to_string(&file)
+            .map_err(|e| format!("cannot read scenario '{}': {e}", file.display()))?;
+        let scenario =
+            ScenarioSpec::from_toml(&text).map_err(|e| format!("{}: {e}", file.display()))?;
+        scenarios.push(scenario);
+    }
+    scenarios.sort_by(|a, b| a.name.cmp(&b.name));
+    for pair in scenarios.windows(2) {
+        if pair[0].name == pair[1].name {
+            return Err(format!(
+                "{}: scenario '{}' is matched more than once",
+                path.display(),
+                pair[0].name
+            )
+            .into());
+        }
+    }
+    Ok((spec, scenarios))
+}
+
+/// Run a campaign over already-loaded scenario specs: apply the
+/// campaign's seed offset, lower every grid cell onto its experiment
+/// function, execute the cells in parallel, and aggregate in a stable
+/// order.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    scenarios: &[ScenarioSpec],
+) -> Result<CampaignReport, ExpError> {
+    spec.validate().map_err(|e| format!("{}", e))?;
+    if scenarios.is_empty() {
+        return Err(format!("campaign '{}': no scenarios to run", spec.name).into());
+    }
+    // Scenario order is by name regardless of how the caller loaded
+    // them, so reports are comparable across directory layouts.
+    let mut ordered: Vec<&ScenarioSpec> = scenarios.iter().collect();
+    ordered.sort_by(|a, b| a.name.cmp(&b.name));
+
+    let workloads: Vec<Workload> = ordered
+        .par_iter()
+        .map(|s| {
+            let mut reseeded = (*s).clone();
+            reseeded.seed = reseeded.seed.wrapping_add(spec.seed);
+            workload_from_spec(&reseeded, spec.scale)
+        })
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("campaign '{}': {e}", spec.name))?;
+
+    let grid_cores: Vec<usize> = spec.grid.cores.iter().map(|&c| c as usize).collect();
+    // The core-count sweep has its own axis so `cores` can stay pinned
+    // (e.g. the paper's 16) while the sweep covers 2..16.
+    let sweep_cores: Vec<usize> = if spec.grid.sweep_cores.is_empty() {
+        grid_cores.clone()
+    } else {
+        spec.grid.sweep_cores.iter().map(|&c| c as usize).collect()
+    };
+    let mut cells: Vec<Cell> = Vec::new();
+    for &experiment in &spec.grid.experiments {
+        if experiment == CampaignExperiment::CoreSweep {
+            // The sweep consumes the whole core axis as one cell.
+            let cores = *sweep_cores.iter().max().expect("validated non-empty cores");
+            for scenario_ix in 0..workloads.len() {
+                cells.push(Cell {
+                    scenario_ix,
+                    experiment,
+                    cores,
+                });
+            }
+        } else {
+            for &cores in &grid_cores {
+                for scenario_ix in 0..workloads.len() {
+                    cells.push(Cell {
+                        scenario_ix,
+                        experiment,
+                        cores,
+                    });
+                }
+            }
+        }
+    }
+
+    let rows: Vec<CampaignRow> = cells
+        .par_iter()
+        .map(|&cell| {
+            run_cell(cell, &sweep_cores, &workloads[cell.scenario_ix]).map_err(|e| {
+                format!(
+                    "campaign '{}': {} / {}: {e}",
+                    spec.name,
+                    workloads[cell.scenario_ix].name,
+                    cell.experiment.render()
+                )
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    Ok(CampaignReport {
+        name: spec.name.clone(),
+        description: spec.description.clone(),
+        scale: format!("{:?}", spec.scale),
+        seed: spec.seed,
+        scenarios: ordered.iter().map(|s| s.name.clone()).collect(),
+        rows,
+    })
+}
+
+/// Load and run a campaign file in one call.
+pub fn run_campaign_file(path: &Path) -> Result<CampaignReport, ExpError> {
+    let (spec, scenarios) = load_campaign(path)?;
+    run_campaign(&spec, &scenarios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_workloads::{builtin_spec, CampaignGrid, Scale};
+
+    fn tiny_campaign(experiments: Vec<CampaignExperiment>) -> (CampaignSpec, Vec<ScenarioSpec>) {
+        let spec = CampaignSpec {
+            name: "tiny".into(),
+            description: "unit fixture".into(),
+            scenarios: vec!["unused.toml".into()],
+            scale: Scale::Test,
+            seed: 0,
+            grid: CampaignGrid {
+                cores: vec![8],
+                sweep_cores: vec![],
+                experiments,
+            },
+        };
+        (spec, vec![builtin_spec("175.vpr").unwrap()])
+    }
+
+    /// Grid lowering: a generations cell must reproduce the exact
+    /// numbers of the equivalent hand-built experiment call.
+    #[test]
+    fn generations_cell_matches_direct_experiment_call() {
+        let (spec, scenarios) = tiny_campaign(vec![CampaignExperiment::Generations]);
+        let report = run_campaign(&spec, &scenarios).unwrap();
+        assert_eq!(report.rows.len(), 1);
+        let row = &report.rows[0];
+
+        let w = workload_from_spec(&scenarios[0], Scale::Test).unwrap();
+        let direct = compiler_generations(&w, 8).unwrap();
+        assert_eq!(row.helix_speedup, Some(direct.helix_rc));
+        assert_eq!(row.seq_cycles, Some(direct.seq_cycles));
+        assert_eq!(row.helix_cycles, Some(direct.helix_cycles));
+        assert_eq!(
+            row.points,
+            vec![
+                ("HCCv1".to_string(), direct.v1),
+                ("HCCv2".to_string(), direct.v2),
+                ("HELIX-RC".to_string(), direct.helix_rc),
+            ]
+        );
+        assert_eq!(row.paper_speedup, Some(6.1));
+    }
+
+    /// Same campaign + seed twice => byte-identical reports.
+    #[test]
+    fn campaign_reports_are_byte_identical() {
+        let (spec, scenarios) = tiny_campaign(vec![
+            CampaignExperiment::Generations,
+            CampaignExperiment::CoupledVsRing,
+        ]);
+        let a = run_campaign(&spec, &scenarios).unwrap();
+        let b = run_campaign(&spec, &scenarios).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    /// The campaign seed offset re-rolls distribution-baked scenarios.
+    #[test]
+    fn seed_offset_changes_distribution_scenarios() {
+        let (mut spec, _) = tiny_campaign(vec![CampaignExperiment::Generations]);
+        let scenarios = vec![builtin_spec("910.bursty").unwrap()];
+        let base = run_campaign(&spec, &scenarios).unwrap();
+        spec.seed = 1;
+        let reseeded = run_campaign(&spec, &scenarios).unwrap();
+        assert_eq!(reseeded.seed, 1);
+        assert_ne!(
+            base.rows[0].seq_cycles, reseeded.rows[0].seq_cycles,
+            "seed offset must perturb the baked work tables"
+        );
+    }
+
+    #[test]
+    fn helix_speedups_come_from_generations_rows() {
+        let (spec, scenarios) = tiny_campaign(vec![
+            CampaignExperiment::CoupledVsRing,
+            CampaignExperiment::Generations,
+        ]);
+        let report = run_campaign(&spec, &scenarios).unwrap();
+        let speedups = report.helix_speedups();
+        assert_eq!(speedups.len(), 1);
+        assert_eq!(speedups[0].0, "175.vpr");
+        assert!(speedups[0].1 > 1.0);
+    }
+
+    #[test]
+    fn table_renders_geomeans_and_groups() {
+        let (spec, scenarios) = tiny_campaign(vec![CampaignExperiment::Generations]);
+        let report = run_campaign(&spec, &scenarios).unwrap();
+        let text = report.table();
+        assert!(text.contains("== generations @ 8 cores =="), "{text}");
+        assert!(text.contains("INT geomean"), "{text}");
+        assert!(text.contains("175.vpr"), "{text}");
+    }
+
+    #[test]
+    fn empty_scenario_set_is_an_error() {
+        let (spec, _) = tiny_campaign(vec![CampaignExperiment::Generations]);
+        assert!(run_campaign(&spec, &[]).is_err());
+    }
+}

@@ -68,6 +68,10 @@ pub struct CompilerGenerations {
     pub helix_rc: f64,
     /// Published HELIX-RC speedup, for reference.
     pub paper_helix: f64,
+    /// Sequential baseline cycles (the denominator of every speedup).
+    pub seq_cycles: u64,
+    /// Cycles of the HELIX-RC run.
+    pub helix_cycles: u64,
 }
 
 /// Run the headline comparison for one workload at `cores`. The
@@ -91,7 +95,7 @@ pub fn compiler_generations(w: &Workload, cores: usize) -> Result<CompilerGenera
                 None => simulate_sequential(&w.program, cfg, FUEL)?,
                 Some(c) => {
                     let rep = simulate(c, cfg, FUEL)?;
-                    check(&rep, w.name)?;
+                    check(&rep, &w.name)?;
                     rep
                 }
             };
@@ -106,6 +110,8 @@ pub fn compiler_generations(w: &Workload, cores: usize) -> Result<CompilerGenera
         v2: seq as f64 / reports[2].cycles.max(1) as f64,
         helix_rc: seq as f64 / reports[3].cycles.max(1) as f64,
         paper_helix: w.paper.helix_speedup,
+        seq_cycles: seq,
+        helix_cycles: reports[3].cycles,
     })
 }
 
@@ -453,7 +459,7 @@ pub fn overhead_breakdown(w: &Workload, cores: usize) -> Result<OverheadRow, Exp
     let compiled = compile(&w.program, &HccConfig::v3(cores as u32))?;
     let seq = baseline_cycles(w, &MachineConfig::conventional(cores))?;
     let rep = simulate(&compiled, &MachineConfig::helix_rc(cores), FUEL)?;
-    check(&rep, w.name)?;
+    check(&rep, &w.name)?;
     Ok(OverheadRow {
         name: w.name.to_string(),
         measured: rep.attribution.overhead_fractions(),
@@ -479,7 +485,7 @@ pub fn iteration_lengths(w: &Workload) -> Result<Vec<u32>, ExpError> {
 pub fn sharing_profile(w: &Workload, cores: usize) -> Result<(Vec<f64>, Vec<f64>), ExpError> {
     let compiled = compile(&w.program, &HccConfig::v3(cores as u32))?;
     let rep = simulate(&compiled, &MachineConfig::helix_rc(cores), FUEL)?;
-    check(&rep, w.name)?;
+    check(&rep, &w.name)?;
     let stats = rep.ring_stats.expect("ring stats present");
     Ok((stats.distance_distribution(), stats.consumer_distribution()))
 }

@@ -15,7 +15,12 @@
 //! * [`report`] — plain-text figure rendering;
 //! * [`scenario`] — end-to-end execution of declarative
 //!   [`ScenarioSpec`](helix_workloads::ScenarioSpec)s (generate →
-//!   compile → simulate) with JSON reporting, backing the `helix` CLI.
+//!   compile → simulate) with JSON reporting, backing the `helix` CLI;
+//! * [`campaign`] — cross-scenario sweep campaigns: one
+//!   [`CampaignSpec`](helix_workloads::CampaignSpec) config fans out
+//!   over a scenario set × machine/compiler grid, runs the cells in
+//!   parallel, and aggregates a deterministic report (the `helix
+//!   campaign` subcommand and the spec-driven figures).
 //!
 //! # Examples
 //!
@@ -33,11 +38,13 @@
 #![warn(missing_docs)]
 
 pub mod analysis_figs;
+pub mod campaign;
 pub mod experiment;
 pub mod related;
 pub mod report;
 pub mod scenario;
 
+pub use campaign::{load_campaign, run_campaign, run_campaign_file, CampaignReport, CampaignRow};
 pub use experiment::{
     compiler_generations, core_type_sweep, coupled_vs_ring, decoupling_lattice, iteration_lengths,
     overhead_breakdown, sharing_profile, sweep_core_count, sweep_ring, LatticePoint,

@@ -91,23 +91,7 @@ impl ScenarioReport {
 
     /// Render as a JSON document.
     pub fn to_json(&self) -> String {
-        fn esc(s: &str) -> String {
-            // Match bench_sim's json_escape plus control characters, so
-            // a scenario name with a newline still yields valid JSON.
-            let mut out = String::with_capacity(s.len());
-            for c in s.chars() {
-                match c {
-                    '\\' => out.push_str("\\\\"),
-                    '"' => out.push_str("\\\""),
-                    '\n' => out.push_str("\\n"),
-                    '\t' => out.push_str("\\t"),
-                    '\r' => out.push_str("\\r"),
-                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                    c => out.push(c),
-                }
-            }
-            out
-        }
+        use crate::report::json_escape as esc;
         fn rows(out: &mut String, name: &str, rows: &[RunRow]) {
             out.push_str(&format!("  \"{name}\": [\n"));
             for (i, r) in rows.iter().enumerate() {
@@ -286,10 +270,7 @@ pub fn run_scenario(
 
     Ok(ScenarioReport {
         scenario: spec.name.clone(),
-        kind: match spec.kind {
-            helix_workloads::Kind::Int => "int".into(),
-            helix_workloads::Kind::Fp => "fp".into(),
-        },
+        kind: spec.kind.render().into(),
         scale: format!("{scale:?}"),
         cores,
         compiler: compiler_label(spec.run.compiler).into(),

@@ -227,7 +227,7 @@ impl ProgramBuilder {
         let mut rng = crate::rng::SplitMix64::new(seed);
         let t = self.reg();
         for i in 0..count {
-            let v = dist.sample(&mut rng);
+            let v = dist.sample_at(i, &mut rng);
             self.const_i(t, v);
             self.store(t, AddrExpr::region(region, i * 8), Ty::I64);
         }

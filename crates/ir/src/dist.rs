@@ -50,11 +50,51 @@ pub enum Distribution {
         /// Inclusive upper bound on samples.
         cap: i64,
     },
+    /// Zipf-like (exponent ≈ 1) heavy tail over `1..=max`: most samples
+    /// are tiny, rare ones approach `max`. Sampled as a discrete
+    /// log-uniform — a uniformly random octave `[2^k, 2^(k+1))`, then
+    /// uniform within it, redrawing values above `max` so a partial top
+    /// octave is weighted by its width instead of concentrating its
+    /// probability on a few values. Matches the 1/x density octave by
+    /// octave using only integer arithmetic (no libm, bit-exact across
+    /// platforms).
+    Zipf {
+        /// Inclusive upper bound on samples (>= 1).
+        max: i64,
+    },
+    /// Phase-change workload: iterations run in contiguous regimes that
+    /// alternate between `low` and `high` work every `period` samples —
+    /// the SimPoint-style phase behavior of real programs, as opposed to
+    /// [`Distribution::Bursty`]'s isolated spikes. The regime is a
+    /// function of the *sample index*, so this variant is only
+    /// meaningful through [`Distribution::sample_at`].
+    PhaseChange {
+        /// Work units inside a low phase.
+        low: i64,
+        /// Work units inside a high phase.
+        high: i64,
+        /// Samples per phase before the regime flips (>= 1).
+        period: i64,
+    },
 }
 
 impl Distribution {
-    /// Draw one sample. All arms clamp their result to be >= 1 so a
-    /// generated loop body never degenerates to zero work.
+    /// Draw one sample. Index-free distributions ignore `index`;
+    /// [`Distribution::PhaseChange`] uses it to decide which regime the
+    /// sample falls in. This is the primitive
+    /// [`ProgramBuilder::init_region_from_dist`](crate::ProgramBuilder::init_region_from_dist)
+    /// bakes work tables with: slot `i` of the table is `sample_at(i)`.
+    pub fn sample_at(&self, index: i64, rng: &mut SplitMix64) -> i64 {
+        if let Distribution::PhaseChange { low, high, period } = *self {
+            let phase = index.max(0) / period.max(1);
+            return if phase % 2 == 0 { low } else { high }.max(1);
+        }
+        self.sample(rng)
+    }
+
+    /// Draw one index-free sample (`sample_at` with index 0). All arms
+    /// clamp their result to be >= 1 so a generated loop body never
+    /// degenerates to zero work.
     pub fn sample(&self, rng: &mut SplitMix64) -> i64 {
         let v = match *self {
             Distribution::Fixed { value } => value,
@@ -83,6 +123,30 @@ impl Distribution {
                 }
                 k
             }
+            Distribution::Zipf { max } => {
+                let max = max.max(1) as u64;
+                // floor(log2(max)) + 1 octaves; each full octave is
+                // equally likely, so density falls off ~1/x across
+                // octave boundaries. Draws past `max` (possible only in
+                // the top, partial octave) are rejected and redrawn,
+                // which scales that octave's probability by its width —
+                // without this, Zipf{max: 256} would hand the single
+                // value 256 a whole octave's probability mass. Retries
+                // are capped so sampling always terminates; the odds of
+                // exhausting them are < 2^-64.
+                let octaves = 64 - max.leading_zeros() as u64;
+                let mut v = 1;
+                for _ in 0..64 {
+                    let lo = 1u64 << rng.next_below(octaves);
+                    v = lo + rng.next_below(lo);
+                    if v <= max {
+                        break;
+                    }
+                    v = 1;
+                }
+                v as i64
+            }
+            Distribution::PhaseChange { low, .. } => low,
         };
         v.max(1)
     }
@@ -101,6 +165,24 @@ impl Distribution {
                 p * long as f64 + (1.0 - p) * short as f64
             }
             Distribution::Geometric { mean, cap } => (mean as f64).min(cap as f64),
+            Distribution::Zipf { max } => {
+                // Mean of the discrete log-uniform sampler: each octave
+                // is weighted by its (possibly partial) width, and
+                // within an octave the mean is the midpoint.
+                let max = max.max(1) as u64;
+                let octaves = 64 - max.leading_zeros();
+                let mut sum = 0.0;
+                let mut weight = 0.0;
+                for k in 0..octaves {
+                    let lo = 1u64 << k;
+                    let width = (lo.min(max + 1 - lo)) as f64;
+                    let w = width / lo as f64;
+                    sum += w * (lo as f64 + (width - 1.0) / 2.0);
+                    weight += w;
+                }
+                sum / weight
+            }
+            Distribution::PhaseChange { low, high, .. } => (low + high) as f64 / 2.0,
         }
     }
 }
@@ -159,6 +241,55 @@ mod tests {
     }
 
     #[test]
+    fn zipf_is_bounded_and_heavy_tailed() {
+        let vs = samples(Distribution::Zipf { max: 256 }, 4000);
+        assert!(vs.iter().all(|&v| (1..=256).contains(&v)));
+        // Every full octave is equally likely (~1/8 of samples each
+        // after the partial-octave rejection), so roughly 1/8 of the
+        // samples are exactly 1 and small values dominate large ones.
+        let ones = vs.iter().filter(|&&v| v == 1).count();
+        let small = vs.iter().filter(|&&v| v <= 16).count();
+        let large = vs.iter().filter(|&&v| v > 128).count();
+        assert!((200..=900).contains(&ones), "{ones} ones");
+        assert!(small > large, "small {small} <= large {large}");
+        assert!(large > 0, "tail never sampled");
+        // The partial top octave (just {256} at max = 2^8) must be
+        // weighted by its width, not handed a full octave's mass.
+        let maxed = vs.iter().filter(|&&v| v == 256).count();
+        assert!(maxed < 40, "P(max) inflated: {maxed}/4000");
+    }
+
+    #[test]
+    fn phase_change_alternates_by_index() {
+        let d = Distribution::PhaseChange {
+            low: 3,
+            high: 50,
+            period: 4,
+        };
+        let mut rng = SplitMix64::new(1);
+        let vs: Vec<i64> = (0..16).map(|i| d.sample_at(i, &mut rng)).collect();
+        assert_eq!(&vs[0..4], &[3, 3, 3, 3]);
+        assert_eq!(&vs[4..8], &[50, 50, 50, 50]);
+        assert_eq!(&vs[8..12], &[3, 3, 3, 3]);
+        assert_eq!(&vs[12..16], &[50, 50, 50, 50]);
+    }
+
+    #[test]
+    fn sample_at_matches_sample_for_index_free_dists() {
+        for d in [
+            Distribution::Fixed { value: 5 },
+            Distribution::Uniform { lo: 1, hi: 9 },
+            Distribution::Zipf { max: 64 },
+        ] {
+            let mut a = SplitMix64::new(7);
+            let mut b = SplitMix64::new(7);
+            for i in 0..100 {
+                assert_eq!(d.sample_at(i, &mut a), d.sample(&mut b), "{d:?} at {i}");
+            }
+        }
+    }
+
+    #[test]
     fn means_are_sensible() {
         assert_eq!(Distribution::Fixed { value: 4 }.mean(), 4.0);
         assert_eq!(Distribution::Uniform { lo: 2, hi: 6 }.mean(), 4.0);
@@ -168,5 +299,13 @@ mod tests {
             period: 4,
         };
         assert_eq!(b.mean(), 6.0);
+        let p = Distribution::PhaseChange {
+            low: 2,
+            high: 10,
+            period: 8,
+        };
+        assert_eq!(p.mean(), 6.0);
+        let z = Distribution::Zipf { max: 256 }.mean();
+        assert!((1.0..=128.0).contains(&z), "zipf mean {z}");
     }
 }

@@ -1,0 +1,504 @@
+//! Declarative cross-scenario sweep campaigns.
+//!
+//! A [`CampaignSpec`] is one TOML file that names a *set* of scenario
+//! specs (glob patterns over `scenarios/`) plus a grid of machine/
+//! compiler axes — core counts, ring settings, decoupling points, the
+//! problem scale — and the experiments to run per grid cell. The
+//! campaign runner in `helix-rc` lowers every cell onto the existing
+//! experiment functions and aggregates the results into a single
+//! report, so a paper-style cross-benchmark sweep (Figs. 7–12) is one
+//! config file instead of one hand-written harness per figure.
+//!
+//! ```toml
+//! name = "smoke"
+//! description = "Fast CI subset"
+//! scenarios = ["../scenarios/175.vpr.toml", "../scenarios/9*.toml"]
+//! scale = "test"
+//! seed = 0
+//!
+//! [grid]
+//! cores = [8]
+//! experiments = ["generations", "coupled_vs_ring"]
+//! ```
+//!
+//! Scenario patterns resolve relative to the campaign file's directory,
+//! so a committed campaign works from any working directory.
+
+use crate::common::Scale;
+use crate::spec::SpecError;
+use crate::toml::{self, Table, Value};
+use std::path::{Path, PathBuf};
+
+type Result<T> = std::result::Result<T, SpecError>;
+
+/// One experiment family to run per (scenario × cores) grid cell. Each
+/// variant lowers onto exactly one `helix_rc::experiment` function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignExperiment {
+    /// Sequential baseline + HCCv1/v2 on conventional hardware + HCCv3
+    /// on the ring (Figs. 1/7): the headline per-scenario speedups.
+    Generations,
+    /// HCCv3 code on conventional vs ring-cache hardware with the
+    /// communication-fraction split (Fig. 9).
+    CoupledVsRing,
+    /// The overhead taxonomy of the HELIX-RC run (Fig. 12).
+    Overheads,
+    /// The five decoupling points of Fig. 8 (nothing / registers /
+    /// +synchronization / +memory / everything).
+    Lattice,
+    /// HELIX-RC speedup at every core count in the grid (Fig. 11a).
+    CoreSweep,
+    /// Ring sweep over adjacent-node link latencies (Fig. 11b).
+    RingLatency,
+    /// Ring sweep over signal bandwidths (Fig. 11c).
+    RingBandwidth,
+    /// Ring sweep over node memory sizes (Fig. 11d).
+    RingMemory,
+}
+
+impl CampaignExperiment {
+    /// Every experiment, in report order.
+    pub const ALL: [CampaignExperiment; 8] = [
+        CampaignExperiment::Generations,
+        CampaignExperiment::CoupledVsRing,
+        CampaignExperiment::Overheads,
+        CampaignExperiment::Lattice,
+        CampaignExperiment::CoreSweep,
+        CampaignExperiment::RingLatency,
+        CampaignExperiment::RingBandwidth,
+        CampaignExperiment::RingMemory,
+    ];
+
+    /// Stable spelling used in campaign files and reports.
+    pub fn render(self) -> &'static str {
+        match self {
+            CampaignExperiment::Generations => "generations",
+            CampaignExperiment::CoupledVsRing => "coupled_vs_ring",
+            CampaignExperiment::Overheads => "overheads",
+            CampaignExperiment::Lattice => "lattice",
+            CampaignExperiment::CoreSweep => "core_sweep",
+            CampaignExperiment::RingLatency => "ring_latency",
+            CampaignExperiment::RingBandwidth => "ring_bandwidth",
+            CampaignExperiment::RingMemory => "ring_memory",
+        }
+    }
+
+    fn parse(s: &str) -> Result<CampaignExperiment> {
+        CampaignExperiment::ALL
+            .into_iter()
+            .find(|e| e.render() == s)
+            .ok_or_else(|| {
+                SpecError::new(format!(
+                    "unknown experiment '{s}' (expected one of: {})",
+                    CampaignExperiment::ALL.map(|e| e.render()).join(", ")
+                ))
+            })
+    }
+}
+
+/// The machine/compiler grid of a campaign: which core counts to run,
+/// and which experiments to lower per (scenario × cores) cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignGrid {
+    /// Core counts: one cell per count for every per-cell experiment.
+    pub cores: Vec<i64>,
+    /// Core counts for [`CampaignExperiment::CoreSweep`], which
+    /// consumes the whole list as a single sweep cell per scenario.
+    /// Empty means "use `cores`".
+    pub sweep_cores: Vec<i64>,
+    /// Experiments per cell, in file order.
+    pub experiments: Vec<CampaignExperiment>,
+}
+
+impl Default for CampaignGrid {
+    fn default() -> Self {
+        CampaignGrid {
+            cores: vec![16],
+            sweep_cores: Vec::new(),
+            experiments: vec![CampaignExperiment::Generations],
+        }
+    }
+}
+
+/// A complete declarative campaign: scenario set + grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// Campaign name (report title).
+    pub name: String,
+    /// One-line description.
+    pub description: String,
+    /// Glob patterns over scenario spec files, relative to the campaign
+    /// file's directory. Only the final path component may contain `*`.
+    pub scenarios: Vec<String>,
+    /// Problem scale for every run.
+    pub scale: Scale,
+    /// Seed offset added to every scenario's own seed, so one knob
+    /// re-rolls all distribution-baked work tables of the whole sweep.
+    pub seed: i64,
+    /// The machine/compiler grid.
+    pub grid: CampaignGrid,
+}
+
+fn scale_render(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Full => "full",
+    }
+}
+
+fn scale_parse(s: &str) -> Result<Scale> {
+    match s {
+        "test" => Ok(Scale::Test),
+        "full" => Ok(Scale::Full),
+        other => Err(SpecError::new(format!(
+            "unknown scale '{other}' (expected \"test\" or \"full\")"
+        ))),
+    }
+}
+
+/// Match one path component against a `*`-glob (no separators; `*`
+/// matches any possibly-empty substring).
+pub fn glob_match(name: &str, pattern: &str) -> bool {
+    fn rec(name: &[u8], pat: &[u8]) -> bool {
+        match pat.iter().position(|&c| c == b'*') {
+            None => name == pat,
+            Some(ix) => {
+                let (pre, rest) = (&pat[..ix], &pat[ix + 1..]);
+                if name.len() < pre.len() || &name[..pre.len()] != pre {
+                    return false;
+                }
+                let name = &name[pre.len()..];
+                (0..=name.len()).any(|k| rec(&name[k..], rest))
+            }
+        }
+    }
+    rec(name.as_bytes(), pattern.as_bytes())
+}
+
+impl CampaignSpec {
+    /// Check internal consistency (names present, grid sane).
+    pub fn validate(&self) -> Result<()> {
+        if self.name.is_empty() {
+            return Err(SpecError::new("campaign name must not be empty"));
+        }
+        if self.scenarios.is_empty() {
+            return Err(SpecError::new(format!(
+                "{}: campaign names no scenario patterns",
+                self.name
+            )));
+        }
+        if self.grid.cores.is_empty() || self.grid.experiments.is_empty() {
+            return Err(SpecError::new(format!(
+                "{}: grid needs at least one core count and one experiment",
+                self.name
+            )));
+        }
+        for &cores in self.grid.cores.iter().chain(&self.grid.sweep_cores) {
+            if !(1..=4096).contains(&cores) {
+                return Err(SpecError::new(format!(
+                    "{}: grid cores must be in 1..=4096, got {cores}",
+                    self.name
+                )));
+            }
+        }
+        for (i, e) in self.grid.experiments.iter().enumerate() {
+            if self.grid.experiments[..i].contains(e) {
+                return Err(SpecError::new(format!(
+                    "{}: duplicate experiment '{}'",
+                    self.name,
+                    e.render()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Expand the scenario patterns against the filesystem, relative to
+    /// `base_dir` (the campaign file's directory). The result is sorted
+    /// and deduplicated, so campaign cell order never depends on
+    /// directory-iteration order. Every pattern must match at least one
+    /// file — a sweep silently missing its workloads is a config bug.
+    pub fn resolve_scenarios(&self, base_dir: &Path) -> Result<Vec<PathBuf>> {
+        let mut files: Vec<PathBuf> = Vec::new();
+        for pattern in &self.scenarios {
+            let mut dir = base_dir.to_path_buf();
+            let components: Vec<&str> = pattern.split('/').filter(|c| !c.is_empty()).collect();
+            let Some((last, parents)) = components.split_last() else {
+                return Err(SpecError::new(format!(
+                    "{}: empty scenario pattern",
+                    self.name
+                )));
+            };
+            for parent in parents {
+                if parent.contains('*') {
+                    return Err(SpecError::new(format!(
+                        "{}: pattern '{pattern}': '*' is only supported in the file name",
+                        self.name
+                    )));
+                }
+                dir.push(parent);
+            }
+            if last.contains('*') {
+                let entries = std::fs::read_dir(&dir).map_err(|e| {
+                    SpecError::new(format!(
+                        "{}: pattern '{pattern}': cannot read '{}': {e}",
+                        self.name,
+                        dir.display()
+                    ))
+                })?;
+                let mut matched = false;
+                for entry in entries.filter_map(|e| e.ok()) {
+                    let name = entry.file_name();
+                    let Some(name) = name.to_str() else { continue };
+                    if glob_match(name, last) && entry.path().is_file() {
+                        files.push(entry.path());
+                        matched = true;
+                    }
+                }
+                if !matched {
+                    return Err(SpecError::new(format!(
+                        "{}: pattern '{pattern}' matched no files under '{}'",
+                        self.name,
+                        dir.display()
+                    )));
+                }
+            } else {
+                let path = dir.join(last);
+                if !path.is_file() {
+                    return Err(SpecError::new(format!(
+                        "{}: scenario spec '{}' does not exist",
+                        self.name,
+                        path.display()
+                    )));
+                }
+                files.push(path);
+            }
+        }
+        files.sort();
+        files.dedup();
+        Ok(files)
+    }
+
+    /// Serialize to the TOML subset of [`crate::toml`].
+    pub fn to_toml(&self) -> String {
+        let mut root = Table::new();
+        root.set("name", Value::Str(self.name.clone()));
+        root.set("description", Value::Str(self.description.clone()));
+        root.set(
+            "scenarios",
+            Value::Array(self.scenarios.iter().cloned().map(Value::Str).collect()),
+        );
+        root.set("scale", Value::Str(scale_render(self.scale).into()));
+        root.set("seed", Value::Int(self.seed));
+        let mut grid = Table::new();
+        grid.set(
+            "cores",
+            Value::Array(self.grid.cores.iter().map(|&c| Value::Int(c)).collect()),
+        );
+        if !self.grid.sweep_cores.is_empty() {
+            grid.set(
+                "sweep_cores",
+                Value::Array(
+                    self.grid
+                        .sweep_cores
+                        .iter()
+                        .map(|&c| Value::Int(c))
+                        .collect(),
+                ),
+            );
+        }
+        grid.set(
+            "experiments",
+            Value::Array(
+                self.grid
+                    .experiments
+                    .iter()
+                    .map(|e| Value::Str(e.render().into()))
+                    .collect(),
+            ),
+        );
+        root.set("grid", Value::Table(grid));
+        toml::write(&root)
+    }
+
+    /// Parse a campaign from TOML text. The result is validated.
+    pub fn from_toml(text: &str) -> Result<CampaignSpec> {
+        let root = toml::parse(text).map_err(|e| SpecError::new(e.to_string()))?;
+        let what = "campaign";
+        let req_str = |key: &str| -> Result<String> {
+            root.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| SpecError::new(format!("{what}: missing string key '{key}'")))
+        };
+        let scenarios = root
+            .get("scenarios")
+            .and_then(Value::as_array)
+            .ok_or_else(|| SpecError::new(format!("{what}: 'scenarios' must be an array")))?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| SpecError::new(format!("{what}: scenario patterns are strings")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let grid = match root.get("grid") {
+            None => CampaignGrid::default(),
+            Some(v) => {
+                let t = v
+                    .as_table()
+                    .ok_or_else(|| SpecError::new(format!("{what}: 'grid' must be a table")))?;
+                let defaults = CampaignGrid::default();
+                CampaignGrid {
+                    cores: match t.get("cores") {
+                        None => defaults.cores,
+                        Some(v) => v
+                            .as_array()
+                            .ok_or_else(|| SpecError::new("grid.cores: array of integers"))?
+                            .iter()
+                            .map(|c| {
+                                c.as_int()
+                                    .ok_or_else(|| SpecError::new("grid.cores: integers"))
+                            })
+                            .collect::<Result<Vec<_>>>()?,
+                    },
+                    sweep_cores: match t.get("sweep_cores") {
+                        None => defaults.sweep_cores,
+                        Some(v) => v
+                            .as_array()
+                            .ok_or_else(|| SpecError::new("grid.sweep_cores: array of integers"))?
+                            .iter()
+                            .map(|c| {
+                                c.as_int()
+                                    .ok_or_else(|| SpecError::new("grid.sweep_cores: integers"))
+                            })
+                            .collect::<Result<Vec<_>>>()?,
+                    },
+                    experiments: match t.get("experiments") {
+                        None => defaults.experiments,
+                        Some(v) => v
+                            .as_array()
+                            .ok_or_else(|| SpecError::new("grid.experiments: array of strings"))?
+                            .iter()
+                            .map(|e| {
+                                e.as_str()
+                                    .ok_or_else(|| SpecError::new("grid.experiments: strings"))
+                                    .and_then(CampaignExperiment::parse)
+                            })
+                            .collect::<Result<Vec<_>>>()?,
+                    },
+                }
+            }
+        };
+        let spec = CampaignSpec {
+            name: req_str("name")?,
+            description: root
+                .get("description")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            scenarios,
+            scale: match root.get("scale") {
+                None => Scale::Test,
+                Some(v) => scale_parse(
+                    v.as_str()
+                        .ok_or_else(|| SpecError::new("campaign: 'scale' must be a string"))?,
+                )?,
+            },
+            seed: root.get("seed").and_then(Value::as_int).unwrap_or(0),
+            grid,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> CampaignSpec {
+        CampaignSpec {
+            name: "demo".into(),
+            description: "round-trip fixture".into(),
+            scenarios: vec![
+                "../scenarios/*.toml".into(),
+                "../scenarios/175.vpr.toml".into(),
+            ],
+            scale: Scale::Test,
+            seed: 3,
+            grid: CampaignGrid {
+                cores: vec![4, 8],
+                sweep_cores: vec![2, 4, 8, 16],
+                experiments: vec![
+                    CampaignExperiment::Generations,
+                    CampaignExperiment::CoupledVsRing,
+                    CampaignExperiment::CoreSweep,
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn campaign_round_trips_through_toml() {
+        let spec = demo();
+        let text = spec.to_toml();
+        let parsed = CampaignSpec::from_toml(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn parse_rejects_bad_campaigns() {
+        assert!(CampaignSpec::from_toml("description = \"no name\"\n").is_err());
+        let no_scenarios = "name = \"x\"\nscenarios = []\n";
+        assert!(CampaignSpec::from_toml(no_scenarios).is_err());
+        let bad_exp = "name = \"x\"\nscenarios = [\"a.toml\"]\n[grid]\nexperiments = [\"warp\"]\n";
+        let err = CampaignSpec::from_toml(bad_exp).unwrap_err();
+        assert!(err.message.contains("warp"), "{err}");
+        let bad_scale = "name = \"x\"\nscenarios = [\"a.toml\"]\nscale = \"huge\"\n";
+        assert!(CampaignSpec::from_toml(bad_scale).is_err());
+        let dup = "name = \"x\"\nscenarios = [\"a.toml\"]\n[grid]\nexperiments = [\"lattice\", \"lattice\"]\n";
+        assert!(CampaignSpec::from_toml(dup).is_err());
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let spec = CampaignSpec::from_toml("name = \"x\"\nscenarios = [\"a.toml\"]\n").unwrap();
+        assert_eq!(spec.scale, Scale::Test);
+        assert_eq!(spec.seed, 0);
+        assert_eq!(spec.grid, CampaignGrid::default());
+    }
+
+    #[test]
+    fn glob_matching() {
+        assert!(glob_match("175.vpr.toml", "*.toml"));
+        assert!(glob_match("175.vpr.toml", "175*"));
+        assert!(glob_match("930.zipf.toml", "9*.toml"));
+        assert!(glob_match("abc", "abc"));
+        assert!(glob_match("abc", "a*b*c"));
+        assert!(!glob_match("175.vpr.toml", "*.json"));
+        assert!(!glob_match("abc", "abcd"));
+        assert!(!glob_match("readme.md", "9*.toml"));
+    }
+
+    #[test]
+    fn resolve_reports_missing_files_clearly() {
+        let mut spec = demo();
+        spec.scenarios = vec!["no/such/dir/*.toml".into()];
+        let err = spec
+            .resolve_scenarios(Path::new("/nonexistent-base"))
+            .unwrap_err();
+        assert!(err.message.contains("no/such/dir"), "{err}");
+        spec.scenarios = vec!["missing.toml".into()];
+        let err = spec.resolve_scenarios(Path::new("/tmp")).unwrap_err();
+        assert!(err.message.contains("missing.toml"), "{err}");
+    }
+
+    #[test]
+    fn resolve_rejects_glob_in_directory_component() {
+        let mut spec = demo();
+        spec.scenarios = vec!["sc*/a.toml".into()];
+        let err = spec.resolve_scenarios(Path::new("/tmp")).unwrap_err();
+        assert!(err.message.contains("file name"), "{err}");
+    }
+}

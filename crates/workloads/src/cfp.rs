@@ -1,222 +1,53 @@
-//! Synthetic stand-ins for the four SPEC CFP2000 benchmarks.
+//! Synthetic stand-ins for the four SPEC CFP2000 benchmarks (paper §6.1).
 //!
-//! Numerical programs parallelize with compiler work alone once the
-//! analysis is strong enough (paper §2.1): the hot loops here are
-//! in-place array updates whose independence requires the affine
-//! induction reasoning HCCv2 added — HCCv1's baseline analysis reports a
-//! false self-dependence and skips them, reproducing the Fig. 1 gap.
+//! Like [`crate::cint`], these constructors are thin shims over the
+//! pinned declarative specs in [`crate::spec_builtin`]: the TOML files
+//! under `scenarios/` are the canonical definitions, and the workspace
+//! tests pin spec-generated programs to the cycle counts these names
+//! have always produced.
 //!
-//! Floating-point values are kept exactly representable (small-integer
-//! arithmetic in `f64`) so parallel reduction re-association cannot
-//! change results and equivalence tests stay bit-exact.
+//! The FP programs carry the paper's CFP characteristics: near-total
+//! HCCv2 coverage (Table 1) and overheads dominated by low trip counts
+//! and iteration imbalance rather than communication (Fig. 12).
 
-use crate::common::{doall_phase, fill_hash, Scale};
-use helix_ir::{AddrExpr, BinOp, Operand, Program, ProgramBuilder, Ty, UnOp};
+use crate::common::Scale;
+use crate::gen::generate;
+use crate::spec_builtin;
+use helix_ir::Program;
 
-/// 183.equake — seismic wave propagation (sparse element kernels).
-///
-/// The hot loop is invoked once per element from a long serial driver
-/// and has a *very low trip count*, so idle cores dominate its overhead
-/// (87.7% in the paper) while still reaching ~10×.
+fn lower(spec: crate::ScenarioSpec, scale: Scale) -> Program {
+    generate(&spec, scale).unwrap_or_else(|e| panic!("built-in spec {}: {e}", spec.name))
+}
+
+/// 183.equake — seismic element kernels: a serial driver around a
+/// very-low-trip floating-point loop (87.7% low-trip overhead).
 pub fn equake(scale: Scale) -> Program {
-    let elements = scale.n(60);
-    let trip = 48i64;
-    let mut b = ProgramBuilder::new("183.equake");
-    let disp = b.region("disp", (trip as u64 + 1) * 8, Ty::F64);
-    let vel = b.region("vel", (trip as u64 + 1) * 8, Ty::F64);
-    let raw = b.region("raw", (elements as u64 + 1) * 8, Ty::I64);
-    let smoothed = b.region("smoothed", (elements as u64 + 1) * 8, Ty::I64);
-    fill_hash(&mut b, raw, elements, 61);
-    // Coarse phase: HCCv1-visible coverage.
-    doall_phase(&mut b, raw, smoothed, elements, 30);
-    // Initialize the element state.
-    b.counted_loop(0, trip, 1, |b, i| {
-        let f = b.reg();
-        b.un(f, UnOp::IntToF, i);
-        b.store(f, AddrExpr::region_indexed(disp, i, 8, 0), Ty::F64);
-        b.store(f, AddrExpr::region_indexed(vel, i, 8, 0), Ty::F64);
-    });
-    // Serial element driver with the small hot kernel inside.
-    let phase = b.reg();
-    b.const_i(phase, 3);
-    b.counted_loop(0, elements, 1, |b, e| {
-        // Element bookkeeping chain (keeps the outer loop serial).
-        b.bin(phase, BinOp::Mul, phase, 31i64);
-        b.bin(phase, BinOp::Xor, phase, e);
-        // Hot kernel: disp[i] += vel[i] * 2 (in-place; needs affine
-        // analysis to prove independent).
-        b.counted_loop(0, trip, 1, |b, i| {
-            let [d, v] = b.regs();
-            b.load(d, AddrExpr::region_indexed(disp, i, 8, 0), Ty::F64);
-            b.load(v, AddrExpr::region_indexed(vel, i, 8, 0), Ty::F64);
-            b.bin(v, BinOp::FMul, v, Operand::fimm(2.0));
-            b.bin(d, BinOp::FAdd, d, v);
-            // Library math call: free under lib-call semantics, a world
-            // clobber for HCCv1's baseline analysis (Fig. 1's FP gap).
-            let s = b.reg();
-            b.call(
-                Some(s),
-                helix_ir::Intrinsic::SinApprox,
-                vec![Operand::Reg(d)],
-            );
-            b.bin(d, BinOp::FAdd, d, s);
-            let t = b.reg();
-            b.bin(t, BinOp::FMul, d, Operand::fimm(0.5));
-            b.store(t, AddrExpr::region_indexed(disp, i, 8, 0), Ty::F64);
-        });
-    });
-    b.finish()
+    lower(spec_builtin::equake_spec(), scale)
 }
 
-/// 179.art — adaptive resonance image matching.
-///
-/// Streaming in-place f64 updates plus an `FMax` match reduction
-/// (order-independent, so privatization is exact). Memory-dominated.
+/// 179.art — adaptive resonance matching: in-place normalization with an
+/// `FMax` match reduction.
 pub fn art(scale: Scale) -> Program {
-    let n = scale.n(700);
-    let mut b = ProgramBuilder::new("179.art");
-    let f1 = b.region("f1_layer", (n as u64 + 1) * 8, Ty::F64);
-    let raw = b.region("raw", (n as u64 + 1) * 8, Ty::I64);
-    let pre = b.region("pre", (n as u64 + 1) * 8, Ty::I64);
-    let out = b.region("out", 64, Ty::F64);
-    fill_hash(&mut b, raw, n, 67);
-    doall_phase(&mut b, raw, pre, n, 34);
-    // Initialize f1 from the preprocessed integers.
-    b.counted_loop(0, n, 1, |b, i| {
-        let [x, f] = b.regs();
-        b.load(x, AddrExpr::region_indexed(pre, i, 8, 0), Ty::I64);
-        b.bin(x, BinOp::And, x, 1023i64);
-        b.un(f, UnOp::IntToF, x);
-        b.store(f, AddrExpr::region_indexed(f1, i, 8, 0), Ty::F64);
-    });
-    // Hot loop: normalize in place and find the best match.
-    let best = b.reg();
-    b.const_f(best, f64::NEG_INFINITY);
-    b.counted_loop(0, n, 1, |b, i| {
-        let v = b.reg();
-        b.load(v, AddrExpr::region_indexed(f1, i, 8, 0), Ty::F64);
-        b.bin(v, BinOp::FMul, v, Operand::fimm(0.25));
-        b.bin(v, BinOp::FAdd, v, Operand::fimm(1.0));
-        let s = b.reg();
-        b.call(
-            Some(s),
-            helix_ir::Intrinsic::SinApprox,
-            vec![Operand::Reg(v)],
-        );
-        let w = b.reg();
-        b.bin(w, BinOp::FMul, v, v);
-        b.bin(w, BinOp::FAdd, w, s);
-        b.store(w, AddrExpr::region_indexed(f1, i, 8, 0), Ty::F64);
-        b.bin(best, BinOp::FMax, best, w);
-    });
-    b.store(best, AddrExpr::region(out, 0), Ty::F64);
-    b.finish()
+    lower(spec_builtin::art_spec(), scale)
 }
 
-/// 188.ammp — molecular dynamics force loops.
-///
-/// Long iterations with second-order induction indexing (triangular
-/// pair enumeration): the re-computation prologue is sizeable, so
-/// "additional instructions" dominate its overhead (64% in the paper)
-/// while the speedup stays high.
+/// 188.ammp — molecular-dynamics pair forces with triangular (poly2)
+/// induction indexing.
 pub fn ammp(scale: Scale) -> Program {
-    let n = scale.n(420);
-    let mut b = ProgramBuilder::new("188.ammp");
-    let atoms = b.region("atoms", (2 * n as u64 + 8) * 8, Ty::F64);
-    let forces = b.region("forces", (n as u64 + 8) * 8, Ty::F64);
-    let raw = b.region("raw", (n as u64 + 1) * 8, Ty::I64);
-    let neighbors = b.region("neighbors", (n as u64 + 1) * 8, Ty::I64);
-    fill_hash(&mut b, raw, n, 71);
-    doall_phase(&mut b, raw, neighbors, n, 28);
-    // Initialize coordinates.
-    b.counted_loop(0, 2 * n, 1, |b, i| {
-        let f = b.reg();
-        b.un(f, UnOp::IntToF, i);
-        b.store(f, AddrExpr::region_indexed(atoms, i, 8, 0), Ty::F64);
-    });
-    // Hot loop with a triangular (second-order) index.
-    let [tri, stepv] = b.regs();
-    b.const_i(tri, 0);
-    b.const_i(stepv, 0);
-    b.counted_loop(0, n, 1, |b, i| {
-        // tri = 0,0,1,3,6,... (poly2); step = 0,1,2,...
-        b.bin(tri, BinOp::Add, tri, stepv);
-        b.bin(stepv, BinOp::Add, stepv, 1i64);
-        let j = b.reg();
-        b.bin(j, BinOp::And, tri, 2 * (n - 1));
-        let [x, y] = b.regs();
-        b.load(x, AddrExpr::region_indexed(atoms, i, 8, 0), Ty::F64);
-        b.load(y, AddrExpr::region_indexed(atoms, j, 8, 8), Ty::F64);
-        b.bin(x, BinOp::FAdd, x, y);
-        let s = b.reg();
-        b.call(
-            Some(s),
-            helix_ir::Intrinsic::SinApprox,
-            vec![Operand::Reg(x)],
-        );
-        b.bin(x, BinOp::FAdd, x, s);
-        b.bin(x, BinOp::FMul, x, Operand::fimm(0.5));
-        b.store(x, AddrExpr::region_indexed(forces, i, 8, 0), Ty::F64);
-        b.alu_chain(j, 18);
-    });
-    b.finish()
+    lower(spec_builtin::ammp_spec(), scale)
 }
 
-/// 177.mesa — span rasterization.
-///
-/// In-place pixel operations where one span in sixteen takes the slow
-/// path (texture-like work), so round-robin distribution leaves cores
-/// waiting at the barrier: iteration imbalance dominates (58% in the
-/// paper) at the suite's highest speedup.
+/// 177.mesa — span rasterization where one span in sixteen takes the
+/// heavy texture path (iteration imbalance).
 pub fn mesa(scale: Scale) -> Program {
-    let n = scale.n(900);
-    let mut b = ProgramBuilder::new("177.mesa");
-    let frame = b.region("frame", (n as u64 + 1) * 8, Ty::F64);
-    let raw = b.region("raw", (n as u64 + 1) * 8, Ty::I64);
-    let zbuf = b.region("zbuf", (n as u64 + 1) * 8, Ty::I64);
-    fill_hash(&mut b, raw, n, 73);
-    doall_phase(&mut b, raw, zbuf, n, 26);
-    b.counted_loop(0, n, 1, |b, i| {
-        let z = b.reg();
-        b.load(z, AddrExpr::region_indexed(zbuf, i, 8, 0), Ty::I64);
-        let f = b.reg();
-        b.un(f, UnOp::IntToF, z);
-        let heavy = b.reg();
-        b.bin(heavy, BinOp::And, i, 15i64);
-        let is_heavy = b.reg();
-        b.bin(is_heavy, BinOp::CmpLt, heavy, 1i64);
-        b.if_else(
-            is_heavy,
-            |b| {
-                // Slow path: texture filtering chain.
-                let acc = b.reg();
-                b.copy(acc, 0i64);
-                b.alu_chain(acc, 70);
-                let g = b.reg();
-                b.un(g, UnOp::IntToF, acc);
-                b.bin(g, BinOp::FAdd, g, f);
-                b.store(g, AddrExpr::region_indexed(frame, i, 8, 0), Ty::F64);
-            },
-            |b| {
-                let s = b.reg();
-                b.call(
-                    Some(s),
-                    helix_ir::Intrinsic::SinApprox,
-                    vec![Operand::Reg(f)],
-                );
-                b.bin(f, BinOp::FMul, f, Operand::fimm(0.125));
-                b.bin(f, BinOp::FAdd, f, s);
-                b.store(f, AddrExpr::region_indexed(frame, i, 8, 0), Ty::F64);
-            },
-        );
-    });
-    b.finish()
+    lower(spec_builtin::mesa_spec(), scale)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use helix_ir::interp::{run_to_completion, Env};
+    use helix_ir::Ty;
 
     #[test]
     fn all_cfp_programs_validate_and_run() {

@@ -1,12 +1,12 @@
 //! Scenario generation: lower a [`ScenarioSpec`] to a
-//! [`helix_ir::Program`] through the same construction helpers the
-//! hand-written stand-ins use.
+//! [`helix_ir::Program`] through the shared construction helpers in
+//! [`crate::common`].
 //!
-//! Lowering is deliberately *call-for-call identical* to the
-//! constructors in [`crate::cint`] / [`crate::cfp`]: the SPEC specs in
-//! [`crate::spec_builtin`] produce bit-identical programs (same
-//! registers, blocks, and instructions), which the test suite pins down
-//! to equal simulated cycle counts. Generation is a pure function of
+//! This is the *only* program constructor in the workspace: the SPEC
+//! stand-in functions in [`crate::cint`] / [`crate::cfp`] are thin shims
+//! over their pinned specs in [`crate::spec_builtin`], and the workspace
+//! tests pin the committed `scenarios/*.toml` files to those specs and
+//! to their historical cycle counts. Generation is a pure function of
 //! `(spec, scale)` — distribution-driven tables are sampled host-side
 //! with a seeded [`SplitMix64`](helix_ir::rng::SplitMix64) — so the same
 //! spec file always yields the same program and the same report.
@@ -634,10 +634,11 @@ mod tests {
 
     type Ctor = fn(Scale) -> Program;
 
-    /// The tentpole guarantee: every SPEC spec lowers to a program
-    /// bit-identical to its hand-coded constructor, at both scales.
+    /// The constructor shims in `cint`/`cfp` lower exactly their pinned
+    /// specs, at both scales (a mis-wired shim would silently swap
+    /// workloads).
     #[test]
-    fn spec_programs_match_hand_coded_constructors() {
+    fn spec_programs_match_constructor_shims() {
         let hand: Vec<(&str, Ctor)> = vec![
             ("164.gzip", cint::gzip),
             ("175.vpr", cint::vpr),

@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod cfp;
 pub mod cint;
 pub mod common;
@@ -23,6 +24,7 @@ pub mod spec;
 pub mod spec_builtin;
 pub mod toml;
 
+pub use campaign::{CampaignExperiment, CampaignGrid, CampaignSpec};
 pub use common::Scale;
 pub use gen::generate;
 pub use spec::{ScenarioSpec, SpecError};
@@ -38,6 +40,17 @@ pub enum Kind {
     Int,
     /// SPEC CFP2000 (numerical).
     Fp,
+}
+
+impl Kind {
+    /// The stable lowercase spelling used in scenario TOML, scenario
+    /// reports, and campaign reports.
+    pub fn render(self) -> &'static str {
+        match self {
+            Kind::Int => "int",
+            Kind::Fp => "fp",
+        }
+    }
 }
 
 /// Published paper numbers for one benchmark, used for side-by-side
@@ -57,142 +70,185 @@ pub struct PaperRow {
     pub overheads: [f64; 7],
 }
 
+impl PaperRow {
+    /// Placeholder for scenarios the paper never measured (novel
+    /// workloads opened by the declarative subsystem): all zeros, so
+    /// reports render `-` instead of a bogus reference number.
+    pub const UNPUBLISHED: PaperRow = PaperRow {
+        helix_speedup: 0.0,
+        coverage: [0.0, 0.0, 0.0],
+        phases: 0,
+        overheads: [0.0; 7],
+    };
+}
+
 /// One benchmark: its program plus published reference numbers.
 #[derive(Debug, Clone)]
 pub struct Workload {
-    /// SPEC-style name (e.g. `"164.gzip"`).
-    pub name: &'static str,
+    /// Scenario name (SPEC-style for the stand-ins, e.g. `"164.gzip"`).
+    pub name: String,
     /// Family.
     pub kind: Kind,
     /// The program.
     pub program: Program,
-    /// Published numbers.
+    /// Published numbers ([`PaperRow::UNPUBLISHED`] for novel
+    /// scenarios).
     pub paper: PaperRow,
 }
 
-/// The six CINT2000 stand-ins.
+/// The six CINT2000 stand-ins, in the paper's reporting order.
+const CINT_NAMES: [&str; 6] = [
+    "164.gzip",
+    "175.vpr",
+    "197.parser",
+    "300.twolf",
+    "181.mcf",
+    "256.bzip2",
+];
+
+/// The four CFP2000 stand-ins, in the paper's reporting order.
+const CFP_NAMES: [&str; 4] = ["183.equake", "179.art", "188.ammp", "177.mesa"];
+
+/// Published per-benchmark numbers (Table 1, Fig. 7, Fig. 12), keyed by
+/// SPEC name. Carried separately from the programs so spec-driven
+/// workloads pick up their reference rows by name.
 // The published overhead fractions are verbatim paper constants; one of
 // them happens to sit near 1/π, which is a coincidence, not a math bug.
 #[allow(clippy::approx_constant)]
+const PAPER_ROWS: [(&str, PaperRow); 10] = [
+    (
+        "164.gzip",
+        PaperRow {
+            helix_speedup: 3.0,
+            coverage: [0.423, 0.423, 0.982],
+            phases: 12,
+            overheads: [0.408, 0.081, 0.096, 0.045, 0.0, 0.181, 0.188],
+        },
+    ),
+    (
+        "175.vpr",
+        PaperRow {
+            helix_speedup: 6.1,
+            coverage: [0.551, 0.551, 0.99],
+            phases: 28,
+            overheads: [0.119, 0.004, 0.742, 0.124, 0.0, 0.005, 0.005],
+        },
+    ),
+    (
+        "197.parser",
+        PaperRow {
+            helix_speedup: 7.3,
+            coverage: [0.602, 0.602, 0.987],
+            phases: 19,
+            overheads: [0.313, 0.243, 0.153, 0.05, 0.003, 0.116, 0.122],
+        },
+    ),
+    (
+        "300.twolf",
+        PaperRow {
+            helix_speedup: 7.6,
+            coverage: [0.624, 0.624, 0.99],
+            phases: 18,
+            overheads: [0.001, 0.002, 0.418, 0.014, 0.318, 0.0, 0.246],
+        },
+    ),
+    (
+        "181.mcf",
+        PaperRow {
+            helix_speedup: 8.7,
+            coverage: [0.653, 0.653, 0.99],
+            phases: 19,
+            overheads: [0.377, 0.104, 0.055, 0.012, 0.032, 0.209, 0.212],
+        },
+    ),
+    (
+        "256.bzip2",
+        PaperRow {
+            helix_speedup: 12.0,
+            coverage: [0.721, 0.723, 0.99],
+            phases: 23,
+            overheads: [0.034, 0.034, 0.516, 0.001, 0.011, 0.197, 0.207],
+        },
+    ),
+    (
+        "183.equake",
+        PaperRow {
+            helix_speedup: 10.1,
+            coverage: [0.771, 0.99, 0.99],
+            phases: 7,
+            overheads: [0.002, 0.0, 0.091, 0.015, 0.877, 0.0, 0.015],
+        },
+    ),
+    (
+        "179.art",
+        PaperRow {
+            helix_speedup: 10.5,
+            coverage: [0.841, 0.99, 0.99],
+            phases: 11,
+            overheads: [0.002, 0.0, 0.477, 0.248, 0.161, 0.0, 0.113],
+        },
+    ),
+    (
+        "188.ammp",
+        PaperRow {
+            helix_speedup: 12.5,
+            coverage: [0.602, 0.99, 0.99],
+            phases: 23,
+            overheads: [0.641, 0.08, 0.063, 0.074, 0.089, 0.022, 0.031],
+        },
+    ),
+    (
+        "177.mesa",
+        PaperRow {
+            helix_speedup: 15.1,
+            coverage: [0.643, 0.99, 0.99],
+            phases: 8,
+            overheads: [0.293, 0.009, 0.037, 0.584, 0.073, 0.0, 0.003],
+        },
+    ),
+];
+
+/// The published reference numbers for a benchmark, if the paper
+/// measured it.
+pub fn paper_row(name: &str) -> Option<PaperRow> {
+    PAPER_ROWS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, row)| *row)
+}
+
+/// Build a [`Workload`] from a declarative scenario spec: generate the
+/// program at `scale` and attach the published reference numbers when
+/// the scenario is a SPEC stand-in ([`PaperRow::UNPUBLISHED`]
+/// otherwise). This is how campaign runs and spec-driven figures turn
+/// `scenarios/*.toml` into experiment inputs.
+pub fn workload_from_spec(spec: &ScenarioSpec, scale: Scale) -> Result<Workload, SpecError> {
+    Ok(Workload {
+        name: spec.name.clone(),
+        kind: spec.kind,
+        program: generate(spec, scale)?,
+        paper: paper_row(&spec.name).unwrap_or(PaperRow::UNPUBLISHED),
+    })
+}
+
+fn spec_suite(names: &[&str], scale: Scale) -> Vec<Workload> {
+    names
+        .iter()
+        .map(|name| {
+            let spec = builtin_spec(name).unwrap_or_else(|| panic!("no built-in spec for {name}"));
+            workload_from_spec(&spec, scale).unwrap_or_else(|e| panic!("{name}: {e}"))
+        })
+        .collect()
+}
+
+/// The six CINT2000 stand-ins.
 pub fn cint_suite(scale: Scale) -> Vec<Workload> {
-    vec![
-        Workload {
-            name: "164.gzip",
-            kind: Kind::Int,
-            program: cint::gzip(scale),
-            paper: PaperRow {
-                helix_speedup: 3.0,
-                coverage: [0.423, 0.423, 0.982],
-                phases: 12,
-                overheads: [0.408, 0.081, 0.096, 0.045, 0.0, 0.181, 0.188],
-            },
-        },
-        Workload {
-            name: "175.vpr",
-            kind: Kind::Int,
-            program: cint::vpr(scale),
-            paper: PaperRow {
-                helix_speedup: 6.1,
-                coverage: [0.551, 0.551, 0.99],
-                phases: 28,
-                overheads: [0.119, 0.004, 0.742, 0.124, 0.0, 0.005, 0.005],
-            },
-        },
-        Workload {
-            name: "197.parser",
-            kind: Kind::Int,
-            program: cint::parser(scale),
-            paper: PaperRow {
-                helix_speedup: 7.3,
-                coverage: [0.602, 0.602, 0.987],
-                phases: 19,
-                overheads: [0.313, 0.243, 0.153, 0.05, 0.003, 0.116, 0.122],
-            },
-        },
-        Workload {
-            name: "300.twolf",
-            kind: Kind::Int,
-            program: cint::twolf(scale),
-            paper: PaperRow {
-                helix_speedup: 7.6,
-                coverage: [0.624, 0.624, 0.99],
-                phases: 18,
-                overheads: [0.001, 0.002, 0.418, 0.014, 0.318, 0.0, 0.246],
-            },
-        },
-        Workload {
-            name: "181.mcf",
-            kind: Kind::Int,
-            program: cint::mcf(scale),
-            paper: PaperRow {
-                helix_speedup: 8.7,
-                coverage: [0.653, 0.653, 0.99],
-                phases: 19,
-                overheads: [0.377, 0.104, 0.055, 0.012, 0.032, 0.209, 0.212],
-            },
-        },
-        Workload {
-            name: "256.bzip2",
-            kind: Kind::Int,
-            program: cint::bzip2(scale),
-            paper: PaperRow {
-                helix_speedup: 12.0,
-                coverage: [0.721, 0.723, 0.99],
-                phases: 23,
-                overheads: [0.034, 0.034, 0.516, 0.001, 0.011, 0.197, 0.207],
-            },
-        },
-    ]
+    spec_suite(&CINT_NAMES, scale)
 }
 
 /// The four CFP2000 stand-ins.
 pub fn cfp_suite(scale: Scale) -> Vec<Workload> {
-    vec![
-        Workload {
-            name: "183.equake",
-            kind: Kind::Fp,
-            program: cfp::equake(scale),
-            paper: PaperRow {
-                helix_speedup: 10.1,
-                coverage: [0.771, 0.99, 0.99],
-                phases: 7,
-                overheads: [0.002, 0.0, 0.091, 0.015, 0.877, 0.0, 0.015],
-            },
-        },
-        Workload {
-            name: "179.art",
-            kind: Kind::Fp,
-            program: cfp::art(scale),
-            paper: PaperRow {
-                helix_speedup: 10.5,
-                coverage: [0.841, 0.99, 0.99],
-                phases: 11,
-                overheads: [0.002, 0.0, 0.477, 0.248, 0.161, 0.0, 0.113],
-            },
-        },
-        Workload {
-            name: "188.ammp",
-            kind: Kind::Fp,
-            program: cfp::ammp(scale),
-            paper: PaperRow {
-                helix_speedup: 12.5,
-                coverage: [0.602, 0.99, 0.99],
-                phases: 23,
-                overheads: [0.641, 0.08, 0.063, 0.074, 0.089, 0.022, 0.031],
-            },
-        },
-        Workload {
-            name: "177.mesa",
-            kind: Kind::Fp,
-            program: cfp::mesa(scale),
-            paper: PaperRow {
-                helix_speedup: 15.1,
-                coverage: [0.643, 0.99, 0.99],
-                phases: 8,
-                overheads: [0.293, 0.009, 0.037, 0.584, 0.073, 0.0, 0.003],
-            },
-        },
-    ]
+    spec_suite(&CFP_NAMES, scale)
 }
 
 /// All ten benchmarks, CINT first (the paper's reporting order).

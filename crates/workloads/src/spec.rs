@@ -91,6 +91,12 @@ fn validate_dist(dist: &Distribution) -> Result<()> {
             check(mean, "mean")?;
             check(cap, "cap")
         }
+        Distribution::Zipf { max } => check(max, "max"),
+        Distribution::PhaseChange { low, high, period } => {
+            check(low, "low")?;
+            check(high, "high")?;
+            check(period, "period")
+        }
     }
 }
 
@@ -1003,6 +1009,16 @@ fn dist_to_toml(d: &Distribution) -> Value {
             t.set("mean", Value::Int(mean));
             t.set("cap", Value::Int(cap));
         }
+        Distribution::Zipf { max } => {
+            t.set("kind", Value::Str("zipf".into()));
+            t.set("max", Value::Int(max));
+        }
+        Distribution::PhaseChange { low, high, period } => {
+            t.set("kind", Value::Str("phase_change".into()));
+            t.set("low", Value::Int(low));
+            t.set("high", Value::Int(high));
+            t.set("period", Value::Int(period));
+        }
     }
     Value::Table(t)
 }
@@ -1260,13 +1276,7 @@ impl ScenarioSpec {
         let mut root = Table::new();
         root.set("name", Value::Str(self.name.clone()));
         root.set("description", Value::Str(self.description.clone()));
-        root.set(
-            "kind",
-            Value::Str(match self.kind {
-                Kind::Int => "int".into(),
-                Kind::Fp => "fp".into(),
-            }),
-        );
+        root.set("kind", Value::Str(self.kind.render().into()));
         root.set("base_n", Value::Int(self.base_n));
         root.set("seed", Value::Int(self.seed));
         root.set(
@@ -1376,6 +1386,14 @@ fn dist_from_toml(v: &Value, what: &str) -> Result<Distribution> {
         "geometric" => Ok(Distribution::Geometric {
             mean: req_int(t, "mean", what)?,
             cap: req_int(t, "cap", what)?,
+        }),
+        "zipf" => Ok(Distribution::Zipf {
+            max: req_int(t, "max", what)?,
+        }),
+        "phase_change" => Ok(Distribution::PhaseChange {
+            low: req_int(t, "low", what)?,
+            high: req_int(t, "high", what)?,
+            period: req_int(t, "period", what)?,
         }),
         other => Err(SpecError::new(format!(
             "{what}: unknown distribution '{other}'"

@@ -587,6 +587,121 @@ pub fn blend_spec() -> ScenarioSpec {
     }
 }
 
+/// Novel scenario: Zipf-tailed iteration lengths — the octave-uniform
+/// heavy tail of real irregular inputs (word frequencies, degree
+/// distributions): most iterations are trivial, rare ones are giants,
+/// stressing iteration imbalance far beyond `910.bursty`'s two-level
+/// mix.
+pub fn zipf_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "930.zipf".into(),
+        description: "Zipf(256)-tailed iteration lengths: mostly tiny trips, rare giants".into(),
+        kind: Kind::Int,
+        base_n: 600,
+        seed: 91,
+        regions: vec![
+            ri("items", n1()),
+            ri("stage", n1()),
+            ri("lens", n1()),
+            ri("tab", fixed(256)),
+            ri("out", fixed(8)),
+        ],
+        phases: vec![
+            fill("items", n(), 91),
+            doall("items", "stage", n(), 10),
+            PhaseSpec::HotLoop(HotLoopSpec {
+                trips: n(),
+                input: Some("stage".into()),
+                carry: Some(CarrySpec {
+                    init: 3,
+                    out: "out".into(),
+                }),
+                ops: vec![
+                    OpSpec::VarWork {
+                        region: "lens".into(),
+                        dist: Distribution::Zipf { max: 256 },
+                    },
+                    OpSpec::Table {
+                        region: "tab".into(),
+                        shift: 0,
+                        mask: 255,
+                        op: UpdateOp::Xor,
+                        value: UpdateValue::Cur,
+                    },
+                    OpSpec::Guard {
+                        mask: 7,
+                        then_ops: vec![OpSpec::Carry {
+                            op: CarryOp::Add,
+                            operand: CarryOperand::Cur,
+                        }],
+                        else_ops: vec![],
+                    },
+                ],
+            }),
+        ],
+        run: RunSpec::default(),
+    }
+}
+
+/// Novel scenario: phase-change behavior — the loop alternates between
+/// contiguous light and heavy regimes every 64 iterations (SimPoint-like
+/// program phases), so any single-phase profile mispredicts half the
+/// run.
+pub fn phase_change_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "940.phase".into(),
+        description: "Phase-change loop: work flips between 3 and 60 units every 64 trips".into(),
+        kind: Kind::Int,
+        base_n: 600,
+        seed: 93,
+        regions: vec![
+            ri("src", n1()),
+            ri("mid", n1()),
+            ri("lens", n1()),
+            ri("hist", fixed(128)),
+            ri("out", fixed(8)),
+        ],
+        phases: vec![
+            fill("src", n(), 93),
+            doall("src", "mid", n(), 11),
+            PhaseSpec::HotLoop(HotLoopSpec {
+                trips: n(),
+                input: Some("mid".into()),
+                carry: Some(CarrySpec {
+                    init: 1,
+                    out: "out".into(),
+                }),
+                ops: vec![
+                    OpSpec::VarWork {
+                        region: "lens".into(),
+                        dist: Distribution::PhaseChange {
+                            low: 3,
+                            high: 60,
+                            period: 64,
+                        },
+                    },
+                    OpSpec::Table {
+                        region: "hist".into(),
+                        shift: 0,
+                        mask: 127,
+                        op: UpdateOp::Add,
+                        value: UpdateValue::One,
+                    },
+                    OpSpec::Guard {
+                        mask: 3,
+                        then_ops: vec![OpSpec::Carry {
+                            op: CarryOp::Xor,
+                            operand: CarryOperand::Cur,
+                        }],
+                        else_ops: vec![],
+                    },
+                ],
+            }),
+        ],
+        run: RunSpec::default(),
+    }
+}
+
 /// All built-in scenario specs: the ten SPEC stand-ins in the paper's
 /// reporting order, then the novel scenarios.
 pub fn builtin_specs() -> Vec<ScenarioSpec> {
@@ -604,6 +719,8 @@ pub fn builtin_specs() -> Vec<ScenarioSpec> {
         chase_spec(),
         bursty_spec(),
         blend_spec(),
+        zipf_spec(),
+        phase_change_spec(),
     ]
 }
 

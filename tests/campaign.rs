@@ -1,0 +1,128 @@
+//! Workspace tests for the campaign subsystem: the committed campaign
+//! files must stay loadable, the smoke campaign must run end-to-end
+//! deterministically, grid cells must lower onto the exact experiment
+//! calls, and the committed per-scenario speedup baseline must stay a
+//! valid gate input.
+
+use helix_rc::campaign::{load_campaign, run_campaign};
+use helix_rc::experiment::decoupling_lattice;
+use helix_rc::workloads::{
+    builtin_spec, workload_from_spec, CampaignExperiment, CampaignGrid, CampaignSpec, Scale,
+};
+use std::path::PathBuf;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+/// The committed smoke campaign loads, covers the distribution-
+/// stressing novel scenarios, runs end-to-end, and produces
+/// byte-identical reports across runs (same campaign + seed).
+#[test]
+fn committed_smoke_campaign_runs_deterministically() {
+    let (spec, scenarios) =
+        load_campaign(&repo_path("campaigns/smoke.toml")).expect("smoke campaign loads");
+    assert_eq!(spec.name, "smoke");
+    assert_eq!(spec.scale, Scale::Test);
+    let names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+    for required in ["930.zipf", "940.phase", "175.vpr"] {
+        assert!(names.contains(&required), "smoke set missing {required}");
+    }
+
+    let a = run_campaign(&spec, &scenarios).expect("smoke campaign runs");
+    let b = run_campaign(&spec, &scenarios).expect("smoke campaign runs twice");
+    assert_eq!(a, b, "campaign reports must be deterministic");
+    assert_eq!(a.to_json(), b.to_json(), "reports must be byte-identical");
+
+    // Every scenario contributes a headline speedup for the CI gate.
+    let speedups = a.helix_speedups();
+    assert_eq!(speedups.len(), scenarios.len());
+    for (name, speedup) in &speedups {
+        assert!(
+            *speedup > 0.5,
+            "{name}: helix-rc catastrophically slow ({speedup:.2}x)"
+        );
+    }
+}
+
+/// The committed paper campaign must fan out over *every* committed
+/// scenario spec (the property that makes new scenarios show up in the
+/// sweep figures automatically) and name every experiment family.
+#[test]
+fn committed_paper_campaign_covers_every_committed_scenario() {
+    let (spec, scenarios) =
+        load_campaign(&repo_path("campaigns/paper.toml")).expect("paper campaign loads");
+    let committed = std::fs::read_dir(repo_path("scenarios"))
+        .expect("scenarios/ exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|ext| ext == "toml"))
+        .count();
+    assert_eq!(
+        scenarios.len(),
+        committed,
+        "paper campaign must match every scenarios/*.toml"
+    );
+    assert_eq!(
+        spec.grid.experiments.len(),
+        CampaignExperiment::ALL.len(),
+        "paper campaign must exercise every experiment family"
+    );
+    assert_eq!(spec.grid.cores, vec![16], "paper sweep runs at 16 cores");
+    assert_eq!(spec.grid.sweep_cores, vec![2, 4, 8, 16]);
+}
+
+/// Campaign-grid lowering: a lattice cell must reproduce the exact
+/// numbers of the equivalent hand-built `decoupling_lattice` call
+/// (same MachineConfig/HccConfig per point, hence bit-equal speedups).
+#[test]
+fn lattice_cell_matches_direct_experiment_call() {
+    let scenario = builtin_spec("900.chase").unwrap();
+    let spec = CampaignSpec {
+        name: "lattice-pin".into(),
+        description: String::new(),
+        scenarios: vec!["unused".into()],
+        scale: Scale::Test,
+        seed: 0,
+        grid: CampaignGrid {
+            cores: vec![4],
+            sweep_cores: vec![],
+            experiments: vec![CampaignExperiment::Lattice],
+        },
+    };
+    let report = run_campaign(&spec, std::slice::from_ref(&scenario)).unwrap();
+    assert_eq!(report.rows.len(), 1);
+    let row = &report.rows[0];
+
+    let w = workload_from_spec(&scenario, Scale::Test).unwrap();
+    let direct = decoupling_lattice(&w, 4).unwrap();
+    assert_eq!(row.points.len(), direct.len());
+    for ((label, value), (point, speedup)) in row.points.iter().zip(&direct) {
+        assert_eq!(label, point.label());
+        assert_eq!(value, speedup, "{label}: campaign cell diverges");
+    }
+    assert_eq!(row.helix_speedup, Some(direct.last().unwrap().1));
+}
+
+/// The committed BENCH_scenarios.json baseline must stay a campaign
+/// report with gateable generations rows for the smoke scenario set.
+#[test]
+fn committed_scenario_baseline_is_gateable() {
+    let text = std::fs::read_to_string(repo_path("BENCH_scenarios.json"))
+        .expect("BENCH_scenarios.json committed");
+    assert!(text.contains("\"harness\": \"campaign\""));
+    assert!(text.contains("\"name\": \"smoke\""));
+    assert!(text.contains("\"experiment\": \"generations\""));
+    for scenario in [
+        "175.vpr",
+        "900.chase",
+        "910.bursty",
+        "930.zipf",
+        "940.phase",
+    ] {
+        assert!(
+            text.contains(&format!("\"scenario\": \"{scenario}\"")),
+            "baseline missing {scenario}"
+        );
+    }
+    assert!(text.contains("\"helix_speedup\""));
+}

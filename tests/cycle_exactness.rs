@@ -54,11 +54,11 @@ fn assert_reports_identical(fast: &RunReport, naive: &RunReport, what: &str) {
 #[test]
 fn fast_forward_is_cycle_exact_on_helix_machine() {
     for w in smallest_three() {
-        let compiled = compile(&w.program, &HccConfig::v3(8)).expect(w.name);
+        let compiled = compile(&w.program, &HccConfig::v3(8)).expect(&w.name);
         let cfg = MachineConfig::helix_rc(8);
-        let fast = simulate(&compiled, &cfg, FUEL).expect(w.name);
-        let naive = simulate(&compiled, &cfg.clone().without_fast_forward(), FUEL).expect(w.name);
-        assert_reports_identical(&fast, &naive, w.name);
+        let fast = simulate(&compiled, &cfg, FUEL).expect(&w.name);
+        let naive = simulate(&compiled, &cfg.clone().without_fast_forward(), FUEL).expect(&w.name);
+        assert_reports_identical(&fast, &naive, &w.name);
     }
 }
 
@@ -67,11 +67,11 @@ fn fast_forward_is_cycle_exact_on_helix_machine() {
 #[test]
 fn fast_forward_is_cycle_exact_on_conventional_machine() {
     for w in smallest_three() {
-        let compiled = compile(&w.program, &HccConfig::v3(8)).expect(w.name);
+        let compiled = compile(&w.program, &HccConfig::v3(8)).expect(&w.name);
         let cfg = MachineConfig::conventional(8);
-        let fast = simulate(&compiled, &cfg, FUEL).expect(w.name);
-        let naive = simulate(&compiled, &cfg.clone().without_fast_forward(), FUEL).expect(w.name);
-        assert_reports_identical(&fast, &naive, w.name);
+        let fast = simulate(&compiled, &cfg, FUEL).expect(&w.name);
+        let naive = simulate(&compiled, &cfg.clone().without_fast_forward(), FUEL).expect(&w.name);
+        assert_reports_identical(&fast, &naive, &w.name);
     }
 }
 
@@ -80,10 +80,10 @@ fn fast_forward_is_cycle_exact_on_conventional_machine() {
 fn fast_forward_is_cycle_exact_sequential() {
     for w in smallest_three() {
         let cfg = MachineConfig::conventional(8);
-        let fast = simulate_sequential(&w.program, &cfg, FUEL).expect(w.name);
+        let fast = simulate_sequential(&w.program, &cfg, FUEL).expect(&w.name);
         let naive = simulate_sequential(&w.program, &cfg.clone().without_fast_forward(), FUEL)
-            .expect(w.name);
-        assert_reports_identical(&fast, &naive, w.name);
+            .expect(&w.name);
+        assert_reports_identical(&fast, &naive, &w.name);
     }
 }
 
@@ -92,11 +92,11 @@ fn fast_forward_is_cycle_exact_sequential() {
 #[test]
 fn fast_forward_is_cycle_exact_out_of_order() {
     for w in smallest_three() {
-        let compiled = compile(&w.program, &HccConfig::v3(4)).expect(w.name);
+        let compiled = compile(&w.program, &HccConfig::v3(4)).expect(&w.name);
         let mut cfg = MachineConfig::helix_rc(4);
         cfg.core = helix_rc::sim::CoreModel::OutOfOrder { width: 2, rob: 48 };
-        let fast = simulate(&compiled, &cfg, FUEL).expect(w.name);
-        let naive = simulate(&compiled, &cfg.clone().without_fast_forward(), FUEL).expect(w.name);
-        assert_reports_identical(&fast, &naive, w.name);
+        let fast = simulate(&compiled, &cfg, FUEL).expect(&w.name);
+        let naive = simulate(&compiled, &cfg.clone().without_fast_forward(), FUEL).expect(&w.name);
+        assert_reports_identical(&fast, &naive, &w.name);
     }
 }

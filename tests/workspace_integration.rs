@@ -16,7 +16,7 @@ const FUEL: u64 = 1 << 26;
 #[test]
 fn whole_suite_parallel_equivalence() {
     for w in suite(Scale::Test) {
-        let compiled = compile(&w.program, &HccConfig::v3(16)).expect(w.name);
+        let compiled = compile(&w.program, &HccConfig::v3(16)).expect(&w.name);
         assert!(
             !compiled.plans.is_empty(),
             "{}: nothing parallelized",
@@ -24,10 +24,10 @@ fn whole_suite_parallel_equivalence() {
         );
 
         let mut env = Env::for_program(&compiled.program);
-        run_to_completion(&compiled.program, &mut env).expect(w.name);
+        run_to_completion(&compiled.program, &mut env).expect(&w.name);
         let expect = env.mem.digest();
 
-        let rep = simulate(&compiled, &MachineConfig::helix_rc(16), FUEL).expect(w.name);
+        let rep = simulate(&compiled, &MachineConfig::helix_rc(16), FUEL).expect(&w.name);
         assert_eq!(rep.race_violations, vec![], "{}", w.name);
         assert_eq!(rep.protocol_errors, Vec::<String>::new(), "{}", w.name);
         assert_eq!(rep.mem_digest, expect, "{}: wrong parallel result", w.name);
@@ -42,11 +42,11 @@ fn whole_suite_parallel_equivalence() {
 fn all_generations_preserve_semantics() {
     for w in suite(Scale::Test) {
         let mut env_ref = Env::for_program(&w.program);
-        run_to_completion(&w.program, &mut env_ref).expect(w.name);
+        run_to_completion(&w.program, &mut env_ref).expect(&w.name);
         for cfg in [HccConfig::v1(16), HccConfig::v2(16), HccConfig::v3(16)] {
-            let compiled = compile(&w.program, &cfg).expect(w.name);
+            let compiled = compile(&w.program, &cfg).expect(&w.name);
             let mut env = Env::for_program(&compiled.program);
-            run_to_completion(&compiled.program, &mut env).expect(w.name);
+            run_to_completion(&compiled.program, &mut env).expect(&w.name);
             for (i, _) in w.program.regions.iter().enumerate() {
                 let a = env_ref.mem.region(helix_rc::ir::RegionId(i as u32));
                 let b = env.mem.region(helix_rc::ir::RegionId(i as u32));
@@ -61,8 +61,8 @@ fn all_generations_preserve_semantics() {
 #[test]
 fn coverage_ordering_matches_table1() {
     for w in helix_rc::workloads::cint_suite(Scale::Test) {
-        let v1 = compile(&w.program, &HccConfig::v1(16)).expect(w.name);
-        let v3 = compile(&w.program, &HccConfig::v3(16)).expect(w.name);
+        let v1 = compile(&w.program, &HccConfig::v1(16)).expect(&w.name);
+        let v3 = compile(&w.program, &HccConfig::v3(16)).expect(&w.name);
         assert!(
             v3.stats.coverage > 0.85,
             "{}: HELIX-RC coverage only {:.2}",
@@ -85,7 +85,7 @@ fn coverage_ordering_matches_table1() {
 #[test]
 fn compiled_code_properties() {
     for w in suite(Scale::Test) {
-        let compiled = compile(&w.program, &HccConfig::v3(16)).expect(w.name);
+        let compiled = compile(&w.program, &HccConfig::v3(16)).expect(&w.name);
         for plan in &compiled.plans {
             // Unique segment ids.
             let mut ids: Vec<_> = plan.segments.iter().map(|s| s.id).collect();
