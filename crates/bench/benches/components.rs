@@ -83,9 +83,38 @@ fn cycles_per_sec(c: &mut Criterion) {
     });
 }
 
+/// End-to-end simulator throughput on the dominant configuration: HCCv3
+/// code on the HELIX-RC 16-core machine (ring-decoupled communication),
+/// which every headline figure simulates and which used to be the
+/// slowest simulator path by an order of magnitude. Tracked alongside
+/// `sim/cycles_per_sec` by the bench snapshot job; the naive variant
+/// runs the tree-walking interpreter with the per-cycle loop, so the
+/// two numbers are the before/after of the pre-decoded engine plus the
+/// allocation-free ring hot path.
+fn helix_rc_cycles_per_sec(c: &mut Criterion) {
+    let w = by_name("175.vpr", Scale::Test).unwrap();
+    let compiled = compile(&w.program, &HccConfig::v3(16)).unwrap();
+    c.bench_function("sim/helix_rc_cycles_per_sec", |b| {
+        b.iter(|| simulate(&compiled, &MachineConfig::helix_rc(16), 1 << 26).unwrap())
+    });
+    c.bench_function("sim/helix_rc_cycles_per_sec_naive", |b| {
+        b.iter(|| {
+            simulate(
+                &compiled,
+                &MachineConfig::helix_rc(16)
+                    .with_tree_interpreter()
+                    .without_fast_forward(),
+                1 << 26,
+            )
+            .unwrap()
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = ring_throughput, analysis_speed, compile_speed, simulator_rate, cycles_per_sec
+    targets = ring_throughput, analysis_speed, compile_speed, simulator_rate, cycles_per_sec,
+        helix_rc_cycles_per_sec
 }
 criterion_main!(benches);

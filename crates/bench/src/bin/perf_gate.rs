@@ -90,6 +90,30 @@ fn median(mut values: Vec<f64>) -> f64 {
     }
 }
 
+/// Per-config `cycles_per_sec` medians from a `bench_sim` report's
+/// `config_medians` object (absent in pre-medians baselines).
+fn load_config_medians(path: &str) -> Result<Option<BTreeMap<String, f64>>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let Some(obj) = doc.get("config_medians") else {
+        return Ok(None);
+    };
+    let entries = obj
+        .as_object()
+        .ok_or_else(|| format!("{path}: config_medians is not an object"))?;
+    let mut out = BTreeMap::new();
+    for (config, v) in entries {
+        let m = v
+            .as_num()
+            .ok_or_else(|| format!("{path}: config_medians.{config} is not a number"))?;
+        if m <= 0.0 {
+            return Err(format!("{path}: config_medians.{config} non-positive"));
+        }
+        out.insert(config.clone(), m);
+    }
+    Ok(Some(out))
+}
+
 fn run(baseline_path: &str, fresh_path: &str, tolerance: f64) -> Result<(), String> {
     let baseline = load_rows(baseline_path)?;
     let fresh = load_rows(fresh_path)?;
@@ -127,6 +151,32 @@ fn run(baseline_path: &str, fresh_path: &str, tolerance: f64) -> Result<(), Stri
              floor: the fast path regressed across the whole suite"
         ));
     }
+
+    // Per-config medians (sequential / conventional / helix-rc), gated
+    // with the same normalization: a drop confined to one machine shape
+    // — above all the dominant helix-rc configuration — must not hide
+    // behind healthy per-pair numbers elsewhere.
+    if let Some(base_medians) = load_config_medians(baseline_path)? {
+        let fresh_medians = load_config_medians(fresh_path)?
+            .ok_or_else(|| format!("{fresh_path}: baseline has config_medians but fresh lacks"))?;
+        for (config, base_m) in &base_medians {
+            let fresh_m = fresh_medians
+                .get(config)
+                .ok_or_else(|| format!("fresh run is missing config median '{config}'"))?;
+            let normalized = (fresh_m / base_m) / m;
+            let flag = if normalized < 1.0 - tolerance {
+                failures.push(format!("median[{config}]"));
+                "  << REGRESSION"
+            } else {
+                ""
+            };
+            println!(
+                "  median[{config:<15}] {base_m:>12.0} -> {fresh_m:>12.0}  \
+                 normalized {normalized:6.3}{flag}"
+            );
+        }
+    }
+
     if !failures.is_empty() {
         return Err(format!(
             "{} pair(s) regressed more than {:.0}% relative to the suite: {}",

@@ -57,6 +57,14 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The value as an object's member list, if it is one.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(members) => Some(members),
+            _ => None,
+        }
+    }
 }
 
 /// Parse error with a byte offset.

@@ -1,0 +1,832 @@
+//! Pre-decoded micro-op streams.
+//!
+//! [`decode`] lowers a [`Program`] once into a [`DecodedProgram`]: flat,
+//! cache-friendly structure-of-arrays micro-op tables with pre-resolved
+//! register slots, folded immediates, pre-evaluated address bases and
+//! strides, and per-block metadata. Stepping a thread through the decoded
+//! form ([`DecodedProgram::step`]) performs no per-step enum walking over
+//! nested operand types, no register-list materialization, and no
+//! allocation — the cycle-level simulator's issue loops index straight
+//! into the tables.
+//!
+//! Decoding is purely a change of representation: a decoded step is
+//! observably identical to [`Thread::step`](crate::interp::Thread::step)
+//! on the original program — same register/memory effects, same
+//! [`StepEvent`]s, same [`TraceSink`] callbacks in the same order. The
+//! `decode_exactness` integration tests pin this equivalence across every
+//! committed scenario.
+
+use crate::inst::{AddrBase, BinOp, Inst, Intrinsic, Operand, SharedTag, Terminator, UnOp};
+use crate::interp::{Env, InterpError, StepEvent, Thread};
+use crate::memory::REGION_STRIDE;
+use crate::program::Program;
+use crate::trace::{InstSite, MemAccess, TraceSink};
+use crate::types::{BlockId, SegmentId, Ty, Value};
+
+/// Sentinel register slot meaning "none" (no destination / immediate
+/// operand / absent address component).
+pub const NO_REG: u32 = u32::MAX;
+
+/// A packed operand: a pre-resolved register slot or a folded immediate.
+#[derive(Debug, Clone, Copy)]
+pub struct POp {
+    /// Register slot, or [`NO_REG`] when the operand is an immediate.
+    pub reg: u32,
+    /// Immediate value, meaningful only when `reg == NO_REG`.
+    pub imm: Value,
+}
+
+impl POp {
+    fn pack(op: Operand) -> POp {
+        match op {
+            Operand::Reg(r) => POp {
+                reg: r.0,
+                imm: Value::Int(0),
+            },
+            Operand::Imm(v) => POp {
+                reg: NO_REG,
+                imm: v,
+            },
+        }
+    }
+
+    /// Evaluate against a register file.
+    #[inline]
+    pub fn eval(self, regs: &[Value]) -> Value {
+        if self.reg == NO_REG {
+            self.imm
+        } else {
+            regs[self.reg as usize]
+        }
+    }
+}
+
+/// Operation-specific payload of a micro-op.
+#[derive(Debug, Clone, Copy)]
+pub enum UOpKind {
+    /// `dst = value`.
+    Const {
+        /// Destination slot.
+        dst: u32,
+        /// Folded constant.
+        value: Value,
+    },
+    /// `dst = op src`.
+    Un {
+        /// Destination slot.
+        dst: u32,
+        /// Operation.
+        op: UnOp,
+        /// Packed operand.
+        src: POp,
+    },
+    /// `dst = lhs op rhs`.
+    Bin {
+        /// Destination slot.
+        dst: u32,
+        /// Operation.
+        op: BinOp,
+        /// Left operand.
+        lhs: POp,
+        /// Right operand.
+        rhs: POp,
+    },
+    /// `dst = load ty, [addr]` (address fields live on the [`UOp`]).
+    Load {
+        /// Destination slot.
+        dst: u32,
+        /// Access width.
+        ty: Ty,
+    },
+    /// `store ty, src -> [addr]`.
+    Store {
+        /// Value operand.
+        src: POp,
+        /// Access width.
+        ty: Ty,
+    },
+    /// `dst = intrinsic(args...)`; arguments live in the shared pool.
+    Call {
+        /// Destination slot ([`NO_REG`] when none).
+        dst: u32,
+        /// The intrinsic.
+        intrinsic: Intrinsic,
+        /// Start of the argument run in
+        /// [`DecodedProgram::args_pool`].
+        args_start: u32,
+        /// Argument count.
+        args_len: u32,
+    },
+    /// `wait seg`.
+    Wait {
+        /// Segment to synchronize on.
+        seg: SegmentId,
+    },
+    /// `signal seg`.
+    Signal {
+        /// Segment to signal.
+        seg: SegmentId,
+    },
+    /// No operation.
+    Nop,
+}
+
+/// One pre-decoded micro-op. Fixed-size and `Copy`: the simulator's
+/// issue loops read these straight out of a dense table.
+#[derive(Debug, Clone, Copy)]
+pub struct UOp {
+    /// Operation payload.
+    pub kind: UOpKind,
+    /// Folded constant address component: static region base plus byte
+    /// offset (or just the offset for pointer-based addresses).
+    pub addr_const: u64,
+    /// Register slot holding the pointer base, or [`NO_REG`].
+    pub addr_base_reg: u32,
+    /// Register slot holding the scaled index, or [`NO_REG`].
+    pub addr_index_reg: u32,
+    /// Index scale in bytes.
+    pub addr_scale: i64,
+    /// Shared-access tag for ring routing, if any.
+    pub shared: Option<SharedTag>,
+    /// Destination register slot ([`NO_REG`] when the op defines
+    /// nothing).
+    pub dst: u32,
+    /// Start of this op's register-use run in
+    /// [`DecodedProgram::uses_pool`] (in
+    /// [`Inst::for_each_use`] order, which the simulator's stall
+    /// tie-breaking depends on).
+    pub uses_start: u32,
+    /// Number of registers read.
+    pub uses_len: u8,
+    /// Whether the parallelizer added this instruction (overhead
+    /// attribution).
+    pub is_added: bool,
+    /// Whether the op touches memory.
+    pub is_mem: bool,
+}
+
+impl UOp {
+    /// Evaluate the pre-folded address expression against a register
+    /// file. Identical to
+    /// [`Thread::eval_addr`](crate::interp::Thread::eval_addr) on the
+    /// original instruction: the region base is folded into
+    /// `addr_const` (static region bases are pure arithmetic — see
+    /// [`REGION_STRIDE`]), and wrapping addition commutes.
+    #[inline]
+    pub fn eval_addr(&self, regs: &[Value]) -> u64 {
+        let mut a = self.addr_const;
+        if self.addr_base_reg != NO_REG {
+            a = a.wrapping_add(regs[self.addr_base_reg as usize].as_addr());
+        }
+        if self.addr_index_reg != NO_REG {
+            let idx = regs[self.addr_index_reg as usize]
+                .as_int()
+                .wrapping_mul(self.addr_scale);
+            a = a.wrapping_add(idx as u64);
+        }
+        a
+    }
+}
+
+/// Decoded terminator kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DTermKind {
+    /// Unconditional jump.
+    Jump,
+    /// Two-way branch.
+    Branch,
+    /// Leave the graph.
+    Return,
+}
+
+/// A decoded terminator.
+#[derive(Debug, Clone, Copy)]
+pub struct DTerm {
+    /// What kind of control transfer this is.
+    pub kind: DTermKind,
+    /// Branch condition (meaningful for [`DTermKind::Branch`]).
+    pub cond: POp,
+    /// Taken / jump target.
+    pub then_: BlockId,
+    /// Fall-through target (meaningful for [`DTermKind::Branch`]).
+    pub else_: BlockId,
+}
+
+/// Per-block metadata, precomputed so the issue loops never re-derive
+/// it: dense instruction range, decoded terminator, and op-class counts.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockMeta {
+    /// First micro-op of the block in [`DecodedProgram::uops`].
+    pub start: u32,
+    /// Number of micro-ops in the block.
+    pub len: u32,
+    /// The block's terminator.
+    pub term: DTerm,
+    /// Number of `wait`/`signal` ops in the block.
+    pub sync_ops: u32,
+    /// Number of memory-touching ops in the block.
+    pub mem_ops: u32,
+}
+
+/// A program lowered into flat micro-op tables. Build once with
+/// [`decode`], then drive threads with [`DecodedProgram::step`].
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    /// All micro-ops, blocks laid out contiguously in [`BlockId`] order.
+    pub uops: Vec<UOp>,
+    /// Per-block metadata (indexed by [`BlockId`]).
+    pub blocks: Vec<BlockMeta>,
+    /// Call-argument pool referenced by [`UOpKind::Call`].
+    pub args_pool: Vec<POp>,
+    /// Register-use pool referenced by [`UOp::uses_start`].
+    pub uses_pool: Vec<u32>,
+    /// The original instruction per micro-op (same indexing as `uops`),
+    /// kept so trace sinks observe the identical `&Inst` the tree
+    /// interpreter would hand them.
+    insts: Vec<Inst>,
+    /// Register-file size of the source program.
+    pub n_regs: u32,
+}
+
+/// Base address of static region `index` — the pure-arithmetic layout
+/// [`crate::memory::Memory`] guarantees for program-declared regions.
+fn static_region_base(index: usize) -> u64 {
+    (index as u64 + 1) * REGION_STRIDE
+}
+
+/// Lower `program` into its decoded form.
+pub fn decode(program: &Program) -> DecodedProgram {
+    let mut uops = Vec::with_capacity(program.graph.inst_count());
+    let mut insts = Vec::with_capacity(program.graph.inst_count());
+    let mut blocks = Vec::with_capacity(program.graph.len());
+    let mut args_pool = Vec::new();
+    let mut uses_pool = Vec::new();
+
+    for (_, block) in program.graph.iter() {
+        let start = uops.len() as u32;
+        let mut sync_ops = 0u32;
+        let mut mem_ops = 0u32;
+        for inst in &block.insts {
+            let uses_start = uses_pool.len() as u32;
+            inst.for_each_use(|r| uses_pool.push(r.0));
+            let uses_len = (uses_pool.len() - uses_start as usize) as u8;
+
+            let mut uop = UOp {
+                kind: UOpKind::Nop,
+                addr_const: 0,
+                addr_base_reg: NO_REG,
+                addr_index_reg: NO_REG,
+                addr_scale: 0,
+                shared: None,
+                dst: inst.def().map_or(NO_REG, |r| r.0),
+                uses_start,
+                uses_len,
+                is_added: inst.is_added(),
+                is_mem: inst.is_mem(),
+            };
+            match inst {
+                Inst::Const { dst, value } => {
+                    uop.kind = UOpKind::Const {
+                        dst: dst.0,
+                        value: *value,
+                    };
+                }
+                Inst::Un { dst, op, src } => {
+                    uop.kind = UOpKind::Un {
+                        dst: dst.0,
+                        op: *op,
+                        src: POp::pack(*src),
+                    };
+                }
+                Inst::Bin { dst, op, lhs, rhs } => {
+                    uop.kind = UOpKind::Bin {
+                        dst: dst.0,
+                        op: *op,
+                        lhs: POp::pack(*lhs),
+                        rhs: POp::pack(*rhs),
+                    };
+                }
+                Inst::Load {
+                    dst,
+                    addr,
+                    ty,
+                    shared,
+                    ..
+                } => {
+                    uop.kind = UOpKind::Load {
+                        dst: dst.0,
+                        ty: *ty,
+                    };
+                    uop.shared = *shared;
+                    fold_addr(&mut uop, addr);
+                    mem_ops += 1;
+                }
+                Inst::Store {
+                    src,
+                    addr,
+                    ty,
+                    shared,
+                    ..
+                } => {
+                    uop.kind = UOpKind::Store {
+                        src: POp::pack(*src),
+                        ty: *ty,
+                    };
+                    uop.shared = *shared;
+                    fold_addr(&mut uop, addr);
+                    mem_ops += 1;
+                }
+                Inst::Call {
+                    dst,
+                    intrinsic,
+                    args,
+                } => {
+                    let args_start = args_pool.len() as u32;
+                    args_pool.extend(args.iter().map(|a| POp::pack(*a)));
+                    uop.kind = UOpKind::Call {
+                        dst: dst.map_or(NO_REG, |r| r.0),
+                        intrinsic: *intrinsic,
+                        args_start,
+                        args_len: args.len() as u32,
+                    };
+                    if uop.is_mem {
+                        mem_ops += 1;
+                    }
+                }
+                Inst::Wait { seg } => {
+                    uop.kind = UOpKind::Wait { seg: *seg };
+                    sync_ops += 1;
+                }
+                Inst::Signal { seg } => {
+                    uop.kind = UOpKind::Signal { seg: *seg };
+                    sync_ops += 1;
+                }
+                Inst::Nop { .. } => {}
+            }
+            uops.push(uop);
+            insts.push(inst.clone());
+        }
+        let term = match &block.term {
+            Terminator::Jump(t) => DTerm {
+                kind: DTermKind::Jump,
+                cond: POp::pack(Operand::imm(0)),
+                then_: *t,
+                else_: *t,
+            },
+            Terminator::Branch { cond, then_, else_ } => DTerm {
+                kind: DTermKind::Branch,
+                cond: POp::pack(*cond),
+                then_: *then_,
+                else_: *else_,
+            },
+            Terminator::Return => DTerm {
+                kind: DTermKind::Return,
+                cond: POp::pack(Operand::imm(0)),
+                then_: BlockId(0),
+                else_: BlockId(0),
+            },
+        };
+        blocks.push(BlockMeta {
+            start,
+            len: uops.len() as u32 - start,
+            term,
+            sync_ops,
+            mem_ops,
+        });
+    }
+
+    DecodedProgram {
+        uops,
+        blocks,
+        args_pool,
+        uses_pool,
+        insts,
+        n_regs: program.n_regs,
+    }
+}
+
+fn fold_addr(uop: &mut UOp, addr: &crate::inst::AddrExpr) {
+    match addr.base {
+        AddrBase::Region(r) => {
+            uop.addr_const = static_region_base(r.index()).wrapping_add(addr.offset as u64);
+        }
+        AddrBase::Reg(r) => {
+            uop.addr_const = addr.offset as u64;
+            uop.addr_base_reg = r.0;
+        }
+    }
+    if let Some((r, scale)) = addr.index {
+        uop.addr_index_reg = r.0;
+        uop.addr_scale = scale;
+    }
+}
+
+impl DecodedProgram {
+    /// Metadata of `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn block(&self, block: BlockId) -> &BlockMeta {
+        &self.blocks[block.index()]
+    }
+
+    /// Dense micro-op index of `(block, ip)`.
+    #[inline]
+    pub fn pc_of(&self, block: BlockId, ip: usize) -> usize {
+        self.blocks[block.index()].start as usize + ip
+    }
+
+    /// The micro-op at `(block, ip)`, or `None` when the terminator is
+    /// next.
+    #[inline]
+    pub fn uop_at(&self, block: BlockId, ip: usize) -> Option<&UOp> {
+        let meta = &self.blocks[block.index()];
+        if ip < meta.len as usize {
+            Some(&self.uops[meta.start as usize + ip])
+        } else {
+            None
+        }
+    }
+
+    /// The original instructions, indexed like [`DecodedProgram::uops`].
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Register slots read by `uop`, in
+    /// [`Inst::for_each_use`] order.
+    #[inline]
+    pub fn uses(&self, uop: &UOp) -> &[u32] {
+        let s = uop.uses_start as usize;
+        &self.uses_pool[s..s + uop.uses_len as usize]
+    }
+
+    /// Execute one micro-op or terminator of `t` — the decoded mirror of
+    /// [`Thread::step`]: identical state transitions, events, and sink
+    /// callbacks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory faults, exactly as the tree interpreter does.
+    pub fn step<S: TraceSink>(
+        &self,
+        t: &mut Thread,
+        env: &mut Env,
+        sink: &mut S,
+    ) -> Result<StepEvent, InterpError> {
+        if t.finished {
+            return Ok(StepEvent::Done);
+        }
+        let meta = &self.blocks[t.block.index()];
+        if t.ip >= meta.len as usize {
+            t.dyn_insts += 1;
+            let from = t.block;
+            let term = &meta.term;
+            let to = match term.kind {
+                DTermKind::Jump => term.then_,
+                DTermKind::Branch => {
+                    if term.cond.eval(&t.regs).as_bool() {
+                        term.then_
+                    } else {
+                        term.else_
+                    }
+                }
+                DTermKind::Return => {
+                    t.finished = true;
+                    return Ok(StepEvent::Done);
+                }
+            };
+            t.block = to;
+            t.ip = 0;
+            sink.on_flow(from, to);
+            return Ok(StepEvent::Flow { from, to });
+        }
+
+        let pc = meta.start as usize + t.ip;
+        let site = InstSite {
+            block: t.block,
+            index: t.ip,
+        };
+        let u = &self.uops[pc];
+        t.ip += 1;
+        t.dyn_insts += 1;
+        sink.on_exec(site, &self.insts[pc]);
+
+        match u.kind {
+            UOpKind::Const { dst, value } => t.regs[dst as usize] = value,
+            UOpKind::Un { dst, op, src } => {
+                t.regs[dst as usize] = op.eval(src.eval(&t.regs));
+            }
+            UOpKind::Bin { dst, op, lhs, rhs } => {
+                t.regs[dst as usize] = op.eval(lhs.eval(&t.regs), rhs.eval(&t.regs));
+            }
+            UOpKind::Load { dst, ty } => {
+                let a = u.eval_addr(&t.regs);
+                let v = env.mem.load(a, ty)?;
+                sink.on_mem(
+                    site,
+                    MemAccess {
+                        addr: a,
+                        len: ty.size() as u32,
+                        is_store: false,
+                        shared: u.shared,
+                    },
+                );
+                t.regs[dst as usize] = v;
+            }
+            UOpKind::Store { src, ty } => {
+                let a = u.eval_addr(&t.regs);
+                let v = src.eval(&t.regs);
+                env.mem.store(a, ty, v)?;
+                sink.on_mem(
+                    site,
+                    MemAccess {
+                        addr: a,
+                        len: ty.size() as u32,
+                        is_store: true,
+                        shared: u.shared,
+                    },
+                );
+            }
+            UOpKind::Call {
+                dst,
+                intrinsic,
+                args_start,
+                args_len,
+            } => {
+                let args = &self.args_pool[args_start as usize..(args_start + args_len) as usize];
+                let result = exec_intrinsic(t, site, intrinsic, args, env, sink)?;
+                if dst != NO_REG {
+                    if let Some(v) = result {
+                        t.regs[dst as usize] = v;
+                    }
+                }
+            }
+            UOpKind::Wait { .. } | UOpKind::Signal { .. } | UOpKind::Nop => {}
+        }
+        Ok(StepEvent::Inst(site))
+    }
+}
+
+/// Decoded mirror of the tree interpreter's intrinsic execution: same
+/// arithmetic, same memory effects, same sink events in the same order.
+fn exec_intrinsic<S: TraceSink>(
+    t: &mut Thread,
+    site: InstSite,
+    intrinsic: Intrinsic,
+    args: &[POp],
+    env: &mut Env,
+    sink: &mut S,
+) -> Result<Option<Value>, InterpError> {
+    let arg = |i: usize| -> Value { args[i].eval(&t.regs) };
+    match intrinsic {
+        Intrinsic::Alloc => {
+            let size = arg(0).as_int().max(0) as u64;
+            let base = env.mem.alloc(size)?;
+            Ok(Some(Value::Int(base as i64)))
+        }
+        Intrinsic::Rand => Ok(Some(Value::Int(env.rng.next_u64() as i64))),
+        Intrinsic::Memcpy => {
+            let (dst, src, len) = (arg(0).as_addr(), arg(1).as_addr(), arg(2).as_int() as u64);
+            env.mem.copy(dst, src, len)?;
+            sink.on_mem(
+                site,
+                MemAccess {
+                    addr: src,
+                    len: len as u32,
+                    is_store: false,
+                    shared: None,
+                },
+            );
+            sink.on_mem(
+                site,
+                MemAccess {
+                    addr: dst,
+                    len: len as u32,
+                    is_store: true,
+                    shared: None,
+                },
+            );
+            Ok(None)
+        }
+        Intrinsic::Memset => {
+            let (dst, byte, len) = (arg(0).as_addr(), arg(1).as_int() as u8, arg(2).as_int());
+            env.mem.fill(dst, byte, len as u64)?;
+            sink.on_mem(
+                site,
+                MemAccess {
+                    addr: dst,
+                    len: len as u32,
+                    is_store: true,
+                    shared: None,
+                },
+            );
+            Ok(None)
+        }
+        Intrinsic::PureHash => {
+            let x = arg(0).as_int() as u64;
+            let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^= z >> 27;
+            Ok(Some(Value::Int(z as i64)))
+        }
+        Intrinsic::SinApprox => {
+            let x = arg(0).as_float();
+            Ok(Some(Value::Float(x.sin())))
+        }
+        Intrinsic::Free => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::AddrExpr;
+    use crate::interp::run_with_sink;
+    use crate::memory::Memory;
+    use crate::trace::CountingSink;
+    use crate::types::Ty;
+
+    /// A program exercising every op class: regions, loads/stores with
+    /// indexed addresses, calls, loops, branches.
+    fn exercise_program() -> Program {
+        let mut b = ProgramBuilder::new("decode_exercise");
+        let buf = b.region("buf", 4096, Ty::I64);
+        let [acc, x, h] = b.regs();
+        b.const_i(acc, 0);
+        b.counted_loop(0, 64, 1, |b, i| {
+            b.store(i, AddrExpr::region_indexed(buf, i, 8, 0), Ty::I64);
+            b.load(x, AddrExpr::region_indexed(buf, i, 8, 0), Ty::I64);
+            b.call(Some(h), Intrinsic::PureHash, vec![Operand::Reg(x)]);
+            b.bin(acc, BinOp::Add, acc, h);
+            let c = b.reg();
+            b.bin(c, BinOp::And, h, 1i64);
+            b.if_else(
+                c,
+                |b| b.bin(acc, BinOp::Add, acc, 1i64),
+                |b| b.bin(acc, BinOp::Sub, acc, 1i64),
+            );
+        });
+        b.finish()
+    }
+
+    /// Folded region bases match what the memory image actually maps.
+    #[test]
+    fn folded_region_bases_match_memory() {
+        let p = exercise_program();
+        let mem = Memory::for_program(&p);
+        for (i, _) in p.regions.iter().enumerate() {
+            assert_eq!(
+                static_region_base(i),
+                mem.base_of(crate::types::RegionId(i as u32))
+            );
+        }
+    }
+
+    /// Stepping the decoded program replays the tree interpreter
+    /// exactly: registers, memory digest, dynamic instruction count, and
+    /// every sink counter.
+    #[test]
+    fn decoded_run_matches_tree_run() {
+        let p = exercise_program();
+        let dec = decode(&p);
+
+        let mut env_tree = Env::for_program(&p);
+        let mut sink_tree = CountingSink::default();
+        let tree = run_with_sink(&p, &mut env_tree, &mut sink_tree).unwrap();
+
+        let mut env_dec = Env::for_program(&p);
+        let mut sink_dec = CountingSink::default();
+        let mut t = Thread::at_entry(&p);
+        while !t.finished {
+            dec.step(&mut t, &mut env_dec, &mut sink_dec).unwrap();
+        }
+
+        assert_eq!(t.regs, tree.regs);
+        assert_eq!(t.dyn_insts, tree.dyn_insts);
+        assert_eq!(env_dec.mem.digest(), env_tree.mem.digest());
+        assert_eq!(sink_dec.insts, sink_tree.insts);
+        assert_eq!(sink_dec.mem_accesses, sink_tree.mem_accesses);
+        assert_eq!(sink_dec.stores, sink_tree.stores);
+        assert_eq!(sink_dec.flows, sink_tree.flows);
+    }
+
+    /// Decoded addresses equal tree-interpreter addresses on every
+    /// shape: region, region+index, pointer, pointer+index.
+    #[test]
+    fn eval_addr_matches_tree() {
+        let mut b = ProgramBuilder::new("addr");
+        let r = b.region("a", 1024, Ty::I64);
+        let [p, i] = b.regs();
+        b.const_i(p, (2 * REGION_STRIDE + 16) as i64);
+        b.const_i(i, 3);
+        let p_prog = {
+            b.load(p, AddrExpr::region(r, 8), Ty::I64);
+            b.finish()
+        };
+        let mem = Memory::for_program(&p_prog);
+        let mut t = Thread::at_entry(&p_prog);
+        t.regs[p.index()] = Value::Int((REGION_STRIDE + 40) as i64);
+        t.regs[i.index()] = Value::Int(5);
+        for addr in [
+            AddrExpr::region(r, 8),
+            AddrExpr::region_indexed(r, i, 8, -16),
+            AddrExpr::ptr(p, 24),
+            AddrExpr::ptr_indexed(p, i, -4, 7),
+        ] {
+            let mut uop = UOp {
+                kind: UOpKind::Nop,
+                addr_const: 0,
+                addr_base_reg: NO_REG,
+                addr_index_reg: NO_REG,
+                addr_scale: 0,
+                shared: None,
+                dst: NO_REG,
+                uses_start: 0,
+                uses_len: 0,
+                is_added: false,
+                is_mem: false,
+            };
+            fold_addr(&mut uop, &addr);
+            assert_eq!(
+                uop.eval_addr(&t.regs),
+                t.eval_addr(&addr, &mem),
+                "address shapes diverge for {addr}"
+            );
+        }
+    }
+
+    /// Use lists preserve `for_each_use` order (the simulator's stall
+    /// tie-breaking depends on it).
+    #[test]
+    fn uses_preserve_order() {
+        let mut b = ProgramBuilder::new("uses");
+        let r = b.region("a", 64, Ty::I64);
+        let [v, idx] = b.regs();
+        b.store(v, AddrExpr::region_indexed(r, idx, 8, 0), Ty::I64);
+        let p = b.finish();
+        let dec = decode(&p);
+        let u = dec.uop_at(p.graph.entry, 0).unwrap();
+        // Store order: value, then address registers.
+        assert_eq!(dec.uses(u), &[v.0, idx.0]);
+        let tree_uses: Vec<u32> = p.graph.block(p.graph.entry).insts[0]
+            .uses()
+            .iter()
+            .map(|r| r.0)
+            .collect();
+        assert_eq!(dec.uses(u), tree_uses.as_slice());
+    }
+
+    /// Per-block metadata counts sync and memory ops.
+    #[test]
+    fn block_metadata_counts() {
+        let mut b = ProgramBuilder::new("meta");
+        let r = b.region("a", 64, Ty::I64);
+        let v = b.reg();
+        b.load(v, AddrExpr::region(r, 0), Ty::I64);
+        b.store(v, AddrExpr::region(r, 8), Ty::I64);
+        let mut p = b.finish();
+        let insts = &mut p.graph.blocks[p.graph.entry.index()].insts;
+        insts.insert(0, Inst::Wait { seg: SegmentId(0) });
+        insts.push(Inst::Signal { seg: SegmentId(0) });
+        let dec = decode(&p);
+        let meta = dec.block(p.graph.entry);
+        assert_eq!(meta.len, 4);
+        assert_eq!(meta.sync_ops, 2);
+        assert_eq!(meta.mem_ops, 2);
+        assert_eq!(meta.term.kind, DTermKind::Return);
+    }
+
+    /// Blocks are laid out contiguously and `pc_of` is dense.
+    #[test]
+    fn dense_layout() {
+        let p = exercise_program();
+        let dec = decode(&p);
+        assert_eq!(dec.uops.len(), p.graph.inst_count());
+        assert_eq!(dec.insts().len(), dec.uops.len());
+        let mut seen = 0usize;
+        for (i, meta) in dec.blocks.iter().enumerate() {
+            assert_eq!(meta.start as usize, seen, "block {i} not contiguous");
+            seen += meta.len as usize;
+            assert_eq!(dec.pc_of(BlockId(i as u32), 0), meta.start as usize);
+        }
+        assert_eq!(seen, dec.uops.len());
+    }
+
+    /// The destination cache mirrors `Inst::def`.
+    #[test]
+    fn dst_matches_def() {
+        let p = exercise_program();
+        let dec = decode(&p);
+        for (u, inst) in dec.uops.iter().zip(dec.insts()) {
+            assert_eq!(
+                u.dst,
+                inst.def().map_or(NO_REG, |r| r.0),
+                "dst cache diverges for {inst}"
+            );
+        }
+    }
+}

@@ -44,6 +44,7 @@
 
 pub mod builder;
 pub mod cfg;
+pub mod decode;
 pub mod dist;
 pub mod inst;
 pub mod interp;
@@ -56,6 +57,7 @@ mod pretty;
 mod types;
 
 pub use builder::ProgramBuilder;
+pub use decode::{decode, DecodedProgram};
 pub use dist::Distribution;
 pub use inst::{
     AddrBase, AddrExpr, BinOp, Inst, InstOrigin, Intrinsic, Operand, SharedTag, Terminator,

@@ -7,14 +7,6 @@
 use crate::config::ArrayConfig;
 use std::collections::BTreeMap;
 
-/// One resident line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Line {
-    tag: u64,
-    dirty: bool,
-    lru: u64,
-}
-
 /// Result of inserting a line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Insert {
@@ -31,33 +23,81 @@ pub enum Insert {
 }
 
 /// The cache array of one ring node.
+///
+/// Bounded mode stores lines in one flat slot array — `assoc` entries
+/// per set, tags biased by one so zero is the empty sentinel — because
+/// every circulated word is inserted at every node, putting this on the
+/// ring's per-delivery hot path.
 #[derive(Debug, Clone)]
 pub struct CacheArray {
     cfg: ArrayConfig,
-    /// Bounded mode: `sets[s]` holds up to `assoc` lines.
-    sets: Vec<Vec<Line>>,
+    /// Bounded mode, structure-of-arrays: `tags[set * assoc + way]`
+    /// is 0 for a free slot, otherwise the line address plus one. Tag
+    /// scans touch one cache line per set; LRU clocks and dirty bits
+    /// live in side arrays touched only on a hit or fill.
+    tags: Vec<u64>,
+    lrus: Vec<u64>,
+    dirtys: Vec<bool>,
+    n_sets: usize,
     /// Unbounded mode.
     unbounded: BTreeMap<u64, bool /* dirty */>,
     clock: u64,
+    /// `log2(line)` when the line size is a power of two (the paper
+    /// geometry always is), turning the per-access divisions on the
+    /// ring's delivery path into shifts.
+    line_shift: Option<u32>,
+    /// `sets - 1` when the set count is a power of two.
+    set_mask: Option<usize>,
 }
 
 impl CacheArray {
     /// An empty array with the given geometry.
     pub fn new(cfg: ArrayConfig) -> CacheArray {
+        let n_sets = cfg.sets();
+        let slots = if cfg.capacity.is_some() {
+            n_sets * cfg.assoc
+        } else {
+            0
+        };
         CacheArray {
-            sets: vec![Vec::new(); cfg.sets()],
+            tags: vec![0; slots],
+            lrus: vec![0; slots],
+            dirtys: vec![false; slots],
+            n_sets,
             unbounded: BTreeMap::new(),
             clock: 0,
+            line_shift: cfg
+                .line
+                .is_power_of_two()
+                .then(|| cfg.line.trailing_zeros()),
+            set_mask: n_sets.is_power_of_two().then(|| n_sets - 1),
             cfg,
         }
     }
 
-    fn line_addr(&self, addr: u64) -> u64 {
-        addr / self.cfg.line * self.cfg.line
+    /// Line number of a byte address (`addr / line`).
+    fn line_num(&self, addr: u64) -> u64 {
+        match self.line_shift {
+            Some(s) => addr >> s,
+            None => addr / self.cfg.line,
+        }
     }
 
-    fn set_of(&self, line_addr: u64) -> usize {
-        ((line_addr / self.cfg.line) as usize) % self.sets.len().max(1)
+    fn line_addr(&self, addr: u64) -> u64 {
+        match self.line_shift {
+            Some(s) => addr >> s << s,
+            None => addr / self.cfg.line * self.cfg.line,
+        }
+    }
+
+    /// First slot index of the set holding `line_addr`.
+    fn set_base(&self, line_addr: u64) -> usize {
+        let ln = self.line_num(line_addr) as usize;
+        let set = match self.set_mask {
+            Some(mask) => ln & mask,
+            None => ln % self.n_sets.max(1),
+        };
+        set * self.cfg.assoc
     }
 
     /// Whether the line holding `addr` is resident (refreshes LRU).
@@ -67,11 +107,14 @@ impl CacheArray {
         if self.cfg.capacity.is_none() {
             return self.unbounded.contains_key(&la);
         }
-        let clock = self.clock;
-        let set = self.set_of(la);
-        match self.sets[set].iter_mut().find(|l| l.tag == la) {
-            Some(line) => {
-                line.lru = clock;
+        let tag = la + 1;
+        let base = self.set_base(la);
+        match self.tags[base..base + self.cfg.assoc]
+            .iter()
+            .position(|&t| t == tag)
+        {
+            Some(way) => {
+                self.lrus[base + way] = self.clock;
                 true
             }
             None => false,
@@ -84,11 +127,14 @@ impl CacheArray {
         if self.cfg.capacity.is_none() {
             return self.unbounded.contains_key(&la);
         }
-        self.sets[self.set_of(la)].iter().any(|l| l.tag == la)
+        let base = self.set_base(la);
+        self.tags[base..base + self.cfg.assoc].contains(&(la + 1))
     }
 
     /// Insert (or refresh) the line holding `addr`; `dirty` marks it as
-    /// needing write-back on eviction.
+    /// needing write-back on eviction. LRU clocks are unique, so
+    /// filling the first free slot instead of appending changes nothing
+    /// observable.
     pub fn insert(&mut self, addr: u64, dirty: bool) -> Insert {
         let la = self.line_addr(addr);
         self.clock += 1;
@@ -97,40 +143,42 @@ impl CacheArray {
             *e |= dirty;
             return Insert::Clean;
         }
-        let clock = self.clock;
-        let set = self.set_of(la);
-        let assoc = self.cfg.assoc;
-        let lines = &mut self.sets[set];
-        if let Some(line) = lines.iter_mut().find(|l| l.tag == la) {
-            line.lru = clock;
-            line.dirty |= dirty;
-            return Insert::Clean;
+        let tag = la + 1;
+        let base = self.set_base(la);
+        // One tag-line pass: refresh on a match, else remember the
+        // first free way.
+        let mut free: Option<usize> = None;
+        for (way, &t) in self.tags[base..base + self.cfg.assoc].iter().enumerate() {
+            if t == tag {
+                self.lrus[base + way] = self.clock;
+                self.dirtys[base + way] |= dirty;
+                return Insert::Clean;
+            }
+            if t == 0 && free.is_none() {
+                free = Some(way);
+            }
         }
-        if lines.len() < assoc {
-            lines.push(Line {
-                tag: la,
-                dirty,
-                lru: clock,
-            });
+        if let Some(way) = free {
+            self.tags[base + way] = tag;
+            self.lrus[base + way] = self.clock;
+            self.dirtys[base + way] = dirty;
             return Insert::Clean;
         }
         // Evict LRU.
-        let victim_idx = lines
+        let victim_way = self.lrus[base..base + self.cfg.assoc]
             .iter()
             .enumerate()
-            .min_by_key(|(_, l)| l.lru)
+            .min_by_key(|(_, &lru)| lru)
             .map(|(i, _)| i)
             .expect("set is full, hence nonempty");
-        let victim = lines[victim_idx];
-        lines[victim_idx] = Line {
-            tag: la,
-            dirty,
-            lru: clock,
+        let victim = Insert::Evicted {
+            addr: self.tags[base + victim_way] - 1,
+            dirty: self.dirtys[base + victim_way],
         };
-        Insert::Evicted {
-            addr: victim.tag,
-            dirty: victim.dirty,
-        }
+        self.tags[base + victim_way] = tag;
+        self.lrus[base + victim_way] = self.clock;
+        self.dirtys[base + victim_way] = dirty;
+        victim
     }
 
     /// Mark the resident line dirty (no-op when absent).
@@ -142,9 +190,12 @@ impl CacheArray {
             }
             return;
         }
-        let set = self.set_of(la);
-        if let Some(line) = self.sets[set].iter_mut().find(|l| l.tag == la) {
-            line.dirty = true;
+        let base = self.set_base(la);
+        if let Some(way) = self.tags[base..base + self.cfg.assoc]
+            .iter()
+            .position(|&t| t == la + 1)
+        {
+            self.dirtys[base + way] = true;
         }
     }
 
@@ -153,10 +204,10 @@ impl CacheArray {
         if self.cfg.capacity.is_none() {
             return self.unbounded.values().filter(|d| **d).count();
         }
-        self.sets
+        self.tags
             .iter()
-            .flat_map(|s| s.iter())
-            .filter(|l| l.dirty)
+            .zip(&self.dirtys)
+            .filter(|(&t, &d)| t != 0 && d)
             .count()
     }
 
@@ -165,7 +216,7 @@ impl CacheArray {
         if self.cfg.capacity.is_none() {
             return self.unbounded.len();
         }
-        self.sets.iter().map(|s| s.len()).sum()
+        self.tags.iter().filter(|&&t| t != 0).count()
     }
 
     /// Whether the array is empty.
@@ -176,9 +227,7 @@ impl CacheArray {
     /// Drop everything (the end-of-loop flush, after write-backs are
     /// accounted for).
     pub fn clear(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
-        }
+        self.tags.iter_mut().for_each(|t| *t = 0);
         self.unbounded.clear();
         self.clock = 0;
     }

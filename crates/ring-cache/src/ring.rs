@@ -14,7 +14,7 @@ use crate::array::{CacheArray, Insert};
 use crate::config::RingConfig;
 use crate::stats::{RingStats, SharingProfile};
 use helix_ir::SegmentId;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Main-lane message: a circulated store or a broadcast signal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +76,14 @@ struct Node {
     /// Signals received, indexed `seg.index() * nodes + src` (dense,
     /// grown on demand — segment ids are small per-program counters).
     signal_counts: Vec<u64>,
+    /// Total signals ever delivered to this node: a cheap epoch counter
+    /// the simulator uses to memoize failed wait checks (a wait's
+    /// grant state can only change when a new signal arrives here).
+    signals_received: u64,
+    /// Messages ever drained from this node's injection queue: the
+    /// matching epoch for backpressure stalls (a rejected injection can
+    /// only succeed after something leaves the queue).
+    inject_drained: u64,
     /// Ring width, for the dense signal index.
     nodes: usize,
 }
@@ -89,6 +97,8 @@ impl Node {
             in_req: VecDeque::new(),
             in_rep: VecDeque::new(),
             signal_counts: Vec::new(),
+            signals_received: 0,
+            inject_drained: 0,
             nodes: cfg.nodes,
         }
     }
@@ -99,6 +109,16 @@ impl Node {
             self.signal_counts.resize(idx + 1, 0);
         }
         self.signal_counts[idx] += 1;
+        self.signals_received += 1;
+    }
+
+    /// Whether every lane and the injection queue are empty, i.e. a tick
+    /// of this node is a no-op.
+    fn idle(&self) -> bool {
+        self.in_main.is_empty()
+            && self.inject.is_empty()
+            && self.in_req.is_empty()
+            && self.in_rep.is_empty()
     }
 }
 
@@ -109,8 +129,19 @@ pub struct RingCache {
     nodes: Vec<Node>,
     now: u64,
     next_ticket: u64,
-    /// ticket -> completion cycle (present once serviced).
-    completed_loads: BTreeMap<u64, u64>,
+    /// Serviced-but-unretired loads: `(ticket, completion cycle)`. The
+    /// set is tiny (bounded by outstanding loads), so a flat vector with
+    /// linear probes beats a tree map on the per-cycle poll path and
+    /// never allocates once warm.
+    completed_loads: Vec<(u64, u64)>,
+    /// Wake hints accumulated since the last [`RingCache::take_wake_mask`]:
+    /// bit `n % 64` is set when node `n` received a signal or drained an
+    /// injection — the two ring events that can end a core-side stall.
+    wake_mask: u64,
+    /// Nodes with anything queued (bit per node, rings ≤ 64 nodes —
+    /// larger rings fall back to visiting every node). A tick visits
+    /// only set bits; a visit that leaves the node empty clears it.
+    active_mask: u64,
     /// Messages currently queued anywhere in the ring (lanes and
     /// injection queues). Zero means [`RingCache::tick`] is a no-op
     /// beyond advancing the clock, which makes quiescence O(1).
@@ -133,7 +164,9 @@ impl RingCache {
             cfg,
             now: 0,
             next_ticket: 0,
-            completed_loads: BTreeMap::new(),
+            completed_loads: Vec::new(),
+            wake_mask: 0,
+            active_mask: 0,
             in_flight: 0,
             stats: RingStats::default(),
             sharing: SharingProfile::default(),
@@ -170,6 +203,7 @@ impl RingCache {
             },
             ready,
         ));
+        self.mark_active(node);
         self.in_flight += 1;
         self.stats.stores += 1;
         self.sharing.on_store(&mut self.stats, addr, node);
@@ -192,6 +226,7 @@ impl RingCache {
             },
             ready,
         ));
+        self.mark_active(node);
         self.in_flight += 1;
         self.stats.signals += 1;
         true
@@ -219,7 +254,7 @@ impl RingCache {
                 + 1
                 + self.cfg.l1_service_latency as u64;
             self.nodes[node].array.insert(addr, false);
-            self.completed_loads.insert(ticket, ready);
+            self.completed_loads.push((ticket, ready));
         } else {
             let req = ReqMsg {
                 ticket,
@@ -230,6 +265,7 @@ impl RingCache {
             let ready = self.now + self.cfg.injection_latency as u64 + self.cfg.hop_latency as u64;
             let next = (node + 1) % self.cfg.nodes;
             self.nodes[next].in_req.push_back((req, ready));
+            self.mark_active(next);
             self.in_flight += 1;
         }
         LoadIssue::Pending { ticket }
@@ -237,12 +273,28 @@ impl RingCache {
 
     /// Completion cycle of a pending load, if serviced.
     pub fn load_ready(&self, ticket: u64) -> Option<u64> {
-        self.completed_loads.get(&ticket).copied()
+        self.completed_loads
+            .iter()
+            .find(|&&(t, _)| t == ticket)
+            .map(|&(_, ready)| ready)
     }
 
     /// Discard a completed load ticket.
     pub fn retire_load(&mut self, ticket: u64) {
-        self.completed_loads.remove(&ticket);
+        if let Some(i) = self.completed_loads.iter().position(|&(t, _)| t == ticket) {
+            self.completed_loads.swap_remove(i);
+        }
+    }
+
+    /// Completion cycle of a pending load, retiring it in the same
+    /// pass ([`RingCache::load_ready`] + [`RingCache::retire_load`]
+    /// fused for the per-cycle poll path).
+    pub fn take_ready(&mut self, ticket: u64) -> Option<u64> {
+        let i = self
+            .completed_loads
+            .iter()
+            .position(|&(t, _)| t == ticket)?;
+        Some(self.completed_loads.swap_remove(i).1)
     }
 
     /// Signals received at `node` for `seg` from core `src`.
@@ -252,6 +304,29 @@ impl RingCache {
             .get(seg.index() * n.nodes + src)
             .copied()
             .unwrap_or(0)
+    }
+
+    /// Total signals ever delivered to `node` — an epoch counter: a
+    /// failed wait check at this node cannot change outcome until this
+    /// value does (plus new signal *executions*, see
+    /// `SyncState` in the simulator).
+    pub fn signal_epoch(&self, node: usize) -> u64 {
+        self.nodes[node].signals_received
+    }
+
+    /// Messages ever drained from `node`'s injection queue — an epoch
+    /// counter: an injection rejected for backpressure cannot succeed
+    /// until this moves.
+    pub fn inject_epoch(&self, node: usize) -> u64 {
+        self.nodes[node].inject_drained
+    }
+
+    /// Drain the accumulated wake hints: bit `n % 64` set means node
+    /// `n` received a signal or drained an injection since the last
+    /// call. The simulator uses this to test sleeping cores with one
+    /// mask probe instead of re-reading every epoch.
+    pub fn take_wake_mask(&mut self) -> u64 {
+        std::mem::take(&mut self.wake_mask)
     }
 
     /// Reset signal bookkeeping at the start of a parallel loop.
@@ -357,7 +432,8 @@ impl RingCache {
         self.now = to;
     }
 
-    /// Advance the ring by one cycle.
+    /// Advance the ring by one cycle. Nodes with nothing queued are
+    /// skipped outright, so a tick costs O(active nodes), not O(nodes).
     pub fn tick(&mut self) {
         if self.in_flight == 0 {
             // Quiescence short-circuit: nothing can move.
@@ -366,16 +442,50 @@ impl RingCache {
         }
         let now = self.now;
         let n = self.cfg.nodes;
-        for i in 0..n {
-            self.tick_main(i, now);
-            self.tick_service(i, now);
+        if n <= 64 {
+            // Visit only nodes with queued work, in ascending order.
+            // Messages handed forward mid-tick are never ready this
+            // cycle, so skipping their (newly active) node is
+            // equivalent to the no-op visit the full scan would make.
+            let mut m = self.active_mask;
+            while m != 0 {
+                let i = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let node = &self.nodes[i];
+                let has_main = !node.in_main.is_empty() || !node.inject.is_empty();
+                let has_service = !node.in_req.is_empty() || !node.in_rep.is_empty();
+                if has_main {
+                    self.tick_main(i, now);
+                }
+                if has_service {
+                    self.tick_service(i, now);
+                }
+                if self.nodes[i].idle() {
+                    self.active_mask &= !(1 << i);
+                }
+            }
+        } else {
+            for i in 0..n {
+                if self.nodes[i].idle() {
+                    continue;
+                }
+                self.tick_main(i, now);
+                self.tick_service(i, now);
+            }
         }
         self.now += 1;
     }
 
+    /// Mark `node` as having queued work.
+    #[inline]
+    fn mark_active(&mut self, node: usize) {
+        self.active_mask |= 1 << (node as u64 & 63);
+    }
+
     fn tick_main(&mut self, i: usize, now: u64) {
         let n = self.cfg.nodes;
-        let next = (i + 1) % n;
+        let next = if i + 1 == n { 0 } else { i + 1 };
+        let hop = self.cfg.hop_latency as u64;
         let mut data_budget = self.cfg.data_bandwidth;
         let mut sig_budget = self.cfg.signal_bandwidth.unwrap_or(u32::MAX);
         let mut next_free = if next == i {
@@ -385,11 +495,13 @@ impl RingCache {
                 .link_buffers
                 .saturating_sub(self.nodes[next].in_main.len())
         };
-        let mut outbound: Vec<(MainMsg, u64)> = Vec::new();
         let mut processed_through = false;
+        let mut forwarded = false;
 
         // Through traffic first (the node prioritizes ring data and
-        // stalls its own injection, §5.1).
+        // stalls its own injection, §5.1). Forwarded messages move to
+        // the next link directly — a forward is a pop plus a push, so
+        // the in-flight total is untouched.
         while let Some(&(msg, ready)) = self.nodes[i].in_main.front() {
             if ready > now {
                 break;
@@ -407,14 +519,16 @@ impl RingCache {
                 break;
             }
             self.nodes[i].in_main.pop_front();
-            self.in_flight -= 1;
             *budget -= 1;
             processed_through = true;
             self.handle_main(i, msg);
             if forward {
-                outbound.push((msg, now + self.cfg.hop_latency as u64));
+                self.nodes[next].in_main.push_back((msg, now + hop));
                 next_free -= 1;
+                forwarded = true;
                 self.stats.forwards += 1;
+            } else {
+                self.in_flight -= 1;
             }
         }
 
@@ -429,12 +543,16 @@ impl RingCache {
                     let forward = n > 1;
                     if !forward || next_free > 0 {
                         self.nodes[i].inject.pop_front();
-                        self.in_flight -= 1;
+                        self.nodes[i].inject_drained += 1;
+                        self.wake_mask |= 1 << (i as u64 & 63);
                         *budget -= 1;
                         self.handle_main(i, msg);
                         if forward {
-                            outbound.push((msg, now + self.cfg.hop_latency as u64));
+                            self.nodes[next].in_main.push_back((msg, now + hop));
+                            forwarded = true;
                             self.stats.forwards += 1;
+                        } else {
+                            self.in_flight -= 1;
                         }
                     } else {
                         self.stats.credit_stalls += 1;
@@ -443,9 +561,8 @@ impl RingCache {
             }
         }
 
-        for item in outbound {
-            self.nodes[next].in_main.push_back(item);
-            self.in_flight += 1;
+        if forwarded {
+            self.mark_active(next);
         }
     }
 
@@ -466,20 +583,21 @@ impl RingCache {
             }
             MainMsg::Signal { seg, src, .. } => {
                 self.nodes[i].count_signal(seg, src);
+                self.wake_mask |= 1 << (i as u64 & 63);
             }
         }
     }
 
     fn tick_service(&mut self, i: usize, now: u64) {
         let n = self.cfg.nodes;
-        let next = (i + 1) % n;
-        // Requests: one per cycle.
-        let mut req_out: Option<(ReqMsg, u64)> = None;
-        let mut rep_out: Vec<(RepMsg, u64)> = Vec::new();
+        let next = if i + 1 == n { 0 } else { i + 1 };
+        let hop = self.cfg.hop_latency as u64;
+        // Requests: one per cycle. Forwards move straight to the next
+        // link (pop + push: in-flight total untouched).
         if let Some(&(req, ready)) = self.nodes[i].in_req.front() {
             if ready <= now {
+                self.nodes[i].in_req.pop_front();
                 if req.owner as usize == i {
-                    self.nodes[i].in_req.pop_front();
                     self.in_flight -= 1;
                     // Service: array lookup, or the owner's private L1.
                     let lat = if self.nodes[i].array.probe(req.addr) {
@@ -488,20 +606,21 @@ impl RingCache {
                         self.nodes[i].array.insert(req.addr, false);
                         self.cfg.l1_service_latency as u64
                     };
-                    let rep = RepMsg {
-                        ticket: req.ticket,
-                        addr: req.addr,
-                        requester: req.requester,
-                    };
                     if req.requester as usize == i {
-                        self.completed_loads.insert(req.ticket, now + lat + 1);
+                        self.completed_loads.push((req.ticket, now + lat + 1));
                     } else {
-                        rep_out.push((rep, now + lat + self.cfg.hop_latency as u64));
+                        let rep = RepMsg {
+                            ticket: req.ticket,
+                            addr: req.addr,
+                            requester: req.requester,
+                        };
+                        self.nodes[next].in_rep.push_back((rep, now + lat + hop));
+                        self.mark_active(next);
+                        self.in_flight += 1;
                     }
                 } else {
-                    self.nodes[i].in_req.pop_front();
-                    self.in_flight -= 1;
-                    req_out = Some((req, now + self.cfg.hop_latency as u64));
+                    self.nodes[next].in_req.push_back((req, now + hop));
+                    self.mark_active(next);
                     self.stats.forwards += 1;
                 }
             }
@@ -510,23 +629,16 @@ impl RingCache {
         if let Some(&(rep, ready)) = self.nodes[i].in_rep.front() {
             if ready <= now {
                 self.nodes[i].in_rep.pop_front();
-                self.in_flight -= 1;
                 if rep.requester as usize == i {
+                    self.in_flight -= 1;
                     self.nodes[i].array.insert(rep.addr, false);
-                    self.completed_loads.insert(rep.ticket, now + 1);
+                    self.completed_loads.push((rep.ticket, now + 1));
                 } else {
-                    rep_out.push((rep, now + self.cfg.hop_latency as u64));
+                    self.nodes[next].in_rep.push_back((rep, now + hop));
+                    self.mark_active(next);
                     self.stats.forwards += 1;
                 }
             }
-        }
-        if let Some(item) = req_out {
-            self.nodes[next].in_req.push_back(item);
-            self.in_flight += 1;
-        }
-        for item in rep_out {
-            self.nodes[next].in_rep.push_back(item);
-            self.in_flight += 1;
         }
     }
 }

@@ -3,7 +3,6 @@
 //! (consumers per shared value).
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Counters and histograms collected by the ring cache.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -72,49 +71,117 @@ fn normalize(hist: &[u64]) -> Vec<f64> {
     hist.iter().map(|&v| v as f64 / total as f64).collect()
 }
 
+/// One sharing epoch: `(producer node, consumers-this-epoch bitmask,
+/// first consumer recorded?)`.
+type Epoch = (usize, u64, bool);
+
 /// Per-address sharing epoch used to build the Fig. 4 histograms.
-#[derive(Debug, Clone, Default)]
+///
+/// Stored in an open-addressing table keyed by `addr + 1` (zero = empty
+/// slot) — this sits on the ring's store/load injection path, and the
+/// histograms it feeds are order-independent, so hash iteration order
+/// is immaterial.
+#[derive(Debug, Clone)]
 pub(crate) struct SharingProfile {
-    /// addr -> (producer node, consumers-this-epoch bitmask, first
-    /// consumer recorded?)
-    epochs: BTreeMap<u64, (usize, u64, bool)>,
+    keys: Vec<u64>, // addr + 1; 0 = empty
+    vals: Vec<Epoch>,
+    live: usize,
+    mask: usize,
+}
+
+impl Default for SharingProfile {
+    fn default() -> Self {
+        SharingProfile::with_capacity_pow2(1 << 10)
+    }
 }
 
 impl SharingProfile {
+    fn with_capacity_pow2(cap: usize) -> SharingProfile {
+        debug_assert!(cap.is_power_of_two());
+        SharingProfile {
+            keys: vec![0; cap],
+            vals: vec![(0, 0, false); cap],
+            live: 0,
+            mask: cap - 1,
+        }
+    }
+
+    fn probe(&self, key: u64) -> usize {
+        let mut i = (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize & self.mask;
+        loop {
+            let k = self.keys[i];
+            if k == key || k == 0 {
+                return i;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let bigger = SharingProfile::with_capacity_pow2(self.keys.len() * 2);
+        let old = std::mem::replace(self, bigger);
+        for (k, v) in old.keys.into_iter().zip(old.vals) {
+            if k != 0 {
+                let i = self.probe(k);
+                self.keys[i] = k;
+                self.vals[i] = v;
+                self.live += 1;
+            }
+        }
+    }
+
     /// A store by `node` begins a new epoch for `addr`; the previous
     /// epoch's consumer count is recorded.
     pub fn on_store(&mut self, stats: &mut RingStats, addr: u64, node: usize) {
-        if let Some((_, consumers, _)) = self.epochs.insert(addr, (node, 0, false)) {
+        if (self.live + 1) * 4 > self.keys.len() * 3 {
+            self.grow();
+        }
+        let key = addr + 1;
+        let i = self.probe(key);
+        if self.keys[i] == key {
+            let (_, consumers, _) = self.vals[i];
             let n = consumers.count_ones() as usize;
             if n > 0 {
                 RingStats::bump(&mut stats.consumers_per_value, n);
             }
+        } else {
+            self.keys[i] = key;
+            self.live += 1;
         }
+        self.vals[i] = (node, 0, false);
     }
 
     /// A load by `node` consumes the current value of `addr`.
     pub fn on_load(&mut self, stats: &mut RingStats, addr: u64, node: usize, ring_nodes: usize) {
-        if let Some((producer, consumers, first_done)) = self.epochs.get_mut(&addr) {
-            if *producer == node {
-                return;
-            }
-            if !*first_done {
-                let dist = (node + ring_nodes - *producer) % ring_nodes;
-                RingStats::bump(&mut stats.first_consumer_distance, dist);
-                *first_done = true;
-            }
-            *consumers |= 1 << (node as u64 & 63);
+        let key = addr + 1;
+        let i = self.probe(key);
+        if self.keys[i] != key {
+            return;
         }
+        let (producer, consumers, first_done) = &mut self.vals[i];
+        if *producer == node {
+            return;
+        }
+        if !*first_done {
+            let dist = (node + ring_nodes - *producer) % ring_nodes;
+            RingStats::bump(&mut stats.first_consumer_distance, dist);
+            *first_done = true;
+        }
+        *consumers |= 1 << (node as u64 & 63);
     }
 
     /// Finalize all epochs (end of loop).
     pub fn finish(&mut self, stats: &mut RingStats) {
-        for (_, (_, consumers, _)) in std::mem::take(&mut self.epochs) {
-            let n = consumers.count_ones() as usize;
-            if n > 0 {
-                RingStats::bump(&mut stats.consumers_per_value, n);
+        for (k, (_, consumers, _)) in self.keys.iter_mut().zip(self.vals.iter()) {
+            if *k != 0 {
+                let n = consumers.count_ones() as usize;
+                if n > 0 {
+                    RingStats::bump(&mut stats.consumers_per_value, n);
+                }
+                *k = 0;
             }
         }
+        self.live = 0;
     }
 }
 

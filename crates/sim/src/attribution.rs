@@ -72,8 +72,20 @@ impl Bucket {
         }
     }
 
+    /// Constant-time slot in the counts array (charged once per core per
+    /// cycle, so no table scan); order matches [`Bucket::ALL`].
     fn index(self) -> usize {
-        Bucket::ALL.iter().position(|b| *b == self).expect("listed")
+        match self {
+            Bucket::Computation => 0,
+            Bucket::AdditionalInsts => 1,
+            Bucket::WaitSignal => 2,
+            Bucket::Memory => 3,
+            Bucket::IterationImbalance => 4,
+            Bucket::LowTripCount => 5,
+            Bucket::Communication => 6,
+            Bucket::DependenceWaiting => 7,
+            Bucket::SerialIdle => 8,
+        }
     }
 }
 
@@ -134,6 +146,13 @@ impl Attribution {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn index_matches_reporting_order() {
+        for (i, b) in Bucket::ALL.iter().enumerate() {
+            assert_eq!(b.index(), i, "{b:?} out of order");
+        }
+    }
 
     #[test]
     fn charge_and_total() {

@@ -35,6 +35,22 @@ pub struct CacheConfig {
     pub hit_latency: u32,
 }
 
+/// Which execution engine drives the cores' functional state and issue
+/// loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecEngine {
+    /// Pre-decoded micro-op streams (`helix_ir::decode`): the program is
+    /// lowered once into flat tables with pre-resolved register slots,
+    /// folded immediates, and pre-evaluated address bases, so the
+    /// per-instruction hot path is an index-dispatch loop. Cycle-exact
+    /// with the tree interpreter (see the decode-exactness regression
+    /// tests); the default.
+    Decoded,
+    /// The original tree-walking interpreter over the `Inst` enum, kept
+    /// as a cross-check and debugging reference.
+    Tree,
+}
+
 /// Wait-grant policy (paper §3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SyncModel {
@@ -115,6 +131,10 @@ pub struct MachineConfig {
     /// regression tests) — so it is on by default; disable it to
     /// cross-check or to measure the naive loop.
     pub fast_forward: bool,
+    /// Execution engine: pre-decoded micro-ops (default) or the
+    /// tree-walking interpreter. Both produce bit-identical results; the
+    /// decoded engine is simply faster.
+    pub engine: ExecEngine,
 }
 
 impl MachineConfig {
@@ -145,6 +165,7 @@ impl MachineConfig {
             sync: SyncModel::ChainedPredecessor,
             decouple: DecoupleConfig::none(),
             fast_forward: true,
+            engine: ExecEngine::Decoded,
         }
     }
 
@@ -152,6 +173,14 @@ impl MachineConfig {
     /// used by benches and cycle-exactness tests.
     pub fn without_fast_forward(mut self) -> MachineConfig {
         self.fast_forward = false;
+        self
+    }
+
+    /// The same machine driven by the tree-walking interpreter instead
+    /// of the pre-decoded micro-op engine, used by benches and the
+    /// decode-exactness tests.
+    pub fn with_tree_interpreter(mut self) -> MachineConfig {
+        self.engine = ExecEngine::Tree;
         self
     }
 

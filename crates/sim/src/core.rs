@@ -192,6 +192,28 @@ impl CoreState {
         inst.for_each_use(|r| ready = ready.max(self.reg_ready[r.index()]));
         ready
     }
+
+    /// [`CoreState::blocking_use`] over a pre-decoded register-slot list
+    /// (the decoded engine's use pool). Identical tie-breaking: the last
+    /// slot with the maximal ready time wins.
+    pub fn blocking_slot(&self, slots: &[u32], now: u64) -> Option<(Reg, Bucket)> {
+        let mut worst: Option<u32> = None;
+        for &r in slots {
+            if self.reg_ready[r as usize] > now
+                && worst.is_none_or(|w| self.reg_ready[r as usize] >= self.reg_ready[w as usize])
+            {
+                worst = Some(r);
+            }
+        }
+        worst.map(|r| (Reg(r), self.reg_class[r as usize]))
+    }
+
+    /// [`CoreState::operands_ready`] over a pre-decoded slot list.
+    pub fn slots_ready(&self, slots: &[u32]) -> u64 {
+        slots
+            .iter()
+            .fold(0, |acc, &r| acc.max(self.reg_ready[r as usize]))
+    }
 }
 
 /// Execution latency (cycles) of a non-memory instruction.

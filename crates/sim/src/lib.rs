@@ -56,7 +56,7 @@ pub mod race;
 pub mod sync;
 
 pub use attribution::{Attribution, Bucket};
-pub use config::{CacheConfig, CoreModel, DecoupleConfig, MachineConfig, SyncModel};
+pub use config::{CacheConfig, CoreModel, DecoupleConfig, ExecEngine, MachineConfig, SyncModel};
 pub use machine::{simulate, simulate_sequential, Machine, RunReport, SimError};
 pub use memsys::{MemStats, MemSystem};
 pub use race::RaceViolation;

@@ -2,17 +2,19 @@
 //! orchestration, and the per-core issue logic for both core models.
 
 use crate::attribution::{Attribution, Bucket};
-use crate::config::{CoreModel, MachineConfig};
+use crate::config::{CoreModel, ExecEngine, MachineConfig};
 use crate::core::{inst_latency, CoreState, RobEntry, RunState};
 use crate::memsys::{MemStats, MemSystem};
 use crate::race::{RaceDetector, RaceViolation};
 use crate::sync::{required_count, required_sources_iter, SyncState, WaitBlock};
 use helix_hcc::{LiveOutResolve, LoopPlan};
+use helix_ir::decode::{DTerm, DTermKind, DecodedProgram, UOpKind, NO_REG};
 use helix_ir::interp::{Env, InterpError, StepEvent, Thread};
 use helix_ir::trace::{InstSite, MemAccess, TraceSink};
 use helix_ir::{BlockId, Inst, Program, Reg, SegmentId, Terminator, Value};
 use helix_ring_cache::{LoadIssue, RingCache, RingStats};
 use serde::{Deserialize, Serialize};
+use std::rc::Rc;
 
 /// Simulation failure.
 #[derive(Debug)]
@@ -94,6 +96,9 @@ struct ParCtx {
     last_writer: Vec<Option<(u64, usize)>>,
     /// Registers resolved by LastWriter, indexed by `Reg::index`.
     lastwriter_regs: Vec<bool>,
+    /// Whether any register uses LastWriter resolution (most plans have
+    /// none; the per-step def tracking short-circuits on this).
+    has_lastwriter: bool,
     seg_ids: Vec<SegmentId>,
 }
 
@@ -120,6 +125,85 @@ enum CoreCycle {
         /// First cycle at which this core's stall condition can change.
         wake: u64,
     },
+}
+
+/// Per-core wait-check memo (see [`Machine::check_wait`]).
+#[derive(Debug, Clone, Copy)]
+struct WaitMemo {
+    /// Segment of the memoized check.
+    seg: SegmentId,
+    /// Iteration of the memoized check.
+    iter: u64,
+    /// Sources already confirmed for `(seg, iter)` — a monotone prefix
+    /// of the required-source scan.
+    confirmed: u32,
+    /// The first unsatisfied source of the last failed check, so the
+    /// re-check starts with one counter compare instead of rebuilding
+    /// the source iterator.
+    src: u32,
+    /// Signals needed from `src`.
+    need: u64,
+}
+
+impl WaitMemo {
+    const EMPTY: WaitMemo = WaitMemo {
+        seg: SegmentId(u32::MAX),
+        iter: u64::MAX,
+        confirmed: 0,
+        src: u32::MAX,
+        need: 0,
+    };
+}
+
+/// Why a core's `wake == u64::MAX` stall — one whose end is
+/// event-driven rather than deterministic — is allowed to sleep, and
+/// exactly which event ends it. While the guard holds, the core's issue
+/// loop provably reproduces the same stall cycle, so the machine
+/// charges it without re-evaluating (optimized path only; completed
+/// ring loads, the remaining wake source, are detected separately by
+/// the pending-ring scan and clear the guard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StallGuard {
+    /// Catch-all snapshot (ring backpressure, outstanding-load operand
+    /// waits, unexpected shapes): re-evaluate when either of the
+    /// core-node epochs moves. Stalls of this shape provably do not
+    /// read the sync tables or the lap bound, so those are not inputs.
+    Epochs {
+        /// [`RingCache::signal_epoch`] of the core's node (0 without
+        /// ring).
+        ring_sig: u64,
+        /// [`RingCache::inject_epoch`] of the core's node (0 without
+        /// ring).
+        inject: u64,
+    },
+    /// Blocked `wait`: holds while `src` has neither delivered its
+    /// `need`-th signal for `seg` to this node (grant state, decoupled
+    /// only) nor — when the stall is classified `Dependence` — executed
+    /// it (classification flips to `Communication` at that point).
+    Wait {
+        /// Segment being waited on.
+        seg: SegmentId,
+        /// First unsatisfied source core.
+        src: u32,
+        /// Signals needed from `src`.
+        need: u64,
+        /// Ring-delivered count at arm time (`u64::MAX` when the wait
+        /// is coherence-mediated and grant state has no ring input).
+        ring_count: u64,
+        /// Whether the stall is still classified `Dependence`
+        /// (`sync.count < need`); once `Communication`, classification
+        /// is stable.
+        dependence: bool,
+    },
+    /// Lap-bound hold: re-evaluate when the bound input moves.
+    Lap {
+        /// The lap bound input.
+        min_iter: u64,
+    },
+    /// Pure-idle run states (serial idle, no work, finished loop):
+    /// nothing short of a mode transition — which settles and clears
+    /// every sleep — can wake the core.
+    Forever,
 }
 
 /// Sink capturing the memory accesses of a single step.
@@ -151,34 +235,93 @@ pub struct Machine<'p> {
     mode: Mode,
     /// Plan index per header block, indexed by `BlockId::index` (dense).
     plan_by_header: Vec<Option<usize>>,
+    /// Per-plan loop-membership bitmaps, indexed `[plan][block]`, so the
+    /// escape check after every control transfer is one load instead of
+    /// a scan of the plan's block list.
+    plan_blocks: Vec<Vec<bool>>,
     pending_enter: Option<usize>,
     protocol_errors: Vec<String>,
     loop_invocations: u64,
     iterations: u64,
     iteration_lengths: Vec<u32>,
     /// Minimum in-flight iteration this cycle (for the lap bound).
+    /// Recomputed lazily: the in-flight multiset only changes at
+    /// iteration boundaries and mode transitions, which set the dirty
+    /// flag; in between, the cycle loop reuses the cached value (the
+    /// per-cycle recompute always produced the same number).
     min_iter: u64,
+    /// Whether `min_iter` must be recomputed at the next cycle start.
+    min_iter_dirty: bool,
+    /// Cores in `FinishedLoop` or `NoWork` this invocation — maintained
+    /// at the transitions so the loop-barrier check is a counter
+    /// compare, not a per-cycle core scan.
+    done_cores: usize,
     /// Per-core stall buckets of the last fully idle cycle (reused
     /// buffer for the fast-forward bulk charge).
     stall_buckets: Vec<Bucket>,
-    /// Per-core sleep: when `now < asleep_until[cid]`, the core is in a
-    /// stall whose end time is deterministic (scoreboard ready time,
-    /// branch redirect, coherence observation, own-ROB retirement), so
-    /// its issue loop need not be re-evaluated; the cycle is charged to
-    /// `sleep_bucket[cid]`. Stalls that external events could cut short
-    /// (ring arrivals, other cores' signals) always report a `u64::MAX`
-    /// wake and never sleep.
+    /// Per-core sleep deadline: a sleeping core wakes when the clock
+    /// reaches this (deterministic stalls: scoreboard ready time, branch
+    /// redirect, coherence observation, own-ROB retirement) or when its
+    /// [`StallGuard`] breaks (event-driven stalls, `u64::MAX` here).
     asleep_until: Vec<u64>,
     /// Bucket charged to each sleeping core's cycles.
     sleep_bucket: Vec<Bucket>,
-    /// Per-core wait-check memo `(segment, iteration, confirmed
-    /// sources)`: grant checks are monotone (signal counts only grow,
-    /// observation times never regress), so sources already confirmed
-    /// for this `(segment, iteration)` need not be re-checked. Used only
+    /// Cycle each sleeping core entered its sleep (`u64::MAX` = awake).
+    /// Sleep cycles are charged in one batch at wake ("settled"), not
+    /// one `charge` call per cycle — same totals, no per-cycle work.
+    sleep_from: Vec<u64>,
+    /// Number of cores currently sleeping, recomputed after every
+    /// executed core loop. When every core sleeps, no wake hint is
+    /// pending, and no deadline is due, the whole per-core loop is
+    /// provably a no-op and is skipped.
+    sleeping_count: usize,
+    /// Earliest sleep deadline among sleeping cores (recomputed with
+    /// `sleeping_count`).
+    next_deadline: u64,
+    /// Per-core conditional sleep for event-driven (`u64::MAX`-wake)
+    /// stalls: while the guard holds, the stall repeats verbatim.
+    /// `None` = no guard armed.
+    stall_guard: Vec<Option<StallGuard>>,
+    /// Cause-specific guard proposed by the current core's stall path
+    /// (set by `check_wait` / the lap hold), consumed by the cycle loop
+    /// when the core reports an event-driven stall.
+    armed_guard: Option<StallGuard>,
+    /// Per-core wake hints (bit `cid % 64`): set when an event that
+    /// could break core `cid`'s stall guard occurred — a ring delivery
+    /// or drain at its node, a signal execution by its guarded blocking
+    /// source, or lap-bound movement. A sleeping core with a clear bit
+    /// skips even the guard re-validation; a set bit is consumed by one
+    /// validation (when more than 64 cores share bits, hints are never
+    /// consumed and every sleeper validates each cycle, which is merely
+    /// slower).
+    wake_bits: u64,
+    /// Dependence-wake routing: `dep_mask[src]` is the set of sleeping
+    /// cores whose `Wait` guard is classified `Dependence` on source
+    /// `src` — a signal execution by `src` wakes exactly those.
+    dep_mask: Vec<u64>,
+    /// The source each sleeping core's dependence wake is registered
+    /// under (`u32::MAX` = none), for cheap deregistration at wake.
+    dep_src: Vec<u32>,
+    /// Sleeping cores holding a `Lap` guard; woken when the lap bound
+    /// moves.
+    lap_sleepers: u64,
+    /// Per-core wait-check memo: grant checks are monotone (signal
+    /// counts only grow, observation times never regress), so sources
+    /// already confirmed for this `(segment, iteration)` need not be
+    /// re-checked, and a *failed* decoupled check can be replayed
+    /// outright while no new signal has arrived or executed. Used only
     /// on the optimized path.
-    wait_memo: Vec<(SegmentId, u64, u32)>,
+    wait_memo: Vec<WaitMemo>,
     /// Reused memory-access capture buffer for functional steps.
     sink: CapSink,
+    /// Pre-decoded micro-op tables (the default engine). `None` when the
+    /// configuration selects the tree interpreter. Shared behind an `Rc`
+    /// so the issue loops can hold it while mutating the machine.
+    decoded: Option<Rc<DecodedProgram>>,
+    /// Per-micro-op execution latency, indexed like the decoded table
+    /// (computed once from [`inst_latency`], so the two engines can
+    /// never drift).
+    uop_lat: Vec<u32>,
 }
 
 const MAX_ITER_SAMPLES: usize = 1 << 16;
@@ -208,6 +351,24 @@ impl<'p> Machine<'p> {
         for (i, p) in plans.iter().enumerate() {
             plan_by_header[p.header.index()] = Some(i);
         }
+        let plan_blocks = plans
+            .iter()
+            .map(|p| {
+                let mut member = vec![false; program.graph.blocks.len()];
+                for b in &p.blocks {
+                    member[b.index()] = true;
+                }
+                member
+            })
+            .collect();
+        let decoded = match cfg.engine {
+            ExecEngine::Decoded => Some(Rc::new(helix_ir::decode::decode(program))),
+            ExecEngine::Tree => None,
+        };
+        let uop_lat = decoded
+            .as_ref()
+            .map(|d| d.insts().iter().map(inst_latency).collect())
+            .unwrap_or_default();
         Machine {
             program,
             plans,
@@ -221,17 +382,31 @@ impl<'p> Machine<'p> {
             now: 0,
             mode: Mode::Serial,
             plan_by_header,
+            plan_blocks,
             pending_enter: None,
             protocol_errors: Vec::new(),
             loop_invocations: 0,
             iterations: 0,
             iteration_lengths: Vec::new(),
             min_iter: 0,
+            min_iter_dirty: true,
+            done_cores: 0,
             stall_buckets: vec![Bucket::SerialIdle; cfg.cores],
             asleep_until: vec![0; cfg.cores],
             sleep_bucket: vec![Bucket::SerialIdle; cfg.cores],
-            wait_memo: vec![(SegmentId(u32::MAX), u64::MAX, 0); cfg.cores],
+            sleep_from: vec![u64::MAX; cfg.cores],
+            sleeping_count: 0,
+            next_deadline: u64::MAX,
+            stall_guard: vec![None; cfg.cores],
+            armed_guard: None,
+            wake_bits: u64::MAX,
+            dep_mask: vec![0; cfg.cores],
+            dep_src: vec![u32::MAX; cfg.cores],
+            lap_sleepers: 0,
+            wait_memo: vec![WaitMemo::EMPTY; cfg.cores],
             sink: CapSink::default(),
+            decoded,
+            uop_lat,
             cfg,
         }
     }
@@ -263,7 +438,12 @@ impl<'p> Machine<'p> {
                 if target > self.now {
                     let skip = target - self.now;
                     for cid in 0..self.cfg.cores {
-                        self.attr.charge_n(cid, self.stall_buckets[cid], skip);
+                        // Bulk sleepers accumulate the skipped window
+                        // through `sleep_from` and settle at wake;
+                        // charging them here would double-count.
+                        if self.sleep_from[cid] == u64::MAX {
+                            self.attr.charge_n(cid, self.stall_buckets[cid], skip);
+                        }
                     }
                     if let Some(ring) = &mut self.ring {
                         ring.fast_forward(target);
@@ -272,6 +452,7 @@ impl<'p> Machine<'p> {
                 }
             }
         }
+        self.settle_sleeps();
         Ok(self.report())
     }
 
@@ -303,31 +484,82 @@ impl<'p> Machine<'p> {
     fn tick_cycle(&mut self) -> Result<Option<u64>, SimError> {
         if let Some(ring) = &mut self.ring {
             ring.tick();
+            self.wake_bits |= ring.take_wake_mask();
         }
-        // Lap bound: the slowest in-flight iteration.
-        self.min_iter = self
-            .cores
-            .iter()
-            .map(|c| match c.run {
-                RunState::Iter { iter, .. } | RunState::LapHold { iter } => iter,
-                _ => u64::MAX,
-            })
-            .min()
-            .unwrap_or(u64::MAX);
+        // Lap bound: the slowest in-flight iteration (recomputed only
+        // when some core crossed an iteration boundary since the last
+        // cycle — mid-cycle changes were invisible to the eager version
+        // too, because it ran before the core loop).
+        if self.min_iter_dirty {
+            let refreshed = self
+                .cores
+                .iter()
+                .map(|c| match c.run {
+                    RunState::Iter { iter, .. } | RunState::LapHold { iter } => iter,
+                    _ => u64::MAX,
+                })
+                .min()
+                .unwrap_or(u64::MAX);
+            if refreshed != self.min_iter {
+                self.wake_bits |= self.lap_sleepers; // lap guards re-check
+            }
+            self.min_iter = refreshed;
+            self.min_iter_dirty = false;
+        }
         let mut all_stalled = true;
         let mut min_wake = u64::MAX;
-        for cid in 0..self.cfg.cores {
-            if self.now < self.asleep_until[cid] {
-                // Mid-sleep: the stall repeats verbatim; charge it
-                // without re-evaluating the issue loop.
-                let bucket = self.sleep_bucket[cid];
-                self.attr.charge(cid, bucket);
-                self.stall_buckets[cid] = bucket;
-                min_wake = min_wake.min(self.asleep_until[cid]);
-                continue;
+        // With every core sleeping, no wake hint pending, and no
+        // deadline due, the per-core loop is a no-op: each core would
+        // hit its clear wake bit and continue. Skip it outright.
+        let skip_loop = self.sleeping_count == self.cfg.cores
+            && self.wake_bits == 0
+            && self.now < self.next_deadline;
+        if skip_loop {
+            min_wake = self.next_deadline;
+        }
+        for cid in 0..if skip_loop { 0 } else { self.cfg.cores } {
+            if self.sleep_from[cid] != u64::MAX {
+                // Mid-sleep: the stall repeats verbatim while the
+                // deadline is ahead and the guard (if any) holds. With
+                // no wake hint pending, the guard provably holds and
+                // even the re-validation is skipped. The accumulated
+                // cycles are charged in one batch at wake.
+                let until = self.asleep_until[cid];
+                let bit = 1u64 << (cid as u64 & 63);
+                if self.now < until {
+                    if self.wake_bits & bit == 0 {
+                        min_wake = min_wake.min(until);
+                        continue;
+                    }
+                    let intact = match self.stall_guard[cid] {
+                        Some(guard) => self.guard_intact(cid, guard),
+                        None => true,
+                    };
+                    if intact {
+                        // Consume the hint (only exclusive owners may;
+                        // shared bits just re-validate every cycle).
+                        if self.cfg.cores <= 64 {
+                            self.wake_bits &= !bit;
+                        }
+                        min_wake = min_wake.min(until);
+                        continue;
+                    }
+                }
+                let elapsed = self.now - self.sleep_from[cid];
+                if elapsed > 0 {
+                    self.attr.charge_n(cid, self.sleep_bucket[cid], elapsed);
+                }
+                self.sleep_from[cid] = u64::MAX;
+                self.stall_guard[cid] = None;
+                self.clear_wake_routing(cid);
             }
-            match self.tick_core(cid)? {
-                CoreCycle::Progress => all_stalled = false,
+            let cycle = self.tick_core(cid)?;
+            let armed = self.armed_guard.take();
+            match cycle {
+                CoreCycle::Progress => {
+                    all_stalled = false;
+                    self.stall_guard[cid] = None;
+                }
                 CoreCycle::Stalled { bucket, wake } => {
                     self.stall_buckets[cid] = bucket;
                     min_wake = min_wake.min(wake);
@@ -335,6 +567,22 @@ impl<'p> Machine<'p> {
                         // Deterministic wake: sleep through the stall.
                         self.asleep_until[cid] = wake;
                         self.sleep_bucket[cid] = bucket;
+                        self.sleep_from[cid] = self.now + 1;
+                        self.stall_guard[cid] = None;
+                    } else if self.cfg.fast_forward && self.stall_guard[cid].is_none() {
+                        // Event-driven wake: sleep until the stall's
+                        // cause-specific inputs move (see
+                        // [`StallGuard`]). Cores with in-flight ring
+                        // loads stay awake to poll completions; their
+                        // guard is checked inside `tick_core` instead.
+                        self.sleep_bucket[cid] = bucket;
+                        self.stall_guard[cid] =
+                            Some(armed.unwrap_or_else(|| self.epochs_guard(cid)));
+                        if self.cores[cid].pending_ring.is_empty() {
+                            self.asleep_until[cid] = u64::MAX;
+                            self.sleep_from[cid] = self.now + 1;
+                            self.register_wake_routing(cid);
+                        }
                     }
                 }
             }
@@ -345,15 +593,23 @@ impl<'p> Machine<'p> {
             self.enter_parallel(plan);
             transition = true;
         }
-        if matches!(self.mode, Mode::Parallel(_)) {
-            let all_done = self
-                .cores
-                .iter()
-                .all(|c| matches!(c.run, RunState::FinishedLoop | RunState::NoWork));
-            if all_done {
-                self.exit_parallel();
-                transition = true;
+        if matches!(self.mode, Mode::Parallel(_)) && self.done_cores == self.cfg.cores {
+            self.exit_parallel();
+            transition = true;
+        }
+        if !skip_loop || transition {
+            // Refresh the loop-skip inputs (sleeps may have been armed,
+            // woken, or settled this cycle).
+            let mut count = 0;
+            let mut deadline = u64::MAX;
+            for cid in 0..self.cfg.cores {
+                if self.sleep_from[cid] != u64::MAX {
+                    count += 1;
+                    deadline = deadline.min(self.asleep_until[cid]);
+                }
             }
+            self.sleeping_count = count;
+            self.next_deadline = deadline;
         }
         if !self.cfg.fast_forward || !all_stalled || transition {
             return Ok(None);
@@ -375,6 +631,8 @@ impl<'p> Machine<'p> {
     /// Enter parallel execution of `plans[pidx]`; the orchestrator's
     /// thread is positioned at the loop header.
     fn enter_parallel(&mut self, pidx: usize) {
+        self.settle_sleeps();
+        self.wake_bits = u64::MAX;
         let plan = &self.plans[pidx];
         let mut r0 = self.cores[0].thread.regs.clone();
         for ind in &plan.inductions {
@@ -391,6 +649,8 @@ impl<'p> Machine<'p> {
         let trip = plan.trip_count(counter_entry, bound);
         debug_assert!(trip >= 1, "zero-trip loops stay serial");
 
+        self.min_iter_dirty = true;
+        let mut done_cores = 0;
         for (cid, core) in self.cores.iter_mut().enumerate() {
             core.thread.regs = r0.clone();
             core.thread.finished = false;
@@ -415,14 +675,15 @@ impl<'p> Machine<'p> {
                 };
             } else {
                 core.run = RunState::NoWork;
+                done_cores += 1;
             }
         }
+        self.done_cores = done_cores;
         self.sync.begin_loop();
         self.race.begin_loop();
         self.asleep_until.iter_mut().for_each(|t| *t = 0);
-        self.wait_memo
-            .iter_mut()
-            .for_each(|m| *m = (SegmentId(u32::MAX), u64::MAX, 0));
+        self.stall_guard.iter_mut().for_each(|g| *g = None);
+        self.wait_memo.iter_mut().for_each(|m| *m = WaitMemo::EMPTY);
         if let Some(ring) = &mut self.ring {
             ring.begin_loop();
         }
@@ -437,6 +698,7 @@ impl<'p> Machine<'p> {
             trip,
             r0,
             last_writer: vec![None; self.program.n_regs as usize],
+            has_lastwriter: lastwriter_regs.iter().any(|&b| b),
             lastwriter_regs,
             seg_ids: plan.segments.iter().map(|s| s.id).collect(),
         });
@@ -446,6 +708,8 @@ impl<'p> Machine<'p> {
     /// Loop barrier: flush the ring, resolve live-outs, resume serial
     /// execution at the loop's exit block.
     fn exit_parallel(&mut self) {
+        self.settle_sleeps();
+        self.wake_bits = u64::MAX;
         let Mode::Parallel(ctx) = std::mem::replace(&mut self.mode, Mode::Serial) else {
             unreachable!("exit_parallel outside parallel mode");
         };
@@ -504,6 +768,7 @@ impl<'p> Machine<'p> {
         }
 
         self.asleep_until.iter_mut().for_each(|t| *t = 0);
+        self.stall_guard.iter_mut().for_each(|g| *g = None);
         let core0 = &mut self.cores[0];
         core0.thread.regs = regs;
         core0.thread.block = plan.exit_resume;
@@ -534,14 +799,47 @@ impl<'p> Machine<'p> {
         // counts only grow and observation deadlines never move. Resume
         // the scan where it last stopped (optimized path only; the naive
         // loop re-checks everything, like the original per-cycle loop).
-        let mut confirmed = if self.cfg.fast_forward {
-            match self.wait_memo[core] {
-                (s, i, c) if s == seg && i == iter => c as usize,
-                _ => 0,
-            }
+        let memo_valid = self.cfg.fast_forward
+            && self.wait_memo[core].seg == seg
+            && self.wait_memo[core].iter == iter;
+        let mut confirmed = if memo_valid {
+            self.wait_memo[core].confirmed as usize
         } else {
             0
         };
+        // Fast re-check of the memoized first-unsatisfied source: one
+        // counter compare instead of rebuilding the source iterator.
+        // Only the decoupled path takes it — the coherence path's
+        // outcome also depends on `now`, which moves every cycle.
+        if memo_valid && self.cfg.decouple.synch {
+            let m = self.wait_memo[core];
+            if m.src != u32::MAX {
+                let src = m.src as usize;
+                let ring = self.ring.as_ref().expect("decoupled sync needs a ring");
+                if ring.signal_count(core, seg, src) < m.need {
+                    let dependence = self.sync.count(seg, src) < m.need;
+                    self.armed_guard = Some(StallGuard::Wait {
+                        seg,
+                        src: m.src,
+                        need: m.need,
+                        ring_count: ring.signal_count(core, seg, src),
+                        dependence,
+                    });
+                    let block = if dependence {
+                        WaitBlock::Dependence
+                    } else {
+                        WaitBlock::Communication
+                    };
+                    return Err((block, u64::MAX));
+                }
+                // Satisfied since last time: fold it into the confirmed
+                // prefix and rescan from there.
+                confirmed += 1;
+                self.wait_memo[core].confirmed = confirmed as u32;
+                self.wait_memo[core].src = u32::MAX;
+            }
+        }
+        let mut blocked_at: Option<(usize, u64)> = None;
         let result = (|| {
             for src in required_sources_iter(self.cfg.sync, core, n).skip(confirmed) {
                 let k = required_count(src, iter, n);
@@ -552,6 +850,7 @@ impl<'p> Machine<'p> {
                 if self.cfg.decouple.synch {
                     let ring = self.ring.as_ref().expect("decoupled sync needs a ring");
                     if ring.signal_count(core, seg, src) < k {
+                        blocked_at = Some((src, k));
                         let block = if self.sync.count(seg, src) < k {
                             WaitBlock::Dependence
                         } else {
@@ -561,7 +860,10 @@ impl<'p> Machine<'p> {
                     }
                 } else {
                     match self.sync.kth_time(seg, src, k) {
-                        None => return Err((WaitBlock::Dependence, u64::MAX)),
+                        None => {
+                            blocked_at = Some((src, k));
+                            return Err((WaitBlock::Dependence, u64::MAX));
+                        }
                         Some(t) => {
                             let observe_at = t + self.cfg.c2c_latency as u64 + SPIN_OVERHEAD;
                             if self.now < observe_at {
@@ -575,7 +877,33 @@ impl<'p> Machine<'p> {
             Ok(())
         })();
         if self.cfg.fast_forward {
-            self.wait_memo[core] = (seg, iter, confirmed as u32);
+            let (src, need) = blocked_at.map_or((u32::MAX, 0), |(s, k)| (s as u32, k));
+            self.wait_memo[core] = WaitMemo {
+                seg,
+                iter,
+                confirmed: confirmed as u32,
+                src,
+                need,
+            };
+            // Arm the cause-specific guard for event-driven blocks: the
+            // stall holds until `src` delivers (decoupled grant) or
+            // executes (Dependence classification) its `need`-th signal.
+            if let (Some((src, need)), Err((block, _))) = (blocked_at, &result) {
+                let ring_count = if self.cfg.decouple.synch {
+                    self.ring
+                        .as_ref()
+                        .map_or(u64::MAX, |r| r.signal_count(core, seg, src))
+                } else {
+                    u64::MAX
+                };
+                self.armed_guard = Some(StallGuard::Wait {
+                    seg,
+                    src: src as u32,
+                    need,
+                    ring_count,
+                    dependence: *block == WaitBlock::Dependence,
+                });
+            }
         }
         result
     }
@@ -672,7 +1000,9 @@ impl<'p> Machine<'p> {
             core.run = RunState::LapHold { iter: next };
         } else {
             core.run = RunState::FinishedLoop;
+            self.done_cores += 1;
         }
+        self.min_iter_dirty = true;
     }
 
     /// Try to start iteration `iter` on `cid` (subject to the lap bound).
@@ -699,16 +1029,100 @@ impl<'p> Machine<'p> {
         true
     }
 
+    /// The catch-all snapshot of every event-driven stall input for
+    /// `cid`.
+    fn epochs_guard(&self, cid: usize) -> StallGuard {
+        let (ring_sig, inject) = match &self.ring {
+            Some(r) => (r.signal_epoch(cid), r.inject_epoch(cid)),
+            None => (0, 0),
+        };
+        StallGuard::Epochs { ring_sig, inject }
+    }
+
+    /// Whether `cid`'s armed guard still holds, i.e. none of the
+    /// stall's inputs moved since it was recorded.
+    fn guard_intact(&self, cid: usize, guard: StallGuard) -> bool {
+        match guard {
+            StallGuard::Epochs { .. } => guard == self.epochs_guard(cid),
+            StallGuard::Wait {
+                seg,
+                src,
+                need,
+                ring_count,
+                dependence,
+            } => {
+                let grant_stable = ring_count == u64::MAX
+                    || self
+                        .ring
+                        .as_ref()
+                        .is_some_and(|r| r.signal_count(cid, seg, src as usize) == ring_count);
+                grant_stable && (!dependence || self.sync.count(seg, src as usize) < need)
+            }
+            StallGuard::Lap { min_iter } => min_iter == self.min_iter,
+            StallGuard::Forever => true,
+        }
+    }
+
+    /// Deregister `cid` from the targeted wake routing (dependence and
+    /// lap masks) as it leaves its sleep.
+    fn clear_wake_routing(&mut self, cid: usize) {
+        let bit = 1u64 << (cid as u64 & 63);
+        let src = self.dep_src[cid];
+        if src != u32::MAX {
+            self.dep_mask[src as usize] &= !bit;
+            self.dep_src[cid] = u32::MAX;
+        }
+        self.lap_sleepers &= !bit;
+    }
+
+    /// Register `cid`'s freshly armed sleep with the targeted wake
+    /// routing, so only the events its guard actually reads set its
+    /// wake bit.
+    fn register_wake_routing(&mut self, cid: usize) {
+        let bit = 1u64 << (cid as u64 & 63);
+        match self.stall_guard[cid] {
+            Some(StallGuard::Wait {
+                src,
+                dependence: true,
+                ..
+            }) => {
+                self.dep_mask[src as usize] |= bit;
+                self.dep_src[cid] = src;
+            }
+            Some(StallGuard::Lap { .. }) => {
+                self.lap_sleepers |= bit;
+            }
+            _ => {}
+        }
+    }
+
+    /// Charge every bulk-sleeping core for its accumulated stall window
+    /// `[sleep_from, now)` and mark it awake. Called at mode
+    /// transitions and at run end — the points where sleeps end for
+    /// reasons other than their own wake conditions.
+    fn settle_sleeps(&mut self) {
+        for cid in 0..self.cfg.cores {
+            let sf = self.sleep_from[cid];
+            if sf != u64::MAX {
+                let elapsed = self.now - sf;
+                if elapsed > 0 {
+                    self.attr.charge_n(cid, self.sleep_bucket[cid], elapsed);
+                }
+                self.sleep_from[cid] = u64::MAX;
+                self.clear_wake_routing(cid);
+            }
+        }
+        self.sleeping_count = 0;
+        self.next_deadline = u64::MAX;
+    }
+
     /// Charge one cycle of a pure-idle run state. These states change
-    /// only at mode transitions (which clear the sleep), so on the
-    /// optimized path the core sleeps indefinitely and skips the
-    /// per-cycle re-evaluation entirely.
+    /// only at mode transitions (which settle and clear every sleep),
+    /// so on the optimized path the core sleeps indefinitely and skips
+    /// the per-cycle re-evaluation entirely.
     fn idle_cycle(&mut self, cid: usize, bucket: Bucket) -> CoreCycle {
         self.attr.charge(cid, bucket);
-        if self.cfg.fast_forward {
-            self.asleep_until[cid] = u64::MAX;
-            self.sleep_bucket[cid] = bucket;
-        }
+        self.armed_guard = Some(StallGuard::Forever);
         CoreCycle::Stalled {
             bucket,
             wake: u64::MAX,
@@ -718,25 +1132,39 @@ impl<'p> Machine<'p> {
     /// One cycle of core `cid`. Reports whether the core made progress
     /// or is provably stalled (and until when), for the fast-forward.
     fn tick_core(&mut self, cid: usize) -> Result<CoreCycle, SimError> {
-        // Resolve completed ring loads.
+        // Resolve completed ring loads (allocation-free: retire in
+        // place, in ticket order, exactly as the two-pass version did).
         let mut resolved_any = false;
         if !self.cores[cid].pending_ring.is_empty() {
-            let mut resolved = Vec::new();
-            if let Some(ring) = &mut self.ring {
-                self.cores[cid].pending_ring.retain(|&(ticket, reg)| {
-                    if let Some(ready) = ring.load_ready(ticket) {
-                        resolved.push((ticket, reg, ready));
-                        false
-                    } else {
-                        true
-                    }
-                });
-                for (ticket, reg, ready) in resolved {
-                    ring.retire_load(ticket);
-                    self.cores[cid].reg_ready[reg.index()] = ready;
-                    resolved_any = true;
-                }
+            if let Some(ring) = self.ring.as_mut() {
+                let core = &mut self.cores[cid];
+                let reg_ready = &mut core.reg_ready;
+                core.pending_ring
+                    .retain(|&(ticket, reg)| match ring.take_ready(ticket) {
+                        Some(ready) => {
+                            reg_ready[reg.index()] = ready;
+                            resolved_any = true;
+                            false
+                        }
+                        None => true,
+                    });
             }
+        }
+        // Conditional sleep: a guarded event-driven stall repeats
+        // verbatim while none of its inputs moved (a completed ring
+        // load, the remaining wake source, is `resolved_any` above).
+        if resolved_any {
+            self.stall_guard[cid] = None;
+        } else if let Some(guard) = self.stall_guard[cid] {
+            if self.guard_intact(cid, guard) {
+                let bucket = self.sleep_bucket[cid];
+                self.attr.charge(cid, bucket);
+                return Ok(CoreCycle::Stalled {
+                    bucket,
+                    wake: u64::MAX,
+                });
+            }
+            self.stall_guard[cid] = None; // stale: re-evaluate below
         }
 
         let mut lap_started = false;
@@ -755,6 +1183,9 @@ impl<'p> Machine<'p> {
                     self.attr.charge(cid, Bucket::Communication);
                     // The lap bound only moves when another core
                     // finishes an iteration.
+                    self.armed_guard = Some(StallGuard::Lap {
+                        min_iter: self.min_iter,
+                    });
                     return Ok(CoreCycle::Stalled {
                         bucket: Bucket::Communication,
                         wake: u64::MAX,
@@ -771,9 +1202,16 @@ impl<'p> Machine<'p> {
             return Ok(CoreCycle::Progress); // state changed this cycle
         }
 
-        let cycle = match self.cfg.core {
-            CoreModel::InOrder { width } => self.tick_inorder(cid, width)?,
-            CoreModel::OutOfOrder { width, rob } => self.tick_ooo(cid, width, rob)?,
+        let cycle = if let Some(dec) = self.decoded.clone() {
+            match self.cfg.core {
+                CoreModel::InOrder { width } => self.tick_inorder_dec(cid, width, &dec)?,
+                CoreModel::OutOfOrder { width, rob } => self.tick_ooo_dec(cid, width, rob, &dec)?,
+            }
+        } else {
+            match self.cfg.core {
+                CoreModel::InOrder { width } => self.tick_inorder(cid, width)?,
+                CoreModel::OutOfOrder { width, rob } => self.tick_ooo(cid, width, rob)?,
+            }
         };
         if resolved_any || lap_started {
             return Ok(CoreCycle::Progress);
@@ -872,6 +1310,9 @@ impl<'p> Machine<'p> {
                             }
                         }
                         self.sync.record_signal(seg, cid, now);
+                        // Wake exactly the sleepers dependence-blocked
+                        // on this core's signals.
+                        self.wake_bits |= self.dep_mask[cid];
                         self.cores[cid].signaled.insert(seg);
                     }
                     self.step_functional(cid)?;
@@ -980,6 +1421,314 @@ impl<'p> Machine<'p> {
         Ok(CoreCycle::Stalled { bucket, wake })
     }
 
+    /// In-order issue over the pre-decoded micro-op tables: the decoded
+    /// engine's mirror of [`Machine::tick_inorder`], cycle-exact but with
+    /// no per-step enum walking, operand matching, or allocation.
+    fn tick_inorder_dec(
+        &mut self,
+        cid: usize,
+        width: u32,
+        dec: &DecodedProgram,
+    ) -> Result<CoreCycle, SimError> {
+        let now = self.now;
+        let mut issued = 0u32;
+        let mut any_original = false;
+        let mut any_added = false;
+        let mut stall: Option<Bucket> = None;
+        let mut wake = u64::MAX;
+
+        while issued < width {
+            if now < self.cores[cid].fetch_stall_until {
+                if issued == 0 {
+                    stall = Some(Bucket::Computation); // branch redirect bubble
+                    wake = self.cores[cid].fetch_stall_until;
+                }
+                break;
+            }
+            let th = &self.cores[cid].thread;
+            if th.finished {
+                break;
+            }
+            let meta = dec.block(th.block);
+            if th.ip >= meta.len as usize {
+                // Terminator next.
+                let term = meta.term;
+                if term.kind == DTermKind::Branch && term.cond.reg != NO_REG {
+                    let r = Reg(term.cond.reg);
+                    if let Some((r, class)) = self.cores[cid].blocking_reg(&[r], now) {
+                        if issued == 0 {
+                            stall = Some(class);
+                            wake = self.cores[cid].reg_ready[r.index()];
+                        }
+                        break;
+                    }
+                }
+                let stop = self.issue_terminator_dec(cid, dec, term)?;
+                issued += 1;
+                any_original = true;
+                if stop {
+                    break;
+                }
+                continue;
+            }
+            let pc = meta.start as usize + th.ip;
+            let u = &dec.uops[pc];
+
+            match u.kind {
+                UOpKind::Wait { seg } => {
+                    if !self.cores[cid].granted.contains(&seg) {
+                        let iter = match self.cores[cid].run {
+                            RunState::Iter { iter, .. } => iter,
+                            _ => 0,
+                        };
+                        let in_parallel = matches!(self.mode, Mode::Parallel(_));
+                        if in_parallel {
+                            match self.check_wait(cid, seg, iter) {
+                                Ok(()) => {
+                                    self.cores[cid].granted.insert(seg);
+                                }
+                                Err((block, observe_at)) => {
+                                    if issued == 0 {
+                                        stall = Some(match block {
+                                            WaitBlock::Dependence => Bucket::DependenceWaiting,
+                                            WaitBlock::Communication => Bucket::Communication,
+                                        });
+                                        wake = observe_at;
+                                    }
+                                    break;
+                                }
+                            }
+                        } else {
+                            self.cores[cid].granted.insert(seg);
+                        }
+                    }
+                    self.step_functional_dec(cid, dec)?;
+                    issued += 1;
+                    // wait/signal instructions are charged to their own
+                    // bucket unless real work issued too.
+                }
+                UOpKind::Signal { seg } => {
+                    if !self.cores[cid].signaled.contains(&seg)
+                        && matches!(self.mode, Mode::Parallel(_))
+                    {
+                        if self.cfg.decouple.synch {
+                            let ring = self.ring.as_mut().expect("ring");
+                            if !ring.signal(cid, seg) {
+                                if issued == 0 {
+                                    stall = Some(Bucket::Communication);
+                                    wake = u64::MAX; // drains at a ring event
+                                }
+                                break;
+                            }
+                        }
+                        self.sync.record_signal(seg, cid, now);
+                        // Wake exactly the sleepers dependence-blocked
+                        // on this core's signals.
+                        self.wake_bits |= self.dep_mask[cid];
+                        self.cores[cid].signaled.insert(seg);
+                    }
+                    self.step_functional_dec(cid, dec)?;
+                    issued += 1;
+                }
+                UOpKind::Load { dst, .. } => {
+                    if let Some((r, class)) = self.cores[cid].blocking_slot(dec.uses(u), now) {
+                        if issued == 0 {
+                            stall = Some(class);
+                            wake = self.cores[cid].reg_ready[r.index()];
+                        }
+                        break;
+                    }
+                    let a = u.eval_addr(&self.cores[cid].thread.regs);
+                    let Some((done, class)) = self.route_load(cid, a, u.shared, Reg(dst), now)
+                    else {
+                        if issued == 0 {
+                            stall = Some(Bucket::Communication);
+                            wake = u64::MAX; // ring backpressure
+                        }
+                        break;
+                    };
+                    let is_added = u.is_added;
+                    self.step_functional_dec(cid, dec)?;
+                    let core = &mut self.cores[cid];
+                    core.reg_ready[dst as usize] = done; // u64::MAX while pending
+                    core.reg_class[dst as usize] = class;
+                    issued += 1;
+                    if is_added {
+                        any_added = true;
+                    } else {
+                        any_original = true;
+                    }
+                }
+                UOpKind::Store { .. } => {
+                    if let Some((r, class)) = self.cores[cid].blocking_slot(dec.uses(u), now) {
+                        if issued == 0 {
+                            stall = Some(class);
+                            wake = self.cores[cid].reg_ready[r.index()];
+                        }
+                        break;
+                    }
+                    let a = u.eval_addr(&self.cores[cid].thread.regs);
+                    if !self.route_store(cid, a, u.shared, now) {
+                        if issued == 0 {
+                            stall = Some(Bucket::Communication);
+                            wake = u64::MAX; // ring backpressure
+                        }
+                        break;
+                    }
+                    let is_added = u.is_added;
+                    self.step_functional_dec(cid, dec)?;
+                    issued += 1;
+                    if is_added {
+                        any_added = true;
+                    } else {
+                        any_original = true;
+                    }
+                }
+                _ => {
+                    if let Some((r, class)) = self.cores[cid].blocking_slot(dec.uses(u), now) {
+                        if issued == 0 {
+                            stall = Some(class);
+                            wake = self.cores[cid].reg_ready[r.index()];
+                        }
+                        break;
+                    }
+                    let lat = self.uop_lat[pc] as u64;
+                    let dst = u.dst;
+                    let is_added = u.is_added;
+                    self.step_functional_dec(cid, dec)?;
+                    if dst != NO_REG {
+                        let core = &mut self.cores[cid];
+                        core.reg_ready[dst as usize] = now + lat;
+                        core.reg_class[dst as usize] = Bucket::Computation;
+                    }
+                    issued += 1;
+                    if self.in_prologue(cid) || is_added {
+                        any_added = true;
+                    } else {
+                        any_original = true;
+                    }
+                }
+            }
+        }
+
+        // Attribute this cycle (same policy as the tree engine).
+        let bucket = if issued > 0 {
+            if any_original {
+                Bucket::Computation
+            } else if any_added {
+                Bucket::AdditionalInsts
+            } else {
+                Bucket::WaitSignal
+            }
+        } else {
+            stall.unwrap_or(Bucket::Computation)
+        };
+        self.attr.charge(cid, bucket);
+        if issued > 0 {
+            return Ok(CoreCycle::Progress);
+        }
+        if stall.is_none() {
+            wake = now + 1;
+        }
+        Ok(CoreCycle::Stalled { bucket, wake })
+    }
+
+    /// Decoded mirror of [`Machine::issue_terminator`].
+    fn issue_terminator_dec(
+        &mut self,
+        cid: usize,
+        dec: &DecodedProgram,
+        term: DTerm,
+    ) -> Result<bool, SimError> {
+        let now = self.now;
+        let from = self.cores[cid].thread.block;
+        let event = self.step_functional_dec(cid, dec)?;
+        let StepEvent::Flow { to, .. } = event else {
+            // Return: the thread is finished.
+            return Ok(true);
+        };
+        // Branch prediction.
+        if term.kind == DTermKind::Branch {
+            let taken = to == term.then_;
+            let correct = self.cores[cid].predictor.update(from, taken);
+            if !correct {
+                self.cores[cid].fetch_stall_until = now + 1 + self.cfg.mispredict_penalty as u64;
+            }
+        }
+        Ok(self.post_flow(cid, from, to))
+    }
+
+    /// Decoded mirror of [`Machine::step_functional`]: one functional
+    /// micro-op step, feeding the race detector and live-out tracking.
+    fn step_functional_dec(
+        &mut self,
+        cid: usize,
+        dec: &DecodedProgram,
+    ) -> Result<StepEvent, SimError> {
+        self.sink.mem.clear();
+        let event = dec.step(&mut self.cores[cid].thread, &mut self.env, &mut self.sink)?;
+        if matches!(self.mode, Mode::Parallel(_)) {
+            // Only defs matter for LastWriter; re-peek is impossible
+            // (already stepped), so check the previous micro-op.
+            let prev_def = if matches!(&self.mode, Mode::Parallel(ctx) if ctx.has_lastwriter) {
+                let th = &self.cores[cid].thread;
+                (th.ip > 0)
+                    .then(|| dec.uop_at(th.block, th.ip - 1))
+                    .flatten()
+                    .map(|u| u.dst)
+                    .filter(|&d| d != NO_REG)
+            } else {
+                None
+            };
+            self.post_step_parallel(cid, prev_def);
+        }
+        Ok(event)
+    }
+
+    /// Shared post-step bookkeeping for a functional step taken inside
+    /// a parallel loop (both engines): feed the race detector with the
+    /// step's memory accesses and track LastWriter live-out defs.
+    fn post_step_parallel(&mut self, cid: usize, prev_def: Option<u32>) {
+        let mem = std::mem::take(&mut self.sink.mem);
+        for access in &mem {
+            let in_window = access
+                .shared
+                .map(|t| {
+                    self.cores[cid].granted.contains(&t.seg)
+                        && !self.cores[cid].signaled.contains(&t.seg)
+                })
+                .unwrap_or(false);
+            self.race.on_access(
+                cid,
+                access.addr,
+                access.len,
+                access.is_store,
+                access.shared,
+                in_window,
+            );
+        }
+        // Hand the buffer back for reuse.
+        self.sink.mem = mem;
+        // LastWriter live-out tracking.
+        if let Mode::Parallel(ctx) = &mut self.mode {
+            if let Some(d) = prev_def {
+                if ctx.lastwriter_regs[d as usize] {
+                    if let RunState::Iter { iter, .. } = self.cores[cid].run {
+                        let e = &mut ctx.last_writer[d as usize];
+                        match e {
+                            Some((last, core)) if iter >= *last => {
+                                *last = iter;
+                                *core = cid;
+                            }
+                            None => *e = Some((iter, cid)),
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Whether `cid`'s program counter is inside a re-computation
     /// prologue block (everything there is parallelization overhead).
     fn in_prologue(&self, cid: usize) -> bool {
@@ -998,52 +1747,19 @@ impl<'p> Machine<'p> {
             .thread
             .step(self.program, &mut self.env, &mut self.sink)?;
         if matches!(self.mode, Mode::Parallel(_)) {
-            let mem = std::mem::take(&mut self.sink.mem);
-            for access in &mem {
-                let in_window = access
-                    .shared
-                    .map(|t| {
-                        self.cores[cid].granted.contains(&t.seg)
-                            && !self.cores[cid].signaled.contains(&t.seg)
-                    })
-                    .unwrap_or(false);
-                self.race.on_access(
-                    cid,
-                    access.addr,
-                    access.len,
-                    access.is_store,
-                    access.shared,
-                    in_window,
-                );
-            }
-            // Hand the buffer back for reuse.
-            self.sink.mem = mem;
-            // LastWriter live-out tracking.
-            if let Mode::Parallel(ctx) = &mut self.mode {
-                if let RunState::Iter { iter, .. } = self.cores[cid].run {
-                    // Only defs matter; re-peek is impossible (already
-                    // stepped), so check the previous instruction.
-                    let th = &self.cores[cid].thread;
-                    if th.ip > 0 {
-                        if let Some(prev) = self.program.graph.block(th.block).insts.get(th.ip - 1)
-                        {
-                            if let Some(d) = prev.def() {
-                                if ctx.lastwriter_regs[d.index()] {
-                                    let e = &mut ctx.last_writer[d.index()];
-                                    match e {
-                                        Some((last, core)) if iter >= *last => {
-                                            *last = iter;
-                                            *core = cid;
-                                        }
-                                        None => *e = Some((iter, cid)),
-                                        _ => {}
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-            }
+            // Only defs matter for LastWriter; re-peek is impossible
+            // (already stepped), so check the previous instruction.
+            let prev_def = if matches!(&self.mode, Mode::Parallel(ctx) if ctx.has_lastwriter) {
+                let th = &self.cores[cid].thread;
+                (th.ip > 0)
+                    .then(|| self.program.graph.block(th.block).insts.get(th.ip - 1))
+                    .flatten()
+                    .and_then(|i| i.def())
+                    .map(|r| r.0)
+            } else {
+                None
+            };
+            self.post_step_parallel(cid, prev_def);
         }
         Ok(event)
     }
@@ -1369,6 +2085,9 @@ impl<'p> Machine<'p> {
                         }
                     }
                     self.sync.record_signal(seg, cid, self.now);
+                    // Wake exactly the sleepers dependence-blocked on
+                    // this core's signals.
+                    self.wake_bits |= self.dep_mask[cid];
                     self.cores[cid].signaled.insert(seg);
                 }
                 self.step_functional(cid)?;
@@ -1378,6 +2097,324 @@ impl<'p> Machine<'p> {
                 });
             }
             _ => unreachable!("sync step on non-sync instruction"),
+        }
+        Ok(())
+    }
+
+    /// Decoded mirror of [`Machine::tick_ooo`]: out-of-order dispatch
+    /// over the pre-decoded micro-op tables.
+    fn tick_ooo_dec(
+        &mut self,
+        cid: usize,
+        width: u32,
+        rob_cap: u32,
+        dec: &DecodedProgram,
+    ) -> Result<CoreCycle, SimError> {
+        let now = self.now;
+        // Retire completed entries in order.
+        let mut retired = 0;
+        while retired < width {
+            match self.cores[cid].rob.front() {
+                Some(e) if e.complete <= now => {
+                    self.cores[cid].rob.pop_front();
+                    retired += 1;
+                }
+                _ => break,
+            }
+        }
+
+        let mut dispatched = 0u32;
+        let mut any_original = false;
+        let mut any_added = false;
+        let mut stall: Option<Bucket> = None;
+        let mut wake = u64::MAX;
+        let rob_head_wake = self.cores[cid]
+            .rob
+            .front()
+            .map(|e| e.complete.max(now + 1))
+            .unwrap_or(u64::MAX);
+
+        while dispatched < width {
+            if now < self.cores[cid].fetch_stall_until {
+                if dispatched == 0 {
+                    stall = Some(Bucket::Computation);
+                    wake = self.cores[cid].fetch_stall_until;
+                }
+                break;
+            }
+            if self.cores[cid].rob.len() >= rob_cap as usize {
+                if dispatched == 0 {
+                    stall = Some(
+                        self.cores[cid]
+                            .rob
+                            .front()
+                            .map(|e| e.class)
+                            .unwrap_or(Bucket::Computation),
+                    );
+                    wake = rob_head_wake;
+                }
+                break;
+            }
+            let th = &self.cores[cid].thread;
+            if th.finished {
+                break;
+            }
+            let meta = dec.block(th.block);
+            if th.ip >= meta.len as usize {
+                let term = meta.term;
+                // Branch resolution happens when the condition is ready.
+                let resolve_at = if term.kind == DTermKind::Branch && term.cond.reg != NO_REG {
+                    self.cores[cid].reg_ready[term.cond.reg as usize].max(now)
+                } else {
+                    now
+                };
+                if resolve_at == u64::MAX {
+                    if dispatched == 0 {
+                        stall = Some(Bucket::Communication);
+                        wake = u64::MAX; // awaits an outstanding ring load
+                    }
+                    break;
+                }
+                let from = self.cores[cid].thread.block;
+                let event = self.step_functional_dec(cid, dec)?;
+                dispatched += 1;
+                any_original = true;
+                self.cores[cid].rob.push_back(RobEntry {
+                    complete: resolve_at.saturating_add(1),
+                    class: Bucket::Computation,
+                });
+                let StepEvent::Flow { to, .. } = event else {
+                    break;
+                };
+                if term.kind == DTermKind::Branch {
+                    let taken = to == term.then_;
+                    let correct = self.cores[cid].predictor.update(from, taken);
+                    if !correct {
+                        self.cores[cid].fetch_stall_until =
+                            resolve_at + 1 + self.cfg.mispredict_penalty as u64;
+                    }
+                }
+                let stop = self.post_flow(cid, from, to);
+                if stop {
+                    break;
+                }
+                continue;
+            }
+            let pc = meta.start as usize + th.ip;
+            let u = &dec.uops[pc];
+            match u.kind {
+                UOpKind::Wait { .. } | UOpKind::Signal { .. } => {
+                    // Fence: dispatch only with an empty window.
+                    if !self.cores[cid].rob.is_empty() {
+                        if dispatched == 0 {
+                            stall = Some(
+                                self.cores[cid]
+                                    .rob
+                                    .front()
+                                    .map(|e| e.class)
+                                    .unwrap_or(Bucket::Computation),
+                            );
+                            wake = rob_head_wake;
+                        }
+                        break;
+                    }
+                    let before = self.cores[cid].thread.dyn_insts;
+                    self.sync_step_dec(cid, dec, u.kind, &mut stall, &mut wake, dispatched)?;
+                    if self.cores[cid].thread.dyn_insts == before {
+                        break; // blocked
+                    }
+                    dispatched += 1;
+                }
+                UOpKind::Load { dst, .. } => {
+                    let ops_ready = self.cores[cid].slots_ready(dec.uses(u)).max(now);
+                    if ops_ready == u64::MAX {
+                        if dispatched == 0 {
+                            stall = Some(Bucket::Communication);
+                            wake = u64::MAX; // awaits an outstanding ring load
+                        }
+                        break;
+                    }
+                    let a = u.eval_addr(&self.cores[cid].thread.regs);
+                    let Some((done, class)) =
+                        self.route_load(cid, a, u.shared, Reg(dst), ops_ready)
+                    else {
+                        if dispatched == 0 {
+                            stall = Some(Bucket::Communication);
+                            wake = u64::MAX; // ring backpressure
+                        }
+                        break;
+                    };
+                    let is_added = u.is_added;
+                    self.step_functional_dec(cid, dec)?;
+                    let core = &mut self.cores[cid];
+                    core.reg_ready[dst as usize] = done; // u64::MAX while pending
+                    core.reg_class[dst as usize] = class;
+                    let complete = if done == u64::MAX { now + 1 } else { done };
+                    core.rob.push_back(RobEntry { complete, class });
+                    dispatched += 1;
+                    if is_added {
+                        any_added = true;
+                    } else {
+                        any_original = true;
+                    }
+                }
+                UOpKind::Store { .. } => {
+                    let ops_ready = self.cores[cid].slots_ready(dec.uses(u)).max(now);
+                    if ops_ready == u64::MAX {
+                        if dispatched == 0 {
+                            stall = Some(Bucket::Communication);
+                            wake = u64::MAX; // awaits an outstanding ring load
+                        }
+                        break;
+                    }
+                    let a = u.eval_addr(&self.cores[cid].thread.regs);
+                    if !self.route_store(cid, a, u.shared, ops_ready) {
+                        if dispatched == 0 {
+                            stall = Some(Bucket::Communication);
+                            wake = u64::MAX; // ring backpressure
+                        }
+                        break;
+                    }
+                    let is_added = u.is_added;
+                    self.step_functional_dec(cid, dec)?;
+                    self.cores[cid].rob.push_back(RobEntry {
+                        complete: ops_ready.saturating_add(1),
+                        class: Bucket::Memory,
+                    });
+                    dispatched += 1;
+                    if is_added {
+                        any_added = true;
+                    } else {
+                        any_original = true;
+                    }
+                }
+                _ => {
+                    let ops_ready = self.cores[cid].slots_ready(dec.uses(u)).max(now);
+                    if ops_ready == u64::MAX {
+                        if dispatched == 0 {
+                            stall = Some(Bucket::Communication);
+                            wake = u64::MAX; // awaits an outstanding ring load
+                        }
+                        break;
+                    }
+                    let lat = self.uop_lat[pc] as u64;
+                    let dst = u.dst;
+                    let is_added = u.is_added;
+                    self.step_functional_dec(cid, dec)?;
+                    let complete = ops_ready.saturating_add(lat);
+                    let core = &mut self.cores[cid];
+                    if dst != NO_REG {
+                        core.reg_ready[dst as usize] = complete;
+                        core.reg_class[dst as usize] = Bucket::Computation;
+                    }
+                    core.rob.push_back(RobEntry {
+                        complete,
+                        class: Bucket::Computation,
+                    });
+                    dispatched += 1;
+                    if self.in_prologue(cid) || is_added {
+                        any_added = true;
+                    } else {
+                        any_original = true;
+                    }
+                }
+            }
+        }
+
+        let bucket = if dispatched > 0 {
+            if any_original {
+                Bucket::Computation
+            } else if any_added {
+                Bucket::AdditionalInsts
+            } else {
+                Bucket::WaitSignal
+            }
+        } else {
+            stall.unwrap_or(Bucket::Computation)
+        };
+        self.attr.charge(cid, bucket);
+        if dispatched > 0 || retired > 0 {
+            return Ok(CoreCycle::Progress);
+        }
+        if stall.is_none() {
+            wake = now + 1; // unexpected shape: stay conservative
+        }
+        Ok(CoreCycle::Stalled {
+            bucket,
+            wake: wake.min(rob_head_wake),
+        })
+    }
+
+    /// Decoded mirror of [`Machine::inorder_sync_step`].
+    fn sync_step_dec(
+        &mut self,
+        cid: usize,
+        dec: &DecodedProgram,
+        kind: UOpKind,
+        stall: &mut Option<Bucket>,
+        wake: &mut u64,
+        dispatched: u32,
+    ) -> Result<(), SimError> {
+        match kind {
+            UOpKind::Wait { seg } => {
+                if !self.cores[cid].granted.contains(&seg) {
+                    let iter = match self.cores[cid].run {
+                        RunState::Iter { iter, .. } => iter,
+                        _ => 0,
+                    };
+                    if matches!(self.mode, Mode::Parallel(_)) {
+                        match self.check_wait(cid, seg, iter) {
+                            Ok(()) => {
+                                self.cores[cid].granted.insert(seg);
+                            }
+                            Err((block, observe_at)) => {
+                                if dispatched == 0 {
+                                    *stall = Some(match block {
+                                        WaitBlock::Dependence => Bucket::DependenceWaiting,
+                                        WaitBlock::Communication => Bucket::Communication,
+                                    });
+                                    *wake = observe_at;
+                                }
+                                return Ok(());
+                            }
+                        }
+                    } else {
+                        self.cores[cid].granted.insert(seg);
+                    }
+                }
+                self.step_functional_dec(cid, dec)?;
+                self.cores[cid].rob.push_back(RobEntry {
+                    complete: self.now + 1,
+                    class: Bucket::WaitSignal,
+                });
+            }
+            UOpKind::Signal { seg } => {
+                if !self.cores[cid].signaled.contains(&seg)
+                    && matches!(self.mode, Mode::Parallel(_))
+                {
+                    if self.cfg.decouple.synch {
+                        let ring = self.ring.as_mut().expect("ring");
+                        if !ring.signal(cid, seg) {
+                            if dispatched == 0 {
+                                *stall = Some(Bucket::Communication);
+                                *wake = u64::MAX; // drains at a ring event
+                            }
+                            return Ok(());
+                        }
+                    }
+                    self.sync.record_signal(seg, cid, self.now);
+                    // Wake exactly the sleepers dependence-blocked on
+                    // this core's signals.
+                    self.wake_bits |= self.dep_mask[cid];
+                    self.cores[cid].signaled.insert(seg);
+                }
+                self.step_functional_dec(cid, dec)?;
+                self.cores[cid].rob.push_back(RobEntry {
+                    complete: self.now + 1,
+                    class: Bucket::WaitSignal,
+                });
+            }
+            _ => unreachable!("sync step on non-sync micro-op"),
         }
         Ok(())
     }
@@ -1410,10 +2447,12 @@ impl<'p> Machine<'p> {
                     self.end_iteration(cid);
                     return true;
                 }
-                if !plan.blocks.contains(&to) && to != plan.header {
+                if !self.plan_blocks[ctx.plan][to.index()] && to != plan.header {
                     self.protocol_errors
                         .push(format!("core {cid} escaped the loop to {to}"));
                     self.cores[cid].run = RunState::FinishedLoop;
+                    self.done_cores += 1;
+                    self.min_iter_dirty = true;
                     return true;
                 }
                 false

@@ -8,46 +8,71 @@
 use crate::config::{CacheConfig, MachineConfig};
 use crate::dram::Dram;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Tag-only set-associative timing cache with LRU replacement.
+///
+/// Slots are one flat `(line + 1, lru)` array — `assoc` entries per
+/// set, allocated once and reused for the whole run, so probes and
+/// fills are short scans of contiguous memory with no per-set vectors
+/// to grow. Tags are stored biased by one so the empty sentinel is
+/// zero and the multi-megabyte L2 array starts as untouched zero pages
+/// instead of a written-out sentinel pattern.
 #[derive(Debug, Clone)]
 pub struct TimingCache {
-    sets: Vec<Vec<(u64, u64)>>, // (line addr, lru)
+    slots: Vec<(u64, u64)>, // (line addr + 1, lru); 0 = free
+    n_sets: usize,
     assoc: usize,
     line: u64,
     clock: u64,
+    /// `log2(line)` when the line size is a power of two (always, for
+    /// the paper geometries), turning the per-access division into a
+    /// shift.
+    line_shift: Option<u32>,
+    /// `n_sets - 1` when the set count is a power of two.
+    set_mask: Option<usize>,
 }
 
 impl TimingCache {
     /// Build a cache from a geometry description.
     pub fn new(cfg: &CacheConfig) -> TimingCache {
         let lines = (cfg.size / cfg.line).max(1) as usize;
-        let sets = (lines / cfg.assoc).max(1);
+        let n_sets = (lines / cfg.assoc).max(1);
         TimingCache {
-            sets: vec![Vec::new(); sets],
+            slots: vec![(0, 0); n_sets * cfg.assoc],
+            n_sets,
             assoc: cfg.assoc,
             line: cfg.line,
             clock: 0,
+            line_shift: cfg
+                .line
+                .is_power_of_two()
+                .then(|| cfg.line.trailing_zeros()),
+            set_mask: n_sets.is_power_of_two().then(|| n_sets - 1),
         }
     }
 
     /// Line address of a byte address.
     pub fn line_of(&self, addr: u64) -> u64 {
-        addr / self.line
+        match self.line_shift {
+            Some(s) => addr >> s,
+            None => addr / self.line,
+        }
     }
 
-    fn set_of(&self, line: u64) -> usize {
-        (line as usize) % self.sets.len()
+    fn set_slots(&mut self, line: u64) -> &mut [(u64, u64)] {
+        let set = match self.set_mask {
+            Some(mask) => (line as usize) & mask,
+            None => (line as usize) % self.n_sets,
+        };
+        &mut self.slots[set * self.assoc..(set + 1) * self.assoc]
     }
 
     /// Probe for the line holding `addr`; refreshes LRU on hit.
     pub fn probe(&mut self, addr: u64) -> bool {
-        let line = self.line_of(addr);
+        let tag = self.line_of(addr) + 1;
         self.clock += 1;
         let clock = self.clock;
-        let set = self.set_of(line);
-        if let Some(e) = self.sets[set].iter_mut().find(|(l, _)| *l == line) {
+        if let Some(e) = self.set_slots(tag - 1).iter_mut().find(|(l, _)| *l == tag) {
             e.1 = clock;
             true
         } else {
@@ -56,36 +81,41 @@ impl TimingCache {
     }
 
     /// Insert the line holding `addr`; returns the evicted line, if any.
+    /// LRU clocks are unique, so filling the first free slot instead of
+    /// appending changes nothing observable.
     pub fn insert(&mut self, addr: u64) -> Option<u64> {
         let line = self.line_of(addr);
+        let tag = line + 1;
         self.clock += 1;
         let clock = self.clock;
-        let assoc = self.assoc;
-        let set = self.set_of(line);
-        let lines = &mut self.sets[set];
-        if let Some(e) = lines.iter_mut().find(|(l, _)| *l == line) {
+        let slots = self.set_slots(line);
+        if let Some(e) = slots.iter_mut().find(|(l, _)| *l == tag) {
             e.1 = clock;
             return None;
         }
-        if lines.len() < assoc {
-            lines.push((line, clock));
+        if let Some(e) = slots.iter_mut().find(|(l, _)| *l == 0) {
+            *e = (tag, clock);
             return None;
         }
-        let idx = lines
+        let idx = slots
             .iter()
             .enumerate()
             .min_by_key(|(_, (_, lru))| *lru)
             .map(|(i, _)| i)
             .expect("full set");
-        let victim = lines[idx].0;
-        lines[idx] = (line, clock);
+        let victim = slots[idx].0 - 1;
+        slots[idx] = (tag, clock);
         Some(victim)
     }
 
     /// Remove the line holding `addr` (coherence invalidation).
     pub fn remove_line(&mut self, line: u64) {
-        let set = self.set_of(line);
-        self.sets[set].retain(|(l, _)| *l != line);
+        let tag = line + 1;
+        for e in self.set_slots(line) {
+            if e.0 == tag {
+                *e = (0, 0);
+            }
+        }
     }
 }
 
@@ -95,6 +125,108 @@ struct DirEntry {
     sharers: u64,
     /// Core holding the line modified, if any.
     dirty: Option<u8>,
+}
+
+impl DirEntry {
+    const EMPTY: DirEntry = DirEntry {
+        sharers: 0,
+        dirty: None,
+    };
+}
+
+/// Open-addressing map from line address to [`DirEntry`], replacing the
+/// tree map on the simulator's every-memory-access path: one probe per
+/// lookup, no per-entry allocation. Keys are stored biased by one so
+/// zero is the empty sentinel and the table starts as untouched zero
+/// pages. Entries whose sharer set empties are left zeroed rather than
+/// removed — a zeroed entry is observably identical to an absent one.
+#[derive(Debug)]
+struct Directory {
+    keys: Vec<u64>, // line address + 1; 0 = empty
+    vals: Vec<DirEntry>,
+    live: usize,
+    mask: usize,
+}
+
+impl Directory {
+    fn with_capacity_pow2(cap: usize) -> Directory {
+        debug_assert!(cap.is_power_of_two());
+        Directory {
+            keys: vec![0; cap],
+            vals: vec![DirEntry::EMPTY; cap],
+            live: 0,
+            mask: cap - 1,
+        }
+    }
+
+    /// Fibonacci multiplicative hash over the line address.
+    fn slot_of(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize & self.mask
+    }
+
+    /// Index of `key`'s slot, or of the empty slot where it belongs
+    /// (`key` is the biased line address, never zero).
+    fn probe(&self, key: u64) -> usize {
+        let mut i = self.slot_of(key);
+        loop {
+            let k = self.keys[i];
+            if k == key || k == 0 {
+                return i;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn get(&self, line: u64) -> Option<DirEntry> {
+        let key = line + 1;
+        let i = self.probe(key);
+        (self.keys[i] == key).then(|| self.vals[i])
+    }
+
+    fn get_mut(&mut self, line: u64) -> Option<&mut DirEntry> {
+        let key = line + 1;
+        let i = self.probe(key);
+        (self.keys[i] == key).then(|| &mut self.vals[i])
+    }
+
+    /// Entry for `line`, inserting a zeroed one when absent.
+    fn entry_or_default(&mut self, line: u64) -> &mut DirEntry {
+        if (self.live + 1) * 4 > self.keys.len() * 3 {
+            self.grow();
+        }
+        let key = line + 1;
+        let i = self.probe(key);
+        if self.keys[i] == 0 {
+            self.keys[i] = key;
+            self.vals[i] = DirEntry::EMPTY;
+            self.live += 1;
+        }
+        &mut self.vals[i]
+    }
+
+    fn grow(&mut self) {
+        // Entries whose sharer set emptied are semantically absent
+        // (`sharers == 0` implies `dirty == None`); purge them while
+        // rehashing so the table tracks resident lines, not every line
+        // ever touched. Live entries are bounded by total L1 capacity,
+        // so so is the table.
+        let bigger = Directory::with_capacity_pow2(self.keys.len() * 2);
+        let old = std::mem::replace(self, bigger);
+        for (k, v) in old.keys.into_iter().zip(old.vals) {
+            if k != 0 && v.sharers != 0 {
+                let i = self.probe(k);
+                self.keys[i] = k;
+                self.vals[i] = v;
+                self.live += 1;
+            }
+        }
+    }
+}
+
+impl Default for Directory {
+    fn default() -> Self {
+        Directory::with_capacity_pow2(1 << 12)
+    }
 }
 
 /// Memory-system statistics.
@@ -120,10 +252,13 @@ pub struct MemSystem {
     l2_busy: Vec<u64>,
     l2_banks: usize,
     dram: Dram,
-    dir: BTreeMap<u64, DirEntry>,
+    dir: Directory,
     l1_lat: u32,
     l2_lat: u32,
     c2c: u32,
+    /// L1 line size in bytes (for victim line-number → byte-address
+    /// conversion on write-back).
+    l1_line: u64,
     /// Statistics.
     pub stats: MemStats,
 }
@@ -137,8 +272,9 @@ impl MemSystem {
             l2_busy: vec![0; cfg.l2_banks.max(1)],
             l2_banks: cfg.l2_banks.max(1),
             dram: Dram::new(16, cfg.dram_row_hit, cfg.dram_row_miss),
-            dir: BTreeMap::new(),
+            dir: Directory::default(),
             l1_lat: cfg.l1.hit_latency,
+            l1_line: cfg.l1.line,
             l2_lat: cfg.l2.hit_latency,
             c2c: cfg.c2c_latency,
             stats: MemStats::default(),
@@ -149,7 +285,7 @@ impl MemSystem {
     pub fn access(&mut self, core: usize, addr: u64, is_store: bool, now: u64) -> u64 {
         let line = self.l1[core].line_of(addr);
         let me = 1u64 << (core as u64 & 63);
-        let entry = self.dir.entry(line).or_default();
+        let entry = self.dir.entry_or_default(line);
         let others = entry.sharers & !me;
 
         if self.l1[core].probe(addr) {
@@ -158,14 +294,14 @@ impl MemSystem {
                 if others != 0 {
                     // Upgrade: invalidate remote copies.
                     self.stats.c2c_transfers += 1;
-                    let entry = *self.dir.get(&line).expect("present");
+                    let entry = self.dir.get(line).expect("present");
                     self.invalidate_others(line, core, entry);
-                    let e = self.dir.entry(line).or_default();
+                    let e = self.dir.entry_or_default(line);
                     e.sharers = me;
                     e.dirty = Some(core as u8);
                     return now + self.l1_lat as u64 + self.c2c as u64;
                 }
-                let e = self.dir.entry(line).or_default();
+                let e = self.dir.entry_or_default(line);
                 e.sharers |= me;
                 e.dirty = Some(core as u8);
             }
@@ -174,7 +310,7 @@ impl MemSystem {
 
         // L1 miss.
         self.stats.l1_misses += 1;
-        let entry = *self.dir.get(&line).expect("present");
+        let entry = self.dir.get(line).expect("present");
         let done = if entry.sharers & !me != 0 {
             // Another core holds the line: cache-to-cache transfer (the
             // conventional communication path the paper measures at
@@ -182,11 +318,11 @@ impl MemSystem {
             self.stats.c2c_transfers += 1;
             if is_store {
                 self.invalidate_others(line, core, entry);
-                let e = self.dir.entry(line).or_default();
+                let e = self.dir.entry_or_default(line);
                 e.sharers = me;
                 e.dirty = Some(core as u8);
             } else {
-                let e = self.dir.entry(line).or_default();
+                let e = self.dir.entry_or_default(line);
                 e.sharers |= me;
                 e.dirty = None; // owner writes back on a read transfer
             }
@@ -204,24 +340,26 @@ impl MemSystem {
                 self.l2.insert(addr);
                 self.dram.access(addr, start + self.l2_lat as u64)
             };
-            let e = self.dir.entry(line).or_default();
+            let e = self.dir.entry_or_default(line);
             e.sharers |= me;
             e.dirty = if is_store { Some(core as u8) } else { None };
             done
         };
 
-        // Fill the L1; evictions update the directory.
+        // Fill the L1; evictions update the directory. (Emptied entries
+        // stay in the table zeroed — indistinguishable from absent.)
+        let mut l2_writeback = None;
         if let Some(victim) = self.l1[core].insert(addr) {
-            if let Some(e) = self.dir.get_mut(&victim) {
+            if let Some(e) = self.dir.get_mut(victim) {
                 e.sharers &= !me;
                 if e.dirty == Some(core as u8) {
                     e.dirty = None; // write-back to L2 absorbed
-                    self.l2.insert(victim * 64);
-                }
-                if e.sharers == 0 {
-                    self.dir.remove(&victim);
+                    l2_writeback = Some(victim * self.l1_line);
                 }
             }
+        }
+        if let Some(wb) = l2_writeback {
+            self.l2.insert(wb);
         }
         done
     }

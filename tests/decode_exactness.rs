@@ -1,0 +1,169 @@
+//! The pre-decoded micro-op engine must be invisible: simulating with
+//! `MachineConfig::engine` set to `Decoded` (the default) or `Tree` has
+//! to produce bit-identical reports. These tests sweep every committed
+//! scenario spec at Test scale through both engines on the three
+//! machine shapes the benchmarks exercise (sequential, conventional,
+//! HELIX-RC) and compare every observable: cycle counts, the final
+//! memory digest, dynamic instruction counts, iteration bookkeeping,
+//! and the full attribution table.
+
+use helix_rc::hcc::{compile, HccConfig};
+use helix_rc::sim::{simulate, simulate_sequential, Bucket, ExecEngine, MachineConfig, RunReport};
+use helix_rc::workloads::{workload_from_spec, Scale, ScenarioSpec, Workload};
+use std::path::PathBuf;
+
+const FUEL: u64 = 1 << 27;
+const CORES: usize = 8;
+
+fn committed_workloads() -> Vec<Workload> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("scenarios/ directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no committed scenarios found");
+    files
+        .into_iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(&path).expect("readable spec");
+            let spec = ScenarioSpec::from_toml(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            workload_from_spec(&spec, Scale::Test)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+        })
+        .collect()
+}
+
+fn assert_reports_identical(decoded: &RunReport, tree: &RunReport, what: &str) {
+    assert_eq!(decoded.cycles, tree.cycles, "{what}: cycles diverge");
+    assert_eq!(
+        decoded.mem_digest, tree.mem_digest,
+        "{what}: memory diverges"
+    );
+    assert_eq!(
+        decoded.dyn_insts, tree.dyn_insts,
+        "{what}: dynamic instructions diverge"
+    );
+    assert_eq!(
+        decoded.iterations, tree.iterations,
+        "{what}: iterations diverge"
+    );
+    assert_eq!(
+        decoded.loop_invocations, tree.loop_invocations,
+        "{what}: loop invocations diverge"
+    );
+    assert_eq!(
+        decoded.protocol_errors, tree.protocol_errors,
+        "{what}: protocol errors diverge"
+    );
+    assert_eq!(
+        decoded.race_violations.len(),
+        tree.race_violations.len(),
+        "{what}: race violations diverge"
+    );
+    for b in Bucket::ALL {
+        assert_eq!(
+            decoded.attribution.total(b),
+            tree.attribution.total(b),
+            "{what}: attribution bucket {b:?} diverges"
+        );
+    }
+    let (d, t) = (&decoded.mem_stats, &tree.mem_stats);
+    assert_eq!(d.l1_hits, t.l1_hits, "{what}: L1 hits diverge");
+    assert_eq!(d.l1_misses, t.l1_misses, "{what}: L1 misses diverge");
+    assert_eq!(
+        d.c2c_transfers, t.c2c_transfers,
+        "{what}: C2C transfers diverge"
+    );
+}
+
+/// The decoded engine is the configuration default; the tree
+/// interpreter stays reachable as the cross-check.
+#[test]
+fn decoded_engine_is_the_default() {
+    let cfg = MachineConfig::helix_rc(CORES);
+    assert_eq!(cfg.engine, ExecEngine::Decoded);
+    assert_eq!(cfg.with_tree_interpreter().engine, ExecEngine::Tree);
+}
+
+/// Sequential execution: both engines, every committed scenario.
+#[test]
+fn engines_agree_sequential() {
+    let cfg = MachineConfig::conventional(CORES);
+    let tree_cfg = cfg.clone().with_tree_interpreter();
+    for w in committed_workloads() {
+        let decoded = simulate_sequential(&w.program, &cfg, FUEL).expect(&w.name);
+        let tree = simulate_sequential(&w.program, &tree_cfg, FUEL).expect(&w.name);
+        assert_reports_identical(&decoded, &tree, &format!("{} (sequential)", w.name));
+    }
+}
+
+/// HCCv3 code on the conventional machine: both engines, every
+/// committed scenario.
+#[test]
+fn engines_agree_conventional() {
+    let cfg = MachineConfig::conventional(CORES);
+    let tree_cfg = cfg.clone().with_tree_interpreter();
+    for w in committed_workloads() {
+        let compiled = compile(&w.program, &HccConfig::v3(CORES as u32)).expect(&w.name);
+        let decoded = simulate(&compiled, &cfg, FUEL).expect(&w.name);
+        let tree = simulate(&compiled, &tree_cfg, FUEL).expect(&w.name);
+        assert_reports_identical(&decoded, &tree, &format!("{} (conventional)", w.name));
+    }
+}
+
+/// HCCv3 code on the HELIX-RC machine (ring-decoupled communication):
+/// both engines, every committed scenario.
+#[test]
+fn engines_agree_helix_rc() {
+    let cfg = MachineConfig::helix_rc(CORES);
+    let tree_cfg = cfg.clone().with_tree_interpreter();
+    for w in committed_workloads() {
+        let compiled = compile(&w.program, &HccConfig::v3(CORES as u32)).expect(&w.name);
+        let decoded = simulate(&compiled, &cfg, FUEL).expect(&w.name);
+        let tree = simulate(&compiled, &tree_cfg, FUEL).expect(&w.name);
+        assert_reports_identical(&decoded, &tree, &format!("{} (helix-rc)", w.name));
+    }
+}
+
+/// The engines also agree with the naive (no event-skipping) cycle loop
+/// crossed with both engines — four-way equality on a HELIX-RC machine.
+#[test]
+fn engines_agree_without_fast_forward() {
+    let configs = [
+        MachineConfig::helix_rc(CORES),
+        MachineConfig::helix_rc(CORES).with_tree_interpreter(),
+        MachineConfig::helix_rc(CORES).without_fast_forward(),
+        MachineConfig::helix_rc(CORES)
+            .with_tree_interpreter()
+            .without_fast_forward(),
+    ];
+    // One representative communication-heavy scenario keeps the 4-way
+    // product affordable; the committed-scenario sweeps above cover
+    // breadth.
+    let ws = committed_workloads();
+    let w = ws.first().expect("at least one scenario");
+    let compiled = compile(&w.program, &HccConfig::v3(CORES as u32)).expect(&w.name);
+    let reference = simulate(&compiled, &configs[0], FUEL).expect(&w.name);
+    for cfg in &configs[1..] {
+        let other = simulate(&compiled, cfg, FUEL).expect(&w.name);
+        assert_reports_identical(&reference, &other, &format!("{} (4-way)", w.name));
+    }
+}
+
+/// Out-of-order cores run the decoded engine's separate dispatch loop;
+/// pin it against the tree engine too.
+#[test]
+fn engines_agree_out_of_order() {
+    let mut cfg = MachineConfig::helix_rc(4);
+    cfg.core = helix_rc::sim::CoreModel::OutOfOrder { width: 2, rob: 48 };
+    let tree_cfg = cfg.clone().with_tree_interpreter();
+    for w in committed_workloads().into_iter().take(4) {
+        let compiled = compile(&w.program, &HccConfig::v3(4)).expect(&w.name);
+        let decoded = simulate(&compiled, &cfg, FUEL).expect(&w.name);
+        let tree = simulate(&compiled, &tree_cfg, FUEL).expect(&w.name);
+        assert_reports_identical(&decoded, &tree, &format!("{} (out-of-order)", w.name));
+    }
+}
