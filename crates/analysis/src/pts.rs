@@ -1,7 +1,7 @@
 //! Points-to analysis over the IR.
 //!
 //! An Andersen-style inclusion analysis with configurable precision,
-//! implementing the tier ladder of [`AliasTier`](crate::AliasTier):
+//! implementing the tier ladder of [`AliasTier`]:
 //!
 //! * register points-to sets, flow-insensitive or flow-sensitive;
 //! * an abstract store (`(object, field) -> points-to set`) that is

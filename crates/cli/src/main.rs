@@ -1,8 +1,9 @@
 //! `helix` — the scenario runner.
 //!
 //! Every subcommand operates on declarative scenario files
-//! (`scenarios/*.toml`); see the README's "Adding a scenario" section
-//! for the spec schema.
+//! (`scenarios/*.toml`); see `docs/SCENARIOS.md` for the full spec
+//! schema (including multi-nest scenarios) and the README's "Adding a
+//! scenario" section for a quick tour.
 //!
 //! ```text
 //! helix run scenarios/175.vpr.toml          # compile + simulate, print summary
@@ -204,6 +205,20 @@ fn print_report(report: &ScenarioReport, quiet: bool) {
             row.cycles_per_sec(),
             row.wall_secs
         );
+    }
+    if !report.nests.is_empty() {
+        println!("  per-nest breakdown:");
+        for nest in &report.nests {
+            println!(
+                "    {:<14} weight {:>5.1}%  glue {:>5.1}%  coverage {:>5.1}%  {} plan(s)  {:>6.2}x",
+                nest.name,
+                100.0 * nest.weight,
+                100.0 * nest.glue_weight,
+                100.0 * nest.coverage,
+                nest.plans,
+                nest.speedup
+            );
+        }
     }
 }
 

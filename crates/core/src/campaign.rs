@@ -14,9 +14,12 @@
 use crate::experiment::{
     compiler_generations, coupled_vs_ring, decoupling_lattice, link_latency_settings,
     node_memory_settings, overhead_breakdown, signal_bandwidth_settings, sweep_core_count,
-    sweep_ring, ExpError,
+    sweep_ring, ExpError, FUEL,
 };
 use crate::report::json_escape as esc;
+use crate::scenario::nest_rows;
+use helix_hcc::{compile, HccConfig};
+use helix_workloads::spec::CompilerGen;
 use helix_workloads::{
     geomean, workload_from_spec, CampaignExperiment, CampaignSpec, ScenarioSpec, Workload,
 };
@@ -55,6 +58,52 @@ pub struct CampaignRow {
     pub points: Vec<(String, f64)>,
 }
 
+/// One nest's contribution to a [`DerivedRow`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivedNestRow {
+    /// Nest name.
+    pub name: String,
+    /// In-context fraction of sequential cycles spent in the nest.
+    pub weight: f64,
+    /// In-context fraction spent in the glue preceding the nest.
+    pub glue_weight: f64,
+    /// Compiler coverage inside the isolated nest.
+    pub coverage: f64,
+    /// Fraction of the *whole program's* profiled execution covered by
+    /// parallelized loops inside this nest's block boundary (mapped via
+    /// the generation-time [`NestBoundary`](helix_workloads::NestBoundary)).
+    pub program_coverage: f64,
+    /// Parallelized loops inside the nest.
+    pub plans: usize,
+    /// Isolated-nest HELIX-RC speedup.
+    pub speedup: f64,
+}
+
+/// Cross-scenario *derived* metrics for one scenario: how the measured
+/// HELIX-RC speedup relates to the coverage the compiler achieved —
+/// the speedup-vs-coverage axis the paper's Table 1 / Fig. 7 pairing
+/// implies — plus the per-nest breakdown for multi-nest scenarios.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivedRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// `"int"` or `"fp"`.
+    pub kind: String,
+    /// Core count the derivation ran at.
+    pub cores: usize,
+    /// Parallel-loop coverage achieved by HCCv3 on the whole program.
+    pub coverage: f64,
+    /// Measured HELIX-RC speedup (from the `generations` row).
+    pub speedup: f64,
+    /// Amdahl-style coverage-limited bound at this core count:
+    /// `1 / ((1 - c) + c / cores)`.
+    pub amdahl_bound: f64,
+    /// Fraction of the bound the measured speedup attains.
+    pub bound_frac: f64,
+    /// Per-nest rows (empty for single-pipeline scenarios).
+    pub nests: Vec<DerivedNestRow>,
+}
+
 /// The aggregated result of one campaign run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignReport {
@@ -71,6 +120,9 @@ pub struct CampaignReport {
     /// One row per grid cell, grouped by experiment then cores then
     /// scenario.
     pub rows: Vec<CampaignRow>,
+    /// Derived speedup-vs-coverage metrics, one row per scenario
+    /// (present when the campaign ran the `generations` experiment).
+    pub derived: Vec<DerivedRow>,
 }
 
 impl CampaignReport {
@@ -145,7 +197,54 @@ impl CampaignReport {
             let _ = write!(out, ", \"points\": [{}]}}", points.join(", "));
             out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ]");
+        if !self.derived.is_empty() {
+            out.push_str(",\n  \"derived\": [\n");
+            for (i, d) in self.derived.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "    {{\"scenario\": \"{}\", \"kind\": \"{}\", \"cores\": {}, \
+                     \"coverage\": {:.4}, \"speedup\": {:.4}, \"amdahl_bound\": {:.4}, \
+                     \"bound_frac\": {:.4}",
+                    esc(&d.scenario),
+                    esc(&d.kind),
+                    d.cores,
+                    d.coverage,
+                    d.speedup,
+                    d.amdahl_bound,
+                    d.bound_frac
+                );
+                if !d.nests.is_empty() {
+                    let nests: Vec<String> = d
+                        .nests
+                        .iter()
+                        .map(|nest| {
+                            format!(
+                                "{{\"name\": \"{}\", \"weight\": {:.4}, \"glue_weight\": {:.4}, \
+                                 \"coverage\": {:.4}, \"program_coverage\": {:.4}, \
+                                 \"plans\": {}, \"speedup\": {:.4}}}",
+                                esc(&nest.name),
+                                nest.weight,
+                                nest.glue_weight,
+                                nest.coverage,
+                                nest.program_coverage,
+                                nest.plans,
+                                nest.speedup
+                            )
+                        })
+                        .collect();
+                    let _ = write!(out, ", \"nests\": [{}]", nests.join(", "));
+                }
+                out.push('}');
+                out.push_str(if i + 1 < self.derived.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("  ]");
+        }
+        out.push_str("\n}\n");
         out
     }
 
@@ -240,6 +339,80 @@ impl CampaignReport {
                 }
             }
             out.push_str(&table(&headers, &body));
+        }
+        out.push_str(&self.derived_tables());
+        out
+    }
+
+    /// Render the derived speedup-vs-coverage table and, when the
+    /// campaign contains multi-nest scenarios, the per-nest breakdown.
+    fn derived_tables(&self) -> String {
+        use crate::report::{table, x};
+        if self.derived.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        let cores = self.derived[0].cores;
+        let _ = writeln!(out, "\n== speedup vs coverage @ {cores} cores ==");
+        let pct = |v: f64| format!("{:.1}", 100.0 * v);
+        let body: Vec<Vec<String>> = self
+            .derived
+            .iter()
+            .map(|d| {
+                vec![
+                    d.scenario.clone(),
+                    pct(d.coverage),
+                    x(d.speedup),
+                    x(d.amdahl_bound),
+                    pct(d.bound_frac),
+                ]
+            })
+            .collect();
+        out.push_str(&table(
+            &[
+                "benchmark",
+                "coverage %",
+                "HELIX-RC",
+                "Amdahl bound",
+                "% of bound",
+            ],
+            &body,
+        ));
+        let with_nests: Vec<&DerivedRow> = self
+            .derived
+            .iter()
+            .filter(|d| !d.nests.is_empty())
+            .collect();
+        if !with_nests.is_empty() {
+            let _ = writeln!(out, "\n== per-nest breakdown @ {cores} cores ==");
+            let mut body: Vec<Vec<String>> = Vec::new();
+            for d in with_nests {
+                for nest in &d.nests {
+                    body.push(vec![
+                        d.scenario.clone(),
+                        nest.name.clone(),
+                        pct(nest.weight),
+                        pct(nest.glue_weight),
+                        pct(nest.coverage),
+                        pct(nest.program_coverage),
+                        nest.plans.to_string(),
+                        x(nest.speedup),
+                    ]);
+                }
+            }
+            out.push_str(&table(
+                &[
+                    "benchmark",
+                    "nest",
+                    "weight %",
+                    "glue %",
+                    "nest cov %",
+                    "prog cov %",
+                    "plans",
+                    "speedup",
+                ],
+                &body,
+            ));
         }
         out
     }
@@ -379,14 +552,18 @@ pub fn run_campaign(
     // them, so reports are comparable across directory layouts.
     let mut ordered: Vec<&ScenarioSpec> = scenarios.iter().collect();
     ordered.sort_by(|a, b| a.name.cmp(&b.name));
-
-    let workloads: Vec<Workload> = ordered
-        .par_iter()
+    let reseeded: Vec<ScenarioSpec> = ordered
+        .iter()
         .map(|s| {
-            let mut reseeded = (*s).clone();
-            reseeded.seed = reseeded.seed.wrapping_add(spec.seed);
-            workload_from_spec(&reseeded, spec.scale)
+            let mut spec_ = (*s).clone();
+            spec_.seed = spec_.seed.wrapping_add(spec.seed);
+            spec_
         })
+        .collect();
+
+    let workloads: Vec<Workload> = reseeded
+        .par_iter()
+        .map(|s| workload_from_spec(s, spec.scale))
         .collect::<Result<Vec<_>, _>>()
         .map_err(|e| format!("campaign '{}': {e}", spec.name))?;
 
@@ -437,6 +614,8 @@ pub fn run_campaign(
         })
         .collect::<Result<Vec<_>, _>>()?;
 
+    let derived = derive_rows(spec, &reseeded, &workloads, &rows)?;
+
     Ok(CampaignReport {
         name: spec.name.clone(),
         description: spec.description.clone(),
@@ -444,7 +623,90 @@ pub fn run_campaign(
         seed: spec.seed,
         scenarios: ordered.iter().map(|s| s.name.clone()).collect(),
         rows,
+        derived,
     })
+}
+
+/// Compute the derived speedup-vs-coverage metrics: one row per
+/// scenario, anchored on its `generations` measurement at the largest
+/// grid core count, plus per-nest breakdowns for multi-nest scenarios
+/// (in-context weights via prefix differencing, per-nest speedups from
+/// isolated-nest simulations, and plan→nest attribution through the
+/// recorded block boundaries).
+fn derive_rows(
+    spec: &CampaignSpec,
+    reseeded: &[ScenarioSpec],
+    workloads: &[Workload],
+    rows: &[CampaignRow],
+) -> Result<Vec<DerivedRow>, ExpError> {
+    if !spec
+        .grid
+        .experiments
+        .contains(&CampaignExperiment::Generations)
+    {
+        return Ok(Vec::new());
+    }
+    let cores = *spec.grid.cores.iter().max().expect("validated non-empty") as usize;
+    // The vendored rayon subset has no `zip`; index instead.
+    let ixs: Vec<usize> = (0..reseeded.len()).collect();
+    ixs.par_iter()
+        .map(|&ix| -> Result<DerivedRow, ExpError> {
+            let (scenario, w) = (&reseeded[ix], &workloads[ix]);
+            let gen_row = rows
+                .iter()
+                .find(|r| r.scenario == w.name && r.experiment == "generations" && r.cores == cores)
+                .and_then(|r| Some((r.helix_speedup?, r.seq_cycles?)))
+                .ok_or_else(|| {
+                    format!(
+                        "campaign '{}': no generations measurement for {} at {cores} cores",
+                        spec.name, w.name
+                    )
+                })?;
+            let (speedup, seq_cycles) = gen_row;
+            let compiled = compile(&w.program, &HccConfig::v3(cores as u32))?;
+            let coverage = compiled.stats.coverage.clamp(0.0, 1.0);
+            let amdahl_bound = 1.0 / ((1.0 - coverage) + coverage / cores as f64);
+            // Everything in a derived row is v3-anchored (the headline
+            // speedup is the generations experiment's HELIX-RC run and
+            // program_coverage comes from the v3 compile above), so the
+            // isolated nests compile with v3 too, regardless of the
+            // scenario's own `run.compiler`.
+            let nests = nest_rows(
+                scenario,
+                spec.scale,
+                cores,
+                FUEL,
+                Some(seq_cycles),
+                CompilerGen::V3,
+            )?
+            .into_iter()
+            .zip(&w.nests)
+            .map(|(row, boundary)| {
+                let (program_coverage, _) =
+                    compiled.coverage_in_blocks(boundary.first_block, boundary.end_block);
+                DerivedNestRow {
+                    name: row.name,
+                    weight: row.weight,
+                    glue_weight: row.glue_weight,
+                    coverage: row.coverage,
+                    program_coverage,
+                    plans: row.plans,
+                    speedup: row.speedup,
+                }
+            })
+            .collect();
+            Ok(DerivedRow {
+                scenario: w.name.clone(),
+                kind: w.kind.render().into(),
+                cores,
+                coverage,
+                speedup,
+                amdahl_bound,
+                bound_frac: speedup / amdahl_bound,
+                nests,
+            })
+        })
+        .collect()
 }
 
 /// Load and run a campaign file in one call.

@@ -8,7 +8,7 @@ use crate::experiment::{check, ExpError};
 use helix_hcc::{compile, CompiledProgram, HccConfig};
 use helix_sim::{simulate, simulate_sequential, MachineConfig, RunReport};
 use helix_workloads::spec::{CompilerGen, MachineKind};
-use helix_workloads::{generate, Scale, ScenarioSpec};
+use helix_workloads::{generate, generate_nest, generate_prefix, Scale, ScenarioSpec};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -46,6 +46,38 @@ impl RunRow {
     }
 }
 
+/// Per-nest measurements of a multi-nest scenario.
+///
+/// Weights are *in-context*: successive prefix programs (nests `0..k`,
+/// with and without the next glue stretch) are simulated sequentially
+/// and their cycle counts differenced, so each nest's fraction reflects
+/// exactly what it costs inside the composed program, warm caches and
+/// carried state included. Speedup and coverage come from the nest
+/// simulated and compiled in *isolation* (its phases only), which is
+/// the per-nest parallelization measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NestRow {
+    /// Nest name from the spec.
+    pub name: String,
+    /// In-context fraction of the composed program's sequential cycles
+    /// spent in this nest's phases.
+    pub weight: f64,
+    /// In-context fraction spent in the serial glue preceding this nest
+    /// (never parallelizable; `weight + glue_weight` summed over nests
+    /// accounts for the whole program).
+    pub glue_weight: f64,
+    /// Compiler coverage achieved inside the isolated nest.
+    pub coverage: f64,
+    /// Parallelized loops inside the nest.
+    pub plans: usize,
+    /// Sequential cycles of the isolated nest.
+    pub seq_cycles: u64,
+    /// HELIX-RC cycles of the isolated nest.
+    pub helix_cycles: u64,
+    /// Per-nest HELIX-RC speedup (`seq_cycles / helix_cycles`).
+    pub speedup: f64,
+}
+
 /// Full per-scenario report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioReport {
@@ -67,6 +99,8 @@ pub struct ScenarioReport {
     pub runs: Vec<RunRow>,
     /// HELIX-RC runs at the spec's `sweep_cores`.
     pub sweep: Vec<RunRow>,
+    /// Per-nest breakdown (multi-nest scenarios only).
+    pub nests: Vec<NestRow>,
 }
 
 impl ScenarioReport {
@@ -84,6 +118,13 @@ impl ScenarioReport {
                 s,
                 ";{}:{}:{}:{:#x}",
                 row.config, row.cycles, row.dyn_insts, row.mem_digest
+            );
+        }
+        for nest in &self.nests {
+            let _ = write!(
+                s,
+                ";nest/{}:{}:{}",
+                nest.name, nest.seq_cycles, nest.helix_cycles
             );
         }
         s
@@ -124,13 +165,35 @@ impl ScenarioReport {
         let _ = writeln!(out, "  \"coverage\": {:.4},", self.coverage);
         let _ = writeln!(out, "  \"plans\": {},", self.plans);
         rows(&mut out, "runs", &self.runs);
-        if self.sweep.is_empty() {
-            out.push('\n');
-        } else {
+        if !self.sweep.is_empty() {
             out.push_str(",\n");
             rows(&mut out, "sweep", &self.sweep);
-            out.push('\n');
         }
+        if !self.nests.is_empty() {
+            out.push_str(",\n  \"nests\": [\n");
+            for (i, nest) in self.nests.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"name\": \"{}\", \"weight\": {:.4}, \"glue_weight\": {:.4}, \
+                     \"coverage\": {:.4}, \"plans\": {}, \"seq_cycles\": {}, \
+                     \"helix_cycles\": {}, \"speedup\": {:.3}}}",
+                    esc(&nest.name),
+                    nest.weight,
+                    nest.glue_weight,
+                    nest.coverage,
+                    nest.plans,
+                    nest.seq_cycles,
+                    nest.helix_cycles,
+                    nest.speedup
+                ));
+                out.push_str(if i + 1 < self.nests.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("  ]");
+        }
+        out.push('\n');
         out.push_str("}\n");
         out
     }
@@ -268,6 +331,8 @@ pub fn run_scenario(
         });
     }
 
+    let nests = nest_rows(spec, scale, cores, fuel, seq_cycles, spec.run.compiler)?;
+
     Ok(ScenarioReport {
         scenario: spec.name.clone(),
         kind: spec.kind.render().into(),
@@ -278,7 +343,82 @@ pub fn run_scenario(
         plans: compiled.plans.len(),
         runs,
         sweep,
+        nests,
     })
+}
+
+/// Per-nest breakdown of a multi-nest scenario (see [`NestRow`] for the
+/// measurement semantics).
+///
+/// `whole_seq_cycles` is the composed program's sequential cycle count
+/// when the main runs already measured it; otherwise one extra
+/// sequential simulation provides the weight denominator. The composed
+/// program *is* the last prefix program, so in-context differencing
+/// needs `nests - 1` extra prefix simulations plus one per non-empty
+/// glue stretch. `compiler` selects the generation the isolated nests
+/// are compiled with — callers must pass whatever generation their
+/// headline numbers use, or the per-nest coverage/speedup columns
+/// would silently mix compilers.
+pub(crate) fn nest_rows(
+    spec: &ScenarioSpec,
+    scale: Scale,
+    cores: usize,
+    fuel: u64,
+    whole_seq_cycles: Option<u64>,
+    compiler: CompilerGen,
+) -> Result<Vec<NestRow>, ExpError> {
+    if spec.nests.is_empty() {
+        return Ok(Vec::new());
+    }
+    let seq_machine = MachineConfig::conventional(cores);
+    let seq_cycles_of = |program: &helix_ir::Program| -> Result<u64, ExpError> {
+        Ok(simulate_sequential(program, &seq_machine, fuel)?.cycles)
+    };
+    let whole_seq = match whole_seq_cycles {
+        Some(cycles) => cycles,
+        None => seq_cycles_of(&generate(spec, scale)?)?,
+    };
+
+    let last = spec.nests.len() - 1;
+    let n = scale.n(spec.base_n);
+    let mut rows = Vec::new();
+    // Cycle count of the prefix ending before nest `ix`'s glue.
+    let mut prev_cut = 0u64;
+    for (ix, nest) in spec.nests.iter().enumerate() {
+        // In-context costs by prefix differencing.
+        let after_glue = if nest.glue.eval(n) > 0 || nest.import.is_some() {
+            seq_cycles_of(&generate_prefix(spec, scale, ix, true)?)?
+        } else {
+            prev_cut
+        };
+        let after_nest = if ix == last {
+            whole_seq
+        } else {
+            seq_cycles_of(&generate_prefix(spec, scale, ix + 1, false)?)?
+        };
+        let frac = |cycles: u64| cycles as f64 / whole_seq.max(1) as f64;
+
+        // Isolated-nest parallelization measurement.
+        let program = generate_nest(spec, scale, ix)?;
+        let seq = simulate_sequential(&program, &seq_machine, fuel)?;
+        let compiled = compile(&program, &hcc_config(compiler, cores as u32))?;
+        let what = format!("{}::{}", spec.name, nest.name);
+        let helix = simulate(&compiled, &MachineConfig::helix_rc(cores), fuel)?;
+        check(&helix, &what)?;
+
+        rows.push(NestRow {
+            name: nest.name.clone(),
+            weight: frac(after_nest.saturating_sub(after_glue)),
+            glue_weight: frac(after_glue.saturating_sub(prev_cut)),
+            coverage: compiled.stats.coverage,
+            plans: compiled.plans.len(),
+            seq_cycles: seq.cycles,
+            helix_cycles: helix.cycles,
+            speedup: seq.cycles as f64 / helix.cycles.max(1) as f64,
+        });
+        prev_cut = after_nest;
+    }
+    Ok(rows)
 }
 
 #[cfg(test)]

@@ -192,6 +192,32 @@ pub struct CompiledProgram {
     pub selection: Selection,
 }
 
+impl CompiledProgram {
+    /// Profiled coverage and plan count of the parallelized loops whose
+    /// header block lies in the half-open block-id range
+    /// `[first_block, end_block)`.
+    ///
+    /// Loop headers keep their original block ids through compilation
+    /// (transformation rewrites blocks in place and appends new ones at
+    /// the end), so callers holding block ranges of the *input* program
+    /// — e.g. the per-nest boundaries a multi-nest scenario records at
+    /// generation time — can attribute each plan to its source range.
+    /// The returned coverage is the fraction of whole-program profiled
+    /// execution, not of the range itself.
+    pub fn coverage_in_blocks(&self, first_block: usize, end_block: usize) -> (f64, usize) {
+        let mut coverage = 0.0;
+        let mut plans = 0;
+        for plan in &self.plans {
+            let header = plan.header.index();
+            if (first_block..end_block).contains(&header) {
+                coverage += plan.coverage;
+                plans += 1;
+            }
+        }
+        (coverage, plans)
+    }
+}
+
 fn fresh_reg(p: &mut Program) -> Reg {
     let r = Reg(p.n_regs);
     p.n_regs += 1;

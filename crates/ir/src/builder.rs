@@ -84,6 +84,54 @@ impl ProgramBuilder {
         self.current
     }
 
+    /// Number of blocks created so far.
+    ///
+    /// Builders that stitch several sub-pipelines into one program (the
+    /// multi-nest scenario generator) snapshot this before and after
+    /// each sub-pipeline to record which block-id range it occupies —
+    /// every loop header created in between falls inside the range.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Emit `trips` iterations of serial glue work mixing into `acc`:
+    /// a while loop whose body is a dependent multiply/xor chain.
+    ///
+    /// While loops are never recognized as counted loops, so glue
+    /// emitted this way is guaranteed to stay sequential under every
+    /// compiler generation — it models the unparallelizable fraction
+    /// between a program's hot loop nests (Amdahl's serial term).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use helix_ir::{interp, ProgramBuilder};
+    ///
+    /// let mut b = ProgramBuilder::new("glue");
+    /// let acc = b.reg();
+    /// b.const_i(acc, 1);
+    /// b.serial_glue(acc, 10);
+    /// let p = b.finish();
+    /// let mut env = interp::Env::for_program(&p);
+    /// let t = interp::run_to_completion(&p, &mut env).unwrap();
+    /// assert_ne!(t.regs[acc.index()].as_int(), 1); // the chain ran
+    /// ```
+    pub fn serial_glue(&mut self, acc: Reg, trips: impl Into<Operand>) {
+        let [g, cond] = self.regs();
+        self.copy(g, trips);
+        self.while_loop(
+            |b| {
+                b.bin(cond, BinOp::CmpGt, g, 0i64);
+                Operand::Reg(cond)
+            },
+            |b| {
+                b.bin(acc, BinOp::Mul, acc, 3i64);
+                b.bin(acc, BinOp::Xor, acc, g);
+                b.bin(g, BinOp::Sub, g, 1i64);
+            },
+        );
+    }
+
     /// Create a new (unterminated) block without switching to it.
     pub fn new_block(&mut self, label: impl Into<String>) -> BlockId {
         let id = BlockId(self.blocks.len() as u32);

@@ -8,7 +8,7 @@
 //!
 //! * [`ProgramBuilder`] constructs programs with structured helpers
 //!   (counted loops, diamonds, while loops);
-//! * [`cfg`] discovers dominators, natural loops, and the loop nesting
+//! * [`cfg`](mod@cfg) discovers dominators, natural loops, and the loop nesting
 //!   forest the compiler's loop selector walks;
 //! * [`interp`] executes programs functionally — the cycle-level
 //!   simulator in `helix-sim` drives [`interp::Thread`]s one instruction

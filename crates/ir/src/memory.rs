@@ -1,6 +1,6 @@
 //! Region-based flat memory model.
 //!
-//! Every [`Program`](crate::Program) region is mapped at a fixed base
+//! Every [`Program`] region is mapped at a fixed base
 //! address; runtime allocations (`Alloc` intrinsic) extend the region
 //! table. Addresses are plain `u64` byte addresses, so the simulator's
 //! caches and the ring cache see a conventional flat address space.

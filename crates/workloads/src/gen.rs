@@ -13,45 +13,268 @@
 
 use crate::common::{doall_phase, fill_hash, masked, table_update, Scale};
 use crate::spec::{
-    CarryOp, CarryOperand, HotLoopSpec, OpSpec, PhaseSpec, ScenarioSpec, SpecError, UpdateOp,
-    UpdateValue,
+    CarryOp, CarryOperand, HotLoopSpec, OpSpec, PhaseSpec, RegionSpec, ScenarioSpec, SpecError,
+    UpdateOp, UpdateValue,
 };
 use helix_ir::{
     AddrExpr, BinOp, Intrinsic, Operand, Program, ProgramBuilder, Reg, RegionId, Ty, UnOp,
 };
 
+/// Block-id range one loop nest occupies in a generated program.
+///
+/// Boundaries are half-open `[first_block, end_block)` over the
+/// program's block ids. Every loop header created while lowering the
+/// nest (including its serial glue) lies inside the range; the handful
+/// of straight-line instructions a nest prepends (glue seeding,
+/// carried-state loads) land in the previous nest's exit block, which
+/// is irrelevant for mapping *loops* — the only thing the compiler
+/// parallelizes — onto nests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NestBoundary {
+    /// Nest name from the spec.
+    pub name: String,
+    /// First block id created for this nest.
+    pub first_block: usize,
+    /// One past the last block id created for this nest.
+    pub end_block: usize,
+}
+
+impl NestBoundary {
+    /// Whether `block` (a block id index) falls inside this nest.
+    pub fn contains(&self, block: usize) -> bool {
+        (self.first_block..self.end_block).contains(&block)
+    }
+}
+
 /// Lower `spec` at `scale` to an executable program.
 ///
 /// Validates first, so a malformed spec fails with a message instead of
 /// a builder panic.
+///
+/// # Examples
+///
+/// ```
+/// use helix_workloads::{builtin_spec, generate, Scale};
+///
+/// let spec = builtin_spec("175.vpr").unwrap();
+/// let program = generate(&spec, Scale::Test)?;
+/// assert!(program.validate().is_ok());
+/// // Same spec, same scale => bit-identical program.
+/// assert_eq!(program, generate(&spec, Scale::Test)?);
+/// # Ok::<(), helix_workloads::SpecError>(())
+/// ```
 pub fn generate(spec: &ScenarioSpec, scale: Scale) -> Result<Program, SpecError> {
+    Ok(generate_with_nests(spec, scale)?.0)
+}
+
+fn declare_regions(b: &mut ProgramBuilder, regions: &[RegionSpec], n: i64) -> Vec<RegionId> {
+    regions
+        .iter()
+        .map(|r| b.region(r.name.clone(), r.size.eval(n) as u64 * 8, r.elem.ty()))
+        .collect()
+}
+
+/// Lower `spec` at `scale`, also returning the block-id boundary of
+/// every loop nest (empty for classic single-pipeline scenarios).
+///
+/// Single-pipeline specs take exactly the historical lowering path, so
+/// their programs stay bit-identical to what earlier revisions
+/// generated. Multi-nest specs lower as: shared regions, every nest's
+/// private regions, then per nest — serial glue (seeded from the most
+/// recent exported region, or `seed + nest_index`), the optional import
+/// store, and the nest's phase pipeline.
+pub fn generate_with_nests(
+    spec: &ScenarioSpec,
+    scale: Scale,
+) -> Result<(Program, Vec<NestBoundary>), SpecError> {
     spec.validate()?;
     let n = scale.n(spec.base_n);
     let mut b = ProgramBuilder::new(spec.name.clone());
-    let ids: Vec<RegionId> = spec
-        .regions
+    let shared_ids = declare_regions(&mut b, &spec.regions, n);
+
+    if spec.nests.is_empty() {
+        let cx = Cx {
+            regions: spec.regions.iter().collect(),
+            ids: shared_ids,
+            n,
+            seed: spec.seed,
+        };
+        for phase in &spec.phases {
+            cx.lower_phase(&mut b, phase);
+        }
+        return Ok((b.finish(), Vec::new()));
+    }
+
+    let boundaries = lower_multi_nest(&mut b, spec, shared_ids, n, spec.nests.len(), false);
+    Ok((b.finish(), boundaries))
+}
+
+/// Shared multi-nest lowering: emit nests `0..nests` in full and, when
+/// `glue_of_next` is set, the glue/import preamble of nest `nests`
+/// without its phases. Returns the boundary of every fully-lowered
+/// nest. The builder must already hold the shared region declarations;
+/// this declares every nest's private regions (so the memory layout is
+/// identical for every cut of the same spec).
+fn lower_multi_nest(
+    b: &mut ProgramBuilder,
+    spec: &ScenarioSpec,
+    shared_ids: Vec<RegionId>,
+    n: i64,
+    nests: usize,
+    glue_of_next: bool,
+) -> Vec<NestBoundary> {
+    let nest_ids: Vec<Vec<RegionId>> = spec
+        .nests
         .iter()
-        .map(|r| b.region(r.name.clone(), r.size.eval(n) as u64 * 8, r.elem.ty()))
+        .map(|nest| declare_regions(b, &nest.regions, n))
         .collect();
-    let cx = Cx { spec, ids, n };
-    for phase in &spec.phases {
+    let shared_rid = |name: &str| -> RegionId {
+        let ix = spec
+            .regions
+            .iter()
+            .position(|r| r.name == name)
+            .expect("validated shared region reference");
+        shared_ids[ix]
+    };
+
+    let mut boundaries = Vec::new();
+    // Region whose word 0 carries state out of the most recent
+    // exporting nest; the next glue/import consumes it.
+    let mut carried: Option<RegionId> = None;
+    let upto = if glue_of_next { nests + 1 } else { nests };
+    for (k, nest) in spec.nests.iter().enumerate().take(upto) {
+        let first_block = b.block_count();
+        let glue = nest.glue.eval(n);
+        if glue > 0 || nest.import.is_some() {
+            let acc = b.reg();
+            match carried {
+                Some(rid) => b.load(acc, AddrExpr::region(rid, 0), Ty::I64),
+                None => b.const_i(acc, spec.seed.wrapping_add(k as i64)),
+            }
+            if glue > 0 {
+                b.serial_glue(acc, glue);
+            }
+            if let Some(import) = &nest.import {
+                b.store(acc, AddrExpr::region(shared_rid(import), 0), Ty::I64);
+            }
+        }
+        if k == nests {
+            break; // glue-only cut: the phases of nest `nests` are excluded
+        }
+        let cx = Cx {
+            regions: spec.regions.iter().chain(&nest.regions).collect(),
+            ids: shared_ids.iter().chain(&nest_ids[k]).copied().collect(),
+            n,
+            seed: spec.seed,
+        };
+        for phase in &nest.phases {
+            cx.lower_phase(b, phase);
+        }
+        boundaries.push(NestBoundary {
+            name: nest.name.clone(),
+            first_block,
+            end_block: b.block_count(),
+        });
+        if let Some(export) = &nest.export {
+            carried = Some(shared_rid(export));
+        }
+    }
+    boundaries
+}
+
+/// Lower a *prefix* of a multi-nest spec: nests `0..nests` in full
+/// (glue, carried state, phases — exactly as [`generate_with_nests`]
+/// emits them), plus, when `glue_of_next` is set, the glue/import
+/// preamble of nest `nests` without its phases.
+///
+/// Because multi-nest lowering only ever appends, a prefix program
+/// executes identically to the composed program up to its cut point:
+/// simulating successive prefixes sequentially and differencing the
+/// cycle counts yields each nest's (and each glue stretch's) exact
+/// in-context cost — warm caches included — which is how scenario and
+/// campaign reports derive coverage weights.
+pub fn generate_prefix(
+    spec: &ScenarioSpec,
+    scale: Scale,
+    nests: usize,
+    glue_of_next: bool,
+) -> Result<Program, SpecError> {
+    spec.validate()?;
+    if nests > spec.nests.len() || (glue_of_next && nests == spec.nests.len()) {
+        return Err(SpecError::new(format!(
+            "{}: prefix of {nests} nests out of range ({} nests)",
+            spec.name,
+            spec.nests.len()
+        )));
+    }
+    let n = scale.n(spec.base_n);
+    let mut b = ProgramBuilder::new(spec.name.clone());
+    let shared_ids = declare_regions(&mut b, &spec.regions, n);
+    lower_multi_nest(&mut b, spec, shared_ids, n, nests, glue_of_next);
+    Ok(b.finish())
+}
+
+/// Lower one nest of `spec` in isolation: all regions are declared (so
+/// the memory layout matches the composed program) but only nest
+/// `nest_ix`'s phases are emitted — no glue, no carried state.
+///
+/// This is the per-nest measurement program behind the campaign's
+/// derived metrics: simulating it sequentially yields the nest's
+/// coverage weight, and compiling + simulating it under HELIX-RC yields
+/// the per-nest speedup. Carried-in state is absent in isolation
+/// (imports read as zero), which perturbs data values but not the
+/// loop/phase structure the timing measurement is about.
+pub fn generate_nest(
+    spec: &ScenarioSpec,
+    scale: Scale,
+    nest_ix: usize,
+) -> Result<Program, SpecError> {
+    spec.validate()?;
+    let nest = spec.nests.get(nest_ix).ok_or_else(|| {
+        SpecError::new(format!(
+            "{}: no nest #{nest_ix} ({} nests)",
+            spec.name,
+            spec.nests.len()
+        ))
+    })?;
+    let n = scale.n(spec.base_n);
+    let mut b = ProgramBuilder::new(format!("{}::{}", spec.name, nest.name));
+    let shared_ids = declare_regions(&mut b, &spec.regions, n);
+    let nest_ids: Vec<Vec<RegionId>> = spec
+        .nests
+        .iter()
+        .map(|nest| declare_regions(&mut b, &nest.regions, n))
+        .collect();
+    let cx = Cx {
+        regions: spec.regions.iter().chain(&nest.regions).collect(),
+        ids: shared_ids
+            .iter()
+            .chain(&nest_ids[nest_ix])
+            .copied()
+            .collect(),
+        n,
+        seed: spec.seed,
+    };
+    for phase in &nest.phases {
         cx.lower_phase(&mut b, phase);
     }
     Ok(b.finish())
 }
 
-/// Lowering context: resolved region ids plus the scaled problem size.
+/// Lowering context: the regions visible to the pipeline being lowered
+/// (shared + the current nest's private regions), their resolved ids,
+/// the scaled problem size, and the emission seed.
 struct Cx<'a> {
-    spec: &'a ScenarioSpec,
+    regions: Vec<&'a RegionSpec>,
     ids: Vec<RegionId>,
     n: i64,
+    seed: i64,
 }
 
 impl Cx<'_> {
     /// Region id by name (the spec is validated, so lookups succeed).
     fn rid(&self, name: &str) -> RegionId {
         let ix = self
-            .spec
             .regions
             .iter()
             .position(|r| r.name == name)
@@ -62,7 +285,6 @@ impl Cx<'_> {
     /// Word count of a region at the current scale.
     fn words(&self, name: &str) -> i64 {
         let r = self
-            .spec
             .regions
             .iter()
             .find(|r| r.name == name)
@@ -234,7 +456,7 @@ impl Cx<'_> {
         for op in ops {
             match op {
                 OpSpec::VarWork { region, dist } => {
-                    let seed = (self.spec.seed as u64)
+                    let seed = (self.seed as u64)
                         .wrapping_add(table_ix.wrapping_mul(0x9E37_79B9_7F4A_7C15));
                     b.init_region_from_dist(self.rid(region), trips, *dist, seed);
                     *table_ix += 1;
@@ -710,5 +932,99 @@ mod tests {
         let mut spec = builtin_spec("175.vpr").unwrap();
         spec.regions.remove(1); // drop "grid"
         assert!(generate(&spec, Scale::Test).is_err());
+    }
+
+    /// Single-pipeline specs must report no nest boundaries (they take
+    /// the historical lowering path bit for bit).
+    #[test]
+    fn single_nest_specs_have_no_boundaries() {
+        for name in ["175.vpr", "930.zipf"] {
+            let spec = builtin_spec(name).unwrap();
+            let (program, boundaries) = generate_with_nests(&spec, Scale::Test).unwrap();
+            assert!(boundaries.is_empty(), "{name}");
+            assert_eq!(program, generate(&spec, Scale::Test).unwrap(), "{name}");
+        }
+    }
+
+    /// Multi-nest lowering is deterministic and records ordered,
+    /// non-overlapping boundaries that cover every loop in the program.
+    #[test]
+    fn multi_nest_boundaries_are_ordered_and_runnable() {
+        for name in ["950.twonest", "970.pipeline", "962.cov_lo"] {
+            let spec = builtin_spec(name).unwrap();
+            let (p1, b1) = generate_with_nests(&spec, Scale::Test).unwrap();
+            let (p2, b2) = generate_with_nests(&spec, Scale::Test).unwrap();
+            assert_eq!(p1, p2, "{name}: lowering must be deterministic");
+            assert_eq!(b1, b2, "{name}");
+            assert_eq!(b1.len(), spec.nests.len(), "{name}");
+            for pair in b1.windows(2) {
+                assert!(
+                    pair[0].end_block <= pair[1].first_block,
+                    "{name}: overlapping boundaries {pair:?}"
+                );
+            }
+            assert!(b1.last().unwrap().end_block <= p1.graph.len(), "{name}");
+            assert!(p1.validate().is_ok(), "{name}");
+            let mut env = Env::for_program(&p1);
+            run_to_completion(&p1, &mut env).expect(name);
+        }
+    }
+
+    /// The carried state is real: with the first nest's export removed,
+    /// the downstream glue seeds from a constant instead of the
+    /// exported carry, so the imported scalar — and hence the final
+    /// memory image — must change, even though every phase is
+    /// identical.
+    #[test]
+    fn exported_state_flows_into_later_nests() {
+        let spec = builtin_spec("970.pipeline").unwrap();
+        let mut no_export = spec.clone();
+        no_export.nests[0].export = None;
+        let p = generate(&spec, Scale::Test).unwrap();
+        let q = generate(&no_export, Scale::Test).unwrap();
+        let mut ep = Env::for_program(&p);
+        let mut eq = Env::for_program(&q);
+        run_to_completion(&p, &mut ep).unwrap();
+        run_to_completion(&q, &mut eq).unwrap();
+        assert_ne!(
+            ep.mem.digest(),
+            eq.mem.digest(),
+            "glue must consume the exported value"
+        );
+    }
+
+    /// Isolated-nest programs are valid, runnable, and share the
+    /// composed program's region layout.
+    #[test]
+    fn isolated_nests_generate_and_run() {
+        let spec = builtin_spec("970.pipeline").unwrap();
+        let composed = generate(&spec, Scale::Test).unwrap();
+        for ix in 0..spec.nests.len() {
+            let p = generate_nest(&spec, Scale::Test, ix).unwrap();
+            assert_eq!(p.regions, composed.regions, "nest {ix}: layout must match");
+            assert!(p.validate().is_ok(), "nest {ix}");
+            let mut env = Env::for_program(&p);
+            run_to_completion(&p, &mut env).unwrap_or_else(|e| panic!("nest {ix}: {e:?}"));
+        }
+        assert!(generate_nest(&spec, Scale::Test, 99).is_err());
+    }
+
+    /// The full prefix *is* the composed program — the invariant the
+    /// in-context weight differencing rests on.
+    #[test]
+    fn full_prefix_equals_composed_program() {
+        for name in ["950.twonest", "970.pipeline"] {
+            let spec = builtin_spec(name).unwrap();
+            let whole = generate(&spec, Scale::Test).unwrap();
+            let prefix = generate_prefix(&spec, Scale::Test, spec.nests.len(), false).unwrap();
+            assert_eq!(prefix, whole, "{name}");
+            // Shorter prefixes are strictly smaller and still valid.
+            let shorter = generate_prefix(&spec, Scale::Test, 1, false).unwrap();
+            assert!(shorter.graph.len() < whole.graph.len(), "{name}");
+            assert!(shorter.validate().is_ok(), "{name}");
+            // Out-of-range cuts are rejected.
+            assert!(generate_prefix(&spec, Scale::Test, spec.nests.len(), true).is_err());
+            assert!(generate_prefix(&spec, Scale::Test, spec.nests.len() + 1, false).is_err());
+        }
     }
 }

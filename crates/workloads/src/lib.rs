@@ -12,6 +12,26 @@
 //! (Fig. 12). The published numbers are carried along as
 //! [`PaperRow`] constants so every experiment can print
 //! paper-vs-measured side by side.
+//!
+//! Workloads are *data*: a [`ScenarioSpec`] (TOML under `scenarios/`)
+//! describes regions, a phase pipeline — or, for multi-nest scenarios,
+//! an ordered list of [`NestSpec`]s with serial glue and carried state
+//! — and [`generate`] lowers it deterministically to a program. See
+//! `docs/SCENARIOS.md` for the full field reference.
+//!
+//! # Examples
+//!
+//! ```
+//! use helix_workloads::{builtin_spec, workload_from_spec, Scale};
+//!
+//! // Multi-nest scenarios record each nest's block boundary, which is
+//! // how campaign reports attribute parallelized loops to nests.
+//! let spec = builtin_spec("950.twonest").unwrap();
+//! let w = workload_from_spec(&spec, Scale::Test)?;
+//! assert_eq!(w.nests.len(), 2);
+//! assert!(w.nests[0].end_block <= w.nests[1].first_block);
+//! # Ok::<(), helix_workloads::SpecError>(())
+//! ```
 
 #![warn(missing_docs)]
 
@@ -26,8 +46,8 @@ pub mod toml;
 
 pub use campaign::{CampaignExperiment, CampaignGrid, CampaignSpec};
 pub use common::Scale;
-pub use gen::generate;
-pub use spec::{ScenarioSpec, SpecError};
+pub use gen::{generate, generate_nest, generate_prefix, generate_with_nests, NestBoundary};
+pub use spec::{NestSpec, ScenarioSpec, SpecError};
 pub use spec_builtin::{builtin_spec, builtin_specs};
 
 use helix_ir::Program;
@@ -64,7 +84,7 @@ pub struct PaperRow {
     pub coverage: [f64; 3],
     /// SimPoint phases (Table 1).
     pub phases: u32,
-    /// Fig. 12 overhead fractions, in [`helix_sim`-order]: additional
+    /// Fig. 12 overhead fractions, in `helix_sim` order: additional
     /// instructions, wait/signal, memory, iteration imbalance, low trip
     /// count, communication, dependence waiting.
     pub overheads: [f64; 7],
@@ -94,6 +114,11 @@ pub struct Workload {
     /// Published numbers ([`PaperRow::UNPUBLISHED`] for novel
     /// scenarios).
     pub paper: PaperRow,
+    /// Block-id boundary of every loop nest for multi-nest scenarios
+    /// (empty for single-pipeline programs). Consumers map parallelized
+    /// loop plans onto nests through these ranges to derive per-nest
+    /// coverage and speedup.
+    pub nests: Vec<NestBoundary>,
 }
 
 /// The six CINT2000 stand-ins, in the paper's reporting order.
@@ -223,11 +248,13 @@ pub fn paper_row(name: &str) -> Option<PaperRow> {
 /// otherwise). This is how campaign runs and spec-driven figures turn
 /// `scenarios/*.toml` into experiment inputs.
 pub fn workload_from_spec(spec: &ScenarioSpec, scale: Scale) -> Result<Workload, SpecError> {
+    let (program, nests) = generate_with_nests(spec, scale)?;
     Ok(Workload {
         name: spec.name.clone(),
         kind: spec.kind,
-        program: generate(spec, scale)?,
+        program,
         paper: paper_row(&spec.name).unwrap_or(PaperRow::UNPUBLISHED),
+        nests,
     })
 }
 

@@ -10,7 +10,7 @@
 //! `scenarios/` and the `helix` CLI compiles and simulates it.
 //!
 //! The ten SPEC CPU2000 stand-ins are themselves expressed as specs
-//! ([`builtin_specs`]); the generator lowers them to programs
+//! ([`builtin_specs`](crate::spec_builtin::builtin_specs)); the generator lowers them to programs
 //! bit-identical to the hand-coded constructors in [`crate::cint`] /
 //! [`crate::cfp`], which the test suite pins.
 
@@ -59,6 +59,17 @@ fn check_param(v: i64, what: &str) -> Result<()> {
     } else {
         Err(SpecError::new(format!(
             "{what} must be in 1..={MAX_SPEC_PARAM}, got {v}"
+        )))
+    }
+}
+
+/// Like [`check_param`] but zero is allowed (glue weights may be absent).
+fn check_param0(v: i64, what: &str) -> Result<()> {
+    if (0..=MAX_SPEC_PARAM).contains(&v) {
+        Ok(())
+    } else {
+        Err(SpecError::new(format!(
+            "{what} must be in 0..={MAX_SPEC_PARAM}, got {v}"
         )))
     }
 }
@@ -580,6 +591,43 @@ impl Default for RunSpec {
     }
 }
 
+/// One loop nest of a multi-nest scenario.
+///
+/// HELIX-RC's headline results come from programs whose runtime is
+/// split across *several* hot loop nests with varying coverage, so a
+/// scenario can describe an ordered list of nests instead of a single
+/// hot-loop pipeline. Each nest carries:
+///
+/// * its own phase pipeline ([`PhaseSpec`]s, exactly as at top level);
+/// * optional **nest-private regions**, visible only to this nest's
+///   phases (shared regions stay at the scenario's top level);
+/// * a **coverage weight**: `glue` serial iterations emitted before the
+///   nest as a while loop the compiler can never parallelize, which is
+///   the knob that sweeps how much of the program the parallelized
+///   nests cover (Amdahl's sequential fraction);
+/// * optional **carried state**: after a nest with `export = "r"` runs,
+///   word 0 of region `r` seeds the next glue accumulator, and a nest
+///   with `import = "r"` stores that accumulator into `r[0]` before its
+///   phases run — a genuine sequential dependence between nests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NestSpec {
+    /// Nest name (used in reports and nest-boundary metadata).
+    pub name: String,
+    /// Serial glue iterations preceding this nest (`>= 0`; evaluated at
+    /// the scenario's problem size, so weights can scale with `n`).
+    pub glue: CountExpr,
+    /// Region (top-level/shared) whose word 0 receives the glue
+    /// accumulator before this nest's phases run.
+    pub import: Option<String>,
+    /// Region (top-level/shared) whose word 0 is read after this nest
+    /// and carried into the next nest's glue.
+    pub export: Option<String>,
+    /// Nest-private regions (names must be unique scenario-wide).
+    pub regions: Vec<RegionSpec>,
+    /// The nest's phase pipeline.
+    pub phases: Vec<PhaseSpec>,
+}
+
 /// A complete declarative scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
@@ -594,10 +642,15 @@ pub struct ScenarioSpec {
     pub base_n: i64,
     /// Seed for distribution-driven emission.
     pub seed: i64,
-    /// Memory regions, in declaration order.
+    /// Memory regions, in declaration order. With nests these are the
+    /// *shared* regions every nest can reference.
     pub regions: Vec<RegionSpec>,
-    /// Phase pipeline.
+    /// Phase pipeline (single-nest scenarios; must be empty when
+    /// `nests` is used).
     pub phases: Vec<PhaseSpec>,
+    /// Ordered loop nests (multi-nest scenarios; empty for the classic
+    /// single-pipeline form).
+    pub nests: Vec<NestSpec>,
     /// Machine/sweep configuration.
     pub run: RunSpec,
 }
@@ -761,6 +814,103 @@ impl ScenarioSpec {
         Ok(())
     }
 
+    /// A single-nest "view" of one nest: the shared regions plus the
+    /// nest's private regions, with the nest's phases promoted to the
+    /// top level. Validation and generation both reuse the single-nest
+    /// machinery through this view, so nest phases behave exactly like
+    /// classic phases with a restricted region scope.
+    pub(crate) fn nest_view(&self, nest: &NestSpec) -> ScenarioSpec {
+        let mut view = self.clone();
+        view.regions.extend(nest.regions.iter().cloned());
+        view.phases = nest.phases.clone();
+        view.nests = Vec::new();
+        view
+    }
+
+    fn validate_nests(&self) -> Result<()> {
+        if !self.phases.is_empty() {
+            return Err(SpecError::new(format!(
+                "{}: a scenario uses either top-level phases or nests, not both",
+                self.name
+            )));
+        }
+        // Region names must be unique scenario-wide (shared + every
+        // nest) so generation's flat region-id space is unambiguous.
+        let mut seen: Vec<&str> = self.regions.iter().map(|r| r.name.as_str()).collect();
+        for (i, nest) in self.nests.iter().enumerate() {
+            if nest.name.is_empty() {
+                return Err(SpecError::new(format!(
+                    "{}: nest #{i} has no name",
+                    self.name
+                )));
+            }
+            if self.nests[..i].iter().any(|o| o.name == nest.name) {
+                return Err(SpecError::new(format!(
+                    "{}: duplicate nest '{}'",
+                    self.name, nest.name
+                )));
+            }
+            for n in self.scaled_ns() {
+                check_param0(
+                    nest.glue.eval(n),
+                    &format!("{}: nest '{}' glue (at n={n})", self.name, nest.name),
+                )?;
+            }
+            for r in &nest.regions {
+                if seen.contains(&r.name.as_str()) {
+                    return Err(SpecError::new(format!(
+                        "{}: nest '{}': region '{}' shadows another region",
+                        self.name, nest.name, r.name
+                    )));
+                }
+                seen.push(r.name.as_str());
+            }
+            // Carried state lives in *shared* regions: exports are read
+            // by later glue, imports are written before the nest runs.
+            for (role, region) in [("import", &nest.import), ("export", &nest.export)] {
+                if let Some(name) = region {
+                    let shared = self.regions.iter().find(|r| r.name == *name);
+                    match shared {
+                        None => {
+                            return Err(SpecError::new(format!(
+                                "{}: nest '{}': {role} region '{name}' must be a shared \
+                                 (top-level) region",
+                                self.name, nest.name
+                            )));
+                        }
+                        Some(r) if r.elem != ElemTy::I64 => {
+                            return Err(SpecError::new(format!(
+                                "{}: nest '{}': {role} region '{name}' must be i64",
+                                self.name, nest.name
+                            )));
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+            if i == 0 && nest.import.is_some() && nest.export == nest.import {
+                return Err(SpecError::new(format!(
+                    "{}: nest '{}': first nest cannot import its own export",
+                    self.name, nest.name
+                )));
+            }
+            // The nest's phases validate through the single-nest path,
+            // scoped to shared + own regions.
+            let view = self.nest_view(nest);
+            if view.phases.is_empty() {
+                return Err(SpecError::new(format!(
+                    "{}: nest '{}' has no phases",
+                    self.name, nest.name
+                )));
+            }
+            for phase in &view.phases {
+                view.validate_phase(phase)
+                    .map_err(|e| SpecError::new(format!("nest '{}': {}", nest.name, e.message)))?;
+            }
+        }
+        Ok(())
+    }
+
     /// Check internal consistency: region references resolve, masks fit
     /// their tables, ops have the data they need. Runs at both scales so
     /// a spec that only breaks under `--full` still fails fast.
@@ -769,13 +919,11 @@ impl ScenarioSpec {
             return Err(SpecError::new("scenario name must not be empty"));
         }
         check_param(self.base_n, "base_n")?;
-        for (i, r) in self.regions.iter().enumerate() {
-            if self.regions[..i].iter().any(|o| o.name == r.name) {
-                return Err(SpecError::new(format!(
-                    "{}: duplicate region '{}'",
-                    self.name, r.name
-                )));
-            }
+        let all_regions = self
+            .regions
+            .iter()
+            .chain(self.nests.iter().flat_map(|nest| nest.regions.iter()));
+        for r in all_regions {
             for n in self.scaled_ns() {
                 check_param(
                     r.size.eval(n),
@@ -783,11 +931,23 @@ impl ScenarioSpec {
                 )?;
             }
         }
-        if self.phases.is_empty() {
-            return Err(SpecError::new(format!("{}: no phases", self.name)));
+        for (i, r) in self.regions.iter().enumerate() {
+            if self.regions[..i].iter().any(|o| o.name == r.name) {
+                return Err(SpecError::new(format!(
+                    "{}: duplicate region '{}'",
+                    self.name, r.name
+                )));
+            }
         }
-        for phase in &self.phases {
-            self.validate_phase(phase)?;
+        if !self.nests.is_empty() {
+            self.validate_nests()?;
+        } else {
+            if self.phases.is_empty() {
+                return Err(SpecError::new(format!("{}: no phases", self.name)));
+            }
+            for phase in &self.phases {
+                self.validate_phase(phase)?;
+            }
         }
         if !(1..=4096).contains(&self.run.cores) || self.run.fuel == 0 {
             return Err(SpecError::new(format!(
@@ -1270,6 +1430,43 @@ fn phase_to_toml(phase: &PhaseSpec) -> Value {
     Value::Table(t)
 }
 
+fn region_to_toml(r: &RegionSpec) -> Value {
+    let mut t = Table::new();
+    t.set("name", Value::Str(r.name.clone()));
+    t.set("size", Value::Str(r.size.render()));
+    t.set(
+        "elem",
+        Value::Str(match r.elem {
+            ElemTy::I64 => "i64".into(),
+            ElemTy::F64 => "f64".into(),
+        }),
+    );
+    Value::Table(t)
+}
+
+fn nest_to_toml(nest: &NestSpec) -> Value {
+    let mut t = Table::new();
+    t.set("name", Value::Str(nest.name.clone()));
+    t.set("glue", Value::Str(nest.glue.render()));
+    if let Some(import) = &nest.import {
+        t.set("import", Value::Str(import.clone()));
+    }
+    if let Some(export) = &nest.export {
+        t.set("export", Value::Str(export.clone()));
+    }
+    if !nest.regions.is_empty() {
+        t.set(
+            "region",
+            Value::Array(nest.regions.iter().map(region_to_toml).collect()),
+        );
+    }
+    t.set(
+        "phase",
+        Value::Array(nest.phases.iter().map(phase_to_toml).collect()),
+    );
+    Value::Table(t)
+}
+
 impl ScenarioSpec {
     /// Serialize to the TOML subset of [`crate::toml`].
     pub fn to_toml(&self) -> String {
@@ -1281,29 +1478,20 @@ impl ScenarioSpec {
         root.set("seed", Value::Int(self.seed));
         root.set(
             "region",
-            Value::Array(
-                self.regions
-                    .iter()
-                    .map(|r| {
-                        let mut t = Table::new();
-                        t.set("name", Value::Str(r.name.clone()));
-                        t.set("size", Value::Str(r.size.render()));
-                        t.set(
-                            "elem",
-                            Value::Str(match r.elem {
-                                ElemTy::I64 => "i64".into(),
-                                ElemTy::F64 => "f64".into(),
-                            }),
-                        );
-                        Value::Table(t)
-                    })
-                    .collect(),
-            ),
+            Value::Array(self.regions.iter().map(region_to_toml).collect()),
         );
-        root.set(
-            "phase",
-            Value::Array(self.phases.iter().map(phase_to_toml).collect()),
-        );
+        if !self.phases.is_empty() {
+            root.set(
+                "phase",
+                Value::Array(self.phases.iter().map(phase_to_toml).collect()),
+            );
+        }
+        if !self.nests.is_empty() {
+            root.set(
+                "nest",
+                Value::Array(self.nests.iter().map(nest_to_toml).collect()),
+            );
+        }
         let mut run = Table::new();
         run.set("cores", Value::Int(self.run.cores));
         run.set("compiler", Value::Str(self.run.compiler.render().into()));
@@ -1335,6 +1523,33 @@ impl ScenarioSpec {
     }
 
     /// Parse a spec from TOML text. The result is validated.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use helix_workloads::ScenarioSpec;
+    ///
+    /// let spec = ScenarioSpec::from_toml(r#"
+    /// name = "doc.demo"
+    /// kind = "int"
+    /// base_n = 64
+    /// seed = 1
+    ///
+    /// [[region]]
+    /// name = "data"
+    /// size = "n+1"
+    /// elem = "i64"
+    ///
+    /// [[phase]]
+    /// kind = "fill"
+    /// region = "data"
+    /// count = "n"
+    /// seed = 1
+    /// "#)?;
+    /// assert_eq!(spec.name, "doc.demo");
+    /// assert!(spec.nests.is_empty()); // classic single-pipeline form
+    /// # Ok::<(), helix_workloads::SpecError>(())
+    /// ```
     pub fn from_toml(text: &str) -> Result<ScenarioSpec> {
         let root = toml::parse(text).map_err(|e| SpecError::new(e.to_string()))?;
         let spec = spec_from_table(&root)?;
@@ -1595,16 +1810,8 @@ fn phase_from_toml(v: &Value, index: usize) -> Result<PhaseSpec> {
     }
 }
 
-fn spec_from_table(root: &Table) -> Result<ScenarioSpec> {
-    let what = "scenario";
-    let name = req_str(root, "name", what)?;
-    let kind = match req_str(root, "kind", what)?.as_str() {
-        "int" => Kind::Int,
-        "fp" => Kind::Fp,
-        other => return Err(SpecError::new(format!("unknown kind '{other}'"))),
-    };
-    let regions = root
-        .get("region")
+fn regions_from_toml(t: &Table, key: &str) -> Result<Vec<RegionSpec>> {
+    t.get(key)
         .and_then(|v| v.as_array())
         .unwrap_or(&[])
         .iter()
@@ -1624,14 +1831,67 @@ fn spec_from_table(root: &Table) -> Result<ScenarioSpec> {
                 },
             })
         })
-        .collect::<Result<Vec<_>>>()?;
-    let phases = root
-        .get("phase")
+        .collect::<Result<Vec<_>>>()
+}
+
+fn phases_from_toml(t: &Table, key: &str) -> Result<Vec<PhaseSpec>> {
+    t.get(key)
         .and_then(|v| v.as_array())
         .unwrap_or(&[])
         .iter()
         .enumerate()
         .map(|(i, v)| phase_from_toml(v, i))
+        .collect::<Result<Vec<_>>>()
+}
+
+fn opt_str(t: &Table, key: &str, what: &str) -> Result<Option<String>> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| SpecError::new(format!("{what}: '{key}' must be a string"))),
+    }
+}
+
+fn nest_from_toml(v: &Value, index: usize) -> Result<NestSpec> {
+    let what = &format!("nest #{index}");
+    let t = v
+        .as_table()
+        .ok_or_else(|| SpecError::new(format!("{what}: must be a table")))?;
+    Ok(NestSpec {
+        name: req_str(t, "name", what)?,
+        glue: match t.get("glue") {
+            None => CountExpr::fixed(0),
+            Some(v) => CountExpr::parse(
+                v.as_str()
+                    .ok_or_else(|| SpecError::new(format!("{what}: glue must be a string")))?,
+            )?,
+        },
+        import: opt_str(t, "import", what)?,
+        export: opt_str(t, "export", what)?,
+        regions: regions_from_toml(t, "region")?,
+        phases: phases_from_toml(t, "phase")?,
+    })
+}
+
+fn spec_from_table(root: &Table) -> Result<ScenarioSpec> {
+    let what = "scenario";
+    let name = req_str(root, "name", what)?;
+    let kind = match req_str(root, "kind", what)?.as_str() {
+        "int" => Kind::Int,
+        "fp" => Kind::Fp,
+        other => return Err(SpecError::new(format!("unknown kind '{other}'"))),
+    };
+    let regions = regions_from_toml(root, "region")?;
+    let phases = phases_from_toml(root, "phase")?;
+    let nests = root
+        .get("nest")
+        .and_then(|v| v.as_array())
+        .unwrap_or(&[])
+        .iter()
+        .enumerate()
+        .map(|(i, v)| nest_from_toml(v, i))
         .collect::<Result<Vec<_>>>()?;
     let run = match root.get("run") {
         None => RunSpec::default(),
@@ -1709,6 +1969,7 @@ fn spec_from_table(root: &Table) -> Result<ScenarioSpec> {
         seed: req_int(root, "seed", what)?,
         regions,
         phases,
+        nests,
         run,
     })
 }
@@ -1912,5 +2173,101 @@ mod tests {
             "name = \"x\"\nkind = \"int\"\nbase_n = 10\nseed = 1\n[[phase]]\nkind = \"warp\"\n";
         let err = ScenarioSpec::from_toml(bad).unwrap_err();
         assert!(err.message.contains("warp"), "{err}");
+    }
+
+    #[test]
+    fn multi_nest_builtins_validate_and_round_trip() {
+        for name in ["950.twonest", "960.cov_hi", "970.pipeline"] {
+            let spec = builtin_spec(name).unwrap_or_else(|| panic!("no builtin {name}"));
+            assert!(spec.nests.len() >= 2, "{name} should be multi-nest");
+            assert!(spec.phases.is_empty(), "{name}: nests exclude phases");
+            spec.validate().expect(name);
+            let text = spec.to_toml();
+            let parsed =
+                ScenarioSpec::from_toml(&text).unwrap_or_else(|e| panic!("{name}: {e}\n{text}"));
+            assert_eq!(parsed, spec, "round trip failed for {name}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_phases_alongside_nests() {
+        let mut spec = builtin_spec("950.twonest").unwrap();
+        spec.phases.push(PhaseSpec::Fill {
+            region: "src".into(),
+            count: CountExpr::n(),
+            seed: 1,
+        });
+        let err = spec.validate().unwrap_err();
+        assert!(err.message.contains("not both"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_nest_region_shadowing() {
+        let mut spec = builtin_spec("950.twonest").unwrap();
+        // "src" is a shared region; a nest-private region of the same
+        // name would make the flat region-id space ambiguous.
+        spec.nests[1].regions.push(RegionSpec {
+            name: "src".into(),
+            size: CountExpr::fixed(8),
+            elem: ElemTy::I64,
+        });
+        let err = spec.validate().unwrap_err();
+        assert!(err.message.contains("shadows"), "{err}");
+    }
+
+    #[test]
+    fn validation_scopes_private_regions_to_their_nest() {
+        let mut spec = builtin_spec("950.twonest").unwrap();
+        // "links" is private to the "scan" nest; the "build" nest must
+        // not be able to reference it.
+        spec.nests[0].phases.push(PhaseSpec::Fill {
+            region: "links".into(),
+            count: CountExpr::fixed(8),
+            seed: 1,
+        });
+        let err = spec.validate().unwrap_err();
+        assert!(
+            err.message.contains("links") && err.message.contains("build"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_carried_state_in_private_or_float_regions() {
+        let mut spec = builtin_spec("950.twonest").unwrap();
+        // Export through a nest-private region: the next nest's glue
+        // could never see it.
+        spec.nests[0].export = Some("stage".into());
+        let err = spec.validate().unwrap_err();
+        assert!(err.message.contains("shared"), "{err}");
+
+        let mut spec = builtin_spec("950.twonest").unwrap();
+        spec.regions.push(RegionSpec {
+            name: "fbox".into(),
+            size: CountExpr::fixed(8),
+            elem: ElemTy::F64,
+        });
+        spec.nests[1].import = Some("fbox".into());
+        let err = spec.validate().unwrap_err();
+        assert!(err.message.contains("i64"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_negative_glue() {
+        let mut spec = builtin_spec("950.twonest").unwrap();
+        spec.nests[1].glue = CountExpr::fixed(-5);
+        let err = spec.validate().unwrap_err();
+        assert!(err.message.contains("glue"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_duplicate_and_unnamed_nests() {
+        let mut spec = builtin_spec("950.twonest").unwrap();
+        spec.nests[1].name = spec.nests[0].name.clone();
+        assert!(spec.validate().is_err());
+
+        let mut spec = builtin_spec("950.twonest").unwrap();
+        spec.nests[0].name = String::new();
+        assert!(spec.validate().is_err());
     }
 }

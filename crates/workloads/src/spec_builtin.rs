@@ -9,7 +9,7 @@
 //! silently.
 
 use crate::spec::{
-    CarryOp, CarryOperand, CarrySpec, CountExpr, ElemTy, HotLoopSpec, OpSpec, PhaseSpec,
+    CarryOp, CarryOperand, CarrySpec, CountExpr, ElemTy, HotLoopSpec, NestSpec, OpSpec, PhaseSpec,
     RegionSpec, RunSpec, ScenarioSpec, UpdateOp, UpdateValue,
 };
 use crate::Kind;
@@ -107,6 +107,7 @@ pub fn gzip_spec() -> ScenarioSpec {
                 ],
             }),
         ],
+        nests: vec![],
         run: RunSpec::default(),
     }
 }
@@ -151,6 +152,7 @@ pub fn vpr_spec() -> ScenarioSpec {
                 ],
             }),
         ],
+        nests: vec![],
         run: RunSpec::default(),
     }
 }
@@ -209,6 +211,7 @@ pub fn parser_spec() -> ScenarioSpec {
                 ],
             }),
         ],
+        nests: vec![],
         run: RunSpec::default(),
     }
 }
@@ -243,6 +246,7 @@ pub fn twolf_spec() -> ScenarioSpec {
                 table_mask: 511,
             },
         ],
+        nests: vec![],
         run: RunSpec::default(),
     }
 }
@@ -280,6 +284,7 @@ pub fn mcf_spec() -> ScenarioSpec {
                 chain: 22,
             },
         ],
+        nests: vec![],
         run: RunSpec::default(),
     }
 }
@@ -319,6 +324,7 @@ pub fn bzip2_spec() -> ScenarioSpec {
                 ],
             }),
         ],
+        nests: vec![],
         run: RunSpec::default(),
     }
 }
@@ -347,6 +353,7 @@ pub fn equake_spec() -> ScenarioSpec {
                 trip: 48,
             },
         ],
+        nests: vec![],
         run: RunSpec::default(),
     }
 }
@@ -377,6 +384,7 @@ pub fn art_spec() -> ScenarioSpec {
                 mask: 1023,
             },
         ],
+        nests: vec![],
         run: RunSpec::default(),
     }
 }
@@ -405,6 +413,7 @@ pub fn ammp_spec() -> ScenarioSpec {
                 chain: 18,
             },
         ],
+        nests: vec![],
         run: RunSpec::default(),
     }
 }
@@ -429,6 +438,7 @@ pub fn mesa_spec() -> ScenarioSpec {
                 heavy_chain: 70,
             },
         ],
+        nests: vec![],
         run: RunSpec::default(),
     }
 }
@@ -477,6 +487,7 @@ pub fn chase_spec() -> ScenarioSpec {
                 ],
             }),
         ],
+        nests: vec![],
         run: RunSpec::default(),
     }
 }
@@ -523,6 +534,7 @@ pub fn bursty_spec() -> ScenarioSpec {
                 ],
             }),
         ],
+        nests: vec![],
         run: RunSpec::default(),
     }
 }
@@ -583,6 +595,7 @@ pub fn blend_spec() -> ScenarioSpec {
                 ],
             }),
         ],
+        nests: vec![],
         run: RunSpec::default(),
     }
 }
@@ -639,6 +652,7 @@ pub fn zipf_spec() -> ScenarioSpec {
                 ],
             }),
         ],
+        nests: vec![],
         run: RunSpec::default(),
     }
 }
@@ -698,12 +712,335 @@ pub fn phase_change_spec() -> ScenarioSpec {
                 ],
             }),
         ],
+        nests: vec![],
+        run: RunSpec::default(),
+    }
+}
+
+/// Multi-nest scenario: two hot loop nests separated by serial glue,
+/// with carried state flowing from the first nest's carry output into
+/// the second nest's glue accumulator, and per-nest private regions.
+pub fn twonest_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "950.twonest".into(),
+        description: "Two hot nests: histogram build, glue, then pointer-chasing scan seeded by \
+                      the build's carry"
+            .into(),
+        kind: Kind::Int,
+        base_n: 600,
+        seed: 95,
+        regions: vec![
+            ri("src", n1()),
+            ri("bridge", fixed(8)),
+            ri("hist", fixed(256)),
+            ri("out", fixed(8)),
+        ],
+        phases: vec![],
+        nests: vec![
+            NestSpec {
+                name: "build".into(),
+                glue: fixed(0),
+                import: None,
+                export: Some("bridge".into()),
+                regions: vec![ri("stage", n1())],
+                phases: vec![
+                    fill("src", n(), 95),
+                    doall("src", "stage", n(), 12),
+                    PhaseSpec::HotLoop(HotLoopSpec {
+                        trips: n(),
+                        input: Some("stage".into()),
+                        carry: Some(CarrySpec {
+                            init: 1,
+                            out: "bridge".into(),
+                        }),
+                        ops: vec![
+                            OpSpec::Table {
+                                region: "hist".into(),
+                                shift: 0,
+                                mask: 255,
+                                op: UpdateOp::Add,
+                                value: UpdateValue::One,
+                            },
+                            OpSpec::Guard {
+                                mask: 3,
+                                then_ops: vec![OpSpec::Carry {
+                                    op: CarryOp::Add,
+                                    operand: CarryOperand::Cur,
+                                }],
+                                else_ops: vec![],
+                            },
+                        ],
+                    }),
+                ],
+            },
+            NestSpec {
+                name: "scan".into(),
+                glue: fixed(400),
+                import: None,
+                export: None,
+                regions: vec![ri("links", fixed(1024))],
+                phases: vec![
+                    fill("links", fixed(1024), 96),
+                    PhaseSpec::HotLoop(HotLoopSpec {
+                        trips: n(),
+                        input: Some("src".into()),
+                        carry: Some(CarrySpec {
+                            init: 5,
+                            out: "out".into(),
+                        }),
+                        ops: vec![
+                            OpSpec::Work { insts: 6 },
+                            OpSpec::PtrChase {
+                                region: "links".into(),
+                                hops: 2,
+                                mask: 1023,
+                            },
+                            OpSpec::Guard {
+                                mask: 1,
+                                then_ops: vec![OpSpec::Carry {
+                                    op: CarryOp::Xor,
+                                    operand: CarryOperand::Cur,
+                                }],
+                                else_ops: vec![OpSpec::Carry {
+                                    op: CarryOp::Add,
+                                    operand: CarryOperand::Cur,
+                                }],
+                            },
+                        ],
+                    }),
+                ],
+            },
+        ],
+        run: RunSpec::default(),
+    }
+}
+
+/// One member of the coverage sweep family: two identical-shape hot
+/// nests whose serial glue scales with `n` by `glue_per_n`, so the
+/// fraction of the program the parallelized nests cover is a data-file
+/// knob. Committed at three weights (960/961/962) to draw the
+/// speedup-vs-coverage curve.
+fn coverage_family_spec(name: &str, tag: &str, glue_per_n: i64) -> ScenarioSpec {
+    let glue = CountExpr {
+        per_n: glue_per_n,
+        plus: 0,
+    };
+    ScenarioSpec {
+        name: name.into(),
+        description: format!(
+            "Coverage sweep ({tag}): two hot nests with {glue_per_n}n serial glue iterations each"
+        ),
+        kind: Kind::Int,
+        base_n: 600,
+        seed: 96,
+        regions: vec![ri("src", n1()), ri("hist", fixed(512)), ri("out", fixed(8))],
+        phases: vec![],
+        nests: vec![
+            NestSpec {
+                name: "upper".into(),
+                glue,
+                import: None,
+                export: None,
+                regions: vec![ri("stage", n1())],
+                phases: vec![
+                    fill("src", n(), 96),
+                    doall("src", "stage", n(), 10),
+                    PhaseSpec::HotLoop(HotLoopSpec {
+                        trips: n(),
+                        input: Some("stage".into()),
+                        carry: None,
+                        ops: vec![
+                            OpSpec::Work { insts: 8 },
+                            OpSpec::Table {
+                                region: "hist".into(),
+                                shift: 0,
+                                mask: 511,
+                                op: UpdateOp::Xor,
+                                value: UpdateValue::Cur,
+                            },
+                        ],
+                    }),
+                ],
+            },
+            NestSpec {
+                name: "lower".into(),
+                glue,
+                import: None,
+                export: None,
+                regions: vec![],
+                phases: vec![PhaseSpec::HotLoop(HotLoopSpec {
+                    trips: n(),
+                    input: Some("src".into()),
+                    carry: Some(CarrySpec {
+                        init: 7,
+                        out: "out".into(),
+                    }),
+                    ops: vec![
+                        OpSpec::Work { insts: 10 },
+                        OpSpec::Table {
+                            region: "hist".into(),
+                            shift: 3,
+                            mask: 511,
+                            op: UpdateOp::Add,
+                            value: UpdateValue::One,
+                        },
+                        OpSpec::Guard {
+                            mask: 7,
+                            then_ops: vec![OpSpec::Carry {
+                                op: CarryOp::Add,
+                                operand: CarryOperand::Cur,
+                            }],
+                            else_ops: vec![],
+                        },
+                    ],
+                })],
+            },
+        ],
+        run: RunSpec::default(),
+    }
+}
+
+/// High-coverage member of the sweep family (light glue).
+pub fn coverage_hi_spec() -> ScenarioSpec {
+    coverage_family_spec("960.cov_hi", "high coverage", 1)
+}
+
+/// Mid-coverage member of the sweep family.
+pub fn coverage_mid_spec() -> ScenarioSpec {
+    coverage_family_spec("961.cov_mid", "medium coverage", 5)
+}
+
+/// Low-coverage member of the sweep family (glue dominates).
+pub fn coverage_lo_spec() -> ScenarioSpec {
+    coverage_family_spec("962.cov_lo", "low coverage", 18)
+}
+
+/// Multi-nest scenario: a three-stage pipeline whose nests are chained
+/// by carried state (`export`/`import`) through shared scalar regions —
+/// each stage's result seeds the serial glue of the next.
+pub fn pipeline_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "970.pipeline".into(),
+        description: "Three-nest pipeline: ingest -> transform -> emit, chained by exported \
+                      carries through shared scalars"
+            .into(),
+        kind: Kind::Int,
+        base_n: 600,
+        seed: 97,
+        regions: vec![
+            ri("raw", n1()),
+            ri("relay", fixed(8)),
+            ri("seedbox", fixed(8)),
+            ri("hist", fixed(512)),
+            ri("out", fixed(8)),
+        ],
+        phases: vec![],
+        nests: vec![
+            NestSpec {
+                name: "ingest".into(),
+                glue: fixed(0),
+                import: None,
+                export: Some("relay".into()),
+                regions: vec![ri("buf", n1())],
+                phases: vec![
+                    fill("raw", n(), 97),
+                    doall("raw", "buf", n(), 9),
+                    PhaseSpec::HotLoop(HotLoopSpec {
+                        trips: n(),
+                        input: Some("buf".into()),
+                        carry: Some(CarrySpec {
+                            init: 3,
+                            out: "relay".into(),
+                        }),
+                        ops: vec![
+                            OpSpec::Table {
+                                region: "hist".into(),
+                                shift: 0,
+                                mask: 511,
+                                op: UpdateOp::Add,
+                                value: UpdateValue::One,
+                            },
+                            OpSpec::Carry {
+                                op: CarryOp::Add,
+                                operand: CarryOperand::Cur,
+                            },
+                        ],
+                    }),
+                ],
+            },
+            NestSpec {
+                name: "transform".into(),
+                glue: fixed(250),
+                import: Some("seedbox".into()),
+                export: Some("relay".into()),
+                regions: vec![],
+                phases: vec![PhaseSpec::HotLoop(HotLoopSpec {
+                    trips: n(),
+                    input: Some("raw".into()),
+                    carry: Some(CarrySpec {
+                        init: 2,
+                        out: "relay".into(),
+                    }),
+                    ops: vec![
+                        OpSpec::Work { insts: 5 },
+                        OpSpec::Table {
+                            region: "hist".into(),
+                            shift: 4,
+                            mask: 511,
+                            op: UpdateOp::Xor,
+                            value: UpdateValue::Cur,
+                        },
+                        OpSpec::Guard {
+                            mask: 3,
+                            then_ops: vec![OpSpec::Carry {
+                                op: CarryOp::Mul,
+                                operand: CarryOperand::Imm(3),
+                            }],
+                            else_ops: vec![OpSpec::Carry {
+                                op: CarryOp::Xor,
+                                operand: CarryOperand::Cur,
+                            }],
+                        },
+                    ],
+                })],
+            },
+            NestSpec {
+                name: "emit".into(),
+                glue: fixed(250),
+                import: None,
+                export: None,
+                regions: vec![ri("links", fixed(512))],
+                phases: vec![
+                    fill("links", fixed(512), 98),
+                    PhaseSpec::HotLoop(HotLoopSpec {
+                        trips: n(),
+                        input: Some("raw".into()),
+                        carry: Some(CarrySpec {
+                            init: 4095,
+                            out: "out".into(),
+                        }),
+                        ops: vec![
+                            OpSpec::PtrChase {
+                                region: "links".into(),
+                                hops: 1,
+                                mask: 511,
+                            },
+                            OpSpec::Carry {
+                                op: CarryOp::Min,
+                                operand: CarryOperand::Cur,
+                            },
+                        ],
+                    }),
+                ],
+            },
+        ],
         run: RunSpec::default(),
     }
 }
 
 /// All built-in scenario specs: the ten SPEC stand-ins in the paper's
-/// reporting order, then the novel scenarios.
+/// reporting order, then the novel scenarios, then the multi-nest
+/// families.
 pub fn builtin_specs() -> Vec<ScenarioSpec> {
     vec![
         gzip_spec(),
@@ -721,6 +1058,11 @@ pub fn builtin_specs() -> Vec<ScenarioSpec> {
         blend_spec(),
         zipf_spec(),
         phase_change_spec(),
+        twonest_spec(),
+        coverage_hi_spec(),
+        coverage_mid_spec(),
+        coverage_lo_spec(),
+        pipeline_spec(),
     ]
 }
 

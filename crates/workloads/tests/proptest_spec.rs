@@ -5,7 +5,7 @@
 use helix_ir::Distribution;
 use helix_workloads::gen::generate;
 use helix_workloads::spec::{
-    CarryOp, CarryOperand, CarrySpec, CountExpr, ElemTy, HotLoopSpec, OpSpec, PhaseSpec,
+    CarryOp, CarryOperand, CarrySpec, CountExpr, ElemTy, HotLoopSpec, NestSpec, OpSpec, PhaseSpec,
     RegionSpec, RunSpec, ScenarioSpec,
 };
 use helix_workloads::spec_builtin::builtin_specs;
@@ -138,15 +138,21 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
             prop::collection::vec(op_strategy(false), 1..5),
         ),
         (2i64..33, 0i64..3),
+        (any::<bool>(), 0i64..200, 1i64..200),
     )
         .prop_map(
-            |((base_n, seed, with_carry, doall_work), (carry_ops, free_ops), (cores, machines))| {
+            |(
+                (base_n, seed, with_carry, doall_work),
+                (carry_ops, free_ops),
+                (cores, machines),
+                (multi_nest, glue_front, glue_back),
+            )| {
                 let carry = with_carry.then(|| CarrySpec {
                     init: seed % 1000,
                     out: "out".into(),
                 });
                 let ops = if with_carry { carry_ops } else { free_ops };
-                ScenarioSpec {
+                let mut spec = ScenarioSpec {
                     name: "prop.scenario".into(),
                     description: "round-trip \"quoted\\path\"\nsecond line".into(),
                     kind: Kind::Int,
@@ -179,12 +185,38 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
                             ops,
                         }),
                     ],
+                    nests: vec![],
                     run: RunSpec {
                         cores,
                         machines: RunSpec::default().machines[..(machines as usize + 1)].to_vec(),
                         ..RunSpec::default()
                     },
+                };
+                // Half the cases re-express the same pipeline as two
+                // nests with glue, carried state, and a private region,
+                // covering the multi-nest axis of the round trip.
+                if multi_nest {
+                    let phases = std::mem::take(&mut spec.phases);
+                    spec.nests = vec![
+                        NestSpec {
+                            name: "front".into(),
+                            glue: CountExpr::fixed(glue_front),
+                            import: None,
+                            export: Some("out".into()),
+                            regions: vec![],
+                            phases: phases[..2].to_vec(),
+                        },
+                        NestSpec {
+                            name: "back".into(),
+                            glue: CountExpr::fixed(glue_back),
+                            import: Some("out".into()),
+                            export: None,
+                            regions: vec![ri("scratchpad", CountExpr::fixed(64))],
+                            phases: phases[2..].to_vec(),
+                        },
+                    ];
                 }
+                spec
             },
         )
 }

@@ -82,6 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
                 ],
             }),
         ],
+        nests: vec![],
         run: RunSpec {
             cores: 16,
             sweep_cores: vec![2, 4, 8],

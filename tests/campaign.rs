@@ -25,7 +25,14 @@ fn committed_smoke_campaign_runs_deterministically() {
     assert_eq!(spec.name, "smoke");
     assert_eq!(spec.scale, Scale::Test);
     let names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
-    for required in ["930.zipf", "940.phase", "175.vpr"] {
+    for required in [
+        "930.zipf",
+        "940.phase",
+        "175.vpr",
+        "950.twonest",
+        "962.cov_lo",
+        "970.pipeline",
+    ] {
         assert!(names.contains(&required), "smoke set missing {required}");
     }
 
@@ -118,6 +125,11 @@ fn committed_scenario_baseline_is_gateable() {
         "910.bursty",
         "930.zipf",
         "940.phase",
+        "950.twonest",
+        "960.cov_hi",
+        "961.cov_mid",
+        "962.cov_lo",
+        "970.pipeline",
     ] {
         assert!(
             text.contains(&format!("\"scenario\": \"{scenario}\"")),
@@ -125,4 +137,38 @@ fn committed_scenario_baseline_is_gateable() {
         );
     }
     assert!(text.contains("\"helix_speedup\""));
+    assert!(
+        text.contains("\"derived\"") && text.contains("\"amdahl_bound\""),
+        "baseline must carry the derived speedup-vs-coverage rows"
+    );
+}
+
+/// The committed Full profile loads, runs at the Full scale over every
+/// committed scenario, and anchors the derived metrics on generations.
+#[test]
+fn committed_full_campaign_profile_is_loadable() {
+    let (spec, scenarios) =
+        load_campaign(&repo_path("campaigns/full.toml")).expect("full campaign loads");
+    assert_eq!(spec.name, "full");
+    assert_eq!(spec.scale, Scale::Full);
+    assert!(
+        spec.grid
+            .experiments
+            .contains(&CampaignExperiment::Generations),
+        "the Full profile must include generations (the derived-table anchor)"
+    );
+    let committed = std::fs::read_dir(repo_path("scenarios"))
+        .expect("scenarios/ exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|ext| ext == "toml"))
+        .count();
+    assert_eq!(
+        scenarios.len(),
+        committed,
+        "full campaign must cover every scenarios/*.toml"
+    );
+    assert!(
+        scenarios.iter().any(|s| !s.nests.is_empty()),
+        "full campaign must exercise the multi-nest axis"
+    );
 }

@@ -34,18 +34,19 @@ fn committed_specs() -> Vec<(PathBuf, ScenarioSpec)> {
 }
 
 /// Every committed file parses, matches its built-in twin exactly, and
-/// the directory covers the whole suite: ten SPEC stand-ins plus at
-/// least two novel scenarios.
+/// the directory covers the whole suite: ten SPEC stand-ins, at least
+/// five novel scenarios, and at least three multi-nest scenarios.
 #[test]
 fn committed_scenarios_match_builtins_and_cover_the_suite() {
     let specs = committed_specs();
     assert!(
-        specs.len() >= 15,
-        "expected >= 15 committed scenarios, found {}",
+        specs.len() >= 20,
+        "expected >= 20 committed scenarios, found {}",
         specs.len()
     );
     let mut spec_standins = 0;
     let mut novel = 0;
+    let mut multi_nest = 0;
     for (path, spec) in &specs {
         let builtin = builtin_spec(&spec.name)
             .unwrap_or_else(|| panic!("{}: no built-in spec named {}", path.display(), spec.name));
@@ -60,12 +61,19 @@ fn committed_scenarios_match_builtins_and_cover_the_suite() {
         } else {
             novel += 1;
         }
+        if spec.nests.len() >= 2 {
+            multi_nest += 1;
+        }
     }
     assert_eq!(
         spec_standins, 10,
         "all ten SPEC stand-ins must be committed"
     );
     assert!(novel >= 5, "need >= 5 novel scenarios, found {novel}");
+    assert!(
+        multi_nest >= 3,
+        "need >= 3 multi-nest scenarios, found {multi_nest}"
+    );
 }
 
 /// The pin the whole subsystem hangs on: spec-generated SPEC stand-ins
