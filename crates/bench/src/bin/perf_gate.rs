@@ -35,6 +35,17 @@
 //! degrading what HELIX-RC achieves on a workload. Scenarios only in
 //! the fresh report are listed as new (commit a refreshed baseline to
 //! start gating them); scenarios missing from the fresh report fail.
+//!
+//! Scenario mode also gates two fractions that speedups alone cannot
+//! see: `comm_frac` (share of cross-core traffic covered by ring-cache
+//! proactive circulation, from `coupled_vs_ring` rows) and `bound_frac`
+//! (achieved fraction of the coverage-derived Amdahl bound, from the
+//! report's `derived` rows). These are compared by *absolute* drift in
+//! either direction — a fraction moving is a behavioural change even
+//! when speedups survive — under `--frac-tolerance` (default 0.10).
+//! Finally, any entry in the fresh report's `failures` array (cells the
+//! resilient campaign runtime isolated instead of completing) fails the
+//! gate outright: a crashed or budget-blown cell is never a pass.
 
 use helix_bench::json::{parse, Json};
 use std::collections::BTreeMap;
@@ -44,6 +55,9 @@ use std::process::ExitCode;
 const DEFAULT_TOLERANCE: f64 = 0.30;
 /// Per-scenario speedup tolerance for `--scenarios` mode.
 const DEFAULT_SCENARIO_TOLERANCE: f64 = 0.20;
+/// Absolute drift tolerance for comm_frac / bound_frac in `--scenarios`
+/// mode (`--frac-tolerance` overrides).
+const DEFAULT_FRAC_TOLERANCE: f64 = 0.10;
 /// Floor on the raw median fresh/baseline ratio: the whole suite an
 /// order of magnitude slower means the fast path itself regressed.
 const MEDIAN_FLOOR: f64 = 0.1;
@@ -233,17 +247,121 @@ fn load_scenario_speedups(path: &str) -> Result<BTreeMap<String, f64>, String> {
     Ok(out)
 }
 
+/// Extract the behavioural fractions a campaign report carries beyond
+/// speedups: `"<scenario> @ <cores> cores" -> comm_frac` from
+/// `coupled_vs_ring` rows and `-> bound_frac` from `derived` rows.
+/// Either map may be empty (a campaign need not run those experiments).
+#[allow(clippy::type_complexity)]
+fn load_scenario_fracs(
+    path: &str,
+) -> Result<(BTreeMap<String, f64>, BTreeMap<String, f64>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut comm = BTreeMap::new();
+    if let Some(rows) = doc.get("rows").and_then(Json::as_array) {
+        for row in rows {
+            if row.get("experiment").and_then(Json::as_str) != Some("coupled_vs_ring") {
+                continue;
+            }
+            let (Some(scenario), Some(cores), Some(frac)) = (
+                row.get("scenario").and_then(Json::as_str),
+                row.get("cores").and_then(Json::as_num),
+                row.get("comm_frac").and_then(Json::as_num),
+            ) else {
+                continue;
+            };
+            comm.insert(format!("{scenario} @ {cores:.0} cores"), frac);
+        }
+    }
+    let mut bound = BTreeMap::new();
+    if let Some(rows) = doc.get("derived").and_then(Json::as_array) {
+        for row in rows {
+            let (Some(scenario), Some(cores), Some(frac)) = (
+                row.get("scenario").and_then(Json::as_str),
+                row.get("cores").and_then(Json::as_num),
+                row.get("bound_frac").and_then(Json::as_num),
+            ) else {
+                continue;
+            };
+            bound.insert(format!("{scenario} @ {cores:.0} cores"), frac);
+        }
+    }
+    Ok((comm, bound))
+}
+
+/// Failed-cell entries from a campaign report's `failures` array (the
+/// resilient runtime's per-cell degradations). Absent array -> empty.
+fn load_report_failures(path: &str) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let Some(rows) = doc.get("failures").and_then(Json::as_array) else {
+        return Ok(Vec::new());
+    };
+    let mut out = Vec::new();
+    for row in rows {
+        let scenario = row.get("scenario").and_then(Json::as_str).unwrap_or("?");
+        let experiment = row.get("experiment").and_then(Json::as_str).unwrap_or("?");
+        let cores = row.get("cores").and_then(Json::as_num).unwrap_or(0.0);
+        let kind = row.get("kind").and_then(Json::as_str).unwrap_or("?");
+        let message = row.get("message").and_then(Json::as_str).unwrap_or("");
+        out.push(format!(
+            "{scenario} / {experiment} @ {cores:.0} cores: failed cell ({kind}: {message})"
+        ));
+    }
+    Ok(out)
+}
+
+/// Gate one fraction family by absolute drift: keys present in both
+/// reports must not move more than `frac_tolerance` in either
+/// direction; baseline keys missing from the fresh report fail.
+fn gate_fracs(
+    label: &str,
+    baseline: &BTreeMap<String, f64>,
+    fresh: &BTreeMap<String, f64>,
+    frac_tolerance: f64,
+    failures: &mut Vec<String>,
+) {
+    for (key, base) in baseline {
+        match fresh.get(key) {
+            None => failures.push(format!("{label}[{key}]: missing from fresh report")),
+            Some(now) => {
+                let drift = (now - base).abs();
+                let flag = if drift > frac_tolerance {
+                    failures.push(format!(
+                        "{label}[{key}]: {base:.3} -> {now:.3} (drift {drift:.3})"
+                    ));
+                    "  << DRIFT"
+                } else {
+                    ""
+                };
+                println!("  {label}[{key:<28}] {base:6.3} -> {now:6.3}  drift {drift:6.3}{flag}");
+            }
+        }
+    }
+}
+
 /// Per-scenario speedup gate: every baseline scenario's fresh HELIX-RC
-/// speedup must stay within `tolerance` of its committed value.
-fn run_scenarios(baseline_path: &str, fresh_path: &str, tolerance: f64) -> Result<(), String> {
+/// speedup must stay within `tolerance` of its committed value; comm
+/// and bound fractions must not drift; failed cells fail outright.
+fn run_scenarios(
+    baseline_path: &str,
+    fresh_path: &str,
+    tolerance: f64,
+    frac_tolerance: f64,
+) -> Result<(), String> {
     let baseline = load_scenario_speedups(baseline_path)?;
     let fresh = load_scenario_speedups(fresh_path)?;
     println!(
-        "scenario gate: {} baseline scenario(s), tolerance {:.0}%",
+        "scenario gate: {} baseline scenario(s), tolerance {:.0}%, frac tolerance {:.2}",
         baseline.len(),
-        100.0 * tolerance
+        100.0 * tolerance,
+        frac_tolerance
     );
     let mut failures = Vec::new();
+    for cell in load_report_failures(fresh_path)? {
+        println!("  {cell}  << FAILED CELL");
+        failures.push(cell);
+    }
     for (key, base) in &baseline {
         match fresh.get(key) {
             None => failures.push(format!("{key}: missing from fresh report")),
@@ -267,9 +385,25 @@ fn run_scenarios(baseline_path: &str, fresh_path: &str, tolerance: f64) -> Resul
             println!("  {key:<32} new scenario (not gated; refresh {baseline_path} to gate it)");
         }
     }
+    let (base_comm, base_bound) = load_scenario_fracs(baseline_path)?;
+    let (fresh_comm, fresh_bound) = load_scenario_fracs(fresh_path)?;
+    gate_fracs(
+        "comm_frac",
+        &base_comm,
+        &fresh_comm,
+        frac_tolerance,
+        &mut failures,
+    );
+    gate_fracs(
+        "bound_frac",
+        &base_bound,
+        &fresh_bound,
+        frac_tolerance,
+        &mut failures,
+    );
     if !failures.is_empty() {
         return Err(format!(
-            "{} scenario(s) regressed:\n  {}",
+            "{} gate failure(s):\n  {}",
             failures.len(),
             failures.join("\n  ")
         ));
@@ -281,15 +415,22 @@ fn run_scenarios(baseline_path: &str, fresh_path: &str, tolerance: f64) -> Resul
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut tolerance: Option<f64> = None;
+    let mut frac_tolerance: Option<f64> = None;
     let mut scenarios = false;
     let mut paths = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        if arg == "--tolerance" {
+        if arg == "--tolerance" || arg == "--frac-tolerance" {
             match it.next().and_then(|v| v.parse::<f64>().ok()) {
-                Some(t) if (0.0..1.0).contains(&t) => tolerance = Some(t),
+                Some(t) if (0.0..1.0).contains(&t) => {
+                    if arg == "--tolerance" {
+                        tolerance = Some(t);
+                    } else {
+                        frac_tolerance = Some(t);
+                    }
+                }
                 _ => {
-                    eprintln!("perf_gate: --tolerance needs a value in [0, 1)");
+                    eprintln!("perf_gate: {arg} needs a value in [0, 1)");
                     return ExitCode::from(2);
                 }
             }
@@ -302,7 +443,8 @@ fn main() -> ExitCode {
     let [baseline, fresh] = paths.as_slice() else {
         eprintln!(
             "usage: perf_gate <baseline.json> <fresh.json> [--tolerance 0.30]\n       \
-             perf_gate --scenarios <BENCH_scenarios.json> <fresh_campaign.json> [--tolerance 0.20]"
+             perf_gate --scenarios <BENCH_scenarios.json> <fresh_campaign.json> \
+             [--tolerance 0.20] [--frac-tolerance 0.10]"
         );
         return ExitCode::from(2);
     };
@@ -311,6 +453,7 @@ fn main() -> ExitCode {
             baseline,
             fresh,
             tolerance.unwrap_or(DEFAULT_SCENARIO_TOLERANCE),
+            frac_tolerance.unwrap_or(DEFAULT_FRAC_TOLERANCE),
         )
     } else {
         run(baseline, fresh, tolerance.unwrap_or(DEFAULT_TOLERANCE))

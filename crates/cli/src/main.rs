@@ -15,7 +15,8 @@
 //! helix export scenarios/                   # (re)write the built-in specs
 //! ```
 
-use helix_rc::campaign::{load_campaign, run_campaign};
+use helix_rc::campaign::{load_campaign, run_campaign_with, CampaignRunOptions};
+use helix_rc::resilient::FaultPlan;
 use helix_rc::scenario::{run_scenario, RunOverrides, ScenarioReport};
 use helix_rc::workloads::{builtin_specs, generate, Scale, ScenarioSpec};
 use std::path::{Path, PathBuf};
@@ -31,6 +32,11 @@ USAGE:
     helix list     <dir>...
     helix smoke    <dir>... [--cores N] [--fuel N] [--full] [--out-dir DIR]
     helix campaign <campaign.toml> [--full] [--out FILE] [--quiet]
+                   [--journal DIR] [--resume]
+                   [--retries N] [--cycle-budget N] [--wall-budget-ms N]
+                   [--chaos-seed N] [--chaos-panics N] [--chaos-stalls N]
+                   [--chaos-blowouts N] [--chaos-stall-ms N] [--chaos-transient]
+    helix diff     <a.json> <b.json>
     helix export   <dir>
     helix help
 
@@ -45,19 +51,46 @@ COMMANDS:
              committed specs runnable.
     campaign Run a cross-scenario sweep campaign: one TOML config names
              scenario specs (globs) plus a machine/compiler grid, cells
-             run in parallel, and the aggregated paper-style tables are
-             printed (JSON report via --out).
+             run in parallel behind the resilient layer (panic isolation,
+             budgets, retries), and the aggregated paper-style tables are
+             printed (JSON report via --out). Failed cells are enumerated
+             in the report and exit code 3 flags them. See
+             docs/CAMPAIGNS.md.
+    diff     Compare two campaign report JSON files byte-for-byte; print
+             the differing region if any. 'diff == empty' is the
+             cache-hit / determinism check.
     export   Write the built-in scenario specs (SPEC stand-ins + novel
              workloads) into a directory as TOML.
 
 OPTIONS:
-    --cores N     Override the spec's core count (run/smoke)
-    --fuel N      Override the spec's simulation cycle budget (run/smoke)
-    --full        Use the Full problem scale (default: Test)
-    --out FILE    Write the JSON report here
-    --out-dir DIR Write one <name>.report.json per scenario
-    --quiet       One line per scenario instead of full tables
+    --cores N          Override the spec's core count (run/smoke)
+    --fuel N           Override the spec's simulation cycle budget (run/smoke)
+    --full             Use the Full problem scale (default: Test)
+    --out FILE         Write the JSON report here
+    --out-dir DIR      Write one <name>.report.json per scenario
+    --quiet            One line per scenario instead of full tables
+    --journal DIR      Journal completed campaign cells into DIR
+                       (content-addressed; default <campaign>.journal
+                       when --resume is given without --journal)
+    --resume           Skip cells already present in the journal
+    --retries N        Override [resilience] max_retries
+    --cycle-budget N   Override [resilience] cycle_budget (simulated cycles)
+    --wall-budget-ms N Override [resilience] wall_budget_ms
+    --chaos-seed N     Enable the chaos harness with this seed
+    --chaos-panics N   Cells that panic under chaos (default 0)
+    --chaos-stalls N   Cells that stall under chaos (default 0)
+    --chaos-blowouts N Cells that run with a tiny cycle budget (default 0)
+    --chaos-stall-ms N Stall duration in milliseconds (default 50)
+    --chaos-transient  Inject each fault only on a cell's first attempt
+
+EXIT CODES:
+    0  success        2  usage error       1  hard failure
+    3  campaign completed with failed cells (see the failures section)
 ";
+
+/// Exit code for a campaign that completed but has failed cells: the
+/// report is usable, distinct from both success and a hard failure.
+const EXIT_CELL_FAILURES: u8 = 3;
 
 fn fail(message: impl AsRef<str>) -> ExitCode {
     eprintln!("helix: {}", message.as_ref());
@@ -107,10 +140,24 @@ struct Options {
     out: Option<PathBuf>,
     out_dir: Option<PathBuf>,
     quiet: bool,
+    journal: Option<PathBuf>,
+    resume: bool,
+    retries: Option<i64>,
+    cycle_budget: Option<i64>,
+    wall_budget_ms: Option<i64>,
+    chaos_seed: Option<u64>,
+    chaos_panics: usize,
+    chaos_stalls: usize,
+    chaos_blowouts: usize,
+    chaos_stall_ms: u64,
+    chaos_transient: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
-    let mut opts = Options::default();
+    let mut opts = Options {
+        chaos_stall_ms: 50,
+        ..Options::default()
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value_of = |flag: &str| {
@@ -141,6 +188,57 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--out" => opts.out = Some(PathBuf::from(value_of("--out")?)),
             "--out-dir" => opts.out_dir = Some(PathBuf::from(value_of("--out-dir")?)),
             "--quiet" => opts.quiet = true,
+            "--journal" => opts.journal = Some(PathBuf::from(value_of("--journal")?)),
+            "--resume" => opts.resume = true,
+            "--retries" => {
+                opts.retries = Some(
+                    value_of("--retries")?
+                        .parse()
+                        .map_err(|e| format!("--retries: {e}"))?,
+                );
+            }
+            "--cycle-budget" => {
+                opts.cycle_budget = Some(
+                    value_of("--cycle-budget")?
+                        .parse()
+                        .map_err(|e| format!("--cycle-budget: {e}"))?,
+                );
+            }
+            "--wall-budget-ms" => {
+                opts.wall_budget_ms = Some(
+                    value_of("--wall-budget-ms")?
+                        .parse()
+                        .map_err(|e| format!("--wall-budget-ms: {e}"))?,
+                );
+            }
+            "--chaos-seed" => {
+                opts.chaos_seed = Some(
+                    value_of("--chaos-seed")?
+                        .parse()
+                        .map_err(|e| format!("--chaos-seed: {e}"))?,
+                );
+            }
+            "--chaos-panics" => {
+                opts.chaos_panics = value_of("--chaos-panics")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-panics: {e}"))?;
+            }
+            "--chaos-stalls" => {
+                opts.chaos_stalls = value_of("--chaos-stalls")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-stalls: {e}"))?;
+            }
+            "--chaos-blowouts" => {
+                opts.chaos_blowouts = value_of("--chaos-blowouts")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-blowouts: {e}"))?;
+            }
+            "--chaos-stall-ms" => {
+                opts.chaos_stall_ms = value_of("--chaos-stall-ms")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-stall-ms: {e}"))?;
+            }
+            "--chaos-transient" => opts.chaos_transient = true,
             flag if flag.starts_with("--") => return Err(format!("unknown option '{flag}'")),
             other => opts.inputs.push(other.to_string()),
         }
@@ -323,7 +421,7 @@ fn cmd_smoke(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_campaign(opts: &Options) -> Result<(), String> {
+fn cmd_campaign(opts: &Options) -> Result<ExitCode, String> {
     // The grid comes from the campaign file; silently ignoring per-run
     // overrides would run a different sweep than the user asked for.
     if opts.cores.is_some() || opts.fuel.is_some() {
@@ -340,28 +438,121 @@ fn cmd_campaign(opts: &Options) -> Result<(), String> {
     if opts.full {
         campaign.scale = Scale::Full;
     }
+    if let Some(retries) = opts.retries {
+        campaign.resilience.max_retries = retries;
+    }
+    if let Some(budget) = opts.cycle_budget {
+        campaign.resilience.cycle_budget = budget;
+    }
+    if let Some(ms) = opts.wall_budget_ms {
+        campaign.resilience.wall_budget_ms = ms;
+    }
+    campaign
+        .validate()
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let journal = opts.journal.clone().or_else(|| {
+        // --resume without --journal uses the campaign's sibling dir,
+        // so "interrupt, re-run with --resume" needs no bookkeeping.
+        opts.resume
+            .then(|| PathBuf::from(format!("{}.journal", path.display())))
+    });
+    let faults = opts.chaos_seed.map(|seed| FaultPlan {
+        seed,
+        panics: opts.chaos_panics,
+        stalls: opts.chaos_stalls,
+        blowouts: opts.chaos_blowouts,
+        stall_ms: opts.chaos_stall_ms,
+        transient: opts.chaos_transient,
+    });
+    let run_options = CampaignRunOptions {
+        journal,
+        resume: opts.resume,
+        faults,
+    };
     let t0 = std::time::Instant::now();
-    let report = run_campaign(&campaign, &scenarios).map_err(|e| e.to_string())?;
+    let report =
+        run_campaign_with(&campaign, &scenarios, &run_options).map_err(|e| e.to_string())?;
     let wall = t0.elapsed().as_secs_f64();
     if opts.quiet {
         for (scenario, speedup) in report.helix_speedups() {
             println!("{scenario:<12} helix-rc speedup {speedup:.2}x");
         }
+        for failure in &report.failures {
+            println!("FAILED {failure}");
+        }
     } else {
         println!("{}", report.table());
     }
     eprintln!(
-        "campaign '{}': {} scenario(s), {} row(s) in {wall:.1}s",
+        "campaign '{}': {} scenario(s), {} row(s){} in {wall:.1}s",
         report.name,
         report.scenarios.len(),
-        report.rows.len()
+        report.rows.len(),
+        if report.failures.is_empty() {
+            String::new()
+        } else {
+            format!(", {} FAILED cell(s)", report.failures.len())
+        }
     );
     if let Some(out) = &opts.out {
         std::fs::write(out, report.to_json())
             .map_err(|e| format!("cannot write '{}': {e}", out.display()))?;
         eprintln!("report -> {}", out.display());
     }
-    Ok(())
+    Ok(if report.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_CELL_FAILURES)
+    })
+}
+
+/// Byte-compare two report files; on mismatch print the differing
+/// region (common prefix/suffix lines trimmed, long middles capped).
+fn cmd_diff(opts: &Options) -> Result<ExitCode, String> {
+    let [a, b] = opts.inputs.as_slice() else {
+        return Err("diff takes exactly two report files".into());
+    };
+    let read = |p: &String| {
+        std::fs::read_to_string(Path::new(p)).map_err(|e| format!("cannot read '{p}': {e}"))
+    };
+    let (ta, tb) = (read(a)?, read(b)?);
+    if ta == tb {
+        println!("reports identical ({} bytes)", ta.len());
+        return Ok(ExitCode::SUCCESS);
+    }
+    let la: Vec<&str> = ta.lines().collect();
+    let lb: Vec<&str> = tb.lines().collect();
+    let common_prefix = la.iter().zip(&lb).take_while(|(x, y)| x == y).count();
+    let common_suffix = la[common_prefix..]
+        .iter()
+        .rev()
+        .zip(lb[common_prefix..].iter().rev())
+        .take_while(|(x, y)| x == y)
+        .count();
+    let cap = 40;
+    let print_side = |tag: &str, file: &str, lines: &[&str]| {
+        println!(
+            "--- {tag} {file} (lines {}..{})",
+            common_prefix + 1,
+            common_prefix + lines.len()
+        );
+        for line in lines.iter().take(cap) {
+            println!("{tag} {line}");
+        }
+        if lines.len() > cap {
+            println!("{tag} ... ({} more line(s))", lines.len() - cap);
+        }
+    };
+    print_side("<", a, &la[common_prefix..la.len() - common_suffix]);
+    print_side(">", b, &lb[common_prefix..lb.len() - common_suffix]);
+    println!(
+        "reports differ: {} vs {} line(s), {} shared at head, {} at tail",
+        la.len(),
+        lb.len(),
+        common_prefix,
+        common_suffix
+    );
+    Ok(ExitCode::FAILURE)
 }
 
 fn cmd_export(opts: &Options) -> Result<(), String> {
@@ -392,12 +583,13 @@ fn main() -> ExitCode {
         Err(e) => return fail(e),
     };
     let result = match command.as_str() {
-        "run" => cmd_run(&opts),
-        "check" => cmd_check(&opts),
-        "list" => cmd_list(&opts),
-        "smoke" => cmd_smoke(&opts),
+        "run" => cmd_run(&opts).map(|()| ExitCode::SUCCESS),
+        "check" => cmd_check(&opts).map(|()| ExitCode::SUCCESS),
+        "list" => cmd_list(&opts).map(|()| ExitCode::SUCCESS),
+        "smoke" => cmd_smoke(&opts).map(|()| ExitCode::SUCCESS),
         "campaign" => cmd_campaign(&opts),
-        "export" => cmd_export(&opts),
+        "diff" => cmd_diff(&opts),
+        "export" => cmd_export(&opts).map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -405,7 +597,7 @@ fn main() -> ExitCode {
         other => return fail(format!("unknown command '{other}'\n\n{USAGE}")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => fail(e),
     }
 }

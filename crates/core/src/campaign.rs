@@ -12,11 +12,14 @@
 //! per-scenario CI speedup gate and the determinism tests rely on.
 
 use crate::experiment::{
-    compiler_generations, coupled_vs_ring, decoupling_lattice, link_latency_settings,
-    node_memory_settings, overhead_breakdown, signal_bandwidth_settings, sweep_core_count,
-    sweep_ring, ExpError, FUEL,
+    compiler_generations_with_fuel, coupled_vs_ring_with_fuel, decoupling_lattice_with_fuel,
+    link_latency_settings, node_memory_settings, overhead_breakdown_with_fuel,
+    signal_bandwidth_settings, sweep_core_count_with_fuel, sweep_ring_with_fuel, ExpError, FUEL,
 };
 use crate::report::json_escape as esc;
+use crate::resilient::{
+    fnv1a, run_cell_resilient, CellFailure, FailureKind, Fault, FaultPlan, Journal, FNV_OFFSET,
+};
 use crate::scenario::nest_rows;
 use helix_hcc::{compile, HccConfig};
 use helix_workloads::spec::CompilerGen;
@@ -25,7 +28,8 @@ use helix_workloads::{
 };
 use rayon::prelude::*;
 use std::fmt::Write as _;
-use std::path::Path;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 
 /// One aggregated grid cell: a scenario measured by one experiment at
 /// one core count. Headline fields are `Some` when the experiment
@@ -123,6 +127,10 @@ pub struct CampaignReport {
     /// Derived speedup-vs-coverage metrics, one row per scenario
     /// (present when the campaign ran the `generations` experiment).
     pub derived: Vec<DerivedRow>,
+    /// Cells that failed (panic / error / budget), in deterministic
+    /// cell-enumeration order. A failed cell contributes no row but
+    /// never aborts the run.
+    pub failures: Vec<CellFailure>,
 }
 
 impl CampaignReport {
@@ -244,6 +252,28 @@ impl CampaignReport {
             }
             out.push_str("  ]");
         }
+        if !self.failures.is_empty() {
+            out.push_str(",\n  \"failures\": [\n");
+            for (i, f) in self.failures.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "    {{\"scenario\": \"{}\", \"experiment\": \"{}\", \"cores\": {}, \
+                     \"kind\": \"{}\", \"retries\": {}, \"message\": \"{}\"}}",
+                    esc(&f.scenario),
+                    esc(&f.experiment),
+                    f.cores,
+                    f.kind.render(),
+                    f.retries,
+                    esc(&f.message)
+                );
+                out.push_str(if i + 1 < self.failures.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("  ]");
+        }
         out.push_str("\n}\n");
         out
     }
@@ -341,6 +371,12 @@ impl CampaignReport {
             out.push_str(&table(&headers, &body));
         }
         out.push_str(&self.derived_tables());
+        if !self.failures.is_empty() {
+            let _ = writeln!(out, "\n== failures ({}) ==", self.failures.len());
+            for f in &self.failures {
+                let _ = writeln!(out, "  - {f}");
+            }
+        }
         out
     }
 
@@ -446,11 +482,16 @@ fn blank_row(w: &Workload, experiment: CampaignExperiment, cores: usize) -> Camp
     }
 }
 
-fn run_cell(cell: Cell, sweep_cores: &[usize], w: &Workload) -> Result<CampaignRow, ExpError> {
+fn run_cell(
+    cell: Cell,
+    sweep_cores: &[usize],
+    w: &Workload,
+    fuel: u64,
+) -> Result<CampaignRow, ExpError> {
     let mut row = blank_row(w, cell.experiment, cell.cores);
     match cell.experiment {
         CampaignExperiment::Generations => {
-            let r = compiler_generations(w, cell.cores)?;
+            let r = compiler_generations_with_fuel(w, cell.cores, fuel)?;
             row.points = vec![
                 ("HCCv1".into(), r.v1),
                 ("HCCv2".into(), r.v2),
@@ -462,7 +503,7 @@ fn run_cell(cell: Cell, sweep_cores: &[usize], w: &Workload) -> Result<CampaignR
             row.helix_cycles = Some(r.helix_cycles);
         }
         CampaignExperiment::CoupledVsRing => {
-            let r = coupled_vs_ring(w, cell.cores)?;
+            let r = coupled_vs_ring_with_fuel(w, cell.cores, fuel)?;
             row.points = vec![
                 ("C % of seq".into(), r.conventional_pct),
                 ("R % of seq".into(), r.ring_pct),
@@ -472,14 +513,14 @@ fn run_cell(cell: Cell, sweep_cores: &[usize], w: &Workload) -> Result<CampaignR
             row.comm_frac = Some(r.ring_comm_frac);
         }
         CampaignExperiment::Overheads => {
-            let r = overhead_breakdown(w, cell.cores)?;
+            let r = overhead_breakdown_with_fuel(w, cell.cores, fuel)?;
             row.points = vec![("speedup".into(), r.speedup)];
             row.helix_speedup = Some(r.speedup);
             row.paper_speedup = paper_speedup(w);
             row.overheads = Some(r.measured);
         }
         CampaignExperiment::Lattice => {
-            let pts = decoupling_lattice(w, cell.cores)?;
+            let pts = decoupling_lattice_with_fuel(w, cell.cores, fuel)?;
             row.helix_speedup = pts.last().map(|(_, s)| *s);
             row.points = pts
                 .into_iter()
@@ -487,20 +528,103 @@ fn run_cell(cell: Cell, sweep_cores: &[usize], w: &Workload) -> Result<CampaignR
                 .collect();
         }
         CampaignExperiment::CoreSweep => {
-            row.points = sweep_core_count(w, sweep_cores)?;
+            row.points = sweep_core_count_with_fuel(w, sweep_cores, fuel)?;
             row.helix_speedup = row.points.last().map(|(_, s)| *s);
         }
         CampaignExperiment::RingLatency => {
-            row.points = sweep_ring(w, cell.cores, &link_latency_settings())?;
+            row.points = sweep_ring_with_fuel(w, cell.cores, &link_latency_settings(), fuel)?;
         }
         CampaignExperiment::RingBandwidth => {
-            row.points = sweep_ring(w, cell.cores, &signal_bandwidth_settings())?;
+            row.points = sweep_ring_with_fuel(w, cell.cores, &signal_bandwidth_settings(), fuel)?;
         }
         CampaignExperiment::RingMemory => {
-            row.points = sweep_ring(w, cell.cores, &node_memory_settings())?;
+            row.points = sweep_ring_with_fuel(w, cell.cores, &node_memory_settings(), fuel)?;
         }
     }
     Ok(row)
+}
+
+/// Journal cell-file encoding of one [`CampaignRow`]. Floats are stored
+/// as `f64::to_bits` hex so a journaled row decodes to the *exact* value
+/// that was measured — the property that makes a resumed report
+/// byte-identical to an uninterrupted one.
+fn encode_row(row: &CampaignRow) -> String {
+    let mut out = String::from("helix-cell v1\n");
+    let _ = writeln!(out, "scenario\t{}", row.scenario);
+    let _ = writeln!(out, "kind\t{}", row.kind);
+    let _ = writeln!(out, "experiment\t{}", row.experiment);
+    let _ = writeln!(out, "cores\t{}", row.cores);
+    if let Some(v) = row.helix_speedup {
+        let _ = writeln!(out, "helix_speedup\t{:016x}", v.to_bits());
+    }
+    if let Some(v) = row.paper_speedup {
+        let _ = writeln!(out, "paper_speedup\t{:016x}", v.to_bits());
+    }
+    if let Some(v) = row.seq_cycles {
+        let _ = writeln!(out, "seq_cycles\t{v}");
+    }
+    if let Some(v) = row.helix_cycles {
+        let _ = writeln!(out, "helix_cycles\t{v}");
+    }
+    if let Some(v) = row.comm_frac {
+        let _ = writeln!(out, "comm_frac\t{:016x}", v.to_bits());
+    }
+    if let Some(o) = row.overheads {
+        let cells: Vec<String> = o.iter().map(|v| format!("{:016x}", v.to_bits())).collect();
+        let _ = writeln!(out, "overheads\t{}", cells.join(" "));
+    }
+    for (label, value) in &row.points {
+        // Label last: labels may contain anything but newlines/tabs.
+        let _ = writeln!(out, "point\t{:016x}\t{label}", value.to_bits());
+    }
+    out
+}
+
+/// Decode a journaled cell file. `None` on any malformed input — the
+/// caller treats that as a cache miss and re-runs the cell.
+fn decode_row(text: &str) -> Option<CampaignRow> {
+    let mut lines = text.lines();
+    if lines.next()? != "helix-cell v1" {
+        return None;
+    }
+    let f64_of = |s: &str| u64::from_str_radix(s, 16).ok().map(f64::from_bits);
+    let mut row = CampaignRow {
+        scenario: String::new(),
+        kind: String::new(),
+        experiment: String::new(),
+        cores: 0,
+        helix_speedup: None,
+        paper_speedup: None,
+        seq_cycles: None,
+        helix_cycles: None,
+        comm_frac: None,
+        overheads: None,
+        points: Vec::new(),
+    };
+    for line in lines {
+        let (key, rest) = line.split_once('\t')?;
+        match key {
+            "scenario" => row.scenario = rest.to_string(),
+            "kind" => row.kind = rest.to_string(),
+            "experiment" => row.experiment = rest.to_string(),
+            "cores" => row.cores = rest.parse().ok()?,
+            "helix_speedup" => row.helix_speedup = Some(f64_of(rest)?),
+            "paper_speedup" => row.paper_speedup = Some(f64_of(rest)?),
+            "seq_cycles" => row.seq_cycles = Some(rest.parse().ok()?),
+            "helix_cycles" => row.helix_cycles = Some(rest.parse().ok()?),
+            "comm_frac" => row.comm_frac = Some(f64_of(rest)?),
+            "overheads" => {
+                let vals: Vec<f64> = rest.split(' ').map_while(f64_of).collect();
+                row.overheads = Some(<[f64; 7]>::try_from(vals).ok()?);
+            }
+            "point" => {
+                let (bits, label) = rest.split_once('\t')?;
+                row.points.push((label.to_string(), f64_of(bits)?));
+            }
+            _ => return None,
+        }
+    }
+    (!row.scenario.is_empty() && !row.experiment.is_empty() && row.cores > 0).then_some(row)
 }
 
 /// Load a campaign file and every scenario spec it references. Errors
@@ -536,6 +660,23 @@ pub fn load_campaign(path: &Path) -> Result<(CampaignSpec, Vec<ScenarioSpec>), E
     Ok((spec, scenarios))
 }
 
+/// Execution-layer options for [`run_campaign_with`]: journaling,
+/// resume, and chaos injection. The default (no journal, no resume, no
+/// faults) reproduces the plain in-memory behaviour of
+/// [`run_campaign`].
+#[derive(Debug, Clone, Default)]
+pub struct CampaignRunOptions {
+    /// Journal completed cells under this directory (one content-keyed
+    /// file per cell; see [`Journal`]).
+    pub journal: Option<PathBuf>,
+    /// Reuse journaled cells instead of re-running them. Requires
+    /// `journal`.
+    pub resume: bool,
+    /// Seeded chaos: inject faults into a deterministic subset of
+    /// cells.
+    pub faults: Option<FaultPlan>,
+}
+
 /// Run a campaign over already-loaded scenario specs: apply the
 /// campaign's seed offset, lower every grid cell onto its experiment
 /// function, execute the cells in parallel, and aggregate in a stable
@@ -543,6 +684,26 @@ pub fn load_campaign(path: &Path) -> Result<(CampaignSpec, Vec<ScenarioSpec>), E
 pub fn run_campaign(
     spec: &CampaignSpec,
     scenarios: &[ScenarioSpec],
+) -> Result<CampaignReport, ExpError> {
+    run_campaign_with(spec, scenarios, &CampaignRunOptions::default())
+}
+
+/// [`run_campaign`] under explicit [`CampaignRunOptions`].
+///
+/// Every cell runs behind the resilient layer
+/// ([`run_cell_resilient`]): panics are caught at the cell boundary,
+/// failures are classified and (when transient) retried per the spec's
+/// [`ResiliencePolicy`](helix_workloads::ResiliencePolicy), and a
+/// failed cell becomes a [`CellFailure`] row instead of aborting the
+/// run. With a journal, completed cells are persisted under their
+/// content digest; with `resume`, journaled cells are loaded instead of
+/// re-run, so a crashed or interrupted campaign continues where it
+/// stopped — and editing one scenario re-runs only that scenario's
+/// cells.
+pub fn run_campaign_with(
+    spec: &CampaignSpec,
+    scenarios: &[ScenarioSpec],
+    options: &CampaignRunOptions,
 ) -> Result<CampaignReport, ExpError> {
     spec.validate().map_err(|e| format!("{}", e))?;
     if scenarios.is_empty() {
@@ -600,21 +761,126 @@ pub fn run_campaign(
         }
     }
 
-    let rows: Vec<CampaignRow> = cells
-        .par_iter()
-        .map(|&cell| {
-            run_cell(cell, &sweep_cores, &workloads[cell.scenario_ix]).map_err(|e| {
-                format!(
-                    "campaign '{}': {} / {}: {e}",
-                    spec.name,
-                    workloads[cell.scenario_ix].name,
-                    cell.experiment.render()
-                )
-            })
-        })
-        .collect::<Result<Vec<_>, _>>()?;
+    let journal = match &options.journal {
+        Some(dir) => Some(Journal::open(dir)?),
+        None => {
+            if options.resume {
+                return Err(
+                    format!("campaign '{}': --resume requires a journal", spec.name).into(),
+                );
+            }
+            None
+        }
+    };
+    // Effective per-cell cycle budget: the spec's cycle_budget when set,
+    // else the experiment default. Part of each cell's digest — a budget
+    // change must invalidate journaled results.
+    let fuel = if spec.resilience.cycle_budget > 0 {
+        spec.resilience.cycle_budget as u64
+    } else {
+        FUEL
+    };
 
-    let derived = derive_rows(spec, &reseeded, &workloads, &rows)?;
+    // Stable per-cell identity, used both for chaos-fault assignment
+    // and (hashed together with everything result-determining) as the
+    // journal digest.
+    let keys: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "{}/{}@{}",
+                workloads[c.scenario_ix].name,
+                c.experiment.render(),
+                c.cores
+            )
+        })
+        .collect();
+    let digests: Vec<u64> = cells
+        .iter()
+        .enumerate()
+        .map(|(ix, c)| {
+            let mut h = fnv1a(FNV_OFFSET, env!("CARGO_PKG_VERSION").as_bytes());
+            h = fnv1a(h, format!("{:?}", spec.scale).as_bytes());
+            h = fnv1a(h, &fuel.to_le_bytes());
+            h = fnv1a(h, keys[ix].as_bytes());
+            if c.experiment == CampaignExperiment::CoreSweep {
+                for &sc in &sweep_cores {
+                    h = fnv1a(h, &(sc as u64).to_le_bytes());
+                }
+            }
+            // The reseeded scenario spec covers the scenario's entire
+            // result-relevant content, campaign seed offset included.
+            fnv1a(h, reseeded[c.scenario_ix].to_toml().as_bytes())
+        })
+        .collect();
+    let faults: Vec<Option<Fault>> = match &options.faults {
+        Some(plan) => keys.iter().map(|k| plan.fault_for(k, &keys)).collect(),
+        None => vec![None; cells.len()],
+    };
+    let (stall_ms, transient_faults) = options
+        .faults
+        .as_ref()
+        .map(|p| (p.stall_ms, p.transient))
+        .unwrap_or((0, false));
+
+    enum CellOutcome {
+        Row(Box<CampaignRow>),
+        Failed(CellFailure),
+    }
+    let ixs: Vec<usize> = (0..cells.len()).collect();
+    let outcomes: Vec<CellOutcome> = ixs
+        .par_iter()
+        .map(|&ix| {
+            let cell = cells[ix];
+            let w = &workloads[cell.scenario_ix];
+            if options.resume {
+                if let Some(row) = journal
+                    .as_ref()
+                    .and_then(|j| j.load(digests[ix]))
+                    .and_then(|text| decode_row(&text))
+                {
+                    return CellOutcome::Row(Box::new(row));
+                }
+            }
+            let result = run_cell_resilient(
+                |cell_fuel| run_cell(cell, &sweep_cores, w, cell_fuel),
+                fuel,
+                &spec.resilience,
+                faults[ix],
+                stall_ms,
+                transient_faults,
+            );
+            match result {
+                Ok(row) => {
+                    if let Some(j) = &journal {
+                        // Journal errors are not worth failing the cell
+                        // over; the run still completes in memory.
+                        let _ = j.store(digests[ix], &encode_row(&row));
+                    }
+                    CellOutcome::Row(Box::new(row))
+                }
+                Err((kind, message, retries)) => CellOutcome::Failed(CellFailure {
+                    scenario: w.name.clone(),
+                    experiment: cell.experiment.render().to_string(),
+                    cores: cell.cores,
+                    kind,
+                    retries,
+                    message,
+                }),
+            }
+        })
+        .collect();
+
+    let mut rows: Vec<CampaignRow> = Vec::new();
+    let mut failures: Vec<CellFailure> = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            CellOutcome::Row(row) => rows.push(*row),
+            CellOutcome::Failed(failure) => failures.push(failure),
+        }
+    }
+
+    let derived = derive_rows(spec, &reseeded, &workloads, &rows, &mut failures);
 
     Ok(CampaignReport {
         name: spec.name.clone(),
@@ -624,6 +890,7 @@ pub fn run_campaign(
         scenarios: ordered.iter().map(|s| s.name.clone()).collect(),
         rows,
         derived,
+        failures,
     })
 }
 
@@ -638,75 +905,113 @@ fn derive_rows(
     reseeded: &[ScenarioSpec],
     workloads: &[Workload],
     rows: &[CampaignRow],
-) -> Result<Vec<DerivedRow>, ExpError> {
+    failures: &mut Vec<CellFailure>,
+) -> Vec<DerivedRow> {
     if !spec
         .grid
         .experiments
         .contains(&CampaignExperiment::Generations)
     {
-        return Ok(Vec::new());
+        return Vec::new();
     }
     let cores = *spec.grid.cores.iter().max().expect("validated non-empty") as usize;
+    let fuel = if spec.resilience.cycle_budget > 0 {
+        spec.resilience.cycle_budget as u64
+    } else {
+        FUEL
+    };
     // The vendored rayon subset has no `zip`; index instead.
     let ixs: Vec<usize> = (0..reseeded.len()).collect();
-    ixs.par_iter()
-        .map(|&ix| -> Result<DerivedRow, ExpError> {
+    let results: Vec<Result<Option<DerivedRow>, (FailureKind, String)>> = ixs
+        .par_iter()
+        .map(|&ix| {
             let (scenario, w) = (&reseeded[ix], &workloads[ix]);
-            let gen_row = rows
+            // A scenario whose generations cell failed has no anchor
+            // for derivation; the cell failure is already recorded, so
+            // just skip the derived row.
+            let Some((speedup, seq_cycles)) = rows
                 .iter()
                 .find(|r| r.scenario == w.name && r.experiment == "generations" && r.cores == cores)
                 .and_then(|r| Some((r.helix_speedup?, r.seq_cycles?)))
-                .ok_or_else(|| {
-                    format!(
-                        "campaign '{}': no generations measurement for {} at {cores} cores",
-                        spec.name, w.name
-                    )
-                })?;
-            let (speedup, seq_cycles) = gen_row;
-            let compiled = compile(&w.program, &HccConfig::v3(cores as u32))?;
-            let coverage = compiled.stats.coverage.clamp(0.0, 1.0);
-            let amdahl_bound = 1.0 / ((1.0 - coverage) + coverage / cores as f64);
-            // Everything in a derived row is v3-anchored (the headline
-            // speedup is the generations experiment's HELIX-RC run and
-            // program_coverage comes from the v3 compile above), so the
-            // isolated nests compile with v3 too, regardless of the
-            // scenario's own `run.compiler`.
-            let nests = nest_rows(
-                scenario,
-                spec.scale,
-                cores,
-                FUEL,
-                Some(seq_cycles),
-                CompilerGen::V3,
-            )?
-            .into_iter()
-            .zip(&w.nests)
-            .map(|(row, boundary)| {
-                let (program_coverage, _) =
-                    compiled.coverage_in_blocks(boundary.first_block, boundary.end_block);
-                DerivedNestRow {
-                    name: row.name,
-                    weight: row.weight,
-                    glue_weight: row.glue_weight,
-                    coverage: row.coverage,
-                    program_coverage,
-                    plans: row.plans,
-                    speedup: row.speedup,
+            else {
+                return Ok(None);
+            };
+            let body = || -> Result<DerivedRow, ExpError> {
+                let compiled = compile(&w.program, &HccConfig::v3(cores as u32))?;
+                let coverage = compiled.stats.coverage.clamp(0.0, 1.0);
+                let amdahl_bound = 1.0 / ((1.0 - coverage) + coverage / cores as f64);
+                // Everything in a derived row is v3-anchored (the headline
+                // speedup is the generations experiment's HELIX-RC run and
+                // program_coverage comes from the v3 compile above), so the
+                // isolated nests compile with v3 too, regardless of the
+                // scenario's own `run.compiler`.
+                let nests = nest_rows(
+                    scenario,
+                    spec.scale,
+                    cores,
+                    fuel,
+                    Some(seq_cycles),
+                    CompilerGen::V3,
+                )?
+                .into_iter()
+                .zip(&w.nests)
+                .map(|(row, boundary)| {
+                    let (program_coverage, _) =
+                        compiled.coverage_in_blocks(boundary.first_block, boundary.end_block);
+                    DerivedNestRow {
+                        name: row.name,
+                        weight: row.weight,
+                        glue_weight: row.glue_weight,
+                        coverage: row.coverage,
+                        program_coverage,
+                        plans: row.plans,
+                        speedup: row.speedup,
+                    }
+                })
+                .collect();
+                Ok(DerivedRow {
+                    scenario: w.name.clone(),
+                    kind: w.kind.render().into(),
+                    cores,
+                    coverage,
+                    speedup,
+                    amdahl_bound,
+                    bound_frac: speedup / amdahl_bound,
+                    nests,
+                })
+            };
+            // Derivation failures degrade like cell failures instead of
+            // poisoning the report.
+            match catch_unwind(AssertUnwindSafe(body)) {
+                Ok(Ok(row)) => Ok(Some(row)),
+                Ok(Err(e)) => Err((FailureKind::Error, e.to_string())),
+                Err(payload) => {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "panic with non-string payload".into());
+                    Err((FailureKind::Panic, message))
                 }
-            })
-            .collect();
-            Ok(DerivedRow {
-                scenario: w.name.clone(),
-                kind: w.kind.render().into(),
-                cores,
-                coverage,
-                speedup,
-                amdahl_bound,
-                bound_frac: speedup / amdahl_bound,
-                nests,
-            })
+            }
         })
-        .collect()
+        .collect();
+    let mut derived = Vec::new();
+    for (ix, result) in results.into_iter().enumerate() {
+        match result {
+            Ok(Some(row)) => derived.push(row),
+            Ok(None) => {}
+            Err((kind, message)) => failures.push(CellFailure {
+                scenario: workloads[ix].name.clone(),
+                experiment: "derived".to_string(),
+                cores,
+                kind,
+                retries: 0,
+                message,
+            }),
+        }
+    }
+    derived
 }
 
 /// Load and run a campaign file in one call.
@@ -718,6 +1023,7 @@ pub fn run_campaign_file(path: &Path) -> Result<CampaignReport, ExpError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiment::compiler_generations;
     use helix_workloads::{builtin_spec, CampaignGrid, Scale};
 
     fn tiny_campaign(experiments: Vec<CampaignExperiment>) -> (CampaignSpec, Vec<ScenarioSpec>) {
@@ -732,6 +1038,7 @@ mod tests {
                 sweep_cores: vec![],
                 experiments,
             },
+            resilience: Default::default(),
         };
         (spec, vec![builtin_spec("175.vpr").unwrap()])
     }
@@ -816,5 +1123,187 @@ mod tests {
     fn empty_scenario_set_is_an_error() {
         let (spec, _) = tiny_campaign(vec![CampaignExperiment::Generations]);
         assert!(run_campaign(&spec, &[]).is_err());
+    }
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("helix-campaign-test-{}-{tag}", std::process::id()))
+    }
+
+    /// An injected persistent panic becomes a `failures` row; the run
+    /// completes and every other cell's result is kept.
+    #[test]
+    fn injected_fault_enumerates_failure_instead_of_aborting() {
+        let (mut spec, scenarios) = tiny_campaign(vec![
+            CampaignExperiment::Generations,
+            CampaignExperiment::CoupledVsRing,
+        ]);
+        spec.resilience.max_retries = 0;
+        let options = CampaignRunOptions {
+            faults: Some(FaultPlan {
+                seed: 1,
+                panics: 1,
+                ..FaultPlan::default()
+            }),
+            ..CampaignRunOptions::default()
+        };
+        let report = run_campaign_with(&spec, &scenarios, &options).unwrap();
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        assert_eq!(report.failures[0].kind, FailureKind::Panic);
+        assert!(report.failures[0].message.contains("chaos"));
+        assert_eq!(report.rows.len(), 1, "the other cell must survive");
+        let json = report.to_json();
+        assert!(json.contains("\"failures\""), "{json}");
+        assert!(json.contains("\"kind\": \"panic\""), "{json}");
+        assert!(report.table().contains("== failures (1) =="));
+    }
+
+    /// A transient injected fault is absorbed by one retry: the report
+    /// is byte-identical to a fault-free run.
+    #[test]
+    fn transient_fault_recovers_and_matches_clean_run() {
+        let (spec, scenarios) = tiny_campaign(vec![CampaignExperiment::Generations]);
+        let clean = run_campaign(&spec, &scenarios).unwrap();
+        let options = CampaignRunOptions {
+            faults: Some(FaultPlan {
+                seed: 3,
+                panics: 1,
+                transient: true,
+                ..FaultPlan::default()
+            }),
+            ..CampaignRunOptions::default()
+        };
+        let recovered = run_campaign_with(&spec, &scenarios, &options).unwrap();
+        assert!(recovered.failures.is_empty(), "{:?}", recovered.failures);
+        assert_eq!(clean.to_json(), recovered.to_json());
+    }
+
+    /// Crash/Ctrl-C story end-to-end: a chaos run journals its
+    /// completed cells; a resume without chaos re-runs only the failed
+    /// cell and lands on a report byte-identical to a clean run.
+    #[test]
+    fn resume_reproduces_clean_report_byte_identically() {
+        let (mut spec, scenarios) = tiny_campaign(vec![
+            CampaignExperiment::Generations,
+            CampaignExperiment::CoupledVsRing,
+        ]);
+        spec.resilience.max_retries = 0;
+        let clean = run_campaign(&spec, &scenarios).unwrap();
+        let dir = temp_journal("resume");
+        std::fs::remove_dir_all(&dir).ok();
+        let interrupted = run_campaign_with(
+            &spec,
+            &scenarios,
+            &CampaignRunOptions {
+                journal: Some(dir.clone()),
+                faults: Some(FaultPlan {
+                    seed: 1,
+                    panics: 1,
+                    ..FaultPlan::default()
+                }),
+                ..CampaignRunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(interrupted.failures.len(), 1);
+        let resumed = run_campaign_with(
+            &spec,
+            &scenarios,
+            &CampaignRunOptions {
+                journal: Some(dir.clone()),
+                resume: true,
+                ..CampaignRunOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(resumed.failures.is_empty(), "{:?}", resumed.failures);
+        assert_eq!(clean.to_json(), resumed.to_json());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Resume really reads the journal: a tampered journaled value
+    /// shows up verbatim in the resumed report (cache hit, not re-run).
+    #[test]
+    fn resume_trusts_journaled_cells() {
+        let (spec, scenarios) = tiny_campaign(vec![CampaignExperiment::Generations]);
+        let dir = temp_journal("trust");
+        std::fs::remove_dir_all(&dir).ok();
+        let options = CampaignRunOptions {
+            journal: Some(dir.clone()),
+            ..CampaignRunOptions::default()
+        };
+        run_campaign_with(&spec, &scenarios, &options).unwrap();
+        // Tamper with the one journaled cell: seq_cycles -> 424242.
+        let mut tampered = 0;
+        for entry in std::fs::read_dir(&dir).unwrap().filter_map(|e| e.ok()) {
+            let path = entry.path();
+            if path.extension().is_some_and(|x| x == "cell") {
+                let text = std::fs::read_to_string(&path).unwrap();
+                let patched: String = text
+                    .lines()
+                    .map(|l| {
+                        if l.starts_with("seq_cycles\t") {
+                            tampered += 1;
+                            "seq_cycles\t424242".to_string()
+                        } else {
+                            l.to_string()
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n")
+                    + "\n";
+                std::fs::write(&path, patched).unwrap();
+            }
+        }
+        assert_eq!(tampered, 1);
+        let resumed = run_campaign_with(
+            &spec,
+            &scenarios,
+            &CampaignRunOptions {
+                journal: Some(dir.clone()),
+                resume: true,
+                ..CampaignRunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed.rows[0].seq_cycles, Some(424242));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A tiny cycle budget fails cells deterministically: same
+    /// failures, byte-identical reports, run after run.
+    #[test]
+    fn cycle_budget_failures_are_deterministic() {
+        let (mut spec, scenarios) = tiny_campaign(vec![CampaignExperiment::Generations]);
+        spec.resilience.cycle_budget = 1000;
+        let a = run_campaign(&spec, &scenarios).unwrap();
+        let b = run_campaign(&spec, &scenarios).unwrap();
+        assert!(!a.failures.is_empty());
+        assert!(a
+            .failures
+            .iter()
+            .all(|f| f.kind == FailureKind::CycleBudget));
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    /// Journal round-trip preserves rows exactly, including float bits.
+    #[test]
+    fn encode_decode_row_roundtrip() {
+        let row = CampaignRow {
+            scenario: "900.chase".into(),
+            kind: "int".into(),
+            experiment: "generations".into(),
+            cores: 8,
+            helix_speedup: Some(3.756_218_905_3),
+            paper_speedup: Some(6.1),
+            seq_cycles: Some(123_456_789),
+            helix_cycles: Some(32_860_001),
+            comm_frac: Some(0.071_356_78),
+            overheads: Some([0.1, 0.0, 0.25, 0.3, 0.000_001, 0.9, 1.0 / 3.0]),
+            points: vec![("HCCv1".into(), 1.5), ("HELIX-RC".into(), 3.756_218_905_3)],
+        };
+        let decoded = decode_row(&encode_row(&row)).unwrap();
+        assert_eq!(decoded, row);
+        assert!(decode_row("not a cell\n").is_none());
+        assert!(decode_row("helix-cell v1\nbogus-key\tvalue\n").is_none());
     }
 }

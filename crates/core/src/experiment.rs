@@ -40,7 +40,16 @@ pub fn compile_all(w: &Workload, cores: u32) -> Result<[CompiledProgram; 3], Exp
 /// Sequential baseline cycles of the *original* program on the given
 /// core model.
 pub fn baseline_cycles(w: &Workload, cfg: &MachineConfig) -> Result<u64, ExpError> {
-    Ok(simulate_sequential(&w.program, cfg, FUEL)?.cycles)
+    baseline_cycles_with_fuel(w, cfg, FUEL)
+}
+
+/// [`baseline_cycles`] under an explicit cycle budget.
+pub fn baseline_cycles_with_fuel(
+    w: &Workload,
+    cfg: &MachineConfig,
+    fuel: u64,
+) -> Result<u64, ExpError> {
+    Ok(simulate_sequential(&w.program, cfg, fuel)?.cycles)
 }
 
 /// Assert a parallel run upheld all compiler guarantees.
@@ -78,6 +87,15 @@ pub struct CompilerGenerations {
 /// sequential baseline and the three generation runs are independent
 /// simulations and execute in parallel.
 pub fn compiler_generations(w: &Workload, cores: usize) -> Result<CompilerGenerations, ExpError> {
+    compiler_generations_with_fuel(w, cores, FUEL)
+}
+
+/// [`compiler_generations`] under an explicit cycle budget.
+pub fn compiler_generations_with_fuel(
+    w: &Workload,
+    cores: usize,
+    fuel: u64,
+) -> Result<CompilerGenerations, ExpError> {
     let [v1, v2, v3] = compile_all(w, cores as u32)?;
     let conventional = MachineConfig::conventional(cores);
     let helix = MachineConfig::helix_rc(cores);
@@ -92,9 +110,9 @@ pub fn compiler_generations(w: &Workload, cores: usize) -> Result<CompilerGenera
         .par_iter()
         .map(|(compiled, cfg)| -> Result<RunReport, ExpError> {
             let rep = match compiled {
-                None => simulate_sequential(&w.program, cfg, FUEL)?,
+                None => simulate_sequential(&w.program, cfg, fuel)?,
                 Some(c) => {
-                    let rep = simulate(c, cfg, FUEL)?;
+                    let rep = simulate(c, cfg, fuel)?;
                     check(&rep, &w.name)?;
                     rep
                 }
@@ -200,6 +218,15 @@ pub fn decoupling_lattice(
     w: &Workload,
     cores: usize,
 ) -> Result<Vec<(LatticePoint, f64)>, ExpError> {
+    decoupling_lattice_with_fuel(w, cores, FUEL)
+}
+
+/// [`decoupling_lattice`] under an explicit cycle budget.
+pub fn decoupling_lattice_with_fuel(
+    w: &Workload,
+    cores: usize,
+    fuel: u64,
+) -> Result<Vec<(LatticePoint, f64)>, ExpError> {
     let mut jobs: Vec<Option<LatticePoint>> = vec![None]; // baseline
     jobs.extend(LatticePoint::ALL.map(Some));
     let cycles: Vec<u64> = jobs
@@ -208,13 +235,13 @@ pub fn decoupling_lattice(
             match job {
                 None => {
                     Ok(
-                        simulate_sequential(&w.program, &MachineConfig::conventional(cores), FUEL)?
+                        simulate_sequential(&w.program, &MachineConfig::conventional(cores), fuel)?
                             .cycles,
                     )
                 }
                 Some(point) => {
                     let compiled = compile(&w.program, &point.compiler(cores as u32))?;
-                    let report = simulate(&compiled, &point.machine(cores), FUEL)?;
+                    let report = simulate(&compiled, &point.machine(cores), fuel)?;
                     check(&report, point.label())?;
                     Ok(report.cycles)
                 }
@@ -269,13 +296,22 @@ fn comm_frac(r: &RunReport) -> f64 {
 
 /// Run the Fig. 9 comparison.
 pub fn coupled_vs_ring(w: &Workload, cores: usize) -> Result<CoupledVsRing, ExpError> {
+    coupled_vs_ring_with_fuel(w, cores, FUEL)
+}
+
+/// [`coupled_vs_ring`] under an explicit cycle budget.
+pub fn coupled_vs_ring_with_fuel(
+    w: &Workload,
+    cores: usize,
+    fuel: u64,
+) -> Result<CoupledVsRing, ExpError> {
     // HCCv3 selects loops assuming decoupling exists (ring-class sync
     // cost), then the code runs on both machines.
     let compiled = compile(&w.program, &HccConfig::v3(cores as u32))?;
-    let seq = baseline_cycles(w, &MachineConfig::conventional(cores))?;
-    let conv = simulate(&compiled, &MachineConfig::conventional(cores), FUEL)?;
+    let seq = baseline_cycles_with_fuel(w, &MachineConfig::conventional(cores), fuel)?;
+    let conv = simulate(&compiled, &MachineConfig::conventional(cores), fuel)?;
     check(&conv, "conventional")?;
-    let ring = simulate(&compiled, &MachineConfig::helix_rc(cores), FUEL)?;
+    let ring = simulate(&compiled, &MachineConfig::helix_rc(cores), fuel)?;
     check(&ring, "ring")?;
     Ok(CoupledVsRing {
         name: w.name.to_string(),
@@ -350,12 +386,21 @@ pub type SweepPoint = (String, f64);
 /// Fig. 11a: core-count scaling. Each core count is an independent
 /// (compile + baseline + simulate) job; counts run in parallel.
 pub fn sweep_core_count(w: &Workload, counts: &[usize]) -> Result<Vec<SweepPoint>, ExpError> {
+    sweep_core_count_with_fuel(w, counts, FUEL)
+}
+
+/// [`sweep_core_count`] under an explicit cycle budget.
+pub fn sweep_core_count_with_fuel(
+    w: &Workload,
+    counts: &[usize],
+    fuel: u64,
+) -> Result<Vec<SweepPoint>, ExpError> {
     counts
         .par_iter()
         .map(|&cores| -> Result<SweepPoint, ExpError> {
             let compiled = compile(&w.program, &HccConfig::v3(cores as u32))?;
-            let seq = baseline_cycles(w, &MachineConfig::conventional(cores))?;
-            let rep = simulate(&compiled, &MachineConfig::helix_rc(cores), FUEL)?;
+            let seq = baseline_cycles_with_fuel(w, &MachineConfig::conventional(cores), fuel)?;
+            let rep = simulate(&compiled, &MachineConfig::helix_rc(cores), fuel)?;
             check(&rep, "core count")?;
             Ok((
                 format!("{cores} cores"),
@@ -373,15 +418,25 @@ pub fn sweep_ring<F: Fn(&mut RingConfig) + Sync>(
     cores: usize,
     labels_and_sets: &[(String, F)],
 ) -> Result<Vec<SweepPoint>, ExpError> {
+    sweep_ring_with_fuel(w, cores, labels_and_sets, FUEL)
+}
+
+/// [`sweep_ring`] under an explicit cycle budget.
+pub fn sweep_ring_with_fuel<F: Fn(&mut RingConfig) + Sync>(
+    w: &Workload,
+    cores: usize,
+    labels_and_sets: &[(String, F)],
+    fuel: u64,
+) -> Result<Vec<SweepPoint>, ExpError> {
     let compiled = compile(&w.program, &HccConfig::v3(cores as u32))?;
-    let seq = baseline_cycles(w, &MachineConfig::conventional(cores))?;
+    let seq = baseline_cycles_with_fuel(w, &MachineConfig::conventional(cores), fuel)?;
     labels_and_sets
         .par_iter()
         .map(|(label, set)| -> Result<SweepPoint, ExpError> {
             let mut cfg = MachineConfig::helix_rc(cores);
             let ring = cfg.ring.as_mut().expect("helix config has a ring");
             set(ring);
-            let rep = simulate(&compiled, &cfg, FUEL)?;
+            let rep = simulate(&compiled, &cfg, fuel)?;
             check(&rep, label)?;
             Ok((label.clone(), seq as f64 / rep.cycles.max(1) as f64))
         })
@@ -456,9 +511,18 @@ pub struct OverheadRow {
 
 /// Run the overhead taxonomy for one workload.
 pub fn overhead_breakdown(w: &Workload, cores: usize) -> Result<OverheadRow, ExpError> {
+    overhead_breakdown_with_fuel(w, cores, FUEL)
+}
+
+/// [`overhead_breakdown`] under an explicit cycle budget.
+pub fn overhead_breakdown_with_fuel(
+    w: &Workload,
+    cores: usize,
+    fuel: u64,
+) -> Result<OverheadRow, ExpError> {
     let compiled = compile(&w.program, &HccConfig::v3(cores as u32))?;
-    let seq = baseline_cycles(w, &MachineConfig::conventional(cores))?;
-    let rep = simulate(&compiled, &MachineConfig::helix_rc(cores), FUEL)?;
+    let seq = baseline_cycles_with_fuel(w, &MachineConfig::conventional(cores), fuel)?;
+    let rep = simulate(&compiled, &MachineConfig::helix_rc(cores), fuel)?;
     check(&rep, &w.name)?;
     Ok(OverheadRow {
         name: w.name.to_string(),

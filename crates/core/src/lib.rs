@@ -20,7 +20,11 @@
 //!   [`CampaignSpec`](helix_workloads::CampaignSpec) config fans out
 //!   over a scenario set × machine/compiler grid, runs the cells in
 //!   parallel, and aggregates a deterministic report (the `helix
-//!   campaign` subcommand and the spec-driven figures).
+//!   campaign` subcommand and the spec-driven figures);
+//! * [`resilient`] — the fault-tolerant execution layer under the
+//!   campaign runner: per-cell isolation with classified failures,
+//!   retry/budget policies, a content-addressed on-disk journal for
+//!   checkpoint/resume, and a deterministic chaos harness.
 //!
 //! # Examples
 //!
@@ -42,13 +46,18 @@ pub mod campaign;
 pub mod experiment;
 pub mod related;
 pub mod report;
+pub mod resilient;
 pub mod scenario;
 
-pub use campaign::{load_campaign, run_campaign, run_campaign_file, CampaignReport, CampaignRow};
+pub use campaign::{
+    load_campaign, run_campaign, run_campaign_file, run_campaign_with, CampaignReport, CampaignRow,
+    CampaignRunOptions,
+};
 pub use experiment::{
     compiler_generations, core_type_sweep, coupled_vs_ring, decoupling_lattice, iteration_lengths,
     overhead_breakdown, sharing_profile, sweep_core_count, sweep_ring, LatticePoint,
 };
+pub use resilient::{CellFailure, FailureKind, FaultPlan, Journal};
 pub use scenario::{run_scenario, RunOverrides, ScenarioReport};
 
 // Re-export the full stack so downstream users need one dependency.

@@ -84,6 +84,10 @@ struct Node {
     /// matching epoch for backpressure stalls (a rejected injection can
     /// only succeed after something leaves the queue).
     inject_drained: u64,
+    /// Ring loads ever completed for this node (as requester): the
+    /// epoch for in-flight-load stalls (a pending ticket can only
+    /// become ready when this moves).
+    loads_completed: u64,
     /// Ring width, for the dense signal index.
     nodes: usize,
 }
@@ -99,6 +103,7 @@ impl Node {
             signal_counts: Vec::new(),
             signals_received: 0,
             inject_drained: 0,
+            loads_completed: 0,
             nodes: cfg.nodes,
         }
     }
@@ -135,8 +140,9 @@ pub struct RingCache {
     /// never allocates once warm.
     completed_loads: Vec<(u64, u64)>,
     /// Wake hints accumulated since the last [`RingCache::take_wake_mask`]:
-    /// bit `n % 64` is set when node `n` received a signal or drained an
-    /// injection — the two ring events that can end a core-side stall.
+    /// bit `n % 64` is set when node `n` received a signal, drained an
+    /// injection, or completed a load — the three ring events that can
+    /// end a core-side stall.
     wake_mask: u64,
     /// Nodes with anything queued (bit per node, rings ≤ 64 nodes —
     /// larger rings fall back to visiting every node). A tick visits
@@ -254,7 +260,7 @@ impl RingCache {
                 + 1
                 + self.cfg.l1_service_latency as u64;
             self.nodes[node].array.insert(addr, false);
-            self.completed_loads.push((ticket, ready));
+            self.complete_load(node, ticket, ready);
         } else {
             let req = ReqMsg {
                 ticket,
@@ -269,6 +275,15 @@ impl RingCache {
             self.in_flight += 1;
         }
         LoadIssue::Pending { ticket }
+    }
+
+    /// Record a serviced load for `node` (the requester): queue the
+    /// ticket for retirement, bump the node's load epoch, and hint the
+    /// simulator that the node's stall inputs moved.
+    fn complete_load(&mut self, node: usize, ticket: u64, ready: u64) {
+        self.completed_loads.push((ticket, ready));
+        self.nodes[node].loads_completed += 1;
+        self.wake_mask |= 1 << (node as u64 & 63);
     }
 
     /// Completion cycle of a pending load, if serviced.
@@ -321,10 +336,18 @@ impl RingCache {
         self.nodes[node].inject_drained
     }
 
+    /// Ring loads ever completed for `node` as the requester — an epoch
+    /// counter: a pending load ticket cannot become ready until this
+    /// moves, so a core stalled on in-flight loads may sleep on it
+    /// instead of polling every cycle.
+    pub fn load_epoch(&self, node: usize) -> u64 {
+        self.nodes[node].loads_completed
+    }
+
     /// Drain the accumulated wake hints: bit `n % 64` set means node
-    /// `n` received a signal or drained an injection since the last
-    /// call. The simulator uses this to test sleeping cores with one
-    /// mask probe instead of re-reading every epoch.
+    /// `n` received a signal, drained an injection, or completed a load
+    /// since the last call. The simulator uses this to test sleeping
+    /// cores with one mask probe instead of re-reading every epoch.
     pub fn take_wake_mask(&mut self) -> u64 {
         std::mem::take(&mut self.wake_mask)
     }
@@ -607,7 +630,7 @@ impl RingCache {
                         self.cfg.l1_service_latency as u64
                     };
                     if req.requester as usize == i {
-                        self.completed_loads.push((req.ticket, now + lat + 1));
+                        self.complete_load(i, req.ticket, now + lat + 1);
                     } else {
                         let rep = RepMsg {
                             ticket: req.ticket,
@@ -632,7 +655,7 @@ impl RingCache {
                 if rep.requester as usize == i {
                     self.in_flight -= 1;
                     self.nodes[i].array.insert(rep.addr, false);
-                    self.completed_loads.push((rep.ticket, now + 1));
+                    self.complete_load(i, rep.ticket, now + 1);
                 } else {
                     self.nodes[next].in_rep.push_back((rep, now + hop));
                     self.mark_active(next);

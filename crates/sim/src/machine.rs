@@ -159,9 +159,9 @@ impl WaitMemo {
 /// event-driven rather than deterministic — is allowed to sleep, and
 /// exactly which event ends it. While the guard holds, the core's issue
 /// loop provably reproduces the same stall cycle, so the machine
-/// charges it without re-evaluating (optimized path only; completed
-/// ring loads, the remaining wake source, are detected separately by
-/// the pending-ring scan and clear the guard).
+/// charges it without re-evaluating (optimized path only; a ring-load
+/// completion bumps the requester node's load epoch and is covered by
+/// the `Epochs` guard like every other ring event).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum StallGuard {
     /// Catch-all snapshot (ring backpressure, outstanding-load operand
@@ -175,6 +175,11 @@ enum StallGuard {
         /// [`RingCache::inject_epoch`] of the core's node (0 without
         /// ring).
         inject: u64,
+        /// [`RingCache::load_epoch`] of the core's node (0 without
+        /// ring) — a pending in-flight load cannot become ready until
+        /// this moves, so even cores with outstanding ring loads sleep
+        /// on this guard instead of polling completions every cycle.
+        loads: u64,
     },
     /// Blocked `wait`: holds while `src` has neither delivered its
     /// `need`-th signal for `seg` to this node (grant state, decoupled
@@ -572,13 +577,23 @@ impl<'p> Machine<'p> {
                     } else if self.cfg.fast_forward && self.stall_guard[cid].is_none() {
                         // Event-driven wake: sleep until the stall's
                         // cause-specific inputs move (see
-                        // [`StallGuard`]). Cores with in-flight ring
-                        // loads stay awake to poll completions; their
-                        // guard is checked inside `tick_core` instead.
+                        // [`StallGuard`]). In-flight ring loads are
+                        // covered by the load epoch in the `Epochs`
+                        // guard — except a ticket serviced *before* the
+                        // guard snapshot, which can never move the
+                        // epoch again; a core holding one stays awake
+                        // and retires it on the next poll.
                         self.sleep_bucket[cid] = bucket;
                         self.stall_guard[cid] =
                             Some(armed.unwrap_or_else(|| self.epochs_guard(cid)));
-                        if self.cores[cid].pending_ring.is_empty() {
+                        let serviced_pending = !self.cores[cid].pending_ring.is_empty()
+                            && self.ring.as_ref().is_some_and(|r| {
+                                self.cores[cid]
+                                    .pending_ring
+                                    .iter()
+                                    .any(|&(ticket, _)| r.load_ready(ticket).is_some())
+                            });
+                        if !serviced_pending {
                             self.asleep_until[cid] = u64::MAX;
                             self.sleep_from[cid] = self.now + 1;
                             self.register_wake_routing(cid);
@@ -1032,11 +1047,15 @@ impl<'p> Machine<'p> {
     /// The catch-all snapshot of every event-driven stall input for
     /// `cid`.
     fn epochs_guard(&self, cid: usize) -> StallGuard {
-        let (ring_sig, inject) = match &self.ring {
-            Some(r) => (r.signal_epoch(cid), r.inject_epoch(cid)),
-            None => (0, 0),
+        let (ring_sig, inject, loads) = match &self.ring {
+            Some(r) => (r.signal_epoch(cid), r.inject_epoch(cid), r.load_epoch(cid)),
+            None => (0, 0, 0),
         };
-        StallGuard::Epochs { ring_sig, inject }
+        StallGuard::Epochs {
+            ring_sig,
+            inject,
+            loads,
+        }
     }
 
     /// Whether `cid`'s armed guard still holds, i.e. none of the

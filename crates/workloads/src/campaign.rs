@@ -120,6 +120,39 @@ impl Default for CampaignGrid {
     }
 }
 
+/// Per-cell execution limits and retry policy for the resilient
+/// campaign runtime (the optional `[resilience]` table).
+///
+/// The cycle budget is enforced through the simulator's fuel mechanism,
+/// so budget-exceeded terminations are deterministic: the same cell
+/// fails at the same simulated cycle on every run, and reports stay
+/// byte-identical. The wall-clock budget is a cooperative watchdog — a
+/// cell that overruns is flagged (and its result discarded) after it
+/// returns rather than preempted — and is therefore timing-dependent;
+/// leave it at 0 (disabled, the default) for runs whose reports are
+/// compared byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResiliencePolicy {
+    /// Retries granted per cell after a transient failure (panic or
+    /// wall-budget overrun); deterministic errors are never retried.
+    pub max_retries: i64,
+    /// Per-cell simulated-cycle budget; 0 means the experiment default.
+    pub cycle_budget: i64,
+    /// Per-cell wall-clock budget in milliseconds; 0 disables the
+    /// watchdog.
+    pub wall_budget_ms: i64,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy {
+            max_retries: 1,
+            cycle_budget: 0,
+            wall_budget_ms: 0,
+        }
+    }
+}
+
 /// A complete declarative campaign: scenario set + grid.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignSpec {
@@ -137,6 +170,8 @@ pub struct CampaignSpec {
     pub seed: i64,
     /// The machine/compiler grid.
     pub grid: CampaignGrid,
+    /// Per-cell budgets and retry policy.
+    pub resilience: ResiliencePolicy,
 }
 
 fn scale_render(scale: Scale) -> &'static str {
@@ -153,6 +188,19 @@ fn scale_parse(s: &str) -> Result<Scale> {
         other => Err(SpecError::new(format!(
             "unknown scale '{other}' (expected \"test\" or \"full\")"
         ))),
+    }
+}
+
+/// Render a TOML value for an error message: literals verbatim,
+/// aggregates by shape, so "expected X, got Y" names the offender.
+fn describe(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("\"{s}\""),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => format!("{f}"),
+        Value::Bool(b) => b.to_string(),
+        Value::Array(a) => format!("an array of {} value(s)", a.len()),
+        Value::Table(_) => "a table".to_string(),
     }
 }
 
@@ -209,6 +257,25 @@ impl CampaignSpec {
                     e.render()
                 )));
             }
+        }
+        let r = &self.resilience;
+        if !(0..=8).contains(&r.max_retries) {
+            return Err(SpecError::new(format!(
+                "{}: resilience.max_retries must be in 0..=8, got {}",
+                self.name, r.max_retries
+            )));
+        }
+        if !(0..=(1i64 << 40)).contains(&r.cycle_budget) {
+            return Err(SpecError::new(format!(
+                "{}: resilience.cycle_budget must be in 0..=2^40 cycles, got {}",
+                self.name, r.cycle_budget
+            )));
+        }
+        if !(0..=86_400_000).contains(&r.wall_budget_ms) {
+            return Err(SpecError::new(format!(
+                "{}: resilience.wall_budget_ms must be in 0..=86400000 (one day), got {}",
+                self.name, r.wall_budget_ms
+            )));
         }
         Ok(())
     }
@@ -318,6 +385,13 @@ impl CampaignSpec {
             ),
         );
         root.set("grid", Value::Table(grid));
+        if self.resilience != ResiliencePolicy::default() {
+            let mut res = Table::new();
+            res.set("max_retries", Value::Int(self.resilience.max_retries));
+            res.set("cycle_budget", Value::Int(self.resilience.cycle_budget));
+            res.set("wall_budget_ms", Value::Int(self.resilience.wall_budget_ms));
+            root.set("resilience", Value::Table(res));
+        }
         toml::write(&root)
     }
 
@@ -326,67 +400,142 @@ impl CampaignSpec {
         let root = toml::parse(text).map_err(|e| SpecError::new(e.to_string()))?;
         let what = "campaign";
         let req_str = |key: &str| -> Result<String> {
-            root.get(key)
-                .and_then(Value::as_str)
-                .map(str::to_string)
-                .ok_or_else(|| SpecError::new(format!("{what}: missing string key '{key}'")))
+            match root.get(key) {
+                None => Err(SpecError::new(format!(
+                    "{what}: missing string key '{key}'"
+                ))),
+                Some(v) => v.as_str().map(str::to_string).ok_or_else(|| {
+                    SpecError::new(format!(
+                        "{what}: '{key}' must be a string, got {}",
+                        describe(v)
+                    ))
+                }),
+            }
         };
-        let scenarios = root
-            .get("scenarios")
-            .and_then(Value::as_array)
-            .ok_or_else(|| SpecError::new(format!("{what}: 'scenarios' must be an array")))?
-            .iter()
-            .map(|v| {
-                v.as_str()
-                    .map(str::to_string)
-                    .ok_or_else(|| SpecError::new(format!("{what}: scenario patterns are strings")))
-            })
-            .collect::<Result<Vec<_>>>()?;
+        // Fields like `seed` are optional, but a present value of the
+        // wrong type is a config bug, not something to silently default.
+        // `key` is the lookup name inside `owner`; `label` is the
+        // fully-qualified name used in error messages (e.g. "grid.cores").
+        let opt_int = |owner: &Table, key: &str, label: &str| -> Result<Option<i64>> {
+            match owner.get(key) {
+                None => Ok(None),
+                Some(v) => v.as_int().map(Some).ok_or_else(|| {
+                    SpecError::new(format!(
+                        "{what}: '{label}' must be an integer, got {}",
+                        describe(v)
+                    ))
+                }),
+            }
+        };
+        let int_array = |owner: &Table, key: &str, label: &str| -> Result<Option<Vec<i64>>> {
+            match owner.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_array()
+                    .ok_or_else(|| {
+                        SpecError::new(format!(
+                            "{what}: '{label}' must be an array of integers, got {}",
+                            describe(v)
+                        ))
+                    })?
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        c.as_int().ok_or_else(|| {
+                            SpecError::new(format!(
+                                "{what}: '{label}[{i}]' must be an integer, got {}",
+                                describe(c)
+                            ))
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()
+                    .map(Some),
+            }
+        };
+        let scenarios = match root.get("scenarios") {
+            None => {
+                return Err(SpecError::new(format!(
+                    "{what}: missing key 'scenarios' (array of scenario patterns)"
+                )))
+            }
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| {
+                    SpecError::new(format!(
+                        "{what}: 'scenarios' must be an array of strings, got {}",
+                        describe(v)
+                    ))
+                })?
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    p.as_str().map(str::to_string).ok_or_else(|| {
+                        SpecError::new(format!(
+                            "{what}: 'scenarios[{i}]' must be a string pattern, got {}",
+                            describe(p)
+                        ))
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?,
+        };
         let grid = match root.get("grid") {
             None => CampaignGrid::default(),
             Some(v) => {
-                let t = v
-                    .as_table()
-                    .ok_or_else(|| SpecError::new(format!("{what}: 'grid' must be a table")))?;
+                let t = v.as_table().ok_or_else(|| {
+                    SpecError::new(format!(
+                        "{what}: 'grid' must be a table, got {}",
+                        describe(v)
+                    ))
+                })?;
                 let defaults = CampaignGrid::default();
                 CampaignGrid {
-                    cores: match t.get("cores") {
-                        None => defaults.cores,
-                        Some(v) => v
-                            .as_array()
-                            .ok_or_else(|| SpecError::new("grid.cores: array of integers"))?
-                            .iter()
-                            .map(|c| {
-                                c.as_int()
-                                    .ok_or_else(|| SpecError::new("grid.cores: integers"))
-                            })
-                            .collect::<Result<Vec<_>>>()?,
-                    },
-                    sweep_cores: match t.get("sweep_cores") {
-                        None => defaults.sweep_cores,
-                        Some(v) => v
-                            .as_array()
-                            .ok_or_else(|| SpecError::new("grid.sweep_cores: array of integers"))?
-                            .iter()
-                            .map(|c| {
-                                c.as_int()
-                                    .ok_or_else(|| SpecError::new("grid.sweep_cores: integers"))
-                            })
-                            .collect::<Result<Vec<_>>>()?,
-                    },
+                    cores: int_array(t, "cores", "grid.cores")?.unwrap_or(defaults.cores),
+                    sweep_cores: int_array(t, "sweep_cores", "grid.sweep_cores")?
+                        .unwrap_or(defaults.sweep_cores),
                     experiments: match t.get("experiments") {
                         None => defaults.experiments,
                         Some(v) => v
                             .as_array()
-                            .ok_or_else(|| SpecError::new("grid.experiments: array of strings"))?
+                            .ok_or_else(|| {
+                                SpecError::new(format!(
+                                    "{what}: 'grid.experiments' must be an array of strings, got {}",
+                                    describe(v)
+                                ))
+                            })?
                             .iter()
-                            .map(|e| {
+                            .enumerate()
+                            .map(|(i, e)| {
                                 e.as_str()
-                                    .ok_or_else(|| SpecError::new("grid.experiments: strings"))
+                                    .ok_or_else(|| {
+                                        SpecError::new(format!(
+                                            "{what}: 'grid.experiments[{i}]' must be a string, got {}",
+                                            describe(e)
+                                        ))
+                                    })
                                     .and_then(CampaignExperiment::parse)
                             })
                             .collect::<Result<Vec<_>>>()?,
                     },
+                }
+            }
+        };
+        let resilience = match root.get("resilience") {
+            None => ResiliencePolicy::default(),
+            Some(v) => {
+                let t = v.as_table().ok_or_else(|| {
+                    SpecError::new(format!(
+                        "{what}: 'resilience' must be a table, got {}",
+                        describe(v)
+                    ))
+                })?;
+                let defaults = ResiliencePolicy::default();
+                ResiliencePolicy {
+                    max_retries: opt_int(t, "max_retries", "resilience.max_retries")?
+                        .unwrap_or(defaults.max_retries),
+                    cycle_budget: opt_int(t, "cycle_budget", "resilience.cycle_budget")?
+                        .unwrap_or(defaults.cycle_budget),
+                    wall_budget_ms: opt_int(t, "wall_budget_ms", "resilience.wall_budget_ms")?
+                        .unwrap_or(defaults.wall_budget_ms),
                 }
             }
         };
@@ -400,13 +549,16 @@ impl CampaignSpec {
             scenarios,
             scale: match root.get("scale") {
                 None => Scale::Test,
-                Some(v) => scale_parse(
-                    v.as_str()
-                        .ok_or_else(|| SpecError::new("campaign: 'scale' must be a string"))?,
-                )?,
+                Some(v) => scale_parse(v.as_str().ok_or_else(|| {
+                    SpecError::new(format!(
+                        "{what}: 'scale' must be a string, got {}",
+                        describe(v)
+                    ))
+                })?)?,
             },
-            seed: root.get("seed").and_then(Value::as_int).unwrap_or(0),
+            seed: opt_int(&root, "seed", "seed")?.unwrap_or(0),
             grid,
+            resilience,
         };
         spec.validate()?;
         Ok(spec)
@@ -435,6 +587,11 @@ mod tests {
                     CampaignExperiment::CoupledVsRing,
                     CampaignExperiment::CoreSweep,
                 ],
+            },
+            resilience: ResiliencePolicy {
+                max_retries: 2,
+                cycle_budget: 1 << 20,
+                wall_budget_ms: 0,
             },
         }
     }
@@ -467,6 +624,95 @@ mod tests {
         assert_eq!(spec.scale, Scale::Test);
         assert_eq!(spec.seed, 0);
         assert_eq!(spec.grid, CampaignGrid::default());
+        assert_eq!(spec.resilience, ResiliencePolicy::default());
+        // A default policy leaves no [resilience] table behind.
+        assert!(!spec.to_toml().contains("resilience"));
+    }
+
+    /// Type errors name the field and the offending value, not just
+    /// the expected shape.
+    #[test]
+    fn parse_errors_name_field_and_value() {
+        let cases: &[(&str, &[&str])] = &[
+            (
+                "name = 7\nscenarios = [\"a.toml\"]\n",
+                &["'name'", "string", "7"],
+            ),
+            (
+                "name = \"x\"\nscenarios = \"a.toml\"\n",
+                &["'scenarios'", "\"a.toml\""],
+            ),
+            (
+                "name = \"x\"\nscenarios = [\"a.toml\", 9]\n",
+                &["'scenarios[1]'", "9"],
+            ),
+            (
+                "name = \"x\"\nscenarios = [\"a.toml\"]\nseed = \"five\"\n",
+                &["'seed'", "integer", "\"five\""],
+            ),
+            (
+                "name = \"x\"\nscenarios = [\"a.toml\"]\nscale = 2\n",
+                &["'scale'", "string", "2"],
+            ),
+            (
+                "name = \"x\"\nscenarios = [\"a.toml\"]\n[grid]\ncores = [8, \"many\"]\n",
+                &["'grid.cores[1]'", "\"many\""],
+            ),
+            (
+                "name = \"x\"\nscenarios = [\"a.toml\"]\n[grid]\ncores = true\n",
+                &["'grid.cores'", "array of integers", "true"],
+            ),
+            (
+                "name = \"x\"\nscenarios = [\"a.toml\"]\n[grid]\nexperiments = [3]\n",
+                &["'grid.experiments[0]'", "3"],
+            ),
+            (
+                "name = \"x\"\nscenarios = [\"a.toml\"]\n[resilience]\nmax_retries = \"lots\"\n",
+                &["'resilience.max_retries'", "\"lots\""],
+            ),
+            (
+                "name = \"x\"\nscenarios = [\"a.toml\"]\nresilience = 4\n",
+                &["'resilience'", "table", "4"],
+            ),
+        ];
+        for (text, needles) in cases {
+            let err = CampaignSpec::from_toml(text).unwrap_err();
+            for needle in *needles {
+                assert!(
+                    err.message.contains(needle),
+                    "error for {text:?} should mention {needle:?}: {err}"
+                );
+            }
+        }
+    }
+
+    /// Out-of-range resilience settings are rejected with the value.
+    #[test]
+    fn validate_rejects_bad_resilience() {
+        let base = "name = \"x\"\nscenarios = [\"a.toml\"]\n[resilience]\n";
+        let err = CampaignSpec::from_toml(&format!("{base}max_retries = 99\n")).unwrap_err();
+        assert!(err.message.contains("99"), "{err}");
+        let err = CampaignSpec::from_toml(&format!("{base}cycle_budget = -1\n")).unwrap_err();
+        assert!(err.message.contains("-1"), "{err}");
+        let err =
+            CampaignSpec::from_toml(&format!("{base}wall_budget_ms = 99999999999\n")).unwrap_err();
+        assert!(err.message.contains("99999999999"), "{err}");
+    }
+
+    #[test]
+    fn resilience_round_trips_through_toml() {
+        let text = "name = \"x\"\nscenarios = [\"a.toml\"]\n[resilience]\nmax_retries = 0\ncycle_budget = 4096\nwall_budget_ms = 1500\n";
+        let spec = CampaignSpec::from_toml(text).unwrap();
+        assert_eq!(
+            spec.resilience,
+            ResiliencePolicy {
+                max_retries: 0,
+                cycle_budget: 4096,
+                wall_budget_ms: 1500
+            }
+        );
+        let reparsed = CampaignSpec::from_toml(&spec.to_toml()).unwrap();
+        assert_eq!(reparsed, spec);
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! calls, and the committed per-scenario speedup baseline must stay a
 //! valid gate input.
 
-use helix_rc::campaign::{load_campaign, run_campaign};
+use helix_rc::campaign::{load_campaign, run_campaign, run_campaign_with, CampaignRunOptions};
 use helix_rc::experiment::decoupling_lattice;
+use helix_rc::resilient::FaultPlan;
 use helix_rc::workloads::{
     builtin_spec, workload_from_spec, CampaignExperiment, CampaignGrid, CampaignSpec, Scale,
 };
@@ -52,6 +53,55 @@ fn committed_smoke_campaign_runs_deterministically() {
     }
 }
 
+/// End-to-end resilience on the committed smoke campaign: a chaos run
+/// with injected panics completes with exactly those cells enumerated
+/// as failures (never aborting the sweep), and resuming from its
+/// journal reproduces the uninterrupted report byte for byte — the
+/// property the CI chaos-smoke job pins at the CLI level.
+#[test]
+fn smoke_campaign_survives_chaos_and_resumes_byte_identically() {
+    let (spec, scenarios) =
+        load_campaign(&repo_path("campaigns/smoke.toml")).expect("smoke campaign loads");
+    let clean = run_campaign(&spec, &scenarios).expect("clean run");
+    assert!(clean.failures.is_empty());
+
+    let journal = std::env::temp_dir().join(format!(
+        "helix-ws-chaos-{}-{}",
+        std::process::id(),
+        spec.name
+    ));
+    let _ = std::fs::remove_dir_all(&journal);
+    let chaos_opts = CampaignRunOptions {
+        journal: Some(journal.clone()),
+        resume: false,
+        faults: Some(FaultPlan {
+            seed: 7,
+            panics: 2,
+            stalls: 0,
+            blowouts: 0,
+            stall_ms: 0,
+            transient: false,
+        }),
+    };
+    let chaos = run_campaign_with(&spec, &scenarios, &chaos_opts).expect("chaos run completes");
+    assert_eq!(chaos.failures.len(), 2, "exactly the injected panics");
+    assert!(chaos.rows.len() < clean.rows.len());
+
+    let resume_opts = CampaignRunOptions {
+        journal: Some(journal.clone()),
+        resume: true,
+        faults: None,
+    };
+    let resumed = run_campaign_with(&spec, &scenarios, &resume_opts).expect("resume completes");
+    assert!(resumed.failures.is_empty());
+    assert_eq!(
+        resumed.to_json(),
+        clean.to_json(),
+        "resumed report must be byte-identical to the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&journal);
+}
+
 /// The committed paper campaign must fan out over *every* committed
 /// scenario spec (the property that makes new scenarios show up in the
 /// sweep figures automatically) and name every experiment family.
@@ -95,6 +145,7 @@ fn lattice_cell_matches_direct_experiment_call() {
             sweep_cores: vec![],
             experiments: vec![CampaignExperiment::Lattice],
         },
+        resilience: Default::default(),
     };
     let report = run_campaign(&spec, std::slice::from_ref(&scenario)).unwrap();
     assert_eq!(report.rows.len(), 1);

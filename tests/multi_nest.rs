@@ -155,6 +155,7 @@ fn campaigns_emit_derived_speedup_vs_coverage_rows() {
             sweep_cores: vec![],
             experiments: vec![CampaignExperiment::Generations],
         },
+        resilience: Default::default(),
     };
     let scenarios = vec![committed("175.vpr"), committed("950.twonest")];
     let a = run_campaign(&spec, &scenarios).expect("campaign runs");
