@@ -101,7 +101,7 @@ fn scenario_campaign(
     if let Some(kind) = kind {
         scenarios.retain(|s| s.kind == kind);
     }
-    run_campaign(&campaign, &scenarios)
+    Ok(run_campaign(&campaign, &scenarios)?)
 }
 
 /// Look up a labelled point in a campaign row.

@@ -3,7 +3,10 @@
 //! Every subcommand operates on declarative scenario files
 //! (`scenarios/*.toml`); see `docs/SCENARIOS.md` for the full spec
 //! schema (including multi-nest scenarios) and the README's "Adding a
-//! scenario" section for a quick tour.
+//! scenario" section for a quick tour. `run`, `check`, `campaign`, and
+//! `diff` are thin clients of the unified [`helix_rc::api`] surface —
+//! the same requests can be executed in-process or submitted to a
+//! resident `helix serve` instance (see `docs/SERVICE.md`).
 //!
 //! ```text
 //! helix run scenarios/175.vpr.toml          # compile + simulate, print summary
@@ -12,13 +15,17 @@
 //! helix list scenarios/                     # one line per scenario
 //! helix smoke scenarios/ --cores 8          # CI gate: every spec must run clean
 //! helix campaign campaigns/smoke.toml       # cross-scenario sweep from one config
+//! helix serve --socket /tmp/helix.sock      # resident campaign service
+//! helix submit --socket /tmp/helix.sock campaigns/smoke.toml
 //! helix export scenarios/                   # (re)write the built-in specs
 //! ```
 
-use helix_rc::campaign::{load_campaign, run_campaign_with, CampaignRunOptions};
+use helix_rc::api::{self, CampaignSource, Request, Response, RunOptions, SpecSource};
 use helix_rc::resilient::FaultPlan;
-use helix_rc::scenario::{run_scenario, RunOverrides, ScenarioReport};
-use helix_rc::workloads::{builtin_specs, generate, Scale, ScenarioSpec};
+use helix_rc::scenario::ScenarioReport;
+use helix_rc::service::{serve, submit, ServeOptions};
+use helix_rc::workloads::{builtin_specs, Scale, ScenarioSpec};
+use helix_rc::HelixError;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -28,6 +35,7 @@ helix — declarative scenario runner for the HELIX-RC reproduction
 USAGE:
     helix run      <spec.toml|dir>... [--cores N] [--fuel N] [--full]
                    [--out FILE | --out-dir DIR] [--quiet]
+                   [--journal DIR] [--resume]
     helix check    <spec.toml|dir>...
     helix list     <dir>...
     helix smoke    <dir>... [--cores N] [--fuel N] [--full] [--out-dir DIR]
@@ -36,6 +44,10 @@ USAGE:
                    [--retries N] [--cycle-budget N] [--wall-budget-ms N]
                    [--chaos-seed N] [--chaos-panics N] [--chaos-stalls N]
                    [--chaos-blowouts N] [--chaos-stall-ms N] [--chaos-transient]
+    helix serve    --socket PATH [--journal DIR] [--workers N]
+    helix submit   --socket PATH <spec.toml|campaign.toml>
+                   [--full] [--out FILE] [--quiet]
+    helix submit   --socket PATH --status | --shutdown
     helix diff     <a.json> <b.json>
     helix export   <dir>
     helix help
@@ -43,6 +55,8 @@ USAGE:
 COMMANDS:
     run      Compile + simulate each scenario on its configured machines
              and print a summary; JSON reports go to --out / --out-dir.
+             With --journal [--resume], whole scenario reports are
+             cached and answered without simulating.
     check    Parse, validate, and generate each scenario without
              simulating (fast schema check).
     list     Show name, kind, size, and description of each scenario.
@@ -56,9 +70,18 @@ COMMANDS:
              printed (JSON report via --out). Failed cells are enumerated
              in the report and exit code 3 flags them. See
              docs/CAMPAIGNS.md.
-    diff     Compare two campaign report JSON files byte-for-byte; print
-             the differing region if any. 'diff == empty' is the
-             cache-hit / determinism check.
+    serve    Run the resident campaign service on a Unix-domain socket:
+             concurrent submissions, a bounded worker pool, and a shared
+             journal that answers repeat submissions without simulating.
+             See docs/SERVICE.md.
+    submit   Submit a scenario or campaign file to a running service
+             (auto-detected by the presence of a [grid] section) and
+             print the response; --status / --shutdown probe or stop
+             the service.
+    diff     Compare two report JSON files: schema versions first (a
+             mismatch is named), then byte-for-byte with the differing
+             region printed. 'diff == empty' is the cache-hit /
+             determinism check.
     export   Write the built-in scenario specs (SPEC stand-ins + novel
              workloads) into a directory as TOML.
 
@@ -69,13 +92,17 @@ OPTIONS:
     --out FILE         Write the JSON report here
     --out-dir DIR      Write one <name>.report.json per scenario
     --quiet            One line per scenario instead of full tables
-    --journal DIR      Journal completed campaign cells into DIR
-                       (content-addressed; default <campaign>.journal
-                       when --resume is given without --journal)
-    --resume           Skip cells already present in the journal
+    --journal DIR      Journal completed work into DIR (content-addressed;
+                       default <campaign>.journal when --resume is given
+                       without --journal, <socket>.journal under serve)
+    --resume           Answer journaled entries instead of re-running them
     --retries N        Override [resilience] max_retries
     --cycle-budget N   Override [resilience] cycle_budget (simulated cycles)
     --wall-budget-ms N Override [resilience] wall_budget_ms
+    --socket PATH      Unix-domain socket of the service (serve/submit)
+    --workers N        Worker pool size of the service (default: CPU count)
+    --status           submit: ask the service for its live counters
+    --shutdown         submit: ask the service to drain and exit
     --chaos-seed N     Enable the chaos harness with this seed
     --chaos-panics N   Cells that panic under chaos (default 0)
     --chaos-stalls N   Cells that stall under chaos (default 0)
@@ -88,13 +115,32 @@ EXIT CODES:
     3  campaign completed with failed cells (see the failures section)
 ";
 
-/// Exit code for a campaign that completed but has failed cells: the
-/// report is usable, distinct from both success and a hard failure.
-const EXIT_CELL_FAILURES: u8 = 3;
-
 fn fail(message: impl AsRef<str>) -> ExitCode {
     eprintln!("helix: {}", message.as_ref());
     ExitCode::FAILURE
+}
+
+/// Caller misuse (unknown flag or command) gets the documented usage
+/// exit code, distinct from hard failures.
+fn fail_usage(message: impl AsRef<str>) -> ExitCode {
+    eprintln!("helix: {}", message.as_ref());
+    ExitCode::from(2)
+}
+
+/// Render a structured error the way the CLI always has: the file (or
+/// failing scenario) first, then the message.
+fn render_error(e: &HelixError) -> String {
+    match (&e.file, &e.field) {
+        (None, Some(field)) => format!("{field}: {e}"),
+        _ => e.to_string(),
+    }
+}
+
+/// Print a typed error response and map it to the documented exit
+/// codes (usage errors exit 2, everything else 1).
+fn fail_response(e: &HelixError) -> ExitCode {
+    eprintln!("helix: {}", render_error(e));
+    ExitCode::from(e.kind.exit_code())
 }
 
 /// Expand files/directories into a sorted list of `.toml` spec paths.
@@ -145,6 +191,10 @@ struct Options {
     retries: Option<i64>,
     cycle_budget: Option<i64>,
     wall_budget_ms: Option<i64>,
+    socket: Option<PathBuf>,
+    workers: Option<usize>,
+    status: bool,
+    shutdown: bool,
     chaos_seed: Option<u64>,
     chaos_panics: usize,
     chaos_stalls: usize,
@@ -211,6 +261,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .map_err(|e| format!("--wall-budget-ms: {e}"))?,
                 );
             }
+            "--socket" => opts.socket = Some(PathBuf::from(value_of("--socket")?)),
+            "--workers" => {
+                let workers: usize = value_of("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if workers == 0 {
+                    return Err("--workers must be >= 1".into());
+                }
+                opts.workers = Some(workers);
+            }
+            "--status" => opts.status = true,
+            "--shutdown" => opts.shutdown = true,
             "--chaos-seed" => {
                 opts.chaos_seed = Some(
                     value_of("--chaos-seed")?
@@ -255,10 +317,29 @@ impl Options {
         }
     }
 
-    fn overrides(&self) -> RunOverrides {
-        RunOverrides {
+    fn faults(&self) -> Option<FaultPlan> {
+        self.chaos_seed.map(|seed| FaultPlan {
+            seed,
+            panics: self.chaos_panics,
+            stalls: self.chaos_stalls,
+            blowouts: self.chaos_blowouts,
+            stall_ms: self.chaos_stall_ms,
+            transient: self.chaos_transient,
+        })
+    }
+
+    /// The unified [`RunOptions`] these CLI flags describe.
+    fn api_options(&self) -> RunOptions {
+        RunOptions {
+            scale: self.full.then_some(Scale::Full),
             cores: self.cores,
             fuel: self.fuel,
+            max_retries: self.retries,
+            cycle_budget: self.cycle_budget,
+            wall_budget_ms: self.wall_budget_ms,
+            journal: self.journal.clone(),
+            resume: self.resume,
+            faults: self.faults(),
         }
     }
 }
@@ -320,7 +401,7 @@ fn print_report(report: &ScenarioReport, quiet: bool) {
     }
 }
 
-fn cmd_run(opts: &Options) -> Result<(), String> {
+fn cmd_run(opts: &Options) -> Result<ExitCode, String> {
     let files = collect_spec_files(&opts.inputs)?;
     if opts.out.is_some() && files.len() != 1 {
         return Err("--out requires exactly one scenario (use --out-dir for many)".into());
@@ -330,44 +411,80 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
             .map_err(|e| format!("cannot create '{}': {e}", dir.display()))?;
     }
     for file in &files {
-        let spec = load_spec(file)?;
-        let report = run_scenario(&spec, opts.scale(), opts.overrides())
-            .map_err(|e| format!("{}: {e}", spec.name))?;
-        print_report(&report, opts.quiet);
+        let response = api::execute(Request::RunScenario {
+            source: SpecSource::Path(file.clone()),
+            options: opts.api_options(),
+        });
+        let (json, scenario_name) = match &response {
+            Response::Scenario {
+                json,
+                cached,
+                report,
+            } => {
+                let name = match report {
+                    Some(report) => {
+                        print_report(report, opts.quiet);
+                        report.scenario.clone()
+                    }
+                    // Journal hit: the report text is all we have (and
+                    // all we need — nothing was simulated).
+                    None => {
+                        let name = file
+                            .file_stem()
+                            .map(|s| s.to_string_lossy().into_owned())
+                            .unwrap_or_else(|| "scenario".into());
+                        println!("{name}: report answered from the journal");
+                        name
+                    }
+                };
+                if *cached && !opts.quiet {
+                    println!("  (journal hit — no simulation)");
+                }
+                (json.clone(), name)
+            }
+            Response::Error(e) => return Ok(fail_response(e)),
+            other => return Err(format!("unexpected response: {other:?}")),
+        };
         let out_path = opts.out.clone().or_else(|| {
             opts.out_dir
                 .as_ref()
-                .map(|dir| dir.join(format!("{}.report.json", report.scenario)))
+                .map(|dir| dir.join(format!("{scenario_name}.report.json")))
         });
         if let Some(path) = out_path {
-            std::fs::write(&path, report.to_json())
+            std::fs::write(&path, json)
                 .map_err(|e| format!("cannot write '{}': {e}", path.display()))?;
             if !opts.quiet {
                 println!("  report -> {}", path.display());
             }
         }
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_check(opts: &Options) -> Result<(), String> {
+fn cmd_check(opts: &Options) -> Result<ExitCode, String> {
     let files = collect_spec_files(&opts.inputs)?;
     for file in &files {
-        let spec = load_spec(file)?;
-        let program = generate(&spec, opts.scale()).map_err(|e| format!("{}: {e}", spec.name))?;
-        program
-            .validate()
-            .map_err(|e| format!("{}: generated program invalid: {e:?}", spec.name))?;
-        println!(
-            "ok {:<12} ({} regions, {} phases, {} static insts)",
-            spec.name,
-            spec.regions.len(),
-            spec.phases.len(),
-            program.graph.inst_count()
-        );
+        let response = api::execute(Request::Check {
+            source: SpecSource::Path(file.clone()),
+            scale: opts.scale(),
+        });
+        match response {
+            Response::Checked {
+                name,
+                regions,
+                phases,
+                insts,
+            } => {
+                println!(
+                    "ok {name:<12} ({regions} regions, {phases} phases, {insts} static insts)"
+                );
+            }
+            Response::Error(e) => return Ok(fail_response(&e)),
+            other => return Err(format!("unexpected response: {other:?}")),
+        }
     }
     println!("{} scenario(s) valid", files.len());
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_list(opts: &Options) -> Result<(), String> {
@@ -393,25 +510,39 @@ fn cmd_smoke(opts: &Options) -> Result<(), String> {
     }
     let mut failures = 0usize;
     for file in &files {
-        let result = load_spec(file).and_then(|spec| {
-            run_scenario(&spec, opts.scale(), opts.overrides())
-                .map_err(|e| format!("{}: {e}", spec.name))
+        let response = api::execute(Request::RunScenario {
+            source: SpecSource::Path(file.clone()),
+            options: opts.api_options(),
         });
-        match result {
-            Ok(report) => {
+        match response {
+            Response::Scenario {
+                json,
+                report: Some(report),
+                ..
+            } => {
                 print_report(&report, true);
                 // Optionally collect the JSON reports in the same pass,
                 // so CI doesn't have to simulate the suite twice.
                 if let Some(dir) = &opts.out_dir {
                     let path = dir.join(format!("{}.report.json", report.scenario));
-                    std::fs::write(&path, report.to_json())
+                    std::fs::write(&path, json)
                         .map_err(|e| format!("cannot write '{}': {e}", path.display()))?;
                 }
             }
-            Err(e) => {
-                eprintln!("FAIL {}: {e}", file.display());
+            Response::Scenario { .. } => {
+                // smoke never passes a journal, so this cannot happen;
+                // count it rather than hide it if that ever changes.
+                eprintln!(
+                    "FAIL {}: unexpected journal-cached response",
+                    file.display()
+                );
                 failures += 1;
             }
+            Response::Error(e) => {
+                eprintln!("FAIL {}: {}", file.display(), render_error(&e));
+                failures += 1;
+            }
+            other => return Err(format!("unexpected response: {other:?}")),
         }
     }
     if failures > 0 {
@@ -434,45 +565,28 @@ fn cmd_campaign(opts: &Options) -> Result<ExitCode, String> {
         return Err("campaign takes exactly one campaign file".into());
     };
     let path = Path::new(input);
-    let (mut campaign, scenarios) = load_campaign(path).map_err(|e| e.to_string())?;
-    if opts.full {
-        campaign.scale = Scale::Full;
-    }
-    if let Some(retries) = opts.retries {
-        campaign.resilience.max_retries = retries;
-    }
-    if let Some(budget) = opts.cycle_budget {
-        campaign.resilience.cycle_budget = budget;
-    }
-    if let Some(ms) = opts.wall_budget_ms {
-        campaign.resilience.wall_budget_ms = ms;
-    }
-    campaign
-        .validate()
-        .map_err(|e| format!("{}: {e}", path.display()))?;
-    let journal = opts.journal.clone().or_else(|| {
+    let mut options = opts.api_options();
+    if options.journal.is_none() && opts.resume {
         // --resume without --journal uses the campaign's sibling dir,
         // so "interrupt, re-run with --resume" needs no bookkeeping.
-        opts.resume
-            .then(|| PathBuf::from(format!("{}.journal", path.display())))
-    });
-    let faults = opts.chaos_seed.map(|seed| FaultPlan {
-        seed,
-        panics: opts.chaos_panics,
-        stalls: opts.chaos_stalls,
-        blowouts: opts.chaos_blowouts,
-        stall_ms: opts.chaos_stall_ms,
-        transient: opts.chaos_transient,
-    });
-    let run_options = CampaignRunOptions {
-        journal,
-        resume: opts.resume,
-        faults,
-    };
+        options.journal = Some(PathBuf::from(format!("{}.journal", path.display())));
+    }
     let t0 = std::time::Instant::now();
-    let report =
-        run_campaign_with(&campaign, &scenarios, &run_options).map_err(|e| e.to_string())?;
+    let response = api::execute(Request::RunCampaign {
+        source: CampaignSource::Path(path.to_path_buf()),
+        options,
+    });
     let wall = t0.elapsed().as_secs_f64();
+    let (json, table, stats, report) = match response {
+        Response::Campaign {
+            json,
+            table,
+            stats,
+            report: Some(report),
+        } => (json, table, stats, report),
+        Response::Error(e) => return Ok(fail_response(&e)),
+        other => return Err(format!("unexpected response: {other:?}")),
+    };
     if opts.quiet {
         for (scenario, speedup) in report.helix_speedups() {
             println!("{scenario:<12} helix-rc speedup {speedup:.2}x");
@@ -481,10 +595,10 @@ fn cmd_campaign(opts: &Options) -> Result<ExitCode, String> {
             println!("FAILED {failure}");
         }
     } else {
-        println!("{}", report.table());
+        println!("{table}");
     }
     eprintln!(
-        "campaign '{}': {} scenario(s), {} row(s){} in {wall:.1}s",
+        "campaign '{}': {} scenario(s), {} row(s){}{} in {wall:.1}s",
         report.name,
         report.scenarios.len(),
         report.rows.len(),
@@ -492,22 +606,135 @@ fn cmd_campaign(opts: &Options) -> Result<ExitCode, String> {
             String::new()
         } else {
             format!(", {} FAILED cell(s)", report.failures.len())
+        },
+        if stats.journal_hits > 0 {
+            format!(
+                ", {} of {} cell(s) from the journal",
+                stats.journal_hits, stats.cells
+            )
+        } else {
+            String::new()
         }
     );
     if let Some(out) = &opts.out {
-        std::fs::write(out, report.to_json())
-            .map_err(|e| format!("cannot write '{}': {e}", out.display()))?;
+        std::fs::write(out, json).map_err(|e| format!("cannot write '{}': {e}", out.display()))?;
         eprintln!("report -> {}", out.display());
     }
     Ok(if report.failures.is_empty() {
         ExitCode::SUCCESS
     } else {
-        ExitCode::from(EXIT_CELL_FAILURES)
+        ExitCode::from(api::EXIT_CELL_FAILURES)
     })
 }
 
-/// Byte-compare two report files; on mismatch print the differing
-/// region (common prefix/suffix lines trimmed, long middles capped).
+fn cmd_serve(opts: &Options) -> Result<ExitCode, String> {
+    if !opts.inputs.is_empty() {
+        return Err("serve takes no positional arguments".into());
+    }
+    let socket = opts
+        .socket
+        .clone()
+        .ok_or("serve needs --socket PATH (e.g. --socket /tmp/helix.sock)")?;
+    let mut serve_options = ServeOptions::new(socket);
+    if let Some(journal) = &opts.journal {
+        serve_options.journal = journal.clone();
+    }
+    if let Some(workers) = opts.workers {
+        serve_options.workers = workers;
+    }
+    match serve(&serve_options) {
+        Ok(()) => Ok(ExitCode::SUCCESS),
+        Err(e) => Ok(fail_response(&e)),
+    }
+}
+
+fn cmd_submit(opts: &Options) -> Result<ExitCode, String> {
+    let socket = opts
+        .socket
+        .clone()
+        .ok_or("submit needs --socket PATH of a running `helix serve`")?;
+    let request = if opts.status {
+        Request::Status
+    } else if opts.shutdown {
+        Request::Shutdown
+    } else {
+        let [input] = opts.inputs.as_slice() else {
+            return Err("submit takes exactly one scenario or campaign file".into());
+        };
+        let path = Path::new(input);
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read '{input}': {e}"))?;
+        // Campaign files are the ones with a machine/compiler grid;
+        // resolve their scenario patterns locally so the server never
+        // touches this client's filesystem.
+        if text.lines().any(|l| l.trim() == "[grid]") {
+            let source = api::inline_campaign_source(path).map_err(|e| render_error(&e))?;
+            Request::RunCampaign {
+                source,
+                options: opts.api_options(),
+            }
+        } else {
+            Request::RunScenario {
+                source: SpecSource::Inline(text),
+                options: opts.api_options(),
+            }
+        }
+    };
+    let response = submit(&socket, &request).map_err(|e| render_error(&e))?;
+    match &response {
+        Response::Campaign {
+            json, table, stats, ..
+        } => {
+            if !opts.quiet {
+                println!("{table}");
+            }
+            println!(
+                "cells={} journal_hits={} simulated={} failures={}",
+                stats.cells, stats.journal_hits, stats.simulated, stats.failed
+            );
+            if stats.fully_cached() {
+                println!("(all cells answered from the journal)");
+            }
+            if let Some(out) = &opts.out {
+                std::fs::write(out, json)
+                    .map_err(|e| format!("cannot write '{}': {e}", out.display()))?;
+                eprintln!("report -> {}", out.display());
+            }
+        }
+        Response::Scenario { json, cached, .. } => {
+            if let Some(out) = &opts.out {
+                std::fs::write(out, json)
+                    .map_err(|e| format!("cannot write '{}': {e}", out.display()))?;
+                eprintln!("report -> {}", out.display());
+            } else if !opts.quiet {
+                print!("{json}");
+            }
+            if *cached {
+                println!("(report answered from the journal)");
+            }
+        }
+        Response::Status(status) => {
+            println!(
+                "workers={} requests={} inflight={} cells={} journal_hits={} simulated={}",
+                status.workers,
+                status.requests,
+                status.inflight,
+                status.cells,
+                status.journal_hits,
+                status.simulated
+            );
+        }
+        Response::ShuttingDown => println!("service shutting down"),
+        Response::Error(e) => return Ok(fail_response(e)),
+        other => return Err(format!("unexpected response: {other:?}")),
+    }
+    Ok(ExitCode::from(response.exit_code()))
+}
+
+/// Compare two report files through [`api::diff_reports`]: a schema
+/// version mismatch is named outright; otherwise byte-compare and print
+/// the differing region (common prefix/suffix trimmed, long middles
+/// capped).
 fn cmd_diff(opts: &Options) -> Result<ExitCode, String> {
     let [a, b] = opts.inputs.as_slice() else {
         return Err("diff takes exactly two report files".into());
@@ -516,43 +743,24 @@ fn cmd_diff(opts: &Options) -> Result<ExitCode, String> {
         std::fs::read_to_string(Path::new(p)).map_err(|e| format!("cannot read '{p}': {e}"))
     };
     let (ta, tb) = (read(a)?, read(b)?);
-    if ta == tb {
-        println!("reports identical ({} bytes)", ta.len());
-        return Ok(ExitCode::SUCCESS);
+    let response = api::execute(Request::Diff {
+        a_name: a.clone(),
+        a_text: ta,
+        b_name: b.clone(),
+        b_text: tb,
+    });
+    match response {
+        Response::Diff { identical, detail } => {
+            println!("{detail}");
+            Ok(if identical {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
+        Response::Error(e) => Ok(fail_response(&e)),
+        other => Err(format!("unexpected response: {other:?}")),
     }
-    let la: Vec<&str> = ta.lines().collect();
-    let lb: Vec<&str> = tb.lines().collect();
-    let common_prefix = la.iter().zip(&lb).take_while(|(x, y)| x == y).count();
-    let common_suffix = la[common_prefix..]
-        .iter()
-        .rev()
-        .zip(lb[common_prefix..].iter().rev())
-        .take_while(|(x, y)| x == y)
-        .count();
-    let cap = 40;
-    let print_side = |tag: &str, file: &str, lines: &[&str]| {
-        println!(
-            "--- {tag} {file} (lines {}..{})",
-            common_prefix + 1,
-            common_prefix + lines.len()
-        );
-        for line in lines.iter().take(cap) {
-            println!("{tag} {line}");
-        }
-        if lines.len() > cap {
-            println!("{tag} ... ({} more line(s))", lines.len() - cap);
-        }
-    };
-    print_side("<", a, &la[common_prefix..la.len() - common_suffix]);
-    print_side(">", b, &lb[common_prefix..lb.len() - common_suffix]);
-    println!(
-        "reports differ: {} vs {} line(s), {} shared at head, {} at tail",
-        la.len(),
-        lb.len(),
-        common_prefix,
-        common_suffix
-    );
-    Ok(ExitCode::FAILURE)
 }
 
 fn cmd_export(opts: &Options) -> Result<(), String> {
@@ -580,21 +788,23 @@ fn main() -> ExitCode {
     };
     let opts = match parse_options(rest) {
         Ok(opts) => opts,
-        Err(e) => return fail(e),
+        Err(e) => return fail_usage(e),
     };
     let result = match command.as_str() {
-        "run" => cmd_run(&opts).map(|()| ExitCode::SUCCESS),
-        "check" => cmd_check(&opts).map(|()| ExitCode::SUCCESS),
+        "run" => cmd_run(&opts),
+        "check" => cmd_check(&opts),
         "list" => cmd_list(&opts).map(|()| ExitCode::SUCCESS),
         "smoke" => cmd_smoke(&opts).map(|()| ExitCode::SUCCESS),
         "campaign" => cmd_campaign(&opts),
+        "serve" => cmd_serve(&opts),
+        "submit" => cmd_submit(&opts),
         "diff" => cmd_diff(&opts),
         "export" => cmd_export(&opts).map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        other => return fail(format!("unknown command '{other}'\n\n{USAGE}")),
+        other => return fail_usage(format!("unknown command '{other}'\n\n{USAGE}")),
     };
     match result {
         Ok(code) => code,

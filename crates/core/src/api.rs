@@ -1,0 +1,1437 @@
+//! The unified request/response API every entry point routes through.
+//!
+//! One typed surface — [`Request`] in, [`Response`] out, via
+//! [`execute`] — backs the `helix` CLI subcommands (`run`, `check`,
+//! `campaign`, `diff`), the resident service (`helix serve`), and the
+//! submit client. The legacy free functions
+//! ([`run_scenario`], [`run_campaign`](crate::campaign::run_campaign)
+//! and friends) remain
+//! as thin conveniences over the same machinery.
+//!
+//! [`execute`] never returns `Err`: every failure becomes
+//! [`Response::Error`] carrying a structured
+//! [`HelixError`], whose
+//! [`ErrorKind::code`](crate::error::ErrorKind::code) is the stable
+//! machine-readable error code of the wire protocol and whose
+//! [`exit_code`](crate::error::ErrorKind::exit_code) preserves the
+//! CLI's 0/1/2/3 contract (see [`Response::exit_code`]).
+//!
+//! # Wire format
+//!
+//! Requests and responses serialize to single-line JSON objects with a
+//! `{"v": 1, "type": ...}` envelope ([`encode_request`] /
+//! [`decode_request`] / [`encode_response`] / [`decode_response`]),
+//! newline-delimited on the service socket. The vendored `serde` is
+//! inert, so this module carries its own small JSON reader/writer; see
+//! `docs/SERVICE.md` for the full schema.
+
+use crate::campaign::{
+    load_campaign, run_campaign_stats, CampaignReport, CampaignRunOptions, CampaignRunStats,
+};
+use crate::error::{ErrorKind, HelixError};
+use crate::report::{json_escape, SCHEMA_VERSION};
+use crate::resilient::{fnv1a, FaultPlan, Journal, FNV_OFFSET};
+use crate::scenario::{run_scenario, RunOverrides, ScenarioReport};
+use helix_workloads::{campaign_from_inline, generate, Scale, ScenarioSpec};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Exit code for a campaign that completed but has failed cells.
+pub const EXIT_CELL_FAILURES: u8 = 3;
+
+/// One consolidated set of execution options, absorbing the historical
+/// [`RunOverrides`] (scenario side) / [`CampaignRunOptions`] (campaign
+/// side) split. Build with the `with_*` methods; unset fields defer to
+/// the spec.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunOptions {
+    /// Problem scale. `None` keeps the campaign file's scale (or `Test`
+    /// for bare scenarios).
+    pub scale: Option<Scale>,
+    /// Override the core count (scenarios only).
+    pub cores: Option<usize>,
+    /// Override the simulation cycle budget (scenarios only).
+    pub fuel: Option<u64>,
+    /// Override the campaign's `[resilience] max_retries`.
+    pub max_retries: Option<i64>,
+    /// Override the campaign's `[resilience] cycle_budget`.
+    pub cycle_budget: Option<i64>,
+    /// Override the campaign's `[resilience] wall_budget_ms`.
+    pub wall_budget_ms: Option<i64>,
+    /// Journal completed cells (and whole scenario reports) under this
+    /// directory. Local execution only — never carried over the wire;
+    /// the service supplies its own journal.
+    pub journal: Option<PathBuf>,
+    /// Answer journaled entries instead of re-running them. Requires
+    /// `journal`.
+    pub resume: bool,
+    /// Seeded chaos faults. Local execution only.
+    pub faults: Option<FaultPlan>,
+}
+
+impl RunOptions {
+    /// Options that run everything as specified, nothing overridden.
+    pub fn new() -> RunOptions {
+        RunOptions::default()
+    }
+
+    /// Set the problem scale.
+    pub fn with_scale(mut self, scale: Scale) -> RunOptions {
+        self.scale = Some(scale);
+        self
+    }
+
+    /// Override the core count.
+    pub fn with_cores(mut self, cores: usize) -> RunOptions {
+        self.cores = Some(cores);
+        self
+    }
+
+    /// Override the cycle budget.
+    pub fn with_fuel(mut self, fuel: u64) -> RunOptions {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    /// Override `[resilience] max_retries`.
+    pub fn with_max_retries(mut self, retries: i64) -> RunOptions {
+        self.max_retries = Some(retries);
+        self
+    }
+
+    /// Override `[resilience] cycle_budget`.
+    pub fn with_cycle_budget(mut self, budget: i64) -> RunOptions {
+        self.cycle_budget = Some(budget);
+        self
+    }
+
+    /// Override `[resilience] wall_budget_ms`.
+    pub fn with_wall_budget_ms(mut self, ms: i64) -> RunOptions {
+        self.wall_budget_ms = Some(ms);
+        self
+    }
+
+    /// Journal completed work under `dir`.
+    pub fn with_journal(mut self, dir: impl Into<PathBuf>) -> RunOptions {
+        self.journal = Some(dir.into());
+        self
+    }
+
+    /// Answer journaled entries instead of re-running.
+    pub fn with_resume(mut self, resume: bool) -> RunOptions {
+        self.resume = resume;
+        self
+    }
+
+    /// Inject seeded chaos faults.
+    pub fn with_faults(mut self, faults: FaultPlan) -> RunOptions {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The scenario-side view of these options.
+    pub fn overrides(&self) -> RunOverrides {
+        RunOverrides {
+            cores: self.cores,
+            fuel: self.fuel,
+        }
+    }
+
+    /// The campaign-execution-side view of these options.
+    pub fn campaign_options(&self) -> CampaignRunOptions {
+        CampaignRunOptions {
+            journal: self.journal.clone(),
+            resume: self.resume,
+            faults: self.faults.clone(),
+        }
+    }
+
+    /// Effective scale for a bare scenario run.
+    fn scenario_scale(&self) -> Scale {
+        self.scale.unwrap_or(Scale::Test)
+    }
+}
+
+/// Where a scenario spec comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecSource {
+    /// A TOML file on the local filesystem.
+    Path(PathBuf),
+    /// Inline TOML text (the shape service submissions carry — the
+    /// server never reads the client's filesystem).
+    Inline(String),
+}
+
+impl SpecSource {
+    fn load(&self) -> Result<ScenarioSpec, HelixError> {
+        match self {
+            SpecSource::Path(path) => {
+                let text = std::fs::read_to_string(path).map_err(|e| {
+                    HelixError::io(format!("cannot read '{}': {e}", path.display()))
+                })?;
+                ScenarioSpec::from_toml(&text)
+                    .map_err(|e| HelixError::from(e).with_file(path.display().to_string()))
+            }
+            SpecSource::Inline(text) => ScenarioSpec::from_toml(text).map_err(HelixError::from),
+        }
+    }
+
+    fn inline_text(&self) -> Result<String, HelixError> {
+        match self {
+            SpecSource::Inline(text) => Ok(text.clone()),
+            SpecSource::Path(path) => Err(HelixError::usage(format!(
+                "path source '{}' cannot cross the wire: resolve to an inline payload first",
+                path.display()
+            ))),
+        }
+    }
+}
+
+/// Where a campaign (and its scenario set) comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignSource {
+    /// A campaign TOML file; its scenario patterns resolve against the
+    /// local filesystem.
+    Path(PathBuf),
+    /// Inline payloads: the campaign TOML plus the full TOML text of
+    /// every scenario (patterns in the campaign are ignored).
+    Inline {
+        /// Campaign TOML text.
+        campaign: String,
+        /// One TOML document per scenario.
+        scenarios: Vec<String>,
+    },
+}
+
+/// A typed request against the unified API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run one scenario end-to-end (generate → compile → simulate).
+    RunScenario {
+        /// The scenario spec.
+        source: SpecSource,
+        /// Execution options.
+        options: RunOptions,
+    },
+    /// Run a cross-scenario campaign sweep.
+    RunCampaign {
+        /// The campaign and its scenarios.
+        source: CampaignSource,
+        /// Execution options.
+        options: RunOptions,
+    },
+    /// Parse, validate, and generate a scenario without simulating.
+    Check {
+        /// The scenario spec.
+        source: SpecSource,
+        /// Problem scale to generate at.
+        scale: Scale,
+    },
+    /// Compare two report documents (schema version first, then bytes).
+    Diff {
+        /// Display name of the first report (e.g. its file name).
+        a_name: String,
+        /// Full text of the first report.
+        a_text: String,
+        /// Display name of the second report.
+        b_name: String,
+        /// Full text of the second report.
+        b_text: String,
+    },
+    /// Service liveness/counters probe (meaningful against `helix
+    /// serve`; local [`execute`] answers with zeroed counters).
+    Status,
+    /// Ask the service to drain and exit.
+    Shutdown,
+}
+
+/// Live counters of a running service, answered to [`Request::Status`].
+/// No wall-clock fields: the counters are functions of the request
+/// history only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStatus {
+    /// Size of the bounded worker pool.
+    pub workers: usize,
+    /// Requests accepted since the service started.
+    pub requests: u64,
+    /// Requests currently executing or queued for a worker permit.
+    pub inflight: u64,
+    /// Campaign grid cells enumerated across all submissions.
+    pub cells: u64,
+    /// Cells (and whole scenario reports) answered from the journal.
+    pub journal_hits: u64,
+    /// Cells actually simulated.
+    pub simulated: u64,
+}
+
+/// A typed response from the unified API. Every [`Request`] variant has
+/// exactly one success shape; failures are [`Response::Error`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A completed scenario run.
+    Scenario {
+        /// The report as JSON (exactly what `--out` would write).
+        json: String,
+        /// Whether the whole report was answered from the journal
+        /// without simulating.
+        cached: bool,
+        /// The structured report. Present on local execution; `None`
+        /// after a wire round-trip (the JSON carries the data).
+        report: Option<Box<ScenarioReport>>,
+    },
+    /// A completed campaign run.
+    Campaign {
+        /// The deterministic report JSON (byte-identical across runs of
+        /// the same campaign + seed, journal-answered or not).
+        json: String,
+        /// Paper-style text tables.
+        table: String,
+        /// Execution counters — how many cells were simulated vs
+        /// answered from the journal. Deliberately outside the report
+        /// so hit counts never break report byte-identity.
+        stats: CampaignRunStats,
+        /// The structured report. Present on local execution; `None`
+        /// after a wire round-trip.
+        report: Option<Box<CampaignReport>>,
+    },
+    /// A scenario passed [`Request::Check`].
+    Checked {
+        /// Scenario name.
+        name: String,
+        /// Region count of the spec.
+        regions: usize,
+        /// Phase count of the spec.
+        phases: usize,
+        /// Static instruction count of the generated program.
+        insts: usize,
+    },
+    /// Outcome of a [`Request::Diff`].
+    Diff {
+        /// Whether the two documents are byte-identical.
+        identical: bool,
+        /// Human-readable detail: "reports identical", a named schema
+        /// version mismatch, or the differing line region.
+        detail: String,
+    },
+    /// Service counters.
+    Status(ServiceStatus),
+    /// The service acknowledged [`Request::Shutdown`] and will exit.
+    ShuttingDown,
+    /// The request failed; the error carries a stable machine-readable
+    /// code and optional file/field/value context.
+    Error(HelixError),
+}
+
+impl Response {
+    /// The CLI exit code this response maps to: errors keep the
+    /// usage/hard-failure split (2/1), a campaign that completed with
+    /// failed cells exits [`EXIT_CELL_FAILURES`], a non-identical diff
+    /// exits 1, everything else 0.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            Response::Error(e) => e.kind.exit_code(),
+            Response::Campaign { stats, .. } if stats.failed > 0 => EXIT_CELL_FAILURES,
+            Response::Diff { identical, .. } if !identical => 1,
+            _ => 0,
+        }
+    }
+}
+
+/// Execute a request locally. Never returns `Err` — failures become
+/// [`Response::Error`] so callers (CLI, service loop) have exactly one
+/// result shape to render.
+pub fn execute(request: Request) -> Response {
+    match try_execute(request) {
+        Ok(response) => response,
+        Err(e) => Response::Error(e),
+    }
+}
+
+fn try_execute(request: Request) -> Result<Response, HelixError> {
+    match request {
+        Request::RunScenario { source, options } => run_scenario_request(&source, &options),
+        Request::RunCampaign { source, options } => {
+            let (mut spec, scenarios) = match &source {
+                CampaignSource::Path(path) => load_campaign(path)?,
+                CampaignSource::Inline {
+                    campaign,
+                    scenarios,
+                } => campaign_from_inline(campaign, scenarios)?,
+            };
+            if let Some(scale) = options.scale {
+                spec.scale = scale;
+            }
+            if let Some(retries) = options.max_retries {
+                spec.resilience.max_retries = retries;
+            }
+            if let Some(budget) = options.cycle_budget {
+                spec.resilience.cycle_budget = budget;
+            }
+            if let Some(ms) = options.wall_budget_ms {
+                spec.resilience.wall_budget_ms = ms;
+            }
+            spec.validate()?;
+            let (report, stats) =
+                run_campaign_stats(&spec, &scenarios, &options.campaign_options())?;
+            Ok(Response::Campaign {
+                json: report.to_json(),
+                table: report.table(),
+                stats,
+                report: Some(Box::new(report)),
+            })
+        }
+        Request::Check { source, scale } => {
+            let spec = source.load()?;
+            let program = generate(&spec, scale)
+                .map_err(|e| HelixError::from(e).with_field(spec.name.clone()))?;
+            program.validate().map_err(|e| {
+                HelixError::new(
+                    ErrorKind::Spec,
+                    format!("{}: generated program invalid: {e:?}", spec.name),
+                )
+            })?;
+            Ok(Response::Checked {
+                name: spec.name.clone(),
+                regions: spec.regions.len(),
+                phases: spec.phases.len(),
+                insts: program.graph.inst_count(),
+            })
+        }
+        Request::Diff {
+            a_name,
+            a_text,
+            b_name,
+            b_text,
+        } => {
+            let (identical, detail) = diff_reports(&a_name, &a_text, &b_name, &b_text);
+            Ok(Response::Diff { identical, detail })
+        }
+        Request::Status => Ok(Response::Status(ServiceStatus::default())),
+        Request::Shutdown => Ok(Response::ShuttingDown),
+    }
+}
+
+/// Run (or journal-answer) one scenario. The whole report is cached
+/// under a content digest of everything that determines it, so a
+/// repeat submission returns the stored bytes without simulating.
+fn run_scenario_request(source: &SpecSource, options: &RunOptions) -> Result<Response, HelixError> {
+    let spec = source.load()?;
+    let scale = options.scenario_scale();
+    let journal = match &options.journal {
+        Some(dir) => Some(Journal::open(dir)?),
+        None => None,
+    };
+    let digest = {
+        let cores = options.cores.unwrap_or(spec.run.cores as usize);
+        let fuel = options.fuel.unwrap_or(spec.run.fuel);
+        let mut h = fnv1a(FNV_OFFSET, env!("CARGO_PKG_VERSION").as_bytes());
+        h = fnv1a(h, format!("{scale:?}").as_bytes());
+        h = fnv1a(h, &(cores as u64).to_le_bytes());
+        h = fnv1a(h, &fuel.to_le_bytes());
+        h = fnv1a(h, b"scenario-report");
+        fnv1a(h, spec.to_toml().as_bytes())
+    };
+    if options.resume {
+        if let Some(json) = journal
+            .as_ref()
+            .and_then(|j| j.load(digest))
+            .and_then(|text| text.strip_prefix("helix-scenario v1\n").map(str::to_string))
+        {
+            return Ok(Response::Scenario {
+                json,
+                cached: true,
+                report: None,
+            });
+        }
+    }
+    let report = run_scenario(&spec, scale, options.overrides())
+        .map_err(|e| e.with_field(spec.name.clone()))?;
+    let json = report.to_json();
+    if let Some(j) = &journal {
+        let _ = j.store(digest, &format!("helix-scenario v1\n{json}"));
+    }
+    Ok(Response::Scenario {
+        json,
+        cached: false,
+        report: Some(Box::new(report)),
+    })
+}
+
+/// Extract the `schema_version` stamp of a report document, if any.
+fn schema_version_of(text: &str) -> Option<u64> {
+    let rest = text.split("\"schema_version\":").nth(1)?;
+    let digits: String = rest
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Compare two report documents. Schema versions are checked first: a
+/// version mismatch is *named* instead of dumped as line noise. Equal
+/// (or absent) versions fall through to a byte comparison whose detail
+/// trims the common prefix/suffix lines and caps long middles.
+pub fn diff_reports(a_name: &str, a_text: &str, b_name: &str, b_text: &str) -> (bool, String) {
+    let (va, vb) = (schema_version_of(a_text), schema_version_of(b_text));
+    if let (Some(va), Some(vb)) = (va, vb) {
+        if va != vb {
+            return (
+                false,
+                format!(
+                    "schema version mismatch: {a_name} has schema_version {va}, \
+                     {b_name} has schema_version {vb} (current is {SCHEMA_VERSION}); \
+                     regenerate the stale report before comparing"
+                ),
+            );
+        }
+    }
+    if a_text == b_text {
+        return (true, format!("reports identical ({} bytes)", a_text.len()));
+    }
+    let la: Vec<&str> = a_text.lines().collect();
+    let lb: Vec<&str> = b_text.lines().collect();
+    let common_prefix = la.iter().zip(&lb).take_while(|(x, y)| x == y).count();
+    let common_suffix = la[common_prefix..]
+        .iter()
+        .rev()
+        .zip(lb[common_prefix..].iter().rev())
+        .take_while(|(x, y)| x == y)
+        .count();
+    let cap = 40;
+    let mut detail = String::new();
+    let mut print_side = |tag: &str, file: &str, lines: &[&str]| {
+        let _ = writeln!(
+            detail,
+            "--- {tag} {file} (lines {}..{})",
+            common_prefix + 1,
+            common_prefix + lines.len()
+        );
+        for line in lines.iter().take(cap) {
+            let _ = writeln!(detail, "{tag} {line}");
+        }
+        if lines.len() > cap {
+            let _ = writeln!(detail, "{tag} ... ({} more line(s))", lines.len() - cap);
+        }
+    };
+    print_side("<", a_name, &la[common_prefix..la.len() - common_suffix]);
+    print_side(">", b_name, &lb[common_prefix..lb.len() - common_suffix]);
+    let _ = write!(
+        detail,
+        "reports differ: {} vs {} line(s), {} shared at head, {} at tail",
+        la.len(),
+        lb.len(),
+        common_prefix,
+        common_suffix
+    );
+    (false, detail)
+}
+
+// ---------------------------------------------------------------------
+// Wire format: single-line JSON with a {"v": 1, "type": ...} envelope.
+// ---------------------------------------------------------------------
+
+/// Wire protocol version carried in every envelope.
+pub const WIRE_VERSION: u64 = 1;
+
+/// A parsed JSON value — the reader half of the wire codec. The
+/// vendored `serde` is inert and `helix_bench`'s parser lives
+/// downstream of this crate, so the API carries its own minimal
+/// implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (f64 carries all wire-relevant integers exactly).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a complete JSON document. Errors are
+    /// [`ErrorKind::Protocol`] with a byte offset.
+    pub fn parse(text: &str) -> Result<Json, HelixError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as u64, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as i64, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// Array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> HelixError {
+        HelixError::protocol(format!("invalid JSON at byte {}: {message}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), HelixError> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, HelixError> {
+        match self.bytes.get(self.pos) {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(&b) => Err(self.err(&format!("unexpected byte 0x{b:02x}"))),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, HelixError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, HelixError> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-UTF-8 number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(&format!("malformed number '{text}'")))
+    }
+
+    fn string(&mut self) -> Result<String, HelixError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xd800..0xdc00).contains(&unit) {
+                                if self.bytes.get(self.pos) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 2;
+                                let low = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else if (0xdc00..0xe000).contains(&unit) {
+                                return Err(self.err("unpaired low surrogate"));
+                            } else {
+                                char::from_u32(unit).ok_or_else(|| self.err("invalid codepoint"))?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(self.err(&format!("invalid escape '\\{}'", other as char)))
+                        }
+                    }
+                }
+                Some(&b) if b < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Consume one UTF-8 character (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("non-UTF-8 string content"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("empty char"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, HelixError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("non-UTF-8 \\u escape"))?;
+        let unit = u32::from_str_radix(text, 16).map_err(|_| self.err("malformed \\u escape"))?;
+        self.pos = end;
+        Ok(unit)
+    }
+
+    fn array(&mut self) -> Result<Json, HelixError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, HelixError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    let _ = write!(out, ", \"{key}\": \"{}\"", json_escape(value));
+}
+
+fn encode_options(options: &RunOptions) -> Result<String, HelixError> {
+    if options.journal.is_some() || options.faults.is_some() || options.resume {
+        return Err(HelixError::usage(
+            "journal/resume/chaos options are local-execution only and cannot cross the wire \
+             (the service owns its journal)",
+        ));
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    let mut field = |key: &str, value: String| {
+        let sep = if first { "" } else { ", " };
+        first = false;
+        format!("{sep}\"{key}\": {value}")
+    };
+    if let Some(scale) = options.scale {
+        out.push_str(&field(
+            "scale",
+            format!("\"{}\"", if scale == Scale::Full { "full" } else { "test" }),
+        ));
+    }
+    if let Some(cores) = options.cores {
+        out.push_str(&field("cores", cores.to_string()));
+    }
+    if let Some(fuel) = options.fuel {
+        out.push_str(&field("fuel", fuel.to_string()));
+    }
+    if let Some(retries) = options.max_retries {
+        out.push_str(&field("max_retries", retries.to_string()));
+    }
+    if let Some(budget) = options.cycle_budget {
+        out.push_str(&field("cycle_budget", budget.to_string()));
+    }
+    if let Some(ms) = options.wall_budget_ms {
+        out.push_str(&field("wall_budget_ms", ms.to_string()));
+    }
+    out.push('}');
+    Ok(out)
+}
+
+fn decode_options(value: Option<&Json>) -> Result<RunOptions, HelixError> {
+    let mut options = RunOptions::default();
+    let Some(obj) = value else {
+        return Ok(options);
+    };
+    let int_of = |field: &Json, key: &str| {
+        field
+            .as_i64()
+            .ok_or_else(|| HelixError::protocol(format!("options.{key} must be an integer")))
+    };
+    if let Json::Obj(fields) = obj {
+        for (key, field) in fields {
+            match key.as_str() {
+                "scale" => {
+                    options.scale = Some(match field.as_str() {
+                        Some("test") => Scale::Test,
+                        Some("full") => Scale::Full,
+                        _ => {
+                            return Err(HelixError::protocol(
+                                "options.scale must be \"test\" or \"full\"",
+                            ))
+                        }
+                    });
+                }
+                "cores" => options.cores = Some(int_of(field, "cores")? as usize),
+                "fuel" => options.fuel = Some(int_of(field, "fuel")? as u64),
+                "max_retries" => options.max_retries = Some(int_of(field, "max_retries")?),
+                "cycle_budget" => options.cycle_budget = Some(int_of(field, "cycle_budget")?),
+                "wall_budget_ms" => options.wall_budget_ms = Some(int_of(field, "wall_budget_ms")?),
+                other => {
+                    return Err(HelixError::protocol(format!(
+                        "unknown options field '{other}'"
+                    )))
+                }
+            }
+        }
+        Ok(options)
+    } else {
+        Err(HelixError::protocol("options must be an object"))
+    }
+}
+
+/// Serialize a request to its single-line wire form.
+///
+/// Path sources and local-only options (journal, resume, chaos) are
+/// rejected with [`ErrorKind::Usage`]: the client must resolve files to
+/// inline payloads, and the service owns its own journal.
+pub fn encode_request(request: &Request) -> Result<String, HelixError> {
+    let mut out = format!("{{\"v\": {WIRE_VERSION}");
+    match request {
+        Request::RunScenario { source, options } => {
+            out.push_str(", \"type\": \"run_scenario\"");
+            push_str_field(&mut out, "spec", &source.inline_text()?);
+            let _ = write!(out, ", \"options\": {}", encode_options(options)?);
+        }
+        Request::RunCampaign { source, options } => {
+            let (campaign, scenarios) = match source {
+                CampaignSource::Inline {
+                    campaign,
+                    scenarios,
+                } => (campaign, scenarios),
+                CampaignSource::Path(path) => {
+                    return Err(HelixError::usage(format!(
+                        "path source '{}' cannot cross the wire: resolve to inline payloads first",
+                        path.display()
+                    )))
+                }
+            };
+            out.push_str(", \"type\": \"run_campaign\"");
+            push_str_field(&mut out, "campaign", campaign);
+            let items: Vec<String> = scenarios
+                .iter()
+                .map(|s| format!("\"{}\"", json_escape(s)))
+                .collect();
+            let _ = write!(out, ", \"scenarios\": [{}]", items.join(", "));
+            let _ = write!(out, ", \"options\": {}", encode_options(options)?);
+        }
+        Request::Check { source, scale } => {
+            out.push_str(", \"type\": \"check\"");
+            push_str_field(&mut out, "spec", &source.inline_text()?);
+            push_str_field(
+                &mut out,
+                "scale",
+                if *scale == Scale::Full {
+                    "full"
+                } else {
+                    "test"
+                },
+            );
+        }
+        Request::Diff {
+            a_name,
+            a_text,
+            b_name,
+            b_text,
+        } => {
+            out.push_str(", \"type\": \"diff\"");
+            push_str_field(&mut out, "a_name", a_name);
+            push_str_field(&mut out, "a_text", a_text);
+            push_str_field(&mut out, "b_name", b_name);
+            push_str_field(&mut out, "b_text", b_text);
+        }
+        Request::Status => out.push_str(", \"type\": \"status\""),
+        Request::Shutdown => out.push_str(", \"type\": \"shutdown\""),
+    }
+    out.push('}');
+    Ok(out)
+}
+
+fn envelope(line: &str) -> Result<Json, HelixError> {
+    let value = Json::parse(line)?;
+    match value.get("v").and_then(Json::as_u64) {
+        Some(WIRE_VERSION) => Ok(value),
+        Some(v) => Err(HelixError::protocol(format!(
+            "unsupported protocol version {v} (this build speaks {WIRE_VERSION})"
+        ))),
+        None => Err(HelixError::protocol("missing protocol version field \"v\"")),
+    }
+}
+
+fn str_field<'a>(value: &'a Json, key: &str) -> Result<&'a str, HelixError> {
+    value
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| HelixError::protocol(format!("missing or non-string field '{key}'")))
+}
+
+/// Parse one wire line into a typed [`Request`].
+pub fn decode_request(line: &str) -> Result<Request, HelixError> {
+    let value = envelope(line)?;
+    let kind = str_field(&value, "type")?;
+    match kind {
+        "run_scenario" => Ok(Request::RunScenario {
+            source: SpecSource::Inline(str_field(&value, "spec")?.to_string()),
+            options: decode_options(value.get("options"))?,
+        }),
+        "run_campaign" => {
+            let scenarios = value
+                .get("scenarios")
+                .and_then(Json::as_array)
+                .ok_or_else(|| HelixError::protocol("missing or non-array field 'scenarios'"))?
+                .iter()
+                .map(|s| {
+                    s.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| HelixError::protocol("scenarios[] entries must be strings"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Request::RunCampaign {
+                source: CampaignSource::Inline {
+                    campaign: str_field(&value, "campaign")?.to_string(),
+                    scenarios,
+                },
+                options: decode_options(value.get("options"))?,
+            })
+        }
+        "check" => Ok(Request::Check {
+            source: SpecSource::Inline(str_field(&value, "spec")?.to_string()),
+            scale: match str_field(&value, "scale")? {
+                "test" => Scale::Test,
+                "full" => Scale::Full,
+                other => {
+                    return Err(HelixError::protocol(format!(
+                        "scale must be \"test\" or \"full\", got \"{other}\""
+                    )))
+                }
+            },
+        }),
+        "diff" => Ok(Request::Diff {
+            a_name: str_field(&value, "a_name")?.to_string(),
+            a_text: str_field(&value, "a_text")?.to_string(),
+            b_name: str_field(&value, "b_name")?.to_string(),
+            b_text: str_field(&value, "b_text")?.to_string(),
+        }),
+        "status" => Ok(Request::Status),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(HelixError::protocol(format!(
+            "unknown request type '{other}'"
+        ))),
+    }
+}
+
+fn encode_stats(stats: &CampaignRunStats) -> String {
+    format!(
+        "{{\"cells\": {}, \"journal_hits\": {}, \"simulated\": {}, \"failed\": {}, \
+         \"derived_hits\": {}, \"derived_computed\": {}}}",
+        stats.cells,
+        stats.journal_hits,
+        stats.simulated,
+        stats.failed,
+        stats.derived_hits,
+        stats.derived_computed
+    )
+}
+
+fn decode_stats(value: Option<&Json>) -> Result<CampaignRunStats, HelixError> {
+    let obj = value.ok_or_else(|| HelixError::protocol("missing field 'stats'"))?;
+    let count = |key: &str| {
+        obj.get(key)
+            .and_then(Json::as_u64)
+            .map(|v| v as usize)
+            .ok_or_else(|| HelixError::protocol(format!("missing or non-integer stats.{key}")))
+    };
+    Ok(CampaignRunStats {
+        cells: count("cells")?,
+        journal_hits: count("journal_hits")?,
+        simulated: count("simulated")?,
+        failed: count("failed")?,
+        derived_hits: count("derived_hits")?,
+        derived_computed: count("derived_computed")?,
+    })
+}
+
+/// Serialize a response to its single-line wire form. Structured
+/// reports do not cross the wire — the report JSON string carries the
+/// data; [`decode_response`] yields `report: None`.
+pub fn encode_response(response: &Response) -> String {
+    let mut out = format!("{{\"v\": {WIRE_VERSION}");
+    match response {
+        Response::Scenario { json, cached, .. } => {
+            out.push_str(", \"type\": \"scenario\"");
+            push_str_field(&mut out, "json", json);
+            let _ = write!(out, ", \"cached\": {cached}");
+        }
+        Response::Campaign {
+            json, table, stats, ..
+        } => {
+            out.push_str(", \"type\": \"campaign\"");
+            push_str_field(&mut out, "json", json);
+            push_str_field(&mut out, "table", table);
+            let _ = write!(out, ", \"stats\": {}", encode_stats(stats));
+        }
+        Response::Checked {
+            name,
+            regions,
+            phases,
+            insts,
+        } => {
+            out.push_str(", \"type\": \"checked\"");
+            push_str_field(&mut out, "name", name);
+            let _ = write!(
+                out,
+                ", \"regions\": {regions}, \"phases\": {phases}, \"insts\": {insts}"
+            );
+        }
+        Response::Diff { identical, detail } => {
+            out.push_str(", \"type\": \"diff\"");
+            let _ = write!(out, ", \"identical\": {identical}");
+            push_str_field(&mut out, "detail", detail);
+        }
+        Response::Status(status) => {
+            out.push_str(", \"type\": \"status\"");
+            let _ = write!(
+                out,
+                ", \"workers\": {}, \"requests\": {}, \"inflight\": {}, \"cells\": {}, \
+                 \"journal_hits\": {}, \"simulated\": {}",
+                status.workers,
+                status.requests,
+                status.inflight,
+                status.cells,
+                status.journal_hits,
+                status.simulated
+            );
+        }
+        Response::ShuttingDown => out.push_str(", \"type\": \"shutting_down\""),
+        Response::Error(e) => {
+            out.push_str(", \"type\": \"error\"");
+            push_str_field(&mut out, "code", e.kind.code());
+            push_str_field(&mut out, "message", &e.message);
+            if let Some(file) = &e.file {
+                push_str_field(&mut out, "file", file);
+            }
+            if let Some(field) = &e.field {
+                push_str_field(&mut out, "field", field);
+            }
+            if let Some(value) = &e.value {
+                push_str_field(&mut out, "value", value);
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Parse one wire line into a typed [`Response`]. Structured reports
+/// are not reconstructed (`report: None`); the JSON string field
+/// carries the full report.
+pub fn decode_response(line: &str) -> Result<Response, HelixError> {
+    let value = envelope(line)?;
+    let kind = str_field(&value, "type")?;
+    match kind {
+        "scenario" => Ok(Response::Scenario {
+            json: str_field(&value, "json")?.to_string(),
+            cached: value
+                .get("cached")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| HelixError::protocol("missing or non-bool field 'cached'"))?,
+            report: None,
+        }),
+        "campaign" => Ok(Response::Campaign {
+            json: str_field(&value, "json")?.to_string(),
+            table: str_field(&value, "table")?.to_string(),
+            stats: decode_stats(value.get("stats"))?,
+            report: None,
+        }),
+        "checked" => {
+            let count = |key: &str| {
+                value
+                    .get(key)
+                    .and_then(Json::as_u64)
+                    .map(|v| v as usize)
+                    .ok_or_else(|| {
+                        HelixError::protocol(format!("missing or non-integer field '{key}'"))
+                    })
+            };
+            Ok(Response::Checked {
+                name: str_field(&value, "name")?.to_string(),
+                regions: count("regions")?,
+                phases: count("phases")?,
+                insts: count("insts")?,
+            })
+        }
+        "diff" => Ok(Response::Diff {
+            identical: value
+                .get("identical")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| HelixError::protocol("missing or non-bool field 'identical'"))?,
+            detail: str_field(&value, "detail")?.to_string(),
+        }),
+        "status" => {
+            let count = |key: &str| {
+                value.get(key).and_then(Json::as_u64).ok_or_else(|| {
+                    HelixError::protocol(format!("missing or non-integer field '{key}'"))
+                })
+            };
+            Ok(Response::Status(ServiceStatus {
+                workers: count("workers")? as usize,
+                requests: count("requests")?,
+                inflight: count("inflight")?,
+                cells: count("cells")?,
+                journal_hits: count("journal_hits")?,
+                simulated: count("simulated")?,
+            }))
+        }
+        "shutting_down" => Ok(Response::ShuttingDown),
+        "error" => {
+            let code = str_field(&value, "code")?;
+            let kind = ErrorKind::from_code(code)
+                .ok_or_else(|| HelixError::protocol(format!("unknown error code '{code}'")))?;
+            let mut e = HelixError::new(kind, str_field(&value, "message")?);
+            if let Some(file) = value.get("file").and_then(Json::as_str) {
+                e = e.with_file(file);
+            }
+            if let Some(field) = value.get("field").and_then(Json::as_str) {
+                e = e.with_field(field);
+            }
+            if let Some(v) = value.get("value").and_then(Json::as_str) {
+                e = e.with_value(v);
+            }
+            Ok(Response::Error(e))
+        }
+        other => Err(HelixError::protocol(format!(
+            "unknown response type '{other}'"
+        ))),
+    }
+}
+
+/// Load a campaign file and resolve its scenario set into inline
+/// payloads — the client-side step before a service submission, so the
+/// server never needs the client's filesystem.
+pub fn inline_campaign_source(path: &Path) -> Result<CampaignSource, HelixError> {
+    let (spec, scenarios) = load_campaign(path)?;
+    Ok(CampaignSource::Inline {
+        campaign: spec.to_toml(),
+        scenarios: scenarios.iter().map(|s| s.to_toml()).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_workloads::builtin_spec;
+
+    #[test]
+    fn json_parser_roundtrips_the_hard_cases() {
+        let doc = r#"{"a": [1, -2.5, 1e3], "s": "tab\t\"q\" é 😀", "n": null, "b": [true, false], "o": {}}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("s").unwrap().as_str().unwrap(), "tab\t\"q\" é 😀");
+        assert_eq!(v.get("n"), Some(&Json::Null));
+        assert_eq!(
+            v.get("b").unwrap().as_array().unwrap()[0].as_bool(),
+            Some(true)
+        );
+        assert!(Json::parse("{\"open\": ").is_err());
+        assert!(Json::parse("[1, 2,]").is_err());
+        assert!(Json::parse("nope").is_err());
+        let e = Json::parse("{]").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Protocol);
+    }
+
+    #[test]
+    fn request_wire_roundtrip() {
+        let request = Request::RunCampaign {
+            source: CampaignSource::Inline {
+                campaign: "name = \"c\"\nscenarios = [\"x\"]\n".into(),
+                scenarios: vec!["name = \"s\"\n# tab\t here".into()],
+            },
+            options: RunOptions::new()
+                .with_scale(Scale::Full)
+                .with_max_retries(2)
+                .with_cycle_budget(500_000),
+        };
+        let line = encode_request(&request).unwrap();
+        assert!(!line.contains('\n'), "wire form must be one line: {line}");
+        assert_eq!(decode_request(&line).unwrap(), request);
+
+        let check = Request::Check {
+            source: SpecSource::Inline("name = \"s\"".into()),
+            scale: Scale::Test,
+        };
+        assert_eq!(
+            decode_request(&encode_request(&check).unwrap()).unwrap(),
+            check
+        );
+        for simple in [Request::Status, Request::Shutdown] {
+            assert_eq!(
+                decode_request(&encode_request(&simple).unwrap()).unwrap(),
+                simple
+            );
+        }
+    }
+
+    #[test]
+    fn local_only_options_do_not_cross_the_wire() {
+        let request = Request::RunScenario {
+            source: SpecSource::Inline("name = \"s\"".into()),
+            options: RunOptions::new().with_journal("/tmp/j"),
+        };
+        let e = encode_request(&request).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Usage);
+        let path = Request::RunScenario {
+            source: SpecSource::Path(PathBuf::from("x.toml")),
+            options: RunOptions::new(),
+        };
+        assert_eq!(encode_request(&path).unwrap_err().kind, ErrorKind::Usage);
+    }
+
+    #[test]
+    fn response_wire_roundtrip() {
+        let stats = CampaignRunStats {
+            cells: 20,
+            journal_hits: 20,
+            simulated: 0,
+            failed: 0,
+            derived_hits: 10,
+            derived_computed: 0,
+        };
+        let response = Response::Campaign {
+            json: "{\n  \"harness\": \"campaign\"\n}\n".into(),
+            table: "campaign 'x'\n== t ==\n".into(),
+            stats,
+            report: None,
+        };
+        let line = encode_response(&response);
+        assert!(!line.contains('\n'));
+        assert_eq!(decode_response(&line).unwrap(), response);
+
+        let error = Response::Error(
+            HelixError::new(ErrorKind::Spec, "bad grid")
+                .with_file("c.toml")
+                .with_field("grid.cores")
+                .with_value("-1"),
+        );
+        let decoded = decode_response(&encode_response(&error)).unwrap();
+        assert_eq!(decoded, error);
+        assert!(encode_response(&error).contains("\"code\": \"E_SPEC\""));
+
+        let status = Response::Status(ServiceStatus {
+            workers: 4,
+            requests: 7,
+            inflight: 1,
+            cells: 40,
+            journal_hits: 20,
+            simulated: 20,
+        });
+        assert_eq!(decode_response(&encode_response(&status)).unwrap(), status);
+    }
+
+    #[test]
+    fn protocol_errors_are_typed() {
+        assert_eq!(
+            decode_request("this is not json").unwrap_err().kind,
+            ErrorKind::Protocol
+        );
+        assert_eq!(
+            decode_request("{\"v\": 1, \"type\": \"frobnicate\"}")
+                .unwrap_err()
+                .kind,
+            ErrorKind::Protocol
+        );
+        assert_eq!(
+            decode_request("{\"v\": 99, \"type\": \"status\"}")
+                .unwrap_err()
+                .kind,
+            ErrorKind::Protocol
+        );
+    }
+
+    #[test]
+    fn diff_names_schema_version_mismatch_before_bytes() {
+        let a = "{\n  \"schema_version\": 1,\n  \"x\": 1\n}\n";
+        let b = "{\n  \"schema_version\": 2,\n  \"x\": 1\n}\n";
+        let (identical, detail) = diff_reports("old.json", a, "new.json", b);
+        assert!(!identical);
+        assert!(detail.contains("schema version mismatch"), "{detail}");
+        assert!(detail.contains("old.json has schema_version 1"), "{detail}");
+        assert!(
+            !detail.contains("--- <"),
+            "must not fall through to line diff: {detail}"
+        );
+
+        let (identical, detail) = diff_reports("a", a, "b", a);
+        assert!(identical);
+        assert!(detail.contains("identical"));
+
+        let c = "{\n  \"schema_version\": 1,\n  \"x\": 2\n}\n";
+        let (identical, detail) = diff_reports("a", a, "b", c);
+        assert!(!identical);
+        assert!(detail.contains("reports differ"), "{detail}");
+    }
+
+    #[test]
+    fn execute_checks_a_builtin_spec_inline() {
+        let spec = builtin_spec("175.vpr").unwrap();
+        let response = execute(Request::Check {
+            source: SpecSource::Inline(spec.to_toml()),
+            scale: Scale::Test,
+        });
+        match response {
+            Response::Checked { name, insts, .. } => {
+                assert_eq!(name, "175.vpr");
+                assert!(insts > 0);
+            }
+            other => panic!("expected Checked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn execute_reports_spec_errors_with_code() {
+        let response = execute(Request::Check {
+            source: SpecSource::Inline("name = 12\n".into()),
+            scale: Scale::Test,
+        });
+        match response {
+            Response::Error(e) => {
+                assert_eq!(e.kind, ErrorKind::Spec);
+                assert_eq!(e.kind.code(), "E_SPEC");
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+        assert_eq!(
+            execute(Request::Check {
+                source: SpecSource::Path(PathBuf::from("/no/such/file.toml")),
+                scale: Scale::Test,
+            })
+            .exit_code(),
+            1
+        );
+    }
+}

@@ -155,6 +155,11 @@ impl CampaignReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"harness\": \"campaign\",");
+        let _ = writeln!(
+            out,
+            "  \"schema_version\": {},",
+            crate::report::SCHEMA_VERSION
+        );
         let _ = writeln!(out, "  \"name\": \"{}\",", esc(&self.name));
         let _ = writeln!(out, "  \"description\": \"{}\",", esc(&self.description));
         let _ = writeln!(out, "  \"scale\": \"{}\",", esc(&self.scale));
@@ -632,29 +637,30 @@ fn decode_row(text: &str) -> Option<CampaignRow> {
 /// resolved fails before any simulation starts.
 pub fn load_campaign(path: &Path) -> Result<(CampaignSpec, Vec<ScenarioSpec>), ExpError> {
     let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read campaign '{}': {e}", path.display()))?;
-    let spec = CampaignSpec::from_toml(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        .map_err(|e| ExpError::io(format!("cannot read campaign '{}': {e}", path.display())))?;
+    let spec = CampaignSpec::from_toml(&text)
+        .map_err(|e| ExpError::from(e).with_file(path.display().to_string()))?;
     let base = path.parent().unwrap_or_else(|| Path::new("."));
     let files = spec
         .resolve_scenarios(base)
-        .map_err(|e| format!("{}: {e}", path.display()))?;
+        .map_err(|e| ExpError::from(e).with_file(path.display().to_string()))?;
     let mut scenarios = Vec::new();
     for file in files {
         let text = std::fs::read_to_string(&file)
-            .map_err(|e| format!("cannot read scenario '{}': {e}", file.display()))?;
-        let scenario =
-            ScenarioSpec::from_toml(&text).map_err(|e| format!("{}: {e}", file.display()))?;
+            .map_err(|e| ExpError::io(format!("cannot read scenario '{}': {e}", file.display())))?;
+        let scenario = ScenarioSpec::from_toml(&text)
+            .map_err(|e| ExpError::from(e).with_file(file.display().to_string()))?;
         scenarios.push(scenario);
     }
     scenarios.sort_by(|a, b| a.name.cmp(&b.name));
     for pair in scenarios.windows(2) {
         if pair[0].name == pair[1].name {
-            return Err(format!(
-                "{}: scenario '{}' is matched more than once",
-                path.display(),
-                pair[0].name
+            return Err(ExpError::new(
+                crate::error::ErrorKind::Spec,
+                format!("scenario '{}' is matched more than once", pair[0].name),
             )
-            .into());
+            .with_file(path.display().to_string())
+            .with_value(pair[0].name.clone()));
         }
     }
     Ok((spec, scenarios))
@@ -677,10 +683,45 @@ pub struct CampaignRunOptions {
     pub faults: Option<FaultPlan>,
 }
 
+/// Execution counters of one campaign run: how many grid cells were
+/// enumerated and how each was answered. Deliberately *not* part of
+/// [`CampaignReport`] — hit counts depend on journal state, and the
+/// report must stay byte-identical between a cold run and a fully
+/// journal-answered one. The service carries these counters in its
+/// response envelope instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignRunStats {
+    /// Grid cells enumerated (scenario × experiment × cores).
+    pub cells: usize,
+    /// Grid cells answered from the journal without simulating.
+    pub journal_hits: usize,
+    /// Grid cells actually simulated.
+    pub simulated: usize,
+    /// Grid cells that failed (they are re-attempted on resume).
+    pub failed: usize,
+    /// Derived rows answered from the journal.
+    pub derived_hits: usize,
+    /// Derived rows computed (each re-simulates nest prefixes).
+    pub derived_computed: usize,
+}
+
+impl CampaignRunStats {
+    /// Whether the run touched the simulator at all — `false` means
+    /// every cell *and* every derived row came out of the journal.
+    pub fn fully_cached(&self) -> bool {
+        self.simulated == 0 && self.derived_computed == 0 && self.failed == 0
+    }
+}
+
 /// Run a campaign over already-loaded scenario specs: apply the
 /// campaign's seed offset, lower every grid cell onto its experiment
 /// function, execute the cells in parallel, and aggregate in a stable
 /// order.
+///
+/// Legacy convenience: thin wrapper over the unified
+/// [`api::execute`](crate::api::execute) path (equivalently
+/// [`run_campaign_stats`] with default options). Prefer building an
+/// [`api::Request`](crate::api::Request) in new code.
 pub fn run_campaign(
     spec: &CampaignSpec,
     scenarios: &[ScenarioSpec],
@@ -690,24 +731,44 @@ pub fn run_campaign(
 
 /// [`run_campaign`] under explicit [`CampaignRunOptions`].
 ///
-/// Every cell runs behind the resilient layer
-/// ([`run_cell_resilient`]): panics are caught at the cell boundary,
-/// failures are classified and (when transient) retried per the spec's
-/// [`ResiliencePolicy`](helix_workloads::ResiliencePolicy), and a
-/// failed cell becomes a [`CellFailure`] row instead of aborting the
-/// run. With a journal, completed cells are persisted under their
-/// content digest; with `resume`, journaled cells are loaded instead of
-/// re-run, so a crashed or interrupted campaign continues where it
-/// stopped — and editing one scenario re-runs only that scenario's
-/// cells.
+/// Legacy convenience: discards the [`CampaignRunStats`] that
+/// [`run_campaign_stats`] returns. Prefer the unified
+/// [`api::execute`](crate::api::execute) path in new code.
 pub fn run_campaign_with(
     spec: &CampaignSpec,
     scenarios: &[ScenarioSpec],
     options: &CampaignRunOptions,
 ) -> Result<CampaignReport, ExpError> {
-    spec.validate().map_err(|e| format!("{}", e))?;
+    run_campaign_stats(spec, scenarios, options).map(|(report, _)| report)
+}
+
+/// The full campaign runner: [`run_campaign_with`] semantics plus
+/// execution counters.
+///
+/// Every cell runs behind the resilient layer
+/// ([`run_cell_resilient`]): panics are caught at the cell boundary,
+/// failures are classified and (when transient) retried per the spec's
+/// [`ResiliencePolicy`](helix_workloads::ResiliencePolicy), and a
+/// failed cell becomes a [`CellFailure`] row instead of aborting the
+/// run. With a journal, completed cells *and derived rows* are
+/// persisted under their content digest; with `resume`, journaled
+/// entries are loaded instead of re-run, so a crashed or interrupted
+/// campaign continues where it stopped — and editing one scenario
+/// re-runs only that scenario's cells. When every entry hits, the
+/// returned [`CampaignRunStats::fully_cached`] is true and the run
+/// never touched the simulator.
+pub fn run_campaign_stats(
+    spec: &CampaignSpec,
+    scenarios: &[ScenarioSpec],
+    options: &CampaignRunOptions,
+) -> Result<(CampaignReport, CampaignRunStats), ExpError> {
+    use crate::error::ErrorKind;
+    spec.validate().map_err(ExpError::from)?;
     if scenarios.is_empty() {
-        return Err(format!("campaign '{}': no scenarios to run", spec.name).into());
+        return Err(ExpError::new(
+            ErrorKind::Spec,
+            format!("campaign '{}': no scenarios to run", spec.name),
+        ));
     }
     // Scenario order is by name regardless of how the caller loaded
     // them, so reports are comparable across directory layouts.
@@ -726,7 +787,12 @@ pub fn run_campaign_with(
         .par_iter()
         .map(|s| workload_from_spec(s, spec.scale))
         .collect::<Result<Vec<_>, _>>()
-        .map_err(|e| format!("campaign '{}': {e}", spec.name))?;
+        .map_err(|e| {
+            ExpError::new(
+                crate::error::ErrorKind::Spec,
+                format!("campaign '{}': {e}", spec.name),
+            )
+        })?;
 
     let grid_cores: Vec<usize> = spec.grid.cores.iter().map(|&c| c as usize).collect();
     // The core-count sweep has its own axis so `cores` can stay pinned
@@ -765,9 +831,10 @@ pub fn run_campaign_with(
         Some(dir) => Some(Journal::open(dir)?),
         None => {
             if options.resume {
-                return Err(
-                    format!("campaign '{}': --resume requires a journal", spec.name).into(),
-                );
+                return Err(ExpError::usage(format!(
+                    "campaign '{}': --resume requires a journal",
+                    spec.name
+                )));
             }
             None
         }
@@ -824,7 +891,8 @@ pub fn run_campaign_with(
         .unwrap_or((0, false));
 
     enum CellOutcome {
-        Row(Box<CampaignRow>),
+        /// A completed row, and whether it came from the journal.
+        Row(Box<CampaignRow>, bool),
         Failed(CellFailure),
     }
     let ixs: Vec<usize> = (0..cells.len()).collect();
@@ -839,7 +907,7 @@ pub fn run_campaign_with(
                     .and_then(|j| j.load(digests[ix]))
                     .and_then(|text| decode_row(&text))
                 {
-                    return CellOutcome::Row(Box::new(row));
+                    return CellOutcome::Row(Box::new(row), true);
                 }
             }
             let result = run_cell_resilient(
@@ -857,7 +925,7 @@ pub fn run_campaign_with(
                         // over; the run still completes in memory.
                         let _ = j.store(digests[ix], &encode_row(&row));
                     }
-                    CellOutcome::Row(Box::new(row))
+                    CellOutcome::Row(Box::new(row), false)
                 }
                 Err((kind, message, retries)) => CellOutcome::Failed(CellFailure {
                     scenario: w.name.clone(),
@@ -871,18 +939,41 @@ pub fn run_campaign_with(
         })
         .collect();
 
+    let mut stats = CampaignRunStats {
+        cells: cells.len(),
+        ..CampaignRunStats::default()
+    };
     let mut rows: Vec<CampaignRow> = Vec::new();
     let mut failures: Vec<CellFailure> = Vec::new();
     for outcome in outcomes {
         match outcome {
-            CellOutcome::Row(row) => rows.push(*row),
-            CellOutcome::Failed(failure) => failures.push(failure),
+            CellOutcome::Row(row, hit) => {
+                if hit {
+                    stats.journal_hits += 1;
+                } else {
+                    stats.simulated += 1;
+                }
+                rows.push(*row);
+            }
+            CellOutcome::Failed(failure) => {
+                stats.failed += 1;
+                failures.push(failure);
+            }
         }
     }
 
-    let derived = derive_rows(spec, &reseeded, &workloads, &rows, &mut failures);
+    let derived = derive_rows(
+        spec,
+        &reseeded,
+        &workloads,
+        &rows,
+        &mut failures,
+        journal.as_ref().filter(|_| options.faults.is_none()),
+        options.resume,
+        &mut stats,
+    );
 
-    Ok(CampaignReport {
+    let report = CampaignReport {
         name: spec.name.clone(),
         description: spec.description.clone(),
         scale: format!("{:?}", spec.scale),
@@ -891,21 +982,109 @@ pub fn run_campaign_with(
         rows,
         derived,
         failures,
-    })
+    };
+    Ok((report, stats))
 }
+
+/// Journal encoding of one [`DerivedRow`] (`helix-derived v1`). Floats
+/// are `f64::to_bits` hex, exactly like [`encode_row`], so a journaled
+/// derived row reproduces its report bytes.
+fn encode_derived(d: &DerivedRow) -> String {
+    let mut out = String::from("helix-derived v1\n");
+    let _ = writeln!(out, "scenario\t{}", d.scenario);
+    let _ = writeln!(out, "kind\t{}", d.kind);
+    let _ = writeln!(out, "cores\t{}", d.cores);
+    let _ = writeln!(out, "coverage\t{:016x}", d.coverage.to_bits());
+    let _ = writeln!(out, "speedup\t{:016x}", d.speedup.to_bits());
+    let _ = writeln!(out, "amdahl_bound\t{:016x}", d.amdahl_bound.to_bits());
+    let _ = writeln!(out, "bound_frac\t{:016x}", d.bound_frac.to_bits());
+    for nest in &d.nests {
+        // Name last: names may contain anything but newlines/tabs.
+        let _ = writeln!(
+            out,
+            "nest\t{:016x}\t{:016x}\t{:016x}\t{:016x}\t{}\t{:016x}\t{}",
+            nest.weight.to_bits(),
+            nest.glue_weight.to_bits(),
+            nest.coverage.to_bits(),
+            nest.program_coverage.to_bits(),
+            nest.plans,
+            nest.speedup.to_bits(),
+            nest.name
+        );
+    }
+    out
+}
+
+/// Decode a journaled derived row. `None` on any malformed input — the
+/// caller treats that as a cache miss and re-derives.
+fn decode_derived(text: &str) -> Option<DerivedRow> {
+    let mut lines = text.lines();
+    if lines.next()? != "helix-derived v1" {
+        return None;
+    }
+    let f64_of = |s: &str| u64::from_str_radix(s, 16).ok().map(f64::from_bits);
+    let mut d = DerivedRow {
+        scenario: String::new(),
+        kind: String::new(),
+        cores: 0,
+        coverage: 0.0,
+        speedup: 0.0,
+        amdahl_bound: 0.0,
+        bound_frac: 0.0,
+        nests: Vec::new(),
+    };
+    for line in lines {
+        let (key, rest) = line.split_once('\t')?;
+        match key {
+            "scenario" => d.scenario = rest.to_string(),
+            "kind" => d.kind = rest.to_string(),
+            "cores" => d.cores = rest.parse().ok()?,
+            "coverage" => d.coverage = f64_of(rest)?,
+            "speedup" => d.speedup = f64_of(rest)?,
+            "amdahl_bound" => d.amdahl_bound = f64_of(rest)?,
+            "bound_frac" => d.bound_frac = f64_of(rest)?,
+            "nest" => {
+                let mut parts = rest.splitn(7, '\t');
+                let nest = DerivedNestRow {
+                    weight: f64_of(parts.next()?)?,
+                    glue_weight: f64_of(parts.next()?)?,
+                    coverage: f64_of(parts.next()?)?,
+                    program_coverage: f64_of(parts.next()?)?,
+                    plans: parts.next()?.parse().ok()?,
+                    speedup: f64_of(parts.next()?)?,
+                    name: parts.next()?.to_string(),
+                };
+                d.nests.push(nest);
+            }
+            _ => return None,
+        }
+    }
+    (!d.scenario.is_empty() && d.cores > 0).then_some(d)
+}
+
+/// One derived-row attempt: a journaled-or-computed row (with its
+/// journal-hit flag), a skip, or a classified failure.
+type DerivedOutcome = Result<Option<(DerivedRow, bool)>, (FailureKind, String)>;
 
 /// Compute the derived speedup-vs-coverage metrics: one row per
 /// scenario, anchored on its `generations` measurement at the largest
 /// grid core count, plus per-nest breakdowns for multi-nest scenarios
 /// (in-context weights via prefix differencing, per-nest speedups from
 /// isolated-nest simulations, and plan→nest attribution through the
-/// recorded block boundaries).
+/// recorded block boundaries). With a journal, completed derived rows
+/// are stored content-addressed (like grid cells) and answered from the
+/// journal on resume, so a fully-journaled campaign derives without
+/// simulating.
+#[allow(clippy::too_many_arguments)]
 fn derive_rows(
     spec: &CampaignSpec,
     reseeded: &[ScenarioSpec],
     workloads: &[Workload],
     rows: &[CampaignRow],
     failures: &mut Vec<CellFailure>,
+    journal: Option<&Journal>,
+    resume: bool,
+    stats: &mut CampaignRunStats,
 ) -> Vec<DerivedRow> {
     if !spec
         .grid
@@ -920,12 +1099,32 @@ fn derive_rows(
     } else {
         FUEL
     };
+    // Same digest recipe as grid cells, under a reserved "derived"
+    // pseudo-experiment name so the two namespaces cannot collide.
+    let digests: Vec<u64> = reseeded
+        .iter()
+        .map(|scenario| {
+            let mut h = fnv1a(FNV_OFFSET, env!("CARGO_PKG_VERSION").as_bytes());
+            h = fnv1a(h, format!("{:?}", spec.scale).as_bytes());
+            h = fnv1a(h, &fuel.to_le_bytes());
+            h = fnv1a(h, format!("{}/derived@{cores}", scenario.name).as_bytes());
+            fnv1a(h, scenario.to_toml().as_bytes())
+        })
+        .collect();
     // The vendored rayon subset has no `zip`; index instead.
     let ixs: Vec<usize> = (0..reseeded.len()).collect();
-    let results: Vec<Result<Option<DerivedRow>, (FailureKind, String)>> = ixs
+    let results: Vec<DerivedOutcome> = ixs
         .par_iter()
         .map(|&ix| {
             let (scenario, w) = (&reseeded[ix], &workloads[ix]);
+            if resume {
+                if let Some(row) = journal
+                    .and_then(|j| j.load(digests[ix]))
+                    .and_then(|text| decode_derived(&text))
+                {
+                    return Ok(Some((row, true)));
+                }
+            }
             // A scenario whose generations cell failed has no anchor
             // for derivation; the cell failure is already recorded, so
             // just skip the derived row.
@@ -983,7 +1182,12 @@ fn derive_rows(
             // Derivation failures degrade like cell failures instead of
             // poisoning the report.
             match catch_unwind(AssertUnwindSafe(body)) {
-                Ok(Ok(row)) => Ok(Some(row)),
+                Ok(Ok(row)) => {
+                    if let Some(j) = journal {
+                        let _ = j.store(digests[ix], &encode_derived(&row));
+                    }
+                    Ok(Some((row, false)))
+                }
                 Ok(Err(e)) => Err((FailureKind::Error, e.to_string())),
                 Err(payload) => {
                     let message = payload
@@ -999,7 +1203,14 @@ fn derive_rows(
     let mut derived = Vec::new();
     for (ix, result) in results.into_iter().enumerate() {
         match result {
-            Ok(Some(row)) => derived.push(row),
+            Ok(Some((row, hit))) => {
+                if hit {
+                    stats.derived_hits += 1;
+                } else {
+                    stats.derived_computed += 1;
+                }
+                derived.push(row);
+            }
             Ok(None) => {}
             Err((kind, message)) => failures.push(CellFailure {
                 scenario: workloads[ix].name.clone(),
@@ -1015,6 +1226,10 @@ fn derive_rows(
 }
 
 /// Load and run a campaign file in one call.
+///
+/// Legacy convenience: thin wrapper over [`load_campaign`] +
+/// [`run_campaign`]. Prefer the unified
+/// [`api::execute`](crate::api::execute) path in new code.
 pub fn run_campaign_file(path: &Path) -> Result<CampaignReport, ExpError> {
     let (spec, scenarios) = load_campaign(path)?;
     run_campaign(&spec, &scenarios)

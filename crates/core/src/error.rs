@@ -1,0 +1,269 @@
+//! Structured errors for the whole facade.
+//!
+//! Every fallible path in `helix_rc` — spec parsing, program
+//! generation, compilation, simulation, campaign execution, the
+//! service protocol — reports a [`HelixError`]: a classified kind plus
+//! optional file/field/value context. The kind maps to a stable
+//! machine-readable code ([`ErrorKind::code`]) carried verbatim in
+//! service JSON responses, and to the CLI's exit-code contract
+//! ([`ErrorKind::exit_code`]): usage errors exit 2, everything else 1
+//! (a campaign that *completed* with failed cells exits 3, which is
+//! not an error at this layer).
+//!
+//! The rendering contract from the fault-tolerance PR is preserved:
+//! spec errors keep their field/value-naming `describe()` text in
+//! [`HelixError::message`], and `Display` prefixes the offending file
+//! when one is known, so CLI output is unchanged while JSON consumers
+//! get the structure.
+
+use helix_hcc::CompileError;
+use helix_sim::SimError;
+use helix_workloads::SpecError;
+use std::fmt;
+
+/// Classification of a [`HelixError`], the coarse axis every consumer
+/// (CLI exit codes, service error codes, retry policy) switches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The caller asked for something malformed at the command/request
+    /// level (bad flags, wrong arity, conflicting options).
+    Usage,
+    /// Reading or writing a file failed.
+    Io,
+    /// A scenario or campaign spec failed to parse or validate. The
+    /// message preserves the spec layer's field/value-naming rendering.
+    Spec,
+    /// The compile/simulate pipeline failed (invalid program, race or
+    /// protocol violation, functional fault).
+    Sim,
+    /// A simulation exhausted its cycle budget. Deterministic: the
+    /// same cell trips the same budget at the same cycle every run.
+    Budget,
+    /// A service request line could not be decoded (invalid JSON,
+    /// unknown type, missing or mistyped field).
+    Protocol,
+    /// Anything not classified above.
+    Internal,
+}
+
+impl ErrorKind {
+    /// Stable machine-readable code, carried in service JSON responses.
+    pub fn code(self) -> &'static str {
+        match self {
+            ErrorKind::Usage => "E_USAGE",
+            ErrorKind::Io => "E_IO",
+            ErrorKind::Spec => "E_SPEC",
+            ErrorKind::Sim => "E_SIM",
+            ErrorKind::Budget => "E_BUDGET",
+            ErrorKind::Protocol => "E_PROTOCOL",
+            ErrorKind::Internal => "E_INTERNAL",
+        }
+    }
+
+    /// Inverse of [`ErrorKind::code`], for wire decoding.
+    pub fn from_code(code: &str) -> Option<ErrorKind> {
+        Some(match code {
+            "E_USAGE" => ErrorKind::Usage,
+            "E_IO" => ErrorKind::Io,
+            "E_SPEC" => ErrorKind::Spec,
+            "E_SIM" => ErrorKind::Sim,
+            "E_BUDGET" => ErrorKind::Budget,
+            "E_PROTOCOL" => ErrorKind::Protocol,
+            "E_INTERNAL" => ErrorKind::Internal,
+            _ => return None,
+        })
+    }
+
+    /// CLI exit code for an error of this kind (the long-standing
+    /// contract: 2 for usage errors, 1 for hard failures).
+    pub fn exit_code(self) -> u8 {
+        match self {
+            ErrorKind::Usage => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// A classified error with optional context: the file it arose from and
+/// the field/value pair that triggered it, when the construction site
+/// knows them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HelixError {
+    /// Classification (drives error codes and exit codes).
+    pub kind: ErrorKind,
+    /// Human-readable description. For spec errors this preserves the
+    /// spec layer's field/value-naming rendering verbatim.
+    pub message: String,
+    /// File the error arose from, when known.
+    pub file: Option<String>,
+    /// Field or key that triggered the error, when known.
+    pub field: Option<String>,
+    /// Offending value, when known.
+    pub value: Option<String>,
+}
+
+impl HelixError {
+    /// Build an error of `kind` with a bare message.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> HelixError {
+        HelixError {
+            kind,
+            message: message.into(),
+            file: None,
+            field: None,
+            value: None,
+        }
+    }
+
+    /// Shorthand for a [`ErrorKind::Usage`] error.
+    pub fn usage(message: impl Into<String>) -> HelixError {
+        HelixError::new(ErrorKind::Usage, message)
+    }
+
+    /// Shorthand for a [`ErrorKind::Protocol`] error.
+    pub fn protocol(message: impl Into<String>) -> HelixError {
+        HelixError::new(ErrorKind::Protocol, message)
+    }
+
+    /// Shorthand for a [`ErrorKind::Io`] error.
+    pub fn io(message: impl Into<String>) -> HelixError {
+        HelixError::new(ErrorKind::Io, message)
+    }
+
+    /// Attach the file the error arose from.
+    pub fn with_file(mut self, file: impl Into<String>) -> HelixError {
+        self.file = Some(file.into());
+        self
+    }
+
+    /// Attach the field/key that triggered the error.
+    pub fn with_field(mut self, field: impl Into<String>) -> HelixError {
+        self.field = Some(field.into());
+        self
+    }
+
+    /// Attach the offending value.
+    pub fn with_value(mut self, value: impl Into<String>) -> HelixError {
+        self.value = Some(value.into());
+        self
+    }
+}
+
+impl fmt::Display for HelixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(file) = &self.file {
+            write!(f, "{file}: ")?;
+        }
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for HelixError {}
+
+impl From<String> for HelixError {
+    fn from(message: String) -> HelixError {
+        HelixError::new(ErrorKind::Internal, message)
+    }
+}
+
+impl From<&str> for HelixError {
+    fn from(message: &str) -> HelixError {
+        HelixError::new(ErrorKind::Internal, message)
+    }
+}
+
+impl From<SpecError> for HelixError {
+    fn from(e: SpecError) -> HelixError {
+        // Keep the Display rendering ("scenario spec error: ...") so
+        // CLI messages are unchanged by the restructure.
+        HelixError::new(ErrorKind::Spec, e.to_string())
+    }
+}
+
+impl From<SimError> for HelixError {
+    fn from(e: SimError) -> HelixError {
+        let kind = match &e {
+            SimError::FuelExhausted { .. } => ErrorKind::Budget,
+            _ => ErrorKind::Sim,
+        };
+        HelixError::new(kind, e.to_string())
+    }
+}
+
+impl From<helix_ir::interp::InterpError> for HelixError {
+    fn from(e: helix_ir::interp::InterpError) -> HelixError {
+        let kind = match &e {
+            helix_ir::interp::InterpError::FuelExhausted => ErrorKind::Budget,
+            _ => ErrorKind::Sim,
+        };
+        HelixError::new(kind, e.to_string())
+    }
+}
+
+impl From<CompileError> for HelixError {
+    fn from(e: CompileError) -> HelixError {
+        HelixError::new(ErrorKind::Sim, e.to_string())
+    }
+}
+
+impl From<std::io::Error> for HelixError {
+    fn from(e: std::io::Error) -> HelixError {
+        HelixError::new(ErrorKind::Io, e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip_and_are_stable() {
+        for kind in [
+            ErrorKind::Usage,
+            ErrorKind::Io,
+            ErrorKind::Spec,
+            ErrorKind::Sim,
+            ErrorKind::Budget,
+            ErrorKind::Protocol,
+            ErrorKind::Internal,
+        ] {
+            assert_eq!(ErrorKind::from_code(kind.code()), Some(kind));
+        }
+        // Pinned spellings: these are part of the wire protocol.
+        assert_eq!(ErrorKind::Spec.code(), "E_SPEC");
+        assert_eq!(ErrorKind::Protocol.code(), "E_PROTOCOL");
+        assert_eq!(ErrorKind::from_code("E_NOPE"), None);
+    }
+
+    #[test]
+    fn exit_codes_match_cli_contract() {
+        assert_eq!(ErrorKind::Usage.exit_code(), 2);
+        assert_eq!(ErrorKind::Spec.exit_code(), 1);
+        assert_eq!(ErrorKind::Internal.exit_code(), 1);
+    }
+
+    #[test]
+    fn fuel_exhaustion_classifies_as_budget() {
+        let e = HelixError::from(SimError::FuelExhausted { cycles: 42 });
+        assert_eq!(e.kind, ErrorKind::Budget);
+        assert!(e.message.contains("42"));
+    }
+
+    #[test]
+    fn spec_errors_preserve_describe_rendering() {
+        let spec_err = helix_workloads::ScenarioSpec::from_toml("name = 12\n").unwrap_err();
+        let rendered = spec_err.to_string();
+        let e = HelixError::from(spec_err);
+        assert_eq!(e.kind, ErrorKind::Spec);
+        assert_eq!(e.message, rendered);
+    }
+
+    #[test]
+    fn display_prefixes_file_context() {
+        let e = HelixError::new(ErrorKind::Spec, "bad value")
+            .with_file("scenarios/x.toml")
+            .with_field("grid.cores")
+            .with_value("-3");
+        assert_eq!(e.to_string(), "scenarios/x.toml: bad value");
+        assert_eq!(e.field.as_deref(), Some("grid.cores"));
+    }
+}

@@ -15,9 +15,15 @@ use serde::{Deserialize, Serialize};
 /// Default cycle budget for experiment simulations.
 pub const FUEL: u64 = 1 << 27;
 
-/// Error from an experiment run. `Send + Sync` so sweep points can run
-/// on worker threads.
-pub type ExpError = Box<dyn std::error::Error + Send + Sync>;
+/// Error from an experiment run.
+///
+/// Since the API redesign this is an alias for the structured
+/// [`HelixError`](crate::error::HelixError) (kind + context), so
+/// `format!(...).into()` construction sites and `?` over
+/// compile/simulate errors keep working while consumers gain a
+/// classified [`kind`](crate::error::HelixError::kind) with a stable
+/// machine-readable code.
+pub type ExpError = crate::error::HelixError;
 
 /// Compile `w` for each compiler generation at `cores` (one compile per
 /// worker thread; the compilations are independent).
@@ -54,11 +60,18 @@ pub fn baseline_cycles_with_fuel(
 
 /// Assert a parallel run upheld all compiler guarantees.
 pub fn check(report: &RunReport, what: &str) -> Result<(), ExpError> {
+    use crate::error::ErrorKind;
     if !report.race_violations.is_empty() {
-        return Err(format!("{what}: race violations: {:?}", report.race_violations).into());
+        return Err(ExpError::new(
+            ErrorKind::Sim,
+            format!("{what}: race violations: {:?}", report.race_violations),
+        ));
     }
     if !report.protocol_errors.is_empty() {
-        return Err(format!("{what}: protocol errors: {:?}", report.protocol_errors).into());
+        return Err(ExpError::new(
+            ErrorKind::Sim,
+            format!("{what}: protocol errors: {:?}", report.protocol_errors),
+        ));
     }
     Ok(())
 }

@@ -24,7 +24,14 @@
 //! * [`resilient`] — the fault-tolerant execution layer under the
 //!   campaign runner: per-cell isolation with classified failures,
 //!   retry/budget policies, a content-addressed on-disk journal for
-//!   checkpoint/resume, and a deterministic chaos harness.
+//!   checkpoint/resume, and a deterministic chaos harness;
+//! * [`api`] — the unified request/response surface ([`Request`] in,
+//!   [`Response`] out via [`execute`]) that the CLI subcommands, the
+//!   service, and the submit client all share, plus its NDJSON wire
+//!   codec and structured [`HelixError`] codes;
+//! * [`service`] — `helix serve`: a resident campaign service on a
+//!   Unix-domain socket with a bounded worker pool, single-flight
+//!   dedup, and journal-hit answers for repeat submissions.
 //!
 //! # Examples
 //!
@@ -42,23 +49,29 @@
 #![warn(missing_docs)]
 
 pub mod analysis_figs;
+pub mod api;
 pub mod campaign;
+pub mod error;
 pub mod experiment;
 pub mod related;
 pub mod report;
 pub mod resilient;
 pub mod scenario;
+pub mod service;
 
+pub use api::{execute, CampaignSource, Request, Response, RunOptions, ServiceStatus, SpecSource};
 pub use campaign::{
-    load_campaign, run_campaign, run_campaign_file, run_campaign_with, CampaignReport, CampaignRow,
-    CampaignRunOptions,
+    load_campaign, run_campaign, run_campaign_file, run_campaign_stats, run_campaign_with,
+    CampaignReport, CampaignRow, CampaignRunOptions, CampaignRunStats,
 };
+pub use error::{ErrorKind, HelixError};
 pub use experiment::{
     compiler_generations, core_type_sweep, coupled_vs_ring, decoupling_lattice, iteration_lengths,
     overhead_breakdown, sharing_profile, sweep_core_count, sweep_ring, LatticePoint,
 };
 pub use resilient::{CellFailure, FailureKind, FaultPlan, Journal};
 pub use scenario::{run_scenario, RunOverrides, ScenarioReport};
+pub use service::{serve, submit, ServeOptions};
 
 // Re-export the full stack so downstream users need one dependency.
 pub use helix_analysis as analysis;

@@ -1,5 +1,14 @@
 //! Plain-text rendering helpers for experiment outputs.
 
+/// Schema version stamped into every scenario/campaign JSON report.
+///
+/// Bump this when the report shape changes incompatibly (a field is
+/// renamed, removed, or re-interpreted — adding optional fields does
+/// not count). `helix diff` names a version mismatch before falling
+/// back to a byte comparison, so stale artifacts fail loudly instead of
+/// producing a wall of line noise.
+pub const SCHEMA_VERSION: u32 = 1;
+
 /// Render a labelled bar chart line (`name  ######## 6.85x`).
 pub fn bar(label: &str, value: f64, max: f64, width: usize) -> String {
     let frac = if max > 0.0 {

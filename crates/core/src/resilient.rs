@@ -26,8 +26,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
+use crate::error::ErrorKind;
 use crate::experiment::ExpError;
-use helix_sim::SimError;
 
 /// Cycle budget substituted into cells chosen for a chaos "budget
 /// blowout": small enough that any real scenario exhausts it, so the
@@ -199,8 +199,12 @@ pub struct Journal {
 impl Journal {
     /// Open (creating if needed) a journal at `dir`.
     pub fn open(dir: &Path) -> Result<Journal, ExpError> {
-        std::fs::create_dir_all(dir)
-            .map_err(|e| format!("cannot create journal dir '{}': {e}", dir.display()))?;
+        std::fs::create_dir_all(dir).map_err(|e| {
+            ExpError::io(format!(
+                "cannot create journal dir '{}': {e}",
+                dir.display()
+            ))
+        })?;
         Ok(Journal {
             dir: dir.to_path_buf(),
         })
@@ -224,10 +228,18 @@ impl Journal {
     pub fn store(&self, digest: u64, text: &str) -> Result<(), ExpError> {
         let path = self.path_of(digest);
         let tmp = self.dir.join(format!("{digest:016x}.tmp"));
-        std::fs::write(&tmp, text)
-            .map_err(|e| format!("cannot write journal cell '{}': {e}", tmp.display()))?;
-        std::fs::rename(&tmp, &path)
-            .map_err(|e| format!("cannot commit journal cell '{}': {e}", path.display()))?;
+        std::fs::write(&tmp, text).map_err(|e| {
+            ExpError::io(format!(
+                "cannot write journal cell '{}': {e}",
+                tmp.display()
+            ))
+        })?;
+        std::fs::rename(&tmp, &path).map_err(|e| {
+            ExpError::io(format!(
+                "cannot commit journal cell '{}': {e}",
+                path.display()
+            ))
+        })?;
         Ok(())
     }
 }
@@ -334,14 +346,11 @@ where
 }
 
 /// Classify an [`ExpError`]: cycle-budget exhaustion is recognized via
-/// [`SimError::FuelExhausted`] (downcast first, message match as a
+/// its structured [`ErrorKind::Budget`] kind (message match as a
 /// fallback for errors that were stringified along the way).
 fn classify_error<T>(err: ExpError) -> Attempt<T> {
     let message = err.to_string();
-    let budget = err
-        .downcast_ref::<SimError>()
-        .is_some_and(|e| matches!(e, SimError::FuelExhausted { .. }))
-        || message.contains("cycle budget exhausted");
+    let budget = err.kind == ErrorKind::Budget || message.contains("cycle budget exhausted");
     if budget {
         Attempt::Failed(FailureKind::CycleBudget, message)
     } else {
@@ -351,7 +360,7 @@ fn classify_error<T>(err: ExpError) -> Attempt<T> {
 
 /// Best-effort text of a panic payload (`&str` and `String` payloads
 /// cover `panic!`-with-message; anything else gets a placeholder).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -364,6 +373,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use helix_sim::SimError;
 
     fn policy(max_retries: i64) -> ResiliencePolicy {
         ResiliencePolicy {
@@ -374,14 +384,7 @@ mod tests {
 
     #[test]
     fn ok_cell_passes_through() {
-        let out = run_cell_resilient(
-            Ok::<u64, ExpError>,
-            42,
-            &policy(1),
-            None,
-            0,
-            false,
-        );
+        let out = run_cell_resilient(Ok::<u64, ExpError>, 42, &policy(1), None, 0, false);
         assert_eq!(out.unwrap(), 42);
     }
 
@@ -434,7 +437,7 @@ mod tests {
     #[test]
     fn fuel_exhaustion_classifies_as_cycle_budget() {
         let out = run_cell_resilient(
-            |_| -> Result<(), ExpError> { Err(Box::new(SimError::FuelExhausted { cycles: 99 })) },
+            |_| -> Result<(), ExpError> { Err(SimError::FuelExhausted { cycles: 99 }.into()) },
             1,
             &policy(2),
             None,
@@ -481,7 +484,7 @@ mod tests {
         let out = run_cell_resilient(
             |fuel| -> Result<u64, ExpError> {
                 if fuel < 1000 {
-                    Err(Box::new(SimError::FuelExhausted { cycles: fuel }))
+                    Err(SimError::FuelExhausted { cycles: fuel }.into())
                 } else {
                     Ok(fuel)
                 }
@@ -503,14 +506,7 @@ mod tests {
             max_retries: 0,
             ..ResiliencePolicy::default()
         };
-        let out = run_cell_resilient(
-            Ok::<u64, ExpError>,
-            1,
-            &p,
-            Some(Fault::Stall),
-            60,
-            false,
-        );
+        let out = run_cell_resilient(Ok::<u64, ExpError>, 1, &p, Some(Fault::Stall), 60, false);
         let (kind, message, _) = out.unwrap_err();
         assert_eq!(kind, FailureKind::WallBudget);
         assert!(message.contains("20 ms"), "{message}");

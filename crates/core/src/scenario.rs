@@ -157,6 +157,11 @@ impl ScenarioReport {
         }
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"harness\": \"helix\",");
+        let _ = writeln!(
+            out,
+            "  \"schema_version\": {},",
+            crate::report::SCHEMA_VERSION
+        );
         let _ = writeln!(out, "  \"name\": \"{}\",", esc(&self.scenario));
         let _ = writeln!(out, "  \"kind\": \"{}\",", self.kind);
         let _ = writeln!(out, "  \"scale\": \"{}\",", self.scale);

@@ -565,6 +565,46 @@ impl CampaignSpec {
     }
 }
 
+/// Build a campaign and its scenario set from *inline TOML payloads*
+/// instead of filesystem patterns — the shape a service submission
+/// carries, where the client ships the spec contents over the wire and
+/// the server never touches the client's filesystem.
+///
+/// The campaign's `scenarios` patterns are ignored (the payloads *are*
+/// the scenario set); everything else — grid, scale, seed, resilience —
+/// parses and validates exactly as [`CampaignSpec::from_toml`] does.
+/// Scenarios are sorted by name and duplicates rejected, mirroring the
+/// file-loading path, so an inline submission and a file-based run of
+/// the same specs enumerate identical cells.
+pub fn campaign_from_inline(
+    campaign_toml: &str,
+    scenario_tomls: &[String],
+) -> Result<(CampaignSpec, Vec<crate::ScenarioSpec>)> {
+    let spec = CampaignSpec::from_toml(campaign_toml)?;
+    if scenario_tomls.is_empty() {
+        return Err(SpecError::new(format!(
+            "campaign '{}': inline submission carries no scenario payloads",
+            spec.name
+        )));
+    }
+    let mut scenarios = Vec::new();
+    for (i, text) in scenario_tomls.iter().enumerate() {
+        let scenario = crate::ScenarioSpec::from_toml(text)
+            .map_err(|e| SpecError::new(format!("inline scenario [{i}]: {e}")))?;
+        scenarios.push(scenario);
+    }
+    scenarios.sort_by(|a, b| a.name.cmp(&b.name));
+    for pair in scenarios.windows(2) {
+        if pair[0].name == pair[1].name {
+            return Err(SpecError::new(format!(
+                "campaign '{}': scenario '{}' is submitted more than once",
+                spec.name, pair[0].name
+            )));
+        }
+    }
+    Ok((spec, scenarios))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -44,7 +44,9 @@ pub mod spec;
 pub mod spec_builtin;
 pub mod toml;
 
-pub use campaign::{CampaignExperiment, CampaignGrid, CampaignSpec, ResiliencePolicy};
+pub use campaign::{
+    campaign_from_inline, CampaignExperiment, CampaignGrid, CampaignSpec, ResiliencePolicy,
+};
 pub use common::Scale;
 pub use gen::{generate, generate_nest, generate_prefix, generate_with_nests, NestBoundary};
 pub use spec::{NestSpec, ScenarioSpec, SpecError};
