@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use helix_analysis::{AliasTier, PointsTo};
 use helix_hcc::{compile, HccConfig};
 use helix_ring_cache::{RingCache, RingConfig};
-use helix_sim::{simulate, simulate_sequential, MachineConfig};
+use helix_sim::{simulate, simulate_sequential, EngineSel, MachineConfig};
 use helix_workloads::{by_name, Scale};
 
 fn ring_throughput(c: &mut Criterion) {
@@ -102,7 +102,7 @@ fn helix_rc_cycles_per_sec(c: &mut Criterion) {
             simulate(
                 &compiled,
                 &MachineConfig::helix_rc(16)
-                    .with_tree_interpreter()
+                    .with_engine(EngineSel::Tree)
                     .without_fast_forward(),
                 1 << 26,
             )

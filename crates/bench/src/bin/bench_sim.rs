@@ -21,12 +21,16 @@
 //! measure into a scratch file and diff against the committed baseline
 //! with the `perf_gate` binary.
 
-use helix_rc::experiment::{decoupling_lattice, sweep_core_count, LatticePoint, FUEL};
+use helix_rc::campaign::{load_campaign, run_campaign_stats, CampaignRunOptions};
+use helix_rc::experiment::{
+    decoupling_lattice, sweep_core_count, ExperimentOptions, LatticePoint, FUEL,
+};
 use helix_rc::hcc::{compile, HccConfig};
 use helix_rc::report::json_escape;
-use helix_rc::sim::{simulate, simulate_sequential, MachineConfig};
+use helix_rc::sim::{simulate, simulate_sequential, EngineSel, MachineConfig};
 use helix_rc::workloads::{cint_suite, Scale, Workload};
 use std::fmt::Write as _;
+use std::path::Path;
 use std::time::Instant;
 
 const SWEEP_COUNTS: [usize; 4] = [2, 4, 8, 16];
@@ -115,7 +119,10 @@ fn workload_rows(ws: &[Workload]) -> Vec<WorkloadRow> {
     let mut row = 0;
     for (wi, w) in ws.iter().enumerate() {
         for (label, cfg, parallel) in &shapes {
-            let naive_cfg = cfg.clone().with_tree_interpreter().without_fast_forward();
+            let naive_cfg = cfg
+                .clone()
+                .with_engine(EngineSel::Tree)
+                .without_fast_forward();
             let naive = run(wi, &naive_cfg, *parallel);
             assert_eq!(
                 rows[row].cycles, naive.cycles,
@@ -163,10 +170,60 @@ fn lattice_sweep_naive(ws: &[Workload]) {
 
 /// The shipped experiment runners (event-skipping + parallel sweeps).
 fn lattice_sweep_optimized(ws: &[Workload]) {
+    let opts = ExperimentOptions::default();
     for w in ws {
-        decoupling_lattice(w, 16).expect(&w.name);
-        sweep_core_count(w, &SWEEP_COUNTS).expect(&w.name);
+        decoupling_lattice(w, 16, &opts).expect(&w.name);
+        sweep_core_count(w, &SWEEP_COUNTS, &opts).expect(&w.name);
     }
+}
+
+/// Wall-clock of the `full` campaign profile (every committed scenario,
+/// headline experiment grid) at its native full scale, in three
+/// execution modes:
+///
+/// * **before** — per-cell runs on the tree-walking interpreter with
+///   the naive one-cycle-at-a-time loop (no event-skipping
+///   fast-forward): the pre-optimization structure, every cell
+///   compiling and simulating everything itself on the naive engine —
+///   the same "before" convention every workload row uses;
+/// * **percell_decoded** — per-cell runs on the decoded engine, i.e.
+///   the shipped pre-lane behaviour (`--lanes 1`);
+/// * **after** — batched lanes (`--lanes 8`): per-scenario shared
+///   compile/decode/report cache plus lockstep lane stepping.
+///
+/// All three reports are asserted byte-identical before any number is
+/// reported — the lane-exactness property, enforced at measurement
+/// time.
+fn campaign_full_times() -> (f64, f64, f64) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../campaigns/full.toml");
+    let (spec, scenarios) = load_campaign(Path::new(path)).expect("load campaigns/full.toml");
+    // The spec's native full scale: Test-scale cells are so small that
+    // compile time dominates and the engine/batching deltas this row
+    // exists to track disappear into the noise.
+    let run = |options: &CampaignRunOptions| {
+        let t0 = Instant::now();
+        let (report, _) = run_campaign_stats(&spec, &scenarios, options).expect("full campaign");
+        (t0.elapsed().as_secs_f64(), report.to_json())
+    };
+    let (after_secs, after_json) = run(&CampaignRunOptions {
+        lanes: 8,
+        ..CampaignRunOptions::default()
+    });
+    let (percell_secs, percell_json) = run(&CampaignRunOptions::default());
+    let (before_secs, before_json) = run(&CampaignRunOptions {
+        engine: Some(EngineSel::Tree),
+        fast_forward: false,
+        ..CampaignRunOptions::default()
+    });
+    assert_eq!(
+        after_json, percell_json,
+        "batched campaign report differs from per-cell decoded run"
+    );
+    assert_eq!(
+        after_json, before_json,
+        "batched campaign report differs from per-cell tree run"
+    );
+    (before_secs, percell_secs, after_secs)
 }
 
 /// Median of `values` (not empty).
@@ -194,6 +251,9 @@ fn main() {
     eprintln!("measuring decoupling_lattice + sweep_core_count end-to-end...");
     let before_secs = timed(|| lattice_sweep_naive(&ws));
     let after_secs = timed(|| lattice_sweep_optimized(&ws));
+
+    eprintln!("measuring full-profile campaign wall-clock (tree / per-cell / batched)...");
+    let (cf_before, cf_percell, cf_after) = campaign_full_times();
 
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -289,6 +349,21 @@ fn main() {
         after_secs,
         before_secs / after_secs
     );
+    // Full-profile campaign wall-clock: per-cell tree interpreter
+    // (naive before) vs batched lanes (after), with the per-cell
+    // decoded time recorded so the dedup-only contribution is visible.
+    // The perf gate requires `speedup` >= 3x on every PR.
+    let _ = writeln!(
+        json,
+        "  \"campaign_full\": {{\"profile\": \"full\", \"scale\": \"Full\", \
+         \"before_secs\": {:.6}, \"percell_decoded_secs\": {:.6}, \"after_secs\": {:.6}, \
+         \"speedup\": {:.3}, \"dedup_speedup\": {:.3}}},",
+        cf_before,
+        cf_percell,
+        cf_after,
+        cf_before / cf_after,
+        cf_percell / cf_after
+    );
     let total_naive: f64 = rows.iter().map(|r| r.naive_secs).sum();
     let total_fast: f64 = rows.iter().map(|r| r.fast_secs).sum();
     let _ = writeln!(
@@ -303,7 +378,9 @@ fn main() {
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("{json}");
     eprintln!(
-        "lattice+sweep: {before_secs:.2}s -> {after_secs:.2}s ({:.2}x); wrote {out_path}",
-        before_secs / after_secs
+        "lattice+sweep: {before_secs:.2}s -> {after_secs:.2}s ({:.2}x); \
+         campaign_full: {cf_before:.2}s -> {cf_after:.2}s ({:.2}x); wrote {out_path}",
+        before_secs / after_secs,
+        cf_before / cf_after
     );
 }

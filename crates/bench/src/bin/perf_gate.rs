@@ -18,7 +18,10 @@
 //! rest. A uniform slowdown cannot hide behind the median either: the
 //! raw median itself must stay above an order-of-magnitude floor of the
 //! baseline, which is lenient across runner generations but catches an
-//! accidental return to the naive cycle loop.
+//! accidental return to the naive cycle loop. When the baseline carries
+//! a `campaign_full` row (full-profile campaign wall-clock, naive
+//! per-cell tree vs lane-batched), the fresh run must carry one too and
+//! its measured speedup must stay above an absolute 3x floor.
 //!
 //! **Scenario mode** (`--scenarios`) compares campaign reports — the
 //! per-scenario HELIX-RC *speedups* from `generations` rows — against
@@ -61,6 +64,11 @@ const DEFAULT_FRAC_TOLERANCE: f64 = 0.10;
 /// Floor on the raw median fresh/baseline ratio: the whole suite an
 /// order of magnitude slower means the fast path itself regressed.
 const MEDIAN_FLOOR: f64 = 0.1;
+/// Minimum end-to-end full-profile campaign speedup (naive per-cell
+/// tree execution vs lane-batched decode-once execution) from the
+/// `campaign_full` row. Wall-clock ratios wobble with machine load, so
+/// this is an absolute floor rather than a baseline-relative ratio.
+const CAMPAIGN_FULL_MIN_SPEEDUP: f64 = 3.0;
 
 fn load_rows(path: &str) -> Result<BTreeMap<String, f64>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
@@ -128,6 +136,24 @@ fn load_config_medians(path: &str) -> Result<Option<BTreeMap<String, f64>>, Stri
     Ok(Some(out))
 }
 
+/// The `campaign_full` end-to-end speedup from a `bench_sim` report,
+/// or `None` when the report predates the row.
+fn load_campaign_full(path: &str) -> Result<Option<f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let Some(row) = doc.get("campaign_full") else {
+        return Ok(None);
+    };
+    let speedup = row
+        .get("speedup")
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("{path}: campaign_full row without numeric 'speedup'"))?;
+    if speedup <= 0.0 {
+        return Err(format!("{path}: campaign_full non-positive speedup"));
+    }
+    Ok(Some(speedup))
+}
+
 fn run(baseline_path: &str, fresh_path: &str, tolerance: f64) -> Result<(), String> {
     let baseline = load_rows(baseline_path)?;
     let fresh = load_rows(fresh_path)?;
@@ -191,11 +217,45 @@ fn run(baseline_path: &str, fresh_path: &str, tolerance: f64) -> Result<(), Stri
         }
     }
 
+    // The full-profile campaign row: once a baseline carries it, every
+    // fresh run must carry it too, and the measured batched-vs-naive
+    // speedup must clear the absolute floor. This is the end-to-end
+    // guarantee that lane batching keeps paying for itself — a per-pair
+    // throughput gate cannot see a lost decode-dedup.
+    match (
+        load_campaign_full(baseline_path)?,
+        load_campaign_full(fresh_path)?,
+    ) {
+        (Some(base_s), Some(fresh_s)) => {
+            let flag = if fresh_s < CAMPAIGN_FULL_MIN_SPEEDUP {
+                failures.push(format!(
+                    "campaign_full speedup {fresh_s:.2}x below the \
+                     {CAMPAIGN_FULL_MIN_SPEEDUP:.1}x floor"
+                ));
+                "  << REGRESSION"
+            } else {
+                ""
+            };
+            println!(
+                "  campaign_full speedup {base_s:.2}x -> {fresh_s:.2}x  \
+                 (floor {CAMPAIGN_FULL_MIN_SPEEDUP:.1}x){flag}"
+            );
+        }
+        (Some(_), None) => {
+            failures.push("campaign_full row missing from fresh report".to_string());
+        }
+        (None, Some(fresh_s)) => {
+            println!(
+                "  campaign_full speedup {fresh_s:.2}x (new row; refresh {baseline_path} to gate it)"
+            );
+        }
+        (None, None) => {}
+    }
+
     if !failures.is_empty() {
         return Err(format!(
-            "{} pair(s) regressed more than {:.0}% relative to the suite: {}",
+            "{} gate failure(s): {}",
             failures.len(),
-            100.0 * tolerance,
             failures.join(", ")
         ));
     }

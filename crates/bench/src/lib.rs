@@ -26,7 +26,7 @@ use helix_rc::campaign::{load_campaign, run_campaign, CampaignReport, CampaignRo
 use helix_rc::experiment::{
     compiler_generations, core_type_sweep, coupled_vs_ring, decoupling_lattice, iteration_lengths,
     link_latency_settings, node_memory_settings, sharing_profile, signal_bandwidth_settings,
-    sweep_core_count, sweep_ring, LatticePoint,
+    sweep_core_count, sweep_ring, ExperimentOptions, LatticePoint,
 };
 use helix_rc::hcc::{compile, HccConfig};
 use helix_rc::related::design_space_table;
@@ -122,7 +122,7 @@ pub fn fig01(scale: Scale) -> R {
     let mut fp_v1 = Vec::new();
     let mut fp_v2 = Vec::new();
     for w in suite(scale) {
-        let row = compiler_generations(&w, 16)?;
+        let row = compiler_generations(&w, 16, &ExperimentOptions::default())?;
         if w.kind == helix_rc::workloads::Kind::Int {
             int_v1.push(row.v1);
             int_v2.push(row.v2);
@@ -188,7 +188,7 @@ pub fn fig04(scale: Scale) -> R {
     header("Figure 4a — loop iteration execution time CDF (single core)");
     let mut all: Vec<u32> = Vec::new();
     for w in cint_suite(scale) {
-        all.extend(iteration_lengths(&w)?);
+        all.extend(iteration_lengths(&w, &ExperimentOptions::default())?);
     }
     all.sort_unstable();
     let total = all.len().max(1);
@@ -206,7 +206,7 @@ pub fn fig04(scale: Scale) -> R {
     let mut cons = [0.0f64; 17];
     let mut n = 0.0;
     for w in cint_suite(scale) {
-        let (d, c) = sharing_profile(&w, 16)?;
+        let (d, c) = sharing_profile(&w, 16, &ExperimentOptions::default())?;
         for (i, v) in d.iter().enumerate().take(dist.len()) {
             dist[i] += v;
         }
@@ -237,7 +237,7 @@ pub fn fig05(scale: Scale) -> R {
     header("Figure 5 — coupled vs decoupled communication (175.vpr loop)");
     let w = helix_rc::workloads::by_name("175.vpr", scale)
         .ok_or("175.vpr missing from the built-in suite")?;
-    let row = coupled_vs_ring(&w, 16)?;
+    let row = coupled_vs_ring(&w, 16, &ExperimentOptions::default())?;
     println!(
         "coupled (conventional): {:6.1}% of sequential time, {} of busy cycles communicating",
         row.conventional_pct,
@@ -342,7 +342,10 @@ pub fn fig08(scale: Scale) -> R {
     let ws = cint_suite(scale);
     let mut per_point = vec![Vec::new(); LatticePoint::ALL.len()];
     for w in &ws {
-        for (i, (_, s)) in decoupling_lattice(w, 16)?.into_iter().enumerate() {
+        for (i, (_, s)) in decoupling_lattice(w, 16, &ExperimentOptions::default())?
+            .into_iter()
+            .enumerate()
+        {
             per_point[i].push(s);
         }
     }
@@ -389,7 +392,7 @@ pub fn fig10(scale: Scale) -> R {
     header("Figure 10 — speedup by core type (16 cores)");
     let mut rows = Vec::new();
     for w in cint_suite(scale) {
-        let r = core_type_sweep(&w, 16)?;
+        let r = core_type_sweep(&w, 16, &ExperimentOptions::default())?;
         rows.push(vec![
             r.name.clone(),
             x(r.io2),
@@ -420,25 +423,40 @@ pub fn fig11(scale: Scale) -> R {
     let ws = cint_suite(scale);
     header("Figure 11a — core count");
     for w in &ws {
-        let pts = sweep_core_count(w, &[2, 4, 8, 16])?;
+        let pts = sweep_core_count(w, &[2, 4, 8, 16], &ExperimentOptions::default())?;
         let line: Vec<String> = pts.iter().map(|(l, s)| format!("{l}: {}", x(*s))).collect();
         println!("{:<12} {}", w.name, line.join("  "));
     }
     header("Figure 11b — adjacent-node link latency");
     for w in &ws {
-        let pts = sweep_ring(w, 16, &link_latency_settings())?;
+        let pts = sweep_ring(
+            w,
+            16,
+            &link_latency_settings(),
+            &ExperimentOptions::default(),
+        )?;
         let line: Vec<String> = pts.iter().map(|(l, s)| format!("{l}: {}", x(*s))).collect();
         println!("{:<12} {}", w.name, line.join("  "));
     }
     header("Figure 11c — signal bandwidth");
     for w in &ws {
-        let pts = sweep_ring(w, 16, &signal_bandwidth_settings())?;
+        let pts = sweep_ring(
+            w,
+            16,
+            &signal_bandwidth_settings(),
+            &ExperimentOptions::default(),
+        )?;
         let line: Vec<String> = pts.iter().map(|(l, s)| format!("{l}: {}", x(*s))).collect();
         println!("{:<12} {}", w.name, line.join("  "));
     }
     header("Figure 11d — node memory size");
     for w in &ws {
-        let pts = sweep_ring(w, 16, &node_memory_settings())?;
+        let pts = sweep_ring(
+            w,
+            16,
+            &node_memory_settings(),
+            &ExperimentOptions::default(),
+        )?;
         let line: Vec<String> = pts.iter().map(|(l, s)| format!("{l}: {}", x(*s))).collect();
         println!("{:<12} {}", w.name, line.join("  "));
     }
@@ -512,7 +530,12 @@ pub fn text_ideal(scale: Scale) -> R {
     let mut default_g = Vec::new();
     let mut ideal_g = Vec::new();
     for w in &ws {
-        let pts = sweep_ring(w, 16, &node_memory_settings())?;
+        let pts = sweep_ring(
+            w,
+            16,
+            &node_memory_settings(),
+            &ExperimentOptions::default(),
+        )?;
         // node_memory_settings: [Unbounded, 32KB, 1KB(default), 256B]
         ideal_g.push(pts[0].1);
         default_g.push(pts[2].1);

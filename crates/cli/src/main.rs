@@ -40,13 +40,13 @@ USAGE:
     helix list     <dir>...
     helix smoke    <dir>... [--cores N] [--fuel N] [--full] [--out-dir DIR]
     helix campaign <campaign.toml> [--full] [--out FILE] [--quiet]
-                   [--journal DIR] [--resume]
+                   [--journal DIR] [--resume] [--lanes N]
                    [--retries N] [--cycle-budget N] [--wall-budget-ms N]
                    [--chaos-seed N] [--chaos-panics N] [--chaos-stalls N]
                    [--chaos-blowouts N] [--chaos-stall-ms N] [--chaos-transient]
     helix serve    --socket PATH [--journal DIR] [--workers N]
     helix submit   --socket PATH <spec.toml|campaign.toml>
-                   [--full] [--out FILE] [--quiet]
+                   [--full] [--out FILE] [--quiet] [--lanes N]
     helix submit   --socket PATH --status | --shutdown
     helix diff     <a.json> <b.json>
     helix export   <dir>
@@ -96,6 +96,9 @@ OPTIONS:
                        default <campaign>.journal when --resume is given
                        without --journal, <socket>.journal under serve)
     --resume           Answer journaled entries instead of re-running them
+    --lanes N          Batch up to N simulations of a scenario in lockstep
+                       per session, sharing one compile/decode (campaign/
+                       submit; reports are byte-identical to --lanes 1)
     --retries N        Override [resilience] max_retries
     --cycle-budget N   Override [resilience] cycle_budget (simulated cycles)
     --wall-budget-ms N Override [resilience] wall_budget_ms
@@ -188,6 +191,7 @@ struct Options {
     quiet: bool,
     journal: Option<PathBuf>,
     resume: bool,
+    lanes: Option<usize>,
     retries: Option<i64>,
     cycle_budget: Option<i64>,
     wall_budget_ms: Option<i64>,
@@ -240,6 +244,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--quiet" => opts.quiet = true,
             "--journal" => opts.journal = Some(PathBuf::from(value_of("--journal")?)),
             "--resume" => opts.resume = true,
+            "--lanes" => {
+                let lanes: usize = value_of("--lanes")?
+                    .parse()
+                    .map_err(|e| format!("--lanes: {e}"))?;
+                if lanes == 0 {
+                    return Err("--lanes must be >= 1".into());
+                }
+                opts.lanes = Some(lanes);
+            }
             "--retries" => {
                 opts.retries = Some(
                     value_of("--retries")?
@@ -340,6 +353,7 @@ impl Options {
             journal: self.journal.clone(),
             resume: self.resume,
             faults: self.faults(),
+            lanes: self.lanes,
         }
     }
 }

@@ -67,6 +67,12 @@ pub struct RunOptions {
     pub resume: bool,
     /// Seeded chaos faults. Local execution only.
     pub faults: Option<FaultPlan>,
+    /// Lane width for batched campaign simulation. `None` (or `<= 1`)
+    /// runs every grid cell standalone; `> 1` batches each scenario's
+    /// cells over a shared decode, stepping up to this many simulations
+    /// in lockstep. Purely an execution knob: reports are byte-identical
+    /// either way. Carried over the wire as the v1 `lanes` field.
+    pub lanes: Option<usize>,
 }
 
 impl RunOptions {
@@ -129,6 +135,12 @@ impl RunOptions {
         self
     }
 
+    /// Batch campaign cells `lanes` simulations at a time.
+    pub fn with_lanes(mut self, lanes: usize) -> RunOptions {
+        self.lanes = Some(lanes);
+        self
+    }
+
     /// The scenario-side view of these options.
     pub fn overrides(&self) -> RunOverrides {
         RunOverrides {
@@ -143,6 +155,9 @@ impl RunOptions {
             journal: self.journal.clone(),
             resume: self.resume,
             faults: self.faults.clone(),
+            lanes: self.lanes.unwrap_or(1),
+            engine: None,
+            fast_forward: true,
         }
     }
 
@@ -860,6 +875,9 @@ fn encode_options(options: &RunOptions) -> Result<String, HelixError> {
     if let Some(ms) = options.wall_budget_ms {
         out.push_str(&field("wall_budget_ms", ms.to_string()));
     }
+    if let Some(lanes) = options.lanes {
+        out.push_str(&field("lanes", lanes.to_string()));
+    }
     out.push('}');
     Ok(out)
 }
@@ -893,11 +911,14 @@ fn decode_options(value: Option<&Json>) -> Result<RunOptions, HelixError> {
                 "max_retries" => options.max_retries = Some(int_of(field, "max_retries")?),
                 "cycle_budget" => options.cycle_budget = Some(int_of(field, "cycle_budget")?),
                 "wall_budget_ms" => options.wall_budget_ms = Some(int_of(field, "wall_budget_ms")?),
-                other => {
-                    return Err(HelixError::protocol(format!(
-                        "unknown options field '{other}'"
-                    )))
-                }
+                "lanes" => options.lanes = Some(int_of(field, "lanes")? as usize),
+                // Unknown fields are skipped, not rejected: a v1 client
+                // newer than the server may send options this build
+                // does not know (exactly how `lanes` itself rolled
+                // out), and execution options never change report
+                // content — ignoring one degrades performance, not
+                // correctness.
+                _ => {}
             }
         }
         Ok(options)

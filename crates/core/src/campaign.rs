@@ -11,10 +11,11 @@
 //! across runs of the same campaign + seed — the property the
 //! per-scenario CI speedup gate and the determinism tests rely on.
 
+use crate::batch::SimCache;
 use crate::experiment::{
-    compiler_generations_with_fuel, coupled_vs_ring_with_fuel, decoupling_lattice_with_fuel,
-    link_latency_settings, node_memory_settings, overhead_breakdown_with_fuel,
-    signal_bandwidth_settings, sweep_core_count_with_fuel, sweep_ring_with_fuel, ExpError, FUEL,
+    compiler_generations, coupled_vs_ring, decoupling_lattice, link_latency_settings,
+    node_memory_settings, overhead_breakdown, signal_bandwidth_settings, sweep_core_count,
+    sweep_ring, ExpError, ExperimentOptions, FUEL,
 };
 use crate::report::json_escape as esc;
 use crate::resilient::{
@@ -22,7 +23,8 @@ use crate::resilient::{
 };
 use crate::scenario::nest_rows;
 use helix_hcc::{compile, HccConfig};
-use helix_workloads::spec::CompilerGen;
+use helix_sim::EngineSel;
+use helix_workloads::spec::{CompilerGen, CountExpr};
 use helix_workloads::{
     geomean, workload_from_spec, CampaignExperiment, CampaignSpec, ScenarioSpec, Workload,
 };
@@ -30,6 +32,7 @@ use rayon::prelude::*;
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// One aggregated grid cell: a scenario measured by one experiment at
 /// one core count. Headline fields are `Some` when the experiment
@@ -459,6 +462,48 @@ impl CampaignReport {
     }
 }
 
+/// Apply the grid's `[grid.nest_override]` when present: every scenario
+/// declaring the named nest is replaced by one variant per glue value —
+/// name-suffixed `name+glue=N`, with that nest's glue count pinned to
+/// the constant — so one campaign run sweeps the nest's sequential
+/// fraction. Scenarios without the nest pass through unchanged; at
+/// least one scenario must have it, else the sweep would silently
+/// measure nothing.
+fn expand_nest_override(
+    spec: &CampaignSpec,
+    reseeded: Vec<ScenarioSpec>,
+) -> Result<Vec<ScenarioSpec>, ExpError> {
+    let Some(ov) = &spec.grid.nest_override else {
+        return Ok(reseeded);
+    };
+    let mut out: Vec<ScenarioSpec> = Vec::with_capacity(reseeded.len() * ov.glue.len());
+    let mut matched = false;
+    for s in reseeded {
+        let Some(nest_ix) = s.nests.iter().position(|n| n.name == ov.nest) else {
+            out.push(s);
+            continue;
+        };
+        matched = true;
+        for &glue in &ov.glue {
+            let mut variant = s.clone();
+            variant.name = format!("{}+glue={glue}", s.name);
+            variant.nests[nest_ix].glue = CountExpr::fixed(glue);
+            out.push(variant);
+        }
+    }
+    if !matched {
+        return Err(ExpError::new(
+            crate::error::ErrorKind::Spec,
+            format!(
+                "campaign '{}': grid.nest_override names nest '{}' but no scenario declares it",
+                spec.name, ov.nest
+            ),
+        ));
+    }
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(out)
+}
+
 /// One deterministic grid cell, enumerated before execution.
 #[derive(Debug, Clone, Copy)]
 struct Cell {
@@ -491,12 +536,12 @@ fn run_cell(
     cell: Cell,
     sweep_cores: &[usize],
     w: &Workload,
-    fuel: u64,
+    opts: &ExperimentOptions,
 ) -> Result<CampaignRow, ExpError> {
     let mut row = blank_row(w, cell.experiment, cell.cores);
     match cell.experiment {
         CampaignExperiment::Generations => {
-            let r = compiler_generations_with_fuel(w, cell.cores, fuel)?;
+            let r = compiler_generations(w, cell.cores, opts)?;
             row.points = vec![
                 ("HCCv1".into(), r.v1),
                 ("HCCv2".into(), r.v2),
@@ -508,7 +553,7 @@ fn run_cell(
             row.helix_cycles = Some(r.helix_cycles);
         }
         CampaignExperiment::CoupledVsRing => {
-            let r = coupled_vs_ring_with_fuel(w, cell.cores, fuel)?;
+            let r = coupled_vs_ring(w, cell.cores, opts)?;
             row.points = vec![
                 ("C % of seq".into(), r.conventional_pct),
                 ("R % of seq".into(), r.ring_pct),
@@ -518,14 +563,14 @@ fn run_cell(
             row.comm_frac = Some(r.ring_comm_frac);
         }
         CampaignExperiment::Overheads => {
-            let r = overhead_breakdown_with_fuel(w, cell.cores, fuel)?;
+            let r = overhead_breakdown(w, cell.cores, opts)?;
             row.points = vec![("speedup".into(), r.speedup)];
             row.helix_speedup = Some(r.speedup);
             row.paper_speedup = paper_speedup(w);
             row.overheads = Some(r.measured);
         }
         CampaignExperiment::Lattice => {
-            let pts = decoupling_lattice_with_fuel(w, cell.cores, fuel)?;
+            let pts = decoupling_lattice(w, cell.cores, opts)?;
             row.helix_speedup = pts.last().map(|(_, s)| *s);
             row.points = pts
                 .into_iter()
@@ -533,17 +578,17 @@ fn run_cell(
                 .collect();
         }
         CampaignExperiment::CoreSweep => {
-            row.points = sweep_core_count_with_fuel(w, sweep_cores, fuel)?;
+            row.points = sweep_core_count(w, sweep_cores, opts)?;
             row.helix_speedup = row.points.last().map(|(_, s)| *s);
         }
         CampaignExperiment::RingLatency => {
-            row.points = sweep_ring_with_fuel(w, cell.cores, &link_latency_settings(), fuel)?;
+            row.points = sweep_ring(w, cell.cores, &link_latency_settings(), opts)?;
         }
         CampaignExperiment::RingBandwidth => {
-            row.points = sweep_ring_with_fuel(w, cell.cores, &signal_bandwidth_settings(), fuel)?;
+            row.points = sweep_ring(w, cell.cores, &signal_bandwidth_settings(), opts)?;
         }
         CampaignExperiment::RingMemory => {
-            row.points = sweep_ring_with_fuel(w, cell.cores, &node_memory_settings(), fuel)?;
+            row.points = sweep_ring(w, cell.cores, &node_memory_settings(), opts)?;
         }
     }
     Ok(row)
@@ -667,10 +712,15 @@ pub fn load_campaign(path: &Path) -> Result<(CampaignSpec, Vec<ScenarioSpec>), E
 }
 
 /// Execution-layer options for [`run_campaign_with`]: journaling,
-/// resume, and chaos injection. The default (no journal, no resume, no
-/// faults) reproduces the plain in-memory behaviour of
-/// [`run_campaign`].
-#[derive(Debug, Clone, Default)]
+/// resume, chaos injection, and lane-parallel batching. The default
+/// (no journal, no resume, no faults, single-lane) reproduces the
+/// plain in-memory behaviour of [`run_campaign`].
+///
+/// None of these options affect report *content* — a batched run is
+/// byte-identical to a single-lane one (pinned by
+/// `tests/lane_exactness.rs`); they only change how the work is
+/// executed.
+#[derive(Debug, Clone)]
 pub struct CampaignRunOptions {
     /// Journal completed cells under this directory (one content-keyed
     /// file per cell; see [`Journal`]).
@@ -681,6 +731,37 @@ pub struct CampaignRunOptions {
     /// Seeded chaos: inject faults into a deterministic subset of
     /// cells.
     pub faults: Option<FaultPlan>,
+    /// Lane width for batched simulation. `<= 1` (the default) runs
+    /// every cell standalone, exactly as before lanes existed. `> 1`
+    /// shares one [`SimCache`] across each scenario's cells — compiles,
+    /// decodes, and duplicated runs (sequential baselines above all)
+    /// happen once — and steps up to this many simulations of a
+    /// scenario in lockstep per [`helix_sim::SimSession`] batch.
+    /// Fault-injected cells always run single-lane without the shared
+    /// cache, preserving per-cell failure isolation.
+    pub lanes: usize,
+    /// Engine override for every cell. `None` picks
+    /// [`EngineSel::Batched`] when `lanes > 1` and the decoded default
+    /// otherwise; the bench harness pins [`EngineSel::Tree`] here to
+    /// time the naive per-cell baseline.
+    pub engine: Option<EngineSel>,
+    /// Event-skipping fast-forward (on by default). The bench harness
+    /// disables it to time the naive one-cycle-at-a-time loop as the
+    /// pre-optimization "before"; reports stay byte-identical.
+    pub fast_forward: bool,
+}
+
+impl Default for CampaignRunOptions {
+    fn default() -> CampaignRunOptions {
+        CampaignRunOptions {
+            journal: None,
+            resume: false,
+            faults: None,
+            lanes: 1,
+            engine: None,
+            fast_forward: true,
+        }
+    }
 }
 
 /// Execution counters of one campaign run: how many grid cells were
@@ -782,6 +863,7 @@ pub fn run_campaign_stats(
             spec_
         })
         .collect();
+    let reseeded = expand_nest_override(spec, reseeded)?;
 
     let workloads: Vec<Workload> = reseeded
         .par_iter()
@@ -890,6 +972,26 @@ pub fn run_campaign_stats(
         .map(|p| (p.stall_ms, p.transient))
         .unwrap_or((0, false));
 
+    // Lane-parallel batching: with `lanes > 1` every scenario gets one
+    // shared SimCache (compile/decode/report dedup across its cells)
+    // and cells run under the batched engine. Cached values are
+    // deterministic, so the report stays byte-identical to a
+    // single-lane run.
+    let lanes = options.lanes.max(1);
+    let engine = options.engine.unwrap_or(if lanes > 1 {
+        EngineSel::Batched
+    } else {
+        EngineSel::Decoded
+    });
+    let mut base_opts = ExperimentOptions::default()
+        .with_engine(engine)
+        .with_lanes(lanes);
+    base_opts.fast_forward = options.fast_forward;
+    let caches: Vec<Option<Arc<SimCache>>> = workloads
+        .iter()
+        .map(|_| (lanes > 1).then(|| Arc::new(SimCache::new())))
+        .collect();
+
     enum CellOutcome {
         /// A completed row, and whether it came from the journal.
         Row(Box<CampaignRow>, bool),
@@ -910,8 +1012,23 @@ pub fn run_campaign_stats(
                     return CellOutcome::Row(Box::new(row), true);
                 }
             }
+            // Fault-injected cells run single-lane without the shared
+            // cache: a cell that panics or stalls mid-simulation must
+            // not seed (or poison) state other cells consume.
+            let cell_opts = match (faults[ix], &caches[cell.scenario_ix]) {
+                (None, Some(cache)) => base_opts.clone().with_cache(cache.clone()),
+                (Some(_), _) => base_opts.clone().with_lanes(1),
+                (None, None) => base_opts.clone(),
+            };
             let result = run_cell_resilient(
-                |cell_fuel| run_cell(cell, &sweep_cores, w, cell_fuel),
+                |cell_fuel| {
+                    run_cell(
+                        cell,
+                        &sweep_cores,
+                        w,
+                        &cell_opts.clone().with_fuel(cell_fuel),
+                    )
+                },
                 fuel,
                 &spec.resilience,
                 faults[ix],
@@ -978,7 +1095,7 @@ pub fn run_campaign_stats(
         description: spec.description.clone(),
         scale: format!("{:?}", spec.scale),
         seed: spec.seed,
-        scenarios: ordered.iter().map(|s| s.name.clone()).collect(),
+        scenarios: reseeded.iter().map(|s| s.name.clone()).collect(),
         rows,
         derived,
         failures,
@@ -1252,6 +1369,7 @@ mod tests {
                 cores: vec![8],
                 sweep_cores: vec![],
                 experiments,
+                nest_override: None,
             },
             resilience: Default::default(),
         };
@@ -1268,7 +1386,7 @@ mod tests {
         let row = &report.rows[0];
 
         let w = workload_from_spec(&scenarios[0], Scale::Test).unwrap();
-        let direct = compiler_generations(&w, 8).unwrap();
+        let direct = compiler_generations(&w, 8, &ExperimentOptions::default()).unwrap();
         assert_eq!(row.helix_speedup, Some(direct.helix_rc));
         assert_eq!(row.seq_cycles, Some(direct.seq_cycles));
         assert_eq!(row.helix_cycles, Some(direct.helix_cycles));

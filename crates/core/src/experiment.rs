@@ -2,18 +2,191 @@
 //! the paper's evaluation (§6), returning structured results the figure
 //! harness renders.
 
-use helix_hcc::{compile, CompiledProgram, HccConfig};
+use crate::batch::{SimCache, SEQ_KEY};
+use helix_hcc::{CompiledProgram, HccConfig, LoopPlan};
+use helix_ir::Program;
 use helix_ring_cache::{ArrayConfig, RingConfig};
 use helix_sim::{
-    simulate, simulate_sequential, Bucket, CoreModel, DecoupleConfig, MachineConfig, RunReport,
+    Bucket, CoreModel, DecoupleConfig, EngineSel, Machine, MachineConfig, RunReport, SimSession,
     SyncModel,
 };
 use helix_workloads::Workload;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Default cycle budget for experiment simulations.
 pub const FUEL: u64 = 1 << 27;
+
+/// Execution options threaded through every experiment entry point —
+/// the one knob set that used to be the `*_with_fuel` variant sprawl.
+///
+/// [`ExperimentOptions::default`] reproduces the historical defaults
+/// (the [`FUEL`] budget, the decoded engine, single-lane execution, no
+/// cache), so `&ExperimentOptions::default()` is a drop-in for the old
+/// short-form calls.
+#[derive(Debug, Clone)]
+pub struct ExperimentOptions {
+    /// Cycle budget per simulation.
+    pub fuel: u64,
+    /// Execution engine every simulation in the experiment runs under.
+    pub engine: EngineSel,
+    /// Lane width for batched execution: with
+    /// [`EngineSel::Batched`], up to this many simulations of the same
+    /// program step in lockstep per [`SimSession`] batch. Ignored (and
+    /// harmless) under the other engines.
+    pub lanes: usize,
+    /// Per-scenario memo for compiles, decodes, and run reports.
+    /// Campaigns share one cache across every cell of a scenario so
+    /// overlapping work — sequential baselines, HCCv3 compiles,
+    /// repeated HELIX-RC runs — happens once. Cached values are
+    /// deterministic: results are byte-identical with or without it.
+    pub cache: Option<Arc<SimCache>>,
+    /// Event-skipping fast-forward (on by default). Disabling it forces
+    /// the naive one-cycle-at-a-time loop on every simulation —
+    /// bit-identical results, much slower — which is what benches use
+    /// as the pre-optimization "before" and exactness tests use as the
+    /// cross-check oracle.
+    pub fast_forward: bool,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> ExperimentOptions {
+        ExperimentOptions {
+            fuel: FUEL,
+            engine: EngineSel::Decoded,
+            lanes: 1,
+            cache: None,
+            fast_forward: true,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// The same options under a different cycle budget.
+    pub fn with_fuel(mut self, fuel: u64) -> ExperimentOptions {
+        self.fuel = fuel;
+        self
+    }
+
+    /// The same options under a different execution engine.
+    pub fn with_engine(mut self, engine: EngineSel) -> ExperimentOptions {
+        self.engine = engine;
+        self
+    }
+
+    /// The same options with a different lane width.
+    pub fn with_lanes(mut self, lanes: usize) -> ExperimentOptions {
+        self.lanes = lanes;
+        self
+    }
+
+    /// The same options sharing the given simulation cache.
+    pub fn with_cache(mut self, cache: Arc<SimCache>) -> ExperimentOptions {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The same options on the naive cycle loop (no event-skipping
+    /// fast-forward): the benches' "before" and the exactness oracle.
+    pub fn without_fast_forward(mut self) -> ExperimentOptions {
+        self.fast_forward = false;
+        self
+    }
+
+    /// Compile under `hcc`, memoized through the cache when present.
+    fn compile(
+        &self,
+        program: &Program,
+        hcc: &HccConfig,
+    ) -> Result<Arc<CompiledProgram>, ExpError> {
+        match &self.cache {
+            Some(cache) => cache.compile(program, hcc),
+            None => Ok(Arc::new(helix_hcc::compile(program, hcc)?)),
+        }
+    }
+}
+
+/// Run `cfgs` over one (program, plans) pair under `opts`: engine
+/// selection applied uniformly, report memoization through the cache,
+/// and — under [`EngineSel::Batched`] — cache misses stepped in
+/// lockstep as lanes of one [`SimSession`] (in batches of `opts.lanes`)
+/// over a single shared decode. `decode_key` identifies the program in
+/// the cache ([`SEQ_KEY`] or a compile key).
+///
+/// Every path produces bit-identical reports; they differ only in how
+/// much work is shared.
+fn run_batch(
+    opts: &ExperimentOptions,
+    decode_key: &str,
+    program: &Program,
+    plans: &[LoopPlan],
+    cfgs: Vec<MachineConfig>,
+) -> Result<Vec<RunReport>, ExpError> {
+    let cfgs: Vec<MachineConfig> = cfgs
+        .into_iter()
+        .map(|mut cfg| {
+            cfg.fast_forward = opts.fast_forward;
+            cfg.with_engine(opts.engine)
+        })
+        .collect();
+    let keys: Vec<String> = cfgs
+        .iter()
+        .map(|cfg| format!("{decode_key}|{cfg:?}|{}", opts.fuel))
+        .collect();
+    let mut results: Vec<Option<RunReport>> = keys
+        .iter()
+        .map(|key| opts.cache.as_ref().and_then(|c| c.report(key)))
+        .collect();
+    let misses: Vec<usize> = (0..cfgs.len()).filter(|&i| results[i].is_none()).collect();
+    if misses.is_empty() {
+        return Ok(results.into_iter().map(|r| r.expect("all hits")).collect());
+    }
+    let decoded = match (&opts.cache, opts.engine.is_decoded()) {
+        (Some(cache), true) => Some(cache.decoded(decode_key, program)),
+        _ => None,
+    };
+    if opts.engine == EngineSel::Batched && misses.len() > 1 {
+        // Lockstep lanes over one shared decode, `opts.lanes` at a time.
+        for chunk in misses.chunks(opts.lanes.max(1)) {
+            let mut session = match &decoded {
+                Some(d) => SimSession::with_decoded(program, plans, d.clone()),
+                None => SimSession::new(program, plans),
+            };
+            for &ix in chunk {
+                session.enqueue(cfgs[ix].clone(), opts.fuel);
+            }
+            for (lane, &ix) in session.drain().into_iter().zip(chunk) {
+                results[ix] = Some(lane.result?);
+            }
+        }
+    } else {
+        let computed: Vec<Result<RunReport, ExpError>> = misses
+            .par_iter()
+            .map(|&ix| {
+                let mut machine = match &decoded {
+                    Some(d) => Machine::with_decoded(program, plans, cfgs[ix].clone(), d.clone()),
+                    None => Machine::new(program, plans, cfgs[ix].clone()),
+                };
+                Ok(machine.run(opts.fuel)?)
+            })
+            .collect();
+        for (report, &ix) in computed.into_iter().zip(&misses) {
+            results[ix] = Some(report?);
+        }
+    }
+    if let Some(cache) = &opts.cache {
+        for &ix in &misses {
+            if let Some(report) = &results[ix] {
+                cache.store_report(keys[ix].clone(), report);
+            }
+        }
+    }
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("all filled"))
+        .collect())
+}
 
 /// Error from an experiment run.
 ///
@@ -26,16 +199,21 @@ pub const FUEL: u64 = 1 << 27;
 pub type ExpError = crate::error::HelixError;
 
 /// Compile `w` for each compiler generation at `cores` (one compile per
-/// worker thread; the compilations are independent).
-pub fn compile_all(w: &Workload, cores: u32) -> Result<[CompiledProgram; 3], ExpError> {
+/// worker thread; the compilations are independent — and memoized
+/// through `opts.cache` when present).
+pub fn compile_all(
+    w: &Workload,
+    cores: u32,
+    opts: &ExperimentOptions,
+) -> Result<[Arc<CompiledProgram>; 3], ExpError> {
     let configs = [
         HccConfig::v1(cores),
         HccConfig::v2(cores),
         HccConfig::v3(cores),
     ];
-    let mut compiled: Vec<CompiledProgram> = configs
+    let mut compiled: Vec<Arc<CompiledProgram>> = configs
         .par_iter()
-        .map(|cfg| compile(&w.program, cfg))
+        .map(|cfg| opts.compile(&w.program, cfg))
         .collect::<Result<Vec<_>, _>>()?;
     let v3 = compiled.pop().expect("three compiles");
     let v2 = compiled.pop().expect("three compiles");
@@ -45,17 +223,13 @@ pub fn compile_all(w: &Workload, cores: u32) -> Result<[CompiledProgram; 3], Exp
 
 /// Sequential baseline cycles of the *original* program on the given
 /// core model.
-pub fn baseline_cycles(w: &Workload, cfg: &MachineConfig) -> Result<u64, ExpError> {
-    baseline_cycles_with_fuel(w, cfg, FUEL)
-}
-
-/// [`baseline_cycles`] under an explicit cycle budget.
-pub fn baseline_cycles_with_fuel(
+pub fn baseline_cycles(
     w: &Workload,
     cfg: &MachineConfig,
-    fuel: u64,
+    opts: &ExperimentOptions,
 ) -> Result<u64, ExpError> {
-    Ok(simulate_sequential(&w.program, cfg, fuel)?.cycles)
+    let reports = run_batch(opts, SEQ_KEY, &w.program, &[], vec![cfg.clone()])?;
+    Ok(reports[0].cycles)
 }
 
 /// Assert a parallel run upheld all compiler guarantees.
@@ -99,40 +273,48 @@ pub struct CompilerGenerations {
 /// Run the headline comparison for one workload at `cores`. The
 /// sequential baseline and the three generation runs are independent
 /// simulations and execute in parallel.
-pub fn compiler_generations(w: &Workload, cores: usize) -> Result<CompilerGenerations, ExpError> {
-    compiler_generations_with_fuel(w, cores, FUEL)
-}
-
-/// [`compiler_generations`] under an explicit cycle budget.
-pub fn compiler_generations_with_fuel(
+pub fn compiler_generations(
     w: &Workload,
     cores: usize,
-    fuel: u64,
+    opts: &ExperimentOptions,
 ) -> Result<CompilerGenerations, ExpError> {
-    let [v1, v2, v3] = compile_all(w, cores as u32)?;
+    let [v1, v2, v3] = compile_all(w, cores as u32, opts)?;
     let conventional = MachineConfig::conventional(cores);
     let helix = MachineConfig::helix_rc(cores);
-
-    let jobs: [(Option<&CompiledProgram>, &MachineConfig); 4] = [
-        (None, &conventional), // sequential baseline
-        (Some(&v1), &conventional),
-        (Some(&v2), &conventional),
-        (Some(&v3), &helix),
+    let gens = [
+        (HccConfig::v1(cores as u32), &v1, &conventional),
+        (HccConfig::v2(cores as u32), &v2, &conventional),
+        (HccConfig::v3(cores as u32), &v3, &helix),
     ];
-    let reports: Vec<RunReport> = jobs
-        .par_iter()
-        .map(|(compiled, cfg)| -> Result<RunReport, ExpError> {
-            let rep = match compiled {
-                None => simulate_sequential(&w.program, cfg, fuel)?,
-                Some(c) => {
-                    let rep = simulate(c, cfg, fuel)?;
-                    check(&rep, &w.name)?;
-                    rep
-                }
-            };
-            Ok(rep)
-        })
-        .collect::<Result<Vec<_>, _>>()?;
+
+    // The four runs cover four *different* programs (original + three
+    // transformed), so there is no decode to share across them; each is
+    // a one-config batch, parallel across jobs.
+    let jobs: Vec<Option<usize>> = vec![None, Some(0), Some(1), Some(2)];
+    let reports: Vec<RunReport> =
+        jobs.par_iter()
+            .map(|job| -> Result<RunReport, ExpError> {
+                let rep = match job {
+                    None => run_batch(opts, SEQ_KEY, &w.program, &[], vec![conventional.clone()])?
+                        .remove(0),
+                    Some(g) => {
+                        let (hcc, compiled, cfg) = &gens[*g];
+                        let key = SimCache::compile_key(hcc);
+                        let rep = run_batch(
+                            opts,
+                            &key,
+                            &compiled.program,
+                            &compiled.plans,
+                            vec![(*cfg).clone()],
+                        )?
+                        .remove(0);
+                        check(&rep, &w.name)?;
+                        rep
+                    }
+                };
+                Ok(rep)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
 
     let seq = reports[0].cycles;
     Ok(CompilerGenerations {
@@ -225,48 +407,72 @@ impl LatticePoint {
 }
 
 /// Speedups across the decoupling lattice for one workload (Fig. 8).
-/// The five lattice points are independent (compile + simulate) jobs and
-/// run in parallel with the sequential baseline.
+/// The five lattice points compile at most twice (HCCv2 for the
+/// baseline bar, HCCv3 for the rest), and the four HCCv3 points run as
+/// one batch over a shared program — lockstep lanes under
+/// [`EngineSel::Batched`].
 pub fn decoupling_lattice(
     w: &Workload,
     cores: usize,
+    opts: &ExperimentOptions,
 ) -> Result<Vec<(LatticePoint, f64)>, ExpError> {
-    decoupling_lattice_with_fuel(w, cores, FUEL)
-}
-
-/// [`decoupling_lattice`] under an explicit cycle budget.
-pub fn decoupling_lattice_with_fuel(
-    w: &Workload,
-    cores: usize,
-    fuel: u64,
-) -> Result<Vec<(LatticePoint, f64)>, ExpError> {
-    let mut jobs: Vec<Option<LatticePoint>> = vec![None]; // baseline
-    jobs.extend(LatticePoint::ALL.map(Some));
-    let cycles: Vec<u64> = jobs
-        .par_iter()
-        .map(|job| -> Result<u64, ExpError> {
-            match job {
-                None => {
-                    Ok(
-                        simulate_sequential(&w.program, &MachineConfig::conventional(cores), fuel)?
-                            .cycles,
-                    )
-                }
-                Some(point) => {
-                    let compiled = compile(&w.program, &point.compiler(cores as u32))?;
-                    let report = simulate(&compiled, &point.machine(cores), fuel)?;
-                    check(&report, point.label())?;
-                    Ok(report.cycles)
-                }
-            }
-        })
-        .collect::<Result<Vec<_>, _>>()?;
-    let seq = cycles[0];
-    Ok(LatticePoint::ALL
+    let v2_hcc = LatticePoint::Hccv2.compiler(cores as u32);
+    let v3_hcc = LatticePoint::All.compiler(cores as u32);
+    let (v2, v3) = {
+        let pair: Vec<Arc<CompiledProgram>> = [&v2_hcc, &v3_hcc]
+            .par_iter()
+            .map(|hcc| opts.compile(&w.program, hcc))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut it = pair.into_iter();
+        (it.next().expect("two"), it.next().expect("two"))
+    };
+    let v3_points: Vec<LatticePoint> = LatticePoint::ALL
         .into_iter()
-        .zip(&cycles[1..])
-        .map(|(point, &c)| (point, seq as f64 / c.max(1) as f64))
-        .collect())
+        .filter(|p| *p != LatticePoint::Hccv2)
+        .collect();
+
+    // Three independent jobs: the sequential baseline, the HCCv2 bar,
+    // and the four HCCv3 points batched over one shared decode.
+    let (seq, v2_cycles, v3_reports) = {
+        let results: Vec<Result<Vec<RunReport>, ExpError>> = [0usize, 1, 2]
+            .par_iter()
+            .map(|job| match job {
+                0 => run_batch(
+                    opts,
+                    SEQ_KEY,
+                    &w.program,
+                    &[],
+                    vec![MachineConfig::conventional(cores)],
+                ),
+                1 => run_batch(
+                    opts,
+                    &SimCache::compile_key(&v2_hcc),
+                    &v2.program,
+                    &v2.plans,
+                    vec![LatticePoint::Hccv2.machine(cores)],
+                ),
+                _ => run_batch(
+                    opts,
+                    &SimCache::compile_key(&v3_hcc),
+                    &v3.program,
+                    &v3.plans,
+                    v3_points.iter().map(|p| p.machine(cores)).collect(),
+                ),
+            })
+            .collect();
+        let mut it = results.into_iter();
+        let seq = it.next().expect("three")?.remove(0).cycles;
+        let v2_report = it.next().expect("three")?.remove(0);
+        check(&v2_report, LatticePoint::Hccv2.label())?;
+        let v3_reports = it.next().expect("three")?;
+        (seq, v2_report.cycles, v3_reports)
+    };
+    let mut out = vec![(LatticePoint::Hccv2, seq as f64 / v2_cycles.max(1) as f64)];
+    for (point, report) in v3_points.iter().zip(&v3_reports) {
+        check(report, point.label())?;
+        out.push((*point, seq as f64 / report.cycles.max(1) as f64));
+    }
+    Ok(out)
 }
 
 /// Fig. 9: HCCv3-selected code on conventional hardware vs. the ring
@@ -308,23 +514,30 @@ fn comm_frac(r: &RunReport) -> f64 {
 }
 
 /// Run the Fig. 9 comparison.
-pub fn coupled_vs_ring(w: &Workload, cores: usize) -> Result<CoupledVsRing, ExpError> {
-    coupled_vs_ring_with_fuel(w, cores, FUEL)
-}
-
-/// [`coupled_vs_ring`] under an explicit cycle budget.
-pub fn coupled_vs_ring_with_fuel(
+pub fn coupled_vs_ring(
     w: &Workload,
     cores: usize,
-    fuel: u64,
+    opts: &ExperimentOptions,
 ) -> Result<CoupledVsRing, ExpError> {
     // HCCv3 selects loops assuming decoupling exists (ring-class sync
-    // cost), then the code runs on both machines.
-    let compiled = compile(&w.program, &HccConfig::v3(cores as u32))?;
-    let seq = baseline_cycles_with_fuel(w, &MachineConfig::conventional(cores), fuel)?;
-    let conv = simulate(&compiled, &MachineConfig::conventional(cores), fuel)?;
+    // cost), then the code runs on both machines — one two-lane batch
+    // over the shared compile.
+    let hcc = HccConfig::v3(cores as u32);
+    let compiled = opts.compile(&w.program, &hcc)?;
+    let seq = baseline_cycles(w, &MachineConfig::conventional(cores), opts)?;
+    let mut reports = run_batch(
+        opts,
+        &SimCache::compile_key(&hcc),
+        &compiled.program,
+        &compiled.plans,
+        vec![
+            MachineConfig::conventional(cores),
+            MachineConfig::helix_rc(cores),
+        ],
+    )?;
+    let ring = reports.pop().expect("two lanes");
+    let conv = reports.pop().expect("two lanes");
     check(&conv, "conventional")?;
-    let ring = simulate(&compiled, &MachineConfig::helix_rc(cores), fuel)?;
     check(&ring, "ring")?;
     Ok(CoupledVsRing {
         name: w.name.to_string(),
@@ -352,45 +565,57 @@ pub struct CoreTypeRow {
     pub seq_io_over_ooo4: f64,
 }
 
-/// Run the core-type sensitivity for one workload.
-pub fn core_type_sweep(w: &Workload, cores: usize) -> Result<CoreTypeRow, ExpError> {
-    let compiled = compile(&w.program, &HccConfig::v3(cores as u32))?;
-    let mut row = CoreTypeRow {
-        name: w.name.to_string(),
-        io2: 0.0,
-        ooo2: 0.0,
-        ooo4: 0.0,
-        seq_io_over_ooo4: 0.0,
-    };
-    let mut seq_io = 0;
-    let mut seq_ooo4 = 0;
-    for (model, slot) in [
-        (CoreModel::InOrder { width: 2 }, 0usize),
-        (CoreModel::OutOfOrder { width: 2, rob: 48 }, 1),
-        (CoreModel::OutOfOrder { width: 4, rob: 96 }, 2),
-    ] {
-        let mut cfg = MachineConfig::helix_rc(cores);
-        cfg.core = model;
-        let mut seq_cfg = MachineConfig::conventional(cores);
-        seq_cfg.core = model;
-        let seq = simulate_sequential(&w.program, &seq_cfg, FUEL)?.cycles;
-        let par = simulate(&compiled, &cfg, FUEL)?;
-        check(&par, "core sweep")?;
-        let speedup = seq as f64 / par.cycles.max(1) as f64;
-        match slot {
-            0 => {
-                row.io2 = speedup;
-                seq_io = seq;
-            }
-            1 => row.ooo2 = speedup,
-            _ => {
-                row.ooo4 = speedup;
-                seq_ooo4 = seq;
-            }
-        }
+/// Run the core-type sensitivity for one workload: the three parallel
+/// runs batch over the shared HCCv3 compile, the three sequential
+/// baselines over the original program.
+pub fn core_type_sweep(
+    w: &Workload,
+    cores: usize,
+    opts: &ExperimentOptions,
+) -> Result<CoreTypeRow, ExpError> {
+    let hcc = HccConfig::v3(cores as u32);
+    let compiled = opts.compile(&w.program, &hcc)?;
+    let models = [
+        CoreModel::InOrder { width: 2 },
+        CoreModel::OutOfOrder { width: 2, rob: 48 },
+        CoreModel::OutOfOrder { width: 4, rob: 96 },
+    ];
+    let seq_cfgs: Vec<MachineConfig> = models
+        .iter()
+        .map(|&model| {
+            let mut cfg = MachineConfig::conventional(cores);
+            cfg.core = model;
+            cfg
+        })
+        .collect();
+    let par_cfgs: Vec<MachineConfig> = models
+        .iter()
+        .map(|&model| {
+            let mut cfg = MachineConfig::helix_rc(cores);
+            cfg.core = model;
+            cfg
+        })
+        .collect();
+    let seqs = run_batch(opts, SEQ_KEY, &w.program, &[], seq_cfgs)?;
+    let pars = run_batch(
+        opts,
+        &SimCache::compile_key(&hcc),
+        &compiled.program,
+        &compiled.plans,
+        par_cfgs,
+    )?;
+    let mut speedups = [0.0f64; 3];
+    for i in 0..3 {
+        check(&pars[i], "core sweep")?;
+        speedups[i] = seqs[i].cycles as f64 / pars[i].cycles.max(1) as f64;
     }
-    row.seq_io_over_ooo4 = seq_io as f64 / seq_ooo4.max(1) as f64;
-    Ok(row)
+    Ok(CoreTypeRow {
+        name: w.name.to_string(),
+        io2: speedups[0],
+        ooo2: speedups[1],
+        ooo4: speedups[2],
+        seq_io_over_ooo4: seqs[0].cycles as f64 / seqs[2].cycles.max(1) as f64,
+    })
 }
 
 /// Generic ring-parameter sweep point: label plus speedup.
@@ -398,22 +623,26 @@ pub type SweepPoint = (String, f64);
 
 /// Fig. 11a: core-count scaling. Each core count is an independent
 /// (compile + baseline + simulate) job; counts run in parallel.
-pub fn sweep_core_count(w: &Workload, counts: &[usize]) -> Result<Vec<SweepPoint>, ExpError> {
-    sweep_core_count_with_fuel(w, counts, FUEL)
-}
-
-/// [`sweep_core_count`] under an explicit cycle budget.
-pub fn sweep_core_count_with_fuel(
+pub fn sweep_core_count(
     w: &Workload,
     counts: &[usize],
-    fuel: u64,
+    opts: &ExperimentOptions,
 ) -> Result<Vec<SweepPoint>, ExpError> {
     counts
         .par_iter()
         .map(|&cores| -> Result<SweepPoint, ExpError> {
-            let compiled = compile(&w.program, &HccConfig::v3(cores as u32))?;
-            let seq = baseline_cycles_with_fuel(w, &MachineConfig::conventional(cores), fuel)?;
-            let rep = simulate(&compiled, &MachineConfig::helix_rc(cores), fuel)?;
+            let hcc = HccConfig::v3(cores as u32);
+            let compiled = opts.compile(&w.program, &hcc)?;
+            let seq = baseline_cycles(w, &MachineConfig::conventional(cores), opts)?;
+            let rep = run_batch(
+                opts,
+                &SimCache::compile_key(&hcc),
+                &compiled.program,
+                &compiled.plans,
+                vec![MachineConfig::helix_rc(cores)],
+            )?
+            .pop()
+            .expect("one lane in, one report out");
             check(&rep, "core count")?;
             Ok((
                 format!("{cores} cores"),
@@ -424,36 +653,42 @@ pub fn sweep_core_count_with_fuel(
 }
 
 /// Sweep a ring-cache parameter; `set` mutates the default ring config.
-/// The compiled program and baseline are shared; the sweep points run in
-/// parallel.
+/// The compiled program, its decode, and the baseline are shared; every
+/// sweep point rides the same `run_batch` call, so under the batched
+/// engine the whole sweep steps in lockstep as lanes of one session.
 pub fn sweep_ring<F: Fn(&mut RingConfig) + Sync>(
     w: &Workload,
     cores: usize,
     labels_and_sets: &[(String, F)],
+    opts: &ExperimentOptions,
 ) -> Result<Vec<SweepPoint>, ExpError> {
-    sweep_ring_with_fuel(w, cores, labels_and_sets, FUEL)
-}
-
-/// [`sweep_ring`] under an explicit cycle budget.
-pub fn sweep_ring_with_fuel<F: Fn(&mut RingConfig) + Sync>(
-    w: &Workload,
-    cores: usize,
-    labels_and_sets: &[(String, F)],
-    fuel: u64,
-) -> Result<Vec<SweepPoint>, ExpError> {
-    let compiled = compile(&w.program, &HccConfig::v3(cores as u32))?;
-    let seq = baseline_cycles_with_fuel(w, &MachineConfig::conventional(cores), fuel)?;
-    labels_and_sets
-        .par_iter()
-        .map(|(label, set)| -> Result<SweepPoint, ExpError> {
+    let hcc = HccConfig::v3(cores as u32);
+    let compiled = opts.compile(&w.program, &hcc)?;
+    let seq = baseline_cycles(w, &MachineConfig::conventional(cores), opts)?;
+    let cfgs: Vec<MachineConfig> = labels_and_sets
+        .iter()
+        .map(|(_, set)| {
             let mut cfg = MachineConfig::helix_rc(cores);
             let ring = cfg.ring.as_mut().expect("helix config has a ring");
             set(ring);
-            let rep = simulate(&compiled, &cfg, fuel)?;
+            cfg
+        })
+        .collect();
+    let reports = run_batch(
+        opts,
+        &SimCache::compile_key(&hcc),
+        &compiled.program,
+        &compiled.plans,
+        cfgs,
+    )?;
+    labels_and_sets
+        .iter()
+        .zip(reports)
+        .map(|((label, _), rep)| {
             check(&rep, label)?;
             Ok((label.clone(), seq as f64 / rep.cycles.max(1) as f64))
         })
-        .collect::<Result<Vec<_>, _>>()
+        .collect()
 }
 
 /// Fig. 11b link-latency settings.
@@ -523,19 +758,23 @@ pub struct OverheadRow {
 }
 
 /// Run the overhead taxonomy for one workload.
-pub fn overhead_breakdown(w: &Workload, cores: usize) -> Result<OverheadRow, ExpError> {
-    overhead_breakdown_with_fuel(w, cores, FUEL)
-}
-
-/// [`overhead_breakdown`] under an explicit cycle budget.
-pub fn overhead_breakdown_with_fuel(
+pub fn overhead_breakdown(
     w: &Workload,
     cores: usize,
-    fuel: u64,
+    opts: &ExperimentOptions,
 ) -> Result<OverheadRow, ExpError> {
-    let compiled = compile(&w.program, &HccConfig::v3(cores as u32))?;
-    let seq = baseline_cycles_with_fuel(w, &MachineConfig::conventional(cores), fuel)?;
-    let rep = simulate(&compiled, &MachineConfig::helix_rc(cores), fuel)?;
+    let hcc = HccConfig::v3(cores as u32);
+    let compiled = opts.compile(&w.program, &hcc)?;
+    let seq = baseline_cycles(w, &MachineConfig::conventional(cores), opts)?;
+    let rep = run_batch(
+        opts,
+        &SimCache::compile_key(&hcc),
+        &compiled.program,
+        &compiled.plans,
+        vec![MachineConfig::helix_rc(cores)],
+    )?
+    .pop()
+    .expect("one lane in, one report out");
     check(&rep, &w.name)?;
     Ok(OverheadRow {
         name: w.name.to_string(),
@@ -548,20 +787,41 @@ pub fn overhead_breakdown_with_fuel(
 
 /// Fig. 4a: per-iteration cycle counts of the HELIX-selected loops on a
 /// single in-order core.
-pub fn iteration_lengths(w: &Workload) -> Result<Vec<u32>, ExpError> {
+pub fn iteration_lengths(w: &Workload, opts: &ExperimentOptions) -> Result<Vec<u32>, ExpError> {
     // Select loops as HELIX-RC would (16-core profile), then execute the
     // parallel plan on a single core to time individual iterations.
-    let compiled = compile(&w.program, &HccConfig::v3(16))?;
-    let cfg = MachineConfig::helix_rc(1);
-    let rep = simulate(&compiled, &cfg, FUEL)?;
+    let hcc = HccConfig::v3(16);
+    let compiled = opts.compile(&w.program, &hcc)?;
+    let rep = run_batch(
+        opts,
+        &SimCache::compile_key(&hcc),
+        &compiled.program,
+        &compiled.plans,
+        vec![MachineConfig::helix_rc(1)],
+    )?
+    .pop()
+    .expect("one lane in, one report out");
     Ok(rep.iteration_lengths)
 }
 
 /// Fig. 4b/4c: producer→first-consumer distance and consumers-per-value
 /// distributions from the 16-core ring run.
-pub fn sharing_profile(w: &Workload, cores: usize) -> Result<(Vec<f64>, Vec<f64>), ExpError> {
-    let compiled = compile(&w.program, &HccConfig::v3(cores as u32))?;
-    let rep = simulate(&compiled, &MachineConfig::helix_rc(cores), FUEL)?;
+pub fn sharing_profile(
+    w: &Workload,
+    cores: usize,
+    opts: &ExperimentOptions,
+) -> Result<(Vec<f64>, Vec<f64>), ExpError> {
+    let hcc = HccConfig::v3(cores as u32);
+    let compiled = opts.compile(&w.program, &hcc)?;
+    let rep = run_batch(
+        opts,
+        &SimCache::compile_key(&hcc),
+        &compiled.program,
+        &compiled.plans,
+        vec![MachineConfig::helix_rc(cores)],
+    )?
+    .pop()
+    .expect("one lane in, one report out");
     check(&rep, &w.name)?;
     let stats = rep.ring_stats.expect("ring stats present");
     Ok((stats.distance_distribution(), stats.consumer_distribution()))
@@ -593,7 +853,7 @@ mod tests {
     #[test]
     fn headline_runs_for_one_workload() {
         let w = by_name("175.vpr", Scale::Test).unwrap();
-        let row = compiler_generations(&w, 8).unwrap();
+        let row = compiler_generations(&w, 8, &ExperimentOptions::default()).unwrap();
         assert!(row.helix_rc > 1.0, "HELIX-RC must speed up: {row:?}");
         assert!(
             row.helix_rc > row.v2,

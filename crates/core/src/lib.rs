@@ -36,11 +36,11 @@
 //! # Examples
 //!
 //! ```no_run
-//! use helix_rc::experiment::compiler_generations;
+//! use helix_rc::experiment::{compiler_generations, ExperimentOptions};
 //! use helix_workloads::{by_name, Scale};
 //!
 //! let vpr = by_name("175.vpr", Scale::Test).unwrap();
-//! let row = compiler_generations(&vpr, 16)?;
+//! let row = compiler_generations(&vpr, 16, &ExperimentOptions::default())?;
 //! println!("{}: HCCv2 {:.2}x -> HELIX-RC {:.2}x (paper: {:.1}x)",
 //!          row.name, row.v2, row.helix_rc, row.paper_helix);
 //! # Ok::<(), Box<dyn std::error::Error + Send + Sync>>(())
@@ -50,6 +50,7 @@
 
 pub mod analysis_figs;
 pub mod api;
+pub mod batch;
 pub mod campaign;
 pub mod error;
 pub mod experiment;
@@ -60,6 +61,7 @@ pub mod scenario;
 pub mod service;
 
 pub use api::{execute, CampaignSource, Request, Response, RunOptions, ServiceStatus, SpecSource};
+pub use batch::SimCache;
 pub use campaign::{
     load_campaign, run_campaign, run_campaign_file, run_campaign_stats, run_campaign_with,
     CampaignReport, CampaignRow, CampaignRunOptions, CampaignRunStats,
@@ -67,7 +69,8 @@ pub use campaign::{
 pub use error::{ErrorKind, HelixError};
 pub use experiment::{
     compiler_generations, core_type_sweep, coupled_vs_ring, decoupling_lattice, iteration_lengths,
-    overhead_breakdown, sharing_profile, sweep_core_count, sweep_ring, LatticePoint,
+    overhead_breakdown, sharing_profile, sweep_core_count, sweep_ring, ExperimentOptions,
+    LatticePoint,
 };
 pub use resilient::{CellFailure, FailureKind, FaultPlan, Journal};
 pub use scenario::{run_scenario, RunOverrides, ScenarioReport};

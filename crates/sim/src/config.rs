@@ -36,19 +36,35 @@ pub struct CacheConfig {
 }
 
 /// Which execution engine drives the cores' functional state and issue
-/// loops.
+/// loops. All three engines produce bit-identical results (pinned by
+/// the decode- and lane-exactness regression tests); they differ only
+/// in speed and sharing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum ExecEngine {
+pub enum EngineSel {
+    /// The original tree-walking interpreter over the `Inst` enum, kept
+    /// as a cross-check and debugging reference.
+    Tree,
     /// Pre-decoded micro-op streams (`helix_ir::decode`): the program is
     /// lowered once into flat tables with pre-resolved register slots,
     /// folded immediates, and pre-evaluated address bases, so the
     /// per-instruction hot path is an index-dispatch loop. Cycle-exact
-    /// with the tree interpreter (see the decode-exactness regression
-    /// tests); the default.
+    /// with the tree interpreter; the default.
     Decoded,
-    /// The original tree-walking interpreter over the `Inst` enum, kept
-    /// as a cross-check and debugging reference.
-    Tree,
+    /// The decoded engine driven through a lane-parallel
+    /// [`SimSession`](crate::SimSession): many machines share one
+    /// `Arc<DecodedProgram>` and step in lockstep. A machine built
+    /// directly under this selection behaves exactly like `Decoded`;
+    /// the selection exists so callers (experiments, campaigns, the
+    /// CLI) can request batched execution uniformly.
+    Batched,
+}
+
+impl EngineSel {
+    /// Whether this engine runs on pre-decoded micro-op tables (and can
+    /// therefore share one decode across machines).
+    pub fn is_decoded(self) -> bool {
+        !matches!(self, EngineSel::Tree)
+    }
 }
 
 /// Wait-grant policy (paper §3.2).
@@ -131,10 +147,10 @@ pub struct MachineConfig {
     /// regression tests) — so it is on by default; disable it to
     /// cross-check or to measure the naive loop.
     pub fast_forward: bool,
-    /// Execution engine: pre-decoded micro-ops (default) or the
-    /// tree-walking interpreter. Both produce bit-identical results; the
-    /// decoded engine is simply faster.
-    pub engine: ExecEngine,
+    /// Execution engine selection: pre-decoded micro-ops (default), the
+    /// tree-walking interpreter, or the batched lane engine. All
+    /// produce bit-identical results; they differ only in speed.
+    pub engine: EngineSel,
 }
 
 impl MachineConfig {
@@ -165,7 +181,7 @@ impl MachineConfig {
             sync: SyncModel::ChainedPredecessor,
             decouple: DecoupleConfig::none(),
             fast_forward: true,
-            engine: ExecEngine::Decoded,
+            engine: EngineSel::Decoded,
         }
     }
 
@@ -176,11 +192,10 @@ impl MachineConfig {
         self
     }
 
-    /// The same machine driven by the tree-walking interpreter instead
-    /// of the pre-decoded micro-op engine, used by benches and the
-    /// decode-exactness tests.
-    pub fn with_tree_interpreter(mut self) -> MachineConfig {
-        self.engine = ExecEngine::Tree;
+    /// The same machine driven by the given execution engine; used by
+    /// benches, the decode-exactness tests, and batched campaigns.
+    pub fn with_engine(mut self, engine: EngineSel) -> MachineConfig {
+        self.engine = engine;
         self
     }
 

@@ -2,7 +2,7 @@
 //! orchestration, and the per-core issue logic for both core models.
 
 use crate::attribution::{Attribution, Bucket};
-use crate::config::{CoreModel, ExecEngine, MachineConfig};
+use crate::config::{CoreModel, MachineConfig};
 use crate::core::{inst_latency, CoreState, RobEntry, RunState};
 use crate::memsys::{MemStats, MemSystem};
 use crate::race::{RaceDetector, RaceViolation};
@@ -14,7 +14,7 @@ use helix_ir::trace::{InstSite, MemAccess, TraceSink};
 use helix_ir::{BlockId, Inst, Program, Reg, SegmentId, Terminator, Value};
 use helix_ring_cache::{LoadIssue, RingCache, RingStats};
 use serde::{Deserialize, Serialize};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Simulation failure.
 #[derive(Debug)]
@@ -320,9 +320,10 @@ pub struct Machine<'p> {
     /// Reused memory-access capture buffer for functional steps.
     sink: CapSink,
     /// Pre-decoded micro-op tables (the default engine). `None` when the
-    /// configuration selects the tree interpreter. Shared behind an `Rc`
-    /// so the issue loops can hold it while mutating the machine.
-    decoded: Option<Rc<DecodedProgram>>,
+    /// configuration selects the tree interpreter. Shared behind an
+    /// `Arc` so the issue loops can hold it while mutating the machine
+    /// and so lane sessions can share one decode across machines.
+    decoded: Option<Arc<DecodedProgram>>,
     /// Per-micro-op execution latency, indexed like the decoded table
     /// (computed once from [`inst_latency`], so the two engines can
     /// never drift).
@@ -338,6 +339,37 @@ impl<'p> Machine<'p> {
     /// Build a machine over a (possibly transformed) program and its
     /// parallel-loop plans.
     pub fn new(program: &'p Program, plans: &'p [LoopPlan], cfg: MachineConfig) -> Machine<'p> {
+        let decoded = cfg
+            .engine
+            .is_decoded()
+            .then(|| Arc::new(helix_ir::decode::decode(program)));
+        Machine::build(program, plans, cfg, decoded)
+    }
+
+    /// Build a machine over an already-decoded program, sharing the
+    /// decoded micro-op tables with other machines (lane sessions decode
+    /// once per scenario and hand every lane the same `Arc`). The
+    /// configuration must select a decoded engine. Results are
+    /// bit-identical to [`Machine::new`] with the same inputs.
+    pub fn with_decoded(
+        program: &'p Program,
+        plans: &'p [LoopPlan],
+        cfg: MachineConfig,
+        decoded: Arc<DecodedProgram>,
+    ) -> Machine<'p> {
+        assert!(
+            cfg.engine.is_decoded(),
+            "with_decoded requires a decoded engine"
+        );
+        Machine::build(program, plans, cfg, Some(decoded))
+    }
+
+    fn build(
+        program: &'p Program,
+        plans: &'p [LoopPlan],
+        cfg: MachineConfig,
+        decoded: Option<Arc<DecodedProgram>>,
+    ) -> Machine<'p> {
         cfg.assert_valid();
         let env = Env::for_program(program);
         let n_regs = program.n_regs as usize;
@@ -366,10 +398,6 @@ impl<'p> Machine<'p> {
                 member
             })
             .collect();
-        let decoded = match cfg.engine {
-            ExecEngine::Decoded => Some(Rc::new(helix_ir::decode::decode(program))),
-            ExecEngine::Tree => None,
-        };
         let uop_lat = decoded
             .as_ref()
             .map(|d| d.insts().iter().map(inst_latency).collect())
@@ -430,9 +458,32 @@ impl<'p> Machine<'p> {
     ///
     /// Fails on functional faults or fuel exhaustion.
     pub fn run(&mut self, fuel: u64) -> Result<RunReport, SimError> {
+        match self.run_slice(u64::MAX, fuel) {
+            Ok(Some(report)) => Ok(report),
+            Ok(None) => unreachable!("run_slice(u64::MAX, _) always retires or errors"),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Run until the machine finishes, the clock reaches `until`, or
+    /// `fuel` cycles elapse — the resumable slice primitive lane
+    /// sessions step machines with. Returns `Ok(Some(report))` when the
+    /// program retired, `Ok(None)` when the slice boundary was reached
+    /// first (call again with a later `until` to continue). The
+    /// trajectory is identical to an unsliced [`Machine::run`]: slicing
+    /// only bounds how far one call advances the clock.
+    ///
+    /// # Errors
+    ///
+    /// Fails on functional faults or fuel exhaustion (fuel is measured
+    /// on the machine's own clock, so it is slice-invariant).
+    pub fn run_slice(&mut self, until: u64, fuel: u64) -> Result<Option<RunReport>, SimError> {
         while !self.finished() {
             if self.now >= fuel {
                 return Err(SimError::FuelExhausted { cycles: self.now });
+            }
+            if self.now >= until {
+                return Ok(None);
             }
             let wake = self.tick_cycle()?;
             if let Some(wake) = wake {
@@ -450,19 +501,36 @@ impl<'p> Machine<'p> {
                             self.attr.charge_n(cid, self.stall_buckets[cid], skip);
                         }
                     }
+                    // Advance the ring by the same number of cycles the
+                    // naive loop would have ticked it. The ring clock can
+                    // lag the machine clock (reduction combining at a loop
+                    // barrier charges machine cycles the ring never sees),
+                    // so jumping the ring *to* `target` would erase that
+                    // offset and shift every subsequent ready time.
                     if let Some(ring) = &mut self.ring {
-                        ring.fast_forward(target);
+                        ring.fast_forward(ring.now() + skip);
                     }
                     self.now = target;
                 }
             }
         }
         self.settle_sleeps();
-        Ok(self.report())
+        Ok(Some(self.report()))
     }
 
     fn finished(&self) -> bool {
         matches!(self.mode, Mode::Serial) && self.cores[0].thread.finished
+    }
+
+    /// Mid-run progress counters `(now, retired dynamic instructions)`,
+    /// for exactness diagnostics that step two machines in lockstep
+    /// with [`Machine::run_slice`] and compare trajectories.
+    #[doc(hidden)]
+    pub fn probe_progress(&self) -> (u64, u64) {
+        (
+            self.now,
+            self.cores.iter().map(|c| c.thread.dyn_insts).sum(),
+        )
     }
 
     fn report(&self) -> RunReport {

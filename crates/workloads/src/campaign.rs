@@ -96,6 +96,22 @@ impl CampaignExperiment {
     }
 }
 
+/// Per-nest campaign override (the optional `[grid.nest_override]`
+/// table): sweep one named nest's serial-glue length from the campaign
+/// file. Every matching scenario is expanded into one variant per glue
+/// value, so a single campaign run measures how the nest's sequential
+/// fraction moves the derived speedup-vs-coverage rows — without
+/// editing the scenario specs themselves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NestOverride {
+    /// Nest name the override applies to. At least one scenario in the
+    /// campaign must declare a nest with this name.
+    pub nest: String,
+    /// Glue values to sweep (each pins the nest's glue count to a
+    /// constant; `0..=2^20`, at least one value, no duplicates).
+    pub glue: Vec<i64>,
+}
+
 /// The machine/compiler grid of a campaign: which core counts to run,
 /// and which experiments to lower per (scenario × cores) cell.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,6 +124,8 @@ pub struct CampaignGrid {
     pub sweep_cores: Vec<i64>,
     /// Experiments per cell, in file order.
     pub experiments: Vec<CampaignExperiment>,
+    /// Optional per-nest glue sweep (see [`NestOverride`]).
+    pub nest_override: Option<NestOverride>,
 }
 
 impl Default for CampaignGrid {
@@ -116,6 +134,7 @@ impl Default for CampaignGrid {
             cores: vec![16],
             sweep_cores: Vec::new(),
             experiments: vec![CampaignExperiment::Generations],
+            nest_override: None,
         }
     }
 }
@@ -258,6 +277,34 @@ impl CampaignSpec {
                 )));
             }
         }
+        if let Some(ov) = &self.grid.nest_override {
+            if ov.nest.is_empty() {
+                return Err(SpecError::new(format!(
+                    "{}: grid.nest_override.nest must not be empty",
+                    self.name
+                )));
+            }
+            if ov.glue.is_empty() {
+                return Err(SpecError::new(format!(
+                    "{}: grid.nest_override.glue needs at least one value",
+                    self.name
+                )));
+            }
+            for (i, &g) in ov.glue.iter().enumerate() {
+                if !(0..=(1i64 << 20)).contains(&g) {
+                    return Err(SpecError::new(format!(
+                        "{}: grid.nest_override.glue must be in 0..=2^20, got {g}",
+                        self.name
+                    )));
+                }
+                if ov.glue[..i].contains(&g) {
+                    return Err(SpecError::new(format!(
+                        "{}: duplicate glue value {g} in grid.nest_override",
+                        self.name
+                    )));
+                }
+            }
+        }
         let r = &self.resilience;
         if !(0..=8).contains(&r.max_retries) {
             return Err(SpecError::new(format!(
@@ -384,6 +431,15 @@ impl CampaignSpec {
                     .collect(),
             ),
         );
+        if let Some(ov) = &self.grid.nest_override {
+            let mut t = Table::new();
+            t.set("nest", Value::Str(ov.nest.clone()));
+            t.set(
+                "glue",
+                Value::Array(ov.glue.iter().map(|&g| Value::Int(g)).collect()),
+            );
+            grid.set("nest_override", Value::Table(t));
+        }
         root.set("grid", Value::Table(grid));
         if self.resilience != ResiliencePolicy::default() {
             let mut res = Table::new();
@@ -516,6 +572,37 @@ impl CampaignSpec {
                             })
                             .collect::<Result<Vec<_>>>()?,
                     },
+                    nest_override: match t.get("nest_override") {
+                        None => None,
+                        Some(v) => {
+                            let ov = v.as_table().ok_or_else(|| {
+                                SpecError::new(format!(
+                                    "{what}: 'grid.nest_override' must be a table, got {}",
+                                    describe(v)
+                                ))
+                            })?;
+                            let nest = match ov.get("nest") {
+                                None => {
+                                    return Err(SpecError::new(format!(
+                                        "{what}: 'grid.nest_override' is missing string key 'nest'"
+                                    )))
+                                }
+                                Some(v) => v.as_str().map(str::to_string).ok_or_else(|| {
+                                    SpecError::new(format!(
+                                        "{what}: 'grid.nest_override.nest' must be a string, got {}",
+                                        describe(v)
+                                    ))
+                                })?,
+                            };
+                            let glue = int_array(ov, "glue", "grid.nest_override.glue")?
+                                .ok_or_else(|| {
+                                    SpecError::new(format!(
+                                        "{what}: 'grid.nest_override' is missing integer array 'glue'"
+                                    ))
+                                })?;
+                            Some(NestOverride { nest, glue })
+                        }
+                    },
                 }
             }
         };
@@ -627,6 +714,10 @@ mod tests {
                     CampaignExperiment::CoupledVsRing,
                     CampaignExperiment::CoreSweep,
                 ],
+                nest_override: Some(NestOverride {
+                    nest: "inner".into(),
+                    glue: vec![0, 64, 256],
+                }),
             },
             resilience: ResiliencePolicy {
                 max_retries: 2,

@@ -45,7 +45,8 @@ pub mod spec_builtin;
 pub mod toml;
 
 pub use campaign::{
-    campaign_from_inline, CampaignExperiment, CampaignGrid, CampaignSpec, ResiliencePolicy,
+    campaign_from_inline, CampaignExperiment, CampaignGrid, CampaignSpec, NestOverride,
+    ResiliencePolicy,
 };
 pub use common::Scale;
 pub use gen::{generate, generate_nest, generate_prefix, generate_with_nests, NestBoundary};

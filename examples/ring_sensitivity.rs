@@ -3,13 +3,18 @@
 //!
 //! Run with `cargo run --release --example ring_sensitivity`.
 
-use helix_rc::experiment::{link_latency_settings, sweep_ring};
+use helix_rc::experiment::{link_latency_settings, sweep_ring, ExperimentOptions};
 use helix_rc::workloads::{by_name, Scale};
 
 fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let w = by_name("197.parser", Scale::Test).expect("suite workload");
     println!("== 197.parser: speedup vs. adjacent-node link latency (16 cores) ==\n");
-    let points = sweep_ring(&w, 16, &link_latency_settings())?;
+    let points = sweep_ring(
+        &w,
+        16,
+        &link_latency_settings(),
+        &ExperimentOptions::default(),
+    )?;
     let max = points.iter().map(|(_, s)| *s).fold(0.0f64, f64::max);
     for (label, speedup) in &points {
         let bar = "#".repeat(((speedup / max) * 40.0).round() as usize);

@@ -7,7 +7,7 @@
 //!
 //! Run with `cargo run --release --example vpr_timeline`.
 
-use helix_rc::experiment::{coupled_vs_ring, FUEL};
+use helix_rc::experiment::{coupled_vs_ring, ExperimentOptions, FUEL};
 use helix_rc::hcc::{compile, HccConfig};
 use helix_rc::sim::{simulate, Bucket, MachineConfig};
 use helix_rc::workloads::{by_name, Scale};
@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let cores = 16;
 
     println!("== Fig. 5 scenario: 175.vpr hot loop, 16 cores ==\n");
-    let row = coupled_vs_ring(&vpr, cores)?;
+    let row = coupled_vs_ring(&vpr, cores, &ExperimentOptions::default())?;
     println!(
         "conventional (coupled):  {:6.1}% of sequential time  ({:.0}% of busy cycles on communication)",
         row.conventional_pct,

@@ -5,7 +5,7 @@
 //! valid gate input.
 
 use helix_rc::campaign::{load_campaign, run_campaign, run_campaign_with, CampaignRunOptions};
-use helix_rc::experiment::decoupling_lattice;
+use helix_rc::experiment::{decoupling_lattice, ExperimentOptions};
 use helix_rc::resilient::FaultPlan;
 use helix_rc::workloads::{
     builtin_spec, workload_from_spec, CampaignExperiment, CampaignGrid, CampaignSpec, Scale,
@@ -82,6 +82,7 @@ fn smoke_campaign_survives_chaos_and_resumes_byte_identically() {
             stall_ms: 0,
             transient: false,
         }),
+        ..CampaignRunOptions::default()
     };
     let chaos = run_campaign_with(&spec, &scenarios, &chaos_opts).expect("chaos run completes");
     assert_eq!(chaos.failures.len(), 2, "exactly the injected panics");
@@ -90,7 +91,7 @@ fn smoke_campaign_survives_chaos_and_resumes_byte_identically() {
     let resume_opts = CampaignRunOptions {
         journal: Some(journal.clone()),
         resume: true,
-        faults: None,
+        ..CampaignRunOptions::default()
     };
     let resumed = run_campaign_with(&spec, &scenarios, &resume_opts).expect("resume completes");
     assert!(resumed.failures.is_empty());
@@ -144,6 +145,7 @@ fn lattice_cell_matches_direct_experiment_call() {
             cores: vec![4],
             sweep_cores: vec![],
             experiments: vec![CampaignExperiment::Lattice],
+            nest_override: None,
         },
         resilience: Default::default(),
     };
@@ -152,7 +154,7 @@ fn lattice_cell_matches_direct_experiment_call() {
     let row = &report.rows[0];
 
     let w = workload_from_spec(&scenario, Scale::Test).unwrap();
-    let direct = decoupling_lattice(&w, 4).unwrap();
+    let direct = decoupling_lattice(&w, 4, &ExperimentOptions::default()).unwrap();
     assert_eq!(row.points.len(), direct.len());
     for ((label, value), (point, speedup)) in row.points.iter().zip(&direct) {
         assert_eq!(label, point.label());

@@ -87,6 +87,29 @@ fn fast_forward_is_cycle_exact_sequential() {
     }
 }
 
+/// Scenario nest with a loop-carried value resolved at the exit
+/// barrier. Reduction combining there charges machine cycles the ring
+/// clock never sees, so the ring permanently lags the core clock; the
+/// fast-forward jump must preserve that offset rather than resync the
+/// two clocks (regression: `950.twonest` drifted by the combine cost on
+/// every ring ready-time after the first barrier).
+#[test]
+fn fast_forward_is_cycle_exact_after_reduction_barrier() {
+    use helix_rc::workloads::{workload_from_spec, ScenarioSpec};
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/950.twonest.toml"
+    ))
+    .expect("read scenario");
+    let spec = ScenarioSpec::from_toml(&text).expect("parse scenario");
+    let w = workload_from_spec(&spec, Scale::Test).expect("build workload");
+    let compiled = compile(&w.program, &HccConfig::v3(4)).expect(&w.name);
+    let cfg = MachineConfig::helix_rc(4);
+    let fast = simulate(&compiled, &cfg, FUEL).expect(&w.name);
+    let naive = simulate(&compiled, &cfg.clone().without_fast_forward(), FUEL).expect(&w.name);
+    assert_reports_identical(&fast, &naive, &w.name);
+}
+
 /// The out-of-order core model exercises the ROB-retirement and fence
 /// wake paths.
 #[test]

@@ -8,7 +8,7 @@
 //! and the full attribution table.
 
 use helix_rc::hcc::{compile, HccConfig};
-use helix_rc::sim::{simulate, simulate_sequential, Bucket, ExecEngine, MachineConfig, RunReport};
+use helix_rc::sim::{simulate, simulate_sequential, Bucket, EngineSel, MachineConfig, RunReport};
 use helix_rc::workloads::{workload_from_spec, Scale, ScenarioSpec, Workload};
 use std::path::PathBuf;
 
@@ -84,15 +84,15 @@ fn assert_reports_identical(decoded: &RunReport, tree: &RunReport, what: &str) {
 #[test]
 fn decoded_engine_is_the_default() {
     let cfg = MachineConfig::helix_rc(CORES);
-    assert_eq!(cfg.engine, ExecEngine::Decoded);
-    assert_eq!(cfg.with_tree_interpreter().engine, ExecEngine::Tree);
+    assert_eq!(cfg.engine, EngineSel::Decoded);
+    assert_eq!(cfg.with_engine(EngineSel::Tree).engine, EngineSel::Tree);
 }
 
 /// Sequential execution: both engines, every committed scenario.
 #[test]
 fn engines_agree_sequential() {
     let cfg = MachineConfig::conventional(CORES);
-    let tree_cfg = cfg.clone().with_tree_interpreter();
+    let tree_cfg = cfg.clone().with_engine(EngineSel::Tree);
     for w in committed_workloads() {
         let decoded = simulate_sequential(&w.program, &cfg, FUEL).expect(&w.name);
         let tree = simulate_sequential(&w.program, &tree_cfg, FUEL).expect(&w.name);
@@ -105,7 +105,7 @@ fn engines_agree_sequential() {
 #[test]
 fn engines_agree_conventional() {
     let cfg = MachineConfig::conventional(CORES);
-    let tree_cfg = cfg.clone().with_tree_interpreter();
+    let tree_cfg = cfg.clone().with_engine(EngineSel::Tree);
     for w in committed_workloads() {
         let compiled = compile(&w.program, &HccConfig::v3(CORES as u32)).expect(&w.name);
         let decoded = simulate(&compiled, &cfg, FUEL).expect(&w.name);
@@ -119,7 +119,7 @@ fn engines_agree_conventional() {
 #[test]
 fn engines_agree_helix_rc() {
     let cfg = MachineConfig::helix_rc(CORES);
-    let tree_cfg = cfg.clone().with_tree_interpreter();
+    let tree_cfg = cfg.clone().with_engine(EngineSel::Tree);
     for w in committed_workloads() {
         let compiled = compile(&w.program, &HccConfig::v3(CORES as u32)).expect(&w.name);
         let decoded = simulate(&compiled, &cfg, FUEL).expect(&w.name);
@@ -134,10 +134,10 @@ fn engines_agree_helix_rc() {
 fn engines_agree_without_fast_forward() {
     let configs = [
         MachineConfig::helix_rc(CORES),
-        MachineConfig::helix_rc(CORES).with_tree_interpreter(),
+        MachineConfig::helix_rc(CORES).with_engine(EngineSel::Tree),
         MachineConfig::helix_rc(CORES).without_fast_forward(),
         MachineConfig::helix_rc(CORES)
-            .with_tree_interpreter()
+            .with_engine(EngineSel::Tree)
             .without_fast_forward(),
     ];
     // One representative communication-heavy scenario keeps the 4-way
@@ -159,7 +159,7 @@ fn engines_agree_without_fast_forward() {
 fn engines_agree_out_of_order() {
     let mut cfg = MachineConfig::helix_rc(4);
     cfg.core = helix_rc::sim::CoreModel::OutOfOrder { width: 2, rob: 48 };
-    let tree_cfg = cfg.clone().with_tree_interpreter();
+    let tree_cfg = cfg.clone().with_engine(EngineSel::Tree);
     for w in committed_workloads().into_iter().take(4) {
         let compiled = compile(&w.program, &HccConfig::v3(4)).expect(&w.name);
         let decoded = simulate(&compiled, &cfg, FUEL).expect(&w.name);

@@ -1,0 +1,124 @@
+//! Lane-exactness pins: batched lane-parallel campaign execution is a
+//! pure performance feature — a report produced with any lane width,
+//! engine selection, or shared-cache configuration must be
+//! byte-identical to the single-lane per-cell baseline. These tests
+//! enforce that across every committed scenario (the paper campaign),
+//! across the engine axis (tree / decoded / batched), and under the
+//! chaos harness (fault-injected cells stay isolated from their
+//! batched neighbours).
+
+use helix_rc::campaign::{load_campaign, run_campaign_with, CampaignRunOptions};
+use helix_rc::resilient::FaultPlan;
+use helix_rc::sim::EngineSel;
+use std::path::PathBuf;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn lanes(n: usize) -> CampaignRunOptions {
+    CampaignRunOptions {
+        lanes: n,
+        ..CampaignRunOptions::default()
+    }
+}
+
+/// The committed paper campaign — every committed scenario through
+/// every experiment family — reports byte-identically whether cells
+/// run standalone or batched over shared decodes.
+#[test]
+fn batched_paper_campaign_is_byte_identical_to_per_cell() {
+    let (spec, scenarios) =
+        load_campaign(&repo_path("campaigns/paper.toml")).expect("paper campaign loads");
+    let baseline =
+        run_campaign_with(&spec, &scenarios, &CampaignRunOptions::default()).expect("per-cell run");
+    assert!(baseline.failures.is_empty(), "{:?}", baseline.failures);
+    // lanes=4 leaves each scenario's cells spanning several session
+    // chunks, so chunk boundaries are exercised too (wider widths only
+    // repeat the same ~40s campaign without new coverage).
+    let batched = run_campaign_with(&spec, &scenarios, &lanes(4)).expect("batched run");
+    assert_eq!(
+        batched.to_json(),
+        baseline.to_json(),
+        "lanes=4 report differs from the per-cell baseline"
+    );
+}
+
+/// The engine axis is invisible in reports: tree interpreter, decoded,
+/// and batched (single- and multi-lane) smoke-campaign runs all emit
+/// the same bytes.
+#[test]
+fn engine_selection_never_changes_report_bytes() {
+    let (spec, scenarios) =
+        load_campaign(&repo_path("campaigns/smoke.toml")).expect("smoke campaign loads");
+    let baseline =
+        run_campaign_with(&spec, &scenarios, &CampaignRunOptions::default()).expect("baseline");
+    assert!(baseline.failures.is_empty());
+    for (engine, width) in [
+        (EngineSel::Tree, 1),
+        (EngineSel::Decoded, 1),
+        (EngineSel::Batched, 1),
+        (EngineSel::Tree, 4),
+        (EngineSel::Batched, 4),
+    ] {
+        let run = run_campaign_with(
+            &spec,
+            &scenarios,
+            &CampaignRunOptions {
+                engine: Some(engine),
+                lanes: width,
+                ..CampaignRunOptions::default()
+            },
+        )
+        .expect("engine run");
+        assert_eq!(
+            run.to_json(),
+            baseline.to_json(),
+            "engine={engine:?} lanes={width} report differs"
+        );
+    }
+}
+
+/// Failure isolation survives batching: a chaos plan injecting panics
+/// into a deterministic subset of cells produces the same failures —
+/// and the same surviving rows, byte for byte — at any lane width.
+/// Fault-injected cells run single-lane without the shared cache, so a
+/// panicking cell can neither corrupt nor seed its neighbours.
+#[test]
+fn chaos_failure_isolation_is_lane_invariant() {
+    let (spec, scenarios) =
+        load_campaign(&repo_path("campaigns/smoke.toml")).expect("smoke campaign loads");
+    let plan = FaultPlan {
+        seed: 7,
+        panics: 2,
+        stalls: 0,
+        blowouts: 0,
+        stall_ms: 0,
+        transient: false,
+    };
+    let single = run_campaign_with(
+        &spec,
+        &scenarios,
+        &CampaignRunOptions {
+            faults: Some(plan.clone()),
+            ..CampaignRunOptions::default()
+        },
+    )
+    .expect("single-lane chaos run");
+    assert_eq!(single.failures.len(), 2, "exactly the injected panics");
+    let batched = run_campaign_with(
+        &spec,
+        &scenarios,
+        &CampaignRunOptions {
+            faults: Some(plan),
+            lanes: 4,
+            ..CampaignRunOptions::default()
+        },
+    )
+    .expect("batched chaos run");
+    assert_eq!(
+        batched.to_json(),
+        single.to_json(),
+        "chaos run must be lane-invariant (same failures, same survivors)"
+    );
+}

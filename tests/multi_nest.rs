@@ -154,6 +154,7 @@ fn campaigns_emit_derived_speedup_vs_coverage_rows() {
             cores: vec![8],
             sweep_cores: vec![],
             experiments: vec![CampaignExperiment::Generations],
+            nest_override: None,
         },
         resilience: Default::default(),
     };

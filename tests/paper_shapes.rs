@@ -3,7 +3,9 @@
 //! by how much. (Absolute numbers differ; the substrate is a from-scratch
 //! simulator, not the authors' testbed.)
 
-use helix_rc::experiment::{compiler_generations, decoupling_lattice, LatticePoint};
+use helix_rc::experiment::{
+    compiler_generations, decoupling_lattice, ExperimentOptions, LatticePoint,
+};
 use helix_rc::workloads::{by_name, geomean, Scale};
 
 /// Fig. 7's core claim, on a representative integer benchmark:
@@ -11,7 +13,7 @@ use helix_rc::workloads::{by_name, geomean, Scale};
 #[test]
 fn decoupling_triples_integer_speedup_direction() {
     let w = by_name("197.parser", Scale::Test).unwrap();
-    let row = compiler_generations(&w, 16).unwrap();
+    let row = compiler_generations(&w, 16, &ExperimentOptions::default()).unwrap();
     assert!(
         row.helix_rc > 1.5 * row.v2,
         "decoupling should be a large multiple over compiler-only: {row:?}"
@@ -25,7 +27,7 @@ fn decoupling_triples_integer_speedup_direction() {
 #[test]
 fn compiler_only_improvement_is_small_on_int() {
     let w = by_name("164.gzip", Scale::Test).unwrap();
-    let row = compiler_generations(&w, 16).unwrap();
+    let row = compiler_generations(&w, 16, &ExperimentOptions::default()).unwrap();
     assert!(
         (row.v2 - row.v1).abs() < 0.75,
         "v1 {} vs v2 {} should be close on CINT",
@@ -40,7 +42,7 @@ fn compiler_only_improvement_is_small_on_int() {
 #[test]
 fn compiler_improvement_is_large_on_fp() {
     let w = by_name("179.art", Scale::Test).unwrap();
-    let row = compiler_generations(&w, 16).unwrap();
+    let row = compiler_generations(&w, 16, &ExperimentOptions::default()).unwrap();
     assert!(
         row.v2 > 1.5 * row.v1,
         "v2 should clearly beat v1 on CFP: v1 {} v2 {}",
@@ -54,7 +56,7 @@ fn compiler_improvement_is_large_on_fp() {
 #[test]
 fn lattice_full_decoupling_wins() {
     let w = by_name("175.vpr", Scale::Test).unwrap();
-    let points = decoupling_lattice(&w, 16).unwrap();
+    let points = decoupling_lattice(&w, 16, &ExperimentOptions::default()).unwrap();
     let get = |p: LatticePoint| {
         points
             .iter()
@@ -82,7 +84,7 @@ fn lattice_full_decoupling_wins() {
 #[test]
 fn iteration_lengths_are_short() {
     let w = by_name("164.gzip", Scale::Test).unwrap();
-    let lengths = helix_rc::iteration_lengths(&w).unwrap();
+    let lengths = helix_rc::iteration_lengths(&w, &ExperimentOptions::default()).unwrap();
     assert!(lengths.len() > 100);
     let mut v = lengths.clone();
     v.sort_unstable();
@@ -102,7 +104,7 @@ fn int_geomean_in_headline_regime() {
     let mut speedups = Vec::new();
     for name in ["175.vpr", "197.parser", "256.bzip2"] {
         let w = by_name(name, Scale::Test).unwrap();
-        let row = compiler_generations(&w, 16).unwrap();
+        let row = compiler_generations(&w, 16, &ExperimentOptions::default()).unwrap();
         speedups.push(row.helix_rc);
     }
     let g = geomean(speedups.iter().copied());
