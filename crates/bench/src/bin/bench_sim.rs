@@ -19,7 +19,10 @@
 //!
 //! An optional positional argument overrides the output path, so CI can
 //! measure into a scratch file and diff against the committed baseline
-//! with the `perf_gate` binary.
+//! with the `perf_gate` binary. `--attribution` adds a per-stall-cause
+//! cycle breakdown (the Fig. 12 buckets) of every helix-rc-16 workload
+//! run to the JSON — the profile that shows where the ring-path cycles
+//! go.
 
 use helix_rc::campaign::{load_campaign, run_campaign_stats, CampaignRunOptions};
 use helix_rc::experiment::{
@@ -27,7 +30,7 @@ use helix_rc::experiment::{
 };
 use helix_rc::hcc::{compile, HccConfig};
 use helix_rc::report::json_escape;
-use helix_rc::sim::{simulate, simulate_sequential, EngineSel, MachineConfig};
+use helix_rc::sim::{simulate, simulate_sequential, Bucket, EngineSel, MachineConfig, SimSession};
 use helix_rc::workloads::{cint_suite, Scale, Workload};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -53,6 +56,9 @@ struct WorkloadRow {
     cycles: u64,
     naive_secs: f64,
     fast_secs: f64,
+    /// Per-stall-cause cycle totals of the measured run, in
+    /// [`Bucket::ALL`] order (emitted only under `--attribution`).
+    stall_cycles: Vec<(&'static str, u64)>,
 }
 
 impl WorkloadRow {
@@ -108,6 +114,10 @@ fn workload_rows(ws: &[Workload]) -> Vec<WorkloadRow> {
                 cycles: fast.cycles,
                 naive_secs: 0.0,
                 fast_secs,
+                stall_cycles: Bucket::ALL
+                    .iter()
+                    .map(|&b| (b.label(), fast.attribution.total(b)))
+                    .collect(),
             });
             digests.push(fast.mem_digest);
         }
@@ -226,6 +236,41 @@ fn campaign_full_times() -> (f64, f64, f64) {
     (before_secs, percell_secs, after_secs)
 }
 
+/// The `sim/session_drain` criterion scenario, measured into the
+/// snapshot: a mixed four-lane batch of 175.vpr (2× helix-rc-16 +
+/// 2× conventional-16) drained through one warm [`SimSession`] —
+/// shared decode, next-event-heap scheduling, machine-pool recycling —
+/// vs the same four simulations run standalone. Returns
+/// `(standalone_secs, session_secs)`.
+fn session_drain_times(ws: &[Workload]) -> Option<(f64, f64)> {
+    let w = ws.iter().find(|w| w.name == "175.vpr")?;
+    let compiled = compile(&w.program, &HccConfig::v3(16)).expect(&w.name);
+    let standalone_secs = timed(|| {
+        for _ in 0..2 {
+            simulate(&compiled, &MachineConfig::helix_rc(16), FUEL).expect(&w.name);
+            simulate(&compiled, &MachineConfig::conventional(16), FUEL).expect(&w.name);
+        }
+    });
+    let mut session = SimSession::new(&compiled.program, &compiled.plans);
+    // One untimed drain warms the shared decode and the machine pool,
+    // matching the steady state a campaign batch runs in.
+    session.enqueue(MachineConfig::helix_rc(16), FUEL);
+    session.enqueue(MachineConfig::conventional(16), FUEL);
+    for lane in session.drain() {
+        lane.result.expect(&w.name);
+    }
+    let session_secs = timed(|| {
+        for _ in 0..2 {
+            session.enqueue(MachineConfig::helix_rc(16), FUEL);
+            session.enqueue(MachineConfig::conventional(16), FUEL);
+        }
+        for lane in session.drain() {
+            lane.result.expect(&w.name);
+        }
+    });
+    Some((standalone_secs, session_secs))
+}
+
 /// Median of `values` (not empty).
 fn median(mut values: Vec<f64>) -> f64 {
     values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
@@ -238,9 +283,18 @@ fn median(mut values: Vec<f64>) -> f64 {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let mut attribution = false;
+    let mut out_path = "BENCH_sim.json".to_string();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--attribution" => attribution = true,
+            other if other.starts_with("--") => {
+                eprintln!("bench_sim: unknown option '{other}'");
+                std::process::exit(2);
+            }
+            other => out_path = other.to_string(),
+        }
+    }
     let ws = cint_suite(Scale::Test);
     eprintln!(
         "measuring per-workload simulator throughput ({} workloads)...",
@@ -251,6 +305,9 @@ fn main() {
     eprintln!("measuring decoupling_lattice + sweep_core_count end-to-end...");
     let before_secs = timed(|| lattice_sweep_naive(&ws));
     let after_secs = timed(|| lattice_sweep_optimized(&ws));
+
+    eprintln!("measuring session drain vs standalone runs...");
+    let drain = session_drain_times(&ws);
 
     eprintln!("measuring full-profile campaign wall-clock (tree / per-cell / batched)...");
     let (cf_before, cf_percell, cf_after) = campaign_full_times();
@@ -285,6 +342,29 @@ fn main() {
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
+    // Optional per-stall-cause breakdown of every helix-rc-16 run: the
+    // ring-path profile (where each workload's cycles actually go),
+    // straight from the simulator's Fig. 12 attribution counters.
+    if attribution {
+        let attr_rows: Vec<&WorkloadRow> =
+            rows.iter().filter(|r| r.config == "helix-rc-16").collect();
+        json.push_str("  \"attribution\": [\n");
+        for (i, r) in attr_rows.iter().enumerate() {
+            let buckets = r
+                .stall_cycles
+                .iter()
+                .map(|(label, cycles)| format!("\"{}\": {cycles}", json_escape(label)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = write!(
+                json,
+                "    {{\"name\": \"{}\", \"config\": \"helix-rc-16\", \"buckets\": {{{buckets}}}}}",
+                json_escape(&r.name)
+            );
+            json.push_str(if i + 1 < attr_rows.len() { ",\n" } else { "\n" });
+        }
+        json.push_str("  ],\n");
+    }
     // Per-config fast-path throughput medians. The perf gate tracks
     // these (median-normalized) so a regression confined to one machine
     // shape — above all the dominant helix-rc configuration — cannot
@@ -342,6 +422,19 @@ fn main() {
             r.speedup()
         );
     }
+    // The `sim/session_drain` criterion bench scenario: a mixed batch
+    // drained through one warm session vs the same runs standalone.
+    if let Some((standalone_secs, session_secs)) = drain {
+        let _ = writeln!(
+            json,
+            "  \"criterion_sim_session_drain\": {{\"workload\": \"175.vpr\", \
+             \"lanes\": 4, \"standalone_secs\": {:.6}, \"session_secs\": {:.6}, \
+             \"speedup\": {:.3}}},",
+            standalone_secs,
+            session_secs,
+            standalone_secs / session_secs
+        );
+    }
     let _ = writeln!(
         json,
         "  \"lattice_plus_sweep\": {{\"before_secs\": {:.6}, \"after_secs\": {:.6}, \"speedup\": {:.3}}},",
@@ -352,7 +445,9 @@ fn main() {
     // Full-profile campaign wall-clock: per-cell tree interpreter
     // (naive before) vs batched lanes (after), with the per-cell
     // decoded time recorded so the dedup-only contribution is visible.
-    // The perf gate requires `speedup` >= 3x on every PR.
+    // The perf gate requires `speedup` >= 2.5x on every PR (an
+    // absolute floor calibrated to single-CPU hosts, where the naive
+    // baseline runs comparatively faster; see perf_gate.rs).
     let _ = writeln!(
         json,
         "  \"campaign_full\": {{\"profile\": \"full\", \"scale\": \"Full\", \

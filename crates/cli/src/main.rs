@@ -35,7 +35,7 @@ helix — declarative scenario runner for the HELIX-RC reproduction
 USAGE:
     helix run      <spec.toml|dir>... [--cores N] [--fuel N] [--full]
                    [--out FILE | --out-dir DIR] [--quiet]
-                   [--journal DIR] [--resume]
+                   [--journal DIR] [--resume] [--attribution]
     helix check    <spec.toml|dir>...
     helix list     <dir>...
     helix smoke    <dir>... [--cores N] [--fuel N] [--full] [--out-dir DIR]
@@ -99,6 +99,9 @@ OPTIONS:
     --lanes N          Batch up to N simulations of a scenario in lockstep
                        per session, sharing one compile/decode (campaign/
                        submit; reports are byte-identical to --lanes 1)
+    --attribution      Attach the per-stall-cause cycle breakdown (the
+                       Fig. 12 buckets) to every run row in the report
+                       (run/smoke/submit-scenario)
     --retries N        Override [resilience] max_retries
     --cycle-budget N   Override [resilience] cycle_budget (simulated cycles)
     --wall-budget-ms N Override [resilience] wall_budget_ms
@@ -192,6 +195,7 @@ struct Options {
     journal: Option<PathBuf>,
     resume: bool,
     lanes: Option<usize>,
+    attribution: bool,
     retries: Option<i64>,
     cycle_budget: Option<i64>,
     wall_budget_ms: Option<i64>,
@@ -253,6 +257,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 }
                 opts.lanes = Some(lanes);
             }
+            "--attribution" => opts.attribution = true,
             "--retries" => {
                 opts.retries = Some(
                     value_of("--retries")?
@@ -354,6 +359,7 @@ impl Options {
             resume: self.resume,
             faults: self.faults(),
             lanes: self.lanes,
+            attribution: self.attribution,
         }
     }
 }

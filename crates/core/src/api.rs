@@ -73,6 +73,11 @@ pub struct RunOptions {
     /// in lockstep. Purely an execution knob: reports are byte-identical
     /// either way. Carried over the wire as the v1 `lanes` field.
     pub lanes: Option<usize>,
+    /// Attach the per-stall-cause cycle breakdown (Fig. 12 buckets) to
+    /// every scenario run row. Diagnostic output only — deterministic,
+    /// and absent unless requested. Carried over the wire as the v1
+    /// `attribution` field.
+    pub attribution: bool,
 }
 
 impl RunOptions {
@@ -141,11 +146,18 @@ impl RunOptions {
         self
     }
 
+    /// Attach the per-stall-cause breakdown to scenario run rows.
+    pub fn with_attribution(mut self, attribution: bool) -> RunOptions {
+        self.attribution = attribution;
+        self
+    }
+
     /// The scenario-side view of these options.
     pub fn overrides(&self) -> RunOverrides {
         RunOverrides {
             cores: self.cores,
             fuel: self.fuel,
+            attribution: self.attribution,
         }
     }
 
@@ -362,10 +374,24 @@ pub fn execute(request: Request) -> Response {
     }
 }
 
+/// Reject option values no execution path can honor. `lanes == 0` in
+/// particular used to be silently clamped to 1; it is a usage error
+/// (the CLI rejects it the same way before a request is ever built).
+fn validate_options(options: &RunOptions) -> Result<(), HelixError> {
+    if options.lanes == Some(0) {
+        return Err(HelixError::usage("lanes must be >= 1"));
+    }
+    Ok(())
+}
+
 fn try_execute(request: Request) -> Result<Response, HelixError> {
     match request {
-        Request::RunScenario { source, options } => run_scenario_request(&source, &options),
+        Request::RunScenario { source, options } => {
+            validate_options(&options)?;
+            run_scenario_request(&source, &options)
+        }
         Request::RunCampaign { source, options } => {
+            validate_options(&options)?;
             let (mut spec, scenarios) = match &source {
                 CampaignSource::Path(path) => load_campaign(path)?,
                 CampaignSource::Inline {
@@ -878,6 +904,9 @@ fn encode_options(options: &RunOptions) -> Result<String, HelixError> {
     if let Some(lanes) = options.lanes {
         out.push_str(&field("lanes", lanes.to_string()));
     }
+    if options.attribution {
+        out.push_str(&field("attribution", "true".into()));
+    }
     out.push('}');
     Ok(out)
 }
@@ -911,7 +940,18 @@ fn decode_options(value: Option<&Json>) -> Result<RunOptions, HelixError> {
                 "max_retries" => options.max_retries = Some(int_of(field, "max_retries")?),
                 "cycle_budget" => options.cycle_budget = Some(int_of(field, "cycle_budget")?),
                 "wall_budget_ms" => options.wall_budget_ms = Some(int_of(field, "wall_budget_ms")?),
-                "lanes" => options.lanes = Some(int_of(field, "lanes")? as usize),
+                "lanes" => {
+                    let lanes = int_of(field, "lanes")?;
+                    if lanes < 1 {
+                        return Err(HelixError::protocol("options.lanes must be >= 1"));
+                    }
+                    options.lanes = Some(lanes as usize);
+                }
+                "attribution" => {
+                    options.attribution = field.as_bool().ok_or_else(|| {
+                        HelixError::protocol("options.attribution must be a boolean")
+                    })?;
+                }
                 // Unknown fields are skipped, not rejected: a v1 client
                 // newer than the server may send options this build
                 // does not know (exactly how `lanes` itself rolled

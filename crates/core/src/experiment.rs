@@ -147,19 +147,36 @@ fn run_batch(
         _ => None,
     };
     if opts.engine == EngineSel::Batched && misses.len() > 1 {
-        // Lockstep lanes over one shared decode, `opts.lanes` at a time.
-        for chunk in misses.chunks(opts.lanes.max(1)) {
-            let mut session = match &decoded {
-                Some(d) => SimSession::with_decoded(program, plans, d.clone()),
-                None => SimSession::new(program, plans),
-            };
+        // Event-cooperative lanes over one shared decode, `opts.lanes`
+        // at a time, on a single session: machines retired by one chunk
+        // are recycled by the next, and the scenario cache carries the
+        // pool across batches (returned before any error propagates).
+        let mut session = match &decoded {
+            Some(d) => SimSession::with_decoded(program, plans, d.clone()),
+            None => SimSession::new(program, plans),
+        };
+        if let Some(cache) = &opts.cache {
+            session.set_pool(cache.take_pool());
+        }
+        let mut outcome: Result<(), ExpError> = Ok(());
+        'chunks: for chunk in misses.chunks(opts.lanes.max(1)) {
             for &ix in chunk {
                 session.enqueue(cfgs[ix].clone(), opts.fuel);
             }
             for (lane, &ix) in session.drain().into_iter().zip(chunk) {
-                results[ix] = Some(lane.result?);
+                match lane.result {
+                    Ok(report) => results[ix] = Some(report),
+                    Err(e) => {
+                        outcome = Err(e.into());
+                        break 'chunks;
+                    }
+                }
             }
         }
+        if let Some(cache) = &opts.cache {
+            cache.return_pool(session.take_pool());
+        }
+        outcome?;
     } else {
         let computed: Vec<Result<RunReport, ExpError>> = misses
             .par_iter()

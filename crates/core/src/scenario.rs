@@ -6,7 +6,7 @@
 
 use crate::experiment::{check, ExpError};
 use helix_hcc::{compile, CompiledProgram, HccConfig};
-use helix_sim::{simulate, simulate_sequential, MachineConfig, RunReport};
+use helix_sim::{simulate, simulate_sequential, Bucket, MachineConfig, RunReport};
 use helix_workloads::spec::{CompilerGen, MachineKind};
 use helix_workloads::{generate, generate_nest, generate_prefix, Scale, ScenarioSpec};
 use std::fmt::Write as _;
@@ -19,6 +19,10 @@ pub struct RunOverrides {
     pub cores: Option<usize>,
     /// Override the cycle budget.
     pub fuel: Option<u64>,
+    /// Attach the per-stall-cause cycle breakdown (the Fig. 12 buckets)
+    /// to every run row. Off by default: the breakdown is diagnostic
+    /// output, and rows stay lean unless asked for.
+    pub attribution: bool,
 }
 
 /// One simulated configuration.
@@ -37,6 +41,12 @@ pub struct RunRow {
     /// Speedup versus the sequential baseline at the same core count,
     /// when one was simulated.
     pub speedup_vs_sequential: Option<f64>,
+    /// Per-stall-cause cycle totals `(bucket label, cycles)` in
+    /// [`Bucket::ALL`] order — present only when the run asked for
+    /// attribution (`--attribution`). Deterministic (cycle-derived, no
+    /// wall clock), so its presence never perturbs report identity
+    /// comparisons beyond the requested extra field.
+    pub attribution: Option<Vec<(String, u64)>>,
 }
 
 impl RunRow {
@@ -140,16 +150,29 @@ impl ScenarioReport {
                     .speedup_vs_sequential
                     .map(|s| format!(", \"speedup_vs_sequential\": {s:.3}"))
                     .unwrap_or_default();
+                let attribution = r
+                    .attribution
+                    .as_ref()
+                    .map(|buckets| {
+                        let body = buckets
+                            .iter()
+                            .map(|(label, cycles)| format!("\"{}\": {cycles}", esc(label)))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!(", \"attribution\": {{{body}}}")
+                    })
+                    .unwrap_or_default();
                 out.push_str(&format!(
                     "    {{\"config\": \"{}\", \"cycles\": {}, \"dyn_insts\": {}, \
-                     \"mem_digest\": {}, \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.0}{}}}",
+                     \"mem_digest\": {}, \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.0}{}{}}}",
                     esc(&r.config),
                     r.cycles,
                     r.dyn_insts,
                     r.mem_digest,
                     r.wall_secs,
                     r.cycles_per_sec(),
-                    speedup
+                    speedup,
+                    attribution
                 ));
                 out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
             }
@@ -228,6 +251,16 @@ fn machine_label(m: MachineKind, cores: usize) -> String {
     }
 }
 
+/// The per-stall-cause breakdown attached to rows under
+/// `--attribution`: total cycles per bucket across all cores, in
+/// [`Bucket::ALL`] order.
+fn bucket_totals(report: &RunReport) -> Vec<(String, u64)> {
+    Bucket::ALL
+        .iter()
+        .map(|&b| (b.label().to_string(), report.attribution.total(b)))
+        .collect()
+}
+
 fn timed_run(
     program: &helix_ir::Program,
     compiled: &CompiledProgram,
@@ -288,6 +321,7 @@ pub fn run_scenario(
             mem_digest: report.mem_digest,
             wall_secs,
             speedup_vs_sequential: None,
+            attribution: overrides.attribution.then(|| bucket_totals(&report)),
         });
     }
     // Speedups are filled in after the loop so they do not depend on
@@ -333,6 +367,7 @@ pub fn run_scenario(
             mem_digest: report.mem_digest,
             wall_secs,
             speedup_vs_sequential: Some(seq_cycles as f64 / report.cycles.max(1) as f64),
+            attribution: overrides.attribution.then(|| bucket_totals(&report)),
         });
     }
 
@@ -463,6 +498,7 @@ mod tests {
             RunOverrides {
                 cores: Some(4),
                 fuel: None,
+                ..RunOverrides::default()
             },
         )
         .unwrap();

@@ -63,6 +63,13 @@ pub struct RingConfig {
     pub l1_service_latency: u32,
     /// Node cache-array geometry.
     pub array: ArrayConfig,
+    /// Whether idle ticks may take the O(1) next-event short-circuit
+    /// instead of walking the nodes. Never observable in results — it
+    /// only changes how much work a no-op tick costs — but the
+    /// simulator's naive reference mode (`without_fast_forward`) turns
+    /// it off so the per-cycle baseline it measures stays a true
+    /// per-cycle loop.
+    pub event_skip: bool,
 }
 
 impl RingConfig {
@@ -80,6 +87,7 @@ impl RingConfig {
             injection_queue: 8,
             l1_service_latency: 3,
             array: ArrayConfig::paper_default(),
+            event_skip: true,
         }
     }
 

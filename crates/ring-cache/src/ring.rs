@@ -14,6 +14,7 @@ use crate::array::{CacheArray, Insert};
 use crate::config::RingConfig;
 use crate::stats::{RingStats, SharingProfile};
 use helix_ir::SegmentId;
+use std::cell::Cell;
 use std::collections::VecDeque;
 
 /// Main-lane message: a circulated store or a broadcast signal.
@@ -152,6 +153,15 @@ pub struct RingCache {
     /// injection queues). Zero means [`RingCache::tick`] is a no-op
     /// beyond advancing the clock, which makes quiescence O(1).
     in_flight: usize,
+    /// Lower bound on the earliest ready time of any queued message.
+    /// Injections update it eagerly (they know their ready time); pops
+    /// leave it conservative (possibly stale-low, never stale-high), and
+    /// a full scan refreshes it when it expires. While the bound is in
+    /// the future, [`RingCache::tick`] is provably a no-op and
+    /// [`RingCache::next_event_at`] answers without scanning — the two
+    /// paths the simulator hits every machine cycle. `Cell` because the
+    /// scan refresh happens inside the `&self` accessor.
+    next_event_lb: Cell<u64>,
     stats: RingStats,
     sharing: SharingProfile,
 }
@@ -174,8 +184,50 @@ impl RingCache {
             wake_mask: 0,
             active_mask: 0,
             in_flight: 0,
+            next_event_lb: Cell::new(u64::MAX),
             stats: RingStats::default(),
             sharing: SharingProfile::default(),
+        }
+    }
+
+    /// Build a ring cache, recycling a retired ring's allocations
+    /// (queues, per-node cache arrays, signal tables) when the spare's
+    /// geometry matches. Observable state is identical to
+    /// [`RingCache::new`] — only the heap traffic differs.
+    pub fn renew(cfg: RingConfig, spare: RingCache) -> RingCache {
+        if spare.cfg != cfg {
+            return RingCache::new(cfg);
+        }
+        let mut r = spare;
+        for n in &mut r.nodes {
+            n.array.clear();
+            n.in_main.clear();
+            n.inject.clear();
+            n.in_req.clear();
+            n.in_rep.clear();
+            n.signal_counts.clear();
+            n.signals_received = 0;
+            n.inject_drained = 0;
+            n.loads_completed = 0;
+        }
+        r.now = 0;
+        r.next_ticket = 0;
+        r.completed_loads.clear();
+        r.wake_mask = 0;
+        r.active_mask = 0;
+        r.in_flight = 0;
+        r.next_event_lb.set(u64::MAX);
+        r.stats = RingStats::default();
+        r.sharing = SharingProfile::default();
+        r
+    }
+
+    /// Record a freshly queued message's ready time in the next-event
+    /// lower bound.
+    #[inline]
+    fn note_event(&self, ready: u64) {
+        if ready < self.next_event_lb.get() {
+            self.next_event_lb.set(ready);
         }
     }
 
@@ -202,6 +254,7 @@ impl RingCache {
             return false;
         }
         let ready = self.now + self.cfg.injection_latency as u64;
+        self.note_event(ready);
         self.nodes[node].inject.push_back((
             MainMsg::Data {
                 addr,
@@ -224,6 +277,7 @@ impl RingCache {
             return false;
         }
         let ready = self.now + self.cfg.injection_latency as u64;
+        self.note_event(ready);
         self.nodes[node].inject.push_back((
             MainMsg::Signal {
                 seg,
@@ -269,6 +323,7 @@ impl RingCache {
                 owner: owner as u8,
             };
             let ready = self.now + self.cfg.injection_latency as u64 + self.cfg.hop_latency as u64;
+            self.note_event(ready);
             let next = (node + 1) % self.cfg.nodes;
             self.nodes[next].in_req.push_back((req, ready));
             self.mark_active(next);
@@ -391,6 +446,8 @@ impl RingCache {
         }
         self.sharing.finish(&mut self.stats);
         self.completed_loads.clear();
+        // Drained: no queued messages remain, so the bound resets.
+        self.next_event_lb.set(u64::MAX);
         self.now - start
     }
 
@@ -414,9 +471,20 @@ impl RingCache {
     /// change: the minimum ready time over every queued message (clamped
     /// to the next cycle for messages that are already due but were
     /// blocked by bandwidth or credits). `None` when quiescent.
+    ///
+    /// Answers from the cached lower bound while it is in the future
+    /// (the common case on the simulator's every-idle-cycle path); the
+    /// full scan runs only when the bound has expired, and refreshes it.
+    /// A cached answer can be earlier than the true next event — callers
+    /// fast-forwarding to it simply stall again and re-ask — but never
+    /// later, so no event is ever skipped.
     pub fn next_event_at(&self) -> Option<u64> {
         if self.in_flight == 0 {
             return None;
+        }
+        let lb = self.next_event_lb.get();
+        if lb > self.now {
+            return Some(lb);
         }
         let mut min = u64::MAX;
         for n in &self.nodes {
@@ -439,6 +507,9 @@ impl RingCache {
                 min = min.min(ready);
             }
         }
+        // Every queued message is strictly in the future: `min` is exact
+        // and stays a valid bound until something new is injected.
+        self.next_event_lb.set(min);
         Some(min)
     }
 
@@ -456,15 +527,18 @@ impl RingCache {
     }
 
     /// Advance the ring by one cycle. Nodes with nothing queued are
-    /// skipped outright, so a tick costs O(active nodes), not O(nodes).
+    /// skipped outright, so a tick costs O(active nodes), not O(nodes);
+    /// a tick before the next-event bound is a pure clock increment.
     pub fn tick(&mut self) {
-        if self.in_flight == 0 {
-            // Quiescence short-circuit: nothing can move.
+        if self.in_flight == 0 || (self.cfg.event_skip && self.next_event_lb.get() > self.now) {
+            // Quiescence, or every queued message is strictly in the
+            // future: nothing can move, no statistic can change.
             self.now += 1;
             return;
         }
         let now = self.now;
         let n = self.cfg.nodes;
+        let mut acted = false;
         if n <= 64 {
             // Visit only nodes with queued work, in ascending order.
             // Messages handed forward mid-tick are never ready this
@@ -478,10 +552,10 @@ impl RingCache {
                 let has_main = !node.in_main.is_empty() || !node.inject.is_empty();
                 let has_service = !node.in_req.is_empty() || !node.in_rep.is_empty();
                 if has_main {
-                    self.tick_main(i, now);
+                    acted |= self.tick_main(i, now);
                 }
                 if has_service {
-                    self.tick_service(i, now);
+                    acted |= self.tick_service(i, now);
                 }
                 if self.nodes[i].idle() {
                     self.active_mask &= !(1 << i);
@@ -492,9 +566,15 @@ impl RingCache {
                 if self.nodes[i].idle() {
                     continue;
                 }
-                self.tick_main(i, now);
-                self.tick_service(i, now);
+                acted |= self.tick_main(i, now);
+                acted |= self.tick_service(i, now);
             }
+        }
+        if !acted && self.cfg.event_skip {
+            // The walk changed nothing: the expired bound was stale.
+            // Pay for one scan now so the ticks until the true next
+            // event take the O(1) path above.
+            let _ = self.next_event_at();
         }
         self.now += 1;
     }
@@ -505,7 +585,10 @@ impl RingCache {
         self.active_mask |= 1 << (node as u64 & 63);
     }
 
-    fn tick_main(&mut self, i: usize, now: u64) {
+    /// Returns whether anything observable changed (a message moved, or
+    /// a stall statistic was charged) — `false` means the visit was a
+    /// no-op the caller may avoid repeating until the next event bound.
+    fn tick_main(&mut self, i: usize, now: u64) -> bool {
         let n = self.cfg.nodes;
         let next = if i + 1 == n { 0 } else { i + 1 };
         let hop = self.cfg.hop_latency as u64;
@@ -518,6 +601,7 @@ impl RingCache {
                 .link_buffers
                 .saturating_sub(self.nodes[next].in_main.len())
         };
+        let mut acted = false;
         let mut processed_through = false;
         let mut forwarded = false;
 
@@ -539,10 +623,12 @@ impl RingCache {
             let forward = next != msg.origin() && n > 1;
             if forward && next_free == 0 {
                 self.stats.credit_stalls += 1;
+                acted = true;
                 break;
             }
             self.nodes[i].in_main.pop_front();
             *budget -= 1;
+            acted = true;
             processed_through = true;
             self.handle_main(i, msg);
             if forward {
@@ -563,6 +649,7 @@ impl RingCache {
                     MainMsg::Signal { .. } => &mut sig_budget,
                 };
                 if ready <= now && *budget > 0 {
+                    acted = true;
                     let forward = n > 1;
                     if !forward || next_free > 0 {
                         self.nodes[i].inject.pop_front();
@@ -587,6 +674,7 @@ impl RingCache {
         if forwarded {
             self.mark_active(next);
         }
+        acted
     }
 
     /// Apply a main-lane message's effect at node `i`.
@@ -611,14 +699,17 @@ impl RingCache {
         }
     }
 
-    fn tick_service(&mut self, i: usize, now: u64) {
+    /// Returns whether any message moved (see [`RingCache::tick_main`]).
+    fn tick_service(&mut self, i: usize, now: u64) -> bool {
         let n = self.cfg.nodes;
         let next = if i + 1 == n { 0 } else { i + 1 };
         let hop = self.cfg.hop_latency as u64;
+        let mut acted = false;
         // Requests: one per cycle. Forwards move straight to the next
         // link (pop + push: in-flight total untouched).
         if let Some(&(req, ready)) = self.nodes[i].in_req.front() {
             if ready <= now {
+                acted = true;
                 self.nodes[i].in_req.pop_front();
                 if req.owner as usize == i {
                     self.in_flight -= 1;
@@ -651,6 +742,7 @@ impl RingCache {
         // Replies: one per cycle.
         if let Some(&(rep, ready)) = self.nodes[i].in_rep.front() {
             if ready <= now {
+                acted = true;
                 self.nodes[i].in_rep.pop_front();
                 if rep.requester as usize == i {
                     self.in_flight -= 1;
@@ -663,6 +755,7 @@ impl RingCache {
                 }
             }
         }
+        acted
     }
 }
 

@@ -7,10 +7,16 @@
 //! chaos harness (fault-injected cells stay isolated from their
 //! batched neighbours).
 
+use helix_rc::api::{decode_request, execute, Request, Response, RunOptions, SpecSource};
 use helix_rc::campaign::{load_campaign, run_campaign_with, CampaignRunOptions};
+use helix_rc::hcc::{compile, CompiledProgram, HccConfig};
 use helix_rc::resilient::FaultPlan;
-use helix_rc::sim::EngineSel;
+use helix_rc::sim::{EngineSel, Machine, MachineConfig, SimSession};
+use helix_rc::workloads::{by_name, Scale};
+use helix_rc::CampaignSource;
+use proptest::prelude::*;
 use std::path::PathBuf;
+use std::sync::OnceLock;
 
 fn repo_path(rel: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
@@ -121,4 +127,128 @@ fn chaos_failure_isolation_is_lane_invariant() {
         single.to_json(),
         "chaos run must be lane-invariant (same failures, same survivors)"
     );
+}
+
+/// One compiled workload shared across every proptest case: the
+/// session's exactness contract is schedule-independent, so one program
+/// with mixed machine shapes on top exercises everything the strategy
+/// varies.
+fn compiled_gzip() -> &'static CompiledProgram {
+    static COMPILED: OnceLock<CompiledProgram> = OnceLock::new();
+    COMPILED.get_or_init(|| {
+        let w = by_name("164.gzip", Scale::Test).expect("gzip workload");
+        compile(&w.program, &HccConfig::v3(4)).expect("gzip compiles")
+    })
+}
+
+/// One lane's machine shape and fuel, drawn at random: helix-rc or
+/// conventional, 2 or 4 cores, any engine, and a fuel budget that
+/// either exhausts mid-run or lets the program complete.
+fn lane_strategy() -> impl Strategy<Value = (MachineConfig, u64)> {
+    (
+        any::<bool>(),
+        prop_oneof![Just(2usize), Just(4usize)],
+        prop_oneof![
+            Just(EngineSel::Tree),
+            Just(EngineSel::Decoded),
+            Just(EngineSel::Batched),
+        ],
+        prop_oneof![Just(1u64 << 12), Just(1u64 << 24)],
+    )
+        .prop_map(|(ring, cores, engine, fuel)| {
+            let cfg = if ring {
+                MachineConfig::helix_rc(cores)
+            } else {
+                MachineConfig::conventional(cores)
+            };
+            (cfg.with_engine(engine), fuel)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property form of the lane-exactness pin at the session layer:
+    /// for ANY lane count, enqueue order, engine mix, shape mix, and
+    /// fuel mix, every lane's report (or error) out of the
+    /// event-cooperative drain is byte-identical to a standalone
+    /// `Machine::run` of the same config — including lanes recycled
+    /// out of the session's machine pool on later drains.
+    #[test]
+    fn random_lane_mixes_match_standalone_runs(
+        lanes in prop::collection::vec(lane_strategy(), 1..7),
+        redrain in any::<bool>(),
+    ) {
+        let compiled = compiled_gzip();
+        let mut session = SimSession::new(&compiled.program, &compiled.plans);
+        let rounds = if redrain { 2 } else { 1 };
+        for _ in 0..rounds {
+            for (cfg, fuel) in &lanes {
+                session.enqueue(cfg.clone(), *fuel);
+            }
+            for (ix, result) in session.drain().into_iter().enumerate() {
+                let (cfg, fuel) = &lanes[ix];
+                let standalone =
+                    Machine::new(&compiled.program, &compiled.plans, cfg.clone()).run(*fuel);
+                prop_assert_eq!(
+                    format!("{:?}", result.result),
+                    format!("{:?}", standalone),
+                    "lane {} (cfg {:?}) diverged from its standalone run",
+                    ix,
+                    cfg
+                );
+            }
+        }
+    }
+}
+
+/// `lanes = 0` is rejected as a typed usage error at the API layer —
+/// for both scenario and campaign requests — before any source is
+/// loaded or any cell runs.
+#[test]
+fn lanes_zero_is_a_typed_usage_error() {
+    let requests = [
+        Request::RunScenario {
+            source: SpecSource::Inline(String::new()),
+            options: RunOptions::default().with_lanes(0),
+        },
+        Request::RunCampaign {
+            source: CampaignSource::Inline {
+                campaign: String::new(),
+                scenarios: Vec::new(),
+            },
+            options: RunOptions::default().with_lanes(0),
+        },
+    ];
+    for request in requests {
+        match execute(request) {
+            Response::Error(e) => {
+                assert_eq!(e.kind.code(), "E_USAGE");
+                assert!(
+                    e.message.contains("lanes"),
+                    "unexpected message: {}",
+                    e.message
+                );
+            }
+            other => panic!("lanes=0 must fail, got {other:?}"),
+        }
+    }
+}
+
+/// The same guard on the service wire: a request line carrying
+/// `"lanes": 0` fails to decode with a typed protocol error.
+#[test]
+fn wire_lanes_zero_is_a_typed_protocol_error() {
+    for line in [
+        r#"{"v": 1, "type": "run_scenario", "spec": "", "options": {"lanes": 0}}"#,
+        r#"{"v": 1, "type": "run_campaign", "campaign": "", "scenarios": [], "options": {"lanes": 0}}"#,
+    ] {
+        let err = decode_request(line).expect_err("lanes=0 must not decode");
+        assert_eq!(err.kind.code(), "E_PROTOCOL");
+        assert!(
+            err.message.contains("lanes"),
+            "unexpected message: {}",
+            err.message
+        );
+    }
 }

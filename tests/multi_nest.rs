@@ -96,6 +96,7 @@ fn scenario_reports_carry_consistent_nest_rows() {
         RunOverrides {
             cores: Some(8),
             fuel: None,
+            ..RunOverrides::default()
         },
     )
     .expect("962.cov_lo runs");
@@ -132,6 +133,7 @@ fn scenario_reports_carry_consistent_nest_rows() {
         RunOverrides {
             cores: Some(8),
             fuel: None,
+            ..RunOverrides::default()
         },
     )
     .expect("962.cov_lo runs twice");

@@ -119,6 +119,7 @@ fn every_committed_scenario_runs_end_to_end() {
             RunOverrides {
                 cores: Some(8),
                 fuel: None,
+                ..RunOverrides::default()
             },
         )
         .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
@@ -152,6 +153,7 @@ fn scenario_reports_are_deterministic() {
         let overrides = RunOverrides {
             cores: Some(4),
             fuel: None,
+            ..RunOverrides::default()
         };
         let a = run_scenario(&spec, Scale::Test, overrides).expect(name);
         let b = run_scenario(&spec, Scale::Test, overrides).expect(name);
