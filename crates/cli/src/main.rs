@@ -15,12 +15,14 @@
 //! helix list scenarios/                     # one line per scenario
 //! helix smoke scenarios/ --cores 8          # CI gate: every spec must run clean
 //! helix campaign campaigns/smoke.toml       # cross-scenario sweep from one config
+//! helix explore --seed 7 --budget 100       # property-fuzz generated scenarios
 //! helix serve --socket /tmp/helix.sock      # resident campaign service
 //! helix submit --socket /tmp/helix.sock campaigns/smoke.toml
 //! helix export scenarios/                   # (re)write the built-in specs
 //! ```
 
 use helix_rc::api::{self, CampaignSource, Request, Response, RunOptions, SpecSource};
+use helix_rc::explore::ExploreOptions;
 use helix_rc::resilient::FaultPlan;
 use helix_rc::scenario::ScenarioReport;
 use helix_rc::service::{serve, submit, ServeOptions};
@@ -44,6 +46,8 @@ USAGE:
                    [--retries N] [--cycle-budget N] [--wall-budget-ms N]
                    [--chaos-seed N] [--chaos-panics N] [--chaos-stalls N]
                    [--chaos-blowouts N] [--chaos-stall-ms N] [--chaos-transient]
+    helix explore  [--seed N] [--budget N] [--cores N] [--fuel N]
+                   [--out FILE] [--export-dir DIR] [--quiet]
     helix serve    --socket PATH [--journal DIR] [--workers N]
     helix submit   --socket PATH <spec.toml|campaign.toml>
                    [--full] [--out FILE] [--quiet] [--lanes N]
@@ -70,6 +74,14 @@ COMMANDS:
              printed (JSON report via --out). Failed cells are enumerated
              in the report and exit code 3 flags them. See
              docs/CAMPAIGNS.md.
+    explore  Property-driven scenario fuzzing: generate --budget valid
+             specs from --seed, run each at smoke scale through the
+             differential-oracle battery (engine agreement, fast-forward
+             and lane exactness, coverage sums, Amdahl bounds), shrink
+             any failure or frontier extreme to a minimal runnable TOML,
+             and emit a deterministic JSON report (same seed + budget =>
+             byte-identical). Exit 1 if any oracle fired. See
+             docs/EXPLORE.md.
     serve    Run the resident campaign service on a Unix-domain socket:
              concurrent submissions, a bounded worker pool, and a shared
              journal that answers repeat submissions without simulating.
@@ -86,8 +98,14 @@ COMMANDS:
              workloads) into a directory as TOML.
 
 OPTIONS:
-    --cores N          Override the spec's core count (run/smoke)
-    --fuel N           Override the spec's simulation cycle budget (run/smoke)
+    --cores N          Override the spec's core count (run/smoke/explore)
+    --fuel N           Override the spec's simulation cycle budget
+                       (run/smoke/explore)
+    --seed N           Generator stream seed (explore; default 0)
+    --budget N         Number of generated specs to examine (explore;
+                       default 50)
+    --export-dir DIR   Also write each shrunk failure/frontier TOML as a
+                       runnable scenario file into DIR (explore)
     --full             Use the Full problem scale (default: Test)
     --out FILE         Write the JSON report here
     --out-dir DIR      Write one <name>.report.json per scenario
@@ -191,6 +209,9 @@ struct Options {
     full: bool,
     out: Option<PathBuf>,
     out_dir: Option<PathBuf>,
+    seed: Option<u64>,
+    budget: Option<usize>,
+    export_dir: Option<PathBuf>,
     quiet: bool,
     journal: Option<PathBuf>,
     resume: bool,
@@ -245,6 +266,23 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--full" => opts.full = true,
             "--out" => opts.out = Some(PathBuf::from(value_of("--out")?)),
             "--out-dir" => opts.out_dir = Some(PathBuf::from(value_of("--out-dir")?)),
+            "--seed" => {
+                opts.seed = Some(
+                    value_of("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                );
+            }
+            "--budget" => {
+                let budget: usize = value_of("--budget")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?;
+                if budget == 0 {
+                    return Err("--budget must be >= 1".into());
+                }
+                opts.budget = Some(budget);
+            }
+            "--export-dir" => opts.export_dir = Some(PathBuf::from(value_of("--export-dir")?)),
             "--quiet" => opts.quiet = true,
             "--journal" => opts.journal = Some(PathBuf::from(value_of("--journal")?)),
             "--resume" => opts.resume = true,
@@ -511,15 +549,95 @@ fn cmd_list(opts: &Options) -> Result<(), String> {
     let files = collect_spec_files(&opts.inputs)?;
     for file in &files {
         let spec = load_spec(file)?;
+        // Multi-nest scenarios list their nests; the classic
+        // single-pipeline form counts as one.
+        let nests = spec.nests.len().max(1);
+        let kinds = spec.dist_kinds();
+        let dists = if kinds.is_empty() {
+            // Fixed per-iteration work: no distribution in play.
+            "-".to_string()
+        } else {
+            kinds.join(",")
+        };
         println!(
-            "{:<12} {:<4} n={:<5} {}",
+            "{:<12} {:<4} n={:<5} nests={:<2} dists={:<12} {}",
             spec.name,
             spec.kind.render(),
             spec.base_n,
+            nests,
+            dists,
             spec.description
         );
     }
     Ok(())
+}
+
+fn cmd_explore(opts: &Options) -> Result<ExitCode, String> {
+    if !opts.inputs.is_empty() {
+        return Err("explore takes no positional arguments (it generates its own specs)".into());
+    }
+    let defaults = ExploreOptions::default();
+    let response = api::execute(Request::Explore {
+        options: ExploreOptions {
+            seed: opts.seed.unwrap_or(defaults.seed),
+            budget: opts.budget.unwrap_or(defaults.budget),
+            cores: opts.cores.unwrap_or(defaults.cores),
+            fuel: opts.fuel.unwrap_or(defaults.fuel),
+            export_dir: opts.export_dir.clone(),
+        },
+    });
+    let (json, report) = match &response {
+        Response::Explore { json, report, .. } => (json, report),
+        Response::Error(e) => return Ok(fail_response(e)),
+        other => return Err(format!("unexpected response: {other:?}")),
+    };
+    if let Some(report) = report {
+        if !opts.quiet {
+            println!(
+                "explore seed={} budget={}: {} spec(s), {} oracle check(s), {} failure(s)",
+                report.seed,
+                report.budget,
+                report.specs_run,
+                report.oracle_checks,
+                report.failures.len()
+            );
+            for f in &report.failures {
+                println!(
+                    "  FAIL [{}] #{} {}: {}",
+                    f.oracle, f.index, f.spec, f.detail
+                );
+            }
+            if let Some(hit) = &report.frontier.min_bound_frac {
+                println!(
+                    "  frontier min bound_frac {:.3} at #{} {}",
+                    hit.value, hit.index, hit.spec
+                );
+            }
+            if let Some(hit) = &report.frontier.max_comm_frac {
+                println!(
+                    "  frontier max comm_frac {:.3} at #{} {}",
+                    hit.value, hit.index, hit.spec
+                );
+            }
+            for inv in &report.frontier.inversions {
+                println!(
+                    "  inversion at #{} {}: v1 {:.2}x, v2 {:.2}x, helix-rc {:.2}x",
+                    inv.index, inv.spec, inv.v1, inv.v2, inv.helix_rc
+                );
+            }
+        }
+    }
+    if let Some(out) = &opts.out {
+        std::fs::write(out, json).map_err(|e| format!("cannot write '{}': {e}", out.display()))?;
+        if !opts.quiet {
+            println!("report -> {}", out.display());
+        }
+    } else if opts.quiet {
+        // Quiet with no --out still leaves the report on stdout, so
+        // `helix explore --quiet > report.json` stays scriptable.
+        print!("{json}");
+    }
+    Ok(ExitCode::from(response.exit_code()))
 }
 
 fn cmd_smoke(opts: &Options) -> Result<(), String> {
@@ -816,6 +934,7 @@ fn main() -> ExitCode {
         "list" => cmd_list(&opts).map(|()| ExitCode::SUCCESS),
         "smoke" => cmd_smoke(&opts).map(|()| ExitCode::SUCCESS),
         "campaign" => cmd_campaign(&opts),
+        "explore" => cmd_explore(&opts),
         "serve" => cmd_serve(&opts),
         "submit" => cmd_submit(&opts),
         "diff" => cmd_diff(&opts),

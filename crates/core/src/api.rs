@@ -2,8 +2,8 @@
 //!
 //! One typed surface — [`Request`] in, [`Response`] out, via
 //! [`execute`] — backs the `helix` CLI subcommands (`run`, `check`,
-//! `campaign`, `diff`), the resident service (`helix serve`), and the
-//! submit client. The legacy free functions
+//! `campaign`, `diff`, `explore`), the resident service (`helix
+//! serve`), and the submit client. The legacy free functions
 //! ([`run_scenario`], [`run_campaign`](crate::campaign::run_campaign)
 //! and friends) remain
 //! as thin conveniences over the same machinery.
@@ -29,6 +29,7 @@ use crate::campaign::{
     load_campaign, run_campaign_stats, CampaignReport, CampaignRunOptions, CampaignRunStats,
 };
 use crate::error::{ErrorKind, HelixError};
+use crate::explore::{run_explore, ExploreOptions, ExploreReport};
 use crate::report::{json_escape, SCHEMA_VERSION};
 use crate::resilient::{fnv1a, FaultPlan, Journal, FNV_OFFSET};
 use crate::scenario::{run_scenario, RunOverrides, ScenarioReport};
@@ -265,6 +266,13 @@ pub enum Request {
         /// Full text of the second report.
         b_text: String,
     },
+    /// Property-driven scenario fuzzing: examine a seed-deterministic
+    /// stream of generated specs through the differential oracle
+    /// battery (see [`crate::explore`]).
+    Explore {
+        /// Explore options (seed, budget, cores, fuel, export dir).
+        options: ExploreOptions,
+    },
     /// Service liveness/counters probe (meaningful against `helix
     /// serve`; local [`execute`] answers with zeroed counters).
     Status,
@@ -340,6 +348,17 @@ pub enum Response {
         /// version mismatch, or the differing line region.
         detail: String,
     },
+    /// A completed explore run.
+    Explore {
+        /// The deterministic report JSON (byte-identical for the same
+        /// seed + budget + cores + fuel).
+        json: String,
+        /// Oracle failures found (0 means every check passed).
+        failures: usize,
+        /// The structured report. Present on local execution; `None`
+        /// after a wire round-trip.
+        report: Option<Box<ExploreReport>>,
+    },
     /// Service counters.
     Status(ServiceStatus),
     /// The service acknowledged [`Request::Shutdown`] and will exit.
@@ -359,6 +378,7 @@ impl Response {
             Response::Error(e) => e.kind.exit_code(),
             Response::Campaign { stats, .. } if stats.failed > 0 => EXIT_CELL_FAILURES,
             Response::Diff { identical, .. } if !identical => 1,
+            Response::Explore { failures, .. } if *failures > 0 => 1,
             _ => 0,
         }
     }
@@ -446,6 +466,14 @@ fn try_execute(request: Request) -> Result<Response, HelixError> {
         } => {
             let (identical, detail) = diff_reports(&a_name, &a_text, &b_name, &b_text);
             Ok(Response::Diff { identical, detail })
+        }
+        Request::Explore { options } => {
+            let report = run_explore(&options)?;
+            Ok(Response::Explore {
+                json: report.to_json(),
+                failures: report.failures.len(),
+                report: Some(Box::new(report)),
+            })
         }
         Request::Status => Ok(Response::Status(ServiceStatus::default())),
         Request::Shutdown => Ok(Response::ShuttingDown),
@@ -1027,6 +1055,20 @@ pub fn encode_request(request: &Request) -> Result<String, HelixError> {
             push_str_field(&mut out, "b_name", b_name);
             push_str_field(&mut out, "b_text", b_text);
         }
+        Request::Explore { options } => {
+            if options.export_dir.is_some() {
+                return Err(HelixError::usage(
+                    "the explore export directory is local-execution only and cannot cross \
+                     the wire (the report JSON already embeds every shrunk TOML)",
+                ));
+            }
+            out.push_str(", \"type\": \"explore\"");
+            let _ = write!(
+                out,
+                ", \"seed\": {}, \"budget\": {}, \"cores\": {}, \"fuel\": {}",
+                options.seed, options.budget, options.cores, options.fuel
+            );
+        }
         Request::Status => out.push_str(", \"type\": \"status\""),
         Request::Shutdown => out.push_str(", \"type\": \"shutdown\""),
     }
@@ -1099,6 +1141,26 @@ pub fn decode_request(line: &str) -> Result<Request, HelixError> {
             b_name: str_field(&value, "b_name")?.to_string(),
             b_text: str_field(&value, "b_text")?.to_string(),
         }),
+        "explore" => {
+            let defaults = ExploreOptions::default();
+            let int_of = |key: &str, fallback: u64| -> Result<u64, HelixError> {
+                match value.get(key) {
+                    None => Ok(fallback),
+                    Some(v) => v.as_u64().ok_or_else(|| {
+                        HelixError::protocol(format!("'{key}' must be a non-negative integer"))
+                    }),
+                }
+            };
+            Ok(Request::Explore {
+                options: ExploreOptions {
+                    seed: int_of("seed", defaults.seed)?,
+                    budget: int_of("budget", defaults.budget as u64)? as usize,
+                    cores: int_of("cores", defaults.cores as u64)? as usize,
+                    fuel: int_of("fuel", defaults.fuel)?,
+                    export_dir: None,
+                },
+            })
+        }
         "status" => Ok(Request::Status),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(HelixError::protocol(format!(
@@ -1174,6 +1236,11 @@ pub fn encode_response(response: &Response) -> String {
             out.push_str(", \"type\": \"diff\"");
             let _ = write!(out, ", \"identical\": {identical}");
             push_str_field(&mut out, "detail", detail);
+        }
+        Response::Explore { json, failures, .. } => {
+            out.push_str(", \"type\": \"explore\"");
+            push_str_field(&mut out, "json", json);
+            let _ = write!(out, ", \"failures\": {failures}");
         }
         Response::Status(status) => {
             out.push_str(", \"type\": \"status\"");
@@ -1253,6 +1320,15 @@ pub fn decode_response(line: &str) -> Result<Response, HelixError> {
                 .and_then(Json::as_bool)
                 .ok_or_else(|| HelixError::protocol("missing or non-bool field 'identical'"))?,
             detail: str_field(&value, "detail")?.to_string(),
+        }),
+        "explore" => Ok(Response::Explore {
+            json: str_field(&value, "json")?.to_string(),
+            failures: value
+                .get("failures")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| HelixError::protocol("missing or non-integer field 'failures'"))?
+                as usize,
+            report: None,
         }),
         "status" => {
             let count = |key: &str| {
@@ -1471,6 +1547,93 @@ mod tests {
             }
             other => panic!("expected Checked, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn explore_request_wire_roundtrip() {
+        let request = Request::Explore {
+            options: ExploreOptions {
+                seed: 7,
+                budget: 12,
+                cores: 2,
+                fuel: 1 << 20,
+                export_dir: None,
+            },
+        };
+        let line = encode_request(&request).unwrap();
+        assert!(!line.contains('\n'));
+        assert_eq!(decode_request(&line).unwrap(), request);
+        // Missing fields fall back to the defaults.
+        let decoded = decode_request("{\"v\": 1, \"type\": \"explore\", \"seed\": 3}").unwrap();
+        assert_eq!(
+            decoded,
+            Request::Explore {
+                options: ExploreOptions {
+                    seed: 3,
+                    ..ExploreOptions::default()
+                },
+            }
+        );
+    }
+
+    #[test]
+    fn explore_export_dir_does_not_cross_the_wire() {
+        let request = Request::Explore {
+            options: ExploreOptions {
+                export_dir: Some(PathBuf::from("/tmp/keepers")),
+                ..ExploreOptions::default()
+            },
+        };
+        assert_eq!(encode_request(&request).unwrap_err().kind, ErrorKind::Usage);
+    }
+
+    #[test]
+    fn explore_response_wire_roundtrip_and_exit_codes() {
+        let response = Response::Explore {
+            json: "{\n  \"seed\": 0\n}\n".into(),
+            failures: 0,
+            report: None,
+        };
+        assert_eq!(
+            decode_response(&encode_response(&response)).unwrap(),
+            response
+        );
+        assert_eq!(response.exit_code(), 0);
+        let failed = Response::Explore {
+            json: String::new(),
+            failures: 2,
+            report: None,
+        };
+        assert_eq!(failed.exit_code(), 1);
+    }
+
+    #[test]
+    fn execute_runs_a_tiny_explore() {
+        let response = execute(Request::Explore {
+            options: ExploreOptions {
+                seed: 0,
+                budget: 1,
+                cores: 2,
+                fuel: 1 << 22,
+                export_dir: None,
+            },
+        });
+        match response {
+            Response::Explore { json, report, .. } => {
+                let report = report.expect("local execution carries the report");
+                assert_eq!(report.specs_run, 1);
+                assert_eq!(json, report.to_json());
+            }
+            other => panic!("expected Explore, got {other:?}"),
+        }
+        // Zero budget is a usage error.
+        let bad = execute(Request::Explore {
+            options: ExploreOptions {
+                budget: 0,
+                ..ExploreOptions::default()
+            },
+        });
+        assert_eq!(bad.exit_code(), 2);
     }
 
     #[test]

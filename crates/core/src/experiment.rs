@@ -511,8 +511,10 @@ pub struct CoupledVsRing {
 }
 
 /// Communication fraction of a report: communication + dependence
-/// waiting + wait/signal cycles over all busy cycles.
-fn comm_frac(r: &RunReport) -> f64 {
+/// waiting + wait/signal cycles over all busy cycles. Shared with the
+/// explore harness so frontier `comm_frac` means exactly what the
+/// Fig. 9 experiment reports.
+pub(crate) fn comm_frac(r: &RunReport) -> f64 {
     let comm = r.attribution.total(Bucket::Communication)
         + r.attribution.total(Bucket::DependenceWaiting)
         + r.attribution.total(Bucket::WaitSignal);

@@ -31,7 +31,12 @@
 //!   codec and structured [`HelixError`] codes;
 //! * [`service`] — `helix serve`: a resident campaign service on a
 //!   Unix-domain socket with a bounded worker pool, single-flight
-//!   dedup, and journal-hit answers for repeat submissions.
+//!   dedup, and journal-hit answers for repeat submissions;
+//! * [`explore`] — `helix explore`: seed-deterministic scenario
+//!   fuzzing through a battery of differential oracles (engine
+//!   agreement, fast-forward exactness, lane invariance, coverage
+//!   accounting, Amdahl bounds) with frontier search and auto-shrunk,
+//!   runnable-TOML findings.
 //!
 //! # Examples
 //!
@@ -54,6 +59,7 @@ pub mod batch;
 pub mod campaign;
 pub mod error;
 pub mod experiment;
+pub mod explore;
 pub mod related;
 pub mod report;
 pub mod resilient;
@@ -72,6 +78,7 @@ pub use experiment::{
     overhead_breakdown, sharing_profile, sweep_core_count, sweep_ring, ExperimentOptions,
     LatticePoint,
 };
+pub use explore::{run_explore, shrink_spec, ExploreOptions, ExploreReport};
 pub use resilient::{CellFailure, FailureKind, FaultPlan, Journal};
 pub use scenario::{run_scenario, RunOverrides, ScenarioReport};
 pub use service::{serve, submit, ServeOptions};

@@ -276,6 +276,11 @@ fn dispatch(request: Request, shared: &Shared) -> Response {
         }
         Request::Shutdown => Response::ShuttingDown,
         Request::Diff { .. } => api::execute(request),
+        // Explore is deterministic but simulation-heavy: gate it on a
+        // worker permit like Check (no journal — the report embeds its
+        // own reproduction TOMLs, and reruns are cheap relative to the
+        // bookkeeping of caching them).
+        Request::Explore { .. } => run_gated(request, shared),
         Request::Check { .. } => run_gated(request, shared),
         Request::RunScenario {
             source,

@@ -499,10 +499,17 @@ fn transform_loop(
     let segment_plans = segments::assign_segments(&mut p, lp, &deps, config.split, next_seg_id)?;
 
     // --- Place wait/signal ---
+    // Each segment's placement may split edges, and the new blocks belong
+    // to the loop; later segments must see them as loop members or their
+    // reachability analysis treats the split edge as a loop exit and
+    // skips bypass synchronization (a shared access in the other branch
+    // of a guard would then run outside its window).
     let mut loop_blocks = lp.blocks.clone();
+    let mut sync_lp = lp.clone();
     for seg in &segment_plans {
-        let added = placement::place_sync(&mut p, lp, seg.id, config.placement);
-        loop_blocks.extend(added);
+        let added = placement::place_sync(&mut p, &sync_lp, seg.id, config.placement);
+        loop_blocks.extend(added.iter().copied());
+        sync_lp.blocks.extend(added);
     }
 
     // --- Per-iteration re-computation prologue ---

@@ -76,6 +76,86 @@ pub enum Distribution {
         /// Samples per phase before the regime flips (>= 1).
         period: i64,
     },
+    /// Open-loop server load: each slot is a fixed time window that
+    /// receives an approximately-Poisson number of requests with
+    /// expected value `mean`, each costing `service` units. Arrivals
+    /// don't wait for the server (the defining property of open-loop
+    /// load generators), so per-slot work has unbounded-looking spikes
+    /// whenever several requests land in one window. Sampled as
+    /// Binomial(8·mean, 1/8) — pure integer arithmetic, bit-exact
+    /// across platforms. An empty slot costs 1 unit (the poll).
+    OpenLoop {
+        /// Expected requests per slot (>= 1).
+        mean: i64,
+        /// Work units per request (>= 1).
+        service: i64,
+    },
+    /// Closed-loop server load: a fixed population of `users` clients
+    /// each cycle think -> request -> think, so at most `users`
+    /// requests are ever outstanding and load self-limits (the classic
+    /// closed-loop contrast to [`Distribution::OpenLoop`]). Each slot,
+    /// every user independently finishes thinking with probability
+    /// 1/`think` and issues one request costing `service` units; an
+    /// idle slot costs 1 unit.
+    ClosedLoop {
+        /// Client population size (>= 1).
+        users: i64,
+        /// Expected slots a client spends thinking between requests.
+        think: i64,
+        /// Work units per request (>= 1).
+        service: i64,
+    },
+    /// Heavy-tailed request latency over a zipf-popular object space:
+    /// most slots hit hot (cached) objects and cost `base`, but roughly
+    /// one slot in `period` misses to a cold object whose extra cost is
+    /// [`Distribution::Zipf`]-distributed over `1..=max` — the p99 tail
+    /// regime of server traffic, where rare cold misses dominate the
+    /// latency distribution.
+    TailBurst {
+        /// Work units of a hot-object hit.
+        base: i64,
+        /// Inclusive upper bound on the zipf-distributed miss cost.
+        max: i64,
+        /// Expected slots between cold misses (>= 1).
+        period: i64,
+    },
+}
+
+/// One draw from the discrete log-uniform zipf sampler shared by
+/// [`Distribution::Zipf`] and [`Distribution::TailBurst`]: a uniformly
+/// random octave `[2^k, 2^(k+1))`, then uniform within it, redrawing
+/// values above `max` so a partial top octave is weighted by its width.
+/// Retries are capped so sampling always terminates; the odds of
+/// exhausting them are < 2^-64.
+fn zipf_draw(max: u64, rng: &mut SplitMix64) -> i64 {
+    let octaves = 64 - max.leading_zeros() as u64;
+    let mut v = 1;
+    for _ in 0..64 {
+        let lo = 1u64 << rng.next_below(octaves);
+        v = lo + rng.next_below(lo);
+        if v <= max {
+            break;
+        }
+        v = 1;
+    }
+    v as i64
+}
+
+/// Mean of [`zipf_draw`] over `1..=max`: each octave is weighted by its
+/// (possibly partial) width, and within an octave the mean is the
+/// midpoint.
+fn zipf_mean(max: u64) -> f64 {
+    let octaves = 64 - max.leading_zeros();
+    let mut sum = 0.0;
+    let mut weight = 0.0;
+    for k in 0..octaves {
+        let lo = 1u64 << k;
+        let width = (lo.min(max + 1 - lo)) as f64;
+        let w = width / lo as f64;
+        sum += w * (lo as f64 + (width - 1.0) / 2.0);
+        weight += w;
+    }
+    sum / weight
 }
 
 impl Distribution {
@@ -124,29 +204,50 @@ impl Distribution {
                 k
             }
             Distribution::Zipf { max } => {
-                let max = max.max(1) as u64;
                 // floor(log2(max)) + 1 octaves; each full octave is
                 // equally likely, so density falls off ~1/x across
-                // octave boundaries. Draws past `max` (possible only in
-                // the top, partial octave) are rejected and redrawn,
-                // which scales that octave's probability by its width —
-                // without this, Zipf{max: 256} would hand the single
-                // value 256 a whole octave's probability mass. Retries
-                // are capped so sampling always terminates; the odds of
-                // exhausting them are < 2^-64.
-                let octaves = 64 - max.leading_zeros() as u64;
-                let mut v = 1;
-                for _ in 0..64 {
-                    let lo = 1u64 << rng.next_below(octaves);
-                    v = lo + rng.next_below(lo);
-                    if v <= max {
-                        break;
-                    }
-                    v = 1;
-                }
-                v as i64
+                // octave boundaries. Without the partial-top-octave
+                // rejection inside `zipf_draw`, Zipf{max: 256} would
+                // hand the single value 256 a whole octave's
+                // probability mass.
+                zipf_draw(max.max(1) as u64, rng)
             }
             Distribution::PhaseChange { low, .. } => low,
+            Distribution::OpenLoop { mean, service } => {
+                // Binomial(8*mean, 1/8) ~ Poisson(mean); validation
+                // bounds `mean` so the trial loop stays cheap.
+                let trials = 8 * mean.max(1) as u64;
+                let mut arrivals = 0i64;
+                for _ in 0..trials {
+                    if rng.next_below(8) == 0 {
+                        arrivals += 1;
+                    }
+                }
+                1 + arrivals * service.max(1)
+            }
+            Distribution::ClosedLoop {
+                users,
+                think,
+                service,
+            } => {
+                // Each of the `users` clients finishes its think time
+                // this slot with probability 1/think.
+                let think = think.max(1) as u64;
+                let mut requests = 0i64;
+                for _ in 0..users.max(1) {
+                    if rng.next_below(think) == 0 {
+                        requests += 1;
+                    }
+                }
+                1 + requests * service.max(1)
+            }
+            Distribution::TailBurst { base, max, period } => {
+                if rng.next_below(period.max(1) as u64) == 0 {
+                    base + zipf_draw(max.max(1) as u64, rng)
+                } else {
+                    base
+                }
+            }
         };
         v.max(1)
     }
@@ -165,24 +266,36 @@ impl Distribution {
                 p * long as f64 + (1.0 - p) * short as f64
             }
             Distribution::Geometric { mean, cap } => (mean as f64).min(cap as f64),
-            Distribution::Zipf { max } => {
-                // Mean of the discrete log-uniform sampler: each octave
-                // is weighted by its (possibly partial) width, and
-                // within an octave the mean is the midpoint.
-                let max = max.max(1) as u64;
-                let octaves = 64 - max.leading_zeros();
-                let mut sum = 0.0;
-                let mut weight = 0.0;
-                for k in 0..octaves {
-                    let lo = 1u64 << k;
-                    let width = (lo.min(max + 1 - lo)) as f64;
-                    let w = width / lo as f64;
-                    sum += w * (lo as f64 + (width - 1.0) / 2.0);
-                    weight += w;
-                }
-                sum / weight
-            }
+            Distribution::Zipf { max } => zipf_mean(max.max(1) as u64),
             Distribution::PhaseChange { low, high, .. } => (low + high) as f64 / 2.0,
+            Distribution::OpenLoop { mean, service } => {
+                1.0 + mean.max(1) as f64 * service.max(1) as f64
+            }
+            Distribution::ClosedLoop {
+                users,
+                think,
+                service,
+            } => 1.0 + users.max(1) as f64 * service.max(1) as f64 / think.max(1) as f64,
+            Distribution::TailBurst { base, max, period } => {
+                base as f64 + zipf_mean(max.max(1) as u64) / period.max(1) as f64
+            }
+        }
+    }
+
+    /// The stable TOML `kind` string for this variant — the same token
+    /// `ScenarioSpec` serialization uses, so tooling (e.g. `helix
+    /// list`) can name a distribution without reimplementing the match.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Distribution::Fixed { .. } => "fixed",
+            Distribution::Uniform { .. } => "uniform",
+            Distribution::Bursty { .. } => "bursty",
+            Distribution::Geometric { .. } => "geometric",
+            Distribution::Zipf { .. } => "zipf",
+            Distribution::PhaseChange { .. } => "phase_change",
+            Distribution::OpenLoop { .. } => "open_loop",
+            Distribution::ClosedLoop { .. } => "closed_loop",
+            Distribution::TailBurst { .. } => "tail_burst",
         }
     }
 }
@@ -287,6 +400,109 @@ mod tests {
                 assert_eq!(d.sample_at(i, &mut a), d.sample(&mut b), "{d:?} at {i}");
             }
         }
+    }
+
+    #[test]
+    fn open_loop_spikes_like_arrivals() {
+        let d = Distribution::OpenLoop {
+            mean: 2,
+            service: 10,
+        };
+        let vs = samples(d, 2000);
+        // Work is 1 + 10k for the per-slot arrival count k.
+        assert!(vs.iter().all(|&v| v >= 1 && (v - 1) % 10 == 0));
+        let empty = vs.iter().filter(|&&v| v == 1).count();
+        let busy = vs.iter().filter(|&&v| v > 21).count();
+        // P(k=0) = (7/8)^16 ~ 0.118; spikes (k >= 3) ~ 0.32.
+        assert!((100..=400).contains(&empty), "{empty} empty slots");
+        assert!(busy > 200, "only {busy} multi-arrival slots");
+        let avg = vs.iter().sum::<i64>() as f64 / vs.len() as f64;
+        assert!((15.0..=27.0).contains(&avg), "mean drifted: {avg}");
+    }
+
+    #[test]
+    fn closed_loop_is_population_bounded() {
+        let d = Distribution::ClosedLoop {
+            users: 8,
+            think: 4,
+            service: 5,
+        };
+        let vs = samples(d, 2000);
+        // At most `users` requests per slot: 1 + 8*5 = 41.
+        assert!(vs.iter().all(|&v| (1..=41).contains(&v)));
+        let avg = vs.iter().sum::<i64>() as f64 / vs.len() as f64;
+        // Expected 1 + 8*5/4 = 11.
+        assert!((8.0..=14.0).contains(&avg), "mean drifted: {avg}");
+    }
+
+    #[test]
+    fn tail_burst_is_mostly_base_with_zipf_tail() {
+        let d = Distribution::TailBurst {
+            base: 3,
+            max: 256,
+            period: 8,
+        };
+        let vs = samples(d, 4000);
+        let hits = vs.iter().filter(|&&v| v == 3).count();
+        let misses = vs.iter().filter(|&&v| v > 3).count();
+        assert!(vs.iter().all(|&v| (3..=259).contains(&v)));
+        // ~1/8 of slots miss; the rest are hot-object hits.
+        assert!((250..=800).contains(&misses), "{misses} misses");
+        assert!(hits > misses * 4, "tail fired too often");
+        assert!(vs.iter().any(|&v| v > 128), "deep tail never sampled");
+    }
+
+    #[test]
+    fn server_traffic_sampling_is_deterministic() {
+        for d in [
+            Distribution::OpenLoop {
+                mean: 3,
+                service: 7,
+            },
+            Distribution::ClosedLoop {
+                users: 16,
+                think: 8,
+                service: 3,
+            },
+            Distribution::TailBurst {
+                base: 2,
+                max: 64,
+                period: 16,
+            },
+        ] {
+            assert_eq!(samples(d, 500), samples(d, 500), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(Distribution::Fixed { value: 1 }.kind_name(), "fixed");
+        assert_eq!(
+            Distribution::OpenLoop {
+                mean: 1,
+                service: 1
+            }
+            .kind_name(),
+            "open_loop"
+        );
+        assert_eq!(
+            Distribution::ClosedLoop {
+                users: 1,
+                think: 1,
+                service: 1
+            }
+            .kind_name(),
+            "closed_loop"
+        );
+        assert_eq!(
+            Distribution::TailBurst {
+                base: 1,
+                max: 1,
+                period: 1
+            }
+            .kind_name(),
+            "tail_burst"
+        );
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod cfp;
 pub mod cint;
 pub mod common;
 pub mod gen;
+pub mod genspec;
 pub mod spec;
 pub mod spec_builtin;
 pub mod toml;
@@ -50,6 +51,7 @@ pub use campaign::{
 };
 pub use common::Scale;
 pub use gen::{generate, generate_nest, generate_prefix, generate_with_nests, NestBoundary};
+pub use genspec::{generated_spec, SpecGen};
 pub use spec::{NestSpec, ScenarioSpec, SpecError};
 pub use spec_builtin::{builtin_spec, builtin_specs};
 

@@ -108,6 +108,39 @@ fn validate_dist(dist: &Distribution) -> Result<()> {
             check(high, "high")?;
             check(period, "period")
         }
+        Distribution::OpenLoop { mean, service } => {
+            // Sampling draws 8*mean Bernoulli trials per table slot, so
+            // the arrival rate gets a much tighter bound than the
+            // generic parameter ceiling.
+            check(mean, "mean")?;
+            if mean > 1024 {
+                return Err(SpecError::new(format!(
+                    "open_loop distribution mean must be <= 1024, got {mean}"
+                )));
+            }
+            check(service, "service")
+        }
+        Distribution::ClosedLoop {
+            users,
+            think,
+            service,
+        } => {
+            // One Bernoulli trial per user per table slot; bound the
+            // population so baking work tables stays cheap.
+            check(users, "users")?;
+            if users > 4096 {
+                return Err(SpecError::new(format!(
+                    "closed_loop distribution users must be <= 4096, got {users}"
+                )));
+            }
+            check(think, "think")?;
+            check(service, "service")
+        }
+        Distribution::TailBurst { base, max, period } => {
+            check(base, "base")?;
+            check(max, "max")?;
+            check(period, "period")
+        }
     }
 }
 
@@ -814,6 +847,30 @@ impl ScenarioSpec {
         Ok(())
     }
 
+    /// The distinct distribution kinds used by this scenario's
+    /// `var_work` ops — top-level and nest phases alike, descending
+    /// into guard branches — in first-use order. Tooling (`helix
+    /// list`, explore reports) uses this to summarize a scenario's
+    /// iteration-shape space at a glance.
+    pub fn dist_kinds(&self) -> Vec<&'static str> {
+        let mut kinds: Vec<&'static str> = Vec::new();
+        let nest_phases = self.nests.iter().flat_map(|n| n.phases.iter());
+        for phase in self.phases.iter().chain(nest_phases) {
+            if let PhaseSpec::HotLoop(hl) = phase {
+                let mut visit = |_: &str, dist: &Distribution| -> Result<()> {
+                    let kind = dist.kind_name();
+                    if !kinds.contains(&kind) {
+                        kinds.push(kind);
+                    }
+                    Ok(())
+                };
+                Self::for_each_var_work(&hl.ops, &mut visit)
+                    .expect("dist_kinds visitor never fails");
+            }
+        }
+        kinds
+    }
+
     /// A single-nest "view" of one nest: the shared regions plus the
     /// nest's private regions, with the nest's phases promoted to the
     /// top level. Validation and generation both reuse the single-nest
@@ -1177,6 +1234,27 @@ fn dist_to_toml(d: &Distribution) -> Value {
             t.set("kind", Value::Str("phase_change".into()));
             t.set("low", Value::Int(low));
             t.set("high", Value::Int(high));
+            t.set("period", Value::Int(period));
+        }
+        Distribution::OpenLoop { mean, service } => {
+            t.set("kind", Value::Str("open_loop".into()));
+            t.set("mean", Value::Int(mean));
+            t.set("service", Value::Int(service));
+        }
+        Distribution::ClosedLoop {
+            users,
+            think,
+            service,
+        } => {
+            t.set("kind", Value::Str("closed_loop".into()));
+            t.set("users", Value::Int(users));
+            t.set("think", Value::Int(think));
+            t.set("service", Value::Int(service));
+        }
+        Distribution::TailBurst { base, max, period } => {
+            t.set("kind", Value::Str("tail_burst".into()));
+            t.set("base", Value::Int(base));
+            t.set("max", Value::Int(max));
             t.set("period", Value::Int(period));
         }
     }
@@ -1608,6 +1686,20 @@ fn dist_from_toml(v: &Value, what: &str) -> Result<Distribution> {
         "phase_change" => Ok(Distribution::PhaseChange {
             low: req_int(t, "low", what)?,
             high: req_int(t, "high", what)?,
+            period: req_int(t, "period", what)?,
+        }),
+        "open_loop" => Ok(Distribution::OpenLoop {
+            mean: req_int(t, "mean", what)?,
+            service: req_int(t, "service", what)?,
+        }),
+        "closed_loop" => Ok(Distribution::ClosedLoop {
+            users: req_int(t, "users", what)?,
+            think: req_int(t, "think", what)?,
+            service: req_int(t, "service", what)?,
+        }),
+        "tail_burst" => Ok(Distribution::TailBurst {
+            base: req_int(t, "base", what)?,
+            max: req_int(t, "max", what)?,
             period: req_int(t, "period", what)?,
         }),
         other => Err(SpecError::new(format!(

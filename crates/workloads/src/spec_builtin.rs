@@ -1038,9 +1038,248 @@ pub fn pipeline_spec() -> ScenarioSpec {
     }
 }
 
+/// 1000-series server-traffic scenario: open-loop request arrivals over
+/// a zipf-popular object table. Each iteration is one arrival slot —
+/// Binomial-arrival request counts drive the per-trip work while every
+/// request bumps a shared hot-object table — so load does **not**
+/// self-limit: bursts of simultaneous arrivals pile work into single
+/// iterations exactly as an open-loop load generator piles requests
+/// onto a server, the regime explore's frontier search flagged for
+/// maximal iteration imbalance.
+pub fn openloop_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "1000.openloop".into(),
+        description: "Open-loop server load: Binomial(mean 3) arrivals per slot, zipf-popular \
+                      shared object table"
+            .into(),
+        kind: Kind::Int,
+        base_n: 600,
+        seed: 101,
+        regions: vec![
+            ri("slots", n1()),
+            ri("stage", n1()),
+            ri("load", n1()),
+            ri("objects", fixed(256)),
+            ri("out", fixed(8)),
+        ],
+        phases: vec![
+            fill("slots", n(), 101),
+            doall("slots", "stage", n(), 10),
+            PhaseSpec::HotLoop(HotLoopSpec {
+                trips: n(),
+                input: Some("stage".into()),
+                carry: Some(CarrySpec {
+                    init: 0,
+                    out: "out".into(),
+                }),
+                ops: vec![
+                    OpSpec::VarWork {
+                        region: "load".into(),
+                        dist: Distribution::OpenLoop {
+                            mean: 3,
+                            service: 8,
+                        },
+                    },
+                    OpSpec::Table {
+                        region: "objects".into(),
+                        shift: 0,
+                        mask: 255,
+                        op: UpdateOp::Add,
+                        value: UpdateValue::One,
+                    },
+                    OpSpec::Guard {
+                        mask: 7,
+                        then_ops: vec![OpSpec::Carry {
+                            op: CarryOp::Add,
+                            operand: CarryOperand::Cur,
+                        }],
+                        else_ops: vec![],
+                    },
+                ],
+            }),
+        ],
+        nests: vec![],
+        run: RunSpec::default(),
+    }
+}
+
+/// 1000-series server-traffic scenario: closed-loop load in a two-nest
+/// pipeline. The `admit` nest runs a fixed client population (at most
+/// `users` outstanding requests — load self-limits, the classic
+/// contrast to [`openloop_spec`]) and exports its session digest; the
+/// `settle` nest drains a shared ledger seeded by that digest. The
+/// closed/open pair makes the load-generation distinction measurable:
+/// same service cost, different arrival law, different imbalance.
+pub fn closedloop_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "1010.closedloop".into(),
+        description: "Closed-loop server load: 24-user think/request population feeding a \
+                      ledger-settling drain nest"
+            .into(),
+        kind: Kind::Int,
+        base_n: 600,
+        seed: 103,
+        regions: vec![
+            ri("src", n1()),
+            ri("digest", fixed(8)),
+            ri("sessions", fixed(128)),
+            ri("out", fixed(8)),
+        ],
+        phases: vec![],
+        nests: vec![
+            NestSpec {
+                name: "admit".into(),
+                glue: fixed(0),
+                import: None,
+                export: Some("digest".into()),
+                regions: vec![ri("stage", n1()), ri("load", n1())],
+                phases: vec![
+                    fill("src", n(), 103),
+                    doall("src", "stage", n(), 9),
+                    PhaseSpec::HotLoop(HotLoopSpec {
+                        trips: n(),
+                        input: Some("stage".into()),
+                        carry: Some(CarrySpec {
+                            init: 1,
+                            out: "digest".into(),
+                        }),
+                        ops: vec![
+                            OpSpec::VarWork {
+                                region: "load".into(),
+                                dist: Distribution::ClosedLoop {
+                                    users: 24,
+                                    think: 6,
+                                    service: 8,
+                                },
+                            },
+                            OpSpec::Table {
+                                region: "sessions".into(),
+                                shift: 0,
+                                mask: 127,
+                                op: UpdateOp::Xor,
+                                value: UpdateValue::Cur,
+                            },
+                            OpSpec::Guard {
+                                mask: 3,
+                                then_ops: vec![OpSpec::Carry {
+                                    op: CarryOp::Add,
+                                    operand: CarryOperand::Cur,
+                                }],
+                                else_ops: vec![],
+                            },
+                        ],
+                    }),
+                ],
+            },
+            NestSpec {
+                name: "settle".into(),
+                glue: fixed(300),
+                import: None,
+                export: None,
+                regions: vec![ri("ledger", fixed(512))],
+                phases: vec![
+                    fill("ledger", fixed(512), 104),
+                    PhaseSpec::HotLoop(HotLoopSpec {
+                        trips: n(),
+                        input: Some("src".into()),
+                        carry: Some(CarrySpec {
+                            init: 7,
+                            out: "out".into(),
+                        }),
+                        ops: vec![
+                            OpSpec::Work { insts: 5 },
+                            OpSpec::PtrChase {
+                                region: "ledger".into(),
+                                hops: 2,
+                                mask: 511,
+                            },
+                            OpSpec::Guard {
+                                mask: 1,
+                                then_ops: vec![OpSpec::Carry {
+                                    op: CarryOp::Xor,
+                                    operand: CarryOperand::Cur,
+                                }],
+                                else_ops: vec![OpSpec::Carry {
+                                    op: CarryOp::Add,
+                                    operand: CarryOperand::Cur,
+                                }],
+                            },
+                        ],
+                    }),
+                ],
+            },
+        ],
+        run: RunSpec::default(),
+    }
+}
+
+/// 1000-series server-traffic scenario: the p99 tail regime. Most slots
+/// hit hot cached objects at a flat base cost, but roughly one in
+/// sixteen misses to a cold object whose extra cost is zipf-distributed
+/// — rare giants dominate the latency distribution, the
+/// tail-at-scale shape that defeats mean-based profiles harder than
+/// `910.bursty`'s fixed two-level mix.
+pub fn tailburst_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "1020.tailburst".into(),
+        description: "Tail-latency server load: hot hits cost 4, one slot in 16 pays a \
+                      Zipf(128) cold miss"
+            .into(),
+        kind: Kind::Int,
+        base_n: 600,
+        seed: 105,
+        regions: vec![
+            ri("slots", n1()),
+            ri("stage", n1()),
+            ri("lat", n1()),
+            ri("cache", fixed(256)),
+            ri("out", fixed(8)),
+        ],
+        phases: vec![
+            fill("slots", n(), 105),
+            doall("slots", "stage", n(), 11),
+            PhaseSpec::HotLoop(HotLoopSpec {
+                trips: n(),
+                input: Some("stage".into()),
+                carry: Some(CarrySpec {
+                    init: 3,
+                    out: "out".into(),
+                }),
+                ops: vec![
+                    OpSpec::VarWork {
+                        region: "lat".into(),
+                        dist: Distribution::TailBurst {
+                            base: 4,
+                            max: 128,
+                            period: 16,
+                        },
+                    },
+                    OpSpec::Table {
+                        region: "cache".into(),
+                        shift: 0,
+                        mask: 255,
+                        op: UpdateOp::Xor,
+                        value: UpdateValue::Cur,
+                    },
+                    OpSpec::Guard {
+                        mask: 7,
+                        then_ops: vec![OpSpec::Carry {
+                            op: CarryOp::Add,
+                            operand: CarryOperand::Cur,
+                        }],
+                        else_ops: vec![],
+                    },
+                ],
+            }),
+        ],
+        nests: vec![],
+        run: RunSpec::default(),
+    }
+}
+
 /// All built-in scenario specs: the ten SPEC stand-ins in the paper's
 /// reporting order, then the novel scenarios, then the multi-nest
-/// families.
+/// families, then the 1000-series server-traffic family.
 pub fn builtin_specs() -> Vec<ScenarioSpec> {
     vec![
         gzip_spec(),
@@ -1063,6 +1302,9 @@ pub fn builtin_specs() -> Vec<ScenarioSpec> {
         coverage_mid_spec(),
         coverage_lo_spec(),
         pipeline_spec(),
+        openloop_spec(),
+        closedloop_spec(),
+        tailburst_spec(),
     ]
 }
 

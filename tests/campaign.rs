@@ -4,17 +4,15 @@
 //! calls, and the committed per-scenario speedup baseline must stay a
 //! valid gate input.
 
+mod common;
+
+use common::{committed_scenario_files, repo_path};
 use helix_rc::campaign::{load_campaign, run_campaign, run_campaign_with, CampaignRunOptions};
 use helix_rc::experiment::{decoupling_lattice, ExperimentOptions};
 use helix_rc::resilient::FaultPlan;
 use helix_rc::workloads::{
     builtin_spec, workload_from_spec, CampaignExperiment, CampaignGrid, CampaignSpec, Scale,
 };
-use std::path::PathBuf;
-
-fn repo_path(rel: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
-}
 
 /// The committed smoke campaign loads, covers the distribution-
 /// stressing novel scenarios, runs end-to-end, and produces
@@ -33,6 +31,8 @@ fn committed_smoke_campaign_runs_deterministically() {
         "950.twonest",
         "962.cov_lo",
         "970.pipeline",
+        "1000.openloop",
+        "1020.tailburst",
     ] {
         assert!(names.contains(&required), "smoke set missing {required}");
     }
@@ -110,14 +110,9 @@ fn smoke_campaign_survives_chaos_and_resumes_byte_identically() {
 fn committed_paper_campaign_covers_every_committed_scenario() {
     let (spec, scenarios) =
         load_campaign(&repo_path("campaigns/paper.toml")).expect("paper campaign loads");
-    let committed = std::fs::read_dir(repo_path("scenarios"))
-        .expect("scenarios/ exists")
-        .filter_map(|e| e.ok())
-        .filter(|e| e.path().extension().is_some_and(|ext| ext == "toml"))
-        .count();
     assert_eq!(
         scenarios.len(),
-        committed,
+        committed_scenario_files().len(),
         "paper campaign must match every scenarios/*.toml"
     );
     assert_eq!(
@@ -183,6 +178,9 @@ fn committed_scenario_baseline_is_gateable() {
         "961.cov_mid",
         "962.cov_lo",
         "970.pipeline",
+        "1000.openloop",
+        "1010.closedloop",
+        "1020.tailburst",
     ] {
         assert!(
             text.contains(&format!("\"scenario\": \"{scenario}\"")),
@@ -210,14 +208,9 @@ fn committed_full_campaign_profile_is_loadable() {
             .contains(&CampaignExperiment::Generations),
         "the Full profile must include generations (the derived-table anchor)"
     );
-    let committed = std::fs::read_dir(repo_path("scenarios"))
-        .expect("scenarios/ exists")
-        .filter_map(|e| e.ok())
-        .filter(|e| e.path().extension().is_some_and(|ext| ext == "toml"))
-        .count();
     assert_eq!(
         scenarios.len(),
-        committed,
+        committed_scenario_files().len(),
         "full campaign must cover every scenarios/*.toml"
     );
     assert!(

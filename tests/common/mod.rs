@@ -1,0 +1,43 @@
+//! Shared helpers for the workspace integration tests: one source of
+//! truth for locating repo files and enumerating the committed
+//! `scenarios/*.toml` suite, so the per-test copies of the glob logic
+//! cannot drift apart (different sort orders or extension filters would
+//! silently gate different scenario sets).
+
+// Each integration-test binary compiles its own copy of this module and
+// uses a subset of the helpers.
+#![allow(dead_code)]
+
+use helix_rc::workloads::ScenarioSpec;
+use std::path::PathBuf;
+
+/// Absolute path of a repo-relative file.
+pub fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+/// Sorted paths of every committed `scenarios/*.toml` file.
+pub fn committed_scenario_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(repo_path("scenarios"))
+        .expect("scenarios/ directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no committed scenarios found");
+    files
+}
+
+/// Every committed scenario, parsed (panics with the file name on a
+/// parse error so a broken TOML is named, not just counted).
+pub fn committed_specs() -> Vec<(PathBuf, ScenarioSpec)> {
+    committed_scenario_files()
+        .into_iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(&path).expect("readable spec");
+            let spec = ScenarioSpec::from_toml(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            (path, spec)
+        })
+        .collect()
+}

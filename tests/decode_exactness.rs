@@ -7,29 +7,19 @@
 //! memory digest, dynamic instruction counts, iteration bookkeeping,
 //! and the full attribution table.
 
+mod common;
+
 use helix_rc::hcc::{compile, HccConfig};
 use helix_rc::sim::{simulate, simulate_sequential, Bucket, EngineSel, MachineConfig, RunReport};
-use helix_rc::workloads::{workload_from_spec, Scale, ScenarioSpec, Workload};
-use std::path::PathBuf;
+use helix_rc::workloads::{workload_from_spec, Scale, Workload};
 
 const FUEL: u64 = 1 << 27;
 const CORES: usize = 8;
 
 fn committed_workloads() -> Vec<Workload> {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios");
-    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
-        .expect("scenarios/ directory exists")
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
-        .collect();
-    files.sort();
-    assert!(!files.is_empty(), "no committed scenarios found");
-    files
+    common::committed_specs()
         .into_iter()
-        .map(|path| {
-            let text = std::fs::read_to_string(&path).expect("readable spec");
-            let spec = ScenarioSpec::from_toml(&text)
-                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        .map(|(path, spec)| {
             workload_from_spec(&spec, Scale::Test)
                 .unwrap_or_else(|e| panic!("{}: {e}", path.display()))
         })

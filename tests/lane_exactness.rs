@@ -7,6 +7,9 @@
 //! chaos harness (fault-injected cells stay isolated from their
 //! batched neighbours).
 
+mod common;
+
+use common::repo_path;
 use helix_rc::api::{decode_request, execute, Request, Response, RunOptions, SpecSource};
 use helix_rc::campaign::{load_campaign, run_campaign_with, CampaignRunOptions};
 use helix_rc::hcc::{compile, CompiledProgram, HccConfig};
@@ -15,12 +18,7 @@ use helix_rc::sim::{EngineSel, Machine, MachineConfig, SimSession};
 use helix_rc::workloads::{by_name, Scale};
 use helix_rc::CampaignSource;
 use proptest::prelude::*;
-use std::path::PathBuf;
 use std::sync::OnceLock;
-
-fn repo_path(rel: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
-}
 
 fn lanes(n: usize) -> CampaignRunOptions {
     CampaignRunOptions {

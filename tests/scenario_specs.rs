@@ -3,35 +3,15 @@
 //! the built-in specs, and — for the SPEC stand-ins — pinned to the
 //! hand-coded constructors' exact cycle counts.
 
+mod common;
+
+use common::committed_specs;
 use helix_rc::hcc::{compile, HccConfig};
 use helix_rc::scenario::{run_scenario, RunOverrides};
 use helix_rc::sim::{simulate, simulate_sequential, MachineConfig};
-use helix_rc::workloads::{builtin_spec, by_name, generate, Scale, ScenarioSpec};
-use std::path::PathBuf;
+use helix_rc::workloads::{builtin_spec, by_name, generate, Scale};
 
 const FUEL: u64 = 1 << 27;
-
-fn scenarios_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios")
-}
-
-fn committed_specs() -> Vec<(PathBuf, ScenarioSpec)> {
-    let mut files: Vec<PathBuf> = std::fs::read_dir(scenarios_dir())
-        .expect("scenarios/ directory exists")
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
-        .collect();
-    files.sort();
-    files
-        .into_iter()
-        .map(|path| {
-            let text = std::fs::read_to_string(&path).expect("readable spec");
-            let spec = ScenarioSpec::from_toml(&text)
-                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
-            (path, spec)
-        })
-        .collect()
-}
 
 /// Every committed file parses, matches its built-in twin exactly, and
 /// the directory covers the whole suite: ten SPEC stand-ins, at least
